@@ -1,0 +1,50 @@
+// Ablation: the First Bound Model's omega parameter (Section III-D).
+//
+// The server pushes every omega*RTT; the model guarantees a response
+// within (1+omega)*RTT. Small omega means tighter latency but more
+// frequent (smaller) pushes; large omega batches better at the cost of
+// response time. This sweep verifies the (1+omega)RTT envelope and shows
+// the latency/traffic trade-off, plus the reply-on-submission mode
+// (Incomplete World, no push) as the omega->"on demand" extreme.
+
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "sim/runner.h"
+
+int main(int argc, char** argv) {
+  using namespace seve;
+  bench::Banner(
+      "Ablation - First Bound omega sweep (32 clients, Table I)",
+      "response <= (1+omega) RTT; pushes batch better as omega grows");
+
+  const bool quick = bench::QuickMode(argc, argv);
+  const std::vector<double> omegas =
+      quick ? std::vector<double>{0.5}
+            : std::vector<double>{0.1, 0.25, 0.5, 0.75, 0.9};
+
+  std::printf("%-10s %-16s %-14s %-14s %-12s\n", "omega",
+              "mean resp ms", "(1+w)RTT ms", "kb/client", "msgs/client");
+  for (const double omega : omegas) {
+    Scenario s = Scenario::TableOne(32);
+    s.world.num_walls = quick ? 2000 : 20000;
+    s.moves_per_client = quick ? 15 : 50;
+    s.seve.omega = omega;
+    const RunReport r = RunScenario(Architecture::kSeve, s);
+    const double bound_ms = (1.0 + omega) * 2.0 * 119.0;
+    std::printf("%-10.2f %-16.1f %-14.1f %-14.1f %-12.1f\n", omega,
+                r.MeanResponseMs(), bound_ms, r.per_client_kb,
+                static_cast<double>(r.total_traffic.sent.messages) / 32.0);
+    std::fflush(stdout);
+  }
+
+  // Reply-on-submission extreme (pure Incomplete World Model).
+  Scenario s = Scenario::TableOne(32);
+  s.world.num_walls = quick ? 2000 : 20000;
+  s.moves_per_client = quick ? 15 : 50;
+  const RunReport r = RunScenario(Architecture::kIncompleteWorld, s);
+  std::printf("%-10s %-16.1f %-14.1f %-14.1f %-12.1f\n", "reply",
+              r.MeanResponseMs(), 2.0 * 119.0, r.per_client_kb,
+              static_cast<double>(r.total_traffic.sent.messages) / 32.0);
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Ablation: the Information Bound Model's chain-breaking threshold
+// (Section III-E, Equation 2).
+//
+// Smaller thresholds drop more moves but bound the closure tighter;
+// infinite threshold reduces to the pure First Bound Model (no drops,
+// unbounded chains). Run in the dense Figure-8 arena where chains form.
+
+#include <limits>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "sim/runner.h"
+
+int main(int argc, char** argv) {
+  using namespace seve;
+  bench::Banner(
+      "Ablation - Information Bound threshold sweep (60 clients, dense)",
+      "drop rate falls and closure size grows as threshold rises");
+
+  const bool quick = bench::QuickMode(argc, argv);
+  const std::vector<double> thresholds =
+      quick ? std::vector<double>{15.0, 60.0}
+            : std::vector<double>{7.5, 15.0, 30.0, 45.0, 60.0, 120.0};
+
+  std::printf("%-12s %-12s %-16s %-18s\n", "threshold", "% dropped",
+              "mean resp ms", "max closure batch");
+  auto run_one = [&](double threshold, bool dropping, const char* label) {
+    // The calibrated Figure-8 arena: one dense social cluster where
+    // conflict chains actually form (see bench_fig8_density).
+    Scenario s = Scenario::TableOne(60);
+    s.world.bounds = AABB{{0.0, 0.0}, {250.0, 250.0}};
+    s.world.num_walls = 300;
+    s.world.visibility = 50.0;
+    s.world.spawn.pattern = SpawnConfig::Pattern::kClustered;
+    s.world.spawn.clusters = 1;
+    s.world.spawn.cluster_sigma = 25.0;
+    s.cost.per_avatar_us = 250.0;
+    s.seve.threshold = threshold;
+    s.moves_per_client = quick ? 10 : 40;
+    const RunReport r = RunScenario(
+        dropping ? Architecture::kSeve : Architecture::kSeveNoDropping, s);
+    std::printf("%-12s %-12.2f %-16.1f %-18lld\n", label,
+                r.drop_rate * 100.0, r.MeanResponseMs(),
+                static_cast<long long>(r.server_stats.closure_size.max()));
+    std::fflush(stdout);
+  };
+
+  char label[32];
+  for (const double threshold : thresholds) {
+    std::snprintf(label, sizeof(label), "%.1f", threshold);
+    run_one(threshold, true, label);
+  }
+  run_one(std::numeric_limits<double>::infinity(), false, "off");
+  return 0;
+}

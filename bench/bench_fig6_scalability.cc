@@ -1,0 +1,38 @@
+// Figure 6: Response time vs. number of clients (Table-I settings,
+// 100,000 walls, ~7.44 ms per move).
+//
+// Expected shape (paper): Central and Broadcast break down at ~30-32
+// clients and diverge into the tens of seconds; SEVE stays flat near
+// (1+omega) RTT regardless of client count.
+
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "sim/runner.h"
+
+int main(int argc, char** argv) {
+  using namespace seve;
+  bench::Banner(
+      "Figure 6 - Scalability of SEVE vs Central vs Broadcast",
+      "Central & Broadcast collapse at ~30-32 clients; SEVE flat (~360ms)");
+
+  const bool quick = bench::QuickMode(argc, argv);
+  const std::vector<int> client_counts =
+      quick ? std::vector<int>{8, 32} : std::vector<int>{8, 16, 24, 32, 40,
+                                                         48, 64};
+  for (const Architecture arch :
+       {Architecture::kCentral, Architecture::kBroadcast,
+        Architecture::kSeve}) {
+    for (const int clients : client_counts) {
+      Scenario s = Scenario::TableOne(clients);
+      if (quick) {
+        s.world.num_walls = 10000;
+        s.moves_per_client = 20;
+      }
+      const RunReport r = RunScenario(arch, s);
+      bench::PrintRunRow(ArchitectureName(arch), clients, r);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

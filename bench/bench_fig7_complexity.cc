@@ -1,0 +1,37 @@
+// Figure 7: Response time vs. per-action complexity at 25 clients.
+//
+// Expected shape (paper): Central and Broadcast perform well below
+// ~10 ms per move and then diverge drastically; SEVE is unaffected across
+// the whole 0-25 ms range.
+
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "sim/runner.h"
+
+int main(int argc, char** argv) {
+  using namespace seve;
+  bench::Banner(
+      "Figure 7 - Response time vs action complexity (25 clients)",
+      "Central/Broadcast unusable past ~10 ms/action; SEVE flat to 25 ms");
+
+  const bool quick = bench::QuickMode(argc, argv);
+  const std::vector<int> costs_ms =
+      quick ? std::vector<int>{5, 15}
+            : std::vector<int>{1, 3, 5, 7, 9, 11, 13, 15, 20, 25};
+
+  for (const Architecture arch :
+       {Architecture::kCentral, Architecture::kBroadcast,
+        Architecture::kSeve}) {
+    for (const int cost_ms : costs_ms) {
+      Scenario s = Scenario::TableOne(25);
+      s.world.num_walls = 0;  // complexity comes from the override
+      s.fixed_move_cost_us = static_cast<Micros>(cost_ms) * 1000;
+      if (quick) s.moves_per_client = 20;
+      const RunReport r = RunScenario(arch, s);
+      bench::PrintRunRow(ArchitectureName(arch), cost_ms, r);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Microbenchmarks for the substrates: world-state store, spatial index,
+// move evaluation, and the discrete-event loop. These quantify the real
+// CPU cost of the simulator itself (distinct from the calibrated virtual
+// costs charged inside experiments).
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "common/rng.h"
+#include "net/event_loop.h"
+#include "spatial/grid_index.h"
+#include "store/world_state.h"
+#include "world/attrs.h"
+#include "world/manhattan_world.h"
+
+namespace seve {
+namespace {
+
+void BM_WorldStateSetAttr(benchmark::State& state) {
+  WorldState ws;
+  for (uint64_t i = 0; i < 1000; ++i) {
+    ws.SetAttr(ObjectId(i), kAttrPosition, Value(Vec2{0.0, 0.0}));
+  }
+  uint64_t i = 0;
+  for (auto _ : state) {
+    ws.SetAttr(ObjectId(i % 1000), kAttrPosition,
+               Value(Vec2{static_cast<double>(i), 0.0}));
+    ++i;
+  }
+}
+BENCHMARK(BM_WorldStateSetAttr);
+
+void BM_WorldStateDigest(benchmark::State& state) {
+  WorldState ws;
+  const auto n = static_cast<uint64_t>(state.range(0));
+  for (uint64_t i = 0; i < n; ++i) {
+    ws.SetAttr(ObjectId(i), kAttrPosition,
+               Value(Vec2{static_cast<double>(i), 1.0}));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ws.Digest());
+  }
+}
+BENCHMARK(BM_WorldStateDigest)->Arg(64)->Arg(1024);
+
+void BM_GridIndexQuery(benchmark::State& state) {
+  Rng rng(1);
+  GridIndex index(AABB{{0.0, 0.0}, {1000.0, 1000.0}}, 20.0);
+  for (uint64_t key = 0; key < 100000; ++key) {
+    const Vec2 center{rng.NextDouble(0.0, 1000.0),
+                      rng.NextDouble(0.0, 1000.0)};
+    (void)index.Insert(key, AABB::FromCircle(center, 5.0));
+  }
+  for (auto _ : state) {
+    int count = 0;
+    index.QueryCircle({500.0, 500.0}, 30.0,
+                      [&count](uint64_t) { ++count; });
+    benchmark::DoNotOptimize(count);
+  }
+}
+BENCHMARK(BM_GridIndexQuery);
+
+void BM_MoveEvaluation(benchmark::State& state) {
+  WorldConfig cfg;
+  cfg.num_walls = static_cast<int>(state.range(0));
+  cfg.num_avatars = 64;
+  ManhattanWorld world(cfg, 5);
+  WorldState ws = world.InitialState();
+  uint64_t k = 0;
+  for (auto _ : state) {
+    const int avatar = static_cast<int>(k % 64);
+    auto move = world.MakeMove(ActionId(k), ClientId(k % 64), avatar, 0, ws,
+                               300000);
+    benchmark::DoNotOptimize(move->Apply(&ws));
+    ++k;
+  }
+}
+BENCHMARK(BM_MoveEvaluation)->ArgName("walls")->Arg(1000)->Arg(100000);
+
+void BM_EventLoopChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    EventLoop loop;
+    int fired = 0;
+    for (int i = 0; i < 1000; ++i) {
+      loop.At(i, [&fired]() { ++fired; });
+    }
+    loop.RunUntilIdle();
+    benchmark::DoNotOptimize(fired);
+  }
+}
+BENCHMARK(BM_EventLoopChurn);
+
+void BM_ObjectSetIntersects(benchmark::State& state) {
+  Rng rng(2);
+  std::vector<ObjectId> a_ids, b_ids;
+  for (int i = 0; i < 16; ++i) {
+    a_ids.push_back(ObjectId(rng.NextBounded(1000)));
+    b_ids.push_back(ObjectId(rng.NextBounded(1000)));
+  }
+  const ObjectSet a(a_ids), b(b_ids);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.Intersects(b));
+  }
+}
+BENCHMARK(BM_ObjectSetIntersects);
+
+}  // namespace
+}  // namespace seve
+
+BENCHMARK_MAIN();

@@ -1,0 +1,147 @@
+// Section V-B.1 capacity claim: "We performed experiments on a single
+// server and determined the limit of our implementation to be about 3500
+// clients."
+//
+// The SEVE server only timestamps, routes (Equation-1 tests over a
+// spatial index) and computes transitive closures — here we stress it
+// with lightweight clients (one private counter each, uniform spread) and
+// report server CPU utilisation and response degradation as the client
+// count grows. The knee marks the single-server capacity.
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "net/network.h"
+#include "protocol/seve_client.h"
+#include "protocol/seve_server.h"
+#include "tests/test_actions.h"
+
+namespace seve {
+namespace {
+
+struct CapacityPoint {
+  int clients;
+  double server_busy_pct;
+  double mean_response_ms;
+  double p95_response_ms;
+};
+
+CapacityPoint RunCapacity(int num_clients, int moves_per_client) {
+  constexpr Micros kLatency = 119000;
+  constexpr Micros kRtt = 2 * kLatency;
+  constexpr Micros kPeriod = 300000;
+
+  EventLoop loop;
+  Network net(&loop);
+  SeveOptions opts;
+  opts.proactive_push = true;
+  opts.dropping = true;
+  opts.threshold = 45.0;
+  InterestModel interest(10.0, kRtt, opts.omega);
+  const AABB bounds{{0.0, 0.0}, {1000.0, 1000.0}};
+
+  // Server starts with every client's counter object.
+  WorldState server_state;
+  for (int i = 0; i < num_clients; ++i) {
+    server_state.SetAttr(ObjectId(static_cast<uint64_t>(i) + 1), 1,
+                         Value(int64_t{0}));
+  }
+  SeveServer server(NodeId(0), &loop, std::move(server_state), CostModel{},
+                    interest, opts, bounds);
+  net.AddNode(&server);
+
+  Rng rng(7);
+  std::vector<std::unique_ptr<SeveClient>> clients;
+  std::vector<InterestProfile> profiles;
+  clients.reserve(static_cast<size_t>(num_clients));
+  profiles.reserve(static_cast<size_t>(num_clients));
+  for (int i = 0; i < num_clients; ++i) {
+    const ObjectId counter(static_cast<uint64_t>(i) + 1);
+    WorldState initial;
+    initial.SetAttr(counter, 1, Value(int64_t{0}));
+    auto client = std::make_unique<SeveClient>(
+        NodeId(static_cast<uint64_t>(i) + 1), &loop,
+        ClientId(static_cast<uint64_t>(i)), NodeId(0), std::move(initial),
+        [](const Action&, const WorldState&) -> Micros { return 200; },
+        /*install_us=*/10, opts);
+    net.AddNode(client.get());
+    net.ConnectBidirectional(NodeId(0), client->id(),
+                             LinkParams::LatencyOnly(kLatency));
+    InterestProfile profile = ProfileAt(
+        {rng.NextDouble(0.0, 1000.0), rng.NextDouble(0.0, 1000.0)}, 10.0);
+    server.RegisterClient(client->client_id(), client->id(), profile);
+    profiles.push_back(profile);
+    clients.push_back(std::move(client));
+  }
+  server.Start();
+
+  Rng jitter(13);
+  VirtualTime last = 0;
+  for (int i = 0; i < num_clients; ++i) {
+    const VirtualTime start = static_cast<VirtualTime>(
+        jitter.NextBounded(static_cast<uint64_t>(kPeriod)));
+    SeveClient* client = clients[static_cast<size_t>(i)].get();
+    const ObjectId counter(static_cast<uint64_t>(i) + 1);
+    for (int k = 0; k < moves_per_client; ++k) {
+      const VirtualTime when = start + static_cast<VirtualTime>(k) * kPeriod;
+      last = std::max(last, when);
+      const InterestProfile profile = profiles[static_cast<size_t>(i)];
+      loop.At(when, [client, counter, i, k, profile]() {
+        client->SubmitLocalAction(std::make_shared<CounterAdd>(
+            ActionId((static_cast<uint64_t>(i) << 32) |
+                     static_cast<uint64_t>(k)),
+            client->client_id(), counter, 1, profile));
+      });
+    }
+  }
+  // Every action carries its client's (fixed) interest profile, so the
+  // spatial routing only tests genuinely nearby clients.
+  loop.RunUntil(last + kRtt + 300000);
+  server.Stop();
+  loop.RunUntilIdle(100'000'000);
+  server.FlushAll();
+  loop.RunUntilIdle(100'000'000);
+
+  Histogram responses;
+  for (const auto& client : clients) {
+    responses.Merge(client->stats().response_time_us);
+  }
+  const double wall = static_cast<double>(loop.now());
+  CapacityPoint point;
+  point.clients = num_clients;
+  point.server_busy_pct =
+      100.0 * static_cast<double>(server.cpu_busy_us()) / wall;
+  point.mean_response_ms = responses.Mean() / 1000.0;
+  point.p95_response_ms = static_cast<double>(responses.P95()) / 1000.0;
+  return point;
+}
+
+}  // namespace
+}  // namespace seve
+
+int main(int argc, char** argv) {
+  using namespace seve;
+  bench::Banner(
+      "Section V-B capacity - SEVE single-server client limit",
+      "Server saturates around ~3500 clients (it only serializes, routes "
+      "and computes closures)");
+
+  const bool quick = bench::QuickMode(argc, argv);
+  const std::vector<int> counts = quick
+                                      ? std::vector<int>{250, 1000}
+                                      : std::vector<int>{250, 500, 1000,
+                                                         2000, 3000, 3500,
+                                                         4000};
+  const int moves = quick ? 5 : 10;
+  std::printf("%-8s %-18s %-18s %-14s\n", "clients", "server CPU busy %",
+              "mean response ms", "p95 ms");
+  for (const int n : counts) {
+    const CapacityPoint p = RunCapacity(n, moves);
+    std::printf("%-8d %-18.1f %-18.1f %-14.1f\n", p.clients,
+                p.server_busy_pct, p.mean_response_ms, p.p95_response_ms);
+    std::fflush(stdout);
+  }
+  return 0;
+}

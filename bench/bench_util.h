@@ -1,0 +1,42 @@
+#ifndef SEVE_BENCH_BENCH_UTIL_H_
+#define SEVE_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "sim/report.h"
+
+namespace seve::bench {
+
+/// Prints the standard experiment header used by every reproduction
+/// binary: what the paper's figure shows and what we regenerate.
+inline void Banner(const char* title, const char* paper_claim) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title);
+  std::printf("Paper: %s\n", paper_claim);
+  std::printf("==============================================================\n");
+}
+
+/// Returns true if the binary was invoked with --quick (CI-friendly
+/// scaled-down sweep).
+inline bool QuickMode(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) return true;
+  }
+  return false;
+}
+
+inline void PrintRunRow(const char* label, int x, const RunReport& r) {
+  std::printf(
+      "%-12s x=%5d  resp_mean=%9.1f ms  p95=%9.1f ms  drops=%5.2f%%  "
+      "vis=%5.2f  kb/client=%8.1f  consistent=%s\n",
+      label, x, r.MeanResponseMs(), r.P95ResponseMs(), r.drop_rate * 100.0,
+      r.avg_visible_avatars, r.per_client_kb,
+      r.consistency.consistent() ? "yes" : "NO");
+  std::fflush(stdout);
+}
+
+}  // namespace seve::bench
+
+#endif  // SEVE_BENCH_BENCH_UTIL_H_

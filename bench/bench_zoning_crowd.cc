@@ -1,0 +1,58 @@
+// Section II-A quantified: geographic zoning vs SEVE when players crowd.
+//
+// Zoning scales beautifully while players stay spread across zones — and
+// "zones collapse if too many users crowd into a zone all at once" (the
+// in-game event / raid problem): the owning zone server saturates while
+// the rest of the fleet idles. SEVE has no geographic partition to
+// overload; a crowd instead raises client-side interest density (the
+// Figure-8 regime, where the Information Bound Model's chain breaking is
+// the relief valve).
+
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "sim/runner.h"
+
+int main(int argc, char** argv) {
+  using namespace seve;
+  bench::Banner(
+      "Section II-A - zoning vs SEVE as players crowd one zone",
+      "spread load: both flat; crowd: the owning zone server saturates "
+      "(fleet idles) while SEVE's cost shifts to client-side density");
+
+  const bool quick = bench::QuickMode(argc, argv);
+  struct Spawn {
+    const char* label;
+    SpawnConfig config;
+  };
+  SpawnConfig uniform;
+  uniform.pattern = SpawnConfig::Pattern::kUniform;
+  SpawnConfig crowd;
+  crowd.pattern = SpawnConfig::Pattern::kClustered;
+  crowd.clusters = 1;
+  crowd.cluster_sigma = 12.0;
+  const std::vector<Spawn> spawns = {{"spread", uniform},
+                                     {"crowded", crowd}};
+
+  std::printf("%-10s %-8s %-10s %14s %12s\n", "spawn", "arch", "clients",
+              "mean resp ms", "p95 ms");
+  for (const Spawn& spawn : spawns) {
+    for (const int clients : quick ? std::vector<int>{24}
+                                   : std::vector<int>{16, 32, 48}) {
+      for (const Architecture arch :
+           {Architecture::kZoned, Architecture::kSeve}) {
+        Scenario s = Scenario::TableOne(clients);
+        s.world.spawn = spawn.config;
+        s.zones_per_side = 3;
+        s.moves_per_client = quick ? 15 : 50;
+        const RunReport r = RunScenario(arch, s);
+        std::printf("%-10s %-8s %-10d %14.1f %12.1f\n", spawn.label,
+                    ArchitectureName(arch), clients, r.MeanResponseMs(),
+                    r.P95ResponseMs());
+        std::fflush(stdout);
+      }
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

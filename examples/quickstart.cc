@@ -1,0 +1,24 @@
+// Quickstart: run the Table-I workload at a small scale under SEVE and
+// the Central baseline and print both reports.
+#include <cstdio>
+
+#include "core/engine.h"
+
+int main() {
+  seve::Engine engine;
+  seve::Scenario scenario = seve::Scenario::TableOne(/*clients=*/8);
+  scenario.world.num_walls = 2000;  // keep the quickstart snappy
+  scenario.moves_per_client = 20;
+
+  for (const seve::Architecture arch :
+       {seve::Architecture::kSeve, seve::Architecture::kCentral}) {
+    auto report = engine.Run(arch, scenario);
+    if (!report.ok()) {
+      std::fprintf(stderr, "run failed: %s\n",
+                   report.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s\n\n", report->Summary().c_str());
+  }
+  return 0;
+}

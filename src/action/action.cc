@@ -1,0 +1,16 @@
+#include "action/action.h"
+
+namespace seve {
+
+int64_t Action::WireSize() const {
+  // Header (ids, tick) + read/write set ids. Concrete actions add payload.
+  return 24 + static_cast<int64_t>(ReadSet().size() + WriteSet().size()) * 8;
+}
+
+std::string Action::ToString() const {
+  return "action#" + std::to_string(id_.value()) + "@c" +
+         std::to_string(origin_.value()) + " RS=" + ReadSet().ToString() +
+         " WS=" + WriteSet().ToString();
+}
+
+}  // namespace seve

@@ -1,0 +1,101 @@
+#ifndef SEVE_ACTION_ACTION_H_
+#define SEVE_ACTION_ACTION_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "spatial/vec2.h"
+#include "store/rw_set.h"
+#include "store/world_state.h"
+
+namespace seve {
+
+/// Spatial summary of an action used by the locality bounds of Section
+/// III-D/III-E and the Section-IV optimizations: a sphere of influence
+/// (position + radius), an optional velocity vector for area culling, and
+/// an interest-class bit for inconsequential-action elimination.
+struct InterestProfile {
+  Vec2 position;
+  double radius = 0.0;
+  Vec2 velocity;          // area-of-influence motion, Section IV-B
+  uint32_t interest_class = 1;  // bitmask; Section IV-A
+
+  /// Center of the influence sphere extrapolated `dt_seconds` forward
+  /// along the velocity vector (the restructured conflict equation).
+  Vec2 PositionAt(double dt_seconds) const {
+    return position + velocity * dt_seconds;
+  }
+};
+
+/// The digest of an action's evaluation result — the paper's `v` in
+/// <a, v>. Two evaluations agree iff digests agree; this is how a client
+/// detects that its optimistic evaluation diverged from the stable one.
+using ResultDigest = uint64_t;
+
+/// An action: one atomic read-set/write-set transaction over the world
+/// state (Section II-B / III). Concrete game logic (e.g. MoveAction in
+/// Manhattan People) subclasses this.
+///
+/// Requirements on implementations:
+///  * RS(a) ⊇ WS(a) (asserted by protocol code).
+///  * Apply() is deterministic given the state restricted to RS(a) —
+///    every replica that evaluates the action over consistent inputs
+///    computes the same writes and the same ResultDigest.
+///  * On a fatal conflict, Apply() leaves the state untouched and returns
+///    Status::Conflict (the Bayou-style "behave as a no-op" abort).
+class Action {
+ public:
+  Action(ActionId id, ClientId origin, Tick tick)
+      : id_(id), origin_(origin), tick_(tick) {}
+  virtual ~Action() = default;
+
+  Action(const Action&) = delete;
+  Action& operator=(const Action&) = delete;
+
+  ActionId id() const { return id_; }
+  ClientId origin() const { return origin_; }
+  Tick tick() const { return tick_; }
+
+  /// Declared read set; includes the write set.
+  virtual const ObjectSet& ReadSet() const = 0;
+  /// Declared write set.
+  virtual const ObjectSet& WriteSet() const = 0;
+
+  /// Executes the action against `state`, returning the result digest.
+  virtual Result<ResultDigest> Apply(WorldState* state) const = 0;
+
+  /// Spatial/interest summary for the First Bound and Information Bound
+  /// models.
+  virtual InterestProfile Interest() const = 0;
+
+  /// Serialized size in bytes for traffic accounting.
+  virtual int64_t WireSize() const;
+
+  /// True for server-synthesized blind writes W(S, v) (Algorithm 4 treats
+  /// them like foreign actions; they never enter conflict analysis as
+  /// reads beyond their own set).
+  virtual bool IsBlindWrite() const { return false; }
+
+  virtual std::string ToString() const;
+
+ private:
+  ActionId id_;
+  ClientId origin_;
+  Tick tick_;
+};
+
+using ActionPtr = std::shared_ptr<const Action>;
+
+/// An action plus its position in the server's serialization order — the
+/// unit shipped from server to clients.
+struct OrderedAction {
+  SeqNum pos = kInvalidSeq;
+  ActionPtr action;
+};
+
+}  // namespace seve
+
+#endif  // SEVE_ACTION_ACTION_H_

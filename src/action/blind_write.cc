@@ -1,0 +1,37 @@
+#include "action/blind_write.h"
+
+namespace seve {
+
+BlindWrite::BlindWrite(ActionId id, Tick tick, std::vector<Object> values)
+    : Action(id, ClientId::Invalid(), tick), values_(std::move(values)) {
+  std::vector<ObjectId> ids;
+  ids.reserve(values_.size());
+  for (const Object& obj : values_) ids.push_back(obj.id());
+  set_ = ObjectSet(std::move(ids));
+}
+
+Result<ResultDigest> BlindWrite::Apply(WorldState* state) const {
+  state->ApplyObjects(values_);
+  ResultDigest digest = 0x9e3779b97f4a7c15ULL;
+  for (const Object& obj : values_) digest ^= obj.Hash();
+  return digest;
+}
+
+int64_t BlindWrite::WireSize() const {
+  int64_t size = 24;
+  for (const Object& obj : values_) size += obj.WireSize();
+  return size;
+}
+
+std::string BlindWrite::ToString() const {
+  return "blindwrite#" + std::to_string(id().value()) + " S=" +
+         set_.ToString();
+}
+
+BlindWrite BlindWrite::FromState(ActionId id, Tick tick,
+                                 const WorldState& state,
+                                 const ObjectSet& set) {
+  return BlindWrite(id, tick, state.Extract(set));
+}
+
+}  // namespace seve

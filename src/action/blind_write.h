@@ -1,0 +1,50 @@
+#ifndef SEVE_ACTION_BLIND_WRITE_H_
+#define SEVE_ACTION_BLIND_WRITE_H_
+
+#include <vector>
+
+#include "action/action.h"
+#include "store/object.h"
+
+namespace seve {
+
+/// The blind write W(S, v) of Section III-C: unconditionally stores the
+/// object values `v` into the object set S. RS = WS = S by convention.
+///
+/// The server synthesizes one at the head of every transitive-closure
+/// reply (Algorithm 6) to seed the client with authoritative values for
+/// the reads that no shipped action resolves.
+class BlindWrite : public Action {
+ public:
+  /// `values` are full object copies; S is derived from their ids.
+  BlindWrite(ActionId id, Tick tick, std::vector<Object> values);
+
+  const ObjectSet& ReadSet() const override { return set_; }
+  const ObjectSet& WriteSet() const override { return set_; }
+
+  Result<ResultDigest> Apply(WorldState* state) const override;
+
+  InterestProfile Interest() const override {
+    // Blind writes are server bookkeeping; they carry no influence sphere.
+    return InterestProfile{};
+  }
+
+  int64_t WireSize() const override;
+  bool IsBlindWrite() const override { return true; }
+  std::string ToString() const override;
+
+  const std::vector<Object>& values() const { return values_; }
+
+  /// Origin sentinel: blind writes are created by the server, which has
+  /// no ClientId; they carry ClientId::Invalid().
+  static BlindWrite FromState(ActionId id, Tick tick, const WorldState& state,
+                              const ObjectSet& set);
+
+ private:
+  std::vector<Object> values_;
+  ObjectSet set_;
+};
+
+}  // namespace seve
+
+#endif  // SEVE_ACTION_BLIND_WRITE_H_

@@ -1,0 +1,68 @@
+#include "baseline/broadcast.h"
+
+#include <memory>
+
+#include "protocol/pending_queue.h"
+
+namespace seve {
+
+BroadcastServer::BroadcastServer(NodeId node, EventLoop* loop,
+                                 const CostModel& cost)
+    : Node(node, loop), cost_(cost) {}
+
+void BroadcastServer::RegisterClient(ClientId client, NodeId node) {
+  clients_[client] = node;
+  client_order_.push_back(client);
+}
+
+void BroadcastServer::OnMessage(const Message& msg) {
+  if (msg.body->kind() != kSubmitAction) return;
+  const auto& submit = static_cast<const SubmitActionBody&>(*msg.body);
+  ActionPtr action = submit.action;
+  const Micros cpu =
+      cost_.forward_us * static_cast<Micros>(clients_.size());
+  SubmitWork(cpu, [this, action = std::move(action)]() {
+    const SeqNum pos = next_pos_++;
+    ++stats_.actions_submitted;
+    auto body = std::make_shared<DeliverActionsBody>();
+    body->actions.push_back(OrderedAction{pos, action});
+    for (ClientId client : client_order_) {
+      Send(clients_.at(client), body->WireSize(), body);
+    }
+  });
+}
+
+BroadcastClient::BroadcastClient(NodeId node, EventLoop* loop,
+                                 ClientId client, NodeId server,
+                                 WorldState initial, ActionCostFn cost_fn)
+    : Node(node, loop),
+      client_(client),
+      server_(server),
+      state_(std::move(initial)),
+      cost_fn_(std::move(cost_fn)) {}
+
+void BroadcastClient::SubmitLocalAction(ActionPtr action) {
+  in_flight_[action->id()] = loop()->now();
+  ++stats_.actions_submitted;
+  auto body = std::make_shared<SubmitActionBody>(action);
+  Send(server_, body->WireSize(), body);
+}
+
+void BroadcastClient::OnMessage(const Message& msg) {
+  if (msg.body->kind() != kDeliverActions) return;
+  const auto& deliver = static_cast<const DeliverActionsBody&>(*msg.body);
+  for (const OrderedAction& rec : deliver.actions) {
+    const Micros cost = cost_fn_(*rec.action, state_);
+    SubmitWork(cost, [this, rec]() {
+      eval_digests_[rec.pos] = EvaluateAction(*rec.action, &state_);
+      ++stats_.actions_evaluated;
+      auto it = in_flight_.find(rec.action->id());
+      if (it != in_flight_.end() && rec.action->origin() == client_) {
+        stats_.response_time_us.Add(loop()->now() - it->second);
+        in_flight_.erase(it);
+      }
+    });
+  }
+}
+
+}  // namespace seve

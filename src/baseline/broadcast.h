@@ -1,0 +1,76 @@
+#ifndef SEVE_BASELINE_BROADCAST_H_
+#define SEVE_BASELINE_BROADCAST_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "action/action.h"
+#include "common/metrics.h"
+#include "net/node.h"
+#include "protocol/client_cost.h"
+#include "protocol/msg.h"
+#include "store/world_state.h"
+#include "world/cost_model.h"
+
+namespace seve {
+
+/// Baseline "Broadcast": the NPSNET/SIMNET model. Every client executes
+/// every action in the world; the server is a pure relay that fans each
+/// submitted action out to all clients. Per-client computation therefore
+/// matches the Central server's (the Figure-6 knee at the same client
+/// count) and total traffic is quadratic in the number of clients
+/// (Figure 9).
+class BroadcastServer : public Node {
+ public:
+  BroadcastServer(NodeId node, EventLoop* loop, const CostModel& cost);
+
+  void RegisterClient(ClientId client, NodeId node);
+
+  ProtocolStats& stats() { return stats_; }
+
+ protected:
+  void OnMessage(const Message& msg) override;
+
+ private:
+  CostModel cost_;
+  SeqNum next_pos_ = 0;
+  std::unordered_map<ClientId, NodeId> clients_;
+  std::vector<ClientId> client_order_;
+  ProtocolStats stats_;
+};
+
+/// Broadcast client: applies every relayed action to its full local
+/// replica at full game-logic cost. Response time = submission until the
+/// echoed copy of the client's own action has been processed through the
+/// local CPU queue (capturing client-side saturation).
+class BroadcastClient : public Node {
+ public:
+  BroadcastClient(NodeId node, EventLoop* loop, ClientId client,
+                  NodeId server, WorldState initial, ActionCostFn cost_fn);
+
+  void SubmitLocalAction(ActionPtr action);
+
+  ClientId client_id() const { return client_; }
+  const WorldState& state() const { return state_; }
+  ProtocolStats& stats() { return stats_; }
+  const ProtocolStats& stats() const { return stats_; }
+  const std::unordered_map<SeqNum, ResultDigest>& eval_digests() const {
+    return eval_digests_;
+  }
+
+ protected:
+  void OnMessage(const Message& msg) override;
+
+ private:
+  ClientId client_;
+  NodeId server_;
+  WorldState state_;  // the single full replica
+  ActionCostFn cost_fn_;
+  ProtocolStats stats_;
+  std::unordered_map<ActionId, VirtualTime> in_flight_;
+  std::unordered_map<SeqNum, ResultDigest> eval_digests_;
+};
+
+}  // namespace seve
+
+#endif  // SEVE_BASELINE_BROADCAST_H_

@@ -1,0 +1,98 @@
+#include "baseline/central.h"
+
+#include "protocol/pending_queue.h"
+
+namespace seve {
+
+CentralServer::CentralServer(NodeId node, EventLoop* loop,
+                             WorldState initial, const CostModel& cost,
+                             ActionCostFn action_cost, double visibility)
+    : Node(node, loop),
+      state_(std::move(initial)),
+      cost_(cost),
+      action_cost_(std::move(action_cost)),
+      visibility_(visibility) {}
+
+void CentralServer::RegisterClient(ClientId client, NodeId node) {
+  clients_[client] = ClientRec{node, Vec2{}, false};
+  client_order_.push_back(client);
+}
+
+void CentralServer::OnMessage(const Message& msg) {
+  if (msg.body->kind() != kSubmitAction) return;
+  const auto& submit = static_cast<const SubmitActionBody&>(*msg.body);
+  ActionPtr action = submit.action;
+  // The server pays full game-logic cost plus per-action synchronization
+  // overhead; this queueing is the Figure-6 bottleneck.
+  const Micros cpu = action_cost_(*action, state_) + cost_.central_overhead_us;
+  SubmitWork(cpu, [this, action = std::move(action)]() { Execute(action); });
+}
+
+void CentralServer::Execute(ActionPtr action) {
+  const SeqNum pos = next_pos_++;
+  ++stats_.actions_submitted;
+  const ResultDigest digest = EvaluateAction(*action, &state_);
+  committed_digests_[pos] = digest;
+  ++stats_.actions_committed;
+  ++stats_.actions_evaluated;
+
+  // Track the origin's position for visibility filtering.
+  const InterestProfile profile = action->Interest();
+  auto origin_it = clients_.find(action->origin());
+  if (origin_it != clients_.end()) {
+    origin_it->second.position = profile.position;
+    origin_it->second.seen = true;
+  }
+
+  // Build the update payload: the written objects' new values.
+  auto update = std::make_shared<ObjectUpdateBody>();
+  update->pos = pos;
+  update->action_id = action->id();
+  update->objects = state_.Extract(action->WriteSet());
+
+  // Ack to the origin; state updates to everyone who can see the change.
+  for (ClientId client : client_order_) {
+    const ClientRec& rec = clients_.at(client);
+    if (client == action->origin()) {
+      Send(rec.node, update->WireSize(), update);
+      continue;
+    }
+    if (!rec.seen) continue;
+    if (DistanceSq(rec.position, profile.position) <=
+        visibility_ * visibility_) {
+      Send(rec.node, update->WireSize(), update);
+    }
+  }
+}
+
+CentralClient::CentralClient(NodeId node, EventLoop* loop, ClientId client,
+                             NodeId server, WorldState initial,
+                             Micros install_us)
+    : Node(node, loop),
+      client_(client),
+      server_(server),
+      view_(std::move(initial)),
+      install_us_(install_us) {}
+
+void CentralClient::SubmitLocalAction(ActionPtr action) {
+  in_flight_[action->id()] = loop()->now();
+  ++stats_.actions_submitted;
+  auto body = std::make_shared<SubmitActionBody>(action);
+  Send(server_, body->WireSize(), body);
+}
+
+void CentralClient::OnMessage(const Message& msg) {
+  if (msg.body->kind() != kObjectUpdate) return;
+  const auto update =
+      std::static_pointer_cast<const ObjectUpdateBody>(msg.body);
+  SubmitWork(install_us_, [this, update]() {
+    view_.ApplyObjects(update->objects);
+    auto it = in_flight_.find(update->action_id);
+    if (it != in_flight_.end()) {
+      stats_.response_time_us.Add(loop()->now() - it->second);
+      in_flight_.erase(it);
+    }
+  });
+}
+
+}  // namespace seve

@@ -1,0 +1,108 @@
+#ifndef SEVE_BASELINE_CENTRAL_H_
+#define SEVE_BASELINE_CENTRAL_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "action/action.h"
+#include "common/metrics.h"
+#include "net/node.h"
+#include "protocol/client_cost.h"
+#include "protocol/msg.h"
+#include "store/world_state.h"
+#include "world/cost_model.h"
+
+namespace seve {
+
+/// Baseline "Central": the server-centric architecture of current MMOs
+/// (Second Life, World of Warcraft). Clients are thin — they send input
+/// commands and render state updates; ALL game logic executes on the
+/// central server, which is why scalability collapses once
+/// clients × per-action-cost exceeds the submission period (Figure 6).
+///
+/// Message body reused: SubmitActionBody carries the input command (the
+/// action the client wants performed); the server evaluates it.
+class CentralServer : public Node {
+ public:
+  CentralServer(NodeId node, EventLoop* loop, WorldState initial,
+                const CostModel& cost, ActionCostFn action_cost,
+                double visibility);
+
+  void RegisterClient(ClientId client, NodeId node);
+
+  const WorldState& state() const { return state_; }
+  ProtocolStats& stats() { return stats_; }
+  const std::unordered_map<SeqNum, ResultDigest>& committed_digests() const {
+    return committed_digests_;
+  }
+
+ protected:
+  void OnMessage(const Message& msg) override;
+
+ private:
+  struct ClientRec {
+    NodeId node;
+    Vec2 position;  // tracked from submitted inputs
+    bool seen = false;
+  };
+
+  void Execute(ActionPtr action);
+
+  WorldState state_;
+  CostModel cost_;
+  ActionCostFn action_cost_;
+  double visibility_;
+  SeqNum next_pos_ = 0;
+  std::unordered_map<ClientId, ClientRec> clients_;
+  std::vector<ClientId> client_order_;
+  ProtocolStats stats_;
+  std::unordered_map<SeqNum, ResultDigest> committed_digests_;
+};
+
+/// Thin client for the Central baseline: submits inputs, installs state
+/// updates, measures input-to-ack response time.
+class CentralClient : public Node {
+ public:
+  CentralClient(NodeId node, EventLoop* loop, ClientId client, NodeId server,
+                WorldState initial, Micros install_us);
+
+  /// Sends the input command; response time runs until the ack returns.
+  void SubmitLocalAction(ActionPtr action);
+
+  ClientId client_id() const { return client_; }
+  /// The client's rendered view (kept fresh by server updates).
+  const WorldState& view() const { return view_; }
+  ProtocolStats& stats() { return stats_; }
+  const ProtocolStats& stats() const { return stats_; }
+
+ protected:
+  void OnMessage(const Message& msg) override;
+
+ private:
+  ClientId client_;
+  NodeId server_;
+  WorldState view_;
+  Micros install_us_;
+  ProtocolStats stats_;
+  std::unordered_map<ActionId, VirtualTime> in_flight_;
+};
+
+/// Server -> clients: object values after a state change (also used by
+/// the Broadcast and RING baselines for acks).
+struct ObjectUpdateBody : MessageBody {
+  SeqNum pos = kInvalidSeq;
+  ActionId action_id;
+  std::vector<Object> objects;
+
+  int kind() const override { return kObjectUpdate; }
+  int64_t WireSize() const {
+    int64_t size = 32;
+    for (const Object& obj : objects) size += obj.WireSize();
+    return size;
+  }
+};
+
+}  // namespace seve
+
+#endif  // SEVE_BASELINE_CENTRAL_H_

@@ -1,0 +1,110 @@
+#include "baseline/ring.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "protocol/pending_queue.h"
+
+namespace seve {
+
+RingServer::RingServer(NodeId node, EventLoop* loop, const CostModel& cost,
+                       double visibility, const AABB& world_bounds)
+    : Node(node, loop),
+      cost_(cost),
+      visibility_(visibility),
+      client_index_(world_bounds, std::max(1.0, visibility)) {}
+
+void RingServer::RegisterClient(ClientId client, NodeId node,
+                                Vec2 position) {
+  clients_[client] = ClientRec{node, position};
+  client_order_.push_back(client);
+  (void)client_index_.Insert(client.value(),
+                             AABB::FromCircle(position, 0.0));
+}
+
+void RingServer::OnMessage(const Message& msg) {
+  if (msg.body->kind() != kSubmitAction) return;
+  const auto& submit = static_cast<const SubmitActionBody&>(*msg.body);
+  ActionPtr action = submit.action;
+
+  // Track the origin's avatar position.
+  const InterestProfile profile = action->Interest();
+  auto origin_it = clients_.find(action->origin());
+  if (origin_it != clients_.end()) {
+    origin_it->second.position = profile.position;
+    (void)client_index_.Move(action->origin().value(),
+                             AABB::FromCircle(profile.position, 0.0));
+  }
+
+  // Visibility filter over the client index (same spatial machinery as
+  // SEVE's Equation-1 routing, but with the avatar-visibility radius and
+  // no transitive-closure analysis afterwards).
+  std::vector<NodeId> recipients;
+  int candidates = 0;
+  client_index_.QueryCircle(
+      profile.position, visibility_, [&](uint64_t key) {
+        ++candidates;
+        const ClientId client(key);
+        const auto it = clients_.find(client);
+        if (it == clients_.end()) return;
+        if (DistanceSq(it->second.position, profile.position) <=
+            visibility_ * visibility_) {
+          recipients.push_back(it->second.node);
+        }
+      });
+  if (origin_it != clients_.end() &&
+      std::find(recipients.begin(), recipients.end(),
+                origin_it->second.node) == recipients.end()) {
+    recipients.push_back(origin_it->second.node);
+  }
+
+  const Micros cpu =
+      cost_.serialize_us +
+      static_cast<Micros>(cost_.interest_test_us *
+                          static_cast<double>(std::max(candidates, 1)));
+  SubmitWork(cpu, [this, action = std::move(action),
+                   recipients = std::move(recipients)]() {
+    const SeqNum pos = next_pos_++;
+    ++stats_.actions_submitted;
+    auto body = std::make_shared<DeliverActionsBody>();
+    body->actions.push_back(OrderedAction{pos, action});
+    for (NodeId dst : recipients) {
+      Send(dst, body->WireSize(), body);
+    }
+  });
+}
+
+RingClient::RingClient(NodeId node, EventLoop* loop, ClientId client,
+                       NodeId server, WorldState initial,
+                       ActionCostFn cost_fn)
+    : Node(node, loop),
+      client_(client),
+      server_(server),
+      state_(std::move(initial)),
+      cost_fn_(std::move(cost_fn)) {}
+
+void RingClient::SubmitLocalAction(ActionPtr action) {
+  in_flight_[action->id()] = loop()->now();
+  ++stats_.actions_submitted;
+  auto body = std::make_shared<SubmitActionBody>(action);
+  Send(server_, body->WireSize(), body);
+}
+
+void RingClient::OnMessage(const Message& msg) {
+  if (msg.body->kind() != kDeliverActions) return;
+  const auto& deliver = static_cast<const DeliverActionsBody&>(*msg.body);
+  for (const OrderedAction& rec : deliver.actions) {
+    const Micros cost = cost_fn_(*rec.action, state_);
+    SubmitWork(cost, [this, rec]() {
+      eval_digests_[rec.pos] = EvaluateAction(*rec.action, &state_);
+      ++stats_.actions_evaluated;
+      auto it = in_flight_.find(rec.action->id());
+      if (it != in_flight_.end() && rec.action->origin() == client_) {
+        stats_.response_time_us.Add(loop()->now() - it->second);
+        in_flight_.erase(it);
+      }
+    });
+  }
+}
+
+}  // namespace seve

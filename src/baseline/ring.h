@@ -1,0 +1,89 @@
+#ifndef SEVE_BASELINE_RING_H_
+#define SEVE_BASELINE_RING_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "action/action.h"
+#include "common/metrics.h"
+#include "net/node.h"
+#include "protocol/client_cost.h"
+#include "protocol/msg.h"
+#include "spatial/grid_index.h"
+#include "store/world_state.h"
+#include "world/cost_model.h"
+
+namespace seve {
+
+/// Baseline "RING-like": visibility-filtered forwarding (Funkhouser's
+/// RING, Section II-B "the server forwards updates only to users who can
+/// 'see' the entity"). The server serializes actions and relays each one
+/// only to clients whose avatar lies within `visibility` of the action —
+/// a syntactic area-of-interest restriction with NO transitive-closure
+/// analysis, no blind writes and no completion protocol.
+///
+/// This is the architecture whose inconsistency Section III-B dissects
+/// (Figures 2-3): causally related actions outside the visible range are
+/// silently missing, so client replicas diverge. The integration test
+/// ring_inconsistency_test demonstrates exactly that, and Figure 10
+/// measures SEVE's closure overhead against this baseline.
+class RingServer : public Node {
+ public:
+  RingServer(NodeId node, EventLoop* loop, const CostModel& cost,
+             double visibility, const AABB& world_bounds);
+
+  void RegisterClient(ClientId client, NodeId node, Vec2 position);
+
+  ProtocolStats& stats() { return stats_; }
+
+ protected:
+  void OnMessage(const Message& msg) override;
+
+ private:
+  struct ClientRec {
+    NodeId node;
+    Vec2 position;
+  };
+
+  CostModel cost_;
+  double visibility_;
+  SeqNum next_pos_ = 0;
+  std::unordered_map<ClientId, ClientRec> clients_;
+  std::vector<ClientId> client_order_;
+  GridIndex client_index_;
+  ProtocolStats stats_;
+};
+
+/// RING client: one replica; applies every forwarded action at game-logic
+/// cost. Response time = submission until the echo is processed locally.
+class RingClient : public Node {
+ public:
+  RingClient(NodeId node, EventLoop* loop, ClientId client, NodeId server,
+             WorldState initial, ActionCostFn cost_fn);
+
+  void SubmitLocalAction(ActionPtr action);
+
+  ClientId client_id() const { return client_; }
+  const WorldState& state() const { return state_; }
+  ProtocolStats& stats() { return stats_; }
+  const ProtocolStats& stats() const { return stats_; }
+  const std::unordered_map<SeqNum, ResultDigest>& eval_digests() const {
+    return eval_digests_;
+  }
+
+ protected:
+  void OnMessage(const Message& msg) override;
+
+ private:
+  ClientId client_;
+  NodeId server_;
+  WorldState state_;
+  ActionCostFn cost_fn_;
+  ProtocolStats stats_;
+  std::unordered_map<ActionId, VirtualTime> in_flight_;
+  std::unordered_map<SeqNum, ResultDigest> eval_digests_;
+};
+
+}  // namespace seve
+
+#endif  // SEVE_BASELINE_RING_H_

@@ -1,0 +1,115 @@
+#include "baseline/zoned.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "baseline/central.h"
+#include "protocol/pending_queue.h"
+
+namespace seve {
+
+ZoneServer::ZoneServer(NodeId node, EventLoop* loop, int zone_index,
+                       WorldState initial, const CostModel& cost,
+                       ActionCostFn action_cost, double visibility)
+    : Node(node, loop),
+      zone_index_(zone_index),
+      state_(std::move(initial)),
+      cost_(cost),
+      action_cost_(std::move(action_cost)),
+      visibility_(visibility) {}
+
+void ZoneServer::RegisterClient(ClientId client, NodeId node) {
+  clients_[client] = ClientRec{node, Vec2{}, false};
+  client_order_.push_back(client);
+}
+
+void ZoneServer::OnMessage(const Message& msg) {
+  if (msg.body->kind() != kSubmitAction) return;
+  const auto& submit = static_cast<const SubmitActionBody&>(*msg.body);
+  ActionPtr action = submit.action;
+  const Micros cpu =
+      action_cost_(*action, state_) + cost_.central_overhead_us;
+  SubmitWork(cpu, [this, action = std::move(action)]() { Execute(action); });
+}
+
+void ZoneServer::Execute(ActionPtr action) {
+  const SeqNum pos = next_pos_++;
+  ++stats_.actions_submitted;
+  (void)EvaluateAction(*action, &state_);
+  ++stats_.actions_committed;
+  ++stats_.actions_evaluated;
+
+  const InterestProfile profile = action->Interest();
+  auto origin_it = clients_.find(action->origin());
+  if (origin_it != clients_.end()) {
+    origin_it->second.position = profile.position;
+    origin_it->second.seen = true;
+  }
+
+  auto update = std::make_shared<ObjectUpdateBody>();
+  update->pos = pos;
+  update->action_id = action->id();
+  update->objects = state_.Extract(action->WriteSet());
+
+  for (ClientId client : client_order_) {
+    const ClientRec& rec = clients_.at(client);
+    if (client == action->origin()) {
+      Send(rec.node, update->WireSize(), update);
+      continue;
+    }
+    if (!rec.seen) continue;
+    if (DistanceSq(rec.position, profile.position) <=
+        visibility_ * visibility_) {
+      Send(rec.node, update->WireSize(), update);
+    }
+  }
+}
+
+ZoneMap::ZoneMap(const AABB& bounds, int zones_per_side)
+    : bounds_(bounds), zones_per_side_(std::max(1, zones_per_side)) {}
+
+int ZoneMap::ZoneOf(Vec2 position) const {
+  auto coord = [this](double value, double lo, double extent) {
+    const double rel = (value - lo) / extent * zones_per_side_;
+    return std::clamp(static_cast<int>(std::floor(rel)), 0,
+                      zones_per_side_ - 1);
+  };
+  const int zx = coord(position.x, bounds_.min.x, bounds_.Width());
+  const int zy = coord(position.y, bounds_.min.y, bounds_.Height());
+  return zy * zones_per_side_ + zx;
+}
+
+ZonedClient::ZonedClient(NodeId node, EventLoop* loop, ClientId client,
+                         const ZoneMap* zones,
+                         std::vector<NodeId> zone_servers,
+                         WorldState initial, Micros install_us)
+    : Node(node, loop),
+      client_(client),
+      zones_(zones),
+      zone_servers_(std::move(zone_servers)),
+      view_(std::move(initial)),
+      install_us_(install_us) {}
+
+void ZonedClient::SubmitLocalAction(ActionPtr action) {
+  in_flight_[action->id()] = loop()->now();
+  ++stats_.actions_submitted;
+  const int zone = zones_->ZoneOf(action->Interest().position);
+  auto body = std::make_shared<SubmitActionBody>(action);
+  Send(zone_servers_[static_cast<size_t>(zone)], body->WireSize(), body);
+}
+
+void ZonedClient::OnMessage(const Message& msg) {
+  if (msg.body->kind() != kObjectUpdate) return;
+  const auto update =
+      std::static_pointer_cast<const ObjectUpdateBody>(msg.body);
+  SubmitWork(install_us_, [this, update]() {
+    view_.ApplyObjects(update->objects);
+    auto it = in_flight_.find(update->action_id);
+    if (it != in_flight_.end()) {
+      stats_.response_time_us.Add(loop()->now() - it->second);
+      in_flight_.erase(it);
+    }
+  });
+}
+
+}  // namespace seve

@@ -1,0 +1,113 @@
+#ifndef SEVE_BASELINE_ZONED_H_
+#define SEVE_BASELINE_ZONED_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "action/action.h"
+#include "common/metrics.h"
+#include "net/node.h"
+#include "protocol/client_cost.h"
+#include "protocol/msg.h"
+#include "spatial/aabb.h"
+#include "store/world_state.h"
+#include "world/cost_model.h"
+
+namespace seve {
+
+/// Baseline "Zoned": the geographic-partitioning technique of Section
+/// II-A. The world is tiled into k x k zones, each handled by its own
+/// zone server (a separate simulated machine executing full game logic,
+/// like the Central baseline). Clients route each action to the zone
+/// server owning the action's position and receive updates from it.
+///
+/// This is how commercial MMOs scale beyond one machine — and the
+/// failure mode the paper calls out: "zones collapse if too many users
+/// crowd into a zone all at once". A crowded zone saturates its server
+/// while neighbouring zone servers idle; cross-zone interactions are
+/// simply invisible (consistency is per-zone only).
+class ZoneServer : public Node {
+ public:
+  ZoneServer(NodeId node, EventLoop* loop, int zone_index,
+             WorldState initial, const CostModel& cost,
+             ActionCostFn action_cost, double visibility);
+
+  void RegisterClient(ClientId client, NodeId node);
+
+  int zone_index() const { return zone_index_; }
+  const WorldState& state() const { return state_; }
+  ProtocolStats& stats() { return stats_; }
+
+ protected:
+  void OnMessage(const Message& msg) override;
+
+ private:
+  struct ClientRec {
+    NodeId node;
+    Vec2 position;
+    bool seen = false;
+  };
+
+  void Execute(ActionPtr action);
+
+  int zone_index_;
+  WorldState state_;  // this zone's replica of the world
+  CostModel cost_;
+  ActionCostFn action_cost_;
+  double visibility_;
+  SeqNum next_pos_ = 0;
+  std::unordered_map<ClientId, ClientRec> clients_;
+  std::vector<ClientId> client_order_;
+  ProtocolStats stats_;
+};
+
+/// The zone map: tiles the world into a k x k grid and owns the zone
+/// servers. Provides the client-side routing rule (position -> zone).
+class ZoneMap {
+ public:
+  ZoneMap(const AABB& bounds, int zones_per_side);
+
+  int zones_per_side() const { return zones_per_side_; }
+  int zone_count() const { return zones_per_side_ * zones_per_side_; }
+
+  /// Zone index owning `position`.
+  int ZoneOf(Vec2 position) const;
+
+ private:
+  AABB bounds_;
+  int zones_per_side_;
+};
+
+/// Zoned client: routes each action to the owning zone server by the
+/// action's position; applies updates from whichever zone servers it
+/// hears from. Response = input -> ack from the zone server.
+class ZonedClient : public Node {
+ public:
+  ZonedClient(NodeId node, EventLoop* loop, ClientId client,
+              const ZoneMap* zones, std::vector<NodeId> zone_servers,
+              WorldState initial, Micros install_us);
+
+  void SubmitLocalAction(ActionPtr action);
+
+  ClientId client_id() const { return client_; }
+  const WorldState& view() const { return view_; }
+  ProtocolStats& stats() { return stats_; }
+  const ProtocolStats& stats() const { return stats_; }
+
+ protected:
+  void OnMessage(const Message& msg) override;
+
+ private:
+  ClientId client_;
+  const ZoneMap* zones_;
+  std::vector<NodeId> zone_servers_;
+  WorldState view_;
+  Micros install_us_;
+  ProtocolStats stats_;
+  std::unordered_map<ActionId, VirtualTime> in_flight_;
+};
+
+}  // namespace seve
+
+#endif  // SEVE_BASELINE_ZONED_H_

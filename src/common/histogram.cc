@@ -1,0 +1,107 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace seve {
+namespace {
+
+// 16 sub-buckets per power of two: relative error <= 1/16 ~ 6%.
+constexpr int kSubBucketBits = 4;
+constexpr int kSubBuckets = 1 << kSubBucketBits;
+// Enough buckets for values up to 2^40 (≈ 12 days in microseconds).
+constexpr size_t kNumBuckets = 41 * kSubBuckets;
+
+int64_t BucketUpperBound(size_t index) {
+  const size_t exponent = index >> kSubBucketBits;
+  const size_t sub = index & (kSubBuckets - 1);
+  // Buckets below kSubBuckets hold exactly one value each.
+  if (exponent == 0) return static_cast<int64_t>(sub);
+  const int64_t base = int64_t{1} << exponent;
+  // Inclusive upper bound of the sub-bucket [base + sub*w, base + (sub+1)*w).
+  return base + (static_cast<int64_t>(sub) + 1) * (base / kSubBuckets) - 1;
+}
+
+}  // namespace
+
+Histogram::Histogram() : buckets_(kNumBuckets, 0) {}
+
+size_t Histogram::BucketFor(int64_t value) {
+  if (value < kSubBuckets) return static_cast<size_t>(value);
+  const int exponent = 63 - __builtin_clzll(static_cast<uint64_t>(value));
+  const int64_t base = int64_t{1} << exponent;
+  const size_t sub =
+      static_cast<size_t>((value - base) / (base >> kSubBucketBits));
+  size_t index = (static_cast<size_t>(exponent) << kSubBucketBits) + sub;
+  return std::min(index, kNumBuckets - 1);
+}
+
+void Histogram::Add(int64_t value) {
+  if (value < 0) value = 0;
+  if (count_ == 0 || value < min_) min_ = value;
+  if (value > max_) max_ = value;
+  ++count_;
+  sum_ += static_cast<double>(value);
+  sum_sq_ += static_cast<double>(value) * static_cast<double>(value);
+  ++buckets_[BucketFor(value)];
+}
+
+void Histogram::Merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  sum_sq_ += other.sum_sq_;
+  for (size_t i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
+}
+
+void Histogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  min_ = 0;
+  max_ = 0;
+  sum_ = 0.0;
+  sum_sq_ = 0.0;
+}
+
+double Histogram::Mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double Histogram::StdDev() const {
+  if (count_ == 0) return 0.0;
+  const double mean = Mean();
+  const double var =
+      std::max(0.0, sum_sq_ / static_cast<double>(count_) - mean * mean);
+  return std::sqrt(var);
+}
+
+int64_t Histogram::Percentile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count_);
+  int64_t seen = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    seen += buckets_[i];
+    if (static_cast<double>(seen) >= target && buckets_[i] > 0) {
+      return std::min(BucketUpperBound(i), max_);
+    }
+  }
+  return max_;
+}
+
+std::string Histogram::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "count=%lld mean=%.1f p50=%lld p95=%lld p99=%lld max=%lld",
+                static_cast<long long>(count_), Mean(),
+                static_cast<long long>(Median()),
+                static_cast<long long>(P95()),
+                static_cast<long long>(P99()),
+                static_cast<long long>(max_));
+  return buf;
+}
+
+}  // namespace seve

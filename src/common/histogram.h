@@ -1,0 +1,57 @@
+#ifndef SEVE_COMMON_HISTOGRAM_H_
+#define SEVE_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace seve {
+
+/// Streaming summary of a distribution of non-negative samples (response
+/// times in microseconds, closure sizes, message bytes, ...).
+///
+/// Stores exponential buckets (~4% relative resolution) plus exact
+/// min/max/sum, so mean is exact and percentiles are bucket-accurate.
+class Histogram {
+ public:
+  Histogram();
+
+  /// Records one sample. Negative samples are clamped to zero.
+  void Add(int64_t value);
+
+  /// Merges another histogram into this one.
+  void Merge(const Histogram& other);
+
+  /// Discards all samples.
+  void Reset();
+
+  int64_t count() const { return count_; }
+  int64_t min() const { return count_ == 0 ? 0 : min_; }
+  int64_t max() const { return max_; }
+  double sum() const { return sum_; }
+  double Mean() const;
+  double StdDev() const;
+
+  /// Value at quantile q in [0,1] (bucket upper bound); 0 if empty.
+  int64_t Percentile(double q) const;
+  int64_t Median() const { return Percentile(0.5); }
+  int64_t P95() const { return Percentile(0.95); }
+  int64_t P99() const { return Percentile(0.99); }
+
+  /// One-line summary: "count=... mean=... p50=... p95=... max=...".
+  std::string ToString() const;
+
+ private:
+  static size_t BucketFor(int64_t value);
+
+  std::vector<int64_t> buckets_;
+  int64_t count_ = 0;
+  int64_t min_ = 0;
+  int64_t max_ = 0;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+};
+
+}  // namespace seve
+
+#endif  // SEVE_COMMON_HISTOGRAM_H_

@@ -1,0 +1,49 @@
+#ifndef SEVE_COMMON_LOGGING_H_
+#define SEVE_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace seve {
+
+enum class LogLevel { kDebug = 0, kInfo, kWarning, kError, kOff };
+
+/// Sets the global minimum level; messages below it are discarded.
+/// Default is kWarning so simulations stay quiet unless asked.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Emits one line to stderr; used by the SEVE_LOG macro.
+void LogLine(LogLevel level, const char* file, int line,
+             const std::string& message);
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+  ~LogMessage() { LogLine(level_, file_, line_, stream_.str()); }
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace seve
+
+#define SEVE_LOG(level)                                                  \
+  if (::seve::LogLevel::level < ::seve::GetLogLevel()) {                 \
+  } else                                                                 \
+    ::seve::internal::LogMessage(::seve::LogLevel::level, __FILE__,      \
+                                 __LINE__)                               \
+        .stream()
+
+#endif  // SEVE_COMMON_LOGGING_H_

@@ -1,0 +1,37 @@
+#include "common/metrics.h"
+
+#include <cstdio>
+
+namespace seve {
+
+void ProtocolStats::Merge(const ProtocolStats& other) {
+  actions_submitted += other.actions_submitted;
+  actions_committed += other.actions_committed;
+  actions_dropped += other.actions_dropped;
+  actions_reconciled += other.actions_reconciled;
+  actions_evaluated += other.actions_evaluated;
+  out_of_order_evals += other.out_of_order_evals;
+  blind_writes += other.blind_writes;
+  closure_visits += other.closure_visits;
+  closure_size.Merge(other.closure_size);
+  response_time_us.Merge(other.response_time_us);
+}
+
+std::string ProtocolStats::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "submitted=%lld committed=%lld dropped=%lld (%.2f%%) "
+                "reconciled=%lld evaluated=%lld ooo=%lld blind_writes=%lld",
+                static_cast<long long>(actions_submitted),
+                static_cast<long long>(actions_committed),
+                static_cast<long long>(actions_dropped), DropRate() * 100.0,
+                static_cast<long long>(actions_reconciled),
+                static_cast<long long>(actions_evaluated),
+                static_cast<long long>(out_of_order_evals),
+                static_cast<long long>(blind_writes));
+  std::string out = buf;
+  out += "\n  response_us: " + response_time_us.ToString();
+  return out;
+}
+
+}  // namespace seve

@@ -1,0 +1,66 @@
+#ifndef SEVE_COMMON_METRICS_H_
+#define SEVE_COMMON_METRICS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/histogram.h"
+
+namespace seve {
+
+/// Byte/message accounting for one traffic direction.
+struct TrafficCounter {
+  int64_t messages = 0;
+  int64_t bytes = 0;
+
+  void Record(int64_t message_bytes) {
+    ++messages;
+    bytes += message_bytes;
+  }
+  void Merge(const TrafficCounter& other) {
+    messages += other.messages;
+    bytes += other.bytes;
+  }
+};
+
+/// Traffic seen by one node (or aggregated over a set of nodes).
+struct TrafficStats {
+  TrafficCounter sent;
+  TrafficCounter received;
+
+  int64_t total_bytes() const { return sent.bytes + received.bytes; }
+  void Merge(const TrafficStats& other) {
+    sent.Merge(other.sent);
+    received.Merge(other.received);
+  }
+};
+
+/// Protocol-level counters accumulated during a run.
+struct ProtocolStats {
+  int64_t actions_submitted = 0;
+  int64_t actions_committed = 0;
+  int64_t actions_dropped = 0;       // by the Information Bound Model
+  int64_t actions_reconciled = 0;    // optimistic/stable divergences repaired
+  int64_t actions_evaluated = 0;     // total action executions at clients
+  int64_t out_of_order_evals = 0;    // transitive inclusions applied late:
+                                     // inputs newer than serial order, so
+                                     // the result is transient-only
+  int64_t blind_writes = 0;          // W(S, v) actions synthesized by server
+  int64_t closure_visits = 0;        // queue entries inspected by Algorithm 6
+  Histogram closure_size;            // |A| per reply / per push batch
+  Histogram response_time_us;        // submit -> stable-result latency
+
+  double DropRate() const {
+    return actions_submitted == 0
+               ? 0.0
+               : static_cast<double>(actions_dropped) /
+                     static_cast<double>(actions_submitted);
+  }
+
+  void Merge(const ProtocolStats& other);
+  std::string ToString() const;
+};
+
+}  // namespace seve
+
+#endif  // SEVE_COMMON_METRICS_H_

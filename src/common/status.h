@@ -1,0 +1,143 @@
+#ifndef SEVE_COMMON_STATUS_H_
+#define SEVE_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace seve {
+
+/// Error categories used across the library. Modeled after the Status
+/// idiom used by storage engines (RocksDB, Arrow): no exceptions cross
+/// module boundaries; fallible functions return Status or Result<T>.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kOutOfRange,
+  kConflict,     // action conflict detected during re-execution (Bayou-style)
+  kDropped,      // action dropped by the Information Bound Model
+  kUnavailable,  // simulated node/link failure
+  kInternal,
+};
+
+/// Returns a stable human-readable name for a status code ("Ok",
+/// "InvalidArgument", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// A cheap, copyable success-or-error value.
+///
+/// The OK status carries no allocation; error statuses carry a code and a
+/// message. Use the factory functions (`Status::InvalidArgument(...)`) to
+/// construct errors.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Conflict(std::string msg) {
+    return Status(StatusCode::kConflict, std::move(msg));
+  }
+  static Status Dropped(std::string msg) {
+    return Status(StatusCode::kDropped, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsConflict() const { return code_ == StatusCode::kConflict; }
+  bool IsDropped() const { return code_ == StatusCode::kDropped; }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+
+  /// Renders "Code: message" (or "Ok").
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// A value-or-error holder, the Result idiom.
+///
+/// Either holds a T (status().ok()) or an error Status. Dereferencing a
+/// non-OK Result is a programming error checked by assert.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: allows `return value;` from Result functions.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from error status: allows `return Status::NotFound(...);`.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result(Status) requires an error status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const {
+    assert(ok());
+    return *value_;
+  }
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  /// Moves the value out; the Result must be OK.
+  T ValueOrDie() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace seve
+
+/// Early-return helper for Status-returning functions.
+#define SEVE_RETURN_IF_ERROR(expr)            \
+  do {                                        \
+    ::seve::Status seve_status_ = (expr);     \
+    if (!seve_status_.ok()) return seve_status_; \
+  } while (false)
+
+#endif  // SEVE_COMMON_STATUS_H_

@@ -1,0 +1,99 @@
+#ifndef SEVE_COMMON_TYPES_H_
+#define SEVE_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace seve {
+
+/// Virtual time in microseconds since simulation start.
+///
+/// The whole system runs on a deterministic virtual clock (see
+/// net::EventLoop); there is no wall-clock dependence anywhere in the
+/// library, which is what makes every experiment bit-for-bit reproducible.
+using VirtualTime = int64_t;
+
+/// A duration in virtual microseconds.
+using Micros = int64_t;
+
+constexpr Micros kMicrosPerMilli = 1000;
+constexpr Micros kMicrosPerSecond = 1000 * 1000;
+
+/// Converts milliseconds to virtual microseconds.
+constexpr Micros MillisToMicros(int64_t ms) { return ms * kMicrosPerMilli; }
+/// Converts virtual microseconds to (truncated) milliseconds.
+constexpr int64_t MicrosToMillis(Micros us) { return us / kMicrosPerMilli; }
+/// Converts virtual microseconds to fractional milliseconds.
+constexpr double MicrosToMillisF(Micros us) {
+  return static_cast<double>(us) / static_cast<double>(kMicrosPerMilli);
+}
+
+/// Strongly typed integral identifier. Tag disambiguates ID spaces so a
+/// ClientId cannot be passed where an ObjectId is expected.
+template <typename Tag>
+class Id {
+ public:
+  using ValueType = uint64_t;
+
+  constexpr Id() = default;
+  constexpr explicit Id(ValueType value) : value_(value) {}
+
+  constexpr ValueType value() const { return value_; }
+  constexpr bool valid() const { return value_ != kInvalidValue; }
+
+  static constexpr Id Invalid() { return Id(); }
+
+  friend constexpr bool operator==(Id a, Id b) { return a.value_ == b.value_; }
+  friend constexpr bool operator!=(Id a, Id b) { return a.value_ != b.value_; }
+  friend constexpr bool operator<(Id a, Id b) { return a.value_ < b.value_; }
+  friend constexpr bool operator>(Id a, Id b) { return a.value_ > b.value_; }
+  friend constexpr bool operator<=(Id a, Id b) { return a.value_ <= b.value_; }
+  friend constexpr bool operator>=(Id a, Id b) { return a.value_ >= b.value_; }
+
+ private:
+  static constexpr ValueType kInvalidValue = ~ValueType{0};
+  ValueType value_ = kInvalidValue;
+};
+
+struct ClientIdTag {};
+struct ObjectIdTag {};
+struct ActionIdTag {};
+struct NodeIdTag {};
+
+/// Identifies a client program (one per simulated player machine).
+using ClientId = Id<ClientIdTag>;
+/// Identifies an object in the world-state database.
+using ObjectId = Id<ObjectIdTag>;
+/// Identifies an action (unique across the whole run).
+using ActionId = Id<ActionIdTag>;
+/// Identifies a network node (server or client host).
+using NodeId = Id<NodeIdTag>;
+
+/// Simulation tick index (the paper's discrete simulation engine model;
+/// world state changes only at tick boundaries separated by tau).
+using Tick = int64_t;
+
+/// Position of an action in the server's serialization queue; establishes
+/// the global total order (the paper's pos(a)).
+using SeqNum = int64_t;
+constexpr SeqNum kInvalidSeq = -1;
+
+}  // namespace seve
+
+namespace std {
+template <typename Tag>
+struct hash<seve::Id<Tag>> {
+  size_t operator()(seve::Id<Tag> id) const noexcept {
+    // SplitMix64 finalizer: cheap, good avalanche for sequential ids.
+    uint64_t x = id.value();
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return static_cast<size_t>(x);
+  }
+};
+}  // namespace std
+
+#endif  // SEVE_COMMON_TYPES_H_

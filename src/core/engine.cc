@@ -1,0 +1,58 @@
+#include "core/engine.h"
+
+namespace seve {
+
+Status Engine::Validate(const Scenario& s) {
+  if (s.num_clients <= 0) {
+    return Status::InvalidArgument("num_clients must be positive");
+  }
+  if (s.moves_per_client < 0) {
+    return Status::InvalidArgument("moves_per_client must be >= 0");
+  }
+  if (s.move_period_us <= 0) {
+    return Status::InvalidArgument("move_period_us must be positive");
+  }
+  if (s.one_way_latency_us < 0) {
+    return Status::InvalidArgument("one_way_latency_us must be >= 0");
+  }
+  if (s.world.bounds.Width() <= 0.0 || s.world.bounds.Height() <= 0.0) {
+    return Status::InvalidArgument("world bounds must be non-empty");
+  }
+  if (s.world.num_walls < 0) {
+    return Status::InvalidArgument("num_walls must be >= 0");
+  }
+  if (s.world.speed < 0.0) {
+    return Status::InvalidArgument("speed must be >= 0");
+  }
+  if (s.seve.omega <= 0.0 || s.seve.omega >= 1.0) {
+    return Status::InvalidArgument("omega must be in (0, 1)");
+  }
+  if (s.seve.tick_us <= 0) {
+    return Status::InvalidArgument("tick_us must be positive");
+  }
+  if (s.seve.dropping && !s.seve.proactive_push) {
+    return Status::InvalidArgument(
+        "the Information Bound Model requires proactive push");
+  }
+  return Status::OK();
+}
+
+Result<RunReport> Engine::Run(Architecture arch, const Scenario& scenario) {
+  SEVE_RETURN_IF_ERROR(Validate(scenario));
+  return RunScenario(arch, scenario);
+}
+
+Result<std::vector<RunReport>> Engine::Compare(
+    const std::vector<Architecture>& archs, const Scenario& scenario) {
+  SEVE_RETURN_IF_ERROR(Validate(scenario));
+  std::vector<RunReport> reports;
+  reports.reserve(archs.size());
+  for (Architecture arch : archs) {
+    reports.push_back(RunScenario(arch, scenario));
+  }
+  return reports;
+}
+
+const char* Engine::Version() { return "1.0.0"; }
+
+}  // namespace seve

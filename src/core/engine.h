@@ -1,0 +1,46 @@
+#ifndef SEVE_CORE_ENGINE_H_
+#define SEVE_CORE_ENGINE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sim/report.h"
+#include "sim/runner.h"
+#include "sim/scenario.h"
+
+namespace seve {
+
+/// SEVE's top-level public API.
+///
+/// Typical use (see examples/quickstart.cc):
+///
+///   seve::Engine engine;
+///   seve::Scenario scenario = seve::Scenario::TableOne(/*clients=*/32);
+///   auto report = engine.Run(seve::Architecture::kSeve, scenario);
+///   if (report.ok()) std::cout << report->Summary() << "\n";
+///
+/// The engine validates scenarios, runs them deterministically on the
+/// discrete-event substrate, and can sweep a parameter across runs.
+class Engine {
+ public:
+  Engine() = default;
+
+  /// Validates `scenario`; returns the first problem found.
+  static Status Validate(const Scenario& scenario);
+
+  /// Runs one experiment. Deterministic for fixed inputs.
+  Result<RunReport> Run(Architecture arch, const Scenario& scenario);
+
+  /// Runs the same scenario under several architectures (e.g. the
+  /// Figure-6 comparison set).
+  Result<std::vector<RunReport>> Compare(
+      const std::vector<Architecture>& archs, const Scenario& scenario);
+
+  /// Library version string.
+  static const char* Version();
+};
+
+}  // namespace seve
+
+#endif  // SEVE_CORE_ENGINE_H_

@@ -1,0 +1,38 @@
+#include "net/event_loop.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace seve {
+
+void EventLoop::At(VirtualTime t, Callback fn) {
+  queue_.push(Event{std::max(t, now_), next_seq_++, std::move(fn)});
+}
+
+bool EventLoop::RunOne() {
+  if (queue_.empty()) return false;
+  // priority_queue::top() is const; move out via const_cast of the known
+  // mutable-through-pop element. Copy the callback instead: it is cheap
+  // relative to the simulation work and avoids UB.
+  Event ev = queue_.top();
+  queue_.pop();
+  now_ = ev.time;
+  ++events_run_;
+  ev.fn();
+  return true;
+}
+
+void EventLoop::RunUntil(VirtualTime deadline) {
+  while (!queue_.empty() && queue_.top().time <= deadline) {
+    RunOne();
+  }
+  now_ = std::max(now_, deadline);
+}
+
+size_t EventLoop::RunUntilIdle(size_t max_events) {
+  size_t run = 0;
+  while (run < max_events && RunOne()) ++run;
+  return run;
+}
+
+}  // namespace seve

@@ -1,0 +1,72 @@
+#ifndef SEVE_NET_EVENT_LOOP_H_
+#define SEVE_NET_EVENT_LOOP_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.h"
+
+namespace seve {
+
+/// Deterministic discrete-event scheduler driving the whole simulation.
+///
+/// Events fire in (time, insertion-sequence) order, so simultaneous events
+/// run in the order they were scheduled — ties never depend on container
+/// iteration order, which keeps runs bit-for-bit reproducible.
+class EventLoop {
+ public:
+  using Callback = std::function<void()>;
+
+  EventLoop() = default;
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Current virtual time (microseconds).
+  VirtualTime now() const { return now_; }
+
+  /// Schedules `fn` at absolute virtual time `t` (clamped to now()).
+  void At(VirtualTime t, Callback fn);
+
+  /// Schedules `fn` after `delay` microseconds.
+  void After(Micros delay, Callback fn) { At(now_ + delay, std::move(fn)); }
+
+  /// Runs the earliest pending event; returns false when queue is empty.
+  bool RunOne();
+
+  /// Runs all events with fire time <= `deadline`; leaves now() at
+  /// min(deadline, time of last event run) — callers normally pass the
+  /// scenario end time.
+  void RunUntil(VirtualTime deadline);
+
+  /// Runs until no events remain or `max_events` is exhausted. Returns the
+  /// number of events run. The cap guards against runaway feedback loops
+  /// in overloaded scenarios.
+  size_t RunUntilIdle(size_t max_events = SIZE_MAX);
+
+  size_t pending() const { return queue_.size(); }
+  size_t events_run() const { return events_run_; }
+
+ private:
+  struct Event {
+    VirtualTime time;
+    uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  VirtualTime now_ = 0;
+  uint64_t next_seq_ = 0;
+  size_t events_run_ = 0;
+};
+
+}  // namespace seve
+
+#endif  // SEVE_NET_EVENT_LOOP_H_

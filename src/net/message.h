@@ -1,0 +1,34 @@
+#ifndef SEVE_NET_MESSAGE_H_
+#define SEVE_NET_MESSAGE_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "common/types.h"
+
+namespace seve {
+
+/// Base class for message payloads. Protocol modules define concrete
+/// bodies; nodes downcast on their declared `kind`.
+///
+/// In a real deployment the body would be serialized; in the simulator we
+/// share an immutable body pointer and account for the declared wire size,
+/// which is what the bandwidth model charges.
+struct MessageBody {
+  virtual ~MessageBody() = default;
+  /// Discriminator; values are defined per protocol in msg_kinds.h files.
+  virtual int kind() const = 0;
+};
+
+/// A message in flight between two nodes.
+struct Message {
+  NodeId src;
+  NodeId dst;
+  int64_t bytes = 0;          // serialized size charged to the link
+  VirtualTime sent_at = 0;    // stamped by Network::Send
+  std::shared_ptr<const MessageBody> body;
+};
+
+}  // namespace seve
+
+#endif  // SEVE_NET_MESSAGE_H_

@@ -1,0 +1,82 @@
+#include "net/network.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace seve {
+
+Network::Network(EventLoop* loop, uint64_t seed) : loop_(loop), rng_(seed) {}
+
+void Network::AddNode(Node* node) {
+  nodes_[node->id()] = node;
+  node->set_network(this);
+}
+
+void Network::ConnectBidirectional(NodeId a, NodeId b,
+                                   const LinkParams& params) {
+  ConnectDirected(a, b, params);
+  ConnectDirected(b, a, params);
+}
+
+void Network::ConnectDirected(NodeId src, NodeId dst,
+                              const LinkParams& params) {
+  links_[{src.value(), dst.value()}] = LinkState{params, 0};
+}
+
+Status Network::Send(Message msg) {
+  auto link_it = links_.find({msg.src.value(), msg.dst.value()});
+  if (link_it == links_.end()) {
+    return Status::NotFound("no link between nodes");
+  }
+  auto node_it = nodes_.find(msg.dst);
+  if (node_it == nodes_.end()) {
+    return Status::NotFound("unknown destination node");
+  }
+  auto src_it = nodes_.find(msg.src);
+
+  LinkState& link = link_it->second;
+  const int64_t wire_bytes =
+      msg.bytes + link.params.per_message_overhead_bytes;
+  msg.sent_at = loop_->now();
+
+  if (src_it != nodes_.end()) {
+    src_it->second->mutable_traffic()->sent.Record(wire_bytes);
+  }
+
+  if (link.params.drop_probability > 0.0 &&
+      rng_.NextBool(link.params.drop_probability)) {
+    ++messages_dropped_;
+    return Status::OK();  // loss is not an error to the sender
+  }
+
+  // FIFO serialization: the frame occupies the link for tx microseconds.
+  Micros tx = 0;
+  if (link.params.bytes_per_us > 0.0) {
+    tx = static_cast<Micros>(std::ceil(static_cast<double>(wire_bytes) /
+                                       link.params.bytes_per_us));
+  }
+  const VirtualTime start = std::max(loop_->now(), link.free_at);
+  link.free_at = start + tx;
+  const VirtualTime arrival = start + tx + link.params.latency_us;
+
+  Node* dst_node = node_it->second;
+  Message delivered = std::move(msg);
+  delivered.bytes = wire_bytes;
+  loop_->At(arrival, [dst_node, delivered = std::move(delivered)]() {
+    dst_node->Deliver(delivered);
+  });
+  return Status::OK();
+}
+
+TrafficStats Network::TotalTraffic() const {
+  TrafficStats total;
+  for (const auto& [id, node] : nodes_) total.Merge(node->traffic());
+  return total;
+}
+
+Node* Network::FindNode(NodeId id) const {
+  auto it = nodes_.find(id);
+  return it == nodes_.end() ? nullptr : it->second;
+}
+
+}  // namespace seve

@@ -1,0 +1,98 @@
+#ifndef SEVE_NET_NETWORK_H_
+#define SEVE_NET_NETWORK_H_
+
+#include <memory>
+#include <unordered_map>
+
+#include "common/metrics.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "net/event_loop.h"
+#include "net/message.h"
+#include "net/node.h"
+
+namespace seve {
+
+/// Point-to-point link parameters. The paper's testbed: ~238 ms average
+/// RTT injected by EMULab (so ~119 ms one-way) and 100 Kbps per-client
+/// bandwidth caps.
+struct LinkParams {
+  /// One-way propagation delay.
+  Micros latency_us = 0;
+  /// Serialization rate in bytes per microsecond; 0 means infinite
+  /// (latency-only link). 100 Kbps = 0.0125 bytes/us.
+  double bytes_per_us = 0.0;
+  /// Fixed framing overhead added to every message (headers).
+  int64_t per_message_overhead_bytes = 0;
+  /// Probability a message is silently lost (failure injection).
+  double drop_probability = 0.0;
+
+  static LinkParams LatencyOnly(Micros latency) {
+    return LinkParams{latency, 0.0, 0, 0.0};
+  }
+  static LinkParams FromKbps(Micros latency, double kbps,
+                             int64_t overhead = 0) {
+    return LinkParams{latency, kbps * 1000.0 / 8.0 / 1e6, overhead, 0.0};
+  }
+};
+
+/// The simulated network: unidirectional links between registered nodes.
+///
+/// Each link models FIFO serialization (a message occupies the link for
+/// bytes/bandwidth microseconds before propagating), so a 100 Kbps client
+/// downlink genuinely backs up when the Broadcast baseline fans out.
+class Network {
+ public:
+  /// `seed` drives loss decisions only; lossless networks are fully
+  /// deterministic regardless.
+  Network(EventLoop* loop, uint64_t seed = 0);
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Registers a node; the network does not own it.
+  void AddNode(Node* node);
+
+  /// Creates (or replaces) the two directed links a->b and b->a.
+  void ConnectBidirectional(NodeId a, NodeId b, const LinkParams& params);
+
+  /// Creates (or replaces) the directed link src->dst.
+  void ConnectDirected(NodeId src, NodeId dst, const LinkParams& params);
+
+  /// Sends a message; fails if no link or unknown destination. Traffic is
+  /// accounted on both endpoints even if the message is later dropped
+  /// (bytes entered the wire).
+  Status Send(Message msg);
+
+  /// Aggregate traffic across all registered nodes (each byte counted
+  /// once as sent and once as received).
+  TrafficStats TotalTraffic() const;
+
+  int64_t messages_dropped() const { return messages_dropped_; }
+
+  Node* FindNode(NodeId id) const;
+
+ private:
+  struct LinkState {
+    LinkParams params;
+    VirtualTime free_at = 0;  // when the link finishes its current frame
+  };
+  struct PairHash {
+    size_t operator()(const std::pair<uint64_t, uint64_t>& p) const {
+      std::hash<uint64_t> h;
+      return h(p.first) * 0x9e3779b97f4a7c15ULL + h(p.second);
+    }
+  };
+
+  EventLoop* loop_;
+  Rng rng_;
+  std::unordered_map<NodeId, Node*> nodes_;
+  std::unordered_map<std::pair<uint64_t, uint64_t>, LinkState, PairHash>
+      links_;
+  int64_t messages_dropped_ = 0;
+};
+
+}  // namespace seve
+
+#endif  // SEVE_NET_NETWORK_H_

@@ -1,0 +1,49 @@
+#include "net/node.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "net/network.h"
+
+namespace seve {
+
+Node::Node(NodeId id, EventLoop* loop) : id_(id), loop_(loop) {}
+
+void Node::Deliver(const Message& msg) {
+  if (failed_) return;
+  traffic_.received.Record(msg.bytes);
+  OnMessage(msg);
+}
+
+void Node::SubmitWork(Micros cost, std::function<void()> fn) {
+  if (failed_) return;
+  assert(cost >= 0);
+  const Micros loaded_cost =
+      static_cast<Micros>(std::llround(static_cast<double>(cost) * load_factor_));
+  const VirtualTime start = std::max(loop_->now(), cpu_free_at_);
+  const VirtualTime end = start + loaded_cost;
+  cpu_free_at_ = end;
+  cpu_busy_us_ += loaded_cost;
+  loop_->At(end, [this, fn = std::move(fn)]() {
+    if (!failed_) fn();
+  });
+}
+
+Micros Node::CpuBacklog() const {
+  const Micros backlog = cpu_free_at_ - loop_->now();
+  return backlog > 0 ? backlog : 0;
+}
+
+void Node::Send(NodeId dst, int64_t bytes,
+                std::shared_ptr<const MessageBody> body) {
+  assert(network_ != nullptr);
+  Message msg;
+  msg.src = id_;
+  msg.dst = dst;
+  msg.bytes = bytes;
+  msg.body = std::move(body);
+  // Best-effort: protocol layers treat the network as lossy anyway.
+  (void)network_->Send(std::move(msg));
+}
+
+}  // namespace seve

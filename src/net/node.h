@@ -1,0 +1,91 @@
+#ifndef SEVE_NET_NODE_H_
+#define SEVE_NET_NODE_H_
+
+#include <functional>
+#include <memory>
+
+#include "common/metrics.h"
+#include "common/types.h"
+#include "net/event_loop.h"
+#include "net/message.h"
+
+namespace seve {
+
+class Network;
+
+/// A simulated host (the server or one client machine) with a single
+/// simulated CPU.
+///
+/// Message arrival triggers OnMessage() at the arrival instant; any
+/// expensive computation must go through SubmitWork(cost, fn), which
+/// serializes work items on the node's CPU — this queueing is exactly what
+/// saturates the Central server and the Broadcast clients in Figures 6-8.
+class Node {
+ public:
+  Node(NodeId id, EventLoop* loop);
+  virtual ~Node() = default;
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  NodeId id() const { return id_; }
+  EventLoop* loop() const { return loop_; }
+
+  /// Called by Network when a message arrives. Dispatches to OnMessage.
+  void Deliver(const Message& msg);
+
+  /// Queues `fn` on this node's CPU with the given execution cost. `fn`
+  /// runs when the CPU becomes free, at virtual time start+cost (i.e. its
+  /// effects — including message sends — happen after the work).
+  void SubmitWork(Micros cost, std::function<void()> fn);
+
+  /// CPU time at which the node would start brand-new work right now.
+  VirtualTime cpu_free_at() const { return cpu_free_at_; }
+
+  /// Current CPU backlog (how far cpu_free_at is past now).
+  Micros CpuBacklog() const;
+
+  /// Marks the node failed: delivered messages are dropped and no further
+  /// work is accepted (used by failure-injection tests; Section III-C
+  /// discusses tolerating client failures).
+  void set_failed(bool failed) { failed_ = failed; }
+  bool failed() const { return failed_; }
+
+  /// Simulated background load factor f >= 1.0: all submitted work costs
+  /// f * cost. Emulates the paper's "desktop manager, document editor and
+  /// web browser in the background" on client machines.
+  void set_load_factor(double factor) { load_factor_ = factor; }
+
+  const TrafficStats& traffic() const { return traffic_; }
+  TrafficStats* mutable_traffic() { return &traffic_; }
+
+  /// Total CPU microseconds consumed by submitted work.
+  Micros cpu_busy_us() const { return cpu_busy_us_; }
+
+  void set_network(Network* network) { network_ = network; }
+
+ protected:
+  /// Handles an arrived message. Runs at arrival time with zero CPU cost;
+  /// use SubmitWork for anything expensive.
+  virtual void OnMessage(const Message& msg) = 0;
+
+  /// Sends a message through the attached network. Convenience wrapper.
+  void Send(NodeId dst, int64_t bytes,
+            std::shared_ptr<const MessageBody> body);
+
+  Network* network() const { return network_; }
+
+ private:
+  NodeId id_;
+  EventLoop* loop_;
+  Network* network_ = nullptr;
+  VirtualTime cpu_free_at_ = 0;
+  Micros cpu_busy_us_ = 0;
+  double load_factor_ = 1.0;
+  bool failed_ = false;
+  TrafficStats traffic_;
+};
+
+}  // namespace seve
+
+#endif  // SEVE_NET_NODE_H_

@@ -1,0 +1,83 @@
+#include "protocol/basic_client.h"
+
+#include <cassert>
+#include <utility>
+
+namespace seve {
+
+BasicClient::BasicClient(NodeId node, EventLoop* loop, ClientId client,
+                         NodeId server, WorldState initial,
+                         ActionCostFn cost_fn, Micros install_us)
+    : Node(node, loop),
+      client_(client),
+      server_(server),
+      optimistic_(initial),
+      stable_(std::move(initial)),
+      cost_fn_(std::move(cost_fn)),
+      install_us_(install_us) {}
+
+void BasicClient::SubmitLocalAction(ActionPtr action) {
+  assert(action->ReadSet().Covers(action->WriteSet()) &&
+         "protocol invariant RS(a) ⊇ WS(a) violated");
+  const Micros cost = cost_fn_(*action, optimistic_);
+  const VirtualTime submitted_at = loop()->now();
+  SubmitWork(cost, [this, action = std::move(action), submitted_at]() {
+    const ResultDigest digest = EvaluateAction(*action, &optimistic_);
+    pending_.Push(action, digest, submitted_at);
+    ++stats_.actions_submitted;
+    auto body = std::make_shared<SubmitActionBody>(action);
+    Send(server_, body->WireSize(), body);
+  });
+}
+
+void BasicClient::OnMessage(const Message& msg) {
+  if (msg.body->kind() != kDeliverActions) return;
+  const auto& deliver = static_cast<const DeliverActionsBody&>(*msg.body);
+  for (const OrderedAction& rec : deliver.actions) {
+    const Micros cost = rec.action->IsBlindWrite()
+                            ? install_us_
+                            : cost_fn_(*rec.action, stable_);
+    SubmitWork(cost, [this, rec]() { ApplyOrdered(rec); });
+  }
+}
+
+void BasicClient::ApplyOrdered(const OrderedAction& rec) {
+  const bool own = rec.action->origin() == client_ && !pending_.empty() &&
+                   pending_.front().action->id() == rec.action->id();
+  if (own) {
+    HandleOwnEcho(rec);
+  } else {
+    HandleForeign(rec);
+  }
+}
+
+void BasicClient::HandleForeign(const OrderedAction& rec) {
+  // Apply b to ζCS; propagate writes to ζCO only for objects that are not
+  // awaiting permanent values from the server (x ∉ WS(Q)).
+  eval_digests_[rec.pos] = EvaluateAction(*rec.action, &stable_);
+  ++stats_.actions_evaluated;
+  const ObjectSet propagate =
+      ObjectSet::Difference(rec.action->WriteSet(), pending_.write_set());
+  optimistic_.CopyObjectsFrom(stable_, propagate);
+}
+
+void BasicClient::HandleOwnEcho(const OrderedAction& rec) {
+  const PendingQueue::Entry entry = pending_.front();
+  const ResultDigest stable_digest = EvaluateAction(*rec.action, &stable_);
+  eval_digests_[rec.pos] = stable_digest;
+  ++stats_.actions_evaluated;
+  stats_.response_time_us.Add(loop()->now() - entry.submitted_at);
+
+  pending_.PopFront();
+  if (stable_digest == entry.digest) {
+    // Optimistic evaluation confirmed; nothing else to do.
+    return;
+  }
+  // Divergence: fold the stable values of this action's writes into ζCO,
+  // then replay the remaining queue (Algorithm 3).
+  ++stats_.actions_reconciled;
+  optimistic_.CopyObjectsFrom(stable_, rec.action->WriteSet());
+  pending_.Reconcile(&optimistic_, stable_);
+}
+
+}  // namespace seve

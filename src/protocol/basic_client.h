@@ -1,0 +1,70 @@
+#ifndef SEVE_PROTOCOL_BASIC_CLIENT_H_
+#define SEVE_PROTOCOL_BASIC_CLIENT_H_
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "action/action.h"
+#include "common/metrics.h"
+#include "net/node.h"
+#include "protocol/client_cost.h"
+#include "protocol/msg.h"
+#include "protocol/pending_queue.h"
+#include "store/world_state.h"
+
+namespace seve {
+
+/// Client side of the basic action-based protocol (Algorithm 1 +
+/// reconciliation per Algorithm 3).
+///
+/// Maintains the optimistic state ζCO and the stable state ζCS. Every
+/// action in the world eventually arrives from the server (piggybacked on
+/// submission replies) and is applied to ζCS in serialization order;
+/// locally generated actions are evaluated optimistically on ζCO first
+/// and validated when they come back.
+class BasicClient : public Node {
+ public:
+  BasicClient(NodeId node, EventLoop* loop, ClientId client, NodeId server,
+              WorldState initial, ActionCostFn cost_fn, Micros install_us);
+
+  /// Algorithm 1 step 2: optimistically evaluates `action` on ζCO (at CPU
+  /// cost), enqueues <a, v>, and sends the action to the server.
+  void SubmitLocalAction(ActionPtr action);
+
+  ClientId client_id() const { return client_; }
+  const WorldState& stable() const { return stable_; }
+  const WorldState& optimistic() const { return optimistic_; }
+  size_t pending_count() const { return pending_.size(); }
+
+  ProtocolStats& stats() { return stats_; }
+  const ProtocolStats& stats() const { return stats_; }
+
+  /// pos -> digest for every action this client evaluated on ζCS; the
+  /// consistency checker compares these across replicas (Theorem 1).
+  const std::unordered_map<SeqNum, ResultDigest>& eval_digests() const {
+    return eval_digests_;
+  }
+
+ protected:
+  void OnMessage(const Message& msg) override;
+
+ private:
+  void ApplyOrdered(const OrderedAction& rec);
+  void HandleForeign(const OrderedAction& rec);
+  void HandleOwnEcho(const OrderedAction& rec);
+
+  ClientId client_;
+  NodeId server_;
+  WorldState optimistic_;  // ζCO
+  WorldState stable_;      // ζCS
+  PendingQueue pending_;   // Q
+  ActionCostFn cost_fn_;
+  Micros install_us_;
+  ProtocolStats stats_;
+  std::unordered_map<SeqNum, ResultDigest> eval_digests_;
+};
+
+}  // namespace seve
+
+#endif  // SEVE_PROTOCOL_BASIC_CLIENT_H_

@@ -1,0 +1,49 @@
+#include "protocol/basic_server.h"
+
+#include <memory>
+
+namespace seve {
+
+BasicServer::BasicServer(NodeId node, EventLoop* loop, Micros serialize_us)
+    : Node(node, loop), serialize_us_(serialize_us) {}
+
+void BasicServer::RegisterClient(ClientId client, NodeId node) {
+  clients_[client] = ClientRec{node, 0};
+}
+
+void BasicServer::OnMessage(const Message& msg) {
+  if (msg.body->kind() != kSubmitAction) return;
+  const auto& submit = static_cast<const SubmitActionBody&>(*msg.body);
+  ActionPtr action = submit.action;
+  SubmitWork(serialize_us_, [this, action = std::move(action)]() {
+    // (a) timestamp and enqueue.
+    const SeqNum pos = static_cast<SeqNum>(queue_.size());
+    queue_.push_back(OrderedAction{pos, action});
+    ++stats_.actions_submitted;
+    ++stats_.actions_committed;  // basic protocol: serialization = commit
+    // (b) return to C all actions between posC and pos(a).
+    auto it = clients_.find(action->origin());
+    if (it != clients_.end()) {
+      SendRange(&it->second, pos + 1);
+    }
+  });
+}
+
+void BasicServer::SendRange(ClientRec* rec, SeqNum up_to_exclusive) {
+  if (rec->pos >= up_to_exclusive) return;
+  auto body = std::make_shared<DeliverActionsBody>();
+  body->actions.assign(
+      queue_.begin() + static_cast<ptrdiff_t>(rec->pos),
+      queue_.begin() + static_cast<ptrdiff_t>(up_to_exclusive));
+  rec->pos = up_to_exclusive;
+  Send(rec->node, body->WireSize(), body);
+}
+
+void BasicServer::FlushAll() {
+  const SeqNum end = static_cast<SeqNum>(queue_.size());
+  for (auto& [client, rec] : clients_) {
+    SendRange(&rec, end);
+  }
+}
+
+}  // namespace seve

@@ -1,0 +1,54 @@
+#ifndef SEVE_PROTOCOL_BASIC_SERVER_H_
+#define SEVE_PROTOCOL_BASIC_SERVER_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "action/action.h"
+#include "common/metrics.h"
+#include "net/node.h"
+#include "protocol/msg.h"
+
+namespace seve {
+
+/// Server side of the basic action-based protocol (Algorithm 2).
+///
+/// The server executes no game logic at all: it timestamps and serializes
+/// actions into a global queue, and on every submission from client C it
+/// returns all actions between posC and pos(a) — so every client
+/// eventually sees the full action stream (this is what limits the basic
+/// protocol's scalability, Section III-A).
+class BasicServer : public Node {
+ public:
+  BasicServer(NodeId node, EventLoop* loop, Micros serialize_us);
+
+  void RegisterClient(ClientId client, NodeId node);
+
+  /// Pushes all unseen actions to every client — used at the end of a run
+  /// so replicas quiesce to a common state (equivalent to each client
+  /// submitting one final no-op).
+  void FlushAll();
+
+  ProtocolStats& stats() { return stats_; }
+  SeqNum queue_size() const { return static_cast<SeqNum>(queue_.size()); }
+
+ protected:
+  void OnMessage(const Message& msg) override;
+
+ private:
+  struct ClientRec {
+    NodeId node;
+    SeqNum pos = 0;  // posC: index of the next action to send
+  };
+
+  void SendRange(ClientRec* rec, SeqNum up_to_exclusive);
+
+  Micros serialize_us_;
+  std::vector<OrderedAction> queue_;
+  std::unordered_map<ClientId, ClientRec> clients_;
+  ProtocolStats stats_;
+};
+
+}  // namespace seve
+
+#endif  // SEVE_PROTOCOL_BASIC_SERVER_H_

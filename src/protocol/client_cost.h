@@ -1,0 +1,19 @@
+#ifndef SEVE_PROTOCOL_CLIENT_COST_H_
+#define SEVE_PROTOCOL_CLIENT_COST_H_
+
+#include <functional>
+
+#include "action/action.h"
+#include "common/types.h"
+#include "store/world_state.h"
+
+namespace seve {
+
+/// CPU price of evaluating one action given the evaluating replica's
+/// current view of the world. Bound by the simulation runner to the
+/// world's cost model (walls/avatars visible around the action).
+using ActionCostFn = std::function<Micros(const Action&, const WorldState&)>;
+
+}  // namespace seve
+
+#endif  // SEVE_PROTOCOL_CLIENT_COST_H_

@@ -1,0 +1,54 @@
+#include "protocol/interest.h"
+
+#include <algorithm>
+
+namespace seve {
+
+InterestModel::InterestModel(double max_speed, Micros rtt_us, double omega,
+                             bool velocity_culling, bool interest_classes)
+    : max_speed_(max_speed),
+      rtt_us_(rtt_us),
+      omega_(omega),
+      velocity_culling_(velocity_culling),
+      interest_classes_(interest_classes) {
+  const double rtt_sec =
+      static_cast<double>(rtt_us) / static_cast<double>(kMicrosPerSecond);
+  reach_ = 2.0 * max_speed_ * (1.0 + omega_) * rtt_sec;
+}
+
+bool InterestModel::MayAffect(const InterestProfile& action,
+                              VirtualTime action_time,
+                              const InterestProfile& client,
+                              VirtualTime client_time) const {
+  // Section IV-A: inconsequential action elimination. A client only cares
+  // about actions whose class intersects its subscription mask.
+  if (interest_classes_ &&
+      (action.interest_class & client.interest_class) == 0) {
+    return false;
+  }
+
+  if (velocity_culling_) {
+    // Section IV-B: project the action's area of influence along its
+    // velocity to the client's observation time; the action radius moves
+    // to the left-hand side of the equation. The projection window is
+    // clamped to (1+ω)RTT — the horizon the bound is valid for — so a
+    // long-idle client profile cannot fling the projection arbitrarily.
+    const double horizon_sec =
+        (1.0 + omega_) * static_cast<double>(rtt_us_) /
+        static_cast<double>(kMicrosPerSecond);
+    const double dt_sec = std::clamp(
+        static_cast<double>(action_time - client_time) /
+            static_cast<double>(kMicrosPerSecond),
+        0.0, horizon_sec);
+    // The rM term is folded into the projected center (the paper moves it
+    // to the left-hand side): bound = 2s(1+ω)RTT + rC.
+    const Vec2 projected = action.PositionAt(dt_sec);
+    const double bound = reach_ + client.radius;
+    return DistanceSq(projected, client.position) <= bound * bound;
+  }
+
+  const double bound = Bound(action.radius, client.radius);
+  return DistanceSq(action.position, client.position) <= bound * bound;
+}
+
+}  // namespace seve

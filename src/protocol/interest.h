@@ -1,0 +1,61 @@
+#ifndef SEVE_PROTOCOL_INTEREST_H_
+#define SEVE_PROTOCOL_INTEREST_H_
+
+#include "action/action.h"
+#include "common/types.h"
+
+namespace seve {
+
+/// The locality bounds of Sections III-D/III-E and the Section-IV
+/// optimizations, shared by the First Bound push and the Information
+/// Bound chain breaking.
+///
+/// Equation 1:  ||p̄A − p̄C|| ≤ 2s(1+ω)RTT + rC + rA
+/// Equation 2:  ||p̄A − p̄C|| ≤ 2s(1+ω)RTT + rC + rA + threshold
+/// Area culling (Section IV-B):
+///   ||p̄M + v̄M(tM − tC) − p̄C|| ≤ 2s(1+ω)RTT + rC
+class InterestModel {
+ public:
+  /// `max_speed` is the paper's s (world units per second); `rtt_us` the
+  /// client-server round-trip time; `omega` the push-period fraction.
+  InterestModel(double max_speed, Micros rtt_us, double omega,
+                bool velocity_culling = false, bool interest_classes = false);
+
+  /// The reach term 2s(1+ω)RTT in world units.
+  double ReachTerm() const { return reach_; }
+
+  /// Equation 1: can action A (profile `action`, created at `action_time`)
+  /// affect any future action of the client whose profile is `client`
+  /// (last updated at `client_time`) within (1+ω)RTT?
+  bool MayAffect(const InterestProfile& action, VirtualTime action_time,
+                 const InterestProfile& client,
+                 VirtualTime client_time) const;
+
+  /// Equation 1 distance bound for the given radii.
+  double Bound(double action_radius, double client_radius) const {
+    return reach_ + action_radius + client_radius;
+  }
+
+  /// Equation 2 bound (adds the Information Bound threshold).
+  double CombinedBound(double action_radius, double client_radius,
+                       double threshold) const {
+    return Bound(action_radius, client_radius) + threshold;
+  }
+
+  double omega() const { return omega_; }
+  Micros rtt_us() const { return rtt_us_; }
+  double max_speed() const { return max_speed_; }
+  bool velocity_culling() const { return velocity_culling_; }
+
+ private:
+  double max_speed_;
+  Micros rtt_us_;
+  double omega_;
+  bool velocity_culling_;
+  bool interest_classes_;
+  double reach_;  // 2s(1+omega)RTT, precomputed
+};
+
+}  // namespace seve
+
+#endif  // SEVE_PROTOCOL_INTEREST_H_

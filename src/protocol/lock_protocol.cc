@@ -1,0 +1,165 @@
+#include "protocol/lock_protocol.h"
+
+#include <memory>
+
+#include "protocol/pending_queue.h"
+
+namespace seve {
+
+LockServer::LockServer(NodeId node, EventLoop* loop, WorldState initial,
+                       const CostModel& cost)
+    : Node(node, loop), state_(std::move(initial)), cost_(cost) {}
+
+void LockServer::RegisterClient(ClientId client, NodeId node) {
+  clients_[client] = node;
+  client_order_.push_back(client);
+}
+
+void LockServer::OnMessage(const Message& msg) {
+  switch (msg.body->kind()) {
+    case kLockRequest: {
+      const auto& request = static_cast<const LockRequestBody&>(*msg.body);
+      ++stats_.actions_submitted;
+      SubmitWork(cost_.serialize_us, [this, action = request.action]() {
+        TryGrant(action->origin(), action);
+      });
+      break;
+    }
+    case kLockEffect:
+      HandleEffect(static_cast<const LockEffectBody&>(*msg.body));
+      break;
+    default:
+      break;
+  }
+}
+
+bool LockServer::LocksFree(const ObjectSet& set) const {
+  for (ObjectId id : set) {
+    if (lock_table_.count(id) != 0) return false;
+  }
+  return true;
+}
+
+void LockServer::TryGrant(ClientId client, const ActionPtr& action) {
+  if (LocksFree(action->ReadSet())) {
+    Grant(client, action);
+  } else {
+    waiting_.push_back(Waiting{client, action});
+  }
+}
+
+void LockServer::Grant(ClientId client, const ActionPtr& action) {
+  for (ObjectId id : action->ReadSet()) {
+    lock_table_[id] = action->id();
+  }
+  held_sets_[action->id()] = action->ReadSet();
+  auto body = std::make_shared<LockGrantBody>();
+  body->action_id = action->id();
+  body->pos = next_pos_++;
+  auto it = clients_.find(client);
+  if (it != clients_.end()) {
+    Send(it->second, body->WireSize(), body);
+  }
+}
+
+void LockServer::HandleEffect(const LockEffectBody& effect) {
+  SubmitWork(cost_.install_us, []() {});
+  state_.ApplyObjects(effect.written);
+  committed_digests_[effect.pos] = effect.digest;
+  ++stats_.actions_committed;
+
+  // Release the locks...
+  auto held = held_sets_.find(effect.action_id);
+  if (held != held_sets_.end()) {
+    for (ObjectId id : held->second) {
+      auto lock = lock_table_.find(id);
+      if (lock != lock_table_.end() && lock->second == effect.action_id) {
+        lock_table_.erase(lock);
+      }
+    }
+    held_sets_.erase(held);
+  }
+
+  // ...fan the effect out to every other client...
+  auto body = std::make_shared<LockEffectBody>(effect);
+  for (ClientId client : client_order_) {
+    if (client == effect.origin) continue;
+    Send(clients_.at(client), body->WireSize(), body);
+  }
+
+  // ...and grant whatever the released locks unblocked (FIFO scan).
+  std::deque<Waiting> still_waiting;
+  for (Waiting& waiter : waiting_) {
+    if (LocksFree(waiter.action->ReadSet())) {
+      Grant(waiter.client, waiter.action);
+    } else {
+      still_waiting.push_back(std::move(waiter));
+    }
+  }
+  waiting_ = std::move(still_waiting);
+}
+
+LockClient::LockClient(NodeId node, EventLoop* loop, ClientId client,
+                       NodeId server, WorldState initial,
+                       ActionCostFn cost_fn, Micros install_us)
+    : Node(node, loop),
+      client_(client),
+      server_(server),
+      state_(std::move(initial)),
+      cost_fn_(std::move(cost_fn)),
+      install_us_(install_us) {}
+
+void LockClient::SubmitLocalAction(ActionPtr action) {
+  pending_[action->id()] = action;
+  submitted_at_[action->id()] = loop()->now();
+  ++stats_.actions_submitted;
+  auto body = std::make_shared<LockRequestBody>(std::move(action));
+  Send(server_, body->WireSize(), body);
+}
+
+void LockClient::OnMessage(const Message& msg) {
+  switch (msg.body->kind()) {
+    case kLockGrant: {
+      const auto& grant = static_cast<const LockGrantBody&>(*msg.body);
+      auto it = pending_.find(grant.action_id);
+      if (it == pending_.end()) return;
+      ActionPtr action = it->second;
+      pending_.erase(it);
+      const Micros cost = cost_fn_(*action, state_);
+      SubmitWork(cost, [this, action, pos = grant.pos]() {
+        // Execute under the global locks and ship the effect.
+        const ResultDigest digest = EvaluateAction(*action, &state_);
+        eval_digests_[pos] = digest;
+        ++stats_.actions_evaluated;
+        auto effect = std::make_shared<LockEffectBody>();
+        effect->action_id = action->id();
+        effect->origin = client_;
+        effect->pos = pos;
+        effect->digest = digest;
+        if (digest != kConflictDigest) {
+          effect->written = state_.Extract(action->WriteSet());
+        }
+        Send(server_, effect->WireSize(), effect);
+        auto at = submitted_at_.find(action->id());
+        if (at != submitted_at_.end()) {
+          stats_.response_time_us.Add(loop()->now() - at->second);
+          submitted_at_.erase(at);
+        }
+      });
+      break;
+    }
+    case kLockEffect: {
+      const auto effect =
+          std::static_pointer_cast<const LockEffectBody>(msg.body);
+      SubmitWork(install_us_, [this, effect]() {
+        state_.ApplyObjects(effect->written);
+        eval_digests_[effect->pos] = effect->digest;
+      });
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+}  // namespace seve

@@ -1,0 +1,142 @@
+#ifndef SEVE_PROTOCOL_LOCK_PROTOCOL_H_
+#define SEVE_PROTOCOL_LOCK_PROTOCOL_H_
+
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "action/action.h"
+#include "common/metrics.h"
+#include "net/node.h"
+#include "protocol/client_cost.h"
+#include "protocol/msg.h"
+#include "store/world_state.h"
+#include "world/cost_model.h"
+
+namespace seve {
+
+/// The classic distributed-locking protocol of Section II-B (the Project
+/// Darkstar model): to run an action, a client first acquires server-side
+/// locks on the action's read set; on grant it executes locally and ships
+/// the *effect* (written values), which the server installs and
+/// broadcasts. Strongly consistent, but a conflicting transaction costs
+/// two round trips before the next one can proceed — the latency problem
+/// the action-based protocols remove.
+enum LockMsgKind : int {
+  kLockRequest = 200,
+  kLockGrant = 201,
+  kLockEffect = 202,  // client -> server and server -> clients
+};
+
+struct LockRequestBody : MessageBody {
+  ActionPtr action;  // carries RS(a); the action itself runs client-side
+
+  explicit LockRequestBody(ActionPtr a) : action(std::move(a)) {}
+  int kind() const override { return kLockRequest; }
+  int64_t WireSize() const { return 16 + action->WireSize(); }
+};
+
+struct LockGrantBody : MessageBody {
+  ActionId action_id;
+  SeqNum pos = kInvalidSeq;  // grant order = commit order
+
+  int kind() const override { return kLockGrant; }
+  int64_t WireSize() const { return 24; }
+};
+
+struct LockEffectBody : MessageBody {
+  ActionId action_id;
+  ClientId origin;
+  SeqNum pos = kInvalidSeq;
+  ResultDigest digest = 0;
+  std::vector<Object> written;
+
+  int kind() const override { return kLockEffect; }
+  int64_t WireSize() const {
+    int64_t size = 40;
+    for (const Object& obj : written) size += obj.WireSize();
+    return size;
+  }
+};
+
+/// Server side: an all-or-nothing lock table over object ids. A request
+/// either atomically locks its whole read set or queues; queued requests
+/// hold nothing, so there are no deadlocks. Effects install into the
+/// authoritative state, release the locks, and fan out to every client.
+class LockServer : public Node {
+ public:
+  LockServer(NodeId node, EventLoop* loop, WorldState initial,
+             const CostModel& cost);
+
+  void RegisterClient(ClientId client, NodeId node);
+
+  const WorldState& state() const { return state_; }
+  ProtocolStats& stats() { return stats_; }
+  const std::unordered_map<SeqNum, ResultDigest>& committed_digests() const {
+    return committed_digests_;
+  }
+  /// Requests currently blocked behind held locks.
+  size_t waiting() const { return waiting_.size(); }
+
+ protected:
+  void OnMessage(const Message& msg) override;
+
+ private:
+  struct Waiting {
+    ClientId client;
+    ActionPtr action;
+  };
+
+  void TryGrant(ClientId client, const ActionPtr& action);
+  bool LocksFree(const ObjectSet& set) const;
+  void Grant(ClientId client, const ActionPtr& action);
+  void HandleEffect(const LockEffectBody& effect);
+
+  WorldState state_;
+  CostModel cost_;
+  std::unordered_map<ObjectId, ActionId> lock_table_;  // held locks
+  std::unordered_map<ActionId, ObjectSet> held_sets_;
+  std::deque<Waiting> waiting_;
+  std::unordered_map<ClientId, NodeId> clients_;
+  std::vector<ClientId> client_order_;
+  SeqNum next_pos_ = 0;
+  ProtocolStats stats_;
+  std::unordered_map<SeqNum, ResultDigest> committed_digests_;
+};
+
+/// Client side: submits lock requests, executes on grant, applies foreign
+/// effects. Response time = submission until the own effect has been
+/// produced and shipped (the grant round trip plus execution).
+class LockClient : public Node {
+ public:
+  LockClient(NodeId node, EventLoop* loop, ClientId client, NodeId server,
+             WorldState initial, ActionCostFn cost_fn, Micros install_us);
+
+  void SubmitLocalAction(ActionPtr action);
+
+  ClientId client_id() const { return client_; }
+  const WorldState& state() const { return state_; }
+  ProtocolStats& stats() { return stats_; }
+  const ProtocolStats& stats() const { return stats_; }
+  const std::unordered_map<SeqNum, ResultDigest>& eval_digests() const {
+    return eval_digests_;
+  }
+
+ protected:
+  void OnMessage(const Message& msg) override;
+
+ private:
+  ClientId client_;
+  NodeId server_;
+  WorldState state_;
+  ActionCostFn cost_fn_;
+  Micros install_us_;
+  ProtocolStats stats_;
+  std::unordered_map<ActionId, ActionPtr> pending_;
+  std::unordered_map<ActionId, VirtualTime> submitted_at_;
+  std::unordered_map<SeqNum, ResultDigest> eval_digests_;
+};
+
+}  // namespace seve
+
+#endif  // SEVE_PROTOCOL_LOCK_PROTOCOL_H_

@@ -1,0 +1,122 @@
+#ifndef SEVE_PROTOCOL_MSG_H_
+#define SEVE_PROTOCOL_MSG_H_
+
+#include <vector>
+
+#include "action/action.h"
+#include "net/message.h"
+#include "store/object.h"
+
+namespace seve {
+
+/// Message discriminators for the action-based protocols and baselines.
+enum MsgKind : int {
+  kSubmitAction = 1,   // client -> server: a freshly created action
+  kDeliverActions = 2, // server -> client: ordered batch (Algorithms 2/5/6)
+  kCompletion = 3,     // client -> server: stable result <a_i, u> (Alg. 4)
+  kDropNotice = 4,     // server -> client: action dropped (Alg. 7)
+  kCommitNotice = 5,   // server -> client: last installed pos (GC aid)
+
+  // Baseline architectures:
+  kCentralInput = 100,  // client -> central server: input command
+  kCentralAck = 101,    // central server -> origin client: action result
+  kObjectUpdate = 102,  // object-state push (Central/Broadcast/RING)
+};
+
+/// Client -> server: submit one action for serialization (Alg. 1 step 2 /
+/// Alg. 4 step 2).
+///
+/// `resync` lets a client request authoritative values for objects it
+/// cannot replay serially: the server folds them into the reply's
+/// read-set closure (already-sent writers are re-delivered as stable
+/// values). The default client relies on the audit-taint mechanism of
+/// DESIGN.md §6 instead and sends an empty set; strict-replay clients
+/// can populate it.
+struct SubmitActionBody : MessageBody {
+  ActionPtr action;
+  ObjectSet resync;
+
+  explicit SubmitActionBody(ActionPtr a, ObjectSet resync_set = {})
+      : action(std::move(a)), resync(std::move(resync_set)) {}
+  int kind() const override { return kSubmitAction; }
+  int64_t WireSize() const {
+    return 8 + action->WireSize() +
+           static_cast<int64_t>(resync.size()) * 8;
+  }
+};
+
+/// Server -> client: a pos-ordered batch of actions. In the basic
+/// protocol this is the piggybacked reply (Alg. 2 step 4b); in the
+/// Incomplete World / First Bound models it is the transitive-closure
+/// reply or proactive push, whose head may be a blind write W(S, ζS(S)).
+struct DeliverActionsBody : MessageBody {
+  std::vector<OrderedAction> actions;
+
+  int kind() const override { return kDeliverActions; }
+  int64_t WireSize() const {
+    int64_t size = 16;
+    for (const OrderedAction& rec : actions) {
+      size += 8 + rec.action->WireSize();
+    }
+    return size;
+  }
+};
+
+/// Client -> server: completion message carrying the stable result of an
+/// action (Alg. 4 step 5). Includes the written object values so the
+/// server can install them into the authoritative state ζS (Alg. 5
+/// step 5) without executing game logic itself.
+struct CompletionBody : MessageBody {
+  SeqNum pos = kInvalidSeq;
+  ActionId action_id;
+  ClientId from;
+  ResultDigest digest = 0;
+  /// The origin evaluated over inputs newer than serial order (rare; see
+  /// DESIGN.md §6): the values still install, but the position is
+  /// excluded from the serializability audit.
+  bool out_of_order = false;
+  std::vector<Object> written;
+
+  int kind() const override { return kCompletion; }
+  int64_t WireSize() const {
+    int64_t size = 40;
+    for (const Object& obj : written) size += obj.WireSize();
+    return size;
+  }
+};
+
+/// Server -> origin client: the action was dropped by the Information
+/// Bound Model; the client must roll back its optimistic evaluation.
+///
+/// Carries a blind-write refresh of the dropped action's read set from
+/// ζS. Without it a client can starve: it keeps declaring a stale
+/// once-nearby avatar in its read sets, chaining to that avatar's distant
+/// moves and getting dropped forever (the fairness hazard Section III-E
+/// raises). Fresh values break the loop.
+struct DropNoticeBody : MessageBody {
+  ActionId action_id;
+  SeqNum pos = kInvalidSeq;
+  std::vector<Object> refresh;
+  SeqNum refresh_pos = kInvalidSeq;  // commit frontier the values reflect
+
+  int kind() const override { return kDropNotice; }
+  int64_t WireSize() const {
+    int64_t size = 32;
+    for (const Object& obj : refresh) size += obj.WireSize();
+    return size;
+  }
+};
+
+/// Server -> client: everything up to `pos` is installed in ζS; the
+/// client may garbage-collect bookkeeping for older actions (the memory
+/// optimization of Section III-C).
+struct CommitNoticeBody : MessageBody {
+  SeqNum pos = kInvalidSeq;
+
+  int kind() const override { return kCommitNotice; }
+  int64_t WireSize() const { return 16; }
+};
+
+}  // namespace seve
+
+#endif  // SEVE_PROTOCOL_MSG_H_

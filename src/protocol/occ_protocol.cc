@@ -1,0 +1,182 @@
+#include "protocol/occ_protocol.h"
+
+#include <memory>
+
+#include "protocol/msg.h"
+#include "protocol/pending_queue.h"
+
+namespace seve {
+
+OccServer::OccServer(NodeId node, EventLoop* loop, WorldState initial,
+                     const CostModel& cost)
+    : Node(node, loop), state_(std::move(initial)), cost_(cost) {}
+
+void OccServer::RegisterClient(ClientId client, NodeId node) {
+  clients_[client] = node;
+  client_order_.push_back(client);
+}
+
+void OccServer::OnMessage(const Message& msg) {
+  if (msg.body->kind() != kOccSubmit) return;
+  const auto submit = std::static_pointer_cast<const OccSubmitBody>(msg.body);
+  if (submit->attempt == 1) ++stats_.actions_submitted;
+  SubmitWork(cost_.serialize_us, [this, submit]() {
+    Certify(*submit, submit->action->origin());
+  });
+}
+
+void OccServer::Certify(const OccSubmitBody& submit, ClientId origin) {
+  auto origin_it = clients_.find(origin);
+  if (origin_it == clients_.end()) return;
+
+  // Validation: every read version must still be current.
+  bool stale = false;
+  for (const auto& [id, version] : submit.read_versions) {
+    auto it = versions_.find(id);
+    const SeqNum current = it == versions_.end() ? kInvalidSeq : it->second;
+    if (current != version) {
+      stale = true;
+      break;
+    }
+  }
+
+  auto verdict = std::make_shared<OccVerdictBody>();
+  verdict->action_id = submit.action->id();
+  if (stale) {
+    ++aborts_;
+    verdict->committed = false;
+    // Refresh the stale read set so the retry starts from current state.
+    verdict->refresh = state_.Extract(submit.action->ReadSet());
+    for (ObjectId id : submit.action->ReadSet()) {
+      auto it = versions_.find(id);
+      verdict->refresh_versions.emplace_back(
+          id, it == versions_.end() ? kInvalidSeq : it->second);
+    }
+    Send(origin_it->second, verdict->WireSize(), verdict);
+    return;
+  }
+
+  // Commit: install values, bump versions, broadcast the effect.
+  const SeqNum pos = next_pos_++;
+  state_.ApplyObjects(submit.written);
+  committed_digests_[pos] = submit.digest;
+  ++stats_.actions_committed;
+  auto effect = std::make_shared<OccEffectBody>();
+  effect->pos = pos;
+  effect->digest = submit.digest;
+  effect->written = submit.written;
+  for (ObjectId id : submit.action->WriteSet()) {
+    versions_[id] = pos;
+    effect->versions.emplace_back(id, pos);
+  }
+  verdict->committed = true;
+  verdict->pos = pos;
+  Send(origin_it->second, verdict->WireSize(), verdict);
+  for (ClientId client : client_order_) {
+    if (client == origin) continue;
+    Send(clients_.at(client), effect->WireSize(), effect);
+  }
+}
+
+OccClient::OccClient(NodeId node, EventLoop* loop, ClientId client,
+                     NodeId server, WorldState initial, ActionCostFn cost_fn,
+                     Micros install_us, int max_attempts)
+    : Node(node, loop),
+      client_(client),
+      server_(server),
+      state_(std::move(initial)),
+      cost_fn_(std::move(cost_fn)),
+      install_us_(install_us),
+      max_attempts_(max_attempts) {}
+
+void OccClient::SubmitLocalAction(ActionPtr action) {
+  submitted_at_[action->id()] = loop()->now();
+  ++stats_.actions_submitted;
+  Attempt(std::move(action), 1);
+}
+
+void OccClient::Attempt(ActionPtr action, int attempt) {
+  const Micros cost = cost_fn_(*action, state_);
+  SubmitWork(cost, [this, action = std::move(action), attempt]() {
+    // Tentative execution on a scratch copy restricted to the write set:
+    // OCC state only advances on commit.
+    WorldState scratch = state_;
+    const ResultDigest digest = EvaluateAction(*action, &scratch);
+    auto body = std::make_shared<OccSubmitBody>();
+    body->action = action;
+    body->digest = digest;
+    body->attempt = attempt;
+    if (digest != kConflictDigest) {
+      body->written = scratch.Extract(action->WriteSet());
+    }
+    in_flight_[action->id()] = Pending{action, attempt, digest,
+                                       body->written};
+    for (ObjectId id : action->ReadSet()) {
+      auto it = versions_.find(id);
+      body->read_versions.emplace_back(
+          id, it == versions_.end() ? kInvalidSeq : it->second);
+    }
+    Send(server_, body->WireSize(), body);
+  });
+}
+
+void OccClient::OnMessage(const Message& msg) {
+  switch (msg.body->kind()) {
+    case kOccVerdict: {
+      const auto verdict =
+          std::static_pointer_cast<const OccVerdictBody>(msg.body);
+      SubmitWork(install_us_, [this, verdict]() {
+        auto pending_it = in_flight_.find(verdict->action_id);
+        if (pending_it == in_flight_.end()) return;
+        if (verdict->committed) {
+          auto at = submitted_at_.find(verdict->action_id);
+          if (at != submitted_at_.end()) {
+            stats_.response_time_us.Add(loop()->now() - at->second);
+            submitted_at_.erase(at);
+          }
+          ++stats_.actions_evaluated;
+          // Install the exact values the server committed (re-executing
+          // here could diverge if foreign effects landed meanwhile).
+          state_.ApplyObjects(pending_it->second.written);
+          eval_digests_[verdict->pos] = pending_it->second.last_digest;
+          for (ObjectId id : pending_it->second.action->WriteSet()) {
+            versions_[id] = verdict->pos;
+          }
+          in_flight_.erase(pending_it);
+          return;
+        }
+        // Abort: refresh from the verdict and retry (bounded).
+        state_.ApplyObjects(verdict->refresh);
+        for (const auto& [id, version] : verdict->refresh_versions) {
+          versions_[id] = version;
+        }
+        Pending pending = pending_it->second;
+        in_flight_.erase(pending_it);
+        if (pending.attempt >= max_attempts_) {
+          ++gave_up_;
+          submitted_at_.erase(verdict->action_id);
+          return;
+        }
+        ++retries_;
+        Attempt(pending.action, pending.attempt + 1);
+      });
+      break;
+    }
+    case kOccEffect: {
+      const auto effect =
+          std::static_pointer_cast<const OccEffectBody>(msg.body);
+      SubmitWork(install_us_, [this, effect]() {
+        state_.ApplyObjects(effect->written);
+        for (const auto& [id, version] : effect->versions) {
+          versions_[id] = version;
+        }
+        eval_digests_[effect->pos] = effect->digest;
+      });
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+}  // namespace seve

@@ -1,0 +1,161 @@
+#ifndef SEVE_PROTOCOL_OCC_PROTOCOL_H_
+#define SEVE_PROTOCOL_OCC_PROTOCOL_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "action/action.h"
+#include "common/metrics.h"
+#include "net/node.h"
+#include "protocol/client_cost.h"
+#include "store/world_state.h"
+#include "world/cost_model.h"
+
+namespace seve {
+
+/// The timestamp-based optimistic concurrency control protocol of
+/// Section II-B (certification schemes à la Sinha et al. [23]): clients
+/// execute tentatively against possibly-stale local versions and submit
+/// (read versions, written values); the server certifies against the
+/// committed version map, committing or aborting. Aborts refresh the
+/// client's read set and the client retries — which is what makes OCC
+/// response time degrade under contention ("any change in the read set
+/// of a transaction, such as some player moving, would potentially cause
+/// the transaction to abort").
+enum OccMsgKind : int {
+  kOccSubmit = 210,
+  kOccVerdict = 211,
+  kOccEffect = 212,
+};
+
+struct OccSubmitBody : MessageBody {
+  ActionPtr action;
+  // Object -> committed pos the client read (kInvalidSeq = initial).
+  std::vector<std::pair<ObjectId, SeqNum>> read_versions;
+  ResultDigest digest = 0;
+  std::vector<Object> written;
+  int attempt = 1;
+
+  int kind() const override { return kOccSubmit; }
+  int64_t WireSize() const {
+    int64_t size = 24 + action->WireSize() +
+                   static_cast<int64_t>(read_versions.size()) * 16;
+    for (const Object& obj : written) size += obj.WireSize();
+    return size;
+  }
+};
+
+struct OccVerdictBody : MessageBody {
+  ActionId action_id;
+  bool committed = false;
+  SeqNum pos = kInvalidSeq;
+  // On abort: fresh values + versions of the stale read set.
+  std::vector<Object> refresh;
+  std::vector<std::pair<ObjectId, SeqNum>> refresh_versions;
+
+  int kind() const override { return kOccVerdict; }
+  int64_t WireSize() const {
+    int64_t size = 32 + static_cast<int64_t>(refresh_versions.size()) * 16;
+    for (const Object& obj : refresh) size += obj.WireSize();
+    return size;
+  }
+};
+
+struct OccEffectBody : MessageBody {
+  SeqNum pos = kInvalidSeq;
+  ResultDigest digest = 0;
+  std::vector<Object> written;
+  std::vector<std::pair<ObjectId, SeqNum>> versions;
+
+  int kind() const override { return kOccEffect; }
+  int64_t WireSize() const {
+    int64_t size = 24 + static_cast<int64_t>(versions.size()) * 16;
+    for (const Object& obj : written) size += obj.WireSize();
+    return size;
+  }
+};
+
+/// Server side: version-map certification. No game logic executes here —
+/// but unlike SEVE, every conflicting interleaving costs a full
+/// abort/retry round trip at the client.
+class OccServer : public Node {
+ public:
+  OccServer(NodeId node, EventLoop* loop, WorldState initial,
+            const CostModel& cost);
+
+  void RegisterClient(ClientId client, NodeId node);
+
+  const WorldState& state() const { return state_; }
+  ProtocolStats& stats() { return stats_; }
+  const std::unordered_map<SeqNum, ResultDigest>& committed_digests() const {
+    return committed_digests_;
+  }
+  int64_t aborts() const { return aborts_; }
+
+ protected:
+  void OnMessage(const Message& msg) override;
+
+ private:
+  void Certify(const OccSubmitBody& submit, ClientId origin);
+
+  WorldState state_;
+  CostModel cost_;
+  std::unordered_map<ObjectId, SeqNum> versions_;
+  std::unordered_map<ClientId, NodeId> clients_;
+  std::vector<ClientId> client_order_;
+  SeqNum next_pos_ = 0;
+  int64_t aborts_ = 0;
+  ProtocolStats stats_;
+  std::unordered_map<SeqNum, ResultDigest> committed_digests_;
+};
+
+/// Client side: tentative execution over versioned local state, with
+/// abort-refresh-retry (bounded attempts).
+class OccClient : public Node {
+ public:
+  OccClient(NodeId node, EventLoop* loop, ClientId client, NodeId server,
+            WorldState initial, ActionCostFn cost_fn, Micros install_us,
+            int max_attempts = 5);
+
+  void SubmitLocalAction(ActionPtr action);
+
+  ClientId client_id() const { return client_; }
+  const WorldState& state() const { return state_; }
+  ProtocolStats& stats() { return stats_; }
+  const ProtocolStats& stats() const { return stats_; }
+  const std::unordered_map<SeqNum, ResultDigest>& eval_digests() const {
+    return eval_digests_;
+  }
+  int64_t retries() const { return retries_; }
+  int64_t gave_up() const { return gave_up_; }
+
+ protected:
+  void OnMessage(const Message& msg) override;
+
+ private:
+  void Attempt(ActionPtr action, int attempt);
+
+  ClientId client_;
+  NodeId server_;
+  WorldState state_;
+  std::unordered_map<ObjectId, SeqNum> versions_;
+  ActionCostFn cost_fn_;
+  Micros install_us_;
+  int max_attempts_;
+  ProtocolStats stats_;
+  std::unordered_map<ActionId, VirtualTime> submitted_at_;
+  struct Pending {
+    ActionPtr action;
+    int attempt = 1;
+    ResultDigest last_digest = 0;
+    std::vector<Object> written;  // effect of the last tentative run
+  };
+  std::unordered_map<ActionId, Pending> in_flight_;
+  std::unordered_map<SeqNum, ResultDigest> eval_digests_;
+  int64_t retries_ = 0;
+  int64_t gave_up_ = 0;
+};
+
+}  // namespace seve
+
+#endif  // SEVE_PROTOCOL_OCC_PROTOCOL_H_

@@ -1,0 +1,43 @@
+#ifndef SEVE_PROTOCOL_OPTIONS_H_
+#define SEVE_PROTOCOL_OPTIONS_H_
+
+#include "common/types.h"
+
+namespace seve {
+
+/// Configuration of the SEVE protocol stack. The defaults correspond to
+/// the full protocol evaluated in Section V: Incomplete World Model +
+/// First Bound proactive push + Information Bound chain breaking.
+struct SeveOptions {
+  /// First Bound Model (Section III-D): push conflict candidates to every
+  /// client each omega*RTT instead of replying only on submission.
+  bool proactive_push = true;
+  /// The paper's ω, 0 < ω < 1: push period as a fraction of RTT.
+  double omega = 0.5;
+
+  /// Information Bound Model (Section III-E): drop actions whose conflict
+  /// chain reaches farther than `threshold` (Algorithm 7).
+  bool dropping = true;
+  /// Chain-breaking distance; Table I uses 1.5 x avatar visibility.
+  double threshold = 45.0;
+
+  /// Section IV-B: use the velocity-vector form of the conflict equation.
+  bool velocity_culling = false;
+  /// Section IV-A: respect interest-class masks (inconsequential action
+  /// elimination).
+  bool interest_classes = false;
+
+  /// Failure tolerance (Section III-C): every client sends completion
+  /// messages for every action it applies, not just its own.
+  bool all_client_completions = false;
+
+  /// The simulation tick τ; Algorithm 7 runs once per tick.
+  Micros tick_us = 100 * 1000;
+
+  /// How often the server emits CommitNotice GC hints (0 = never).
+  Micros commit_notice_period_us = 1000 * 1000;
+};
+
+}  // namespace seve
+
+#endif  // SEVE_PROTOCOL_OPTIONS_H_

@@ -1,0 +1,57 @@
+#include "protocol/pending_queue.h"
+
+#include <algorithm>
+
+namespace seve {
+
+ResultDigest EvaluateAction(const Action& action, WorldState* state) {
+  Result<ResultDigest> result = action.Apply(state);
+  return result.ok() ? *result : kConflictDigest;
+}
+
+void PendingQueue::Push(ActionPtr action, ResultDigest digest,
+                        VirtualTime submitted_at) {
+  write_set_.UnionWith(action->WriteSet());
+  entries_.push_back(Entry{std::move(action), digest, submitted_at});
+}
+
+void PendingQueue::PopFront() {
+  entries_.pop_front();
+  RebuildWriteSet();
+}
+
+Status PendingQueue::RemoveById(ActionId id) {
+  auto it = std::find_if(
+      entries_.begin(), entries_.end(),
+      [id](const Entry& e) { return e.action->id() == id; });
+  if (it == entries_.end()) return Status::NotFound("action not pending");
+  entries_.erase(it);
+  RebuildWriteSet();
+  return Status::OK();
+}
+
+bool PendingQueue::ContainsId(ActionId id) const {
+  return std::any_of(entries_.begin(), entries_.end(), [id](const Entry& e) {
+    return e.action->id() == id;
+  });
+}
+
+void PendingQueue::Reconcile(WorldState* optimistic,
+                             const WorldState& stable) {
+  // ζCO(WS(Q)) ← ζCS(WS(Q))
+  optimistic->CopyObjectsFrom(stable, write_set_);
+  // Re-apply queued actions in order, refreshing optimistic results.
+  for (Entry& entry : entries_) {
+    entry.digest = EvaluateAction(*entry.action, optimistic);
+  }
+}
+
+void PendingQueue::RebuildWriteSet() {
+  ObjectSet rebuilt;
+  for (const Entry& entry : entries_) {
+    rebuilt.UnionWith(entry.action->WriteSet());
+  }
+  write_set_ = std::move(rebuilt);
+}
+
+}  // namespace seve

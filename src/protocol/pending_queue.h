@@ -1,0 +1,69 @@
+#ifndef SEVE_PROTOCOL_PENDING_QUEUE_H_
+#define SEVE_PROTOCOL_PENDING_QUEUE_H_
+
+#include <deque>
+
+#include "action/action.h"
+#include "common/status.h"
+#include "store/rw_set.h"
+#include "store/world_state.h"
+
+namespace seve {
+
+/// Digest reported when an action's evaluation aborts with a conflict
+/// (the Bayou-style no-op). Both replicas conflicting is agreement.
+inline constexpr ResultDigest kConflictDigest = 0xdead0badc0ffee00ULL;
+
+/// Evaluates `action` against `state`, folding a Conflict abort into the
+/// sentinel digest so results are always comparable across replicas.
+ResultDigest EvaluateAction(const Action& action, WorldState* state);
+
+/// The client-side queue Q = [<a1,v1>, ..., <ak,vk>] of Algorithms 1 and
+/// 4: locally generated actions not yet received back from the server,
+/// paired with their optimistic evaluation results.
+class PendingQueue {
+ public:
+  struct Entry {
+    ActionPtr action;
+    ResultDigest digest = 0;       // the optimistic result v_i
+    VirtualTime submitted_at = 0;  // for response-time measurement
+  };
+
+  bool empty() const { return entries_.empty(); }
+  size_t size() const { return entries_.size(); }
+  const Entry& front() const { return entries_.front(); }
+  const std::deque<Entry>& entries() const { return entries_; }
+
+  /// Appends <a, v> (Algorithm 1 step 2).
+  void Push(ActionPtr action, ResultDigest digest, VirtualTime submitted_at);
+
+  /// Removes the head (optimistic evaluation confirmed).
+  void PopFront();
+
+  /// Removes the entry with the given action id (used when the server
+  /// drops an action under the Information Bound Model). Fails if absent.
+  Status RemoveById(ActionId id);
+
+  /// True if the entry with this id is present.
+  bool ContainsId(ActionId id) const;
+
+  /// WS(Q): the union of the write sets of all queued actions. Used by
+  /// the client-side rule "apply writes of foreign actions to ζCO iff the
+  /// object is not awaiting a permanent value from the server".
+  const ObjectSet& write_set() const { return write_set_; }
+
+  /// Algorithm 3: reconciles the optimistic state with the stable state —
+  ///   ζCO(WS(Q)) ← ζCS(WS(Q)); then re-apply all queued actions to ζCO,
+  /// refreshing their optimistic digests.
+  void Reconcile(WorldState* optimistic, const WorldState& stable);
+
+ private:
+  void RebuildWriteSet();
+
+  std::deque<Entry> entries_;
+  ObjectSet write_set_;
+};
+
+}  // namespace seve
+
+#endif  // SEVE_PROTOCOL_PENDING_QUEUE_H_

@@ -1,0 +1,100 @@
+#ifndef SEVE_PROTOCOL_SERVER_QUEUE_H_
+#define SEVE_PROTOCOL_SERVER_QUEUE_H_
+
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "action/action.h"
+#include "store/object.h"
+#include "store/rw_set.h"
+
+namespace seve {
+
+/// The server's global action queue (Algorithms 2 and 5): a committed
+/// frontier plus the suffix of uncommitted actions, with the per-action
+/// bookkeeping the protocols need — sent(a) per client, Algorithm 7's
+/// isValid flag, and the stable results delivered by completion messages.
+///
+/// Conflict chains are discovered through a per-object writer index, so a
+/// transitive-closure walk costs O(chain) heap operations instead of
+/// O(queue) scans; the caller charges simulated CPU per visit, which is
+/// how the implementation reproduces the paper's ~0.04 ms closure cost
+/// independent of client count.
+class ServerQueue {
+ public:
+  struct Entry {
+    SeqNum pos = kInvalidSeq;
+    ActionPtr action;
+    VirtualTime submitted_at = 0;
+    std::unordered_set<ClientId> sent;  // the paper's sent(a)
+    bool valid = true;                  // Algorithm 7's isValid
+    bool completed = false;
+    ResultDigest stable_digest = 0;
+    std::vector<Object> stable_written;
+  };
+
+  /// What the conflict-walk visitor decides for an intersecting entry.
+  enum class WalkVerdict {
+    kInclude,  // S ← S ∪ RS(a_j); prepend a_j (Algorithm 6 "not sent")
+    kResolve,  // S ← S \ WS(a_j)              (Algorithm 6 "already sent")
+    kSkip,     // leave S unchanged, keep walking
+    kStop,     // abort the walk               (Algorithm 7 threshold hit)
+  };
+
+  ServerQueue() = default;
+
+  /// Appends a freshly submitted action; returns its pos(a).
+  SeqNum Append(ActionPtr action, VirtualTime now);
+
+  /// Entry at `pos`; nullptr if committed, dropped-and-popped, or unknown.
+  Entry* Find(SeqNum pos);
+  const Entry* Find(SeqNum pos) const;
+
+  /// First uncommitted position (the paper's j+1 in Algorithm 5 step 3).
+  SeqNum begin_pos() const { return base_; }
+  /// One past the newest position.
+  SeqNum end_pos() const { return base_ + static_cast<SeqNum>(entries_.size()); }
+  size_t uncommitted_size() const { return entries_.size(); }
+
+  /// Walks valid uncommitted entries in descending pos order starting
+  /// strictly below `start_pos`, visiting exactly those whose write set
+  /// intersects the evolving read set *S — the shared skeleton of
+  /// Algorithm 6 (transitive closure) and Algorithm 7 (chain breaking).
+  /// Returns the number of entries visited (for CPU-cost accounting).
+  int WalkConflicts(
+      SeqNum start_pos, ObjectSet* read_set,
+      const std::function<WalkVerdict(const Entry&)>& visitor) const;
+
+  /// Algorithm 7: marks an entry dropped. Dropped entries are skipped by
+  /// WalkConflicts and discarded when they reach the frontier.
+  void MarkInvalid(SeqNum pos);
+
+  /// Records the stable result for `pos` (Algorithm 5 step 5). Then
+  /// advances the committed frontier: pops entries while the head is
+  /// completed or invalid, calling `install` for each valid popped entry
+  /// (in order) so the caller can fold the values into ζS. Returns the
+  /// installed positions.
+  std::vector<SeqNum> Complete(
+      SeqNum pos, ResultDigest digest, std::vector<Object> written,
+      const std::function<void(const Entry&)>& install);
+
+ private:
+  size_t IndexOf(SeqNum pos) const {
+    return static_cast<size_t>(pos - base_);
+  }
+  /// Greatest writer position of `id` strictly below `below`; kInvalidSeq
+  /// if none remains uncommitted.
+  SeqNum GreatestWriterBelow(ObjectId id, SeqNum below) const;
+
+  SeqNum base_ = 0;  // pos of entries_.front()
+  std::deque<Entry> entries_;
+  // Object -> ascending positions of uncommitted writers. Pruned lazily.
+  mutable std::unordered_map<ObjectId, std::vector<SeqNum>> writers_;
+};
+
+}  // namespace seve
+
+#endif  // SEVE_PROTOCOL_SERVER_QUEUE_H_

@@ -1,0 +1,269 @@
+#include "protocol/seve_client.h"
+
+#include <cassert>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace seve {
+
+SeveClient::SeveClient(NodeId node, EventLoop* loop, ClientId client,
+                       NodeId server, WorldState initial,
+                       ActionCostFn cost_fn, Micros install_us,
+                       const SeveOptions& options)
+    : Node(node, loop),
+      client_(client),
+      server_(server),
+      optimistic_(initial),
+      stable_(std::move(initial)),
+      cost_fn_(std::move(cost_fn)),
+      install_us_(install_us),
+      options_(options) {}
+
+void SeveClient::SubmitLocalAction(ActionPtr action) {
+  assert(action->ReadSet().Covers(action->WriteSet()) &&
+         "protocol invariant RS(a) ⊇ WS(a) violated");
+  const Micros cost = cost_fn_(*action, optimistic_);
+  const VirtualTime submitted_at = loop()->now();
+  SubmitWork(cost, [this, action = std::move(action), submitted_at]() {
+    const ResultDigest digest = EvaluateAction(*action, &optimistic_);
+    pending_.Push(action, digest, submitted_at);
+    ++stats_.actions_submitted;
+    auto body = std::make_shared<SubmitActionBody>(action);
+    Send(server_, body->WireSize(), body);
+  });
+}
+
+void SeveClient::OnMessage(const Message& msg) {
+  switch (msg.body->kind()) {
+    case kDeliverActions: {
+      const auto& deliver =
+          static_cast<const DeliverActionsBody&>(*msg.body);
+      stats_.closure_size.Add(
+          static_cast<int64_t>(deliver.actions.size()));
+      for (const OrderedAction& rec : deliver.actions) {
+        const Micros cost = rec.action->IsBlindWrite()
+                                ? install_us_
+                                : cost_fn_(*rec.action, stable_);
+        SubmitWork(cost, [this, rec]() { ApplyOrdered(rec); });
+      }
+      break;
+    }
+    case kDropNotice:
+      HandleDropNotice(static_cast<const DropNoticeBody&>(*msg.body));
+      break;
+    case kCommitNotice: {
+      const auto& notice = static_cast<const CommitNoticeBody&>(*msg.body);
+      last_commit_notice_ = notice.pos;
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void SeveClient::ApplyOrdered(const OrderedAction& rec) {
+  const bool own = rec.action->origin() == client_ &&
+                   pending_.ContainsId(rec.action->id());
+  if (own) {
+    HandleOwnEcho(rec);
+  } else {
+    HandleForeign(rec);
+  }
+}
+
+SeveClient::ApplyOutcome SeveClient::GuardedApply(const OrderedAction& rec,
+                                                  bool force_eval) {
+  ApplyOutcome outcome;
+  const bool blind = rec.action->IsBlindWrite();
+  if (!blind && applied_.count(rec.pos) != 0) {
+    outcome.duplicate = true;
+    return outcome;
+  }
+  if (!blind) {
+    // Out-of-order detection: a read input already written by a newer
+    // (higher-pos) action means this evaluation cannot reproduce the
+    // serial history at pos. The action is still applied — the result is
+    // at worst transiently ahead of serial order and authoritative blind
+    // writes / substituted stable values overwrite it as they arrive —
+    // but it is excluded from completions and the serializability audit.
+    // (The server substitutes completed chain members with their stable
+    // values, so this path is confined to the sub-RTT window before a
+    // chain member's completion arrives.)
+    for (ObjectId id : rec.action->ReadSet()) {
+      auto it = last_writer_.find(id);
+      if ((it != last_writer_.end() && it->second > rec.pos) ||
+          tainted_.Contains(id)) {
+        outcome.out_of_order = true;
+        break;
+      }
+    }
+  }
+  (void)force_eval;
+
+  // Objects already written by a newer action must not be rolled back by
+  // a transitively included older action or a blind write carrying an
+  // older snapshot.
+  std::vector<Object> protected_values;
+  std::vector<ObjectId> protected_missing;
+  for (ObjectId id : rec.action->WriteSet()) {
+    auto it = last_writer_.find(id);
+    if (it != last_writer_.end() && it->second > rec.pos) {
+      const Object* obj = stable_.Find(id);
+      if (obj != nullptr) {
+        protected_values.push_back(*obj);
+      } else {
+        protected_missing.push_back(id);
+      }
+    }
+  }
+
+  outcome.digest = EvaluateAction(*rec.action, &stable_);
+  if (!blind) applied_.insert(rec.pos);
+
+  for (const Object& obj : protected_values) stable_.Upsert(obj);
+  for (ObjectId id : protected_missing) (void)stable_.Remove(id);
+  ObjectSet healed;
+  for (ObjectId id : rec.action->WriteSet()) {
+    SeqNum& last = last_writer_[id];
+    const bool installed = rec.pos >= last;
+    if (rec.pos > last) last = rec.pos;
+    if (!installed) continue;  // guard kept the newer (clean) value
+    if (!blind && outcome.out_of_order) {
+      // The installed value came from non-serial inputs: taint it so
+      // downstream readers are excluded from the audit too.
+      tainted_.Insert(id);
+    } else {
+      // Clean serial evaluation or authoritative values: heal.
+      healed.Insert(id);
+    }
+  }
+  if (!healed.empty()) tainted_.SubtractWith(healed);
+  return outcome;
+}
+
+void SeveClient::HandleForeign(const OrderedAction& rec) {
+  const ApplyOutcome outcome = GuardedApply(rec);
+  if (outcome.duplicate) return;
+  if (!rec.action->IsBlindWrite()) {
+    ++stats_.actions_evaluated;
+    if (outcome.out_of_order) {
+      // Transient-only evaluation: its result is neither authoritative
+      // nor serializable — never complete it, never audit it.
+      ++stats_.out_of_order_evals;
+    } else {
+      eval_digests_[rec.pos] = outcome.digest;
+      if (options_.all_client_completions) {
+        SendCompletion(rec, outcome.digest, /*out_of_order=*/false);
+      }
+    }
+  }
+  // Propagate to ζCO for objects not awaiting server confirmation.
+  const ObjectSet propagate =
+      ObjectSet::Difference(rec.action->WriteSet(), pending_.write_set());
+  optimistic_.CopyObjectsFrom(stable_, propagate);
+}
+
+void SeveClient::HandleOwnEcho(const OrderedAction& rec) {
+  // Locate the optimistic entry; with in-order delivery from the server
+  // this is the queue head, but drops may have removed earlier entries.
+  const PendingQueue::Entry entry = pending_.front().action->id() ==
+                                            rec.action->id()
+                                        ? pending_.front()
+                                        : PendingQueue::Entry{};
+  const bool at_head = entry.action != nullptr;
+
+  // Own echoes must always produce a completion; with the resync blind
+  // write preceding them in the batch their inputs are clean in all but
+  // pathological cases (counted below).
+  const ApplyOutcome outcome = GuardedApply(rec, /*force_eval=*/true);
+  const ResultDigest stable_digest = outcome.digest;
+  if (outcome.out_of_order) {
+    // Evaluated over reordered inputs: commit for liveness, but flag the
+    // completion so the position is excluded from the audit, and do not
+    // contribute our digest either.
+    ++stats_.out_of_order_evals;
+  } else {
+    eval_digests_[rec.pos] = stable_digest;
+  }
+  ++stats_.actions_evaluated;
+  SendCompletion(rec, stable_digest, outcome.out_of_order);
+
+  if (at_head) {
+    stats_.response_time_us.Add(loop()->now() - entry.submitted_at);
+    pending_.PopFront();
+    if (stable_digest != entry.digest) {
+      ++stats_.actions_reconciled;
+      optimistic_.CopyObjectsFrom(stable_, rec.action->WriteSet());
+      pending_.Reconcile(&optimistic_, stable_);
+    }
+  } else {
+    // Out-of-order echo (only possible after drops reordered the queue):
+    // drop the entry wherever it is and reconcile conservatively.
+    (void)pending_.RemoveById(rec.action->id());
+    ++stats_.actions_reconciled;
+    optimistic_.CopyObjectsFrom(stable_, rec.action->WriteSet());
+    pending_.Reconcile(&optimistic_, stable_);
+  }
+}
+
+void SeveClient::HandleDropNotice(const DropNoticeBody& notice) {
+  ++drops_observed_;
+  // Install the read-set refresh first (last-writer guarded): the next
+  // locally generated action must declare its reads against authoritative
+  // positions, or a stale once-nearby neighbour keeps re-chaining this
+  // client into drops forever.
+  for (const Object& obj : notice.refresh) {
+    SeqNum& last = last_writer_[obj.id()];
+    if (notice.refresh_pos >= last) {
+      stable_.Upsert(obj);
+      last = notice.refresh_pos;
+    }
+  }
+  if (!pending_.ContainsId(notice.action_id)) {
+    // Nothing to roll back, but the refreshed values still belong in the
+    // optimistic view for objects with no pending writes.
+    ObjectSet refreshed;
+    for (const Object& obj : notice.refresh) refreshed.Insert(obj.id());
+    refreshed.SubtractWith(pending_.write_set());
+    optimistic_.CopyObjectsFrom(stable_, refreshed);
+    return;
+  }
+  ObjectSet refreshed;
+  for (const Object& obj : notice.refresh) refreshed.Insert(obj.id());
+  SubmitWork(install_us_, [this, id = notice.action_id,
+                           refreshed = std::move(refreshed)]() {
+    if (!pending_.ContainsId(id)) return;
+    // Capture the victim's write set before removal: its optimistic
+    // effects must be rolled back even if no surviving entry writes the
+    // same objects.
+    ObjectSet dropped_ws;
+    for (const PendingQueue::Entry& e : pending_.entries()) {
+      if (e.action->id() == id) {
+        dropped_ws = e.action->WriteSet();
+        break;
+      }
+    }
+    (void)pending_.RemoveById(id);
+    optimistic_.CopyObjectsFrom(stable_,
+                                ObjectSet::Union(dropped_ws, refreshed));
+    // Replay the surviving queue over the refreshed snapshot (Alg. 3).
+    pending_.Reconcile(&optimistic_, stable_);
+  });
+}
+
+void SeveClient::SendCompletion(const OrderedAction& rec,
+                                ResultDigest digest, bool out_of_order) {
+  auto body = std::make_shared<CompletionBody>();
+  body->pos = rec.pos;
+  body->action_id = rec.action->id();
+  body->from = client_;
+  body->digest = digest;
+  body->out_of_order = out_of_order;
+  if (digest != kConflictDigest) {
+    body->written = stable_.Extract(rec.action->WriteSet());
+  }
+  Send(server_, body->WireSize(), body);
+}
+
+}  // namespace seve

@@ -1,0 +1,109 @@
+#ifndef SEVE_PROTOCOL_SEVE_CLIENT_H_
+#define SEVE_PROTOCOL_SEVE_CLIENT_H_
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "action/action.h"
+#include "common/metrics.h"
+#include "net/node.h"
+#include "protocol/client_cost.h"
+#include "protocol/msg.h"
+#include "protocol/options.h"
+#include "protocol/pending_queue.h"
+#include "store/world_state.h"
+
+namespace seve {
+
+/// Client side of the Incomplete World / First Bound / Information Bound
+/// protocols (Algorithm 4).
+///
+/// Differences from the basic client:
+///  * receives only the subset of actions that (transitively) affect it,
+///    with server-synthesized blind writes W(S, ζS(S)) seeding unresolved
+///    reads;
+///  * sends a completion message <a_i, u> with the written values after
+///    the stable evaluation of its own actions (Algorithm 4 step 5) — or
+///    of every action when failure tolerance is on;
+///  * handles drop notices from the Information Bound Model by rolling
+///    back the optimistic evaluation of the dropped action;
+///  * guards installs with per-object last-writer positions so a
+///    transitively included older action cannot clobber newer state.
+class SeveClient : public Node {
+ public:
+  SeveClient(NodeId node, EventLoop* loop, ClientId client, NodeId server,
+             WorldState initial, ActionCostFn cost_fn, Micros install_us,
+             const SeveOptions& options);
+
+  /// Algorithm 4 step 2: optimistic evaluation + submission.
+  void SubmitLocalAction(ActionPtr action);
+
+  ClientId client_id() const { return client_; }
+  const WorldState& stable() const { return stable_; }
+  const WorldState& optimistic() const { return optimistic_; }
+  size_t pending_count() const { return pending_.size(); }
+  SeqNum last_commit_notice() const { return last_commit_notice_; }
+  int64_t drops_observed() const { return drops_observed_; }
+
+  ProtocolStats& stats() { return stats_; }
+  const ProtocolStats& stats() const { return stats_; }
+
+  const std::unordered_map<SeqNum, ResultDigest>& eval_digests() const {
+    return eval_digests_;
+  }
+
+ protected:
+  void OnMessage(const Message& msg) override;
+
+ private:
+  void ApplyOrdered(const OrderedAction& rec);
+  void HandleForeign(const OrderedAction& rec);
+  void HandleOwnEcho(const OrderedAction& rec);
+  void HandleDropNotice(const DropNoticeBody& notice);
+
+  struct ApplyOutcome {
+    ResultDigest digest = 0;
+    /// True when some read input was newer than the action's serial
+    /// position (an out-of-order transitive inclusion): the evaluation
+    /// is transient-only — it must not be completed to the server nor
+    /// audited against the serial execution.
+    bool out_of_order = false;
+    /// True when this position was already applied here (a resync
+    /// re-delivery): the whole application is a no-op.
+    bool duplicate = false;
+  };
+  /// Applies an action to ζCS with the last-writer guard. `force_eval`
+  /// evaluates even over non-serial inputs (own echoes must always
+  /// produce a result).
+  ApplyOutcome GuardedApply(const OrderedAction& rec,
+                            bool force_eval = false);
+  void SendCompletion(const OrderedAction& rec, ResultDigest digest,
+                      bool out_of_order = false);
+
+  ClientId client_;
+  NodeId server_;
+  WorldState optimistic_;  // ζCO
+  WorldState stable_;      // ζCS
+  PendingQueue pending_;   // Q
+  ActionCostFn cost_fn_;
+  Micros install_us_;
+  SeveOptions options_;
+  ProtocolStats stats_;
+  std::unordered_map<SeqNum, ResultDigest> eval_digests_;
+  // Per-object position of the newest action applied to ζCS.
+  std::unordered_map<ObjectId, SeqNum> last_writer_;
+  // Positions of non-blind actions applied to ζCS; duplicate deliveries
+  // must not double-apply (non-idempotent actions).
+  std::unordered_set<SeqNum> applied_;
+  // Objects whose current ζCS value may not equal the serial value at
+  // their last_writer position (produced by an out-of-order evaluation).
+  // Reads of tainted objects taint the reader's writes; a clean in-order
+  // evaluation or an authoritative blind write heals the object.
+  ObjectSet tainted_;
+  SeqNum last_commit_notice_ = kInvalidSeq;
+  int64_t drops_observed_ = 0;
+};
+
+}  // namespace seve
+
+#endif  // SEVE_PROTOCOL_SEVE_CLIENT_H_

@@ -1,0 +1,431 @@
+#include "protocol/seve_server.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "action/blind_write.h"
+
+namespace seve {
+namespace {
+
+// Key of a client in the server's spatial index over client positions.
+uint64_t IndexKey(ClientId client) { return client.value(); }
+
+}  // namespace
+
+SeveServer::SeveServer(NodeId node, EventLoop* loop, WorldState initial,
+                       const CostModel& cost, const InterestModel& interest,
+                       const SeveOptions& options, const AABB& world_bounds)
+    : Node(node, loop),
+      state_(std::move(initial)),
+      cost_(cost),
+      interest_(interest),
+      options_(options),
+      client_index_(world_bounds,
+                    std::max(1.0, interest.ReachTerm() + 1.0)) {
+  // Chain breaking piggybacks on the push machinery; the pure
+  // reply-on-submission mode ships actions before their tick's validity
+  // decision, so dropping requires proactive push.
+  assert(!options_.dropping || options_.proactive_push);
+}
+
+void SeveServer::RegisterClient(ClientId client, NodeId node,
+                                const InterestProfile& profile) {
+  ClientRec rec;
+  rec.node = node;
+  rec.profile = profile;
+  rec.profile_time = loop()->now();
+  clients_[client] = std::move(rec);
+  client_order_.push_back(client);
+  (void)client_index_.Insert(IndexKey(client),
+                             AABB::FromCircle(profile.position, 0.0));
+  max_client_radius_ = std::max(max_client_radius_, profile.radius);
+}
+
+void SeveServer::Start() {
+  running_ = true;
+  if (options_.dropping) {
+    loop()->After(options_.tick_us, [this]() { OnTick(); });
+  }
+  if (options_.proactive_push) {
+    const Micros push_period = static_cast<Micros>(
+        options_.omega * static_cast<double>(interest_.rtt_us()));
+    loop()->After(std::max<Micros>(push_period, 1),
+                  [this]() { OnPushCycle(); });
+  }
+  if (options_.commit_notice_period_us > 0) {
+    loop()->After(options_.commit_notice_period_us,
+                  [this]() { SendCommitNotices(); });
+  }
+}
+
+void SeveServer::OnMessage(const Message& msg) {
+  switch (msg.body->kind()) {
+    case kSubmitAction: {
+      const auto& submit = static_cast<const SubmitActionBody&>(*msg.body);
+      HandleSubmit(submit.action->origin(), submit.action, submit.resync);
+      break;
+    }
+    case kCompletion:
+      HandleCompletion(static_cast<const CompletionBody&>(*msg.body));
+      break;
+    default:
+      break;
+  }
+}
+
+void SeveServer::HandleSubmit(ClientId from, ActionPtr action,
+                              const ObjectSet& resync) {
+  const SeqNum pos = queue_.Append(action, loop()->now());
+  ++stats_.actions_submitted;
+  UpdateClientProfile(from, action->Interest());
+
+  Micros cpu = cost_.serialize_us;
+  if (options_.proactive_push) {
+    cpu += RouteToClients(pos, *action);
+    if (!options_.dropping) {
+      // The submitter gets its closure reply immediately (one round
+      // trip); pushes pre-warm the *other* interested clients, which is
+      // what keeps these replies lean (Section III-D).
+      validity_frontier_ = pos + 1;
+      std::vector<OrderedAction> batch =
+          ComputeClosure(from, pos, &cpu, resync);
+      auto it = clients_.find(from);
+      if (it != clients_.end() && !batch.empty()) {
+        NodeId dst = it->second.node;
+        SubmitWork(cpu, [this, dst, batch = std::move(batch)]() {
+          auto body = std::make_shared<DeliverActionsBody>();
+          body->actions = std::move(batch);
+          Send(dst, body->WireSize(), body);
+        });
+        return;
+      }
+    }
+    // With dropping enabled the echo must wait for this tick's validity
+    // decision; OnTick sends the origin replies right after deciding.
+    if (!resync.empty()) pending_resync_[pos] = resync;
+    SubmitWork(cpu, []() {});
+  } else {
+    // Incomplete World Model without push: reply immediately with the
+    // transitive closure of the submitted action (Algorithm 5 step 4b).
+    validity_frontier_ = pos + 1;
+    auto it = clients_.find(from);
+    if (it == clients_.end()) return;
+    ClientRec* rec = &it->second;
+    std::vector<OrderedAction> batch =
+        ComputeClosure(from, pos, &cpu, resync);
+    SubmitWork(cpu, [this, rec, batch = std::move(batch)]() {
+      auto body = std::make_shared<DeliverActionsBody>();
+      body->actions = std::move(batch);
+      Send(rec->node, body->WireSize(), body);
+    });
+  }
+}
+
+Micros SeveServer::RouteToClients(SeqNum pos, const Action& action) {
+  const InterestProfile profile = action.Interest();
+  // With velocity culling the influence center may be projected by up to
+  // s·(1+ω)RTT (= half the reach term); widen the spatial pre-filter so
+  // the exact test sees every possible hit.
+  const double projection_margin =
+      interest_.velocity_culling() ? 0.5 * interest_.ReachTerm() : 0.0;
+  const double query_radius = interest_.ReachTerm() + profile.radius +
+                              max_client_radius_ + projection_margin;
+  int candidates = 0;
+  client_index_.QueryCircle(
+      profile.position, query_radius, [&](uint64_t key) {
+        ++candidates;
+        const ClientId client(key);
+        auto it = clients_.find(client);
+        if (it == clients_.end()) return;
+        ClientRec& rec = it->second;
+        if (client != action.origin() &&
+            !interest_.MayAffect(profile, loop()->now(), rec.profile,
+                                 rec.profile_time)) {
+          return;
+        }
+        rec.pending_push.push_back(pos);
+      });
+  // The origin always gets its own action back even if the spatial query
+  // missed it (e.g. a zero-radius profile on a grid boundary).
+  auto origin_it = clients_.find(action.origin());
+  if (origin_it != clients_.end()) {
+    auto& pending = origin_it->second.pending_push;
+    if (std::find(pending.begin(), pending.end(), pos) == pending.end()) {
+      pending.push_back(pos);
+    }
+  }
+  return static_cast<Micros>(cost_.interest_test_us *
+                             static_cast<double>(std::max(candidates, 1)));
+}
+
+std::vector<OrderedAction> SeveServer::ComputeClosure(
+    ClientId client, SeqNum pos, Micros* cpu_cost,
+    const ObjectSet& resync) {
+  ServerQueue::Entry* target = queue_.Find(pos);
+  if (target == nullptr || !target->valid) return {};
+  if (target->sent.count(client) != 0) return {};
+
+  ObjectSet read_set =
+      ObjectSet::Union(target->action->ReadSet(), resync);
+  std::vector<SeqNum> included;
+  const int visits = queue_.WalkConflicts(
+      pos, &read_set, [&](const ServerQueue::Entry& entry) {
+        if (entry.sent.count(client) != 0 &&
+            !entry.action->WriteSet().Intersects(resync)) {
+          return ServerQueue::WalkVerdict::kResolve;
+        }
+        // Not yet sent — or sent but the client flagged its outputs as
+        // non-replayable, so re-deliver (as stable values once known).
+        included.push_back(entry.pos);
+        return ServerQueue::WalkVerdict::kInclude;
+      });
+  stats_.closure_visits += visits;
+  *cpu_cost += static_cast<Micros>(
+      cost_.closure_per_visit_us * static_cast<double>(visits + 1));
+
+  // Mark sent(a) ∪= {C} for the target and every included action.
+  target->sent.insert(client);
+  for (SeqNum p : included) {
+    ServerQueue::Entry* entry = queue_.Find(p);
+    if (entry != nullptr) entry->sent.insert(client);
+  }
+
+  // Assemble in ascending pos order with the blind write W(S, ζS(S))
+  // first (Algorithm 6 prepends it last).
+  std::sort(included.begin(), included.end());
+  std::vector<OrderedAction> batch;
+  batch.reserve(included.size() + 2);
+  if (!read_set.empty()) {
+    auto blind = std::make_shared<BlindWrite>(
+        ActionId(next_blind_id_++),
+        loop()->now() / options_.tick_us,
+        state_.Extract(read_set));
+    ++stats_.blind_writes;
+    // Effective position: the committed frontier, so client-side
+    // last-writer guards treat the snapshot as older than any queued
+    // action it accompanies.
+    batch.push_back(OrderedAction{queue_.begin_pos() - 1, blind});
+    *cpu_cost += cost_.install_us;
+  }
+  for (SeqNum p : included) {
+    const ServerQueue::Entry* entry = queue_.Find(p);
+    if (entry == nullptr) continue;
+    if (entry->completed) {
+      // Substitute the stable effect: value shipping is replayable at
+      // any client regardless of what it applied before, unlike re-
+      // executing the action over possibly-newer inputs.
+      batch.push_back(OrderedAction{
+          entry->pos,
+          std::make_shared<BlindWrite>(ActionId(next_blind_id_++),
+                                       loop()->now() / options_.tick_us,
+                                       entry->stable_written)});
+      ++stats_.blind_writes;
+    } else {
+      batch.push_back(OrderedAction{entry->pos, entry->action});
+    }
+  }
+  batch.push_back(OrderedAction{target->pos, target->action});
+  stats_.closure_size.Add(static_cast<int64_t>(batch.size()));
+  return batch;
+}
+
+void SeveServer::OnTick() {
+  // Algorithm 7, onNextTick(): decide validity for every action submitted
+  // since the previous tick, in submission order. An action is dropped
+  // when its transitive conflict chain reaches an action farther than
+  // `threshold` away.
+  Micros cpu = 0;
+  struct Drop {
+    ClientId origin;
+    SeqNum pos;
+    ActionId action_id;
+    ObjectSet read_set;
+  };
+  std::vector<Drop> drops;
+  const SeqNum end = queue_.end_pos();
+  const SeqNum scan_start = std::max(tick_scan_pos_, queue_.begin_pos());
+  for (SeqNum pos = scan_start; pos < end; ++pos) {
+    ServerQueue::Entry* entry = queue_.Find(pos);
+    if (entry == nullptr || !entry->valid) continue;
+    const Vec2 anchor = entry->action->Interest().position;
+    bool invalid = false;
+    ObjectSet read_set = entry->action->ReadSet();
+    const int visits = queue_.WalkConflicts(
+        pos, &read_set, [&](const ServerQueue::Entry& other) {
+          const Vec2 other_pos = other.action->Interest().position;
+          if (Distance(anchor, other_pos) > options_.threshold) {
+            invalid = true;
+            return ServerQueue::WalkVerdict::kStop;
+          }
+          // S ← (S − WS(A_j)) ∪ RS(A_j); with RS ⊇ WS this is S ∪ RS.
+          return ServerQueue::WalkVerdict::kInclude;
+        });
+    stats_.closure_visits += visits;
+    cpu += static_cast<Micros>(cost_.closure_per_visit_us *
+                               static_cast<double>(visits + 1));
+    if (invalid) {
+      queue_.MarkInvalid(pos);
+      ++stats_.actions_dropped;
+      dropped_positions_.push_back(pos);
+      drops.push_back(Drop{entry->action->origin(), pos,
+                           entry->action->id(),
+                           entry->action->ReadSet()});
+      // A dropped head may unblock the committed frontier.
+      if (pos == queue_.begin_pos()) {
+        (void)queue_.Complete(pos, 0, {}, [this](const ServerQueue::Entry& e) {
+          state_.ApplyObjects(e.stable_written);
+          committed_digests_[e.pos] = e.stable_digest;
+          ++stats_.actions_committed;
+        });
+      }
+    }
+  }
+  tick_scan_pos_ = end;
+  validity_frontier_ = end;
+
+  // Send the surviving submitters their closure replies now — the echo
+  // waits only for the validity decision, never for the push cadence.
+  struct Reply {
+    NodeId node;
+    std::vector<OrderedAction> batch;
+  };
+  std::vector<Reply> replies;
+  for (SeqNum pos = scan_start; pos < end; ++pos) {
+    const ServerQueue::Entry* entry = queue_.Find(pos);
+    if (entry == nullptr || !entry->valid) {
+      pending_resync_.erase(pos);
+      continue;
+    }
+    const ClientId origin = entry->action->origin();
+    auto it = clients_.find(origin);
+    if (it == clients_.end()) continue;
+    ObjectSet resync;
+    auto resync_it = pending_resync_.find(pos);
+    if (resync_it != pending_resync_.end()) {
+      resync = std::move(resync_it->second);
+      pending_resync_.erase(resync_it);
+    }
+    std::vector<OrderedAction> batch =
+        ComputeClosure(origin, pos, &cpu, resync);
+    if (!batch.empty()) {
+      replies.push_back(Reply{it->second.node, std::move(batch)});
+    }
+  }
+
+  SubmitWork(cpu, [this, drops = std::move(drops),
+                   replies = std::move(replies)]() {
+    for (const Reply& reply : replies) {
+      auto body = std::make_shared<DeliverActionsBody>();
+      body->actions = reply.batch;
+      Send(reply.node, body->WireSize(), body);
+    }
+    for (const Drop& drop : drops) {
+      auto it = clients_.find(drop.origin);
+      if (it == clients_.end()) continue;
+      auto body = std::make_shared<DropNoticeBody>();
+      body->action_id = drop.action_id;
+      body->pos = drop.pos;
+      // Refresh the origin's view of everything the dropped action read,
+      // so its next declaration starts from authoritative positions.
+      body->refresh = state_.Extract(drop.read_set);
+      body->refresh_pos = queue_.begin_pos() - 1;
+      Send(it->second.node, body->WireSize(), body);
+    }
+  });
+
+  if (running_) {
+    loop()->After(options_.tick_us, [this]() { OnTick(); });
+  }
+}
+
+void SeveServer::OnPushCycle() {
+  for (ClientId client : client_order_) {
+    ClientRec& rec = clients_.at(client);
+    // Ship only validity-decided positions; keep the rest queued.
+    std::vector<SeqNum> ready;
+    std::vector<SeqNum> not_ready;
+    for (SeqNum pos : rec.pending_push) {
+      (pos < validity_frontier_ ? ready : not_ready).push_back(pos);
+    }
+    rec.pending_push = std::move(not_ready);
+    if (ready.empty()) continue;
+    std::sort(ready.begin(), ready.end());
+
+    Micros cpu = 0;
+    std::vector<OrderedAction> batch;
+    for (SeqNum pos : ready) {
+      std::vector<OrderedAction> part = ComputeClosure(client, pos, &cpu);
+      batch.insert(batch.end(), part.begin(), part.end());
+    }
+    if (batch.empty()) continue;
+    // Restore global serialization order across the concatenated
+    // sub-closures: a later target's chain may reach below an earlier
+    // target's position, and clients must apply in pos order. (Blind
+    // writes carry the committed frontier, so they sort to the front.)
+    std::stable_sort(batch.begin(), batch.end(),
+                     [](const OrderedAction& a, const OrderedAction& b) {
+                       return a.pos < b.pos;
+                     });
+    NodeId dst = rec.node;
+    SubmitWork(cpu, [this, dst, batch = std::move(batch)]() {
+      auto body = std::make_shared<DeliverActionsBody>();
+      body->actions = std::move(batch);
+      Send(dst, body->WireSize(), body);
+    });
+  }
+
+  if (running_) {
+    const Micros push_period = static_cast<Micros>(
+        options_.omega * static_cast<double>(interest_.rtt_us()));
+    loop()->After(std::max<Micros>(push_period, 1),
+                  [this]() { OnPushCycle(); });
+  }
+}
+
+void SeveServer::FlushAll() {
+  if (options_.dropping) OnTick();
+  validity_frontier_ = queue_.end_pos();
+  OnPushCycle();
+}
+
+void SeveServer::HandleCompletion(const CompletionBody& completion) {
+  SubmitWork(cost_.install_us, []() {});
+  if (completion.out_of_order) audit_excluded_.insert(completion.pos);
+  const std::vector<SeqNum> installed = queue_.Complete(
+      completion.pos, completion.digest, completion.written,
+      [this](const ServerQueue::Entry& entry) {
+        state_.ApplyObjects(entry.stable_written);
+        if (audit_excluded_.count(entry.pos) == 0) {
+          committed_digests_[entry.pos] = entry.stable_digest;
+        }
+        ++stats_.actions_committed;
+      });
+  (void)installed;
+}
+
+void SeveServer::UpdateClientProfile(ClientId client,
+                                     const InterestProfile& profile) {
+  auto it = clients_.find(client);
+  if (it == clients_.end()) return;
+  it->second.profile = profile;
+  it->second.profile_time = loop()->now();
+  (void)client_index_.Move(IndexKey(client),
+                           AABB::FromCircle(profile.position, 0.0));
+  max_client_radius_ = std::max(max_client_radius_, profile.radius);
+}
+
+void SeveServer::SendCommitNotices() {
+  auto body = std::make_shared<CommitNoticeBody>();
+  body->pos = queue_.begin_pos() - 1;
+  for (ClientId client : client_order_) {
+    Send(clients_.at(client).node, body->WireSize(), body);
+  }
+  if (running_ && options_.commit_notice_period_us > 0) {
+    loop()->After(options_.commit_notice_period_us,
+                  [this]() { SendCommitNotices(); });
+  }
+}
+
+}  // namespace seve

@@ -1,0 +1,136 @@
+#ifndef SEVE_PROTOCOL_SEVE_SERVER_H_
+#define SEVE_PROTOCOL_SEVE_SERVER_H_
+
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "action/action.h"
+#include "common/metrics.h"
+#include "net/node.h"
+#include "protocol/interest.h"
+#include "protocol/msg.h"
+#include "protocol/options.h"
+#include "protocol/server_queue.h"
+#include "spatial/grid_index.h"
+#include "store/world_state.h"
+#include "world/cost_model.h"
+
+namespace seve {
+
+/// Server side of SEVE: the Incomplete World Model (Algorithms 5 and 6)
+/// with the First Bound Model's proactive push (Section III-D) and the
+/// Information Bound Model's chain breaking (Algorithm 7).
+///
+/// The server executes no game logic. Per action it pays:
+///   * serialization (timestamp + enqueue),
+///   * an Equation-1 interest test per nearby client (via a spatial index
+///     over client positions),
+///   * a transitive-closure walk proportional to the conflict chain
+///     (Algorithm 6, via the server queue's writer index),
+/// which is why its capacity is orders of magnitude beyond the Central
+/// baseline's (Section V-B: ~3500 clients on one server).
+class SeveServer : public Node {
+ public:
+  SeveServer(NodeId node, EventLoop* loop, WorldState initial,
+             const CostModel& cost, const InterestModel& interest,
+             const SeveOptions& options, const AABB& world_bounds);
+
+  /// Registers a client with its initial interest profile (avatar position
+  /// and maximum radius of influence rC).
+  void RegisterClient(ClientId client, NodeId node,
+                      const InterestProfile& profile);
+
+  /// Starts the periodic machinery (tick processing and push cycles).
+  void Start();
+  /// Stops scheduling further cycles once the current queue drains.
+  void Stop() { running_ = false; }
+
+  /// Drain aid for quiescing a run: decides validity for everything still
+  /// pending, then pushes every undelivered relevant action to every
+  /// client immediately (bypassing the push cadence).
+  void FlushAll();
+
+  const WorldState& authoritative() const { return state_; }
+  SeqNum committed_frontier() const { return queue_.begin_pos(); }
+  size_t uncommitted() const { return queue_.uncommitted_size(); }
+
+  ProtocolStats& stats() { return stats_; }
+  const ProtocolStats& stats() const { return stats_; }
+
+  /// pos -> stable digest of every installed action (from completion
+  /// messages); ground truth for the consistency checker.
+  const std::unordered_map<SeqNum, ResultDigest>& committed_digests() const {
+    return committed_digests_;
+  }
+  /// pos of actions dropped by Algorithm 7.
+  const std::vector<SeqNum>& dropped_positions() const {
+    return dropped_positions_;
+  }
+
+ protected:
+  void OnMessage(const Message& msg) override;
+
+ private:
+  struct ClientRec {
+    NodeId node;
+    InterestProfile profile;
+    VirtualTime profile_time = 0;
+    std::vector<SeqNum> pending_push;  // routed, not yet pushed
+  };
+
+  void HandleSubmit(ClientId from, ActionPtr action,
+                    const ObjectSet& resync);
+  void HandleCompletion(const CompletionBody& completion);
+  void OnTick();  // Algorithm 7: validity decisions for the last tick
+  void OnPushCycle();  // First Bound: proactive push every ω·RTT
+
+  /// Algorithm 6 for one target action: returns the ordered batch
+  /// (blind write first) and marks sent(a) for every included action.
+  /// `cpu_cost` accumulates the simulated cost of the walk.
+  ///
+  /// `resync` (origin replies only) adds objects the client flagged as
+  /// non-replayable: they join the walked read set, their already-sent
+  /// writers are force-included, and whatever remains unresolved lands
+  /// in the head blind write. Included entries whose stable result is
+  /// already known (completed) are substituted by blind writes of their
+  /// written values — always replayable at any client.
+  std::vector<OrderedAction> ComputeClosure(ClientId client, SeqNum pos,
+                                            Micros* cpu_cost,
+                                            const ObjectSet& resync = {});
+
+  /// Routes a new action to interested clients' pending_push lists
+  /// (Equation 1 over the client spatial index). Returns simulated cost.
+  Micros RouteToClients(SeqNum pos, const Action& action);
+
+  void UpdateClientProfile(ClientId client, const InterestProfile& profile);
+  void SendCommitNotices();
+
+  WorldState state_;  // ζS (committed prefix only)
+  CostModel cost_;
+  InterestModel interest_;
+  SeveOptions options_;
+  ServerQueue queue_;
+  std::unordered_map<ClientId, ClientRec> clients_;
+  std::vector<ClientId> client_order_;  // registration order, deterministic
+  GridIndex client_index_;
+  double max_client_radius_ = 0.0;
+  SeqNum validity_frontier_ = 0;  // positions below are drop-decided
+  SeqNum tick_scan_pos_ = 0;
+  // Resync sets attached to submissions whose reply waits for the
+  // validity tick (dropping mode); consumed by OnTick.
+  std::unordered_map<SeqNum, ObjectSet> pending_resync_;
+  ActionId::ValueType next_blind_id_ = 1ull << 62;
+  bool running_ = false;
+  ProtocolStats stats_;
+  std::unordered_map<SeqNum, ResultDigest> committed_digests_;
+  // Positions whose committed result was produced over reordered inputs
+  // (flagged completions): excluded from the serializability audit.
+  std::unordered_set<SeqNum> audit_excluded_;
+  std::vector<SeqNum> dropped_positions_;
+};
+
+}  // namespace seve
+
+#endif  // SEVE_PROTOCOL_SEVE_SERVER_H_

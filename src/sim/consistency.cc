@@ -1,0 +1,58 @@
+#include "sim/consistency.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace seve {
+
+std::string ConsistencyReport::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "compared=%lld mismatches=%lld (%.4f%%) unreferenced=%lld",
+                static_cast<long long>(compared),
+                static_cast<long long>(mismatches), MismatchRate() * 100.0,
+                static_cast<long long>(unreferenced));
+  return buf;
+}
+
+ConsistencyReport CheckDigestConsistency(
+    const std::unordered_map<SeqNum, ResultDigest>& authority,
+    const std::vector<const std::unordered_map<SeqNum, ResultDigest>*>&
+        replicas) {
+  ConsistencyReport report;
+  std::unordered_map<SeqNum, ResultDigest> reference = authority;
+  if (reference.empty()) {
+    // No authoritative log: elect the first replica holding each position.
+    for (const auto* replica : replicas) {
+      for (const auto& [pos, digest] : *replica) {
+        reference.try_emplace(pos, digest);
+      }
+    }
+  }
+  int replica_index = 0;
+  for (const auto* replica : replicas) {
+    for (const auto& [pos, digest] : *replica) {
+      auto it = reference.find(pos);
+      if (it == reference.end()) {
+        ++report.unreferenced;
+        continue;
+      }
+      ++report.compared;
+      if (it->second != digest) {
+        ++report.mismatches;
+        if (report.mismatches <= 8 && std::getenv("SEVE_DEBUG_CONSISTENCY")) {
+          std::fprintf(stderr,
+                       "MISMATCH pos=%lld replica=%d digest=%016llx "
+                       "ref=%016llx\n",
+                       static_cast<long long>(pos), replica_index,
+                       static_cast<unsigned long long>(digest),
+                       static_cast<unsigned long long>(it->second));
+        }
+      }
+    }
+    ++replica_index;
+  }
+  return report;
+}
+
+}  // namespace seve

@@ -1,0 +1,46 @@
+#ifndef SEVE_SIM_CONSISTENCY_H_
+#define SEVE_SIM_CONSISTENCY_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "action/action.h"
+#include "common/types.h"
+
+namespace seve {
+
+/// Result of comparing evaluation digests across replicas (the empirical
+/// check of Theorem 1: a distributed snapshot must never be inconsistent).
+struct ConsistencyReport {
+  /// (pos, replica) comparisons performed against the reference.
+  int64_t compared = 0;
+  /// Disagreements found.
+  int64_t mismatches = 0;
+  /// Actions evaluated by some replica but absent from the reference.
+  int64_t unreferenced = 0;
+
+  bool consistent() const { return mismatches == 0; }
+  double MismatchRate() const {
+    return compared == 0
+               ? 0.0
+               : static_cast<double>(mismatches) /
+                     static_cast<double>(compared);
+  }
+  std::string ToString() const;
+};
+
+/// Compares per-position result digests across replicas.
+///
+/// `authority` is the server's installed results (empty for architectures
+/// without an authoritative log, e.g. Broadcast — then the first replica
+/// holding a position becomes the reference). Each entry of `replicas`
+/// maps pos -> digest for the actions that replica evaluated.
+ConsistencyReport CheckDigestConsistency(
+    const std::unordered_map<SeqNum, ResultDigest>& authority,
+    const std::vector<const std::unordered_map<SeqNum, ResultDigest>*>&
+        replicas);
+
+}  // namespace seve
+
+#endif  // SEVE_SIM_CONSISTENCY_H_

@@ -1,0 +1,30 @@
+#include "sim/report.h"
+
+#include <cstdio>
+
+namespace seve {
+
+std::string RunReport::Summary() const {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "%s clients=%d\n"
+      "  response_ms: mean=%.1f p50=%.1f p95=%.1f max=%.1f (n=%lld)\n"
+      "  drops=%.2f%% visible_avatars=%.2f per_client_kb=%.1f\n"
+      "  server: submitted=%lld committed=%lld closure_visits=%lld\n"
+      "  consistency: %s\n"
+      "  end_time=%.1fs events=%zu",
+      ArchitectureName(architecture), num_clients, MeanResponseMs(),
+      static_cast<double>(response_us.Median()) / 1000.0, P95ResponseMs(),
+      static_cast<double>(response_us.max()) / 1000.0,
+      static_cast<long long>(response_us.count()), drop_rate * 100.0,
+      avg_visible_avatars, per_client_kb,
+      static_cast<long long>(server_stats.actions_submitted),
+      static_cast<long long>(server_stats.actions_committed),
+      static_cast<long long>(server_stats.closure_visits),
+      consistency.ToString().c_str(),
+      static_cast<double>(end_time) / 1e6, events_run);
+  return buf;
+}
+
+}  // namespace seve

@@ -1,0 +1,62 @@
+#ifndef SEVE_SIM_REPORT_H_
+#define SEVE_SIM_REPORT_H_
+
+#include <string>
+
+#include "common/histogram.h"
+#include "common/metrics.h"
+#include "sim/consistency.h"
+#include "sim/scenario.h"
+
+namespace seve {
+
+/// Everything measured in one run — the raw material for every table and
+/// figure of Section V.
+struct RunReport {
+  Architecture architecture = Architecture::kSeve;
+  int num_clients = 0;
+
+  /// Response time observed by clients (submit -> stable result).
+  Histogram response_us;
+  /// Aggregated client-side protocol counters.
+  ProtocolStats client_stats;
+  /// Server-side protocol counters (drops, closure sizes, ...).
+  ProtocolStats server_stats;
+
+  /// Traffic through the server node and through the whole network.
+  TrafficStats server_traffic;
+  TrafficStats total_traffic;
+  /// Average (sent+received) kilobytes per client over the run — the
+  /// Figure 9 metric.
+  double per_client_kb = 0.0;
+
+  /// Average number of other avatars visible to an avatar (sampled) —
+  /// the Figure 8 x-axis.
+  double avg_visible_avatars = 0.0;
+
+  /// Fraction of submitted moves dropped by the Information Bound Model —
+  /// the Table II metric.
+  double drop_rate = 0.0;
+
+  ConsistencyReport consistency;
+
+  /// Virtual time when the run quiesced.
+  VirtualTime end_time = 0;
+  /// Wall-time events executed (simulator load indicator).
+  size_t events_run = 0;
+
+  double MeanResponseMs() const {
+    return response_us.Mean() / static_cast<double>(kMicrosPerMilli);
+  }
+  double P95ResponseMs() const {
+    return static_cast<double>(response_us.P95()) /
+           static_cast<double>(kMicrosPerMilli);
+  }
+
+  /// Multi-line human-readable summary.
+  std::string Summary() const;
+};
+
+}  // namespace seve
+
+#endif  // SEVE_SIM_REPORT_H_

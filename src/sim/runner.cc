@@ -1,0 +1,456 @@
+#include "sim/runner.h"
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "baseline/broadcast.h"
+#include "baseline/zoned.h"
+#include "baseline/central.h"
+#include "baseline/ring.h"
+#include "common/rng.h"
+#include "net/network.h"
+#include "protocol/basic_client.h"
+#include "protocol/basic_server.h"
+#include "protocol/interest.h"
+#include "protocol/lock_protocol.h"
+#include "protocol/occ_protocol.h"
+#include "protocol/seve_client.h"
+#include "protocol/seve_server.h"
+#include "world/attrs.h"
+
+namespace seve {
+namespace {
+
+/// Uniform handle over the per-architecture client types.
+struct ClientDriver {
+  std::function<void(ActionPtr)> submit;
+  std::function<const WorldState&()> view;
+  std::function<const ProtocolStats&()> stats;
+  const std::unordered_map<SeqNum, ResultDigest>* digests = nullptr;
+};
+
+NodeId ServerNode() { return NodeId(0); }
+NodeId ClientNode(int index) {
+  return NodeId(static_cast<uint64_t>(index) + 1);
+}
+
+LinkParams MakeLink(const Scenario& s) {
+  if (s.link_kbps > 0.0) {
+    return LinkParams::FromKbps(s.one_way_latency_us, s.link_kbps,
+                                s.msg_overhead_bytes);
+  }
+  LinkParams params = LinkParams::LatencyOnly(s.one_way_latency_us);
+  params.per_message_overhead_bytes = s.msg_overhead_bytes;
+  return params;
+}
+
+InterestProfile InitialProfile(const ManhattanWorld& world, int index) {
+  InterestProfile profile;
+  profile.position = world.InitialState()
+                         .GetAttr(ManhattanWorld::AvatarId(index),
+                                  kAttrPosition)
+                         .AsVec2();
+  profile.radius = world.config().move_effect_range;
+  profile.interest_class = 1;
+  return profile;
+}
+
+}  // namespace
+
+RunReport RunScenario(Architecture arch, const Scenario& scenario_in) {
+  Scenario s = scenario_in;
+  s.world.num_avatars = s.num_clients;
+
+  EventLoop loop;
+  Network net(&loop, s.seed ^ 0x6e657477ULL);
+  ManhattanWorld world(s.world, s.seed);
+
+  // CPU price of evaluating an action: walls and avatars visible around
+  // the action's location, or the fixed Figure-7 override.
+  ActionCostFn cost_fn = [&s, &world](const Action& action,
+                                      const WorldState& view) -> Micros {
+    if (s.fixed_move_cost_us.has_value()) return *s.fixed_move_cost_us;
+    const Vec2 pos = action.Interest().position;
+    const int walls = world.CountWallsNear(
+        pos, s.world.visibility * s.cost.wall_check_radius_factor);
+    const int avatars = world.CountAvatarsNear(view, pos, s.world.visibility,
+                                               ObjectId::Invalid());
+    return s.cost.MoveCost(walls, avatars);
+  };
+
+  const LinkParams link = MakeLink(s);
+  const Micros rtt_us = 2 * s.one_way_latency_us;
+
+  // ---- Architecture-specific construction -------------------------------
+  std::unique_ptr<SeveServer> seve_server;
+  std::vector<std::unique_ptr<SeveClient>> seve_clients;
+  std::unique_ptr<BasicServer> basic_server;
+  std::vector<std::unique_ptr<BasicClient>> basic_clients;
+  std::unique_ptr<CentralServer> central_server;
+  std::vector<std::unique_ptr<CentralClient>> central_clients;
+  std::unique_ptr<BroadcastServer> broadcast_server;
+  std::vector<std::unique_ptr<BroadcastClient>> broadcast_clients;
+  std::unique_ptr<RingServer> ring_server;
+  std::vector<std::unique_ptr<RingClient>> ring_clients;
+  std::unique_ptr<LockServer> lock_server;
+  std::vector<std::unique_ptr<LockClient>> lock_clients;
+  std::unique_ptr<OccServer> occ_server;
+  std::vector<std::unique_ptr<OccClient>> occ_clients;
+  std::unique_ptr<ZoneMap> zone_map;
+  std::vector<std::unique_ptr<ZoneServer>> zone_servers;
+  std::vector<std::unique_ptr<ZonedClient>> zoned_clients;
+
+  std::vector<ClientDriver> drivers(static_cast<size_t>(s.num_clients));
+  std::function<void()> stop_and_flush = []() {};
+  std::function<const WorldState&()> observer;
+  const std::unordered_map<SeqNum, ResultDigest>* authority = nullptr;
+  Node* server_node = nullptr;
+  ProtocolStats* server_stats = nullptr;
+
+  auto connect_client = [&](int i, Node* node) {
+    net.AddNode(node);
+    net.ConnectBidirectional(ServerNode(), ClientNode(i), link);
+    node->set_load_factor(s.client_load_factor);
+  };
+
+  switch (arch) {
+    case Architecture::kSeve:
+    case Architecture::kSeveNoDropping:
+    case Architecture::kIncompleteWorld: {
+      SeveOptions opts = s.seve;
+      if (arch == Architecture::kSeveNoDropping) opts.dropping = false;
+      if (arch == Architecture::kIncompleteWorld) {
+        opts.proactive_push = false;
+        opts.dropping = false;
+      }
+      InterestModel interest(s.world.speed, rtt_us, opts.omega,
+                             opts.velocity_culling, opts.interest_classes);
+      seve_server = std::make_unique<SeveServer>(
+          ServerNode(), &loop, world.InitialState(), s.cost, interest, opts,
+          s.world.bounds);
+      net.AddNode(seve_server.get());
+      for (int i = 0; i < s.num_clients; ++i) {
+        auto client = std::make_unique<SeveClient>(
+            ClientNode(i), &loop, ClientId(static_cast<uint64_t>(i)),
+            ServerNode(), world.InitialState(), cost_fn, s.cost.install_us,
+            opts);
+        connect_client(i, client.get());
+        seve_server->RegisterClient(client->client_id(), ClientNode(i),
+                                    InitialProfile(world, i));
+        SeveClient* raw = client.get();
+        drivers[static_cast<size_t>(i)] = ClientDriver{
+            [raw](ActionPtr a) { raw->SubmitLocalAction(std::move(a)); },
+            [raw]() -> const WorldState& { return raw->optimistic(); },
+            [raw]() -> const ProtocolStats& { return raw->stats(); },
+            &raw->eval_digests()};
+        seve_clients.push_back(std::move(client));
+      }
+      seve_server->Start();
+      authority = &seve_server->committed_digests();
+      server_node = seve_server.get();
+      server_stats = &seve_server->stats();
+      observer = [&srv = *seve_server]() -> const WorldState& {
+        return srv.authoritative();
+      };
+      stop_and_flush = [&srv = *seve_server]() {
+        srv.Stop();
+        srv.FlushAll();
+      };
+      break;
+    }
+    case Architecture::kBasic: {
+      basic_server = std::make_unique<BasicServer>(ServerNode(), &loop,
+                                                   s.cost.serialize_us);
+      net.AddNode(basic_server.get());
+      for (int i = 0; i < s.num_clients; ++i) {
+        auto client = std::make_unique<BasicClient>(
+            ClientNode(i), &loop, ClientId(static_cast<uint64_t>(i)),
+            ServerNode(), world.InitialState(), cost_fn, s.cost.install_us);
+        connect_client(i, client.get());
+        basic_server->RegisterClient(client->client_id(), ClientNode(i));
+        BasicClient* raw = client.get();
+        drivers[static_cast<size_t>(i)] = ClientDriver{
+            [raw](ActionPtr a) { raw->SubmitLocalAction(std::move(a)); },
+            [raw]() -> const WorldState& { return raw->optimistic(); },
+            [raw]() -> const ProtocolStats& { return raw->stats(); },
+            &raw->eval_digests()};
+        basic_clients.push_back(std::move(client));
+      }
+      server_node = basic_server.get();
+      server_stats = &basic_server->stats();
+      observer = [&clients = basic_clients]() -> const WorldState& {
+        return clients.front()->stable();
+      };
+      stop_and_flush = [&srv = *basic_server]() { srv.FlushAll(); };
+      break;
+    }
+    case Architecture::kCentral: {
+      central_server = std::make_unique<CentralServer>(
+          ServerNode(), &loop, world.InitialState(), s.cost, cost_fn,
+          s.world.visibility);
+      net.AddNode(central_server.get());
+      for (int i = 0; i < s.num_clients; ++i) {
+        auto client = std::make_unique<CentralClient>(
+            ClientNode(i), &loop, ClientId(static_cast<uint64_t>(i)),
+            ServerNode(), world.InitialState(), s.cost.install_us);
+        connect_client(i, client.get());
+        central_server->RegisterClient(client->client_id(), ClientNode(i));
+        CentralClient* raw = client.get();
+        drivers[static_cast<size_t>(i)] = ClientDriver{
+            [raw](ActionPtr a) { raw->SubmitLocalAction(std::move(a)); },
+            [raw]() -> const WorldState& { return raw->view(); },
+            [raw]() -> const ProtocolStats& { return raw->stats(); },
+            nullptr};
+        central_clients.push_back(std::move(client));
+      }
+      authority = &central_server->committed_digests();
+      server_node = central_server.get();
+      server_stats = &central_server->stats();
+      observer = [&srv = *central_server]() -> const WorldState& {
+        return srv.state();
+      };
+      break;
+    }
+    case Architecture::kBroadcast: {
+      broadcast_server =
+          std::make_unique<BroadcastServer>(ServerNode(), &loop, s.cost);
+      net.AddNode(broadcast_server.get());
+      for (int i = 0; i < s.num_clients; ++i) {
+        auto client = std::make_unique<BroadcastClient>(
+            ClientNode(i), &loop, ClientId(static_cast<uint64_t>(i)),
+            ServerNode(), world.InitialState(), cost_fn);
+        connect_client(i, client.get());
+        broadcast_server->RegisterClient(client->client_id(), ClientNode(i));
+        BroadcastClient* raw = client.get();
+        drivers[static_cast<size_t>(i)] = ClientDriver{
+            [raw](ActionPtr a) { raw->SubmitLocalAction(std::move(a)); },
+            [raw]() -> const WorldState& { return raw->state(); },
+            [raw]() -> const ProtocolStats& { return raw->stats(); },
+            &raw->eval_digests()};
+        broadcast_clients.push_back(std::move(client));
+      }
+      server_node = broadcast_server.get();
+      server_stats = &broadcast_server->stats();
+      observer = [&clients = broadcast_clients]() -> const WorldState& {
+        return clients.front()->state();
+      };
+      break;
+    }
+    case Architecture::kRing: {
+      ring_server = std::make_unique<RingServer>(
+          ServerNode(), &loop, s.cost, s.world.visibility, s.world.bounds);
+      net.AddNode(ring_server.get());
+      for (int i = 0; i < s.num_clients; ++i) {
+        auto client = std::make_unique<RingClient>(
+            ClientNode(i), &loop, ClientId(static_cast<uint64_t>(i)),
+            ServerNode(), world.InitialState(), cost_fn);
+        connect_client(i, client.get());
+        ring_server->RegisterClient(client->client_id(), ClientNode(i),
+                                    InitialProfile(world, i).position);
+        RingClient* raw = client.get();
+        drivers[static_cast<size_t>(i)] = ClientDriver{
+            [raw](ActionPtr a) { raw->SubmitLocalAction(std::move(a)); },
+            [raw]() -> const WorldState& { return raw->state(); },
+            [raw]() -> const ProtocolStats& { return raw->stats(); },
+            &raw->eval_digests()};
+        ring_clients.push_back(std::move(client));
+      }
+      server_node = ring_server.get();
+      server_stats = &ring_server->stats();
+      observer = [&clients = ring_clients]() -> const WorldState& {
+        return clients.front()->state();
+      };
+      break;
+    }
+    case Architecture::kLockBased: {
+      lock_server = std::make_unique<LockServer>(ServerNode(), &loop,
+                                                 world.InitialState(),
+                                                 s.cost);
+      net.AddNode(lock_server.get());
+      for (int i = 0; i < s.num_clients; ++i) {
+        auto client = std::make_unique<LockClient>(
+            ClientNode(i), &loop, ClientId(static_cast<uint64_t>(i)),
+            ServerNode(), world.InitialState(), cost_fn, s.cost.install_us);
+        connect_client(i, client.get());
+        lock_server->RegisterClient(client->client_id(), ClientNode(i));
+        LockClient* raw = client.get();
+        drivers[static_cast<size_t>(i)] = ClientDriver{
+            [raw](ActionPtr a) { raw->SubmitLocalAction(std::move(a)); },
+            [raw]() -> const WorldState& { return raw->state(); },
+            [raw]() -> const ProtocolStats& { return raw->stats(); },
+            &raw->eval_digests()};
+        lock_clients.push_back(std::move(client));
+      }
+      authority = &lock_server->committed_digests();
+      server_node = lock_server.get();
+      server_stats = &lock_server->stats();
+      observer = [&srv = *lock_server]() -> const WorldState& {
+        return srv.state();
+      };
+      break;
+    }
+    case Architecture::kTimestampOcc: {
+      occ_server = std::make_unique<OccServer>(ServerNode(), &loop,
+                                               world.InitialState(), s.cost);
+      net.AddNode(occ_server.get());
+      for (int i = 0; i < s.num_clients; ++i) {
+        auto client = std::make_unique<OccClient>(
+            ClientNode(i), &loop, ClientId(static_cast<uint64_t>(i)),
+            ServerNode(), world.InitialState(), cost_fn, s.cost.install_us);
+        connect_client(i, client.get());
+        occ_server->RegisterClient(client->client_id(), ClientNode(i));
+        OccClient* raw = client.get();
+        drivers[static_cast<size_t>(i)] = ClientDriver{
+            [raw](ActionPtr a) { raw->SubmitLocalAction(std::move(a)); },
+            [raw]() -> const WorldState& { return raw->state(); },
+            [raw]() -> const ProtocolStats& { return raw->stats(); },
+            &raw->eval_digests()};
+        occ_clients.push_back(std::move(client));
+      }
+      authority = &occ_server->committed_digests();
+      server_node = occ_server.get();
+      server_stats = &occ_server->stats();
+      observer = [&srv = *occ_server]() -> const WorldState& {
+        return srv.state();
+      };
+      break;
+    }
+    case Architecture::kZoned: {
+      zone_map = std::make_unique<ZoneMap>(s.world.bounds,
+                                           s.zones_per_side);
+      // Zone server node ids live above the client id range.
+      std::vector<NodeId> zone_nodes;
+      for (int z = 0; z < zone_map->zone_count(); ++z) {
+        const NodeId node_id(100000 + static_cast<uint64_t>(z));
+        auto server = std::make_unique<ZoneServer>(
+            node_id, &loop, z, world.InitialState(), s.cost, cost_fn,
+            s.world.visibility);
+        net.AddNode(server.get());
+        zone_nodes.push_back(node_id);
+        zone_servers.push_back(std::move(server));
+      }
+      for (int i = 0; i < s.num_clients; ++i) {
+        auto client = std::make_unique<ZonedClient>(
+            ClientNode(i), &loop, ClientId(static_cast<uint64_t>(i)),
+            zone_map.get(), zone_nodes, world.InitialState(),
+            s.cost.install_us);
+        net.AddNode(client.get());
+        client->set_load_factor(s.client_load_factor);
+        for (const NodeId zone_node : zone_nodes) {
+          net.ConnectBidirectional(zone_node, ClientNode(i), link);
+        }
+        for (auto& server : zone_servers) {
+          server->RegisterClient(client->client_id(), ClientNode(i));
+        }
+        ZonedClient* raw = client.get();
+        drivers[static_cast<size_t>(i)] = ClientDriver{
+            [raw](ActionPtr a) { raw->SubmitLocalAction(std::move(a)); },
+            [raw]() -> const WorldState& { return raw->view(); },
+            [raw]() -> const ProtocolStats& { return raw->stats(); },
+            nullptr};
+        zoned_clients.push_back(std::move(client));
+      }
+      server_node = zone_servers.front().get();
+      server_stats = &zone_servers.front()->stats();
+      observer = [&clients = zoned_clients]() -> const WorldState& {
+        return clients.front()->view();
+      };
+      break;
+    }
+  }
+
+  // ---- Drive the move streams -------------------------------------------
+  Rng gen_rng(s.seed ^ 0x67656e);
+  VirtualTime last_submission = 0;
+  for (int i = 0; i < s.num_clients; ++i) {
+    const VirtualTime start = static_cast<VirtualTime>(
+        gen_rng.NextBounded(static_cast<uint64_t>(s.move_period_us)));
+    for (int k = 0; k < s.moves_per_client; ++k) {
+      const VirtualTime when = start + static_cast<VirtualTime>(k) *
+                                           s.move_period_us;
+      last_submission = std::max(last_submission, when);
+      loop.At(when, [&, i, k]() {
+        const ActionId id((static_cast<uint64_t>(i) << 32) |
+                          static_cast<uint64_t>(k));
+        const Tick tick = loop.now() / s.seve.tick_us;
+        ClientDriver& driver = drivers[static_cast<size_t>(i)];
+        driver.submit(world.MakeMove(id, ClientId(static_cast<uint64_t>(i)),
+                                     i, tick, driver.view(),
+                                     s.move_period_us));
+      });
+    }
+  }
+
+  // ---- Visibility sampling (Figure 8 x-axis) -----------------------------
+  double visible_sum = 0.0;
+  int64_t visible_samples = 0;
+  const Micros sample_period = 500 * kMicrosPerMilli;
+  std::function<void()> sample = [&]() {
+    if (loop.now() > last_submission) return;
+    const WorldState& state = observer();
+    for (int i = 0; i < s.num_clients; ++i) {
+      const ObjectId avatar = ManhattanWorld::AvatarId(i);
+      const Vec2 pos = state.GetAttr(avatar, kAttrPosition).AsVec2();
+      visible_sum += world.CountAvatarsNear(state, pos, s.world.visibility,
+                                            avatar);
+      ++visible_samples;
+    }
+    loop.After(sample_period, sample);
+  };
+  loop.After(sample_period, sample);
+
+  // ---- Run to quiescence --------------------------------------------------
+  const Micros push_period =
+      static_cast<Micros>(s.seve.omega * static_cast<double>(rtt_us));
+  loop.RunUntil(last_submission + s.one_way_latency_us + s.seve.tick_us +
+                push_period + 100 * kMicrosPerMilli);
+  stop_and_flush();
+  loop.RunUntilIdle(s.max_drain_events);
+
+  // ---- Collect -------------------------------------------------------------
+  RunReport report;
+  report.architecture = arch;
+  report.num_clients = s.num_clients;
+  report.end_time = loop.now();
+  report.events_run = loop.events_run();
+
+  std::vector<const std::unordered_map<SeqNum, ResultDigest>*> replicas;
+  for (int i = 0; i < s.num_clients; ++i) {
+    const ClientDriver& driver = drivers[static_cast<size_t>(i)];
+    const ProtocolStats& stats = driver.stats();
+    report.client_stats.Merge(stats);
+    report.response_us.Merge(stats.response_time_us);
+    if (driver.digests != nullptr) replicas.push_back(driver.digests);
+  }
+  if (server_stats != nullptr) report.server_stats = *server_stats;
+  report.server_traffic = server_node->traffic();
+  if (arch == Architecture::kZoned) {
+    // Aggregate across all zone servers (the "server side" is a fleet).
+    report.server_stats = ProtocolStats{};
+    report.server_traffic = TrafficStats{};
+    for (const auto& zone : zone_servers) {
+      report.server_stats.Merge(zone->stats());
+      report.server_traffic.Merge(zone->traffic());
+    }
+  }
+  report.total_traffic = net.TotalTraffic();
+  const double client_bytes =
+      static_cast<double>(report.total_traffic.total_bytes() -
+                          report.server_traffic.total_bytes());
+  report.per_client_kb =
+      client_bytes / std::max(1, s.num_clients) / 1024.0;
+  report.avg_visible_avatars =
+      visible_samples == 0 ? 0.0
+                           : visible_sum /
+                                 static_cast<double>(visible_samples);
+  report.drop_rate = report.server_stats.DropRate();
+
+  static const std::unordered_map<SeqNum, ResultDigest> kEmpty;
+  report.consistency = CheckDigestConsistency(
+      authority != nullptr ? *authority : kEmpty, replicas);
+  return report;
+}
+
+}  // namespace seve

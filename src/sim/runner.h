@@ -1,0 +1,17 @@
+#ifndef SEVE_SIM_RUNNER_H_
+#define SEVE_SIM_RUNNER_H_
+
+#include "sim/report.h"
+#include "sim/scenario.h"
+
+namespace seve {
+
+/// Runs one complete experiment: builds the Manhattan People world,
+/// instantiates the chosen architecture over the simulated network,
+/// drives every client's move stream, quiesces, and returns the
+/// measurements. Deterministic: same (arch, scenario) -> same report.
+RunReport RunScenario(Architecture arch, const Scenario& scenario);
+
+}  // namespace seve
+
+#endif  // SEVE_SIM_RUNNER_H_

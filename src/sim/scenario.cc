@@ -1,0 +1,47 @@
+#include "sim/scenario.h"
+
+namespace seve {
+
+const char* ArchitectureName(Architecture arch) {
+  switch (arch) {
+    case Architecture::kSeve:
+      return "SEVE";
+    case Architecture::kSeveNoDropping:
+      return "SEVE-nodrop";
+    case Architecture::kIncompleteWorld:
+      return "IncompleteWorld";
+    case Architecture::kBasic:
+      return "Basic";
+    case Architecture::kCentral:
+      return "Central";
+    case Architecture::kBroadcast:
+      return "Broadcast";
+    case Architecture::kRing:
+      return "RING";
+    case Architecture::kZoned:
+      return "Zoned";
+    case Architecture::kLockBased:
+      return "LockBased";
+    case Architecture::kTimestampOcc:
+      return "OCC";
+  }
+  return "?";
+}
+
+Scenario Scenario::TableOne(int clients) {
+  Scenario s;
+  s.num_clients = clients;
+  s.world.bounds = AABB{{0.0, 0.0}, {1000.0, 1000.0}};
+  s.world.num_walls = 100000;
+  s.world.wall_length = 10.0;
+  s.world.move_effect_range = 10.0;
+  s.world.visibility = 30.0;
+  s.moves_per_client = 100;
+  s.move_period_us = 300 * kMicrosPerMilli;
+  s.one_way_latency_us = 119 * kMicrosPerMilli;
+  s.link_kbps = 100.0;
+  s.seve.threshold = 1.5 * s.world.visibility;
+  return s;
+}
+
+}  // namespace seve

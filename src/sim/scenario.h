@@ -1,0 +1,73 @@
+#ifndef SEVE_SIM_SCENARIO_H_
+#define SEVE_SIM_SCENARIO_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/types.h"
+#include "protocol/options.h"
+#include "world/cost_model.h"
+#include "world/manhattan_world.h"
+
+namespace seve {
+
+/// Which system runs the workload.
+enum class Architecture {
+  kSeve,            // full SEVE: IW + First Bound push + chain breaking
+  kSeveNoDropping,  // SEVE without the Information Bound Model (Fig. 8)
+  kIncompleteWorld, // Algorithms 4-6 only: closure replies on submission
+  kBasic,           // Algorithms 1-3: every client sees every action
+  kCentral,         // server-centric MMO baseline (Second Life / WoW)
+  kBroadcast,       // NPSNET/SIMNET object broadcast baseline
+  kRing,            // RING-like visibility filtering baseline
+  kZoned,           // geographic zoning across zone servers (Section II-A)
+  kLockBased,       // distributed locking (Section II-B, Project Darkstar)
+  kTimestampOcc,    // timestamp/OCC certification (Section II-B)
+};
+
+const char* ArchitectureName(Architecture arch);
+
+/// One experiment configuration. Defaults reproduce Table I:
+///   world 1000x1000, up to 100,000 walls, up to 64 clients, 238 ms
+///   average RTT, 100 Kbps links, 100 moves per client at 300 ms, move
+///   effect range 10, visibility 30, threshold 1.5 x visibility.
+struct Scenario {
+  WorldConfig world;
+
+  int num_clients = 64;  // also sets world.num_avatars at run time
+  int moves_per_client = 100;
+  Micros move_period_us = 300 * kMicrosPerMilli;
+
+  /// One-way latency; Table I's 238 ms is the average inter-machine
+  /// latency, i.e. ~119 ms each way.
+  Micros one_way_latency_us = 119 * kMicrosPerMilli;
+  /// Per-link bandwidth cap (Table I: 100 Kbps); 0 = unlimited.
+  double link_kbps = 100.0;
+  int64_t msg_overhead_bytes = 28;  // IP+UDP framing
+
+  CostModel cost;
+  /// If set, every action evaluation costs exactly this much (the
+  /// Figure-7 complexity sweep).
+  std::optional<Micros> fixed_move_cost_us;
+
+  SeveOptions seve;
+
+  uint64_t seed = 42;
+  /// Client machines run background programs (Section V-A); >1 inflates
+  /// client CPU costs.
+  double client_load_factor = 1.0;
+  /// Hard cap on events after generation stops (guards overloaded runs).
+  size_t max_drain_events = 50'000'000;
+
+  /// kZoned: the world is tiled into zones_per_side^2 zones, one zone
+  /// server (simulated machine) each.
+  int zones_per_side = 3;
+
+  /// Convenience: Table I defaults with a given client count.
+  static Scenario TableOne(int clients);
+};
+
+}  // namespace seve
+
+#endif  // SEVE_SIM_SCENARIO_H_

@@ -1,0 +1,50 @@
+#ifndef SEVE_SPATIAL_AABB_H_
+#define SEVE_SPATIAL_AABB_H_
+
+#include <algorithm>
+
+#include "spatial/vec2.h"
+
+namespace seve {
+
+/// Axis-aligned bounding box, used by the grid index and the world bounds.
+struct AABB {
+  Vec2 min;
+  Vec2 max;
+
+  constexpr AABB() = default;
+  constexpr AABB(Vec2 min_in, Vec2 max_in) : min(min_in), max(max_in) {}
+
+  /// Box covering a circle of `radius` around `center`.
+  static constexpr AABB FromCircle(Vec2 center, double radius) {
+    return AABB({center.x - radius, center.y - radius},
+                {center.x + radius, center.y + radius});
+  }
+
+  /// Box covering the segment [a, b].
+  static AABB FromSegment(Vec2 a, Vec2 b) {
+    return AABB({std::min(a.x, b.x), std::min(a.y, b.y)},
+                {std::max(a.x, b.x), std::max(a.y, b.y)});
+  }
+
+  constexpr double Width() const { return max.x - min.x; }
+  constexpr double Height() const { return max.y - min.y; }
+
+  constexpr bool Contains(Vec2 p) const {
+    return p.x >= min.x && p.x <= max.x && p.y >= min.y && p.y <= max.y;
+  }
+
+  constexpr bool Intersects(const AABB& o) const {
+    return min.x <= o.max.x && o.min.x <= max.x && min.y <= o.max.y &&
+           o.min.y <= max.y;
+  }
+
+  /// Clamps `p` to lie inside the box.
+  Vec2 Clamp(Vec2 p) const {
+    return {std::clamp(p.x, min.x, max.x), std::clamp(p.y, min.y, max.y)};
+  }
+};
+
+}  // namespace seve
+
+#endif  // SEVE_SPATIAL_AABB_H_

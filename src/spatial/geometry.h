@@ -1,0 +1,52 @@
+#ifndef SEVE_SPATIAL_GEOMETRY_H_
+#define SEVE_SPATIAL_GEOMETRY_H_
+
+#include <optional>
+
+#include "spatial/vec2.h"
+
+namespace seve {
+
+/// A line segment; walls in Manhattan People are segments.
+struct Segment {
+  Vec2 a;
+  Vec2 b;
+
+  Vec2 Direction() const { return (b - a).Normalized(); }
+  double Length() const { return (b - a).Length(); }
+};
+
+/// Squared distance from point `p` to segment `s`.
+double DistanceSqPointSegment(Vec2 p, const Segment& s);
+
+/// Distance from point `p` to segment `s`.
+double DistancePointSegment(Vec2 p, const Segment& s);
+
+/// True if the circle (center, radius) touches or overlaps segment `s`.
+bool CircleIntersectsSegment(Vec2 center, double radius, const Segment& s);
+
+/// If segments `p` and `q` properly intersect (or touch), returns the
+/// intersection parameter t in [0,1] along `p`; otherwise nullopt.
+std::optional<double> SegmentIntersectionParam(const Segment& p,
+                                               const Segment& q);
+
+/// First hit of a moving circle against a segment. The circle starts at
+/// `start`, moves along `dir` (unit vector) for `max_dist`. Returns the
+/// travel distance to first contact, or nullopt if no contact. This is the
+/// kernel of Manhattan People's wall-collision test; it is deliberately
+/// trig-heavy downstream (see world/cost_model) to emulate the expensive
+/// move evaluation the paper measures.
+std::optional<double> MovingCircleSegmentHit(Vec2 start, Vec2 dir,
+                                             double max_dist, double radius,
+                                             const Segment& s);
+
+/// First hit of a moving circle against a static circle at `center` with
+/// combined radius `radius`. Returns travel distance to contact, or
+/// nullopt.
+std::optional<double> MovingCircleCircleHit(Vec2 start, Vec2 dir,
+                                            double max_dist, double radius,
+                                            Vec2 center);
+
+}  // namespace seve
+
+#endif  // SEVE_SPATIAL_GEOMETRY_H_

@@ -1,0 +1,120 @@
+#include "spatial/grid_index.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace seve {
+
+GridIndex::GridIndex(const AABB& bounds, double cell_size)
+    : bounds_(bounds), cell_size_(cell_size) {
+  assert(cell_size > 0.0);
+  nx_ = std::max(1, static_cast<int>(std::ceil(bounds.Width() / cell_size)));
+  ny_ = std::max(1, static_cast<int>(std::ceil(bounds.Height() / cell_size)));
+  cells_.resize(static_cast<size_t>(nx_) * static_cast<size_t>(ny_));
+}
+
+GridIndex::CellRange GridIndex::RangeFor(const AABB& box) const {
+  auto cell_x = [this](double x) {
+    const double rel = (x - bounds_.min.x) / cell_size_;
+    return std::clamp(static_cast<int>(std::floor(rel)), 0, nx_ - 1);
+  };
+  auto cell_y = [this](double y) {
+    const double rel = (y - bounds_.min.y) / cell_size_;
+    return std::clamp(static_cast<int>(std::floor(rel)), 0, ny_ - 1);
+  };
+  return {cell_x(box.min.x), cell_y(box.min.y), cell_x(box.max.x),
+          cell_y(box.max.y)};
+}
+
+void GridIndex::LinkItem(uint64_t key, const CellRange& range) {
+  for (int cy = range.y0; cy <= range.y1; ++cy) {
+    for (int cx = range.x0; cx <= range.x1; ++cx) {
+      cells_[CellIndex(cx, cy)].push_back(key);
+    }
+  }
+}
+
+void GridIndex::UnlinkItem(uint64_t key, const CellRange& range) {
+  for (int cy = range.y0; cy <= range.y1; ++cy) {
+    for (int cx = range.x0; cx <= range.x1; ++cx) {
+      auto& cell = cells_[CellIndex(cx, cy)];
+      auto it = std::find(cell.begin(), cell.end(), key);
+      if (it != cell.end()) {
+        *it = cell.back();
+        cell.pop_back();
+      }
+    }
+  }
+}
+
+Status GridIndex::Insert(uint64_t key, const AABB& box) {
+  if (items_.count(key) != 0) {
+    return Status::AlreadyExists("grid key already present");
+  }
+  const CellRange range = RangeFor(box);
+  items_.emplace(key, ItemRec{box, range});
+  LinkItem(key, range);
+  return Status::OK();
+}
+
+Status GridIndex::Remove(uint64_t key) {
+  auto it = items_.find(key);
+  if (it == items_.end()) return Status::NotFound("grid key absent");
+  UnlinkItem(key, it->second.range);
+  items_.erase(it);
+  return Status::OK();
+}
+
+Status GridIndex::Move(uint64_t key, const AABB& new_box) {
+  auto it = items_.find(key);
+  if (it == items_.end()) return Status::NotFound("grid key absent");
+  const CellRange new_range = RangeFor(new_box);
+  const CellRange& old_range = it->second.range;
+  if (new_range.x0 != old_range.x0 || new_range.y0 != old_range.y0 ||
+      new_range.x1 != old_range.x1 || new_range.y1 != old_range.y1) {
+    UnlinkItem(key, old_range);
+    LinkItem(key, new_range);
+    it->second.range = new_range;
+  }
+  it->second.box = new_box;
+  return Status::OK();
+}
+
+void GridIndex::QueryBox(const AABB& query,
+                         const std::function<void(uint64_t)>& fn) const {
+  const CellRange range = RangeFor(query);
+  ++query_epoch_;
+  for (int cy = range.y0; cy <= range.y1; ++cy) {
+    for (int cx = range.x0; cx <= range.x1; ++cx) {
+      for (uint64_t key : cells_[CellIndex(cx, cy)]) {
+        auto [it, fresh] = stamp_.try_emplace(key, query_epoch_);
+        if (!fresh) {
+          if (it->second == query_epoch_) continue;
+          it->second = query_epoch_;
+        }
+        const auto& rec = items_.at(key);
+        if (rec.box.Intersects(query)) fn(key);
+      }
+    }
+  }
+}
+
+void GridIndex::QueryCircle(Vec2 center, double radius,
+                            const std::function<void(uint64_t)>& fn) const {
+  QueryBox(AABB::FromCircle(center, radius), fn);
+}
+
+std::vector<uint64_t> GridIndex::CollectBox(const AABB& query) const {
+  std::vector<uint64_t> out;
+  QueryBox(query, [&out](uint64_t key) { out.push_back(key); });
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<uint64_t> GridIndex::CollectCircle(Vec2 center,
+                                               double radius) const {
+  return CollectBox(AABB::FromCircle(center, radius));
+}
+
+}  // namespace seve

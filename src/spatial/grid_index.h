@@ -1,0 +1,88 @@
+#ifndef SEVE_SPATIAL_GRID_INDEX_H_
+#define SEVE_SPATIAL_GRID_INDEX_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "spatial/aabb.h"
+#include "spatial/vec2.h"
+
+namespace seve {
+
+/// Uniform-grid spatial index over 64-bit item keys.
+///
+/// Used for the 100,000-wall Manhattan People world (static items inserted
+/// once) and for avatar proximity queries (items moved every tick). Items
+/// are stored in every cell their AABB overlaps; queries deduplicate via a
+/// visit-stamp, so results contain each item once.
+class GridIndex {
+ public:
+  /// `bounds` is the world rectangle; `cell_size` trades memory for query
+  /// selectivity (a few times the typical query radius works well).
+  GridIndex(const AABB& bounds, double cell_size);
+
+  GridIndex(const GridIndex&) = delete;
+  GridIndex& operator=(const GridIndex&) = delete;
+
+  /// Inserts an item covering `box`. Fails if the key is already present.
+  Status Insert(uint64_t key, const AABB& box);
+
+  /// Removes an item; fails if absent.
+  Status Remove(uint64_t key);
+
+  /// Moves an existing item to a new box (remove + insert, but skips
+  /// re-linking when the covered cell range is unchanged).
+  Status Move(uint64_t key, const AABB& new_box);
+
+  bool Contains(uint64_t key) const { return items_.count(key) != 0; }
+  size_t size() const { return items_.size(); }
+
+  /// Calls `fn` once per item whose AABB overlaps `query`.
+  void QueryBox(const AABB& query,
+                const std::function<void(uint64_t)>& fn) const;
+
+  /// Calls `fn` once per item whose AABB overlaps the circle's AABB and
+  /// whose stored box actually intersects the circle's box. (Exact circle
+  /// tests are left to the caller, which has the item geometry.)
+  void QueryCircle(Vec2 center, double radius,
+                   const std::function<void(uint64_t)>& fn) const;
+
+  /// Collects keys overlapping `query` into a vector (sorted by key for
+  /// determinism).
+  std::vector<uint64_t> CollectBox(const AABB& query) const;
+  std::vector<uint64_t> CollectCircle(Vec2 center, double radius) const;
+
+ private:
+  struct CellRange {
+    int x0, y0, x1, y1;
+  };
+  struct ItemRec {
+    AABB box;
+    CellRange range;
+  };
+
+  CellRange RangeFor(const AABB& box) const;
+  size_t CellIndex(int cx, int cy) const {
+    return static_cast<size_t>(cy) * static_cast<size_t>(nx_) +
+           static_cast<size_t>(cx);
+  }
+  void LinkItem(uint64_t key, const CellRange& range);
+  void UnlinkItem(uint64_t key, const CellRange& range);
+
+  AABB bounds_;
+  double cell_size_;
+  int nx_;
+  int ny_;
+  std::vector<std::vector<uint64_t>> cells_;
+  std::unordered_map<uint64_t, ItemRec> items_;
+  // Query-time dedup stamps; mutable because queries are logically const.
+  mutable std::unordered_map<uint64_t, uint64_t> stamp_;
+  mutable uint64_t query_epoch_ = 0;
+};
+
+}  // namespace seve
+
+#endif  // SEVE_SPATIAL_GRID_INDEX_H_

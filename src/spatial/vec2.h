@@ -1,0 +1,70 @@
+#ifndef SEVE_SPATIAL_VEC2_H_
+#define SEVE_SPATIAL_VEC2_H_
+
+#include <cmath>
+
+namespace seve {
+
+/// 2-D vector over double. The virtual world positions, velocities and
+/// action areas of influence are all expressed as Vec2.
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Vec2() = default;
+  constexpr Vec2(double x_in, double y_in) : x(x_in), y(y_in) {}
+
+  constexpr Vec2 operator+(Vec2 o) const { return {x + o.x, y + o.y}; }
+  constexpr Vec2 operator-(Vec2 o) const { return {x - o.x, y - o.y}; }
+  constexpr Vec2 operator*(double s) const { return {x * s, y * s}; }
+  constexpr Vec2 operator/(double s) const { return {x / s, y / s}; }
+  constexpr Vec2 operator-() const { return {-x, -y}; }
+
+  Vec2& operator+=(Vec2 o) {
+    x += o.x;
+    y += o.y;
+    return *this;
+  }
+  Vec2& operator-=(Vec2 o) {
+    x -= o.x;
+    y -= o.y;
+    return *this;
+  }
+  Vec2& operator*=(double s) {
+    x *= s;
+    y *= s;
+    return *this;
+  }
+
+  constexpr double Dot(Vec2 o) const { return x * o.x + y * o.y; }
+  /// 2-D cross product (z component of the 3-D cross).
+  constexpr double Cross(Vec2 o) const { return x * o.y - y * o.x; }
+  constexpr double LengthSq() const { return x * x + y * y; }
+  double Length() const { return std::sqrt(LengthSq()); }
+
+  /// Unit vector in the same direction; returns (0,0) for the zero vector.
+  Vec2 Normalized() const {
+    const double len = Length();
+    return len > 0.0 ? Vec2{x / len, y / len} : Vec2{};
+  }
+
+  /// Rotates 90 degrees counter-clockwise.
+  constexpr Vec2 PerpCcw() const { return {-y, x}; }
+  /// Rotates 90 degrees clockwise.
+  constexpr Vec2 PerpCw() const { return {y, -x}; }
+
+  friend constexpr bool operator==(Vec2 a, Vec2 b) {
+    return a.x == b.x && a.y == b.y;
+  }
+};
+
+constexpr Vec2 operator*(double s, Vec2 v) { return {v.x * s, v.y * s}; }
+
+inline double Distance(Vec2 a, Vec2 b) { return (a - b).Length(); }
+inline constexpr double DistanceSq(Vec2 a, Vec2 b) {
+  return (a - b).LengthSq();
+}
+
+}  // namespace seve
+
+#endif  // SEVE_SPATIAL_VEC2_H_

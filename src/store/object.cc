@@ -1,0 +1,69 @@
+#include "store/object.h"
+
+#include <algorithm>
+
+namespace seve {
+namespace {
+
+const Value& NullValue() {
+  static const Value kNull;
+  return kNull;
+}
+
+}  // namespace
+
+const Value& Object::Get(AttrId attr) const {
+  auto it = std::lower_bound(
+      attrs_.begin(), attrs_.end(), attr,
+      [](const Entry& e, AttrId a) { return e.attr < a; });
+  if (it != attrs_.end() && it->attr == attr) return it->value;
+  return NullValue();
+}
+
+void Object::Set(AttrId attr, Value value) {
+  auto it = std::lower_bound(
+      attrs_.begin(), attrs_.end(), attr,
+      [](const Entry& e, AttrId a) { return e.attr < a; });
+  if (it != attrs_.end() && it->attr == attr) {
+    it->value = std::move(value);
+  } else {
+    attrs_.insert(it, Entry{attr, std::move(value)});
+  }
+}
+
+uint64_t Object::Hash() const {
+  uint64_t h = 0xcbf29ce484222325ULL ^ id_.value();
+  for (const Entry& e : attrs_) {
+    h ^= (static_cast<uint64_t>(e.attr) + 0x9e3779b97f4a7c15ULL +
+          (h << 6) + (h >> 2));
+    h ^= (e.value.Hash() + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2));
+  }
+  return h;
+}
+
+int64_t Object::WireSize() const {
+  int64_t size = 8;  // object id
+  for (const Entry& e : attrs_) size += 4 + e.value.WireSize();
+  return size;
+}
+
+std::vector<AttrId> Object::AttrIds() const {
+  std::vector<AttrId> out;
+  out.reserve(attrs_.size());
+  for (const Entry& e : attrs_) out.push_back(e.attr);
+  return out;
+}
+
+std::string Object::ToString() const {
+  std::string out = "obj#" + std::to_string(id_.value()) + "{";
+  bool first = true;
+  for (const Entry& e : attrs_) {
+    if (!first) out += ", ";
+    first = false;
+    out += std::to_string(e.attr) + "=" + e.value.ToString();
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace seve

@@ -1,0 +1,62 @@
+#ifndef SEVE_STORE_OBJECT_H_
+#define SEVE_STORE_OBJECT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "store/value.h"
+
+namespace seve {
+
+/// An object in the world-state database: an id plus a small attribute
+/// tuple kept sorted by AttrId (objects have a handful of attributes, so a
+/// flat vector beats a map).
+class Object {
+ public:
+  Object() = default;
+  explicit Object(ObjectId id) : id_(id) {}
+
+  ObjectId id() const { return id_; }
+
+  /// Returns the attribute value, or a null Value if absent.
+  const Value& Get(AttrId attr) const;
+
+  /// Sets (inserting if needed) an attribute.
+  void Set(AttrId attr, Value value);
+
+  /// Number of attributes.
+  size_t AttrCount() const { return attrs_.size(); }
+
+  /// Stable digest of id + all attributes (order-independent by
+  /// construction since attrs_ is sorted).
+  uint64_t Hash() const;
+
+  /// Wire size when the full object is shipped (baselines ship objects).
+  int64_t WireSize() const;
+
+  /// Attribute ids present, ascending.
+  std::vector<AttrId> AttrIds() const;
+
+  std::string ToString() const;
+
+  friend bool operator==(const Object& a, const Object& b) {
+    return a.id_ == b.id_ && a.attrs_ == b.attrs_;
+  }
+
+ private:
+  struct Entry {
+    AttrId attr;
+    Value value;
+    friend bool operator==(const Entry& x, const Entry& y) {
+      return x.attr == y.attr && x.value == y.value;
+    }
+  };
+
+  ObjectId id_;
+  std::vector<Entry> attrs_;
+};
+
+}  // namespace seve
+
+#endif  // SEVE_STORE_OBJECT_H_

@@ -1,0 +1,95 @@
+#include "store/rw_set.h"
+
+#include <algorithm>
+
+namespace seve {
+
+ObjectSet::ObjectSet(std::initializer_list<ObjectId> ids)
+    : ObjectSet(std::vector<ObjectId>(ids)) {}
+
+ObjectSet::ObjectSet(std::vector<ObjectId> ids) : ids_(std::move(ids)) {
+  std::sort(ids_.begin(), ids_.end());
+  ids_.erase(std::unique(ids_.begin(), ids_.end()), ids_.end());
+}
+
+void ObjectSet::Insert(ObjectId id) {
+  auto it = std::lower_bound(ids_.begin(), ids_.end(), id);
+  if (it == ids_.end() || *it != id) ids_.insert(it, id);
+}
+
+bool ObjectSet::Contains(ObjectId id) const {
+  return std::binary_search(ids_.begin(), ids_.end(), id);
+}
+
+bool ObjectSet::Intersects(const ObjectSet& other) const {
+  auto a = ids_.begin();
+  auto b = other.ids_.begin();
+  while (a != ids_.end() && b != other.ids_.end()) {
+    if (*a < *b) {
+      ++a;
+    } else if (*b < *a) {
+      ++b;
+    } else {
+      return true;
+    }
+  }
+  return false;
+}
+
+void ObjectSet::UnionWith(const ObjectSet& other) {
+  if (other.empty()) return;
+  std::vector<ObjectId> merged;
+  merged.reserve(ids_.size() + other.ids_.size());
+  std::set_union(ids_.begin(), ids_.end(), other.ids_.begin(),
+                 other.ids_.end(), std::back_inserter(merged));
+  ids_ = std::move(merged);
+}
+
+void ObjectSet::SubtractWith(const ObjectSet& other) {
+  if (other.empty() || ids_.empty()) return;
+  std::vector<ObjectId> diff;
+  diff.reserve(ids_.size());
+  std::set_difference(ids_.begin(), ids_.end(), other.ids_.begin(),
+                      other.ids_.end(), std::back_inserter(diff));
+  ids_ = std::move(diff);
+}
+
+bool ObjectSet::Covers(const ObjectSet& other) const {
+  return std::includes(ids_.begin(), ids_.end(), other.ids_.begin(),
+                       other.ids_.end());
+}
+
+ObjectSet ObjectSet::Union(const ObjectSet& a, const ObjectSet& b) {
+  ObjectSet out = a;
+  out.UnionWith(b);
+  return out;
+}
+
+ObjectSet ObjectSet::Difference(const ObjectSet& a, const ObjectSet& b) {
+  ObjectSet out = a;
+  out.SubtractWith(b);
+  return out;
+}
+
+ObjectSet ObjectSet::Intersection(const ObjectSet& a, const ObjectSet& b) {
+  std::vector<ObjectId> inter;
+  std::set_intersection(a.ids_.begin(), a.ids_.end(), b.ids_.begin(),
+                        b.ids_.end(), std::back_inserter(inter));
+  ObjectSet out;
+  out.ids_ = std::move(inter);
+  return out;
+}
+
+std::string ObjectSet::ToString() const {
+  std::string out = "{";
+  bool first = true;
+  for (ObjectId id : ids_) {
+    if (!first) out += ",";
+    first = false;
+    out += std::to_string(id.value());
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace seve

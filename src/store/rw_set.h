@@ -1,0 +1,62 @@
+#ifndef SEVE_STORE_RW_SET_H_
+#define SEVE_STORE_RW_SET_H_
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace seve {
+
+/// A sorted, deduplicated set of object ids — the representation of an
+/// action's read set RS(a) and write set WS(a) (Section III-C).
+///
+/// The consistency protocols are built on set intersection/union over
+/// these, so both are O(n) merges over sorted vectors.
+class ObjectSet {
+ public:
+  ObjectSet() = default;
+  ObjectSet(std::initializer_list<ObjectId> ids);
+  explicit ObjectSet(std::vector<ObjectId> ids);
+
+  /// Inserts one id (keeps sortedness); no-op if present.
+  void Insert(ObjectId id);
+
+  bool Contains(ObjectId id) const;
+  bool empty() const { return ids_.empty(); }
+  size_t size() const { return ids_.size(); }
+
+  const std::vector<ObjectId>& ids() const { return ids_; }
+  auto begin() const { return ids_.begin(); }
+  auto end() const { return ids_.end(); }
+
+  /// True iff this ∩ other ≠ ∅. The hot test of Algorithms 6 and 7.
+  bool Intersects(const ObjectSet& other) const;
+
+  /// this ← this ∪ other.
+  void UnionWith(const ObjectSet& other);
+
+  /// this ← this \ other.
+  void SubtractWith(const ObjectSet& other);
+
+  /// True iff every id of `other` is in this set (⊇ check: RS(a) ⊇ WS(a)).
+  bool Covers(const ObjectSet& other) const;
+
+  static ObjectSet Union(const ObjectSet& a, const ObjectSet& b);
+  static ObjectSet Difference(const ObjectSet& a, const ObjectSet& b);
+  static ObjectSet Intersection(const ObjectSet& a, const ObjectSet& b);
+
+  std::string ToString() const;
+
+  friend bool operator==(const ObjectSet& a, const ObjectSet& b) {
+    return a.ids_ == b.ids_;
+  }
+
+ private:
+  std::vector<ObjectId> ids_;
+};
+
+}  // namespace seve
+
+#endif  // SEVE_STORE_RW_SET_H_

@@ -1,0 +1,68 @@
+#include "store/value.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace seve {
+namespace {
+
+uint64_t MixBits(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+uint64_t DoubleBits(double d) {
+  // Canonicalize -0.0 so semantically equal states hash equal.
+  if (d == 0.0) d = 0.0;
+  uint64_t bits;
+  std::memcpy(&bits, &d, sizeof(bits));
+  return bits;
+}
+
+}  // namespace
+
+uint64_t Value::Hash() const {
+  struct Visitor {
+    uint64_t operator()(std::monostate) const { return 0x9ae16a3b2f90404fULL; }
+    uint64_t operator()(int64_t v) const {
+      return MixBits(static_cast<uint64_t>(v) ^ 0x1ULL);
+    }
+    uint64_t operator()(double v) const {
+      return MixBits(DoubleBits(v) ^ 0x2ULL);
+    }
+    uint64_t operator()(Vec2 v) const {
+      return MixBits(DoubleBits(v.x) ^ MixBits(DoubleBits(v.y)) ^ 0x3ULL);
+    }
+  };
+  return std::visit(Visitor{}, rep_);
+}
+
+int64_t Value::WireSize() const {
+  struct Visitor {
+    int64_t operator()(std::monostate) const { return 1; }
+    int64_t operator()(int64_t) const { return 8; }
+    int64_t operator()(double) const { return 8; }
+    int64_t operator()(Vec2) const { return 16; }
+  };
+  return 1 + std::visit(Visitor{}, rep_);  // 1 tag byte + payload
+}
+
+std::string Value::ToString() const {
+  char buf[80];
+  if (is_null()) return "null";
+  if (is_int()) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(AsInt()));
+  } else if (is_double()) {
+    std::snprintf(buf, sizeof(buf), "%.6g", AsDouble());
+  } else {
+    const Vec2 v = AsVec2();
+    std::snprintf(buf, sizeof(buf), "(%.6g, %.6g)", v.x, v.y);
+  }
+  return buf;
+}
+
+}  // namespace seve

@@ -1,0 +1,69 @@
+#ifndef SEVE_STORE_VALUE_H_
+#define SEVE_STORE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "spatial/vec2.h"
+
+namespace seve {
+
+/// Attribute identifier within an object. The world module defines the
+/// schema constants (position, direction, health, ...).
+using AttrId = uint32_t;
+
+/// A single attribute value. Virtual-world state is a high-dimensional
+/// tuple of these (the paper's "high-dimensional database" view).
+class Value {
+ public:
+  Value() = default;
+  explicit Value(int64_t v) : rep_(v) {}
+  explicit Value(double v) : rep_(v) {}
+  explicit Value(Vec2 v) : rep_(v) {}
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(rep_); }
+  bool is_int() const { return std::holds_alternative<int64_t>(rep_); }
+  bool is_double() const { return std::holds_alternative<double>(rep_); }
+  bool is_vec2() const { return std::holds_alternative<Vec2>(rep_); }
+
+  /// Typed accessors; calling the wrong one on a mismatched value returns
+  /// the type's zero (defensive: simulation must not crash on a stale read).
+  int64_t AsInt() const {
+    const auto* p = std::get_if<int64_t>(&rep_);
+    return p ? *p : 0;
+  }
+  double AsDouble() const {
+    if (const auto* p = std::get_if<double>(&rep_)) return *p;
+    if (const auto* p = std::get_if<int64_t>(&rep_)) {
+      return static_cast<double>(*p);
+    }
+    return 0.0;
+  }
+  Vec2 AsVec2() const {
+    const auto* p = std::get_if<Vec2>(&rep_);
+    return p ? *p : Vec2{};
+  }
+
+  /// Stable hash feeding state digests for consistency checks.
+  uint64_t Hash() const;
+
+  /// Wire size in bytes when shipped in a message (for traffic accounting).
+  int64_t WireSize() const;
+
+  std::string ToString() const;
+
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.rep_ == b.rep_;
+  }
+  friend bool operator!=(const Value& a, const Value& b) {
+    return !(a == b);
+  }
+
+ private:
+  std::variant<std::monostate, int64_t, double, Vec2> rep_;
+};
+
+}  // namespace seve
+
+#endif  // SEVE_STORE_VALUE_H_

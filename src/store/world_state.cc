@@ -1,0 +1,121 @@
+#include "store/world_state.h"
+
+#include <algorithm>
+
+namespace seve {
+namespace {
+
+const Value& NullValue() {
+  static const Value kNull;
+  return kNull;
+}
+
+}  // namespace
+
+Status WorldState::Insert(Object object) {
+  const ObjectId id = object.id();
+  auto [it, inserted] = objects_.emplace(id, std::move(object));
+  if (!inserted) return Status::AlreadyExists("object already exists");
+  ++version_;
+  return Status::OK();
+}
+
+void WorldState::Upsert(Object object) {
+  objects_[object.id()] = std::move(object);
+  ++version_;
+}
+
+const Object* WorldState::Find(ObjectId id) const {
+  auto it = objects_.find(id);
+  return it == objects_.end() ? nullptr : &it->second;
+}
+
+Object* WorldState::FindMutable(ObjectId id) {
+  auto it = objects_.find(id);
+  if (it == objects_.end()) return nullptr;
+  ++version_;
+  return &it->second;
+}
+
+const Value& WorldState::GetAttr(ObjectId id, AttrId attr) const {
+  const Object* obj = Find(id);
+  return obj ? obj->Get(attr) : NullValue();
+}
+
+void WorldState::SetAttr(ObjectId id, AttrId attr, Value value) {
+  auto it = objects_.find(id);
+  if (it == objects_.end()) {
+    Object obj(id);
+    obj.Set(attr, std::move(value));
+    objects_.emplace(id, std::move(obj));
+  } else {
+    it->second.Set(attr, std::move(value));
+  }
+  ++version_;
+}
+
+Status WorldState::Remove(ObjectId id) {
+  if (objects_.erase(id) == 0) return Status::NotFound("object absent");
+  ++version_;
+  return Status::OK();
+}
+
+void WorldState::CopyObjectsFrom(const WorldState& source,
+                                 const ObjectSet& set) {
+  for (ObjectId id : set) {
+    const Object* src = source.Find(id);
+    if (src != nullptr) {
+      objects_[id] = *src;
+    } else {
+      objects_.erase(id);
+    }
+  }
+  ++version_;
+}
+
+std::vector<Object> WorldState::Extract(const ObjectSet& set) const {
+  std::vector<Object> out;
+  out.reserve(set.size());
+  for (ObjectId id : set) {
+    const Object* obj = Find(id);
+    if (obj != nullptr) out.push_back(*obj);
+  }
+  return out;
+}
+
+void WorldState::ApplyObjects(const std::vector<Object>& objects) {
+  for (const Object& obj : objects) objects_[obj.id()] = obj;
+  if (!objects.empty()) ++version_;
+}
+
+uint64_t WorldState::Digest() const {
+  // XOR of per-object digests: order-independent over the hash map.
+  uint64_t digest = 0x2545f4914f6cdd1dULL;
+  for (const auto& [id, obj] : objects_) digest ^= obj.Hash();
+  return digest;
+}
+
+uint64_t WorldState::DigestOf(const ObjectSet& set) const {
+  uint64_t digest = 0x2545f4914f6cdd1dULL;
+  for (ObjectId id : set) {
+    const Object* obj = Find(id);
+    if (obj != nullptr) digest ^= obj->Hash();
+  }
+  return digest;
+}
+
+std::vector<ObjectId> WorldState::ObjectIds() const {
+  std::vector<ObjectId> ids;
+  ids.reserve(objects_.size());
+  for (const auto& [id, obj] : objects_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+std::string WorldState::ToString() const {
+  std::string out = "WorldState(v" + std::to_string(version_) + ", " +
+                    std::to_string(objects_.size()) + " objects)";
+  return out;
+}
+
+}  // namespace seve

@@ -1,0 +1,90 @@
+#ifndef SEVE_STORE_WORLD_STATE_H_
+#define SEVE_STORE_WORLD_STATE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "store/object.h"
+#include "store/rw_set.h"
+
+namespace seve {
+
+/// The world-state database: an in-memory versioned object store.
+///
+/// Each client holds two of these (the optimistic state ζCO and the stable
+/// state ζCS); the server holds the authoritative ζS. All action
+/// application, reconciliation and blind writes operate on WorldState.
+class WorldState {
+ public:
+  WorldState() = default;
+
+  // Copyable: protocol code snapshots states (document the cost at call
+  // sites; per-object copy is what the paper's clients do too).
+  WorldState(const WorldState&) = default;
+  WorldState& operator=(const WorldState&) = default;
+  WorldState(WorldState&&) = default;
+  WorldState& operator=(WorldState&&) = default;
+
+  /// Inserts a new object; fails if the id already exists.
+  Status Insert(Object object);
+
+  /// Inserts or replaces an object.
+  void Upsert(Object object);
+
+  /// Looks up an object; nullptr if absent.
+  const Object* Find(ObjectId id) const;
+
+  /// Mutable lookup; nullptr if absent. Bumps the version.
+  Object* FindMutable(ObjectId id);
+
+  /// Reads one attribute; null Value if object or attribute is absent.
+  const Value& GetAttr(ObjectId id, AttrId attr) const;
+
+  /// Writes one attribute, creating the object if needed.
+  void SetAttr(ObjectId id, AttrId attr, Value value);
+
+  Status Remove(ObjectId id);
+
+  bool Contains(ObjectId id) const { return objects_.count(id) != 0; }
+  size_t size() const { return objects_.size(); }
+
+  /// Monotone change counter (bumped on every mutating access).
+  uint64_t version() const { return version_; }
+
+  /// Copies the objects named by `set` from `source` into this state —
+  /// the reconciliation assignment ζCO(WS(Q)) ← ζCS(WS(Q)) of Algorithm 3.
+  /// Objects absent from `source` are removed here too.
+  void CopyObjectsFrom(const WorldState& source, const ObjectSet& set);
+
+  /// Extracts copies of the objects named by `set` (missing ids skipped) —
+  /// the payload of a blind write W(S, ζS(S)).
+  std::vector<Object> Extract(const ObjectSet& set) const;
+
+  /// Applies object copies (the receive side of a blind write / state
+  /// push).
+  void ApplyObjects(const std::vector<Object>& objects);
+
+  /// Order-independent digest of the full state; equal digests across
+  /// replicas mean consistent states.
+  uint64_t Digest() const;
+
+  /// Digest restricted to `set` (for per-client consistency checks in the
+  /// Incomplete World Model, where clients track only subsets).
+  uint64_t DigestOf(const ObjectSet& set) const;
+
+  /// All object ids, ascending (deterministic iteration for tests).
+  std::vector<ObjectId> ObjectIds() const;
+
+  std::string ToString() const;
+
+ private:
+  std::unordered_map<ObjectId, Object> objects_;
+  uint64_t version_ = 0;
+};
+
+}  // namespace seve
+
+#endif  // SEVE_STORE_WORLD_STATE_H_

@@ -1,0 +1,18 @@
+#ifndef SEVE_WORLD_ATTRS_H_
+#define SEVE_WORLD_ATTRS_H_
+
+#include "store/value.h"
+
+namespace seve {
+
+/// Attribute schema for avatar objects. The virtual world is a
+/// high-dimensional database; these are the dimensions used by Manhattan
+/// People and the example applications.
+inline constexpr AttrId kAttrPosition = 1;   // Vec2, world units
+inline constexpr AttrId kAttrDirection = 2;  // Vec2, unit axis-aligned
+inline constexpr AttrId kAttrBumps = 3;      // int64, collision count
+inline constexpr AttrId kAttrHealth = 4;     // double, 0..100 (examples)
+
+}  // namespace seve
+
+#endif  // SEVE_WORLD_ATTRS_H_

@@ -1,0 +1,66 @@
+#include "world/dining.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace seve {
+
+ObjectId DiningTable::ForkId(int i) const {
+  // Fork ids start above any philosopher/avatar id space.
+  return ObjectId(1000000 + static_cast<uint64_t>(i));
+}
+
+Vec2 DiningTable::PhilosopherPos(int i) const {
+  const double angle =
+      2.0 * std::numbers::pi * static_cast<double>(i) /
+      static_cast<double>(num_philosophers);
+  return {ring_radius * std::cos(angle), ring_radius * std::sin(angle)};
+}
+
+double DiningTable::NeighbourSpacing() const {
+  return Distance(PhilosopherPos(0), PhilosopherPos(1));
+}
+
+WorldState DiningTable::InitialState() const {
+  WorldState state;
+  for (int i = 0; i < num_philosophers; ++i) {
+    Object fork(ForkId(i));
+    fork.Set(kForkHolder, Value(int64_t{0}));
+    (void)state.Insert(std::move(fork));
+  }
+  return state;
+}
+
+PickForksAction::PickForksAction(ActionId id, ClientId origin, Tick tick,
+                                 const DiningTable& table, int philosopher)
+    : Action(id, origin, tick), philosopher_(philosopher) {
+  const int n = table.num_philosophers;
+  left_ = table.ForkId((philosopher + n - 1) % n);
+  right_ = table.ForkId(philosopher);
+  set_ = ObjectSet({left_, right_});
+  interest_.position = table.PhilosopherPos(philosopher);
+  // The reach of a grab: half the gap to each neighbour's fork.
+  interest_.radius = table.NeighbourSpacing();
+  interest_.interest_class = 1;
+}
+
+Result<ResultDigest> PickForksAction::Apply(WorldState* state) const {
+  const int64_t left_holder = state->GetAttr(left_, kForkHolder).AsInt();
+  const int64_t right_holder = state->GetAttr(right_, kForkHolder).AsInt();
+  if (left_holder != 0 || right_holder != 0) {
+    return Status::Conflict("fork already held");
+  }
+  const int64_t holder = philosopher_ + 1;
+  state->SetAttr(left_, kForkHolder, Value(holder));
+  state->SetAttr(right_, kForkHolder, Value(holder));
+  return static_cast<ResultDigest>(0x5851f42d4c957f2dULL ^
+                                   (id().value() * 0x14057b7ef767814fULL) ^
+                                   static_cast<uint64_t>(holder));
+}
+
+std::string PickForksAction::ToString() const {
+  return "pickforks#" + std::to_string(id().value()) + " phil=" +
+         std::to_string(philosopher_);
+}
+
+}  // namespace seve

@@ -1,0 +1,65 @@
+#ifndef SEVE_WORLD_DINING_H_
+#define SEVE_WORLD_DINING_H_
+
+#include <vector>
+
+#include "action/action.h"
+#include "store/world_state.h"
+
+namespace seve {
+
+/// The Dining Philosophers scenario of Section III-E: n participants on a
+/// ring, each trying to grab the forks to their left and right in the
+/// same tick. Direct conflicts involve only neighbours, yet the
+/// transitive closure of conflicts spans the whole ring — the worst case
+/// that motivates the Information Bound Model's chain breaking.
+///
+/// World layout: philosopher i sits at angle 2πi/n on a circle of radius
+/// `ring_radius`; fork i sits between philosophers i and i+1. Objects:
+/// fork i has attribute kForkHolder (int64; 0 = free, else 1+philosopher).
+struct DiningTable {
+  int num_philosophers = 0;
+  double ring_radius = 0.0;
+
+  /// Object id of fork i (i in [0, n)).
+  ObjectId ForkId(int i) const;
+  /// Position of philosopher i on the ring.
+  Vec2 PhilosopherPos(int i) const;
+  /// Gap between adjacent philosophers along the chord.
+  double NeighbourSpacing() const;
+
+  /// Builds the initial state: all forks free.
+  WorldState InitialState() const;
+};
+
+inline constexpr AttrId kForkHolder = 10;
+
+/// Philosopher i attempts to pick up forks (i-1 mod n) and i. Succeeds
+/// (writes its id into both holders) iff both are free; otherwise behaves
+/// as a no-op and reports Conflict.
+class PickForksAction : public Action {
+ public:
+  PickForksAction(ActionId id, ClientId origin, Tick tick,
+                  const DiningTable& table, int philosopher);
+
+  const ObjectSet& ReadSet() const override { return set_; }
+  const ObjectSet& WriteSet() const override { return set_; }
+
+  Result<ResultDigest> Apply(WorldState* state) const override;
+
+  InterestProfile Interest() const override { return interest_; }
+  std::string ToString() const override;
+
+  int philosopher() const { return philosopher_; }
+
+ private:
+  int philosopher_;
+  ObjectId left_;
+  ObjectId right_;
+  ObjectSet set_;
+  InterestProfile interest_;
+};
+
+}  // namespace seve
+
+#endif  // SEVE_WORLD_DINING_H_

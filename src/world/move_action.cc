@@ -1,0 +1,147 @@
+#include "world/move_action.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "world/attrs.h"
+
+namespace seve {
+namespace {
+
+// Small standoff so a turned avatar does not start embedded in the
+// obstacle it just hit.
+constexpr double kContactEpsilon = 1e-3;
+
+uint64_t MixDigest(uint64_t h, uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+uint64_t DoubleBitsOf(double d) {
+  if (d == 0.0) d = 0.0;  // canonicalize -0.0
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(d));
+  __builtin_memcpy(&bits, &d, sizeof(bits));
+  return bits;
+}
+
+}  // namespace
+
+MoveAction::MoveAction(ActionId id, ClientId origin, Tick tick,
+                       ObjectId avatar, double step, double avatar_radius,
+                       std::shared_ptr<const WallField> walls,
+                       ObjectSet read_set, InterestProfile interest)
+    : Action(id, origin, tick),
+      avatar_(avatar),
+      step_(step),
+      avatar_radius_(avatar_radius),
+      walls_(std::move(walls)),
+      read_set_(std::move(read_set)),
+      write_set_({avatar}),
+      interest_(interest) {
+  // Enforce the protocol invariant RS ⊇ WS at construction.
+  read_set_.Insert(avatar);
+}
+
+Result<ResultDigest> MoveAction::Apply(WorldState* state) const {
+  const Object* self = state->Find(avatar_);
+  if (self == nullptr) {
+    // The avatar vanished (e.g. despawned by another action): fatal
+    // conflict, behave as a no-op (Bayou-style abort, Section III-A).
+    return Status::Conflict("avatar missing at evaluation time");
+  }
+  const Vec2 pos = self->Get(kAttrPosition).AsVec2();
+  Vec2 dir = self->Get(kAttrDirection).AsVec2();
+  if (dir.LengthSq() == 0.0) dir = Vec2{1.0, 0.0};
+
+  // Earliest contact along the path: walls, declared-read avatars, and
+  // the world boundary.
+  double hit_dist = std::numeric_limits<double>::infinity();
+  bool hit = false;
+
+  if (walls_ != nullptr) {
+    const auto wall_hit = walls_->FirstHit(pos, dir, step_, avatar_radius_);
+    if (wall_hit.has_value()) {
+      hit_dist = wall_hit->first;
+      hit = true;
+    }
+  }
+
+  for (ObjectId other_id : read_set_) {
+    if (other_id == avatar_) continue;
+    const Object* other = state->Find(other_id);
+    if (other == nullptr) continue;  // not visible in this replica: skip
+    const Vec2 other_pos = other->Get(kAttrPosition).AsVec2();
+    const auto avatar_hit = MovingCircleCircleHit(
+        pos, dir, step_, 2.0 * avatar_radius_, other_pos);
+    if (avatar_hit.has_value() && *avatar_hit < hit_dist) {
+      hit_dist = *avatar_hit;
+      hit = true;
+    }
+  }
+
+  if (walls_ != nullptr) {
+    // World boundary acts as a wall box.
+    const AABB& bounds = walls_->bounds();
+    const Vec2 end = pos + dir * step_;
+    if (!bounds.Contains(end)) {
+      // Walk the path until it leaves the bounds (coarse but adequate:
+      // paths are short and axis-aligned).
+      double lo = 0.0, hi = step_;
+      for (int i = 0; i < 24; ++i) {
+        const double mid = 0.5 * (lo + hi);
+        if (bounds.Contains(pos + dir * mid)) {
+          lo = mid;
+        } else {
+          hi = mid;
+        }
+      }
+      if (lo < hit_dist) {
+        hit_dist = lo;
+        hit = true;
+      }
+    }
+  }
+
+  Vec2 new_pos;
+  Vec2 new_dir = dir;
+  int64_t bumps = self->Get(kAttrBumps).AsInt();
+  if (hit) {
+    const double travel = std::max(0.0, hit_dist - kContactEpsilon);
+    new_pos = pos + dir * travel;
+    // Deterministic 90° turn: parity of (action id + bump count) picks
+    // the side, so trajectories do not degenerate into 2-cycles.
+    const bool ccw = ((id().value() + static_cast<uint64_t>(bumps)) & 1) == 0;
+    new_dir = ccw ? dir.PerpCcw() : dir.PerpCw();
+    ++bumps;
+  } else {
+    new_pos = pos + dir * step_;
+  }
+  if (walls_ != nullptr) new_pos = walls_->bounds().Clamp(new_pos);
+
+  Object* self_mut = state->FindMutable(avatar_);
+  self_mut->Set(kAttrPosition, Value(new_pos));
+  self_mut->Set(kAttrDirection, Value(new_dir));
+  self_mut->Set(kAttrBumps, Value(bumps));
+
+  uint64_t digest = 0xa0761d6478bd642fULL ^ id().value();
+  digest = MixDigest(digest, DoubleBitsOf(new_pos.x));
+  digest = MixDigest(digest, DoubleBitsOf(new_pos.y));
+  digest = MixDigest(digest, DoubleBitsOf(new_dir.x));
+  digest = MixDigest(digest, DoubleBitsOf(new_dir.y));
+  digest = MixDigest(digest, static_cast<uint64_t>(bumps));
+  return digest;
+}
+
+int64_t MoveAction::WireSize() const {
+  // Header + RS/WS ids + step/radius payload.
+  return Action::WireSize() + 16;
+}
+
+std::string MoveAction::ToString() const {
+  return "move#" + std::to_string(id().value()) + " avatar=" +
+         std::to_string(avatar_.value()) + " step=" + std::to_string(step_);
+}
+
+}  // namespace seve

@@ -1,0 +1,54 @@
+#ifndef SEVE_WORLD_MOVE_ACTION_H_
+#define SEVE_WORLD_MOVE_ACTION_H_
+
+#include <memory>
+
+#include "action/action.h"
+#include "world/wall.h"
+
+namespace seve {
+
+/// Manhattan People's move: the avatar advances `step` world units along
+/// its current direction; if it bumps into a wall, another avatar, or the
+/// world boundary it stops at the contact point and turns 90 degrees
+/// (Section V: "Whenever an avatar bumps into something, it changes its
+/// direction by 90°").
+///
+/// Database view (Section III-C):
+///   RS = { own avatar } ∪ { avatars within the declared effect range at
+///         creation time }, WS = { own avatar }, RS ⊇ WS.
+/// Apply() is deterministic given the state restricted to RS: the wall
+/// field is immutable and only declared-read avatars are collision-tested.
+class MoveAction : public Action {
+ public:
+  MoveAction(ActionId id, ClientId origin, Tick tick, ObjectId avatar,
+             double step, double avatar_radius,
+             std::shared_ptr<const WallField> walls, ObjectSet read_set,
+             InterestProfile interest);
+
+  const ObjectSet& ReadSet() const override { return read_set_; }
+  const ObjectSet& WriteSet() const override { return write_set_; }
+
+  Result<ResultDigest> Apply(WorldState* state) const override;
+
+  InterestProfile Interest() const override { return interest_; }
+
+  int64_t WireSize() const override;
+  std::string ToString() const override;
+
+  ObjectId avatar() const { return avatar_; }
+  double step() const { return step_; }
+
+ private:
+  ObjectId avatar_;
+  double step_;
+  double avatar_radius_;
+  std::shared_ptr<const WallField> walls_;
+  ObjectSet read_set_;
+  ObjectSet write_set_;
+  InterestProfile interest_;
+};
+
+}  // namespace seve
+
+#endif  // SEVE_WORLD_MOVE_ACTION_H_

@@ -1,0 +1,104 @@
+#include "world/spell_action.h"
+
+#include <algorithm>
+
+#include "world/attrs.h"
+
+namespace seve {
+namespace {
+
+uint64_t MixDigest(uint64_t h, uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+uint64_t DoubleBitsOf(double d) {
+  if (d == 0.0) d = 0.0;
+  uint64_t bits;
+  __builtin_memcpy(&bits, &d, sizeof(bits));
+  return bits;
+}
+
+}  // namespace
+
+ScryHealAction::ScryHealAction(ActionId id, ClientId origin, Tick tick,
+                               ObjectId caster, ObjectSet targets,
+                               double heal_amount, InterestProfile interest)
+    : Action(id, origin, tick),
+      caster_(caster),
+      set_(std::move(targets)),
+      heal_amount_(heal_amount),
+      interest_(interest) {
+  set_.Insert(caster);
+}
+
+Result<ResultDigest> ScryHealAction::Apply(WorldState* state) const {
+  if (state->Find(caster_) == nullptr) {
+    return Status::Conflict("caster missing");
+  }
+  // Scry: find the most wounded target.
+  ObjectId chosen = ObjectId::Invalid();
+  double min_health = 1e300;
+  for (ObjectId id : set_) {
+    const Object* obj = state->Find(id);
+    if (obj == nullptr) continue;
+    const double health = obj->Get(kAttrHealth).AsDouble();
+    if (health < min_health || (health == min_health && id < chosen)) {
+      min_health = health;
+      chosen = id;
+    }
+  }
+  if (!chosen.valid()) return Status::Conflict("no ally in range");
+
+  const double healed = std::min(100.0, min_health + heal_amount_);
+  state->SetAttr(chosen, kAttrHealth, Value(healed));
+
+  uint64_t digest = 0xe7037ed1a0b428dbULL ^ id().value();
+  digest = MixDigest(digest, chosen.value());
+  digest = MixDigest(digest, DoubleBitsOf(healed));
+  return digest;
+}
+
+std::string ScryHealAction::ToString() const {
+  return "scryheal#" + std::to_string(id().value()) + " caster=" +
+         std::to_string(caster_.value()) + " targets=" + set_.ToString();
+}
+
+AttackAction::AttackAction(ActionId id, ClientId origin, Tick tick,
+                           ObjectId attacker, ObjectId target, double damage,
+                           InterestProfile interest)
+    : Action(id, origin, tick),
+      attacker_(attacker),
+      target_(target),
+      set_({attacker, target}),
+      damage_(damage),
+      interest_(interest) {}
+
+Result<ResultDigest> AttackAction::Apply(WorldState* state) const {
+  // The Figure-3 causality rule: a dead attacker cannot shoot. This is
+  // what makes the result depend on every earlier attack against the
+  // attacker — the dependency visibility filtering fails to deliver.
+  const Object* attacker = state->Find(attacker_);
+  if (attacker == nullptr) return Status::Conflict("attacker missing");
+  if (attacker->Get(kAttrHealth).AsDouble() <= 0.0) {
+    return Status::Conflict("attacker is dead");
+  }
+  const Object* target = state->Find(target_);
+  if (target == nullptr) return Status::Conflict("target missing");
+  const double health =
+      std::max(0.0, target->Get(kAttrHealth).AsDouble() - damage_);
+  state->SetAttr(target_, kAttrHealth, Value(health));
+
+  uint64_t digest = 0x8ebc6af09c88c6e3ULL ^ id().value();
+  digest = MixDigest(digest, target_.value());
+  digest = MixDigest(digest, DoubleBitsOf(health));
+  return digest;
+}
+
+std::string AttackAction::ToString() const {
+  return "attack#" + std::to_string(id().value()) + " " +
+         std::to_string(attacker_.value()) + "->" +
+         std::to_string(target_.value());
+}
+
+}  // namespace seve

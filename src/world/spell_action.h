@@ -1,0 +1,69 @@
+#ifndef SEVE_WORLD_SPELL_ACTION_H_
+#define SEVE_WORLD_SPELL_ACTION_H_
+
+#include "action/action.h"
+
+namespace seve {
+
+/// The introduction's "scrying spell": identify and heal the most wounded
+/// ally in a crowd. The archetypal action whose causal range is *not*
+/// bounded by visibility — its read set spans every ally in a large
+/// radius, and its outcome depends on everyone's continually-changing
+/// health. Character-visibility partitioning (RING) cannot route it; the
+/// action-based protocols handle it like any other action.
+///
+///   RS = WS = { caster } ∪ { allies within scry range at creation }.
+/// Apply() heals the ally with minimum health (ties: lowest object id) by
+/// `heal_amount`, capped at 100.
+class ScryHealAction : public Action {
+ public:
+  ScryHealAction(ActionId id, ClientId origin, Tick tick, ObjectId caster,
+                 ObjectSet targets, double heal_amount,
+                 InterestProfile interest);
+
+  const ObjectSet& ReadSet() const override { return set_; }
+  const ObjectSet& WriteSet() const override { return set_; }
+
+  Result<ResultDigest> Apply(WorldState* state) const override;
+
+  InterestProfile Interest() const override { return interest_; }
+  std::string ToString() const override;
+
+  /// The ally chosen by the most recent Apply (for example output);
+  /// Invalid if none.
+  ObjectId caster() const { return caster_; }
+
+ private:
+  ObjectId caster_;
+  ObjectSet set_;
+  double heal_amount_;
+  InterestProfile interest_;
+};
+
+/// A damage-dealing attack used together with ScryHealAction in the
+/// examples and tests: subtracts `damage` health from `target`, floored
+/// at 0. RS = WS = { attacker, target }.
+class AttackAction : public Action {
+ public:
+  AttackAction(ActionId id, ClientId origin, Tick tick, ObjectId attacker,
+               ObjectId target, double damage, InterestProfile interest);
+
+  const ObjectSet& ReadSet() const override { return set_; }
+  const ObjectSet& WriteSet() const override { return set_; }
+
+  Result<ResultDigest> Apply(WorldState* state) const override;
+
+  InterestProfile Interest() const override { return interest_; }
+  std::string ToString() const override;
+
+ private:
+  ObjectId attacker_;
+  ObjectId target_;
+  ObjectSet set_;
+  double damage_;
+  InterestProfile interest_;
+};
+
+}  // namespace seve
+
+#endif  // SEVE_WORLD_SPELL_ACTION_H_

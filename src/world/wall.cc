@@ -1,0 +1,65 @@
+#include "world/wall.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace seve {
+
+std::shared_ptr<const WallField> WallField::Generate(const AABB& bounds,
+                                                     int count,
+                                                     double wall_length,
+                                                     Rng* rng) {
+  // Cell size: a few wall lengths keeps cells small but query-friendly.
+  const double cell = std::max(wall_length * 2.0, bounds.Width() / 256.0);
+  auto field = std::shared_ptr<WallField>(new WallField(bounds, cell));
+  field->walls_.reserve(static_cast<size_t>(std::max(count, 0)));
+  for (int i = 0; i < count; ++i) {
+    const bool horizontal = (i % 2) == 0;
+    const Vec2 a{rng->NextDouble(bounds.min.x, bounds.max.x),
+                 rng->NextDouble(bounds.min.y, bounds.max.y)};
+    Vec2 b = horizontal ? Vec2{a.x + wall_length, a.y}
+                        : Vec2{a.x, a.y + wall_length};
+    b = bounds.Clamp(b);
+    const size_t idx = field->walls_.size();
+    field->walls_.push_back(Wall{Segment{a, b}});
+    (void)field->index_.Insert(idx, AABB::FromSegment(a, b));
+  }
+  return field;
+}
+
+int WallField::CountNear(Vec2 center, double radius) const {
+  int count = 0;
+  index_.QueryCircle(center, radius, [&](uint64_t key) {
+    if (CircleIntersectsSegment(center, radius, walls_[key].segment)) {
+      ++count;
+    }
+  });
+  return count;
+}
+
+std::optional<std::pair<double, size_t>> WallField::FirstHit(
+    Vec2 start, Vec2 dir, double max_dist, double radius) const {
+  // Query the swept corridor's bounding box, inflated by the radius.
+  const Vec2 end = start + dir * max_dist;
+  AABB sweep = AABB::FromSegment(start, end);
+  sweep.min -= Vec2{radius, radius};
+  sweep.max += Vec2{radius, radius};
+
+  double best_dist = std::numeric_limits<double>::infinity();
+  size_t best_idx = 0;
+  bool found = false;
+  index_.QueryBox(sweep, [&](uint64_t key) {
+    const auto hit = MovingCircleSegmentHit(start, dir, max_dist, radius,
+                                            walls_[key].segment);
+    if (hit.has_value() && *hit < best_dist) {
+      best_dist = *hit;
+      best_idx = key;
+      found = true;
+    }
+  });
+  if (!found) return std::nullopt;
+  return std::make_pair(best_dist, best_idx);
+}
+
+}  // namespace seve

@@ -1,0 +1,60 @@
+#ifndef SEVE_WORLD_WALL_H_
+#define SEVE_WORLD_WALL_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "spatial/aabb.h"
+#include "spatial/geometry.h"
+#include "spatial/grid_index.h"
+
+namespace seve {
+
+/// One wall: an axis-aligned segment (Manhattan People's obstacles).
+struct Wall {
+  Segment segment;
+};
+
+/// The immutable obstacle layer of a Manhattan People world: up to
+/// 100,000 axis-aligned walls indexed in a uniform grid.
+///
+/// Walls never change, so a single WallField is shared (by const pointer)
+/// between the server, all simulated clients, and every MoveAction —
+/// exactly like the static obstruction data every real client ships with.
+class WallField {
+ public:
+  /// Generates `count` axis-aligned walls of `wall_length`, uniformly
+  /// placed in `bounds` (alternating horizontal/vertical orientation).
+  static std::shared_ptr<const WallField> Generate(const AABB& bounds,
+                                                   int count,
+                                                   double wall_length,
+                                                   Rng* rng);
+
+  const AABB& bounds() const { return bounds_; }
+  size_t size() const { return walls_.size(); }
+  const Wall& wall(size_t i) const { return walls_[i]; }
+
+  /// Number of walls within `radius` of `center` — the "visible walls"
+  /// count driving per-move CPU cost.
+  int CountNear(Vec2 center, double radius) const;
+
+  /// First wall hit by a circle of `radius` moving from `start` along
+  /// `dir` for `max_dist`; returns (travel distance, wall index).
+  std::optional<std::pair<double, size_t>> FirstHit(Vec2 start, Vec2 dir,
+                                                    double max_dist,
+                                                    double radius) const;
+
+ private:
+  WallField(const AABB& bounds, double cell_size)
+      : bounds_(bounds), index_(bounds, cell_size) {}
+
+  AABB bounds_;
+  std::vector<Wall> walls_;
+  GridIndex index_;
+};
+
+}  // namespace seve
+
+#endif  // SEVE_WORLD_WALL_H_

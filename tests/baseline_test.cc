@@ -1,0 +1,240 @@
+#include <gtest/gtest.h>
+
+#include "baseline/broadcast.h"
+#include "baseline/central.h"
+#include "baseline/ring.h"
+#include "net/network.h"
+#include "tests/test_actions.h"
+
+namespace seve {
+namespace {
+
+constexpr Micros kLatency = 10000;
+
+ActionCostFn FixedCost(Micros cost) {
+  return [cost](const Action&, const WorldState&) { return cost; };
+}
+
+TEST(CentralBaselineTest, ServerExecutesAndAcks) {
+  EventLoop loop;
+  Network net(&loop);
+  CentralServer server(NodeId(0), &loop, CounterState({1}), CostModel{},
+                       FixedCost(500), /*visibility=*/30.0);
+  net.AddNode(&server);
+  CentralClient client(NodeId(1), &loop, ClientId(0), NodeId(0),
+                       CounterState({1}), /*install_us=*/10);
+  net.AddNode(&client);
+  net.ConnectBidirectional(NodeId(0), NodeId(1),
+                           LinkParams::LatencyOnly(kLatency));
+  server.RegisterClient(ClientId(0), NodeId(1));
+
+  client.SubmitLocalAction(std::make_shared<CounterAdd>(
+      ActionId(1), ClientId(0), ObjectId(1), 5, ProfileAt({0.0, 0.0}, 5.0)));
+  loop.RunUntilIdle();
+
+  // Server holds the authoritative result; the thin client's view got the
+  // update; response time covers the round trip + server execution.
+  EXPECT_EQ(server.state().GetAttr(ObjectId(1), 1).AsInt(), 5);
+  EXPECT_EQ(client.view().GetAttr(ObjectId(1), 1).AsInt(), 5);
+  EXPECT_EQ(client.stats().response_time_us.count(), 1);
+  EXPECT_GE(client.stats().response_time_us.min(), 2 * kLatency + 500);
+  EXPECT_EQ(server.committed_digests().size(), 1u);
+}
+
+TEST(CentralBaselineTest, ServerCpuSaturatesUnderLoad) {
+  EventLoop loop;
+  Network net(&loop);
+  CostModel cost;
+  cost.central_overhead_us = 0;
+  CentralServer server(NodeId(0), &loop, CounterState({1}), cost,
+                       FixedCost(10000), 30.0);
+  net.AddNode(&server);
+  CentralClient client(NodeId(1), &loop, ClientId(0), NodeId(0),
+                       CounterState({1}), 10);
+  net.AddNode(&client);
+  net.ConnectBidirectional(NodeId(0), NodeId(1),
+                           LinkParams::LatencyOnly(kLatency));
+  server.RegisterClient(ClientId(0), NodeId(1));
+
+  // 10 inputs at once: each costs 10 ms of server CPU, so the last ack
+  // returns ~100 ms after arrival.
+  for (uint64_t k = 0; k < 10; ++k) {
+    client.SubmitLocalAction(std::make_shared<CounterAdd>(
+        ActionId(k + 1), ClientId(0), ObjectId(1), 1,
+        ProfileAt({0.0, 0.0}, 5.0)));
+  }
+  loop.RunUntilIdle();
+  EXPECT_EQ(client.stats().response_time_us.count(), 10);
+  EXPECT_GE(client.stats().response_time_us.max(),
+            2 * kLatency + 10 * 10000);
+}
+
+TEST(CentralBaselineTest, UpdatesOnlyToVisibleClients) {
+  EventLoop loop;
+  Network net(&loop);
+  CentralServer server(NodeId(0), &loop, CounterState({1, 2}), CostModel{},
+                       FixedCost(100), /*visibility=*/30.0);
+  net.AddNode(&server);
+  std::vector<std::unique_ptr<CentralClient>> clients;
+  for (uint64_t i = 0; i < 3; ++i) {
+    auto c = std::make_unique<CentralClient>(NodeId(i + 1), &loop,
+                                             ClientId(i), NodeId(0),
+                                             CounterState({1, 2}), 10);
+    net.AddNode(c.get());
+    net.ConnectBidirectional(NodeId(0), NodeId(i + 1),
+                             LinkParams::LatencyOnly(kLatency));
+    server.RegisterClient(ClientId(i), NodeId(i + 1));
+    clients.push_back(std::move(c));
+  }
+  // Teach the server everyone's position: clients 0 and 1 near origin,
+  // client 2 far away.
+  clients[0]->SubmitLocalAction(std::make_shared<CounterAdd>(
+      ActionId(1), ClientId(0), ObjectId(1), 1, ProfileAt({0.0, 0.0}, 5.0)));
+  clients[1]->SubmitLocalAction(std::make_shared<CounterAdd>(
+      ActionId(2), ClientId(1), ObjectId(1), 1, ProfileAt({5.0, 0.0}, 5.0)));
+  clients[2]->SubmitLocalAction(std::make_shared<CounterAdd>(
+      ActionId(3), ClientId(2), ObjectId(2), 1,
+      ProfileAt({500.0, 0.0}, 5.0)));
+  loop.RunUntilIdle();
+
+  // Now a fresh action from client 0: clients 0 and 1 get the update,
+  // client 2 does not.
+  const int64_t before_c1 = clients[1]->traffic().received.messages;
+  const int64_t before_c2 = clients[2]->traffic().received.messages;
+  clients[0]->SubmitLocalAction(std::make_shared<CounterAdd>(
+      ActionId(4), ClientId(0), ObjectId(1), 1, ProfileAt({0.0, 0.0}, 5.0)));
+  loop.RunUntilIdle();
+  EXPECT_GT(clients[1]->traffic().received.messages, before_c1);
+  EXPECT_EQ(clients[2]->traffic().received.messages, before_c2);
+}
+
+TEST(BroadcastBaselineTest, EveryClientExecutesEveryAction) {
+  EventLoop loop;
+  Network net(&loop);
+  BroadcastServer server(NodeId(0), &loop, CostModel{});
+  net.AddNode(&server);
+  std::vector<std::unique_ptr<BroadcastClient>> clients;
+  for (uint64_t i = 0; i < 3; ++i) {
+    auto c = std::make_unique<BroadcastClient>(NodeId(i + 1), &loop,
+                                               ClientId(i), NodeId(0),
+                                               CounterState({1}),
+                                               FixedCost(100));
+    net.AddNode(c.get());
+    net.ConnectBidirectional(NodeId(0), NodeId(i + 1),
+                             LinkParams::LatencyOnly(kLatency));
+    server.RegisterClient(ClientId(i), NodeId(i + 1));
+    clients.push_back(std::move(c));
+  }
+  clients[0]->SubmitLocalAction(std::make_shared<CounterAdd>(
+      ActionId(1), ClientId(0), ObjectId(1), 7, ProfileAt({0.0, 0.0}, 5.0)));
+  loop.RunUntilIdle();
+  for (const auto& c : clients) {
+    EXPECT_EQ(c->state().GetAttr(ObjectId(1), 1).AsInt(), 7);
+    EXPECT_EQ(c->eval_digests().size(), 1u);
+    EXPECT_EQ(c->stats().actions_evaluated, 1);
+  }
+  // Traffic fan-out: one submission became three deliveries.
+  EXPECT_EQ(server.traffic().sent.messages, 3);
+}
+
+TEST(BroadcastBaselineTest, ResponseIncludesLocalQueueing) {
+  EventLoop loop;
+  Network net(&loop);
+  BroadcastServer server(NodeId(0), &loop, CostModel{});
+  net.AddNode(&server);
+  auto self = std::make_unique<BroadcastClient>(
+      NodeId(1), &loop, ClientId(0), NodeId(0), CounterState({1}),
+      FixedCost(20000));
+  auto other = std::make_unique<BroadcastClient>(
+      NodeId(2), &loop, ClientId(1), NodeId(0), CounterState({1}),
+      FixedCost(20000));
+  net.AddNode(self.get());
+  net.AddNode(other.get());
+  net.ConnectBidirectional(NodeId(0), NodeId(1),
+                           LinkParams::LatencyOnly(kLatency));
+  net.ConnectBidirectional(NodeId(0), NodeId(2),
+                           LinkParams::LatencyOnly(kLatency));
+  server.RegisterClient(ClientId(0), NodeId(1));
+  server.RegisterClient(ClientId(1), NodeId(2));
+
+  // Five foreign actions land just before our own: our echo waits behind
+  // 5 x 20 ms of local evaluation.
+  for (uint64_t k = 0; k < 5; ++k) {
+    other->SubmitLocalAction(std::make_shared<CounterAdd>(
+        ActionId(k + 10), ClientId(1), ObjectId(1), 1,
+        ProfileAt({0.0, 0.0}, 5.0)));
+  }
+  self->SubmitLocalAction(std::make_shared<CounterAdd>(
+      ActionId(1), ClientId(0), ObjectId(1), 1, ProfileAt({0.0, 0.0}, 5.0)));
+  loop.RunUntilIdle();
+  EXPECT_GE(self->stats().response_time_us.max(),
+            2 * kLatency + 6 * 20000);
+}
+
+TEST(RingBaselineTest, ForwardsOnlyWithinVisibility) {
+  EventLoop loop;
+  Network net(&loop);
+  RingServer server(NodeId(0), &loop, CostModel{}, /*visibility=*/30.0,
+                    AABB{{-100.0, -100.0}, {600.0, 600.0}});
+  net.AddNode(&server);
+  auto near = std::make_unique<RingClient>(NodeId(1), &loop, ClientId(0),
+                                           NodeId(0), CounterState({1}),
+                                           FixedCost(100));
+  auto far = std::make_unique<RingClient>(NodeId(2), &loop, ClientId(1),
+                                          NodeId(0), CounterState({1}),
+                                          FixedCost(100));
+  auto actor = std::make_unique<RingClient>(NodeId(3), &loop, ClientId(2),
+                                            NodeId(0), CounterState({1}),
+                                            FixedCost(100));
+  net.AddNode(near.get());
+  net.AddNode(far.get());
+  net.AddNode(actor.get());
+  for (uint64_t n = 1; n <= 3; ++n) {
+    net.ConnectBidirectional(NodeId(0), NodeId(n),
+                             LinkParams::LatencyOnly(kLatency));
+  }
+  server.RegisterClient(ClientId(0), NodeId(1), {10.0, 0.0});
+  server.RegisterClient(ClientId(1), NodeId(2), {500.0, 0.0});
+  server.RegisterClient(ClientId(2), NodeId(3), {0.0, 0.0});
+
+  actor->SubmitLocalAction(std::make_shared<CounterAdd>(
+      ActionId(1), ClientId(2), ObjectId(1), 3, ProfileAt({0.0, 0.0}, 5.0)));
+  loop.RunUntilIdle();
+
+  EXPECT_EQ(near->state().GetAttr(ObjectId(1), 1).AsInt(), 3);
+  EXPECT_EQ(far->state().GetAttr(ObjectId(1), 1).AsInt(), 0);  // filtered
+  EXPECT_EQ(actor->state().GetAttr(ObjectId(1), 1).AsInt(), 3);  // echo
+  EXPECT_EQ(actor->stats().response_time_us.count(), 1);
+}
+
+TEST(RingBaselineTest, TracksMovingAvatars) {
+  EventLoop loop;
+  Network net(&loop);
+  RingServer server(NodeId(0), &loop, CostModel{}, /*visibility=*/30.0,
+                    AABB{{-100.0, -100.0}, {600.0, 600.0}});
+  net.AddNode(&server);
+  auto mover = std::make_unique<RingClient>(NodeId(1), &loop, ClientId(0),
+                                            NodeId(0), CounterState({1}),
+                                            FixedCost(100));
+  auto watcher = std::make_unique<RingClient>(NodeId(2), &loop, ClientId(1),
+                                              NodeId(0), CounterState({1}),
+                                              FixedCost(100));
+  net.AddNode(mover.get());
+  net.AddNode(watcher.get());
+  net.ConnectBidirectional(NodeId(0), NodeId(1),
+                           LinkParams::LatencyOnly(kLatency));
+  net.ConnectBidirectional(NodeId(0), NodeId(2),
+                           LinkParams::LatencyOnly(kLatency));
+  server.RegisterClient(ClientId(0), NodeId(1), {500.0, 0.0});  // far
+  server.RegisterClient(ClientId(1), NodeId(2), {0.0, 0.0});
+
+  // The mover acts from a position near the watcher: the server updates
+  // its tracked position and forwards to the watcher.
+  mover->SubmitLocalAction(std::make_shared<CounterAdd>(
+      ActionId(1), ClientId(0), ObjectId(1), 9, ProfileAt({5.0, 0.0}, 5.0)));
+  loop.RunUntilIdle();
+  EXPECT_EQ(watcher->state().GetAttr(ObjectId(1), 1).AsInt(), 9);
+}
+
+}  // namespace
+}  // namespace seve

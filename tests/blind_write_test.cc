@@ -1,0 +1,83 @@
+#include "action/blind_write.h"
+
+#include <gtest/gtest.h>
+
+namespace seve {
+namespace {
+
+Object MakeObj(uint64_t id, int64_t v) {
+  Object obj{ObjectId(id)};
+  obj.Set(1, Value(v));
+  return obj;
+}
+
+TEST(BlindWriteTest, ReadSetEqualsWriteSetEqualsS) {
+  BlindWrite bw(ActionId(1), 0, {MakeObj(3, 30), MakeObj(1, 10)});
+  EXPECT_EQ(bw.ReadSet(), bw.WriteSet());
+  EXPECT_TRUE(bw.ReadSet().Contains(ObjectId(1)));
+  EXPECT_TRUE(bw.ReadSet().Contains(ObjectId(3)));
+  EXPECT_EQ(bw.ReadSet().size(), 2u);
+}
+
+TEST(BlindWriteTest, ApplyStoresValuesUnconditionally) {
+  WorldState state;
+  state.Upsert(MakeObj(1, 999));
+  BlindWrite bw(ActionId(1), 0, {MakeObj(1, 10), MakeObj(2, 20)});
+  const auto result = bw.Apply(&state);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(state.GetAttr(ObjectId(1), 1).AsInt(), 10);
+  EXPECT_EQ(state.GetAttr(ObjectId(2), 1).AsInt(), 20);
+}
+
+TEST(BlindWriteTest, ApplyIsIdempotent) {
+  WorldState state;
+  BlindWrite bw(ActionId(1), 0, {MakeObj(1, 10)});
+  const auto first = bw.Apply(&state);
+  const uint64_t digest_after_first = state.Digest();
+  const auto second = bw.Apply(&state);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(*first, *second);
+  EXPECT_EQ(state.Digest(), digest_after_first);
+}
+
+TEST(BlindWriteTest, FromStateSnapshotsCurrentValues) {
+  WorldState state;
+  state.Upsert(MakeObj(1, 10));
+  state.Upsert(MakeObj(2, 20));
+  const BlindWrite bw = BlindWrite::FromState(
+      ActionId(7), 3, state, ObjectSet({ObjectId(1), ObjectId(5)}));
+  // Missing object 5 is skipped; only object 1 is captured.
+  EXPECT_EQ(bw.values().size(), 1u);
+  EXPECT_EQ(bw.values()[0].Get(1).AsInt(), 10);
+
+  // Later source mutations do not affect the snapshot.
+  state.SetAttr(ObjectId(1), 1, Value(int64_t{999}));
+  WorldState target;
+  ASSERT_TRUE(bw.Apply(&target).ok());
+  EXPECT_EQ(target.GetAttr(ObjectId(1), 1).AsInt(), 10);
+}
+
+TEST(BlindWriteTest, MarkerAndOrigin) {
+  BlindWrite bw(ActionId(1), 0, {});
+  EXPECT_TRUE(bw.IsBlindWrite());
+  EXPECT_FALSE(bw.origin().valid());  // server-synthesized
+  EXPECT_EQ(bw.Interest().radius, 0.0);
+}
+
+TEST(BlindWriteTest, WireSizeGrowsWithPayload) {
+  BlindWrite small(ActionId(1), 0, {MakeObj(1, 1)});
+  BlindWrite big(ActionId(2), 0,
+                 {MakeObj(1, 1), MakeObj(2, 2), MakeObj(3, 3)});
+  EXPECT_GT(big.WireSize(), small.WireSize());
+}
+
+TEST(ActionBaseTest, WireSizeIncludesSets) {
+  BlindWrite none(ActionId(1), 0, {});
+  BlindWrite some(ActionId(2), 0, {MakeObj(1, 1), MakeObj(2, 2)});
+  EXPECT_GT(some.WireSize(), none.WireSize());
+  EXPECT_NE(some.ToString().find("blindwrite#2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace seve

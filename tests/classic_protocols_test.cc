@@ -1,0 +1,253 @@
+// Tests for the Section II-B classical concurrency protocols (distributed
+// locking and timestamp/OCC certification) and the Section II-A zoning
+// baseline — both as unit-level protocol mechanics and through the
+// experiment runner.
+
+#include <gtest/gtest.h>
+
+#include "baseline/zoned.h"
+#include "net/network.h"
+#include "protocol/lock_protocol.h"
+#include "protocol/occ_protocol.h"
+#include "sim/runner.h"
+#include "tests/test_actions.h"
+
+namespace seve {
+namespace {
+
+constexpr Micros kLatency = 10000;
+
+// ---- Distributed locking ------------------------------------------------
+
+struct LockFixture {
+  EventLoop loop;
+  Network net{&loop};
+  LockServer server{NodeId(0), &loop, CounterState({1, 2}), CostModel{}};
+  std::vector<std::unique_ptr<LockClient>> clients;
+
+  explicit LockFixture(int n) {
+    net.AddNode(&server);
+    for (int i = 0; i < n; ++i) {
+      auto client = std::make_unique<LockClient>(
+          NodeId(static_cast<uint64_t>(i) + 1), &loop,
+          ClientId(static_cast<uint64_t>(i)), NodeId(0),
+          CounterState({1, 2}),
+          [](const Action&, const WorldState&) -> Micros { return 100; },
+          10);
+      net.AddNode(client.get());
+      net.ConnectBidirectional(NodeId(0), client->id(),
+                               LinkParams::LatencyOnly(kLatency));
+      server.RegisterClient(client->client_id(), client->id());
+      clients.push_back(std::move(client));
+    }
+  }
+};
+
+TEST(LockProtocolTest, SingleActionCommits) {
+  LockFixture fx(1);
+  fx.clients[0]->SubmitLocalAction(std::make_shared<CounterAdd>(
+      ActionId(1), ClientId(0), ObjectId(1), 5));
+  fx.loop.RunUntilIdle();
+  EXPECT_EQ(fx.server.state().GetAttr(ObjectId(1), 1).AsInt(), 5);
+  EXPECT_EQ(fx.clients[0]->state().GetAttr(ObjectId(1), 1).AsInt(), 5);
+  EXPECT_EQ(fx.server.stats().actions_committed, 1);
+  // Grant round trip + execution: response >= 2x one-way latency.
+  EXPECT_GE(fx.clients[0]->stats().response_time_us.min(), 2 * kLatency);
+}
+
+TEST(LockProtocolTest, ConflictingRequestsSerialize) {
+  LockFixture fx(2);
+  fx.clients[0]->SubmitLocalAction(std::make_shared<CounterAdd>(
+      ActionId(1), ClientId(0), ObjectId(1), 1));
+  fx.clients[1]->SubmitLocalAction(std::make_shared<CounterAdd>(
+      ActionId(2), ClientId(1), ObjectId(1), 1));
+  fx.loop.RunUntilIdle();
+  // Both committed, total exactly 2 (no lost update).
+  EXPECT_EQ(fx.server.state().GetAttr(ObjectId(1), 1).AsInt(), 2);
+  EXPECT_EQ(fx.server.stats().actions_committed, 2);
+  // The second holder had to wait for the first effect to release the
+  // lock: its response spans at least two full round trips.
+  const int64_t slowest =
+      std::max(fx.clients[0]->stats().response_time_us.max(),
+               fx.clients[1]->stats().response_time_us.max());
+  EXPECT_GE(slowest, 4 * kLatency);
+  EXPECT_EQ(fx.server.waiting(), 0u);
+}
+
+TEST(LockProtocolTest, DisjointRequestsProceedInParallel) {
+  LockFixture fx(2);
+  fx.clients[0]->SubmitLocalAction(std::make_shared<CounterAdd>(
+      ActionId(1), ClientId(0), ObjectId(1), 1));
+  fx.clients[1]->SubmitLocalAction(std::make_shared<CounterAdd>(
+      ActionId(2), ClientId(1), ObjectId(2), 1));
+  fx.loop.RunUntilIdle();
+  // No queueing: both close to the uncontended 2x latency.
+  EXPECT_LE(fx.clients[0]->stats().response_time_us.max(),
+            2 * kLatency + 5000);
+  EXPECT_LE(fx.clients[1]->stats().response_time_us.max(),
+            2 * kLatency + 5000);
+}
+
+TEST(LockProtocolTest, EffectsReachAllReplicas) {
+  LockFixture fx(3);
+  fx.clients[0]->SubmitLocalAction(std::make_shared<CounterAdd>(
+      ActionId(1), ClientId(0), ObjectId(1), 9));
+  fx.loop.RunUntilIdle();
+  for (const auto& client : fx.clients) {
+    EXPECT_EQ(client->state().GetAttr(ObjectId(1), 1).AsInt(), 9);
+  }
+}
+
+// ---- Timestamp / OCC ------------------------------------------------------
+
+struct OccFixture {
+  EventLoop loop;
+  Network net{&loop};
+  OccServer server{NodeId(0), &loop, CounterState({1, 2}), CostModel{}};
+  std::vector<std::unique_ptr<OccClient>> clients;
+
+  explicit OccFixture(int n, int max_attempts = 5) {
+    net.AddNode(&server);
+    for (int i = 0; i < n; ++i) {
+      auto client = std::make_unique<OccClient>(
+          NodeId(static_cast<uint64_t>(i) + 1), &loop,
+          ClientId(static_cast<uint64_t>(i)), NodeId(0),
+          CounterState({1, 2}),
+          [](const Action&, const WorldState&) -> Micros { return 100; },
+          10, max_attempts);
+      net.AddNode(client.get());
+      net.ConnectBidirectional(NodeId(0), client->id(),
+                               LinkParams::LatencyOnly(kLatency));
+      server.RegisterClient(client->client_id(), client->id());
+      clients.push_back(std::move(client));
+    }
+  }
+};
+
+TEST(OccProtocolTest, UncontendedCommitInOneRoundTrip) {
+  OccFixture fx(1);
+  fx.clients[0]->SubmitLocalAction(std::make_shared<CounterAdd>(
+      ActionId(1), ClientId(0), ObjectId(1), 5));
+  fx.loop.RunUntilIdle();
+  EXPECT_EQ(fx.server.state().GetAttr(ObjectId(1), 1).AsInt(), 5);
+  EXPECT_EQ(fx.clients[0]->state().GetAttr(ObjectId(1), 1).AsInt(), 5);
+  EXPECT_EQ(fx.server.aborts(), 0);
+  EXPECT_LE(fx.clients[0]->stats().response_time_us.max(),
+            2 * kLatency + 5000);
+}
+
+TEST(OccProtocolTest, StaleReadAbortsAndRetrySucceeds) {
+  OccFixture fx(2);
+  // Both clients increment the same counter concurrently: the
+  // later-certified one aborts (stale read version), refreshes, retries.
+  fx.clients[0]->SubmitLocalAction(std::make_shared<CounterAdd>(
+      ActionId(1), ClientId(0), ObjectId(1), 1));
+  fx.clients[1]->SubmitLocalAction(std::make_shared<CounterAdd>(
+      ActionId(2), ClientId(1), ObjectId(1), 1));
+  fx.loop.RunUntilIdle();
+  EXPECT_EQ(fx.server.aborts(), 1);
+  EXPECT_EQ(fx.clients[0]->retries() + fx.clients[1]->retries(), 1);
+  // No lost update: the retry re-read the committed value.
+  EXPECT_EQ(fx.server.state().GetAttr(ObjectId(1), 1).AsInt(), 2);
+  EXPECT_EQ(fx.server.stats().actions_committed, 2);
+}
+
+TEST(OccProtocolTest, RetryCostsExtraRoundTrip) {
+  OccFixture fx(2);
+  fx.clients[0]->SubmitLocalAction(std::make_shared<CounterAdd>(
+      ActionId(1), ClientId(0), ObjectId(1), 1));
+  fx.clients[1]->SubmitLocalAction(std::make_shared<CounterAdd>(
+      ActionId(2), ClientId(1), ObjectId(1), 1));
+  fx.loop.RunUntilIdle();
+  const int64_t slowest =
+      std::max(fx.clients[0]->stats().response_time_us.max(),
+               fx.clients[1]->stats().response_time_us.max());
+  EXPECT_GE(slowest, 4 * kLatency);
+}
+
+TEST(OccProtocolTest, BoundedAttemptsGiveUp) {
+  OccFixture fx(2, /*max_attempts=*/1);
+  fx.clients[0]->SubmitLocalAction(std::make_shared<CounterAdd>(
+      ActionId(1), ClientId(0), ObjectId(1), 1));
+  fx.clients[1]->SubmitLocalAction(std::make_shared<CounterAdd>(
+      ActionId(2), ClientId(1), ObjectId(1), 1));
+  fx.loop.RunUntilIdle();
+  EXPECT_EQ(fx.clients[0]->gave_up() + fx.clients[1]->gave_up(), 1);
+  EXPECT_EQ(fx.server.stats().actions_committed, 1);
+}
+
+TEST(OccProtocolTest, ForeignEffectsKeepReplicasFresh) {
+  OccFixture fx(2);
+  fx.clients[0]->SubmitLocalAction(std::make_shared<CounterAdd>(
+      ActionId(1), ClientId(0), ObjectId(1), 7));
+  fx.loop.RunUntilIdle();
+  EXPECT_EQ(fx.clients[1]->state().GetAttr(ObjectId(1), 1).AsInt(), 7);
+}
+
+// ---- Zoning ---------------------------------------------------------------
+
+TEST(ZoneMapTest, RoutesPositionsToTiles) {
+  ZoneMap zones(AABB{{0.0, 0.0}, {100.0, 100.0}}, 2);
+  EXPECT_EQ(zones.zone_count(), 4);
+  EXPECT_EQ(zones.ZoneOf({10.0, 10.0}), 0);
+  EXPECT_EQ(zones.ZoneOf({90.0, 10.0}), 1);
+  EXPECT_EQ(zones.ZoneOf({10.0, 90.0}), 2);
+  EXPECT_EQ(zones.ZoneOf({90.0, 90.0}), 3);
+  // Out-of-bounds positions clamp to edge zones.
+  EXPECT_EQ(zones.ZoneOf({-5.0, -5.0}), 0);
+  EXPECT_EQ(zones.ZoneOf({500.0, 500.0}), 3);
+}
+
+// ---- Through the runner ----------------------------------------------------
+
+Scenario SmallScenario(int clients) {
+  Scenario s = Scenario::TableOne(clients);
+  s.world.num_walls = 500;
+  s.moves_per_client = 5;
+  return s;
+}
+
+TEST(ClassicRunnerTest, LockBasedCompletesAndIsConsistent) {
+  const RunReport r = RunScenario(Architecture::kLockBased,
+                                  SmallScenario(4));
+  EXPECT_EQ(r.response_us.count(), 4 * 5);
+  EXPECT_EQ(r.server_stats.actions_committed, 4 * 5);
+  EXPECT_TRUE(r.consistency.consistent()) << r.consistency.ToString();
+}
+
+TEST(ClassicRunnerTest, OccCompletesMostActions) {
+  const RunReport r = RunScenario(Architecture::kTimestampOcc,
+                                  SmallScenario(4));
+  EXPECT_GE(r.server_stats.actions_committed, 4 * 5 - 2);
+  EXPECT_TRUE(r.consistency.consistent()) << r.consistency.ToString();
+}
+
+TEST(ClassicRunnerTest, ZonedRespondsFast) {
+  Scenario s = SmallScenario(6);
+  const RunReport r = RunScenario(Architecture::kZoned, s);
+  EXPECT_EQ(r.response_us.count(), 6 * 5);
+  EXPECT_EQ(r.server_stats.actions_committed, 6 * 5);
+  // Spread load: response near the uncontended round trip.
+  EXPECT_LT(r.MeanResponseMs(), 400.0);
+}
+
+TEST(ClassicRunnerTest, CrowdedZoneCollapsesWhileSpreadZonesDoNot) {
+  // Everyone crammed into one tight cluster -> a single zone server
+  // absorbs the whole workload (the Section II-A zone-crowding problem);
+  // uniformly spread clients share the zone fleet and stay fast.
+  Scenario crowded = Scenario::TableOne(40);
+  crowded.moves_per_client = 40;
+  crowded.world.spawn.pattern = SpawnConfig::Pattern::kClustered;
+  crowded.world.spawn.clusters = 1;
+  crowded.world.spawn.cluster_sigma = 10.0;
+  Scenario spread = crowded;
+  spread.world.spawn.pattern = SpawnConfig::Pattern::kUniform;
+
+  const RunReport crowded_run = RunScenario(Architecture::kZoned, crowded);
+  const RunReport spread_run = RunScenario(Architecture::kZoned, spread);
+  EXPECT_GT(crowded_run.MeanResponseMs(),
+            2.5 * spread_run.MeanResponseMs());
+}
+
+}  // namespace
+}  // namespace seve

@@ -1,0 +1,63 @@
+#include "sim/consistency.h"
+
+#include <gtest/gtest.h>
+
+namespace seve {
+namespace {
+
+using DigestMap = std::unordered_map<SeqNum, ResultDigest>;
+
+TEST(ConsistencyTest, EmptyInputsAreConsistent) {
+  const ConsistencyReport report = CheckDigestConsistency({}, {});
+  EXPECT_TRUE(report.consistent());
+  EXPECT_EQ(report.compared, 0);
+}
+
+TEST(ConsistencyTest, MatchingReplicasAgainstAuthority) {
+  const DigestMap authority{{0, 10}, {1, 11}, {2, 12}};
+  const DigestMap r1{{0, 10}, {1, 11}};
+  const DigestMap r2{{2, 12}};
+  const ConsistencyReport report =
+      CheckDigestConsistency(authority, {&r1, &r2});
+  EXPECT_TRUE(report.consistent());
+  EXPECT_EQ(report.compared, 3);
+  EXPECT_EQ(report.unreferenced, 0);
+}
+
+TEST(ConsistencyTest, MismatchDetected) {
+  const DigestMap authority{{0, 10}};
+  const DigestMap bad{{0, 999}};
+  const ConsistencyReport report = CheckDigestConsistency(authority, {&bad});
+  EXPECT_FALSE(report.consistent());
+  EXPECT_EQ(report.mismatches, 1);
+  EXPECT_DOUBLE_EQ(report.MismatchRate(), 1.0);
+}
+
+TEST(ConsistencyTest, UnreferencedPositionsCounted) {
+  const DigestMap authority{{0, 10}};
+  const DigestMap extra{{0, 10}, {7, 70}};
+  const ConsistencyReport report =
+      CheckDigestConsistency(authority, {&extra});
+  EXPECT_TRUE(report.consistent());
+  EXPECT_EQ(report.unreferenced, 1);
+}
+
+TEST(ConsistencyTest, NoAuthorityElectsFirstReplica) {
+  // Without an authoritative log, the first replica holding a position
+  // is the reference (Broadcast/RING checks).
+  const DigestMap r1{{0, 10}, {1, 11}};
+  const DigestMap r2{{0, 10}, {1, 99}};
+  const ConsistencyReport report = CheckDigestConsistency({}, {&r1, &r2});
+  EXPECT_EQ(report.mismatches, 1);
+  EXPECT_EQ(report.compared, 4);
+}
+
+TEST(ConsistencyTest, ToStringFormat) {
+  ConsistencyReport report;
+  report.compared = 10;
+  report.mismatches = 2;
+  EXPECT_NE(report.ToString().find("mismatches=2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace seve

@@ -1,0 +1,184 @@
+// The Dining Philosophers scenario of Section III-E, end to end: n
+// philosophers on a ring grab both forks in the same tick. Direct
+// conflicts are pairwise, but the transitive closure spans the whole
+// ring — without chain breaking the closure delivered to each client is
+// unbounded; the Information Bound Model drops a few grabs to cut the
+// ring into short chains.
+
+#include <gtest/gtest.h>
+
+#include "net/network.h"
+#include "protocol/seve_client.h"
+#include "protocol/seve_server.h"
+#include "world/dining.h"
+
+namespace seve {
+namespace {
+
+constexpr Micros kLatency = 10000;
+constexpr Micros kRtt = 2 * kLatency;
+
+struct DiningFixture {
+  DiningTable table;
+  EventLoop loop;
+  Network net{&loop};
+  std::unique_ptr<SeveServer> server;
+  std::vector<std::unique_ptr<SeveClient>> clients;
+
+  DiningFixture(int n, bool dropping, double threshold) {
+    table = DiningTable{n, 100.0};
+    SeveOptions opts;
+    opts.proactive_push = true;
+    opts.dropping = dropping;
+    opts.threshold = threshold;
+    opts.tick_us = 20000;
+    InterestModel interest(/*max_speed=*/1.0, kRtt, opts.omega);
+    server = std::make_unique<SeveServer>(
+        NodeId(0), &loop, table.InitialState(), CostModel{}, interest, opts,
+        AABB{{-150.0, -150.0}, {150.0, 150.0}});
+    net.AddNode(server.get());
+    for (int i = 0; i < n; ++i) {
+      auto client = std::make_unique<SeveClient>(
+          NodeId(static_cast<uint64_t>(i) + 1), &loop,
+          ClientId(static_cast<uint64_t>(i)), NodeId(0),
+          table.InitialState(),
+          [](const Action&, const WorldState&) -> Micros { return 50; },
+          10, opts);
+      net.AddNode(client.get());
+      net.ConnectBidirectional(NodeId(0), client->id(),
+                               LinkParams::LatencyOnly(kLatency));
+      InterestProfile profile;
+      profile.position = table.PhilosopherPos(i);
+      profile.radius = table.NeighbourSpacing();
+      server->RegisterClient(client->client_id(), client->id(), profile);
+      clients.push_back(std::move(client));
+    }
+    server->Start();
+  }
+
+  void GrabAllForksSimultaneously() {
+    for (int i = 0; i < table.num_philosophers; ++i) {
+      clients[static_cast<size_t>(i)]->SubmitLocalAction(
+          std::make_shared<PickForksAction>(
+              ActionId(static_cast<uint64_t>(i) + 1),
+              ClientId(static_cast<uint64_t>(i)), 0, table, i));
+    }
+  }
+
+  void Drain() {
+    loop.RunUntil(2'000'000);
+    server->Stop();
+    loop.RunUntilIdle(5'000'000);
+    server->FlushAll();
+    loop.RunUntilIdle(5'000'000);
+  }
+
+  /// Number of forks held after quiescence, per the server's state.
+  int ForksHeld() const {
+    int held = 0;
+    for (int i = 0; i < table.num_philosophers; ++i) {
+      if (server->authoritative().GetAttr(table.ForkId(i), kForkHolder)
+              .AsInt() != 0) {
+        ++held;
+      }
+    }
+    return held;
+  }
+
+  /// Checks the dining invariant: each held fork has exactly one holder,
+  /// and no philosopher holds only one fork.
+  void CheckForkInvariant() const {
+    for (int i = 0; i < table.num_philosophers; ++i) {
+      const int n = table.num_philosophers;
+      const int64_t left = server->authoritative()
+                               .GetAttr(table.ForkId((i + n - 1) % n),
+                                        kForkHolder)
+                               .AsInt();
+      const int64_t right = server->authoritative()
+                                .GetAttr(table.ForkId(i), kForkHolder)
+                                .AsInt();
+      const int64_t me = i + 1;
+      EXPECT_EQ(left == me, right == me)
+          << "philosopher " << i << " holds exactly one fork";
+    }
+  }
+};
+
+TEST(DiningPhilosophersTest, WithoutDroppingEveryGrabResolves) {
+  DiningFixture fx(12, /*dropping=*/false, /*threshold=*/0.0);
+  fx.GrabAllForksSimultaneously();
+  fx.Drain();
+
+  EXPECT_EQ(fx.server->stats().actions_dropped, 0);
+  EXPECT_EQ(fx.server->stats().actions_committed, 12);
+  // Alternating grabs succeed: with 12 philosophers at most 6 winners,
+  // and at least the first grab wins.
+  const int held = fx.ForksHeld();
+  EXPECT_GT(held, 0);
+  EXPECT_EQ(held % 2, 0);  // forks are held in pairs
+  fx.CheckForkInvariant();
+}
+
+TEST(DiningPhilosophersTest, WithoutDroppingClosuresSpanTheRing) {
+  DiningFixture fx(12, /*dropping=*/false, /*threshold=*/0.0);
+  fx.GrabAllForksSimultaneously();
+  fx.Drain();
+  // The largest closure batch delivered to some client covers most of
+  // the ring (the unbounded-transitive-closure problem).
+  EXPECT_GE(fx.server->stats().closure_size.max(), 8);
+}
+
+TEST(DiningPhilosophersTest, DroppingBreaksTheRing) {
+  // Threshold of ~2.5 neighbour gaps: chains longer than a few seats get
+  // cut (ring radius 100, 12 seats -> spacing ~51.8).
+  DiningFixture fx(12, /*dropping=*/true, /*threshold=*/130.0);
+  fx.GrabAllForksSimultaneously();
+  fx.Drain();
+
+  const int64_t dropped = fx.server->stats().actions_dropped;
+  EXPECT_GT(dropped, 0);          // some grabs sacrificed...
+  EXPECT_LT(dropped, 12);         // ...but not all (Section III-E)
+  EXPECT_EQ(fx.server->stats().actions_committed, 12 - dropped);
+  fx.CheckForkInvariant();
+  // Closures stay small once chains are broken.
+  EXPECT_LT(fx.server->stats().closure_size.max(),
+            fx.server->stats().closure_size.count() == 0 ? 1 : 13);
+}
+
+TEST(DiningPhilosophersTest, DroppedGrabsRollBackOptimism) {
+  DiningFixture fx(12, /*dropping=*/true, /*threshold=*/130.0);
+  fx.GrabAllForksSimultaneously();
+  fx.Drain();
+  // Every client's stable view of its own two forks matches the server.
+  for (int i = 0; i < 12; ++i) {
+    const auto& client = fx.clients[static_cast<size_t>(i)];
+    EXPECT_EQ(client->pending_count(), 0u) << "philosopher " << i;
+    for (int f : {(i + 11) % 12, i}) {
+      const ObjectId fork = fx.table.ForkId(f);
+      EXPECT_EQ(
+          client->stable().GetAttr(fork, kForkHolder).AsInt(),
+          fx.server->authoritative().GetAttr(fork, kForkHolder).AsInt())
+          << "philosopher " << i << " fork " << f;
+    }
+  }
+}
+
+TEST(DiningPhilosophersTest, SequentialGrabsNeverDrop) {
+  // Grabs spaced far apart in time never chain: no drops even with a
+  // tight threshold.
+  DiningFixture fx(6, /*dropping=*/true, /*threshold=*/30.0);
+  for (int i = 0; i < 6; ++i) {
+    fx.loop.At(static_cast<VirtualTime>(i) * 300000, [&fx, i]() {
+      fx.clients[static_cast<size_t>(i)]->SubmitLocalAction(
+          std::make_shared<PickForksAction>(
+              ActionId(static_cast<uint64_t>(i) + 1),
+              ClientId(static_cast<uint64_t>(i)), 0, fx.table, i));
+    });
+  }
+  fx.Drain();
+  EXPECT_EQ(fx.server->stats().actions_dropped, 0);
+  EXPECT_EQ(fx.server->stats().actions_committed, 6);
+}
+
+}  // namespace
+}  // namespace seve

@@ -1,0 +1,92 @@
+#include "core/engine.h"
+
+#include <gtest/gtest.h>
+
+namespace seve {
+namespace {
+
+Scenario Tiny() {
+  Scenario s = Scenario::TableOne(2);
+  s.world.num_walls = 200;
+  s.moves_per_client = 3;
+  return s;
+}
+
+TEST(EngineTest, ValidateAcceptsTableOne) {
+  EXPECT_TRUE(Engine::Validate(Scenario::TableOne(64)).ok());
+}
+
+TEST(EngineTest, ValidateRejectsBadClientCount) {
+  Scenario s = Tiny();
+  s.num_clients = 0;
+  EXPECT_EQ(Engine::Validate(s).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EngineTest, ValidateRejectsBadOmega) {
+  Scenario s = Tiny();
+  s.seve.omega = 1.5;
+  EXPECT_FALSE(Engine::Validate(s).ok());
+  s.seve.omega = 0.0;
+  EXPECT_FALSE(Engine::Validate(s).ok());
+}
+
+TEST(EngineTest, ValidateRejectsDroppingWithoutPush) {
+  Scenario s = Tiny();
+  s.seve.proactive_push = false;
+  s.seve.dropping = true;
+  EXPECT_FALSE(Engine::Validate(s).ok());
+}
+
+TEST(EngineTest, ValidateRejectsEmptyWorld) {
+  Scenario s = Tiny();
+  s.world.bounds = AABB{{0.0, 0.0}, {0.0, 100.0}};
+  EXPECT_FALSE(Engine::Validate(s).ok());
+}
+
+TEST(EngineTest, ValidateRejectsNegativePeriod) {
+  Scenario s = Tiny();
+  s.move_period_us = 0;
+  EXPECT_FALSE(Engine::Validate(s).ok());
+}
+
+TEST(EngineTest, RunReturnsErrorForInvalidScenario) {
+  Engine engine;
+  Scenario s = Tiny();
+  s.num_clients = -1;
+  const auto report = engine.Run(Architecture::kSeve, s);
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(EngineTest, RunProducesReport) {
+  Engine engine;
+  const auto report = engine.Run(Architecture::kSeve, Tiny());
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->architecture, Architecture::kSeve);
+  EXPECT_EQ(report->num_clients, 2);
+  EXPECT_EQ(report->response_us.count(), 2 * 3);
+  EXPECT_FALSE(report->Summary().empty());
+}
+
+TEST(EngineTest, CompareRunsAllArchitectures) {
+  Engine engine;
+  const auto reports = engine.Compare(
+      {Architecture::kSeve, Architecture::kCentral}, Tiny());
+  ASSERT_TRUE(reports.ok());
+  ASSERT_EQ(reports->size(), 2u);
+  EXPECT_EQ((*reports)[0].architecture, Architecture::kSeve);
+  EXPECT_EQ((*reports)[1].architecture, Architecture::kCentral);
+}
+
+TEST(EngineTest, VersionIsNonEmpty) {
+  EXPECT_STRNE(Engine::Version(), "");
+}
+
+TEST(EngineTest, ArchitectureNamesAreDistinct) {
+  EXPECT_STREQ(ArchitectureName(Architecture::kSeve), "SEVE");
+  EXPECT_STREQ(ArchitectureName(Architecture::kCentral), "Central");
+  EXPECT_STREQ(ArchitectureName(Architecture::kBroadcast), "Broadcast");
+  EXPECT_STREQ(ArchitectureName(Architecture::kRing), "RING");
+}
+
+}  // namespace
+}  // namespace seve

@@ -1,0 +1,96 @@
+#include "net/event_loop.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace seve {
+namespace {
+
+TEST(EventLoopTest, RunsEventsInTimeOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.At(300, [&]() { order.push_back(3); });
+  loop.At(100, [&]() { order.push_back(1); });
+  loop.At(200, [&]() { order.push_back(2); });
+  loop.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(loop.now(), 300);
+}
+
+TEST(EventLoopTest, TiesRunInSchedulingOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    loop.At(50, [&order, i]() { order.push_back(i); });
+  }
+  loop.RunUntilIdle();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(EventLoopTest, AfterSchedulesRelativeToNow) {
+  EventLoop loop;
+  VirtualTime seen = -1;
+  loop.At(100, [&]() {
+    loop.After(50, [&]() { seen = loop.now(); });
+  });
+  loop.RunUntilIdle();
+  EXPECT_EQ(seen, 150);
+}
+
+TEST(EventLoopTest, PastTimesClampToNow) {
+  EventLoop loop;
+  VirtualTime seen = -1;
+  loop.At(100, [&]() {
+    loop.At(10, [&]() { seen = loop.now(); });  // in the past
+  });
+  loop.RunUntilIdle();
+  EXPECT_EQ(seen, 100);
+}
+
+TEST(EventLoopTest, RunUntilStopsAtDeadline) {
+  EventLoop loop;
+  int fired = 0;
+  loop.At(100, [&]() { ++fired; });
+  loop.At(200, [&]() { ++fired; });
+  loop.At(301, [&]() { ++fired; });
+  loop.RunUntil(300);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(loop.now(), 300);
+  loop.RunUntilIdle();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(EventLoopTest, RunUntilAdvancesClockEvenWithoutEvents) {
+  EventLoop loop;
+  loop.RunUntil(5000);
+  EXPECT_EQ(loop.now(), 5000);
+}
+
+TEST(EventLoopTest, RunOneReturnsFalseWhenEmpty) {
+  EventLoop loop;
+  EXPECT_FALSE(loop.RunOne());
+  loop.At(1, []() {});
+  EXPECT_TRUE(loop.RunOne());
+  EXPECT_FALSE(loop.RunOne());
+}
+
+TEST(EventLoopTest, MaxEventsCapsRunUntilIdle) {
+  EventLoop loop;
+  // A self-perpetuating event chain.
+  std::function<void()> chain = [&]() { loop.After(1, chain); };
+  loop.After(1, chain);
+  const size_t run = loop.RunUntilIdle(1000);
+  EXPECT_EQ(run, 1000u);
+  EXPECT_GT(loop.pending(), 0u);
+}
+
+TEST(EventLoopTest, EventsRunCounter) {
+  EventLoop loop;
+  for (int i = 0; i < 5; ++i) loop.At(i, []() {});
+  loop.RunUntilIdle();
+  EXPECT_EQ(loop.events_run(), 5u);
+}
+
+}  // namespace
+}  // namespace seve

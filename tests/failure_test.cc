@@ -1,0 +1,160 @@
+// Failure-injection tests for the Incomplete World Model's fault
+// tolerance (Section III-C): with every client sending completion
+// messages for every action it applies, an action survives its origin's
+// crash as long as any evaluating client survives.
+
+#include <gtest/gtest.h>
+
+#include "net/network.h"
+#include "protocol/seve_client.h"
+#include "protocol/seve_server.h"
+#include "tests/test_actions.h"
+
+namespace seve {
+namespace {
+
+constexpr Micros kLatency = 10000;
+constexpr Micros kRtt = 2 * kLatency;
+
+struct FailureFixture {
+  EventLoop loop;
+  Network net{&loop};
+  std::unique_ptr<SeveServer> server;
+  std::vector<std::unique_ptr<SeveClient>> clients;
+
+  FailureFixture(int n, bool all_completions) {
+    SeveOptions opts;
+    opts.proactive_push = true;
+    opts.dropping = false;
+    opts.tick_us = 20000;
+    opts.all_client_completions = all_completions;
+    InterestModel interest(10.0, kRtt, opts.omega);
+    server = std::make_unique<SeveServer>(
+        NodeId(0), &loop, CounterState({1}), CostModel{}, interest, opts,
+        AABB{{-100.0, -100.0}, {100.0, 100.0}});
+    net.AddNode(server.get());
+    for (int i = 0; i < n; ++i) {
+      auto client = std::make_unique<SeveClient>(
+          NodeId(static_cast<uint64_t>(i) + 1), &loop,
+          ClientId(static_cast<uint64_t>(i)), NodeId(0), CounterState({1}),
+          [](const Action&, const WorldState&) -> Micros { return 100; },
+          10, opts);
+      net.AddNode(client.get());
+      net.ConnectBidirectional(NodeId(0), client->id(),
+                               LinkParams::LatencyOnly(kLatency));
+      server->RegisterClient(client->client_id(), client->id(),
+                             ProfileAt({static_cast<double>(i), 0.0}, 10.0));
+      clients.push_back(std::move(client));
+    }
+    server->Start();
+  }
+
+  void Drain() {
+    // Let the push/tick cycles run for a while (they deliver uncommitted
+    // actions to interested clients) before halting them.
+    loop.RunUntil(loop.now() + 1'000'000);
+    server->Stop();
+    loop.RunUntilIdle(1'000'000);
+    server->FlushAll();
+    loop.RunUntilIdle(1'000'000);
+  }
+};
+
+TEST(FailureTest, OriginCrashStallsCommitWithoutFaultTolerance) {
+  FailureFixture fx(2, /*all_completions=*/false);
+  fx.clients[0]->SubmitLocalAction(
+      std::make_shared<CounterAdd>(ActionId(1), ClientId(0), ObjectId(1), 5,
+                                   ProfileAt({0.0, 0.0}, 10.0)));
+  // Crash the origin right after the submission leaves.
+  fx.loop.RunUntil(15000);
+  fx.clients[0]->set_failed(true);
+  fx.Drain();
+  // Only the origin sends completions in this mode: the action is stuck
+  // uncommitted at the server.
+  EXPECT_EQ(fx.server->stats().actions_committed, 0);
+  EXPECT_EQ(fx.server->uncommitted(), 1u);
+  EXPECT_EQ(fx.server->authoritative().GetAttr(ObjectId(1), 1).AsInt(), 0);
+}
+
+TEST(FailureTest, AllClientCompletionsSurviveOriginCrash) {
+  FailureFixture fx(2, /*all_completions=*/true);
+  fx.clients[0]->SubmitLocalAction(
+      std::make_shared<CounterAdd>(ActionId(1), ClientId(0), ObjectId(1), 5,
+                                   ProfileAt({0.0, 0.0}, 10.0)));
+  fx.loop.RunUntil(15000);
+  fx.clients[0]->set_failed(true);
+  fx.Drain();
+  // Client 1 (nearby, interested) evaluated the action and its completion
+  // committed it.
+  EXPECT_EQ(fx.server->stats().actions_committed, 1);
+  EXPECT_EQ(fx.server->authoritative().GetAttr(ObjectId(1), 1).AsInt(), 5);
+}
+
+TEST(FailureTest, SurvivorsContinueAfterPeerCrash) {
+  FailureFixture fx(3, /*all_completions=*/true);
+  fx.clients[2]->set_failed(true);  // dead from the start
+  for (uint64_t k = 0; k < 3; ++k) {
+    fx.clients[0]->SubmitLocalAction(std::make_shared<CounterAdd>(
+        ActionId(k + 1), ClientId(0), ObjectId(1), 1,
+        ProfileAt({0.0, 0.0}, 10.0)));
+  }
+  fx.Drain();
+  EXPECT_EQ(fx.server->stats().actions_committed, 3);
+  EXPECT_EQ(fx.clients[0]->stable().GetAttr(ObjectId(1), 1).AsInt(), 3);
+  EXPECT_EQ(fx.clients[1]->stable().GetAttr(ObjectId(1), 1).AsInt(), 3);
+}
+
+TEST(FailureTest, LossyLinkStillConverges) {
+  // Message loss on the uplink: the fault-tolerant mode masks the lost
+  // completions of one client with another's.
+  EventLoop loop;
+  Network net(&loop, /*seed=*/5);
+  SeveOptions opts;
+  opts.proactive_push = true;
+  opts.dropping = false;
+  opts.tick_us = 20000;
+  opts.all_client_completions = true;
+  InterestModel interest(10.0, kRtt, opts.omega);
+  SeveServer server(NodeId(0), &loop, CounterState({1}), CostModel{},
+                    interest, opts, AABB{{-100.0, -100.0}, {100.0, 100.0}});
+  net.AddNode(&server);
+
+  std::vector<std::unique_ptr<SeveClient>> clients;
+  for (uint64_t i = 0; i < 2; ++i) {
+    auto client = std::make_unique<SeveClient>(
+        NodeId(i + 1), &loop, ClientId(i), NodeId(0), CounterState({1}),
+        [](const Action&, const WorldState&) -> Micros { return 100; }, 10,
+        opts);
+    net.AddNode(client.get());
+    clients.push_back(std::move(client));
+  }
+  // Client 0's uplink drops everything after the submission; client 1 is
+  // reliable.
+  net.ConnectDirected(NodeId(0), NodeId(1), LinkParams::LatencyOnly(kLatency));
+  net.ConnectDirected(NodeId(1), NodeId(0), LinkParams::LatencyOnly(kLatency));
+  net.ConnectBidirectional(NodeId(0), NodeId(2),
+                           LinkParams::LatencyOnly(kLatency));
+  server.RegisterClient(ClientId(0), NodeId(1), ProfileAt({0.0, 0.0}, 10.0));
+  server.RegisterClient(ClientId(1), NodeId(2), ProfileAt({1.0, 0.0}, 10.0));
+  server.Start();
+
+  clients[0]->SubmitLocalAction(
+      std::make_shared<CounterAdd>(ActionId(1), ClientId(0), ObjectId(1), 5,
+                                   ProfileAt({0.0, 0.0}, 10.0)));
+  loop.RunUntil(15000);
+  // Now cut client 0's uplink (its completion will be lost).
+  LinkParams broken = LinkParams::LatencyOnly(kLatency);
+  broken.drop_probability = 1.0;
+  net.ConnectDirected(NodeId(1), NodeId(0), broken);
+
+  server.Stop();
+  loop.RunUntilIdle(1'000'000);
+  server.FlushAll();
+  loop.RunUntilIdle(1'000'000);
+
+  EXPECT_EQ(server.stats().actions_committed, 1);
+  EXPECT_EQ(server.authoritative().GetAttr(ObjectId(1), 1).AsInt(), 5);
+}
+
+}  // namespace
+}  // namespace seve

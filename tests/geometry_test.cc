@@ -1,0 +1,139 @@
+#include "spatial/geometry.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace seve {
+namespace {
+
+TEST(GeometryTest, DistancePointSegmentPerpendicular) {
+  const Segment s{{0.0, 0.0}, {10.0, 0.0}};
+  EXPECT_DOUBLE_EQ(DistancePointSegment({5.0, 3.0}, s), 3.0);
+}
+
+TEST(GeometryTest, DistancePointSegmentBeyondEndpoints) {
+  const Segment s{{0.0, 0.0}, {10.0, 0.0}};
+  EXPECT_DOUBLE_EQ(DistancePointSegment({-3.0, 4.0}, s), 5.0);
+  EXPECT_DOUBLE_EQ(DistancePointSegment({13.0, 4.0}, s), 5.0);
+}
+
+TEST(GeometryTest, DistanceToDegenerateSegment) {
+  const Segment s{{2.0, 2.0}, {2.0, 2.0}};
+  EXPECT_DOUBLE_EQ(DistancePointSegment({5.0, 6.0}, s), 5.0);
+}
+
+TEST(GeometryTest, CircleIntersectsSegment) {
+  const Segment s{{0.0, 0.0}, {10.0, 0.0}};
+  EXPECT_TRUE(CircleIntersectsSegment({5.0, 1.0}, 1.0, s));   // touch
+  EXPECT_TRUE(CircleIntersectsSegment({5.0, 0.5}, 1.0, s));   // overlap
+  EXPECT_FALSE(CircleIntersectsSegment({5.0, 2.0}, 1.0, s));  // clear
+}
+
+TEST(GeometryTest, SegmentIntersectionCrossing) {
+  const Segment p{{0.0, 0.0}, {10.0, 10.0}};
+  const Segment q{{0.0, 10.0}, {10.0, 0.0}};
+  const auto t = SegmentIntersectionParam(p, q);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_NEAR(*t, 0.5, 1e-12);
+}
+
+TEST(GeometryTest, SegmentIntersectionDisjoint) {
+  const Segment p{{0.0, 0.0}, {1.0, 0.0}};
+  const Segment q{{0.0, 1.0}, {1.0, 1.0}};
+  EXPECT_FALSE(SegmentIntersectionParam(p, q).has_value());
+}
+
+TEST(GeometryTest, SegmentIntersectionCollinearOverlap) {
+  const Segment p{{0.0, 0.0}, {10.0, 0.0}};
+  const Segment q{{5.0, 0.0}, {15.0, 0.0}};
+  const auto t = SegmentIntersectionParam(p, q);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_NEAR(*t, 0.5, 1e-12);
+}
+
+TEST(GeometryTest, MovingCircleHitsPerpendicularWall) {
+  // Circle radius 1 at origin moving +x toward a vertical wall at x=5.
+  const Segment wall{{5.0, -10.0}, {5.0, 10.0}};
+  const auto hit = MovingCircleSegmentHit({0.0, 0.0}, {1.0, 0.0}, 10.0, 1.0,
+                                          wall);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_NEAR(*hit, 4.0, 0.01);  // stops one radius short of the wall
+}
+
+TEST(GeometryTest, MovingCircleMissesParallelWall) {
+  const Segment wall{{0.0, 5.0}, {10.0, 5.0}};
+  const auto hit = MovingCircleSegmentHit({0.0, 0.0}, {1.0, 0.0}, 10.0, 1.0,
+                                          wall);
+  EXPECT_FALSE(hit.has_value());
+}
+
+TEST(GeometryTest, MovingCircleAlreadyTouching) {
+  const Segment wall{{1.0, -1.0}, {1.0, 1.0}};
+  const auto hit = MovingCircleSegmentHit({0.5, 0.0}, {1.0, 0.0}, 5.0, 1.0,
+                                          wall);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_DOUBLE_EQ(*hit, 0.0);
+}
+
+TEST(GeometryTest, MovingCircleStopsAtMaxDist) {
+  const Segment wall{{100.0, -10.0}, {100.0, 10.0}};
+  EXPECT_FALSE(
+      MovingCircleSegmentHit({0.0, 0.0}, {1.0, 0.0}, 5.0, 1.0, wall)
+          .has_value());
+}
+
+TEST(GeometryTest, MovingCircleCircleHeadOn) {
+  const auto hit =
+      MovingCircleCircleHit({0.0, 0.0}, {1.0, 0.0}, 10.0, 2.0, {6.0, 0.0});
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_NEAR(*hit, 4.0, 1e-9);
+}
+
+TEST(GeometryTest, MovingCircleCircleMovingAway) {
+  EXPECT_FALSE(
+      MovingCircleCircleHit({0.0, 0.0}, {-1.0, 0.0}, 10.0, 2.0, {6.0, 0.0})
+          .has_value());
+}
+
+TEST(GeometryTest, MovingCircleCircleAlreadyOverlapping) {
+  const auto hit =
+      MovingCircleCircleHit({0.0, 0.0}, {1.0, 0.0}, 10.0, 2.0, {1.0, 0.0});
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_DOUBLE_EQ(*hit, 0.0);
+}
+
+TEST(GeometryTest, MovingCircleCircleGrazingMiss) {
+  // Passing at lateral distance 2.5 > combined radius 2.
+  EXPECT_FALSE(
+      MovingCircleCircleHit({0.0, 2.5}, {1.0, 0.0}, 20.0, 2.0, {10.0, 0.0})
+          .has_value());
+}
+
+// Property: the hit distance returned by MovingCircleSegmentHit always
+// leaves the circle at distance <= radius (contact) and never overshoots.
+TEST(GeometryPropertyTest, SegmentHitLandsOnContact) {
+  Rng rng(99);
+  int hits = 0;
+  for (int i = 0; i < 500; ++i) {
+    const Vec2 a{rng.NextDouble(-10.0, 10.0), rng.NextDouble(-10.0, 10.0)};
+    const Vec2 b{rng.NextDouble(-10.0, 10.0), rng.NextDouble(-10.0, 10.0)};
+    const Segment wall{a, b};
+    const Vec2 start{rng.NextDouble(-10.0, 10.0),
+                     rng.NextDouble(-10.0, 10.0)};
+    double angle = rng.NextDouble(0.0, 6.28318);
+    const Vec2 dir{std::cos(angle), std::sin(angle)};
+    const double radius = rng.NextDouble(0.1, 1.0);
+    const auto hit = MovingCircleSegmentHit(start, dir, 8.0, radius, wall);
+    if (!hit.has_value()) continue;
+    ++hits;
+    EXPECT_GE(*hit, 0.0);
+    EXPECT_LE(*hit, 8.0);
+    const double d = DistancePointSegment(start + dir * *hit, wall);
+    EXPECT_LE(d, radius + 1e-6);
+  }
+  EXPECT_GT(hits, 20);  // the sweep actually exercised contacts
+}
+
+}  // namespace
+}  // namespace seve

@@ -1,0 +1,131 @@
+#include "spatial/grid_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace seve {
+namespace {
+
+AABB WorldBox() { return AABB{{0.0, 0.0}, {100.0, 100.0}}; }
+
+TEST(GridIndexTest, InsertAndQuery) {
+  GridIndex index(WorldBox(), 10.0);
+  ASSERT_TRUE(index.Insert(1, AABB::FromCircle({50.0, 50.0}, 1.0)).ok());
+  ASSERT_TRUE(index.Insert(2, AABB::FromCircle({10.0, 10.0}, 1.0)).ok());
+
+  const auto near_center = index.CollectCircle({50.0, 50.0}, 5.0);
+  EXPECT_EQ(near_center, std::vector<uint64_t>{1});
+  const auto all = index.CollectBox(WorldBox());
+  EXPECT_EQ(all, (std::vector<uint64_t>{1, 2}));
+}
+
+TEST(GridIndexTest, DuplicateInsertFails) {
+  GridIndex index(WorldBox(), 10.0);
+  ASSERT_TRUE(index.Insert(1, AABB::FromCircle({1.0, 1.0}, 1.0)).ok());
+  EXPECT_EQ(index.Insert(1, AABB::FromCircle({2.0, 2.0}, 1.0)).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(GridIndexTest, RemoveMakesItemInvisible) {
+  GridIndex index(WorldBox(), 10.0);
+  ASSERT_TRUE(index.Insert(1, AABB::FromCircle({50.0, 50.0}, 1.0)).ok());
+  ASSERT_TRUE(index.Remove(1).ok());
+  EXPECT_TRUE(index.CollectBox(WorldBox()).empty());
+  EXPECT_EQ(index.Remove(1).code(), StatusCode::kNotFound);
+}
+
+TEST(GridIndexTest, MoveRelocatesItem) {
+  GridIndex index(WorldBox(), 10.0);
+  ASSERT_TRUE(index.Insert(1, AABB::FromCircle({10.0, 10.0}, 1.0)).ok());
+  ASSERT_TRUE(index.Move(1, AABB::FromCircle({90.0, 90.0}, 1.0)).ok());
+  EXPECT_TRUE(index.CollectCircle({10.0, 10.0}, 5.0).empty());
+  EXPECT_EQ(index.CollectCircle({90.0, 90.0}, 5.0),
+            std::vector<uint64_t>{1});
+}
+
+TEST(GridIndexTest, MoveWithinSameCellsKeepsVisibility) {
+  GridIndex index(WorldBox(), 10.0);
+  ASSERT_TRUE(index.Insert(1, AABB::FromCircle({50.0, 50.0}, 0.5)).ok());
+  ASSERT_TRUE(index.Move(1, AABB::FromCircle({50.5, 50.5}, 0.5)).ok());
+  EXPECT_EQ(index.CollectCircle({50.0, 50.0}, 2.0),
+            std::vector<uint64_t>{1});
+}
+
+TEST(GridIndexTest, MoveUnknownKeyFails) {
+  GridIndex index(WorldBox(), 10.0);
+  EXPECT_EQ(index.Move(42, AABB::FromCircle({1.0, 1.0}, 1.0)).code(),
+            StatusCode::kNotFound);
+}
+
+TEST(GridIndexTest, ItemSpanningManyCellsReportedOnce) {
+  GridIndex index(WorldBox(), 10.0);
+  // A long item across many cells.
+  ASSERT_TRUE(index.Insert(1, AABB{{0.0, 50.0}, {100.0, 51.0}}).ok());
+  const auto found = index.CollectBox(AABB{{0.0, 0.0}, {100.0, 100.0}});
+  EXPECT_EQ(found.size(), 1u);
+}
+
+TEST(GridIndexTest, OutOfBoundsPositionsClampToEdgeCells) {
+  GridIndex index(WorldBox(), 10.0);
+  ASSERT_TRUE(index.Insert(1, AABB::FromCircle({-20.0, -20.0}, 1.0)).ok());
+  // The item's cells clamp into the world corner; a query whose box
+  // geometrically covers the item's (out-of-bounds) box finds it.
+  EXPECT_EQ(index.CollectCircle({0.0, 0.0}, 25.0),
+            std::vector<uint64_t>{1});
+  // A query that does not reach the item's box stays empty.
+  EXPECT_TRUE(index.CollectCircle({0.0, 0.0}, 5.0).empty());
+}
+
+TEST(GridIndexTest, ContainsAndSize) {
+  GridIndex index(WorldBox(), 10.0);
+  EXPECT_EQ(index.size(), 0u);
+  ASSERT_TRUE(index.Insert(5, AABB::FromCircle({3.0, 3.0}, 1.0)).ok());
+  EXPECT_TRUE(index.Contains(5));
+  EXPECT_FALSE(index.Contains(6));
+  EXPECT_EQ(index.size(), 1u);
+}
+
+// Property test: grid query results always match a brute-force scan.
+class GridIndexPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GridIndexPropertyTest, MatchesBruteForce) {
+  Rng rng(GetParam());
+  GridIndex index(WorldBox(), rng.NextDouble(2.0, 20.0));
+  std::vector<std::pair<uint64_t, AABB>> items;
+  for (uint64_t key = 0; key < 200; ++key) {
+    const Vec2 center{rng.NextDouble(0.0, 100.0),
+                      rng.NextDouble(0.0, 100.0)};
+    const AABB box = AABB::FromCircle(center, rng.NextDouble(0.1, 3.0));
+    ASSERT_TRUE(index.Insert(key, box).ok());
+    items.emplace_back(key, box);
+  }
+  // Random moves.
+  for (int m = 0; m < 50; ++m) {
+    const size_t pick = rng.NextBounded(items.size());
+    const Vec2 center{rng.NextDouble(0.0, 100.0),
+                      rng.NextDouble(0.0, 100.0)};
+    const AABB box = AABB::FromCircle(center, rng.NextDouble(0.1, 3.0));
+    ASSERT_TRUE(index.Move(items[pick].first, box).ok());
+    items[pick].second = box;
+  }
+  for (int q = 0; q < 50; ++q) {
+    const AABB query = AABB::FromCircle(
+        {rng.NextDouble(0.0, 100.0), rng.NextDouble(0.0, 100.0)},
+        rng.NextDouble(1.0, 30.0));
+    std::vector<uint64_t> expected;
+    for (const auto& [key, box] : items) {
+      if (box.Intersects(query)) expected.push_back(key);
+    }
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(index.CollectBox(query), expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GridIndexPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace seve

@@ -1,0 +1,139 @@
+#include "common/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace seve {
+namespace {
+
+TEST(HistogramTest, EmptyHistogram) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+  EXPECT_EQ(h.Percentile(0.5), 0);
+}
+
+TEST(HistogramTest, SingleSample) {
+  Histogram h;
+  h.Add(1234);
+  EXPECT_EQ(h.count(), 1);
+  EXPECT_EQ(h.min(), 1234);
+  EXPECT_EQ(h.max(), 1234);
+  EXPECT_DOUBLE_EQ(h.Mean(), 1234.0);
+  EXPECT_EQ(h.Median(), 1234);
+}
+
+TEST(HistogramTest, ExactMeanOverSamples) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.Add(i);
+  EXPECT_DOUBLE_EQ(h.Mean(), 50.5);
+  EXPECT_EQ(h.min(), 1);
+  EXPECT_EQ(h.max(), 100);
+}
+
+TEST(HistogramTest, NegativeClampedToZero) {
+  Histogram h;
+  h.Add(-5);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_EQ(h.count(), 1);
+}
+
+TEST(HistogramTest, PercentileAccuracyWithinBucketResolution) {
+  Histogram h;
+  Rng rng(3);
+  for (int i = 0; i < 100000; ++i) {
+    h.Add(static_cast<int64_t>(rng.NextBounded(1000000)));
+  }
+  // Uniform distribution: p50 ~ 500k within ~7% bucket resolution.
+  EXPECT_NEAR(static_cast<double>(h.Median()), 500000.0, 50000.0);
+  EXPECT_NEAR(static_cast<double>(h.P95()), 950000.0, 80000.0);
+}
+
+TEST(HistogramTest, PercentileMonotone) {
+  Histogram h;
+  Rng rng(4);
+  for (int i = 0; i < 10000; ++i) {
+    h.Add(static_cast<int64_t>(rng.NextBounded(100000)));
+  }
+  int64_t prev = 0;
+  for (double q = 0.0; q <= 1.0; q += 0.05) {
+    const int64_t v = h.Percentile(q);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(HistogramTest, PercentileNeverExceedsMax) {
+  Histogram h;
+  h.Add(3);
+  h.Add(1000000007);
+  EXPECT_LE(h.Percentile(1.0), h.max());
+  EXPECT_LE(h.P99(), h.max());
+}
+
+TEST(HistogramTest, MergeCombinesCountsAndExtremes) {
+  Histogram a, b;
+  a.Add(10);
+  a.Add(20);
+  b.Add(5);
+  b.Add(100);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 4);
+  EXPECT_EQ(a.min(), 5);
+  EXPECT_EQ(a.max(), 100);
+  EXPECT_DOUBLE_EQ(a.Mean(), 135.0 / 4.0);
+}
+
+TEST(HistogramTest, MergeEmptyIsNoop) {
+  Histogram a, empty;
+  a.Add(7);
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 1);
+  EXPECT_EQ(a.min(), 7);
+}
+
+TEST(HistogramTest, ResetClearsEverything) {
+  Histogram h;
+  h.Add(42);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+}
+
+TEST(HistogramTest, StdDevOfConstantIsZero) {
+  Histogram h;
+  for (int i = 0; i < 100; ++i) h.Add(77);
+  EXPECT_NEAR(h.StdDev(), 0.0, 1e-9);
+}
+
+TEST(HistogramTest, StdDevOfKnownDistribution) {
+  Histogram h;
+  // Two-point distribution {0, 10}: mean 5, stddev 5.
+  for (int i = 0; i < 1000; ++i) {
+    h.Add(0);
+    h.Add(10);
+  }
+  EXPECT_NEAR(h.Mean(), 5.0, 1e-9);
+  EXPECT_NEAR(h.StdDev(), 5.0, 1e-9);
+}
+
+TEST(HistogramTest, LargeValuesDoNotOverflowBuckets) {
+  Histogram h;
+  h.Add(int64_t{1} << 45);  // beyond the bucket range: clamps to last
+  EXPECT_EQ(h.count(), 1);
+  EXPECT_GT(h.Percentile(0.5), 0);
+}
+
+TEST(HistogramTest, ToStringContainsCount) {
+  Histogram h;
+  h.Add(1);
+  EXPECT_NE(h.ToString().find("count=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace seve

@@ -1,0 +1,118 @@
+#include "protocol/interest.h"
+
+#include <gtest/gtest.h>
+
+namespace seve {
+namespace {
+
+InterestProfile At(Vec2 pos, double radius, Vec2 vel = {},
+                   uint32_t cls = 1) {
+  InterestProfile p;
+  p.position = pos;
+  p.radius = radius;
+  p.velocity = vel;
+  p.interest_class = cls;
+  return p;
+}
+
+TEST(InterestModelTest, ReachTermFormula) {
+  // 2 * s * (1 + omega) * RTT = 2 * 10 * 1.5 * 0.238s = 7.14 units.
+  InterestModel model(10.0, 238000, 0.5);
+  EXPECT_NEAR(model.ReachTerm(), 7.14, 1e-9);
+}
+
+TEST(InterestModelTest, BoundAddsRadii) {
+  InterestModel model(10.0, 238000, 0.5);
+  EXPECT_NEAR(model.Bound(10.0, 10.0), 27.14, 1e-9);
+  EXPECT_NEAR(model.CombinedBound(10.0, 10.0, 45.0), 72.14, 1e-9);
+}
+
+TEST(InterestModelTest, Equation1InsideAndOutside) {
+  InterestModel model(10.0, 238000, 0.5);
+  const InterestProfile client = At({0.0, 0.0}, 10.0);
+  // Bound = 27.14.
+  EXPECT_TRUE(model.MayAffect(At({27.0, 0.0}, 10.0), 0, client, 0));
+  EXPECT_FALSE(model.MayAffect(At({27.3, 0.0}, 10.0), 0, client, 0));
+}
+
+TEST(InterestModelTest, SelfAlwaysAffects) {
+  InterestModel model(10.0, 238000, 0.5);
+  const InterestProfile p = At({5.0, 5.0}, 10.0);
+  EXPECT_TRUE(model.MayAffect(p, 0, p, 0));
+}
+
+TEST(InterestModelTest, ZeroSpeedReducesToRadiusSum) {
+  InterestModel model(0.0, 238000, 0.5);
+  const InterestProfile client = At({0.0, 0.0}, 5.0);
+  EXPECT_TRUE(model.MayAffect(At({9.9, 0.0}, 5.0), 0, client, 0));
+  EXPECT_FALSE(model.MayAffect(At({10.1, 0.0}, 5.0), 0, client, 0));
+}
+
+TEST(InterestModelTest, OmegaWidensTheBound) {
+  InterestModel narrow(10.0, 238000, 0.1);
+  InterestModel wide(10.0, 238000, 0.9);
+  EXPECT_LT(narrow.Bound(0.0, 0.0), wide.Bound(0.0, 0.0));
+}
+
+TEST(InterestModelTest, InterestClassFiltering) {
+  InterestModel model(10.0, 238000, 0.5, /*velocity_culling=*/false,
+                      /*interest_classes=*/true);
+  const InterestProfile insect_action = At({0.0, 0.0}, 10.0, {}, 0b10);
+  const InterestProfile human_client = At({1.0, 0.0}, 10.0, {}, 0b01);
+  const InterestProfile insect_client = At({1.0, 0.0}, 10.0, {}, 0b10);
+  // Humans do not track insects (Section IV-A); insects do.
+  EXPECT_FALSE(model.MayAffect(insect_action, 0, human_client, 0));
+  EXPECT_TRUE(model.MayAffect(insect_action, 0, insect_client, 0));
+}
+
+TEST(InterestModelTest, InterestClassIgnoredWhenDisabled) {
+  InterestModel model(10.0, 238000, 0.5, false, /*interest_classes=*/false);
+  const InterestProfile action = At({0.0, 0.0}, 10.0, {}, 0b10);
+  const InterestProfile client = At({1.0, 0.0}, 10.0, {}, 0b01);
+  EXPECT_TRUE(model.MayAffect(action, 0, client, 0));
+}
+
+TEST(InterestModelTest, VelocityCullingProjectsAlongMotion) {
+  InterestModel model(10.0, 238000, 0.5, /*velocity_culling=*/true);
+  // Bound without action radius: reach + rC = 7.14 + 5 = 12.14; the
+  // projection window clamps at (1+omega)RTT = 0.357 s.
+  const InterestProfile client = At({0.0, 0.0}, 5.0);
+  // An arrow 40 units away flying TOWARD the client at 100 units/s:
+  // projected position = 40 - 35.7 = 4.3 units away -> conflict.
+  const InterestProfile toward = At({40.0, 0.0}, 1.0, {-100.0, 0.0});
+  EXPECT_TRUE(model.MayAffect(toward, 400000, client, 0));
+  // The same arrow flying AWAY projects to 75.7 units -> no conflict.
+  const InterestProfile away = At({40.0, 0.0}, 1.0, {100.0, 0.0});
+  EXPECT_FALSE(model.MayAffect(away, 400000, client, 0));
+}
+
+TEST(InterestModelTest, VelocityProjectionClampedToHorizon) {
+  InterestModel model(10.0, 238000, 0.5, /*velocity_culling=*/true);
+  const InterestProfile client = At({0.0, 0.0}, 5.0);
+  // A client profile that has been stale for 100 s must not fling the
+  // projection 10,000 units: the window clamps at 0.357 s, so this
+  // toward-flying arrow at distance 200 projects to ~164 -> no conflict.
+  const InterestProfile toward = At({200.0, 0.0}, 1.0, {-100.0, 0.0});
+  EXPECT_FALSE(model.MayAffect(toward, 100 * 1000 * 1000, client, 0));
+}
+
+TEST(InterestModelTest, VelocityCullingPrunesStationaryFar) {
+  InterestModel plain(10.0, 238000, 0.5, false);
+  InterestModel culling(10.0, 238000, 0.5, true);
+  // A stationary action 20 units out: plain Eq.1 with rA=10 includes it
+  // (bound 27.14); velocity culling drops the rA term (bound 12.14 at
+  // rC=5... use rC=10 -> 17.14) and prunes it.
+  const InterestProfile client = At({0.0, 0.0}, 10.0);
+  const InterestProfile action = At({20.0, 0.0}, 10.0, {0.0, 0.0});
+  EXPECT_TRUE(plain.MayAffect(action, 0, client, 0));
+  EXPECT_FALSE(culling.MayAffect(action, 0, client, 0));
+}
+
+TEST(InterestProfileTest, PositionAtExtrapolates) {
+  InterestProfile p = At({10.0, 0.0}, 1.0, {2.0, -1.0});
+  const Vec2 projected = p.PositionAt(3.0);
+  EXPECT_EQ(projected, Vec2(16.0, -3.0));
+}
+
+}  // namespace
+}  // namespace seve

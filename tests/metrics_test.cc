@@ -1,0 +1,64 @@
+#include "common/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace seve {
+namespace {
+
+TEST(TrafficCounterTest, RecordAccumulates) {
+  TrafficCounter c;
+  c.Record(100);
+  c.Record(50);
+  EXPECT_EQ(c.messages, 2);
+  EXPECT_EQ(c.bytes, 150);
+}
+
+TEST(TrafficStatsTest, TotalBytesSumsDirections) {
+  TrafficStats t;
+  t.sent.Record(10);
+  t.received.Record(30);
+  EXPECT_EQ(t.total_bytes(), 40);
+}
+
+TEST(TrafficStatsTest, MergeCombines) {
+  TrafficStats a, b;
+  a.sent.Record(1);
+  b.sent.Record(2);
+  b.received.Record(3);
+  a.Merge(b);
+  EXPECT_EQ(a.sent.messages, 2);
+  EXPECT_EQ(a.sent.bytes, 3);
+  EXPECT_EQ(a.received.bytes, 3);
+}
+
+TEST(ProtocolStatsTest, DropRate) {
+  ProtocolStats s;
+  EXPECT_DOUBLE_EQ(s.DropRate(), 0.0);
+  s.actions_submitted = 200;
+  s.actions_dropped = 3;
+  EXPECT_DOUBLE_EQ(s.DropRate(), 0.015);
+}
+
+TEST(ProtocolStatsTest, MergeAddsCountersAndHistograms) {
+  ProtocolStats a, b;
+  a.actions_submitted = 1;
+  a.response_time_us.Add(100);
+  b.actions_submitted = 2;
+  b.actions_dropped = 1;
+  b.response_time_us.Add(300);
+  a.Merge(b);
+  EXPECT_EQ(a.actions_submitted, 3);
+  EXPECT_EQ(a.actions_dropped, 1);
+  EXPECT_EQ(a.response_time_us.count(), 2);
+  EXPECT_EQ(a.response_time_us.max(), 300);
+}
+
+TEST(ProtocolStatsTest, ToStringMentionsDrops) {
+  ProtocolStats s;
+  s.actions_submitted = 100;
+  s.actions_dropped = 5;
+  EXPECT_NE(s.ToString().find("dropped=5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace seve

@@ -1,0 +1,182 @@
+#include "world/move_action.h"
+
+#include <gtest/gtest.h>
+
+#include "protocol/pending_queue.h"
+#include "world/attrs.h"
+
+namespace seve {
+namespace {
+
+WorldState StateWithAvatar(uint64_t id, Vec2 pos, Vec2 dir) {
+  WorldState state;
+  Object avatar{ObjectId(id)};
+  avatar.Set(kAttrPosition, Value(pos));
+  avatar.Set(kAttrDirection, Value(dir));
+  avatar.Set(kAttrBumps, Value(int64_t{0}));
+  state.Upsert(std::move(avatar));
+  return state;
+}
+
+std::shared_ptr<const WallField> NoWalls() {
+  Rng rng(1);
+  return WallField::Generate(AABB{{0.0, 0.0}, {100.0, 100.0}}, 0, 10.0,
+                             &rng);
+}
+
+InterestProfile ProfileAt(Vec2 pos) {
+  InterestProfile p;
+  p.position = pos;
+  p.radius = 5.0;
+  return p;
+}
+
+TEST(MoveActionTest, StraightMoveAdvancesPosition) {
+  WorldState state = StateWithAvatar(1, {10.0, 10.0}, {1.0, 0.0});
+  MoveAction move(ActionId(1), ClientId(0), 0, ObjectId(1), 5.0, 0.5,
+                  NoWalls(), ObjectSet({ObjectId(1)}),
+                  ProfileAt({10.0, 10.0}));
+  ASSERT_TRUE(move.Apply(&state).ok());
+  EXPECT_EQ(state.GetAttr(ObjectId(1), kAttrPosition).AsVec2(),
+            Vec2(15.0, 10.0));
+  EXPECT_EQ(state.GetAttr(ObjectId(1), kAttrBumps).AsInt(), 0);
+}
+
+TEST(MoveActionTest, ReadSetAlwaysIncludesWriteSet) {
+  MoveAction move(ActionId(1), ClientId(0), 0, ObjectId(1), 5.0, 0.5,
+                  NoWalls(), ObjectSet({ObjectId(7)}),
+                  ProfileAt({0.0, 0.0}));
+  EXPECT_TRUE(move.ReadSet().Covers(move.WriteSet()));
+  EXPECT_TRUE(move.ReadSet().Contains(ObjectId(1)));
+  EXPECT_TRUE(move.ReadSet().Contains(ObjectId(7)));
+  EXPECT_EQ(move.WriteSet(), ObjectSet({ObjectId(1)}));
+}
+
+TEST(MoveActionTest, MissingAvatarIsConflict) {
+  WorldState state;
+  MoveAction move(ActionId(1), ClientId(0), 0, ObjectId(1), 5.0, 0.5,
+                  NoWalls(), ObjectSet({ObjectId(1)}),
+                  ProfileAt({0.0, 0.0}));
+  const auto result = move.Apply(&state);
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsConflict());
+  EXPECT_EQ(state.size(), 0u);  // no-op on conflict
+}
+
+TEST(MoveActionTest, BoundaryBounceTurns90Degrees) {
+  // Avatar heading straight at the world edge.
+  WorldState state = StateWithAvatar(1, {98.0, 50.0}, {1.0, 0.0});
+  MoveAction move(ActionId(2), ClientId(0), 0, ObjectId(1), 10.0, 0.5,
+                  NoWalls(), ObjectSet({ObjectId(1)}),
+                  ProfileAt({98.0, 50.0}));
+  ASSERT_TRUE(move.Apply(&state).ok());
+  const Vec2 pos = state.GetAttr(ObjectId(1), kAttrPosition).AsVec2();
+  const Vec2 dir = state.GetAttr(ObjectId(1), kAttrDirection).AsVec2();
+  EXPECT_LE(pos.x, 100.0);
+  EXPECT_EQ(state.GetAttr(ObjectId(1), kAttrBumps).AsInt(), 1);
+  // Direction turned to +/- y.
+  EXPECT_DOUBLE_EQ(dir.x, 0.0);
+  EXPECT_EQ(std::abs(dir.y), 1.0);
+}
+
+TEST(MoveActionTest, AvatarCollisionStopsShort) {
+  WorldState state = StateWithAvatar(1, {10.0, 10.0}, {1.0, 0.0});
+  Object other(ObjectId(2));
+  other.Set(kAttrPosition, Value(Vec2{14.0, 10.0}));
+  state.Upsert(std::move(other));
+
+  MoveAction move(ActionId(3), ClientId(0), 0, ObjectId(1), 10.0, 0.5,
+                  NoWalls(), ObjectSet({ObjectId(1), ObjectId(2)}),
+                  ProfileAt({10.0, 10.0}));
+  ASSERT_TRUE(move.Apply(&state).ok());
+  const Vec2 pos = state.GetAttr(ObjectId(1), kAttrPosition).AsVec2();
+  // Stops roughly one combined radius (1.0) before the other avatar.
+  EXPECT_NEAR(pos.x, 13.0, 0.01);
+  EXPECT_EQ(state.GetAttr(ObjectId(1), kAttrBumps).AsInt(), 1);
+}
+
+TEST(MoveActionTest, UndeclaredAvatarIsIgnored) {
+  // Same geometry as above but the other avatar is NOT in the read set:
+  // the mover passes through (declared-RS semantics).
+  WorldState state = StateWithAvatar(1, {10.0, 10.0}, {1.0, 0.0});
+  Object other(ObjectId(2));
+  other.Set(kAttrPosition, Value(Vec2{14.0, 10.0}));
+  state.Upsert(std::move(other));
+
+  MoveAction move(ActionId(4), ClientId(0), 0, ObjectId(1), 10.0, 0.5,
+                  NoWalls(), ObjectSet({ObjectId(1)}),
+                  ProfileAt({10.0, 10.0}));
+  ASSERT_TRUE(move.Apply(&state).ok());
+  EXPECT_EQ(state.GetAttr(ObjectId(1), kAttrPosition).AsVec2(),
+            Vec2(20.0, 10.0));
+}
+
+TEST(MoveActionTest, WallCollisionBounces) {
+  Rng rng(5);
+  auto walls = WallField::Generate(AABB{{0.0, 0.0}, {100.0, 100.0}}, 0,
+                                   10.0, &rng);
+  // Build a custom single-wall field via dense generation is awkward;
+  // instead drive into the boundary check: covered above. Here check a
+  // wall-rich field causes at least one bump over repeated moves.
+  auto dense = WallField::Generate(AABB{{0.0, 0.0}, {100.0, 100.0}}, 2000,
+                                   10.0, &rng);
+  WorldState state = StateWithAvatar(1, {50.0, 50.0}, {1.0, 0.0});
+  int64_t bumps = 0;
+  for (int i = 0; i < 30; ++i) {
+    MoveAction move(ActionId(static_cast<uint64_t>(i)), ClientId(0), i,
+                    ObjectId(1), 5.0, 0.5, dense,
+                    ObjectSet({ObjectId(1)}), ProfileAt({50.0, 50.0}));
+    ASSERT_TRUE(move.Apply(&state).ok());
+    bumps = state.GetAttr(ObjectId(1), kAttrBumps).AsInt();
+  }
+  EXPECT_GT(bumps, 0);
+  (void)walls;
+}
+
+TEST(MoveActionTest, DeterministicDigestAcrossReplicas) {
+  auto walls = NoWalls();
+  WorldState replica_a = StateWithAvatar(1, {10.0, 10.0}, {0.0, 1.0});
+  WorldState replica_b = StateWithAvatar(1, {10.0, 10.0}, {0.0, 1.0});
+  MoveAction move(ActionId(9), ClientId(0), 0, ObjectId(1), 3.0, 0.5,
+                  walls, ObjectSet({ObjectId(1)}), ProfileAt({10.0, 10.0}));
+  const auto da = move.Apply(&replica_a);
+  const auto db = move.Apply(&replica_b);
+  ASSERT_TRUE(da.ok());
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(*da, *db);
+  EXPECT_EQ(replica_a.Digest(), replica_b.Digest());
+}
+
+TEST(MoveActionTest, DigestDiffersWhenInputsDiffer) {
+  auto walls = NoWalls();
+  WorldState replica_a = StateWithAvatar(1, {10.0, 10.0}, {0.0, 1.0});
+  WorldState replica_b = StateWithAvatar(1, {10.0, 11.0}, {0.0, 1.0});
+  MoveAction move(ActionId(9), ClientId(0), 0, ObjectId(1), 3.0, 0.5,
+                  walls, ObjectSet({ObjectId(1)}), ProfileAt({10.0, 10.0}));
+  const auto da = move.Apply(&replica_a);
+  const auto db = move.Apply(&replica_b);
+  ASSERT_TRUE(da.ok());
+  ASSERT_TRUE(db.ok());
+  EXPECT_NE(*da, *db);
+}
+
+TEST(MoveActionTest, EvaluateActionMapsConflictToSentinel) {
+  WorldState empty;
+  MoveAction move(ActionId(1), ClientId(0), 0, ObjectId(1), 5.0, 0.5,
+                  NoWalls(), ObjectSet({ObjectId(1)}),
+                  ProfileAt({0.0, 0.0}));
+  EXPECT_EQ(EvaluateAction(move, &empty), kConflictDigest);
+}
+
+TEST(MoveActionTest, ZeroDirectionDefaultsToPlusX) {
+  WorldState state = StateWithAvatar(1, {10.0, 10.0}, {0.0, 0.0});
+  MoveAction move(ActionId(1), ClientId(0), 0, ObjectId(1), 5.0, 0.5,
+                  NoWalls(), ObjectSet({ObjectId(1)}),
+                  ProfileAt({10.0, 10.0}));
+  ASSERT_TRUE(move.Apply(&state).ok());
+  EXPECT_EQ(state.GetAttr(ObjectId(1), kAttrPosition).AsVec2(),
+            Vec2(15.0, 10.0));
+}
+
+}  // namespace
+}  // namespace seve

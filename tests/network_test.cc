@@ -1,0 +1,197 @@
+#include "net/network.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace seve {
+namespace {
+
+struct PingBody : MessageBody {
+  int value = 0;
+  explicit PingBody(int v) : value(v) {}
+  int kind() const override { return 1; }
+};
+
+/// Test node that records arrivals and optionally does CPU work per
+/// message.
+class RecorderNode : public Node {
+ public:
+  RecorderNode(NodeId id, EventLoop* loop, Micros work = 0)
+      : Node(id, loop), work_(work) {}
+
+  std::vector<std::pair<VirtualTime, int>> arrivals;
+  std::vector<VirtualTime> work_done_at;
+
+  using Node::Send;  // expose for tests
+
+ protected:
+  void OnMessage(const Message& msg) override {
+    const auto& ping = static_cast<const PingBody&>(*msg.body);
+    arrivals.emplace_back(loop()->now(), ping.value);
+    if (work_ > 0) {
+      SubmitWork(work_, [this]() { work_done_at.push_back(loop()->now()); });
+    }
+  }
+
+ private:
+  Micros work_;
+};
+
+TEST(NetworkTest, LatencyOnlyDelivery) {
+  EventLoop loop;
+  Network net(&loop);
+  RecorderNode a(NodeId(1), &loop), b(NodeId(2), &loop);
+  net.AddNode(&a);
+  net.AddNode(&b);
+  net.ConnectBidirectional(NodeId(1), NodeId(2),
+                           LinkParams::LatencyOnly(1000));
+
+  a.Send(NodeId(2), 100, std::make_shared<PingBody>(7));
+  loop.RunUntilIdle();
+  ASSERT_EQ(b.arrivals.size(), 1u);
+  EXPECT_EQ(b.arrivals[0].first, 1000);
+  EXPECT_EQ(b.arrivals[0].second, 7);
+}
+
+TEST(NetworkTest, NoLinkIsAnError) {
+  EventLoop loop;
+  Network net(&loop);
+  RecorderNode a(NodeId(1), &loop), b(NodeId(2), &loop);
+  net.AddNode(&a);
+  net.AddNode(&b);
+  Message msg{NodeId(1), NodeId(2), 10, 0, std::make_shared<PingBody>(0)};
+  EXPECT_EQ(net.Send(msg).code(), StatusCode::kNotFound);
+}
+
+TEST(NetworkTest, BandwidthSerializesFrames) {
+  EventLoop loop;
+  Network net(&loop);
+  RecorderNode a(NodeId(1), &loop), b(NodeId(2), &loop);
+  net.AddNode(&a);
+  net.AddNode(&b);
+  // 1 byte/us, zero latency: a 1000-byte frame takes 1000 us on the wire.
+  LinkParams link;
+  link.latency_us = 0;
+  link.bytes_per_us = 1.0;
+  net.ConnectDirected(NodeId(1), NodeId(2), link);
+
+  a.Send(NodeId(2), 1000, std::make_shared<PingBody>(1));
+  a.Send(NodeId(2), 1000, std::make_shared<PingBody>(2));
+  loop.RunUntilIdle();
+  ASSERT_EQ(b.arrivals.size(), 2u);
+  EXPECT_EQ(b.arrivals[0].first, 1000);  // first frame done at 1000
+  EXPECT_EQ(b.arrivals[1].first, 2000);  // second queued behind it
+}
+
+TEST(NetworkTest, FromKbpsConversion) {
+  // 100 Kbps = 12.5 bytes/ms = 0.0125 bytes/us.
+  const LinkParams link = LinkParams::FromKbps(0, 100.0);
+  EXPECT_NEAR(link.bytes_per_us, 0.0125, 1e-9);
+}
+
+TEST(NetworkTest, PerMessageOverheadCharged) {
+  EventLoop loop;
+  Network net(&loop);
+  RecorderNode a(NodeId(1), &loop), b(NodeId(2), &loop);
+  net.AddNode(&a);
+  net.AddNode(&b);
+  LinkParams link;
+  link.bytes_per_us = 1.0;
+  link.per_message_overhead_bytes = 28;
+  net.ConnectDirected(NodeId(1), NodeId(2), link);
+  a.Send(NodeId(2), 100, std::make_shared<PingBody>(1));
+  loop.RunUntilIdle();
+  ASSERT_EQ(b.arrivals.size(), 1u);
+  EXPECT_EQ(b.arrivals[0].first, 128);
+  EXPECT_EQ(a.traffic().sent.bytes, 128);
+  EXPECT_EQ(b.traffic().received.bytes, 128);
+}
+
+TEST(NetworkTest, DropProbabilityOneLosesEverything) {
+  EventLoop loop;
+  Network net(&loop, 7);
+  RecorderNode a(NodeId(1), &loop), b(NodeId(2), &loop);
+  net.AddNode(&a);
+  net.AddNode(&b);
+  LinkParams link = LinkParams::LatencyOnly(10);
+  link.drop_probability = 1.0;
+  net.ConnectDirected(NodeId(1), NodeId(2), link);
+  for (int i = 0; i < 10; ++i) {
+    a.Send(NodeId(2), 10, std::make_shared<PingBody>(i));
+  }
+  loop.RunUntilIdle();
+  EXPECT_TRUE(b.arrivals.empty());
+  EXPECT_EQ(net.messages_dropped(), 10);
+}
+
+TEST(NetworkTest, FailedNodeDropsDeliveries) {
+  EventLoop loop;
+  Network net(&loop);
+  RecorderNode a(NodeId(1), &loop), b(NodeId(2), &loop);
+  net.AddNode(&a);
+  net.AddNode(&b);
+  net.ConnectBidirectional(NodeId(1), NodeId(2),
+                           LinkParams::LatencyOnly(10));
+  b.set_failed(true);
+  a.Send(NodeId(2), 10, std::make_shared<PingBody>(1));
+  loop.RunUntilIdle();
+  EXPECT_TRUE(b.arrivals.empty());
+}
+
+TEST(NodeTest, CpuWorkSerializes) {
+  EventLoop loop;
+  Network net(&loop);
+  RecorderNode a(NodeId(1), &loop), b(NodeId(2), &loop, /*work=*/500);
+  net.AddNode(&a);
+  net.AddNode(&b);
+  net.ConnectDirected(NodeId(1), NodeId(2), LinkParams::LatencyOnly(0));
+  for (int i = 0; i < 3; ++i) {
+    a.Send(NodeId(2), 10, std::make_shared<PingBody>(i));
+  }
+  loop.RunUntilIdle();
+  // All messages arrive at t=0; work items serialize: 500, 1000, 1500.
+  ASSERT_EQ(b.work_done_at.size(), 3u);
+  EXPECT_EQ(b.work_done_at[0], 500);
+  EXPECT_EQ(b.work_done_at[1], 1000);
+  EXPECT_EQ(b.work_done_at[2], 1500);
+  EXPECT_EQ(b.cpu_busy_us(), 1500);
+}
+
+TEST(NodeTest, LoadFactorInflatesWork) {
+  EventLoop loop;
+  RecorderNode n(NodeId(1), &loop);
+  n.set_load_factor(2.0);
+  VirtualTime done = -1;
+  n.SubmitWork(100, [&]() { done = loop.now(); });
+  loop.RunUntilIdle();
+  EXPECT_EQ(done, 200);
+}
+
+TEST(NodeTest, CpuBacklogReflectsQueuedWork) {
+  EventLoop loop;
+  RecorderNode n(NodeId(1), &loop);
+  n.SubmitWork(1000, []() {});
+  n.SubmitWork(1000, []() {});
+  EXPECT_EQ(n.CpuBacklog(), 2000);
+  loop.RunUntilIdle();
+  EXPECT_EQ(n.CpuBacklog(), 0);
+}
+
+TEST(NetworkTest, TotalTrafficAggregates) {
+  EventLoop loop;
+  Network net(&loop);
+  RecorderNode a(NodeId(1), &loop), b(NodeId(2), &loop);
+  net.AddNode(&a);
+  net.AddNode(&b);
+  net.ConnectBidirectional(NodeId(1), NodeId(2),
+                           LinkParams::LatencyOnly(1));
+  a.Send(NodeId(2), 50, std::make_shared<PingBody>(1));
+  loop.RunUntilIdle();
+  const TrafficStats total = net.TotalTraffic();
+  EXPECT_EQ(total.sent.bytes, 50);
+  EXPECT_EQ(total.received.bytes, 50);
+}
+
+}  // namespace
+}  // namespace seve

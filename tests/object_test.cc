@@ -1,0 +1,79 @@
+#include "store/object.h"
+
+#include <gtest/gtest.h>
+
+namespace seve {
+namespace {
+
+TEST(ObjectTest, GetMissingAttrIsNull) {
+  Object obj(ObjectId(1));
+  EXPECT_TRUE(obj.Get(5).is_null());
+  EXPECT_EQ(obj.AttrCount(), 0u);
+}
+
+TEST(ObjectTest, SetAndGet) {
+  Object obj(ObjectId(1));
+  obj.Set(3, Value(int64_t{10}));
+  obj.Set(1, Value(2.5));
+  EXPECT_EQ(obj.Get(3).AsInt(), 10);
+  EXPECT_DOUBLE_EQ(obj.Get(1).AsDouble(), 2.5);
+  EXPECT_EQ(obj.AttrCount(), 2u);
+}
+
+TEST(ObjectTest, SetOverwrites) {
+  Object obj(ObjectId(1));
+  obj.Set(1, Value(int64_t{1}));
+  obj.Set(1, Value(int64_t{2}));
+  EXPECT_EQ(obj.Get(1).AsInt(), 2);
+  EXPECT_EQ(obj.AttrCount(), 1u);
+}
+
+TEST(ObjectTest, AttrIdsSorted) {
+  Object obj(ObjectId(1));
+  obj.Set(9, Value(int64_t{1}));
+  obj.Set(2, Value(int64_t{1}));
+  obj.Set(5, Value(int64_t{1}));
+  EXPECT_EQ(obj.AttrIds(), (std::vector<AttrId>{2, 5, 9}));
+}
+
+TEST(ObjectTest, EqualityIncludesIdAndAttrs) {
+  Object a(ObjectId(1)), b(ObjectId(1)), c(ObjectId(2));
+  a.Set(1, Value(int64_t{5}));
+  b.Set(1, Value(int64_t{5}));
+  c.Set(1, Value(int64_t{5}));
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+  b.Set(2, Value(int64_t{0}));
+  EXPECT_FALSE(a == b);
+}
+
+TEST(ObjectTest, HashInsertionOrderIndependent) {
+  Object a(ObjectId(1)), b(ObjectId(1));
+  a.Set(1, Value(int64_t{10}));
+  a.Set(2, Value(2.0));
+  b.Set(2, Value(2.0));
+  b.Set(1, Value(int64_t{10}));
+  EXPECT_EQ(a.Hash(), b.Hash());
+}
+
+TEST(ObjectTest, HashSensitiveToValues) {
+  Object a(ObjectId(1)), b(ObjectId(1));
+  a.Set(1, Value(int64_t{10}));
+  b.Set(1, Value(int64_t{11}));
+  EXPECT_NE(a.Hash(), b.Hash());
+}
+
+TEST(ObjectTest, WireSizeGrowsWithAttrs) {
+  Object obj(ObjectId(1));
+  const int64_t base = obj.WireSize();
+  obj.Set(1, Value(int64_t{5}));
+  EXPECT_GT(obj.WireSize(), base);
+}
+
+TEST(ObjectTest, ToStringMentionsId) {
+  Object obj(ObjectId(7));
+  EXPECT_NE(obj.ToString().find("obj#7"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace seve

@@ -1,0 +1,187 @@
+// End-to-end tests of the Section-IV optimizations through the full
+// SEVE server routing path: inconsequential action elimination
+// (interest-class masks) and area culling (velocity-projected conflict
+// tests).
+
+#include <gtest/gtest.h>
+
+#include "net/network.h"
+#include "protocol/seve_client.h"
+#include "protocol/seve_server.h"
+#include "tests/test_actions.h"
+
+namespace seve {
+namespace {
+
+constexpr Micros kLatency = 10000;
+constexpr Micros kRtt = 2 * kLatency;
+
+struct OptFixture {
+  EventLoop loop;
+  Network net{&loop};
+  std::unique_ptr<SeveServer> server;
+  std::vector<std::unique_ptr<SeveClient>> clients;
+
+  OptFixture(std::vector<InterestProfile> profiles, bool velocity_culling,
+             bool interest_classes, double max_speed = 10.0) {
+    SeveOptions opts;
+    opts.proactive_push = true;
+    opts.dropping = false;
+    opts.velocity_culling = velocity_culling;
+    opts.interest_classes = interest_classes;
+    InterestModel interest(max_speed, kRtt, opts.omega, velocity_culling,
+                           interest_classes);
+    server = std::make_unique<SeveServer>(
+        NodeId(0), &loop, CounterState({1, 2, 3}), CostModel{}, interest,
+        opts, AABB{{-500.0, -500.0}, {500.0, 500.0}});
+    net.AddNode(server.get());
+    for (size_t i = 0; i < profiles.size(); ++i) {
+      auto client = std::make_unique<SeveClient>(
+          NodeId(i + 1), &loop, ClientId(i), NodeId(0),
+          CounterState({1, 2, 3}),
+          [](const Action&, const WorldState&) -> Micros { return 50; },
+          10, opts);
+      net.AddNode(client.get());
+      net.ConnectBidirectional(NodeId(0), client->id(),
+                               LinkParams::LatencyOnly(kLatency));
+      server->RegisterClient(client->client_id(), client->id(),
+                             profiles[i]);
+      clients.push_back(std::move(client));
+    }
+    server->Start();
+  }
+
+  void Drain() {
+    loop.RunUntil(600000);
+    server->Stop();
+    loop.RunUntilIdle(1'000'000);
+    server->FlushAll();
+    loop.RunUntilIdle(1'000'000);
+  }
+};
+
+InterestProfile ClassProfile(Vec2 pos, uint32_t cls) {
+  InterestProfile p;
+  p.position = pos;
+  p.radius = 10.0;
+  p.interest_class = cls;
+  return p;
+}
+
+TEST(InterestClassTest, HumansIgnoreInsects) {
+  // Section IV-A: client 1 is a "human" (class 1) standing right next to
+  // an "insect" (class 2) actor — without class filtering it would
+  // receive the action; with filtering it does not. Client 2 is another
+  // insect and receives it either way.
+  const uint32_t kHuman = 0b01, kInsect = 0b10;
+  std::vector<InterestProfile> profiles{
+      ClassProfile({0.0, 0.0}, kInsect),   // actor
+      ClassProfile({2.0, 0.0}, kHuman),    // nearby human
+      ClassProfile({4.0, 0.0}, kInsect)};  // nearby insect
+
+  OptFixture fx(profiles, /*velocity_culling=*/false,
+                /*interest_classes=*/true);
+  fx.clients[0]->SubmitLocalAction(std::make_shared<CounterAdd>(
+      ActionId(1), ClientId(0), ObjectId(1), 1,
+      ClassProfile({0.0, 0.0}, kInsect)));
+  fx.Drain();
+
+  EXPECT_TRUE(fx.clients[1]->eval_digests().empty());   // human: filtered
+  EXPECT_EQ(fx.clients[2]->eval_digests().size(), 1u);  // insect: delivered
+}
+
+TEST(InterestClassTest, DisabledMaskDeliversToEveryone) {
+  const uint32_t kHuman = 0b01, kInsect = 0b10;
+  std::vector<InterestProfile> profiles{ClassProfile({0.0, 0.0}, kInsect),
+                                        ClassProfile({2.0, 0.0}, kHuman)};
+  OptFixture fx(profiles, false, /*interest_classes=*/false);
+  fx.clients[0]->SubmitLocalAction(std::make_shared<CounterAdd>(
+      ActionId(1), ClientId(0), ObjectId(1), 1,
+      ClassProfile({0.0, 0.0}, kInsect)));
+  fx.Drain();
+  EXPECT_EQ(fx.clients[1]->eval_digests().size(), 1u);
+}
+
+InterestProfile MovingProfile(Vec2 pos, Vec2 vel) {
+  InterestProfile p;
+  p.position = pos;
+  p.radius = 5.0;
+  p.velocity = vel;
+  p.interest_class = 1;
+  return p;
+}
+
+// Numbers for the velocity tests (max speed s = 200, RTT = 20 ms,
+// omega = 0.5): reach = 2 s (1+w) RTT = 12 units; projection horizon
+// (1+w)RTT = 30 ms, so a 200-unit/s arrow projects 6 units.
+constexpr double kArrowSpeed = 200.0;
+
+TEST(VelocityCullingTest, ArrowFlyingAwayIsCulled) {
+  // Actor 30 units from the observer. Plain Eq. 1 with rA=25, rC=15:
+  // bound = 12 + 25 + 15 = 52 > 30 -> delivered. Velocity culling drops
+  // the rA pad (bound = 12 + 15 = 27) and projects the away-flying arrow
+  // to 36 units -> culled.
+  std::vector<InterestProfile> profiles{
+      MovingProfile({30.0, 0.0}, {}),   // actor
+      MovingProfile({0.0, 0.0}, {})};   // observer
+  profiles[0].radius = 25.0;
+  profiles[1].radius = 15.0;
+
+  InterestProfile arrow_away =
+      MovingProfile({30.0, 0.0}, {kArrowSpeed, 0.0});
+  arrow_away.radius = 25.0;
+
+  {
+    OptFixture plain(profiles, /*velocity_culling=*/false, false,
+                     kArrowSpeed);
+    plain.loop.RunUntil(100000);
+    plain.clients[0]->SubmitLocalAction(std::make_shared<CounterAdd>(
+        ActionId(1), ClientId(0), ObjectId(1), 1, arrow_away));
+    plain.Drain();
+    EXPECT_EQ(plain.clients[1]->eval_digests().size(), 1u);
+  }
+  {
+    OptFixture culling(profiles, /*velocity_culling=*/true, false,
+                       kArrowSpeed);
+    culling.loop.RunUntil(100000);
+    culling.clients[0]->SubmitLocalAction(std::make_shared<CounterAdd>(
+        ActionId(1), ClientId(0), ObjectId(1), 1, arrow_away));
+    culling.Drain();
+    EXPECT_TRUE(culling.clients[1]->eval_digests().empty());
+  }
+}
+
+TEST(VelocityCullingTest, ArrowFlyingTowardIsDelivered) {
+  // Same geometry with rA=1: plain bound = 12 + 1 + 15 = 28 < 30 -> the
+  // plain test would MISS this arrow; the toward projection brings it to
+  // 24 < 27 -> culling-enabled routing delivers it.
+  std::vector<InterestProfile> profiles{MovingProfile({30.0, 0.0}, {}),
+                                        MovingProfile({0.0, 0.0}, {})};
+  profiles[0].radius = 1.0;
+  profiles[1].radius = 15.0;
+  InterestProfile arrow_toward =
+      MovingProfile({30.0, 0.0}, {-kArrowSpeed, 0.0});
+  arrow_toward.radius = 1.0;
+
+  {
+    OptFixture plain(profiles, /*velocity_culling=*/false, false,
+                     kArrowSpeed);
+    plain.loop.RunUntil(100000);
+    plain.clients[0]->SubmitLocalAction(std::make_shared<CounterAdd>(
+        ActionId(1), ClientId(0), ObjectId(1), 1, arrow_toward));
+    plain.Drain();
+    EXPECT_TRUE(plain.clients[1]->eval_digests().empty());
+  }
+  {
+    OptFixture culling(profiles, /*velocity_culling=*/true, false,
+                       kArrowSpeed);
+    culling.loop.RunUntil(100000);
+    culling.clients[0]->SubmitLocalAction(std::make_shared<CounterAdd>(
+        ActionId(1), ClientId(0), ObjectId(1), 1, arrow_toward));
+    culling.Drain();
+    EXPECT_EQ(culling.clients[1]->eval_digests().size(), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace seve

@@ -1,0 +1,126 @@
+#include "protocol/pending_queue.h"
+
+#include <gtest/gtest.h>
+
+#include "world/attrs.h"
+
+namespace seve {
+namespace {
+
+/// Toy action: adds `delta` to attribute 1 of `target`; digest = value.
+class AddAction : public Action {
+ public:
+  AddAction(ActionId id, ObjectId target, int64_t delta)
+      : Action(id, ClientId(0), 0), target_(target), delta_(delta),
+        set_({target}) {}
+
+  const ObjectSet& ReadSet() const override { return set_; }
+  const ObjectSet& WriteSet() const override { return set_; }
+
+  Result<ResultDigest> Apply(WorldState* state) const override {
+    if (!state->Contains(target_)) return Status::Conflict("gone");
+    const int64_t value = state->GetAttr(target_, 1).AsInt() + delta_;
+    state->SetAttr(target_, 1, Value(value));
+    return static_cast<ResultDigest>(value);
+  }
+
+  InterestProfile Interest() const override { return {}; }
+
+ private:
+  ObjectId target_;
+  int64_t delta_;
+  ObjectSet set_;
+};
+
+WorldState StateWith(int64_t value) {
+  WorldState state;
+  state.SetAttr(ObjectId(1), 1, Value(value));
+  return state;
+}
+
+TEST(PendingQueueTest, PushTracksWriteSet) {
+  PendingQueue q;
+  EXPECT_TRUE(q.empty());
+  q.Push(std::make_shared<AddAction>(ActionId(1), ObjectId(1), 1), 0, 0);
+  q.Push(std::make_shared<AddAction>(ActionId(2), ObjectId(5), 1), 0, 0);
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_TRUE(q.write_set().Contains(ObjectId(1)));
+  EXPECT_TRUE(q.write_set().Contains(ObjectId(5)));
+}
+
+TEST(PendingQueueTest, PopFrontShrinksWriteSet) {
+  PendingQueue q;
+  q.Push(std::make_shared<AddAction>(ActionId(1), ObjectId(1), 1), 0, 0);
+  q.Push(std::make_shared<AddAction>(ActionId(2), ObjectId(5), 1), 0, 0);
+  q.PopFront();
+  EXPECT_FALSE(q.write_set().Contains(ObjectId(1)));
+  EXPECT_TRUE(q.write_set().Contains(ObjectId(5)));
+  EXPECT_EQ(q.front().action->id(), ActionId(2));
+}
+
+TEST(PendingQueueTest, RemoveById) {
+  PendingQueue q;
+  q.Push(std::make_shared<AddAction>(ActionId(1), ObjectId(1), 1), 0, 0);
+  q.Push(std::make_shared<AddAction>(ActionId(2), ObjectId(5), 1), 0, 0);
+  EXPECT_TRUE(q.ContainsId(ActionId(2)));
+  ASSERT_TRUE(q.RemoveById(ActionId(2)).ok());
+  EXPECT_FALSE(q.ContainsId(ActionId(2)));
+  EXPECT_FALSE(q.write_set().Contains(ObjectId(5)));
+  EXPECT_EQ(q.RemoveById(ActionId(99)).code(), StatusCode::kNotFound);
+}
+
+TEST(PendingQueueTest, ReconcileReplaysOverStable) {
+  // Optimistic state diverged: stable says 100, optimistic evaluated two
+  // pending +1 actions on top of a stale 0.
+  WorldState optimistic = StateWith(0);
+  const WorldState stable = StateWith(100);
+
+  PendingQueue q;
+  auto a1 = std::make_shared<AddAction>(ActionId(1), ObjectId(1), 1);
+  auto a2 = std::make_shared<AddAction>(ActionId(2), ObjectId(1), 1);
+  q.Push(a1, EvaluateAction(*a1, &optimistic), 0);  // opt -> 1
+  q.Push(a2, EvaluateAction(*a2, &optimistic), 0);  // opt -> 2
+  EXPECT_EQ(optimistic.GetAttr(ObjectId(1), 1).AsInt(), 2);
+
+  q.Reconcile(&optimistic, stable);
+  // ζCO(WS(Q)) ← ζCS(WS(Q)) then replay: 100 + 1 + 1.
+  EXPECT_EQ(optimistic.GetAttr(ObjectId(1), 1).AsInt(), 102);
+  // Digests refreshed to the replayed results.
+  EXPECT_EQ(q.entries()[0].digest, 101u);
+  EXPECT_EQ(q.entries()[1].digest, 102u);
+}
+
+TEST(PendingQueueTest, ReconcileEmptyQueueCopiesNothing) {
+  WorldState optimistic = StateWith(5);
+  const WorldState stable = StateWith(77);
+  PendingQueue q;
+  q.Reconcile(&optimistic, stable);
+  // Empty WS(Q): optimistic untouched.
+  EXPECT_EQ(optimistic.GetAttr(ObjectId(1), 1).AsInt(), 5);
+}
+
+TEST(PendingQueueTest, ReconcileHandlesConflictedReplay) {
+  WorldState optimistic = StateWith(0);
+  WorldState stable;  // object 1 missing: replay conflicts
+  PendingQueue q;
+  auto a1 = std::make_shared<AddAction>(ActionId(1), ObjectId(1), 1);
+  q.Push(a1, EvaluateAction(*a1, &optimistic), 0);
+  q.Reconcile(&optimistic, stable);
+  EXPECT_EQ(q.entries()[0].digest, kConflictDigest);
+  EXPECT_FALSE(optimistic.Contains(ObjectId(1)));
+}
+
+TEST(EvaluateActionTest, OkDigestPassedThrough) {
+  WorldState state = StateWith(7);
+  AddAction add(ActionId(1), ObjectId(1), 3);
+  EXPECT_EQ(EvaluateAction(add, &state), 10u);
+}
+
+TEST(EvaluateActionTest, ConflictMapsToSentinel) {
+  WorldState empty;
+  AddAction add(ActionId(1), ObjectId(1), 3);
+  EXPECT_EQ(EvaluateAction(add, &empty), kConflictDigest);
+}
+
+}  // namespace
+}  // namespace seve

@@ -1,0 +1,179 @@
+// Reproduces the Section III-B / Figure 3 causality anomaly as an
+// executable test: under visibility-filtered forwarding (RING), client A
+// never learns that entity B was killed by the (invisible) entity C, so A
+// evaluates B's later shot as if B were alive — replicas diverge. Under
+// SEVE, the transitive closure delivers C's shot to A first, and all
+// replicas agree.
+
+#include <gtest/gtest.h>
+
+#include "baseline/ring.h"
+#include "net/network.h"
+#include "protocol/seve_client.h"
+#include "protocol/seve_server.h"
+#include "tests/test_actions.h"
+#include "world/attrs.h"
+#include "world/spell_action.h"
+
+namespace seve {
+namespace {
+
+constexpr Micros kLatency = 10000;
+constexpr Micros kRtt = 2 * kLatency;
+constexpr double kVisibility = 25.0;
+
+// Geometry from Figure 2/3: A at x=0, B at x=20 (visible to both A and
+// C), C at x=40 (NOT visible to A).
+const Vec2 kPosA{0.0, 0.0};
+const Vec2 kPosB{20.0, 0.0};
+const Vec2 kPosC{40.0, 0.0};
+
+WorldState BattleState() {
+  WorldState state;
+  for (uint64_t id : {1u, 2u, 3u}) {  // A=1, B=2, C=3
+    Object obj{ObjectId(id)};
+    obj.Set(kAttrHealth, Value(100.0));
+    state.Upsert(std::move(obj));
+  }
+  return state;
+}
+
+InterestProfile ShotProfile(Vec2 from) {
+  InterestProfile p;
+  p.position = from;
+  p.radius = kVisibility;  // arrows reach visibility range
+  p.interest_class = 1;
+  return p;
+}
+
+std::shared_ptr<AttackAction> LethalShot(uint64_t action_id,
+                                         uint64_t shooter_client,
+                                         uint64_t shooter, uint64_t target,
+                                         Vec2 from) {
+  return std::make_shared<AttackAction>(
+      ActionId(action_id), ClientId(shooter_client), 0, ObjectId(shooter),
+      ObjectId(target), /*damage=*/100.0, ShotProfile(from));
+}
+
+TEST(RingInconsistencyTest, VisibilityFilteringDiverges) {
+  EventLoop loop;
+  Network net(&loop);
+  RingServer server(NodeId(0), &loop, CostModel{}, kVisibility,
+                    AABB{{-100.0, -100.0}, {200.0, 200.0}});
+  net.AddNode(&server);
+
+  ActionCostFn cost = [](const Action&, const WorldState&) -> Micros {
+    return 100;
+  };
+  std::vector<std::unique_ptr<RingClient>> clients;
+  const Vec2 positions[] = {kPosA, kPosB, kPosC};
+  for (uint64_t i = 0; i < 3; ++i) {
+    auto client = std::make_unique<RingClient>(
+        NodeId(i + 1), &loop, ClientId(i), NodeId(0), BattleState(), cost);
+    net.AddNode(client.get());
+    net.ConnectBidirectional(NodeId(0), client->id(),
+                             LinkParams::LatencyOnly(kLatency));
+    server.RegisterClient(client->client_id(), client->id(), positions[i]);
+    clients.push_back(std::move(client));
+  }
+
+  // t=0: C (client 2) shoots B dead. t=10ms (< RTT): B (client 1),
+  // still unaware, shoots A.
+  clients[2]->SubmitLocalAction(LethalShot(1, 2, /*shooter=*/3,
+                                           /*target=*/2, kPosC));
+  loop.At(10000, [&]() {
+    clients[1]->SubmitLocalAction(LethalShot(2, 1, /*shooter=*/2,
+                                             /*target=*/1, kPosB));
+  });
+  loop.RunUntilIdle();
+
+  // A never saw C's shot (C is 40 units away, visibility 25)...
+  EXPECT_EQ(clients[0]->eval_digests().count(0), 0u);
+  // ...so A thinks B was alive and A is dead.
+  EXPECT_DOUBLE_EQ(
+      clients[0]->state().GetAttr(ObjectId(1), kAttrHealth).AsDouble(), 0.0);
+  // B and C know B died first, so B's shot aborted and A is alive there.
+  EXPECT_DOUBLE_EQ(
+      clients[1]->state().GetAttr(ObjectId(1), kAttrHealth).AsDouble(),
+      100.0);
+  EXPECT_DOUBLE_EQ(
+      clients[2]->state().GetAttr(ObjectId(1), kAttrHealth).AsDouble(),
+      100.0);
+
+  // The replicas computed different results for B's shot (pos 1).
+  ASSERT_EQ(clients[0]->eval_digests().count(1), 1u);
+  ASSERT_EQ(clients[1]->eval_digests().count(1), 1u);
+  EXPECT_NE(clients[0]->eval_digests().at(1),
+            clients[1]->eval_digests().at(1));
+}
+
+TEST(RingInconsistencyTest, SeveClosureStaysConsistent) {
+  EventLoop loop;
+  Network net(&loop);
+  SeveOptions opts;
+  opts.proactive_push = true;
+  opts.dropping = false;
+  opts.tick_us = 20000;
+  InterestModel interest(/*max_speed=*/10.0, kRtt, opts.omega);
+  SeveServer server(NodeId(0), &loop, BattleState(), CostModel{}, interest,
+                    opts, AABB{{-100.0, -100.0}, {200.0, 200.0}});
+  net.AddNode(&server);
+
+  ActionCostFn cost = [](const Action&, const WorldState&) -> Micros {
+    return 100;
+  };
+  std::vector<std::unique_ptr<SeveClient>> clients;
+  const Vec2 positions[] = {kPosA, kPosB, kPosC};
+  for (uint64_t i = 0; i < 3; ++i) {
+    auto client = std::make_unique<SeveClient>(
+        NodeId(i + 1), &loop, ClientId(i), NodeId(0), BattleState(), cost,
+        10, opts);
+    net.AddNode(client.get());
+    net.ConnectBidirectional(NodeId(0), client->id(),
+                             LinkParams::LatencyOnly(kLatency));
+    InterestProfile profile;
+    profile.position = positions[i];
+    profile.radius = kVisibility;
+    server.RegisterClient(client->client_id(), client->id(), profile);
+    clients.push_back(std::move(client));
+  }
+  server.Start();
+
+  clients[2]->SubmitLocalAction(LethalShot(1, 2, /*shooter=*/3,
+                                           /*target=*/2, kPosC));
+  loop.At(10000, [&]() {
+    clients[1]->SubmitLocalAction(LethalShot(2, 1, /*shooter=*/2,
+                                             /*target=*/1, kPosB));
+  });
+  loop.RunUntil(1000000);
+  server.Stop();
+  loop.RunUntilIdle(1'000'000);
+  server.FlushAll();
+  loop.RunUntilIdle(1'000'000);
+
+  // Everyone who evaluated B's shot agrees with the server's committed
+  // result — and the committed result is "aborted" (B was already dead),
+  // so A survives on every replica that knows about A.
+  for (const auto& client : clients) {
+    for (const auto& [pos, digest] : client->eval_digests()) {
+      auto it = server.committed_digests().find(pos);
+      if (it != server.committed_digests().end()) {
+        EXPECT_EQ(it->second, digest)
+            << "client " << client->client_id().value() << " pos " << pos;
+      }
+    }
+  }
+  EXPECT_DOUBLE_EQ(
+      server.authoritative().GetAttr(ObjectId(1), kAttrHealth).AsDouble(),
+      100.0);
+  EXPECT_DOUBLE_EQ(
+      server.authoritative().GetAttr(ObjectId(2), kAttrHealth).AsDouble(),
+      0.0);
+  // Client A specifically evaluated B's shot over a consistent history.
+  EXPECT_DOUBLE_EQ(
+      clients[0]->stable().GetAttr(ObjectId(1), kAttrHealth).AsDouble(),
+      100.0);
+}
+
+}  // namespace
+}  // namespace seve

@@ -1,0 +1,149 @@
+#include "sim/runner.h"
+
+#include <gtest/gtest.h>
+
+namespace seve {
+namespace {
+
+Scenario SmallScenario(int clients = 4, int moves = 5) {
+  Scenario s = Scenario::TableOne(clients);
+  s.world.num_walls = 500;
+  s.moves_per_client = moves;
+  return s;
+}
+
+TEST(RunnerTest, SeveRunCompletesAllMoves) {
+  const RunReport report =
+      RunScenario(Architecture::kSeve, SmallScenario());
+  EXPECT_EQ(report.client_stats.actions_submitted, 4 * 5);
+  // Every non-dropped action got a response.
+  EXPECT_EQ(report.response_us.count() + report.server_stats.actions_dropped,
+            4 * 5);
+  EXPECT_TRUE(report.consistency.consistent())
+      << report.consistency.ToString();
+  // Everything submitted was either committed or dropped.
+  EXPECT_EQ(report.server_stats.actions_committed +
+                report.server_stats.actions_dropped,
+            4 * 5);
+}
+
+TEST(RunnerTest, SeveResponseWithinFirstBound) {
+  Scenario s = SmallScenario();
+  const RunReport report = RunScenario(Architecture::kSeve, s);
+  // (1 + omega) RTT plus evaluation/tick slack.
+  const double bound_ms =
+      (1.0 + s.seve.omega) * 2.0 * MicrosToMillisF(s.one_way_latency_us) +
+      150.0;
+  EXPECT_LT(report.MeanResponseMs(), bound_ms);
+}
+
+TEST(RunnerTest, DeterministicAcrossRuns) {
+  const Scenario s = SmallScenario();
+  const RunReport a = RunScenario(Architecture::kSeve, s);
+  const RunReport b = RunScenario(Architecture::kSeve, s);
+  EXPECT_EQ(a.response_us.count(), b.response_us.count());
+  EXPECT_DOUBLE_EQ(a.response_us.Mean(), b.response_us.Mean());
+  EXPECT_EQ(a.total_traffic.sent.bytes, b.total_traffic.sent.bytes);
+  EXPECT_EQ(a.end_time, b.end_time);
+  EXPECT_EQ(a.events_run, b.events_run);
+}
+
+TEST(RunnerTest, SeedChangesTrajectory) {
+  Scenario s1 = SmallScenario();
+  Scenario s2 = SmallScenario();
+  s2.seed = s1.seed + 1;
+  const RunReport a = RunScenario(Architecture::kSeve, s1);
+  const RunReport b = RunScenario(Architecture::kSeve, s2);
+  // Different seeds jitter the submission schedule relative to the fixed
+  // push cadence, which shows up in the response-time distribution.
+  EXPECT_NE(a.response_us.Mean(), b.response_us.Mean());
+}
+
+TEST(RunnerTest, BasicProtocolIsConsistent) {
+  const RunReport report =
+      RunScenario(Architecture::kBasic, SmallScenario());
+  EXPECT_TRUE(report.consistency.consistent())
+      << report.consistency.ToString();
+  EXPECT_EQ(report.response_us.count(), 4 * 5);
+  // Every client evaluated every action (complete world replication).
+  EXPECT_EQ(report.client_stats.actions_evaluated, 4 * (4 * 5));
+}
+
+TEST(RunnerTest, IncompleteWorldIsConsistent) {
+  const RunReport report =
+      RunScenario(Architecture::kIncompleteWorld, SmallScenario());
+  EXPECT_TRUE(report.consistency.consistent())
+      << report.consistency.ToString();
+  EXPECT_EQ(report.server_stats.actions_committed, 4 * 5);
+}
+
+TEST(RunnerTest, CentralRunsAndResponds) {
+  const RunReport report =
+      RunScenario(Architecture::kCentral, SmallScenario());
+  EXPECT_EQ(report.response_us.count(), 4 * 5);
+  EXPECT_EQ(report.server_stats.actions_committed, 4 * 5);
+  // Thin clients evaluate nothing.
+  EXPECT_EQ(report.client_stats.actions_evaluated, 0);
+}
+
+TEST(RunnerTest, BroadcastEveryClientEvaluatesEverything) {
+  const RunReport report =
+      RunScenario(Architecture::kBroadcast, SmallScenario());
+  EXPECT_EQ(report.client_stats.actions_evaluated, 4 * (4 * 5));
+  EXPECT_EQ(report.response_us.count(), 4 * 5);
+}
+
+TEST(RunnerTest, RingFiltersDeliveries) {
+  // In the spread-out Table-I world, RING clients evaluate far fewer
+  // actions than Broadcast clients.
+  Scenario s = SmallScenario(8, 5);
+  const RunReport ring = RunScenario(Architecture::kRing, s);
+  const RunReport bcast = RunScenario(Architecture::kBroadcast, s);
+  EXPECT_LT(ring.client_stats.actions_evaluated,
+            bcast.client_stats.actions_evaluated);
+}
+
+TEST(RunnerTest, SeveTrafficFarBelowBroadcast) {
+  Scenario s = SmallScenario(8, 5);
+  const RunReport seve = RunScenario(Architecture::kSeve, s);
+  const RunReport bcast = RunScenario(Architecture::kBroadcast, s);
+  EXPECT_LT(seve.per_client_kb, bcast.per_client_kb);
+}
+
+TEST(RunnerTest, FixedMoveCostOverrideApplies) {
+  Scenario cheap = SmallScenario();
+  cheap.fixed_move_cost_us = 10;
+  Scenario pricey = SmallScenario();
+  pricey.fixed_move_cost_us = 40000;
+  const RunReport fast = RunScenario(Architecture::kCentral, cheap);
+  const RunReport slow = RunScenario(Architecture::kCentral, pricey);
+  EXPECT_GT(slow.MeanResponseMs(), fast.MeanResponseMs() + 30.0);
+}
+
+TEST(RunnerTest, ZeroMovesProducesEmptyReport) {
+  Scenario s = SmallScenario(2, 0);
+  const RunReport report = RunScenario(Architecture::kSeve, s);
+  EXPECT_EQ(report.response_us.count(), 0);
+  EXPECT_EQ(report.server_stats.actions_submitted, 0);
+}
+
+TEST(RunnerTest, VisibleAvatarSamplingPopulated) {
+  Scenario s = SmallScenario(8, 10);
+  s.world.spawn.pattern = SpawnConfig::Pattern::kGrid;
+  s.world.spawn.grid_spacing = 4.0;
+  const RunReport report = RunScenario(Architecture::kSeve, s);
+  // Grid spacing 4 with visibility 30: everyone sees everyone (7).
+  EXPECT_GT(report.avg_visible_avatars, 4.0);
+}
+
+TEST(RunnerTest, ClientLoadFactorSlowsClients) {
+  Scenario normal = SmallScenario();
+  Scenario loaded = SmallScenario();
+  loaded.client_load_factor = 20.0;
+  const RunReport fast = RunScenario(Architecture::kBroadcast, normal);
+  const RunReport slow = RunScenario(Architecture::kBroadcast, loaded);
+  EXPECT_GT(slow.MeanResponseMs(), fast.MeanResponseMs());
+}
+
+}  // namespace
+}  // namespace seve

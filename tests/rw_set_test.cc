@@ -1,0 +1,111 @@
+#include "store/rw_set.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace seve {
+namespace {
+
+ObjectSet Make(std::initializer_list<uint64_t> ids) {
+  std::vector<ObjectId> v;
+  for (uint64_t id : ids) v.push_back(ObjectId(id));
+  return ObjectSet(std::move(v));
+}
+
+TEST(ObjectSetTest, ConstructionSortsAndDedups) {
+  const ObjectSet s = Make({5, 1, 3, 1, 5});
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.ids(),
+            (std::vector<ObjectId>{ObjectId(1), ObjectId(3), ObjectId(5)}));
+}
+
+TEST(ObjectSetTest, InsertMaintainsOrder) {
+  ObjectSet s;
+  s.Insert(ObjectId(5));
+  s.Insert(ObjectId(1));
+  s.Insert(ObjectId(3));
+  s.Insert(ObjectId(3));  // duplicate
+  EXPECT_EQ(s.ids(),
+            (std::vector<ObjectId>{ObjectId(1), ObjectId(3), ObjectId(5)}));
+}
+
+TEST(ObjectSetTest, Contains) {
+  const ObjectSet s = Make({2, 4});
+  EXPECT_TRUE(s.Contains(ObjectId(2)));
+  EXPECT_FALSE(s.Contains(ObjectId(3)));
+}
+
+TEST(ObjectSetTest, Intersects) {
+  EXPECT_TRUE(Make({1, 2, 3}).Intersects(Make({3, 4})));
+  EXPECT_FALSE(Make({1, 2}).Intersects(Make({3, 4})));
+  EXPECT_FALSE(Make({}).Intersects(Make({1})));
+  EXPECT_FALSE(Make({1}).Intersects(Make({})));
+}
+
+TEST(ObjectSetTest, UnionWith) {
+  ObjectSet s = Make({1, 3});
+  s.UnionWith(Make({2, 3, 4}));
+  EXPECT_EQ(s, Make({1, 2, 3, 4}));
+}
+
+TEST(ObjectSetTest, SubtractWith) {
+  ObjectSet s = Make({1, 2, 3, 4});
+  s.SubtractWith(Make({2, 4, 9}));
+  EXPECT_EQ(s, Make({1, 3}));
+}
+
+TEST(ObjectSetTest, CoversIsSupersetCheck) {
+  EXPECT_TRUE(Make({1, 2, 3}).Covers(Make({1, 3})));
+  EXPECT_TRUE(Make({1}).Covers(Make({})));
+  EXPECT_FALSE(Make({1, 2}).Covers(Make({3})));
+  EXPECT_FALSE(Make({}).Covers(Make({1})));
+}
+
+TEST(ObjectSetTest, StaticSetOperations) {
+  EXPECT_EQ(ObjectSet::Union(Make({1}), Make({2})), Make({1, 2}));
+  EXPECT_EQ(ObjectSet::Difference(Make({1, 2}), Make({2})), Make({1}));
+  EXPECT_EQ(ObjectSet::Intersection(Make({1, 2, 3}), Make({2, 3, 4})),
+            Make({2, 3}));
+}
+
+TEST(ObjectSetTest, ToString) {
+  EXPECT_EQ(Make({}).ToString(), "{}");
+  EXPECT_EQ(Make({1, 2}).ToString(), "{1,2}");
+}
+
+// Property tests over random sets: algebraic identities.
+class ObjectSetPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ObjectSetPropertyTest, AlgebraicIdentities) {
+  Rng rng(GetParam());
+  auto random_set = [&rng]() {
+    std::vector<ObjectId> ids;
+    const size_t n = rng.NextBounded(20);
+    for (size_t i = 0; i < n; ++i) ids.push_back(ObjectId(rng.NextBounded(30)));
+    return ObjectSet(std::move(ids));
+  };
+  for (int iter = 0; iter < 100; ++iter) {
+    const ObjectSet a = random_set();
+    const ObjectSet b = random_set();
+
+    // Intersects(a,b) iff Intersection nonempty.
+    EXPECT_EQ(a.Intersects(b), !ObjectSet::Intersection(a, b).empty());
+    // Union is commutative and covers both operands.
+    EXPECT_EQ(ObjectSet::Union(a, b), ObjectSet::Union(b, a));
+    EXPECT_TRUE(ObjectSet::Union(a, b).Covers(a));
+    EXPECT_TRUE(ObjectSet::Union(a, b).Covers(b));
+    // (a - b) is disjoint from b.
+    EXPECT_FALSE(ObjectSet::Difference(a, b).Intersects(b));
+    // (a - b) ∪ (a ∩ b) == a.
+    EXPECT_EQ(ObjectSet::Union(ObjectSet::Difference(a, b),
+                               ObjectSet::Intersection(a, b)),
+              a);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ObjectSetPropertyTest,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+}  // namespace
+}  // namespace seve

@@ -1,0 +1,222 @@
+#include "protocol/server_queue.h"
+
+#include <gtest/gtest.h>
+
+#include "action/blind_write.h"
+
+namespace seve {
+namespace {
+
+/// Minimal action with explicit read/write sets for queue-walk tests.
+class SetAction : public Action {
+ public:
+  SetAction(ActionId id, ClientId origin, ObjectSet reads, ObjectSet writes)
+      : Action(id, origin, 0),
+        reads_(std::move(reads)),
+        writes_(std::move(writes)) {
+    reads_.UnionWith(writes_);
+  }
+
+  const ObjectSet& ReadSet() const override { return reads_; }
+  const ObjectSet& WriteSet() const override { return writes_; }
+  Result<ResultDigest> Apply(WorldState*) const override { return 1ull; }
+  InterestProfile Interest() const override { return {}; }
+
+ private:
+  ObjectSet reads_;
+  ObjectSet writes_;
+};
+
+ActionPtr Make(uint64_t id, std::initializer_list<uint64_t> reads,
+               std::initializer_list<uint64_t> writes) {
+  std::vector<ObjectId> r, w;
+  for (uint64_t x : reads) r.push_back(ObjectId(x));
+  for (uint64_t x : writes) w.push_back(ObjectId(x));
+  return std::make_shared<SetAction>(ActionId(id), ClientId(id),
+                                     ObjectSet(std::move(r)),
+                                     ObjectSet(std::move(w)));
+}
+
+TEST(ServerQueueTest, AppendAssignsSequentialPositions) {
+  ServerQueue q;
+  EXPECT_EQ(q.Append(Make(1, {1}, {1}), 0), 0);
+  EXPECT_EQ(q.Append(Make(2, {2}, {2}), 0), 1);
+  EXPECT_EQ(q.begin_pos(), 0);
+  EXPECT_EQ(q.end_pos(), 2);
+  EXPECT_EQ(q.uncommitted_size(), 2u);
+}
+
+TEST(ServerQueueTest, FindRespectsBounds) {
+  ServerQueue q;
+  q.Append(Make(1, {1}, {1}), 0);
+  EXPECT_NE(q.Find(0), nullptr);
+  EXPECT_EQ(q.Find(1), nullptr);
+  EXPECT_EQ(q.Find(-1), nullptr);
+}
+
+TEST(ServerQueueTest, CompleteAdvancesFrontierInOrder) {
+  ServerQueue q;
+  q.Append(Make(1, {1}, {1}), 0);
+  q.Append(Make(2, {2}, {2}), 0);
+  q.Append(Make(3, {3}, {3}), 0);
+
+  std::vector<SeqNum> installed;
+  auto install = [&](const ServerQueue::Entry& e) {
+    installed.push_back(e.pos);
+  };
+
+  // Completing the middle action does not advance (head incomplete).
+  EXPECT_TRUE(q.Complete(1, 11, {}, install).empty());
+  EXPECT_EQ(q.begin_pos(), 0);
+
+  // Completing the head installs both 0 and 1.
+  const auto first = q.Complete(0, 10, {}, install);
+  EXPECT_EQ(first, (std::vector<SeqNum>{0, 1}));
+  EXPECT_EQ(q.begin_pos(), 2);
+  EXPECT_EQ(q.Find(0), nullptr);  // popped
+
+  const auto second = q.Complete(2, 12, {}, install);
+  EXPECT_EQ(second, (std::vector<SeqNum>{2}));
+  EXPECT_EQ(q.uncommitted_size(), 0u);
+  EXPECT_EQ(installed, (std::vector<SeqNum>{0, 1, 2}));
+}
+
+TEST(ServerQueueTest, InvalidEntriesPopWithoutInstall) {
+  ServerQueue q;
+  q.Append(Make(1, {1}, {1}), 0);
+  q.Append(Make(2, {2}, {2}), 0);
+  q.MarkInvalid(0);
+  std::vector<SeqNum> installed;
+  const auto done = q.Complete(1, 11, {}, [&](const ServerQueue::Entry& e) {
+    installed.push_back(e.pos);
+  });
+  EXPECT_EQ(done, std::vector<SeqNum>{1});
+  EXPECT_EQ(installed, std::vector<SeqNum>{1});
+  EXPECT_EQ(q.begin_pos(), 2);
+}
+
+TEST(ServerQueueTest, CompleteIsFirstWriterWins) {
+  ServerQueue q;
+  q.Append(Make(1, {1}, {1}), 0);
+  q.Complete(0, 111, {}, [](const ServerQueue::Entry& e) {
+    EXPECT_EQ(e.stable_digest, 111u);
+  });
+  // A second completion for the same pos is ignored (already popped).
+  q.Complete(0, 222, {}, [](const ServerQueue::Entry&) { FAIL(); });
+}
+
+TEST(ServerQueueWalkTest, VisitsConflictingEntriesInDescendingOrder) {
+  ServerQueue q;
+  q.Append(Make(1, {1}, {1}), 0);   // pos 0: writes 1
+  q.Append(Make(2, {9}, {9}), 0);   // pos 1: unrelated
+  q.Append(Make(3, {1, 2}, {2}), 0);  // pos 2: reads 1, writes 2
+  // New action reads 2 -> chain: pos 2 (writes 2), then pos 0 (writes 1,
+  // read through pos 2's read set).
+  ObjectSet s({ObjectId(2)});
+  std::vector<SeqNum> visited;
+  const int visits = q.WalkConflicts(
+      3, &s, [&](const ServerQueue::Entry& e) {
+        visited.push_back(e.pos);
+        return ServerQueue::WalkVerdict::kInclude;
+      });
+  EXPECT_EQ(visited, (std::vector<SeqNum>{2, 0}));
+  EXPECT_EQ(visits, 2);
+  // Final S covers both chained reads.
+  EXPECT_TRUE(s.Contains(ObjectId(1)));
+  EXPECT_TRUE(s.Contains(ObjectId(2)));
+}
+
+TEST(ServerQueueWalkTest, ResolveStopsChainThroughSentActions) {
+  ServerQueue q;
+  q.Append(Make(1, {1}, {1}), 0);     // pos 0: writes 1
+  q.Append(Make(2, {1, 2}, {2}), 0);  // pos 1: reads 1, writes 2
+  ObjectSet s({ObjectId(2)});
+  std::vector<SeqNum> included;
+  q.WalkConflicts(2, &s, [&](const ServerQueue::Entry& e) {
+    if (e.pos == 1) {
+      // Pretend pos 1 was already sent to this client: resolve.
+      return ServerQueue::WalkVerdict::kResolve;
+    }
+    included.push_back(e.pos);
+    return ServerQueue::WalkVerdict::kInclude;
+  });
+  // Resolving pos 1 removes object 2 from S; pos 0 writes object 1 which
+  // never entered S, so nothing else is included.
+  EXPECT_TRUE(included.empty());
+  EXPECT_FALSE(s.Contains(ObjectId(2)));
+}
+
+TEST(ServerQueueWalkTest, StopAbortsWalk) {
+  ServerQueue q;
+  q.Append(Make(1, {1}, {1}), 0);
+  q.Append(Make(2, {1}, {1}), 0);
+  q.Append(Make(3, {1}, {1}), 0);
+  ObjectSet s({ObjectId(1)});
+  int visited = 0;
+  q.WalkConflicts(3, &s, [&](const ServerQueue::Entry&) {
+    ++visited;
+    return ServerQueue::WalkVerdict::kStop;
+  });
+  EXPECT_EQ(visited, 1);
+}
+
+TEST(ServerQueueWalkTest, SkipsInvalidEntries) {
+  ServerQueue q;
+  q.Append(Make(1, {1}, {1}), 0);
+  q.Append(Make(2, {1}, {1}), 0);
+  q.MarkInvalid(1);
+  ObjectSet s({ObjectId(1)});
+  std::vector<SeqNum> visited;
+  q.WalkConflicts(2, &s, [&](const ServerQueue::Entry& e) {
+    visited.push_back(e.pos);
+    return ServerQueue::WalkVerdict::kInclude;
+  });
+  EXPECT_EQ(visited, std::vector<SeqNum>{0});
+}
+
+TEST(ServerQueueWalkTest, WalksOnlyBelowStart) {
+  ServerQueue q;
+  q.Append(Make(1, {1}, {1}), 0);  // pos 0
+  q.Append(Make(2, {1}, {1}), 0);  // pos 1
+  q.Append(Make(3, {1}, {1}), 0);  // pos 2
+  ObjectSet s({ObjectId(1)});
+  std::vector<SeqNum> visited;
+  q.WalkConflicts(1, &s, [&](const ServerQueue::Entry& e) {
+    visited.push_back(e.pos);
+    return ServerQueue::WalkVerdict::kInclude;
+  });
+  EXPECT_EQ(visited, std::vector<SeqNum>{0});
+}
+
+TEST(ServerQueueWalkTest, CommittedEntriesNotVisited) {
+  ServerQueue q;
+  q.Append(Make(1, {1}, {1}), 0);
+  q.Append(Make(2, {1}, {1}), 0);
+  q.Complete(0, 1, {}, [](const ServerQueue::Entry&) {});
+  ObjectSet s({ObjectId(1)});
+  std::vector<SeqNum> visited;
+  q.WalkConflicts(2, &s, [&](const ServerQueue::Entry& e) {
+    visited.push_back(e.pos);
+    return ServerQueue::WalkVerdict::kInclude;
+  });
+  EXPECT_EQ(visited, std::vector<SeqNum>{1});
+}
+
+TEST(ServerQueueWalkTest, DiamondDependencyVisitedOnce) {
+  ServerQueue q;
+  q.Append(Make(1, {1, 2}, {1, 2}), 0);  // pos 0 writes both
+  q.Append(Make(2, {1}, {1}), 0);        // pos 1
+  q.Append(Make(3, {2}, {2}), 0);        // pos 2
+  // New action reads 1 and 2: chains via pos 1 and pos 2, both lead to
+  // pos 0, which must be visited exactly once.
+  ObjectSet s({ObjectId(1), ObjectId(2)});
+  std::vector<SeqNum> visited;
+  q.WalkConflicts(3, &s, [&](const ServerQueue::Entry& e) {
+    visited.push_back(e.pos);
+    return ServerQueue::WalkVerdict::kInclude;
+  });
+  EXPECT_EQ(visited, (std::vector<SeqNum>{2, 1, 0}));
+}
+
+}  // namespace
+}  // namespace seve

@@ -1,0 +1,140 @@
+#include "world/spell_action.h"
+
+#include <gtest/gtest.h>
+
+#include "world/attrs.h"
+
+namespace seve {
+namespace {
+
+WorldState PartyState(std::initializer_list<std::pair<uint64_t, double>>
+                          avatars) {
+  WorldState state;
+  for (const auto& [id, health] : avatars) {
+    Object obj{ObjectId(id)};
+    obj.Set(kAttrHealth, Value(health));
+    state.Upsert(std::move(obj));
+  }
+  return state;
+}
+
+InterestProfile WideProfile() {
+  InterestProfile p;
+  p.radius = 100.0;
+  return p;
+}
+
+TEST(ScryHealTest, HealsMostWoundedAlly) {
+  WorldState state = PartyState({{1, 80.0}, {2, 35.0}, {3, 60.0}});
+  ScryHealAction heal(ActionId(1), ClientId(0), 0, ObjectId(1),
+                      ObjectSet({ObjectId(2), ObjectId(3)}), 25.0,
+                      WideProfile());
+  ASSERT_TRUE(heal.Apply(&state).ok());
+  EXPECT_DOUBLE_EQ(state.GetAttr(ObjectId(2), kAttrHealth).AsDouble(), 60.0);
+  EXPECT_DOUBLE_EQ(state.GetAttr(ObjectId(3), kAttrHealth).AsDouble(), 60.0);
+}
+
+TEST(ScryHealTest, HealCapsAtHundred) {
+  WorldState state = PartyState({{1, 95.0}});
+  ScryHealAction heal(ActionId(1), ClientId(0), 0, ObjectId(1),
+                      ObjectSet({ObjectId(1)}), 25.0, WideProfile());
+  ASSERT_TRUE(heal.Apply(&state).ok());
+  EXPECT_DOUBLE_EQ(state.GetAttr(ObjectId(1), kAttrHealth).AsDouble(),
+                   100.0);
+}
+
+TEST(ScryHealTest, TieBreaksByLowestId) {
+  WorldState state = PartyState({{1, 90.0}, {5, 40.0}, {3, 40.0}});
+  ScryHealAction heal(ActionId(1), ClientId(0), 0, ObjectId(1),
+                      ObjectSet({ObjectId(3), ObjectId(5)}), 10.0,
+                      WideProfile());
+  ASSERT_TRUE(heal.Apply(&state).ok());
+  EXPECT_DOUBLE_EQ(state.GetAttr(ObjectId(3), kAttrHealth).AsDouble(), 50.0);
+  EXPECT_DOUBLE_EQ(state.GetAttr(ObjectId(5), kAttrHealth).AsDouble(), 40.0);
+}
+
+TEST(ScryHealTest, MissingCasterConflicts) {
+  WorldState state = PartyState({{2, 10.0}});
+  ScryHealAction heal(ActionId(1), ClientId(0), 0, ObjectId(1),
+                      ObjectSet({ObjectId(2)}), 10.0, WideProfile());
+  const auto result = heal.Apply(&state);
+  EXPECT_TRUE(result.status().IsConflict());
+  EXPECT_DOUBLE_EQ(state.GetAttr(ObjectId(2), kAttrHealth).AsDouble(), 10.0);
+}
+
+TEST(ScryHealTest, ResultDependsOnWhoIsWounded) {
+  // The same spell evaluated over different health states picks a
+  // different target -> different digest (the consistency-critical
+  // property the paper's scrying example hinges on).
+  WorldState a = PartyState({{1, 100.0}, {2, 50.0}, {3, 80.0}});
+  WorldState b = PartyState({{1, 100.0}, {2, 80.0}, {3, 50.0}});
+  ScryHealAction heal(ActionId(1), ClientId(0), 0, ObjectId(1),
+                      ObjectSet({ObjectId(2), ObjectId(3)}), 10.0,
+                      WideProfile());
+  const auto da = heal.Apply(&a);
+  const auto db = heal.Apply(&b);
+  ASSERT_TRUE(da.ok());
+  ASSERT_TRUE(db.ok());
+  EXPECT_NE(*da, *db);
+}
+
+TEST(ScryHealTest, ReadWriteSetsIncludeCasterAndTargets) {
+  ScryHealAction heal(ActionId(1), ClientId(0), 0, ObjectId(9),
+                      ObjectSet({ObjectId(2)}), 10.0, WideProfile());
+  EXPECT_TRUE(heal.ReadSet().Contains(ObjectId(9)));
+  EXPECT_TRUE(heal.ReadSet().Contains(ObjectId(2)));
+  EXPECT_EQ(heal.ReadSet(), heal.WriteSet());
+}
+
+TEST(AttackTest, SubtractsDamage) {
+  WorldState state = PartyState({{1, 100.0}, {2, 50.0}});
+  AttackAction attack(ActionId(1), ClientId(0), 0, ObjectId(1), ObjectId(2),
+                      30.0, WideProfile());
+  ASSERT_TRUE(attack.Apply(&state).ok());
+  EXPECT_DOUBLE_EQ(state.GetAttr(ObjectId(2), kAttrHealth).AsDouble(), 20.0);
+}
+
+TEST(AttackTest, HealthFloorsAtZero) {
+  WorldState state = PartyState({{1, 100.0}, {2, 10.0}});
+  AttackAction attack(ActionId(1), ClientId(0), 0, ObjectId(1), ObjectId(2),
+                      30.0, WideProfile());
+  ASSERT_TRUE(attack.Apply(&state).ok());
+  EXPECT_DOUBLE_EQ(state.GetAttr(ObjectId(2), kAttrHealth).AsDouble(), 0.0);
+}
+
+TEST(AttackTest, MissingTargetConflicts) {
+  WorldState state = PartyState({{1, 100.0}});
+  AttackAction attack(ActionId(1), ClientId(0), 0, ObjectId(1), ObjectId(2),
+                      30.0, WideProfile());
+  EXPECT_TRUE(attack.Apply(&state).status().IsConflict());
+}
+
+TEST(AttackThenScryTest, OrderingChangesScryTarget) {
+  // The core Section-I scenario: during combat the scry target depends on
+  // attack ordering, which is exactly why visibility filtering breaks.
+  WorldState state = PartyState({{1, 100.0}, {2, 60.0}, {3, 55.0}});
+  AttackAction attack(ActionId(1), ClientId(0), 0, ObjectId(1), ObjectId(2),
+                      20.0, WideProfile());  // 2 drops to 40 < 55
+  ScryHealAction heal(ActionId(2), ClientId(1), 0, ObjectId(3),
+                      ObjectSet({ObjectId(2), ObjectId(3)}), 10.0,
+                      WideProfile());
+
+  WorldState attack_first = state;
+  ASSERT_TRUE(attack.Apply(&attack_first).ok());
+  ASSERT_TRUE(heal.Apply(&attack_first).ok());
+  // Attack first: avatar 2 (40) is most wounded and gets the heal.
+  EXPECT_DOUBLE_EQ(
+      attack_first.GetAttr(ObjectId(2), kAttrHealth).AsDouble(), 50.0);
+
+  WorldState heal_first = state;
+  ASSERT_TRUE(heal.Apply(&heal_first).ok());
+  ASSERT_TRUE(attack.Apply(&heal_first).ok());
+  // Heal first: avatar 3 (55) was most wounded; then 2 takes damage.
+  EXPECT_DOUBLE_EQ(
+      heal_first.GetAttr(ObjectId(3), kAttrHealth).AsDouble(), 65.0);
+  EXPECT_DOUBLE_EQ(
+      heal_first.GetAttr(ObjectId(2), kAttrHealth).AsDouble(), 40.0);
+}
+
+}  // namespace
+}  // namespace seve

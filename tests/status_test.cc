@@ -1,0 +1,90 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace seve {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.ToString(), "Ok");
+}
+
+TEST(StatusTest, FactoryFunctionsSetCodeAndMessage) {
+  const Status status = Status::NotFound("missing object");
+  EXPECT_FALSE(status.ok());
+  EXPECT_TRUE(status.IsNotFound());
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(status.message(), "missing object");
+  EXPECT_EQ(status.ToString(), "NotFound: missing object");
+}
+
+TEST(StatusTest, ConflictAndDroppedPredicates) {
+  EXPECT_TRUE(Status::Conflict("c").IsConflict());
+  EXPECT_FALSE(Status::Conflict("c").IsDropped());
+  EXPECT_TRUE(Status::Dropped("d").IsDropped());
+  EXPECT_FALSE(Status::OK().IsConflict());
+}
+
+TEST(StatusTest, EqualityComparesCodesOnly) {
+  EXPECT_EQ(Status::Internal("a"), Status::Internal("b"));
+  EXPECT_FALSE(Status::Internal("a") == Status::NotFound("a"));
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (const StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kAlreadyExists, StatusCode::kFailedPrecondition,
+        StatusCode::kOutOfRange, StatusCode::kConflict, StatusCode::kDropped,
+        StatusCode::kUnavailable, StatusCode::kInternal}) {
+    EXPECT_STRNE(StatusCodeName(code), "Unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result = 42;
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 42);
+  EXPECT_EQ(result.value(), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> result = Status::OutOfRange("too big");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> result = std::string("payload");
+  ASSERT_TRUE(result.ok());
+  const std::string value = std::move(result).ValueOrDie();
+  EXPECT_EQ(value, "payload");
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> result = std::string("abc");
+  EXPECT_EQ(result->size(), 3u);
+}
+
+TEST(ReturnIfErrorTest, PropagatesError) {
+  auto fails = []() -> Status { return Status::Internal("boom"); };
+  auto wrapper = [&]() -> Status {
+    SEVE_RETURN_IF_ERROR(fails());
+    return Status::OK();
+  };
+  EXPECT_EQ(wrapper().code(), StatusCode::kInternal);
+}
+
+TEST(ReturnIfErrorTest, PassesThroughOk) {
+  auto succeeds = []() -> Status { return Status::OK(); };
+  auto wrapper = [&]() -> Status {
+    SEVE_RETURN_IF_ERROR(succeeds());
+    return Status::AlreadyExists("reached end");
+  };
+  EXPECT_EQ(wrapper().code(), StatusCode::kAlreadyExists);
+}
+
+}  // namespace
+}  // namespace seve

@@ -1,0 +1,63 @@
+#ifndef SEVE_TESTS_TEST_ACTIONS_H_
+#define SEVE_TESTS_TEST_ACTIONS_H_
+
+#include <memory>
+
+#include "action/action.h"
+#include "store/world_state.h"
+
+namespace seve {
+
+/// Toy counter action for protocol tests: adds `delta` to attribute 1 of
+/// `target`; the digest is the resulting value, so replicas agree iff
+/// they evaluated over the same input value. Conflicts if the target is
+/// missing.
+class CounterAdd : public Action {
+ public:
+  CounterAdd(ActionId id, ClientId origin, ObjectId target, int64_t delta,
+             InterestProfile interest = {}, ObjectSet extra_reads = {})
+      : Action(id, origin, 0),
+        target_(target),
+        delta_(delta),
+        interest_(interest),
+        writes_({target}),
+        reads_(ObjectSet::Union(ObjectSet({target}), extra_reads)) {}
+
+  const ObjectSet& ReadSet() const override { return reads_; }
+  const ObjectSet& WriteSet() const override { return writes_; }
+
+  Result<ResultDigest> Apply(WorldState* state) const override {
+    if (!state->Contains(target_)) return Status::Conflict("missing");
+    const int64_t value = state->GetAttr(target_, 1).AsInt() + delta_;
+    state->SetAttr(target_, 1, Value(value));
+    return static_cast<ResultDigest>(value) ^ (id().value() << 32);
+  }
+
+  InterestProfile Interest() const override { return interest_; }
+
+ private:
+  ObjectId target_;
+  int64_t delta_;
+  InterestProfile interest_;
+  ObjectSet writes_;
+  ObjectSet reads_;
+};
+
+inline WorldState CounterState(std::initializer_list<uint64_t> ids,
+                               int64_t initial = 0) {
+  WorldState state;
+  for (uint64_t id : ids) state.SetAttr(ObjectId(id), 1, Value(initial));
+  return state;
+}
+
+inline InterestProfile ProfileAt(Vec2 pos, double radius) {
+  InterestProfile p;
+  p.position = pos;
+  p.radius = radius;
+  p.interest_class = 1;
+  return p;
+}
+
+}  // namespace seve
+
+#endif  // SEVE_TESTS_TEST_ACTIONS_H_

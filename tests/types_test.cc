@@ -1,0 +1,59 @@
+#include "common/types.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace seve {
+namespace {
+
+TEST(IdTest, DefaultIsInvalid) {
+  ClientId id;
+  EXPECT_FALSE(id.valid());
+  EXPECT_EQ(id, ClientId::Invalid());
+}
+
+TEST(IdTest, ExplicitValueIsValid) {
+  ObjectId id(7);
+  EXPECT_TRUE(id.valid());
+  EXPECT_EQ(id.value(), 7u);
+}
+
+TEST(IdTest, ComparisonOperators) {
+  ObjectId a(1), b(2);
+  EXPECT_LT(a, b);
+  EXPECT_LE(a, b);
+  EXPECT_GT(b, a);
+  EXPECT_GE(b, a);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, ObjectId(1));
+}
+
+TEST(IdTest, DistinctTagTypesAreDistinctTypes) {
+  static_assert(!std::is_same_v<ClientId, ObjectId>);
+  static_assert(!std::is_same_v<ActionId, NodeId>);
+  SUCCEED();
+}
+
+TEST(IdTest, HashableInUnorderedContainers) {
+  std::unordered_set<ObjectId> set;
+  for (uint64_t i = 0; i < 1000; ++i) set.insert(ObjectId(i));
+  EXPECT_EQ(set.size(), 1000u);
+  EXPECT_TRUE(set.count(ObjectId(999)));
+  EXPECT_FALSE(set.count(ObjectId(1000)));
+}
+
+TEST(TimeTest, MillisMicrosRoundTrip) {
+  EXPECT_EQ(MillisToMicros(300), 300000);
+  EXPECT_EQ(MicrosToMillis(300000), 300);
+  EXPECT_EQ(MicrosToMillis(300999), 300);  // truncation
+  EXPECT_DOUBLE_EQ(MicrosToMillisF(1500), 1.5);
+}
+
+TEST(TimeTest, Constants) {
+  EXPECT_EQ(kMicrosPerMilli, 1000);
+  EXPECT_EQ(kMicrosPerSecond, 1000000);
+}
+
+}  // namespace
+}  // namespace seve

@@ -1,0 +1,70 @@
+#include "store/value.h"
+
+#include <gtest/gtest.h>
+
+namespace seve {
+namespace {
+
+TEST(ValueTest, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_FALSE(v.is_int());
+  EXPECT_EQ(v.AsInt(), 0);
+  EXPECT_DOUBLE_EQ(v.AsDouble(), 0.0);
+  EXPECT_EQ(v.AsVec2(), Vec2());
+}
+
+TEST(ValueTest, IntValue) {
+  Value v(int64_t{42});
+  EXPECT_TRUE(v.is_int());
+  EXPECT_EQ(v.AsInt(), 42);
+  EXPECT_DOUBLE_EQ(v.AsDouble(), 42.0);  // widening allowed
+}
+
+TEST(ValueTest, DoubleValue) {
+  Value v(3.25);
+  EXPECT_TRUE(v.is_double());
+  EXPECT_DOUBLE_EQ(v.AsDouble(), 3.25);
+  EXPECT_EQ(v.AsInt(), 0);  // no implicit narrowing
+}
+
+TEST(ValueTest, Vec2Value) {
+  Value v(Vec2{1.0, -2.0});
+  EXPECT_TRUE(v.is_vec2());
+  EXPECT_EQ(v.AsVec2(), Vec2(1.0, -2.0));
+}
+
+TEST(ValueTest, Equality) {
+  EXPECT_EQ(Value(int64_t{1}), Value(int64_t{1}));
+  EXPECT_NE(Value(int64_t{1}), Value(1.0));  // type-sensitive
+  EXPECT_NE(Value(int64_t{1}), Value(int64_t{2}));
+  EXPECT_EQ(Value(), Value());
+}
+
+TEST(ValueTest, HashDistinguishesTypesAndValues) {
+  EXPECT_NE(Value(int64_t{1}).Hash(), Value(1.0).Hash());
+  EXPECT_NE(Value(int64_t{1}).Hash(), Value(int64_t{2}).Hash());
+  EXPECT_EQ(Value(Vec2{1.0, 2.0}).Hash(), Value(Vec2{1.0, 2.0}).Hash());
+  EXPECT_NE(Value(Vec2{1.0, 2.0}).Hash(), Value(Vec2{2.0, 1.0}).Hash());
+}
+
+TEST(ValueTest, NegativeZeroHashesLikeZero) {
+  EXPECT_EQ(Value(0.0).Hash(), Value(-0.0).Hash());
+  EXPECT_EQ(Value(Vec2{0.0, -0.0}).Hash(), Value(Vec2{-0.0, 0.0}).Hash());
+}
+
+TEST(ValueTest, WireSizes) {
+  EXPECT_EQ(Value().WireSize(), 2);
+  EXPECT_EQ(Value(int64_t{1}).WireSize(), 9);
+  EXPECT_EQ(Value(1.0).WireSize(), 9);
+  EXPECT_EQ(Value(Vec2{}).WireSize(), 17);
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value().ToString(), "null");
+  EXPECT_EQ(Value(int64_t{7}).ToString(), "7");
+  EXPECT_EQ(Value(Vec2{1.0, 2.0}).ToString(), "(1, 2)");
+}
+
+}  // namespace
+}  // namespace seve

@@ -1,0 +1,99 @@
+#include "spatial/vec2.h"
+
+#include <gtest/gtest.h>
+
+#include "spatial/aabb.h"
+
+namespace seve {
+namespace {
+
+TEST(Vec2Test, Arithmetic) {
+  const Vec2 a{1.0, 2.0}, b{3.0, -4.0};
+  EXPECT_EQ(a + b, Vec2(4.0, -2.0));
+  EXPECT_EQ(a - b, Vec2(-2.0, 6.0));
+  EXPECT_EQ(a * 2.0, Vec2(2.0, 4.0));
+  EXPECT_EQ(2.0 * a, Vec2(2.0, 4.0));
+  EXPECT_EQ(a / 2.0, Vec2(0.5, 1.0));
+  EXPECT_EQ(-a, Vec2(-1.0, -2.0));
+}
+
+TEST(Vec2Test, CompoundAssignment) {
+  Vec2 v{1.0, 1.0};
+  v += Vec2{2.0, 3.0};
+  EXPECT_EQ(v, Vec2(3.0, 4.0));
+  v -= Vec2{1.0, 1.0};
+  EXPECT_EQ(v, Vec2(2.0, 3.0));
+  v *= 2.0;
+  EXPECT_EQ(v, Vec2(4.0, 6.0));
+}
+
+TEST(Vec2Test, DotAndCross) {
+  const Vec2 a{1.0, 0.0}, b{0.0, 1.0};
+  EXPECT_DOUBLE_EQ(a.Dot(b), 0.0);
+  EXPECT_DOUBLE_EQ(a.Cross(b), 1.0);
+  EXPECT_DOUBLE_EQ(b.Cross(a), -1.0);
+  EXPECT_DOUBLE_EQ(Vec2(3.0, 4.0).Dot(Vec2(3.0, 4.0)), 25.0);
+}
+
+TEST(Vec2Test, LengthAndDistance) {
+  EXPECT_DOUBLE_EQ(Vec2(3.0, 4.0).Length(), 5.0);
+  EXPECT_DOUBLE_EQ(Vec2(3.0, 4.0).LengthSq(), 25.0);
+  EXPECT_DOUBLE_EQ(Distance({0.0, 0.0}, {3.0, 4.0}), 5.0);
+  EXPECT_DOUBLE_EQ(DistanceSq({1.0, 1.0}, {4.0, 5.0}), 25.0);
+}
+
+TEST(Vec2Test, Normalized) {
+  const Vec2 n = Vec2(10.0, 0.0).Normalized();
+  EXPECT_DOUBLE_EQ(n.x, 1.0);
+  EXPECT_DOUBLE_EQ(n.y, 0.0);
+  // Zero vector normalizes to zero, not NaN.
+  const Vec2 z = Vec2{}.Normalized();
+  EXPECT_EQ(z, Vec2());
+}
+
+TEST(Vec2Test, Perpendicular) {
+  const Vec2 right{1.0, 0.0};
+  EXPECT_EQ(right.PerpCcw(), Vec2(0.0, 1.0));
+  EXPECT_EQ(right.PerpCw(), Vec2(0.0, -1.0));
+  // Four CCW rotations return to start.
+  Vec2 v{2.0, 5.0};
+  EXPECT_EQ(v.PerpCcw().PerpCcw().PerpCcw().PerpCcw(), v);
+}
+
+TEST(AabbTest, ContainsAndIntersects) {
+  const AABB box{{0.0, 0.0}, {10.0, 10.0}};
+  EXPECT_TRUE(box.Contains({5.0, 5.0}));
+  EXPECT_TRUE(box.Contains({0.0, 0.0}));    // boundary
+  EXPECT_TRUE(box.Contains({10.0, 10.0}));  // boundary
+  EXPECT_FALSE(box.Contains({10.1, 5.0}));
+
+  EXPECT_TRUE(box.Intersects(AABB{{9.0, 9.0}, {20.0, 20.0}}));
+  EXPECT_TRUE(box.Intersects(AABB{{10.0, 10.0}, {20.0, 20.0}}));  // touch
+  EXPECT_FALSE(box.Intersects(AABB{{11.0, 0.0}, {20.0, 10.0}}));
+}
+
+TEST(AabbTest, FromCircleAndSegment) {
+  const AABB c = AABB::FromCircle({5.0, 5.0}, 2.0);
+  EXPECT_EQ(c.min, Vec2(3.0, 3.0));
+  EXPECT_EQ(c.max, Vec2(7.0, 7.0));
+
+  const AABB s = AABB::FromSegment({4.0, 1.0}, {0.0, 3.0});
+  EXPECT_EQ(s.min, Vec2(0.0, 1.0));
+  EXPECT_EQ(s.max, Vec2(4.0, 3.0));
+}
+
+TEST(AabbTest, ClampPullsPointsInside) {
+  const AABB box{{0.0, 0.0}, {10.0, 10.0}};
+  EXPECT_EQ(box.Clamp({-5.0, 5.0}), Vec2(0.0, 5.0));
+  EXPECT_EQ(box.Clamp({5.0, 15.0}), Vec2(5.0, 10.0));
+  EXPECT_EQ(box.Clamp({5.0, 5.0}), Vec2(5.0, 5.0));
+}
+
+TEST(AabbTest, WidthHeight) {
+  const AABB box{{1.0, 2.0}, {4.0, 8.0}};
+  EXPECT_DOUBLE_EQ(box.Width(), 3.0);
+  EXPECT_DOUBLE_EQ(box.Height(), 6.0);
+}
+
+}  // namespace
+}  // namespace seve

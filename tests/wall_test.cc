@@ -1,0 +1,92 @@
+#include "world/wall.h"
+
+#include <gtest/gtest.h>
+
+namespace seve {
+namespace {
+
+AABB Bounds() { return AABB{{0.0, 0.0}, {1000.0, 1000.0}}; }
+
+TEST(WallFieldTest, GeneratesRequestedCount) {
+  Rng rng(1);
+  auto field = WallField::Generate(Bounds(), 500, 10.0, &rng);
+  EXPECT_EQ(field->size(), 500u);
+  EXPECT_EQ(field->bounds().max, Vec2(1000.0, 1000.0));
+}
+
+TEST(WallFieldTest, ZeroWalls) {
+  Rng rng(1);
+  auto field = WallField::Generate(Bounds(), 0, 10.0, &rng);
+  EXPECT_EQ(field->size(), 0u);
+  EXPECT_EQ(field->CountNear({500.0, 500.0}, 100.0), 0);
+  EXPECT_FALSE(
+      field->FirstHit({0.0, 0.0}, {1.0, 0.0}, 100.0, 1.0).has_value());
+}
+
+TEST(WallFieldTest, WallsAreAxisAlignedAndInBounds) {
+  Rng rng(2);
+  auto field = WallField::Generate(Bounds(), 200, 10.0, &rng);
+  for (size_t i = 0; i < field->size(); ++i) {
+    const Segment& s = field->wall(i).segment;
+    EXPECT_TRUE(s.a.x == s.b.x || s.a.y == s.b.y) << "wall " << i;
+    EXPECT_TRUE(Bounds().Contains(s.a));
+    EXPECT_TRUE(Bounds().Contains(s.b));
+    EXPECT_LE(s.Length(), 10.0 + 1e-9);
+  }
+}
+
+TEST(WallFieldTest, DeterministicForSeed) {
+  Rng rng1(42), rng2(42);
+  auto f1 = WallField::Generate(Bounds(), 100, 10.0, &rng1);
+  auto f2 = WallField::Generate(Bounds(), 100, 10.0, &rng2);
+  for (size_t i = 0; i < f1->size(); ++i) {
+    EXPECT_EQ(f1->wall(i).segment.a, f2->wall(i).segment.a);
+    EXPECT_EQ(f1->wall(i).segment.b, f2->wall(i).segment.b);
+  }
+}
+
+TEST(WallFieldTest, CountNearMatchesBruteForce) {
+  Rng rng(3);
+  auto field = WallField::Generate(Bounds(), 300, 10.0, &rng);
+  const Vec2 center{500.0, 500.0};
+  const double radius = 75.0;
+  int expected = 0;
+  for (size_t i = 0; i < field->size(); ++i) {
+    if (CircleIntersectsSegment(center, radius, field->wall(i).segment)) {
+      ++expected;
+    }
+  }
+  EXPECT_EQ(field->CountNear(center, radius), expected);
+}
+
+TEST(WallFieldTest, DensityScalesWithCount) {
+  Rng rng(4);
+  auto sparse = WallField::Generate(Bounds(), 1000, 10.0, &rng);
+  auto dense = WallField::Generate(Bounds(), 10000, 10.0, &rng);
+  const int sparse_count = sparse->CountNear({500.0, 500.0}, 100.0);
+  const int dense_count = dense->CountNear({500.0, 500.0}, 100.0);
+  EXPECT_GT(dense_count, sparse_count * 5);
+}
+
+TEST(WallFieldTest, FirstHitFindsNearestWall) {
+  Rng rng(1);
+  auto field = WallField::Generate(Bounds(), 0, 10.0, &rng);
+  // No generated walls; use a dedicated field with known walls via a
+  // dense generation and a straight probe instead: place the probe so it
+  // cannot miss — fall back to checking consistency of FirstHit with
+  // CountNear on a dense field.
+  auto dense = WallField::Generate(Bounds(), 50000, 10.0, &rng);
+  const auto hit =
+      dense->FirstHit({500.0, 500.0}, {1.0, 0.0}, 200.0, 0.5);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_GE(hit->first, 0.0);
+  EXPECT_LE(hit->first, 200.0);
+  EXPECT_LT(hit->second, dense->size());
+  // The returned wall really is within contact range at the hit point.
+  const Vec2 contact = Vec2{500.0, 500.0} + Vec2{1.0, 0.0} * hit->first;
+  EXPECT_LE(DistancePointSegment(contact, dense->wall(hit->second).segment),
+            0.5 + 1e-6);
+}
+
+}  // namespace
+}  // namespace seve

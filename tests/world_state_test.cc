@@ -1,0 +1,149 @@
+#include "store/world_state.h"
+
+#include <gtest/gtest.h>
+
+namespace seve {
+namespace {
+
+Object MakeObj(uint64_t id, int64_t v) {
+  Object obj{ObjectId(id)};
+  obj.Set(1, Value(v));
+  return obj;
+}
+
+TEST(WorldStateTest, InsertAndFind) {
+  WorldState state;
+  ASSERT_TRUE(state.Insert(MakeObj(1, 10)).ok());
+  const Object* found = state.Find(ObjectId(1));
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->Get(1).AsInt(), 10);
+  EXPECT_EQ(state.Find(ObjectId(2)), nullptr);
+}
+
+TEST(WorldStateTest, DoubleInsertFails) {
+  WorldState state;
+  ASSERT_TRUE(state.Insert(MakeObj(1, 10)).ok());
+  EXPECT_EQ(state.Insert(MakeObj(1, 20)).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(state.Find(ObjectId(1))->Get(1).AsInt(), 10);
+}
+
+TEST(WorldStateTest, UpsertReplaces) {
+  WorldState state;
+  state.Upsert(MakeObj(1, 10));
+  state.Upsert(MakeObj(1, 20));
+  EXPECT_EQ(state.Find(ObjectId(1))->Get(1).AsInt(), 20);
+  EXPECT_EQ(state.size(), 1u);
+}
+
+TEST(WorldStateTest, GetSetAttr) {
+  WorldState state;
+  state.SetAttr(ObjectId(3), 7, Value(Vec2{1.0, 2.0}));
+  EXPECT_EQ(state.GetAttr(ObjectId(3), 7).AsVec2(), Vec2(1.0, 2.0));
+  EXPECT_TRUE(state.GetAttr(ObjectId(3), 8).is_null());
+  EXPECT_TRUE(state.GetAttr(ObjectId(9), 7).is_null());
+}
+
+TEST(WorldStateTest, RemoveAndMissingRemove) {
+  WorldState state;
+  state.Upsert(MakeObj(1, 1));
+  ASSERT_TRUE(state.Remove(ObjectId(1)).ok());
+  EXPECT_EQ(state.Remove(ObjectId(1)).code(), StatusCode::kNotFound);
+  EXPECT_EQ(state.size(), 0u);
+}
+
+TEST(WorldStateTest, VersionBumpsOnMutation) {
+  WorldState state;
+  const uint64_t v0 = state.version();
+  state.Upsert(MakeObj(1, 1));
+  const uint64_t v1 = state.version();
+  EXPECT_GT(v1, v0);
+  state.SetAttr(ObjectId(1), 1, Value(int64_t{2}));
+  EXPECT_GT(state.version(), v1);
+}
+
+TEST(WorldStateTest, CopyObjectsFromCopiesNamedSubset) {
+  WorldState source, target;
+  source.Upsert(MakeObj(1, 100));
+  source.Upsert(MakeObj(2, 200));
+  target.Upsert(MakeObj(1, 1));
+  target.Upsert(MakeObj(2, 2));
+  target.Upsert(MakeObj(3, 3));
+
+  target.CopyObjectsFrom(source, ObjectSet({ObjectId(1)}));
+  EXPECT_EQ(target.GetAttr(ObjectId(1), 1).AsInt(), 100);
+  EXPECT_EQ(target.GetAttr(ObjectId(2), 1).AsInt(), 2);   // untouched
+  EXPECT_EQ(target.GetAttr(ObjectId(3), 1).AsInt(), 3);   // untouched
+}
+
+TEST(WorldStateTest, CopyObjectsFromRemovesAbsentObjects) {
+  WorldState source, target;
+  target.Upsert(MakeObj(5, 50));
+  target.CopyObjectsFrom(source, ObjectSet({ObjectId(5)}));
+  EXPECT_FALSE(target.Contains(ObjectId(5)));
+}
+
+TEST(WorldStateTest, ExtractSkipsMissing) {
+  WorldState state;
+  state.Upsert(MakeObj(1, 10));
+  const auto objects =
+      state.Extract(ObjectSet({ObjectId(1), ObjectId(2)}));
+  ASSERT_EQ(objects.size(), 1u);
+  EXPECT_EQ(objects[0].id(), ObjectId(1));
+}
+
+TEST(WorldStateTest, ApplyObjectsUpserts) {
+  WorldState state;
+  state.Upsert(MakeObj(1, 1));
+  state.ApplyObjects({MakeObj(1, 11), MakeObj(2, 22)});
+  EXPECT_EQ(state.GetAttr(ObjectId(1), 1).AsInt(), 11);
+  EXPECT_EQ(state.GetAttr(ObjectId(2), 1).AsInt(), 22);
+}
+
+TEST(WorldStateTest, DigestEqualForEqualStates) {
+  WorldState a, b;
+  a.Upsert(MakeObj(1, 10));
+  a.Upsert(MakeObj(2, 20));
+  b.Upsert(MakeObj(2, 20));  // different insertion order
+  b.Upsert(MakeObj(1, 10));
+  EXPECT_EQ(a.Digest(), b.Digest());
+}
+
+TEST(WorldStateTest, DigestSensitiveToValues) {
+  WorldState a, b;
+  a.Upsert(MakeObj(1, 10));
+  b.Upsert(MakeObj(1, 11));
+  EXPECT_NE(a.Digest(), b.Digest());
+}
+
+TEST(WorldStateTest, DigestOfSubset) {
+  WorldState a, b;
+  a.Upsert(MakeObj(1, 10));
+  a.Upsert(MakeObj(2, 999));
+  b.Upsert(MakeObj(1, 10));
+  b.Upsert(MakeObj(2, 888));
+  const ObjectSet subset({ObjectId(1)});
+  EXPECT_EQ(a.DigestOf(subset), b.DigestOf(subset));
+  EXPECT_NE(a.Digest(), b.Digest());
+}
+
+TEST(WorldStateTest, ObjectIdsSorted) {
+  WorldState state;
+  state.Upsert(MakeObj(9, 1));
+  state.Upsert(MakeObj(2, 1));
+  state.Upsert(MakeObj(5, 1));
+  EXPECT_EQ(state.ObjectIds(),
+            (std::vector<ObjectId>{ObjectId(2), ObjectId(5), ObjectId(9)}));
+}
+
+TEST(WorldStateTest, CopySemantics) {
+  WorldState a;
+  a.Upsert(MakeObj(1, 10));
+  WorldState b = a;  // deep copy
+  b.SetAttr(ObjectId(1), 1, Value(int64_t{99}));
+  EXPECT_EQ(a.GetAttr(ObjectId(1), 1).AsInt(), 10);
+  EXPECT_EQ(b.GetAttr(ObjectId(1), 1).AsInt(), 99);
+}
+
+}  // namespace
+}  // namespace seve
