@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_culling.dir/bench_ablation_culling.cc.o"
+  "CMakeFiles/bench_ablation_culling.dir/bench_ablation_culling.cc.o.d"
+  "bench_ablation_culling"
+  "bench_ablation_culling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_culling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_omega.dir/bench_ablation_omega.cc.o"
+  "CMakeFiles/bench_ablation_omega.dir/bench_ablation_omega.cc.o.d"
+  "bench_ablation_omega"
+  "bench_ablation_omega.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_omega.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_closure_cost.dir/bench_closure_cost.cc.o"
+  "CMakeFiles/bench_closure_cost.dir/bench_closure_cost.cc.o.d"
+  "bench_closure_cost"
+  "bench_closure_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_closure_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

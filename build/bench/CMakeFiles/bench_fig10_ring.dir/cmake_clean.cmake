@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_ring.dir/bench_fig10_ring.cc.o"
+  "CMakeFiles/bench_fig10_ring.dir/bench_fig10_ring.cc.o.d"
+  "bench_fig10_ring"
+  "bench_fig10_ring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_ring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

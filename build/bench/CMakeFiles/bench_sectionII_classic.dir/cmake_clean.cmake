@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sectionII_classic.dir/bench_sectionII_classic.cc.o"
+  "CMakeFiles/bench_sectionII_classic.dir/bench_sectionII_classic.cc.o.d"
+  "bench_sectionII_classic"
+  "bench_sectionII_classic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sectionII_classic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

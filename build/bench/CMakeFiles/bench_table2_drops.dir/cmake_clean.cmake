@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_drops.dir/bench_table2_drops.cc.o"
+  "CMakeFiles/bench_table2_drops.dir/bench_table2_drops.cc.o.d"
+  "bench_table2_drops"
+  "bench_table2_drops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_drops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_zoning_crowd.dir/bench_zoning_crowd.cc.o"
+  "CMakeFiles/bench_zoning_crowd.dir/bench_zoning_crowd.cc.o.d"
+  "bench_zoning_crowd"
+  "bench_zoning_crowd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_zoning_crowd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

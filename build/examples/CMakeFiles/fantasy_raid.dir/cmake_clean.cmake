@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fantasy_raid.dir/fantasy_raid.cc.o"
+  "CMakeFiles/fantasy_raid.dir/fantasy_raid.cc.o.d"
+  "fantasy_raid"
+  "fantasy_raid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fantasy_raid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/action/action.cc" "src/action/CMakeFiles/seve_action.dir/action.cc.o" "gcc" "src/action/CMakeFiles/seve_action.dir/action.cc.o.d"
+  "/root/repo/src/action/blind_write.cc" "src/action/CMakeFiles/seve_action.dir/blind_write.cc.o" "gcc" "src/action/CMakeFiles/seve_action.dir/blind_write.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/store/CMakeFiles/seve_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/spatial/CMakeFiles/seve_spatial.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/seve_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seve_action.dir/action.cc.o"
+  "CMakeFiles/seve_action.dir/action.cc.o.d"
+  "CMakeFiles/seve_action.dir/blind_write.cc.o"
+  "CMakeFiles/seve_action.dir/blind_write.cc.o.d"
+  "libseve_action.a"
+  "libseve_action.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seve_action.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for seve_action.
+# This may be replaced when dependencies are built.

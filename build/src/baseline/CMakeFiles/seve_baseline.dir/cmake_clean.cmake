@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seve_baseline.dir/broadcast.cc.o"
+  "CMakeFiles/seve_baseline.dir/broadcast.cc.o.d"
+  "CMakeFiles/seve_baseline.dir/central.cc.o"
+  "CMakeFiles/seve_baseline.dir/central.cc.o.d"
+  "CMakeFiles/seve_baseline.dir/ring.cc.o"
+  "CMakeFiles/seve_baseline.dir/ring.cc.o.d"
+  "CMakeFiles/seve_baseline.dir/zoned.cc.o"
+  "CMakeFiles/seve_baseline.dir/zoned.cc.o.d"
+  "libseve_baseline.a"
+  "libseve_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seve_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

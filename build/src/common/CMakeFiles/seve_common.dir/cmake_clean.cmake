@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seve_common.dir/histogram.cc.o"
+  "CMakeFiles/seve_common.dir/histogram.cc.o.d"
+  "CMakeFiles/seve_common.dir/logging.cc.o"
+  "CMakeFiles/seve_common.dir/logging.cc.o.d"
+  "CMakeFiles/seve_common.dir/metrics.cc.o"
+  "CMakeFiles/seve_common.dir/metrics.cc.o.d"
+  "CMakeFiles/seve_common.dir/rng.cc.o"
+  "CMakeFiles/seve_common.dir/rng.cc.o.d"
+  "CMakeFiles/seve_common.dir/status.cc.o"
+  "CMakeFiles/seve_common.dir/status.cc.o.d"
+  "libseve_common.a"
+  "libseve_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seve_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seve_core.dir/engine.cc.o"
+  "CMakeFiles/seve_core.dir/engine.cc.o.d"
+  "libseve_core.a"
+  "libseve_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seve_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seve_net.dir/event_loop.cc.o"
+  "CMakeFiles/seve_net.dir/event_loop.cc.o.d"
+  "CMakeFiles/seve_net.dir/network.cc.o"
+  "CMakeFiles/seve_net.dir/network.cc.o.d"
+  "CMakeFiles/seve_net.dir/node.cc.o"
+  "CMakeFiles/seve_net.dir/node.cc.o.d"
+  "libseve_net.a"
+  "libseve_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seve_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/protocol/basic_client.cc" "src/protocol/CMakeFiles/seve_protocol.dir/basic_client.cc.o" "gcc" "src/protocol/CMakeFiles/seve_protocol.dir/basic_client.cc.o.d"
+  "/root/repo/src/protocol/basic_server.cc" "src/protocol/CMakeFiles/seve_protocol.dir/basic_server.cc.o" "gcc" "src/protocol/CMakeFiles/seve_protocol.dir/basic_server.cc.o.d"
+  "/root/repo/src/protocol/interest.cc" "src/protocol/CMakeFiles/seve_protocol.dir/interest.cc.o" "gcc" "src/protocol/CMakeFiles/seve_protocol.dir/interest.cc.o.d"
+  "/root/repo/src/protocol/lock_protocol.cc" "src/protocol/CMakeFiles/seve_protocol.dir/lock_protocol.cc.o" "gcc" "src/protocol/CMakeFiles/seve_protocol.dir/lock_protocol.cc.o.d"
+  "/root/repo/src/protocol/occ_protocol.cc" "src/protocol/CMakeFiles/seve_protocol.dir/occ_protocol.cc.o" "gcc" "src/protocol/CMakeFiles/seve_protocol.dir/occ_protocol.cc.o.d"
+  "/root/repo/src/protocol/pending_queue.cc" "src/protocol/CMakeFiles/seve_protocol.dir/pending_queue.cc.o" "gcc" "src/protocol/CMakeFiles/seve_protocol.dir/pending_queue.cc.o.d"
+  "/root/repo/src/protocol/server_queue.cc" "src/protocol/CMakeFiles/seve_protocol.dir/server_queue.cc.o" "gcc" "src/protocol/CMakeFiles/seve_protocol.dir/server_queue.cc.o.d"
+  "/root/repo/src/protocol/seve_client.cc" "src/protocol/CMakeFiles/seve_protocol.dir/seve_client.cc.o" "gcc" "src/protocol/CMakeFiles/seve_protocol.dir/seve_client.cc.o.d"
+  "/root/repo/src/protocol/seve_server.cc" "src/protocol/CMakeFiles/seve_protocol.dir/seve_server.cc.o" "gcc" "src/protocol/CMakeFiles/seve_protocol.dir/seve_server.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/seve_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/world/CMakeFiles/seve_world.dir/DependInfo.cmake"
+  "/root/repo/build/src/action/CMakeFiles/seve_action.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/seve_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/spatial/CMakeFiles/seve_spatial.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/seve_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seve_protocol.dir/basic_client.cc.o"
+  "CMakeFiles/seve_protocol.dir/basic_client.cc.o.d"
+  "CMakeFiles/seve_protocol.dir/basic_server.cc.o"
+  "CMakeFiles/seve_protocol.dir/basic_server.cc.o.d"
+  "CMakeFiles/seve_protocol.dir/interest.cc.o"
+  "CMakeFiles/seve_protocol.dir/interest.cc.o.d"
+  "CMakeFiles/seve_protocol.dir/lock_protocol.cc.o"
+  "CMakeFiles/seve_protocol.dir/lock_protocol.cc.o.d"
+  "CMakeFiles/seve_protocol.dir/occ_protocol.cc.o"
+  "CMakeFiles/seve_protocol.dir/occ_protocol.cc.o.d"
+  "CMakeFiles/seve_protocol.dir/pending_queue.cc.o"
+  "CMakeFiles/seve_protocol.dir/pending_queue.cc.o.d"
+  "CMakeFiles/seve_protocol.dir/server_queue.cc.o"
+  "CMakeFiles/seve_protocol.dir/server_queue.cc.o.d"
+  "CMakeFiles/seve_protocol.dir/seve_client.cc.o"
+  "CMakeFiles/seve_protocol.dir/seve_client.cc.o.d"
+  "CMakeFiles/seve_protocol.dir/seve_server.cc.o"
+  "CMakeFiles/seve_protocol.dir/seve_server.cc.o.d"
+  "libseve_protocol.a"
+  "libseve_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seve_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seve_sim.dir/consistency.cc.o"
+  "CMakeFiles/seve_sim.dir/consistency.cc.o.d"
+  "CMakeFiles/seve_sim.dir/report.cc.o"
+  "CMakeFiles/seve_sim.dir/report.cc.o.d"
+  "CMakeFiles/seve_sim.dir/runner.cc.o"
+  "CMakeFiles/seve_sim.dir/runner.cc.o.d"
+  "CMakeFiles/seve_sim.dir/scenario.cc.o"
+  "CMakeFiles/seve_sim.dir/scenario.cc.o.d"
+  "libseve_sim.a"
+  "libseve_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seve_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

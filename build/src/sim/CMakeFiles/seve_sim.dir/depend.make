@@ -1,0 +1,2 @@
+# Empty dependencies file for seve_sim.
+# This may be replaced when dependencies are built.

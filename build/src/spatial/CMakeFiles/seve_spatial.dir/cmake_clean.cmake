@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seve_spatial.dir/geometry.cc.o"
+  "CMakeFiles/seve_spatial.dir/geometry.cc.o.d"
+  "CMakeFiles/seve_spatial.dir/grid_index.cc.o"
+  "CMakeFiles/seve_spatial.dir/grid_index.cc.o.d"
+  "libseve_spatial.a"
+  "libseve_spatial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seve_spatial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/store/object.cc" "src/store/CMakeFiles/seve_store.dir/object.cc.o" "gcc" "src/store/CMakeFiles/seve_store.dir/object.cc.o.d"
+  "/root/repo/src/store/rw_set.cc" "src/store/CMakeFiles/seve_store.dir/rw_set.cc.o" "gcc" "src/store/CMakeFiles/seve_store.dir/rw_set.cc.o.d"
+  "/root/repo/src/store/value.cc" "src/store/CMakeFiles/seve_store.dir/value.cc.o" "gcc" "src/store/CMakeFiles/seve_store.dir/value.cc.o.d"
+  "/root/repo/src/store/world_state.cc" "src/store/CMakeFiles/seve_store.dir/world_state.cc.o" "gcc" "src/store/CMakeFiles/seve_store.dir/world_state.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/seve_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/spatial/CMakeFiles/seve_spatial.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seve_store.dir/object.cc.o"
+  "CMakeFiles/seve_store.dir/object.cc.o.d"
+  "CMakeFiles/seve_store.dir/rw_set.cc.o"
+  "CMakeFiles/seve_store.dir/rw_set.cc.o.d"
+  "CMakeFiles/seve_store.dir/value.cc.o"
+  "CMakeFiles/seve_store.dir/value.cc.o.d"
+  "CMakeFiles/seve_store.dir/world_state.cc.o"
+  "CMakeFiles/seve_store.dir/world_state.cc.o.d"
+  "libseve_store.a"
+  "libseve_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seve_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

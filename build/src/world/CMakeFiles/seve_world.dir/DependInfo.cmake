@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/world/dining.cc" "src/world/CMakeFiles/seve_world.dir/dining.cc.o" "gcc" "src/world/CMakeFiles/seve_world.dir/dining.cc.o.d"
+  "/root/repo/src/world/manhattan_world.cc" "src/world/CMakeFiles/seve_world.dir/manhattan_world.cc.o" "gcc" "src/world/CMakeFiles/seve_world.dir/manhattan_world.cc.o.d"
+  "/root/repo/src/world/move_action.cc" "src/world/CMakeFiles/seve_world.dir/move_action.cc.o" "gcc" "src/world/CMakeFiles/seve_world.dir/move_action.cc.o.d"
+  "/root/repo/src/world/spell_action.cc" "src/world/CMakeFiles/seve_world.dir/spell_action.cc.o" "gcc" "src/world/CMakeFiles/seve_world.dir/spell_action.cc.o.d"
+  "/root/repo/src/world/wall.cc" "src/world/CMakeFiles/seve_world.dir/wall.cc.o" "gcc" "src/world/CMakeFiles/seve_world.dir/wall.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/action/CMakeFiles/seve_action.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/seve_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/spatial/CMakeFiles/seve_spatial.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/seve_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

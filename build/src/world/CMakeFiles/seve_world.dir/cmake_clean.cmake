@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seve_world.dir/dining.cc.o"
+  "CMakeFiles/seve_world.dir/dining.cc.o.d"
+  "CMakeFiles/seve_world.dir/manhattan_world.cc.o"
+  "CMakeFiles/seve_world.dir/manhattan_world.cc.o.d"
+  "CMakeFiles/seve_world.dir/move_action.cc.o"
+  "CMakeFiles/seve_world.dir/move_action.cc.o.d"
+  "CMakeFiles/seve_world.dir/spell_action.cc.o"
+  "CMakeFiles/seve_world.dir/spell_action.cc.o.d"
+  "CMakeFiles/seve_world.dir/wall.cc.o"
+  "CMakeFiles/seve_world.dir/wall.cc.o.d"
+  "libseve_world.a"
+  "libseve_world.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seve_world.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libseve_world.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/basic_protocol_test.dir/basic_protocol_test.cc.o"
+  "CMakeFiles/basic_protocol_test.dir/basic_protocol_test.cc.o.d"
+  "basic_protocol_test"
+  "basic_protocol_test.pdb"
+  "basic_protocol_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/basic_protocol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

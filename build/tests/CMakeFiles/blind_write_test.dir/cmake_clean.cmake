@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blind_write_test.dir/blind_write_test.cc.o"
+  "CMakeFiles/blind_write_test.dir/blind_write_test.cc.o.d"
+  "blind_write_test"
+  "blind_write_test.pdb"
+  "blind_write_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blind_write_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

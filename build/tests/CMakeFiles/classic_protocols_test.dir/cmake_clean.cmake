@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/classic_protocols_test.dir/classic_protocols_test.cc.o"
+  "CMakeFiles/classic_protocols_test.dir/classic_protocols_test.cc.o.d"
+  "classic_protocols_test"
+  "classic_protocols_test.pdb"
+  "classic_protocols_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/classic_protocols_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dining_philosophers_test.dir/dining_philosophers_test.cc.o"
+  "CMakeFiles/dining_philosophers_test.dir/dining_philosophers_test.cc.o.d"
+  "dining_philosophers_test"
+  "dining_philosophers_test.pdb"
+  "dining_philosophers_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dining_philosophers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

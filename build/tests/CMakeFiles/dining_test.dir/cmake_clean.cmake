@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dining_test.dir/dining_test.cc.o"
+  "CMakeFiles/dining_test.dir/dining_test.cc.o.d"
+  "dining_test"
+  "dining_test.pdb"
+  "dining_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dining_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

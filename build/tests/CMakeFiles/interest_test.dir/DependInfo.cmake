@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/interest_test.cc" "tests/CMakeFiles/interest_test.dir/interest_test.cc.o" "gcc" "tests/CMakeFiles/interest_test.dir/interest_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/seve_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/seve_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/seve_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocol/CMakeFiles/seve_protocol.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/seve_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/world/CMakeFiles/seve_world.dir/DependInfo.cmake"
+  "/root/repo/build/src/action/CMakeFiles/seve_action.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/seve_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/spatial/CMakeFiles/seve_spatial.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/seve_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interest_test.dir/interest_test.cc.o"
+  "CMakeFiles/interest_test.dir/interest_test.cc.o.d"
+  "interest_test"
+  "interest_test.pdb"
+  "interest_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interest_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manhattan_world_test.dir/manhattan_world_test.cc.o"
+  "CMakeFiles/manhattan_world_test.dir/manhattan_world_test.cc.o.d"
+  "manhattan_world_test"
+  "manhattan_world_test.pdb"
+  "manhattan_world_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manhattan_world_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

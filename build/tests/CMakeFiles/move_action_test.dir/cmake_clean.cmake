@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/move_action_test.dir/move_action_test.cc.o"
+  "CMakeFiles/move_action_test.dir/move_action_test.cc.o.d"
+  "move_action_test"
+  "move_action_test.pdb"
+  "move_action_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/move_action_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

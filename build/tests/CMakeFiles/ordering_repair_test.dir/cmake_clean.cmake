@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ordering_repair_test.dir/ordering_repair_test.cc.o"
+  "CMakeFiles/ordering_repair_test.dir/ordering_repair_test.cc.o.d"
+  "ordering_repair_test"
+  "ordering_repair_test.pdb"
+  "ordering_repair_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ordering_repair_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pending_queue_test.dir/pending_queue_test.cc.o"
+  "CMakeFiles/pending_queue_test.dir/pending_queue_test.cc.o.d"
+  "pending_queue_test"
+  "pending_queue_test.pdb"
+  "pending_queue_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pending_queue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

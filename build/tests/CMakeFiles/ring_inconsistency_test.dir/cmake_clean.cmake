@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ring_inconsistency_test.dir/ring_inconsistency_test.cc.o"
+  "CMakeFiles/ring_inconsistency_test.dir/ring_inconsistency_test.cc.o.d"
+  "ring_inconsistency_test"
+  "ring_inconsistency_test.pdb"
+  "ring_inconsistency_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ring_inconsistency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rw_set_test.dir/rw_set_test.cc.o"
+  "CMakeFiles/rw_set_test.dir/rw_set_test.cc.o.d"
+  "rw_set_test"
+  "rw_set_test.pdb"
+  "rw_set_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rw_set_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

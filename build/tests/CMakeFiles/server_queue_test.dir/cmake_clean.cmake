@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/server_queue_test.dir/server_queue_test.cc.o"
+  "CMakeFiles/server_queue_test.dir/server_queue_test.cc.o.d"
+  "server_queue_test"
+  "server_queue_test.pdb"
+  "server_queue_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/server_queue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seve_client_unit_test.dir/seve_client_unit_test.cc.o"
+  "CMakeFiles/seve_client_unit_test.dir/seve_client_unit_test.cc.o.d"
+  "seve_client_unit_test"
+  "seve_client_unit_test.pdb"
+  "seve_client_unit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seve_client_unit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seve_protocol_test.dir/seve_protocol_test.cc.o"
+  "CMakeFiles/seve_protocol_test.dir/seve_protocol_test.cc.o.d"
+  "seve_protocol_test"
+  "seve_protocol_test.pdb"
+  "seve_protocol_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seve_protocol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

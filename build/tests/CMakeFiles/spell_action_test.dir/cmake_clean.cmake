@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spell_action_test.dir/spell_action_test.cc.o"
+  "CMakeFiles/spell_action_test.dir/spell_action_test.cc.o.d"
+  "spell_action_test"
+  "spell_action_test.pdb"
+  "spell_action_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spell_action_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

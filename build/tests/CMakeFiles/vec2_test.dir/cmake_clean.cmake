@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vec2_test.dir/vec2_test.cc.o"
+  "CMakeFiles/vec2_test.dir/vec2_test.cc.o.d"
+  "vec2_test"
+  "vec2_test.pdb"
+  "vec2_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vec2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wall_test.dir/wall_test.cc.o"
+  "CMakeFiles/wall_test.dir/wall_test.cc.o.d"
+  "wall_test"
+  "wall_test.pdb"
+  "wall_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wall_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
