@@ -8,6 +8,7 @@
 
 #include "bench/bench_util.h"
 #include "sim/runner.h"
+#include "wire/audit.h"
 
 int main(int argc, char** argv) {
   using namespace seve;
@@ -19,8 +20,12 @@ int main(int argc, char** argv) {
   const std::vector<int> client_counts =
       quick ? std::vector<int>{8, 24} : std::vector<int>{8, 16, 24, 32, 40,
                                                          48, 56, 64};
+  // Traffic is charged from real wire encodings, not the per-body declared
+  // estimates; the audit below reports how far the two disagree.
+  std::printf("wire mode: %s\n\n", WireModeName(WireMode::kEncoded));
   std::printf("%-12s %-8s %-16s %-16s %-14s\n", "arch", "clients",
               "kb/client", "server total kb", "messages");
+  wire::WireAudit audit;
   for (const Architecture arch :
        {Architecture::kCentral, Architecture::kBroadcast,
         Architecture::kSeve}) {
@@ -31,7 +36,9 @@ int main(int argc, char** argv) {
       s.fixed_move_cost_us = 1000;
       s.world.num_walls = 0;
       s.moves_per_client = quick ? 20 : 100;
+      s.wire_mode = WireMode::kEncoded;
       const RunReport r = RunScenario(arch, s);
+      audit.Merge(r.wire_audit);
       std::printf("%-12s %-8d %-16.1f %-16.1f %-14lld\n",
                   ArchitectureName(arch), clients, r.per_client_kb,
                   static_cast<double>(r.server_traffic.total_bytes()) /
@@ -41,5 +48,7 @@ int main(int argc, char** argv) {
     }
     std::printf("\n");
   }
+  std::printf("Declared vs encoded sizes (all runs pooled):\n%s\n",
+              audit.ToString().c_str());
   return 0;
 }

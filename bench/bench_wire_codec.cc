@@ -1,0 +1,309 @@
+// Microbenchmark for the wire codec plus a declared-vs-encoded size
+// audit: for a representative instance of every message kind, prints the
+// hand-maintained WireSize() estimate next to the real encoded frame
+// size. Encode/decode throughput is measured with google-benchmark.
+//
+// Usage: bench_wire_codec [google-benchmark flags]
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "action/blind_write.h"
+#include "baseline/central.h"
+#include "common/rng.h"
+#include "protocol/lock_protocol.h"
+#include "protocol/msg.h"
+#include "protocol/occ_protocol.h"
+#include "wire/audit.h"
+#include "wire/codec.h"
+#include "wire/frame.h"
+#include "wire/serializers.h"
+#include "world/move_action.h"
+
+namespace seve {
+namespace {
+
+using wire::Bytes;
+
+Object SampleObject(Rng* rng) {
+  Object obj(ObjectId(rng->NextBounded(10'000)));
+  obj.Set(1, Value(Vec2{rng->NextDouble(0, 1000), rng->NextDouble(0, 1000)}));
+  obj.Set(2, Value(rng->NextDouble(0, 100)));
+  obj.Set(3, Value(rng->NextInt(0, 1000)));
+  return obj;
+}
+
+std::vector<Object> SampleObjects(Rng* rng, size_t count) {
+  std::vector<Object> objects;
+  for (size_t i = 0; i < count; ++i) objects.push_back(SampleObject(rng));
+  return objects;
+}
+
+ObjectSet SampleSet(Rng* rng, size_t count) {
+  ObjectSet set;
+  for (size_t i = 0; i < count; ++i) {
+    set.Insert(ObjectId(rng->NextBounded(10'000)));
+  }
+  return set;
+}
+
+InterestProfile SampleInterest(Rng* rng) {
+  InterestProfile profile;
+  profile.position = {rng->NextDouble(0, 1000), rng->NextDouble(0, 1000)};
+  profile.radius = 10.0;
+  profile.velocity = {1.0, -1.0};
+  profile.interest_class = 1;
+  return profile;
+}
+
+/// A typical in-game move: the workhorse of every SEVE scenario.
+ActionPtr SampleMove(Rng* rng) {
+  return std::make_shared<MoveAction>(
+      ActionId(rng->NextBounded(1'000'000)), ClientId(rng->NextBounded(64)),
+      /*tick=*/rng->NextInt(0, 10'000), ObjectId(rng->NextBounded(10'000)),
+      /*step=*/1.5, /*avatar_radius=*/0.5, /*walls=*/nullptr,
+      SampleSet(rng, 6), SampleInterest(rng));
+}
+
+std::vector<std::pair<ObjectId, SeqNum>> SampleVersions(Rng* rng,
+                                                        size_t count) {
+  std::vector<std::pair<ObjectId, SeqNum>> versions;
+  for (size_t i = 0; i < count; ++i) {
+    versions.emplace_back(ObjectId(rng->NextBounded(10'000)),
+                          rng->NextInt(0, 1'000'000));
+  }
+  return versions;
+}
+
+/// One representative body per registered kind, sized like mid-run
+/// traffic in the Table-1 scenario.
+std::vector<std::shared_ptr<MessageBody>> RepresentativeBodies(Rng* rng) {
+  std::vector<std::shared_ptr<MessageBody>> bodies;
+
+  bodies.push_back(
+      std::make_shared<SubmitActionBody>(SampleMove(rng), SampleSet(rng, 2)));
+
+  auto deliver = std::make_shared<DeliverActionsBody>();
+  for (int i = 0; i < 4; ++i) {
+    deliver->actions.push_back(
+        OrderedAction{rng->NextInt(0, 1'000'000), SampleMove(rng)});
+  }
+  bodies.push_back(deliver);
+
+  auto completion = std::make_shared<CompletionBody>();
+  completion->pos = 100;
+  completion->action_id = ActionId(7);
+  completion->from = ClientId(3);
+  completion->digest = 0xdeadbeef;
+  completion->written = SampleObjects(rng, 2);
+  bodies.push_back(completion);
+
+  auto drop = std::make_shared<DropNoticeBody>();
+  drop->action_id = ActionId(8);
+  drop->pos = 55;
+  drop->refresh = SampleObjects(rng, 3);
+  drop->refresh_pos = 54;
+  bodies.push_back(drop);
+
+  auto commit = std::make_shared<CommitNoticeBody>();
+  commit->pos = 1234;
+  bodies.push_back(commit);
+
+  auto update = std::make_shared<ObjectUpdateBody>();
+  update->pos = 42;
+  update->action_id = ActionId(9);
+  update->objects = SampleObjects(rng, 2);
+  bodies.push_back(update);
+
+  bodies.push_back(std::make_shared<LockRequestBody>(SampleMove(rng)));
+
+  auto grant = std::make_shared<LockGrantBody>();
+  grant->action_id = ActionId(10);
+  grant->pos = 77;
+  bodies.push_back(grant);
+
+  auto lock_effect = std::make_shared<LockEffectBody>();
+  lock_effect->action_id = ActionId(11);
+  lock_effect->origin = ClientId(4);
+  lock_effect->pos = 78;
+  lock_effect->digest = 0xfeed;
+  lock_effect->written = SampleObjects(rng, 2);
+  bodies.push_back(lock_effect);
+
+  auto occ_submit = std::make_shared<OccSubmitBody>();
+  occ_submit->action = SampleMove(rng);
+  occ_submit->read_versions = SampleVersions(rng, 4);
+  occ_submit->digest = 0xabcd;
+  occ_submit->written = SampleObjects(rng, 1);
+  occ_submit->attempt = 2;
+  bodies.push_back(occ_submit);
+
+  auto verdict = std::make_shared<OccVerdictBody>();
+  verdict->action_id = ActionId(12);
+  verdict->committed = false;
+  verdict->pos = 90;
+  verdict->refresh = SampleObjects(rng, 2);
+  verdict->refresh_versions = SampleVersions(rng, 2);
+  bodies.push_back(verdict);
+
+  auto occ_effect = std::make_shared<OccEffectBody>();
+  occ_effect->pos = 91;
+  occ_effect->digest = 0x1234;
+  occ_effect->written = SampleObjects(rng, 2);
+  occ_effect->versions = SampleVersions(rng, 2);
+  bodies.push_back(occ_effect);
+
+  return bodies;
+}
+
+int64_t DeclaredSize(const MessageBody& body) {
+  // MessageBody has no virtual WireSize(); each concrete body declares
+  // its own. Mirror what the protocols pass to Node::Send.
+  if (auto* b = dynamic_cast<const SubmitActionBody*>(&body))
+    return b->WireSize();
+  if (auto* b = dynamic_cast<const DeliverActionsBody*>(&body))
+    return b->WireSize();
+  if (auto* b = dynamic_cast<const CompletionBody*>(&body))
+    return b->WireSize();
+  if (auto* b = dynamic_cast<const DropNoticeBody*>(&body))
+    return b->WireSize();
+  if (auto* b = dynamic_cast<const CommitNoticeBody*>(&body))
+    return b->WireSize();
+  if (auto* b = dynamic_cast<const ObjectUpdateBody*>(&body))
+    return b->WireSize();
+  if (auto* b = dynamic_cast<const LockRequestBody*>(&body))
+    return b->WireSize();
+  if (auto* b = dynamic_cast<const LockGrantBody*>(&body))
+    return b->WireSize();
+  if (auto* b = dynamic_cast<const LockEffectBody*>(&body))
+    return b->WireSize();
+  if (auto* b = dynamic_cast<const OccSubmitBody*>(&body))
+    return b->WireSize();
+  if (auto* b = dynamic_cast<const OccVerdictBody*>(&body))
+    return b->WireSize();
+  if (auto* b = dynamic_cast<const OccEffectBody*>(&body))
+    return b->WireSize();
+  return 0;
+}
+
+void PrintSizeAudit() {
+  Rng rng(42);
+  wire::WireAudit audit;
+  for (const auto& body : RepresentativeBodies(&rng)) {
+    const Result<Bytes> encoded = wire::EncodeMessage(*body);
+    if (!encoded.ok()) {
+      std::printf("UNENCODABLE kind=%d: %s\n", body->kind(),
+                  encoded.status().ToString().c_str());
+      continue;
+    }
+    audit.RecordEncoded(body->kind(), DeclaredSize(*body),
+                        static_cast<int64_t>(encoded->size()));
+  }
+  std::printf(
+      "Declared (WireSize estimate) vs encoded (real frame bytes), one\n"
+      "representative instance per message kind:\n%s\n",
+      audit.ToString().c_str());
+}
+
+// --- Throughput benchmarks -------------------------------------------------
+
+void BM_EncodeSubmitAction(benchmark::State& state) {
+  Rng rng(1);
+  const SubmitActionBody body(SampleMove(&rng), SampleSet(&rng, 2));
+  for (auto _ : state) {
+    Result<Bytes> encoded = wire::EncodeMessage(body);
+    benchmark::DoNotOptimize(encoded);
+  }
+}
+BENCHMARK(BM_EncodeSubmitAction);
+
+void BM_EncodeDeliverActions(benchmark::State& state) {
+  Rng rng(2);
+  DeliverActionsBody body;
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    body.actions.push_back(OrderedAction{i, SampleMove(&rng)});
+  }
+  int64_t bytes = 0;
+  for (auto _ : state) {
+    Result<Bytes> encoded = wire::EncodeMessage(body);
+    benchmark::DoNotOptimize(encoded);
+    bytes = static_cast<int64_t>(encoded->size());
+  }
+  state.SetBytesProcessed(state.iterations() * bytes);
+}
+BENCHMARK(BM_EncodeDeliverActions)->Arg(1)->Arg(8)->Arg(64);
+
+void BM_DecodeDeliverActions(benchmark::State& state) {
+  Rng rng(3);
+  DeliverActionsBody body;
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    body.actions.push_back(OrderedAction{i, SampleMove(&rng)});
+  }
+  const Result<Bytes> frame = wire::EncodeMessage(body);
+  for (auto _ : state) {
+    Bytes reencoded;
+    const Status st =
+        wire::DecodeMessage(frame->data(), frame->size(), nullptr, &reencoded);
+    benchmark::DoNotOptimize(st);
+    benchmark::DoNotOptimize(reencoded);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(frame->size()));
+}
+BENCHMARK(BM_DecodeDeliverActions)->Arg(1)->Arg(8)->Arg(64);
+
+void BM_VerifyRoundTrip(benchmark::State& state) {
+  // The full kVerify path: encode + decode + canonical re-encode.
+  Rng rng(4);
+  const SubmitActionBody body(SampleMove(&rng), SampleSet(&rng, 2));
+  for (auto _ : state) {
+    const Result<Bytes> frame = wire::EncodeMessage(body);
+    Bytes reencoded;
+    const Status st =
+        wire::DecodeMessage(frame->data(), frame->size(), nullptr, &reencoded);
+    benchmark::DoNotOptimize(st);
+    benchmark::DoNotOptimize(reencoded);
+  }
+}
+BENCHMARK(BM_VerifyRoundTrip);
+
+void BM_Checksum(benchmark::State& state) {
+  Rng rng(5);
+  Bytes data(static_cast<size_t>(state.range(0)));
+  for (uint8_t& b : data) b = static_cast<uint8_t>(rng.NextBounded(256));
+  for (auto _ : state) {
+    const uint32_t sum = wire::Checksum(data.data(), data.size());
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Checksum)->Arg(64)->Arg(1024);
+
+void BM_VarintEncode(benchmark::State& state) {
+  Rng rng(6);
+  std::vector<uint64_t> values(256);
+  for (uint64_t& v : values) v = rng.Next() >> rng.NextBounded(64);
+  for (auto _ : state) {
+    wire::Writer w;
+    for (const uint64_t v : values) w.PutVarint(v);
+    benchmark::DoNotOptimize(w);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(values.size()));
+}
+BENCHMARK(BM_VarintEncode);
+
+}  // namespace
+}  // namespace seve
+
+int main(int argc, char** argv) {
+  seve::wire::EnsureDefaultCodecs();
+  seve::PrintSizeAudit();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

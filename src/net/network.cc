@@ -2,10 +2,54 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
+
+#include "common/logging.h"
+#include "wire/frame.h"
+#include "wire/serializers.h"
 
 namespace seve {
 
-Network::Network(EventLoop* loop, uint64_t seed) : loop_(loop), rng_(seed) {}
+Network::Network(EventLoop* loop, uint64_t seed) : loop_(loop), rng_(seed) {
+  // Codec registration is cheap and idempotent; doing it here means every
+  // Network can switch into kEncoded/kVerify without further setup.
+  wire::EnsureDefaultCodecs();
+}
+
+void Network::ApplyWireMode(Message* msg) {
+  if (wire_mode_ == WireMode::kDeclared || msg->body == nullptr) return;
+  const int kind = msg->body->kind();
+  const Result<wire::Bytes> encoded = wire::EncodeMessage(*msg->body);
+  if (!encoded.ok()) {
+    // No codec (or a kind-number collision): keep the declared size but
+    // flag it — tests assert this never happens on real protocol paths.
+    wire_audit_.RecordUnencodable(kind);
+    return;
+  }
+  if (wire_mode_ == WireMode::kVerify) {
+    wire::Bytes reencoded;
+    const Status st =
+        wire::DecodeMessage(encoded->data(), encoded->size(), nullptr,
+                            &reencoded);
+    const size_t body_len = encoded->size() - wire::kFrameHeaderBytes;
+    const bool match =
+        st.ok() && reencoded.size() == body_len &&
+        (body_len == 0 ||
+         std::memcmp(reencoded.data(),
+                     encoded->data() + wire::kFrameHeaderBytes,
+                     body_len) == 0);
+    if (!match) {
+      wire_audit_.RecordVerifyFailure(kind);
+      SEVE_LOG(kError) << "wire verify mismatch for kind " << kind << " ("
+                       << wire::MessageKindName(kind)
+                       << "): " << (st.ok() ? "re-encode differs"
+                                            : st.ToString());
+    }
+  }
+  wire_audit_.RecordEncoded(kind, msg->bytes,
+                            static_cast<int64_t>(encoded->size()));
+  msg->bytes = static_cast<int64_t>(encoded->size());
+}
 
 void Network::AddNode(Node* node) {
   nodes_[node->id()] = node;
@@ -33,6 +77,8 @@ Status Network::Send(Message msg) {
     return Status::NotFound("unknown destination node");
   }
   auto src_it = nodes_.find(msg.src);
+
+  ApplyWireMode(&msg);
 
   LinkState& link = link_it->second;
   const int64_t wire_bytes =

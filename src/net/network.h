@@ -11,6 +11,8 @@
 #include "net/event_loop.h"
 #include "net/message.h"
 #include "net/node.h"
+#include "wire/audit.h"
+#include "wire/wire_mode.h"
 
 namespace seve {
 
@@ -31,9 +33,15 @@ struct LinkParams {
   static LinkParams LatencyOnly(Micros latency) {
     return LinkParams{latency, 0.0, 0, 0.0};
   }
+  /// Converts a Kbps rate into the serialization-rate representation.
+  /// `kbps <= 0` yields a latency-only link (the bytes_per_us == 0
+  /// sentinel) rather than a division artifact; overhead and drop
+  /// probability propagate into the returned params unchanged.
   static LinkParams FromKbps(Micros latency, double kbps,
-                             int64_t overhead = 0) {
-    return LinkParams{latency, kbps * 1000.0 / 8.0 / 1e6, overhead, 0.0};
+                             int64_t overhead = 0,
+                             double drop_probability = 0.0) {
+    const double bytes_per_us = kbps > 0.0 ? kbps * 1000.0 / 8.0 / 1e6 : 0.0;
+    return LinkParams{latency, bytes_per_us, overhead, drop_probability};
   }
 };
 
@@ -60,6 +68,23 @@ class Network {
   /// Creates (or replaces) the directed link src->dst.
   void ConnectDirected(NodeId src, NodeId dst, const LinkParams& params);
 
+  /// Controls how Send computes the byte size charged to the link:
+  /// kDeclared trusts `Message::bytes` (seed behaviour), kEncoded runs
+  /// the body through the wire codec and charges the real frame size,
+  /// kVerify additionally decodes + re-encodes every frame and counts
+  /// mismatches. See wire/wire_mode.h.
+  void set_wire_mode(WireMode mode) { wire_mode_ = mode; }
+  WireMode wire_mode() const { return wire_mode_; }
+
+  /// Declared-vs-encoded accounting per message kind; populated only in
+  /// kEncoded / kVerify modes.
+  const wire::WireAudit& wire_audit() const { return wire_audit_; }
+
+  /// kVerify round-trip mismatches observed so far (0 in other modes).
+  int64_t wire_verify_failures() const {
+    return wire_audit_.TotalVerifyFailures();
+  }
+
   /// Sends a message; fails if no link or unknown destination. Traffic is
   /// accounted on both endpoints even if the message is later dropped
   /// (bytes entered the wire).
@@ -85,12 +110,19 @@ class Network {
     }
   };
 
+  /// Applies the wire mode to a message about to enter the wire:
+  /// recomputes `msg->bytes` from the real encoding (kEncoded/kVerify)
+  /// and feeds the audit. Declared mode is a no-op.
+  void ApplyWireMode(Message* msg);
+
   EventLoop* loop_;
   Rng rng_;
   std::unordered_map<NodeId, Node*> nodes_;
   std::unordered_map<std::pair<uint64_t, uint64_t>, LinkState, PairHash>
       links_;
   int64_t messages_dropped_ = 0;
+  WireMode wire_mode_ = WireMode::kDeclared;
+  wire::WireAudit wire_audit_;
 };
 
 }  // namespace seve

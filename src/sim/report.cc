@@ -24,7 +24,18 @@ std::string RunReport::Summary() const {
       static_cast<long long>(server_stats.closure_visits),
       consistency.ToString().c_str(),
       static_cast<double>(end_time) / 1e6, events_run);
-  return buf;
+  std::string out = buf;
+  if (!wire_audit.empty()) {
+    std::snprintf(buf, sizeof(buf),
+                  "\n  wire: verify_failures=%lld unencodable=%lld "
+                  "declared=%lldB encoded=%lldB",
+                  static_cast<long long>(wire_verify_failures),
+                  static_cast<long long>(wire_audit.TotalUnencodable()),
+                  static_cast<long long>(wire_audit.TotalDeclaredBytes()),
+                  static_cast<long long>(wire_audit.TotalEncodedBytes()));
+    out += buf;
+  }
+  return out;
 }
 
 }  // namespace seve

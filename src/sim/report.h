@@ -7,6 +7,7 @@
 #include "common/metrics.h"
 #include "sim/consistency.h"
 #include "sim/scenario.h"
+#include "wire/audit.h"
 
 namespace seve {
 
@@ -39,6 +40,12 @@ struct RunReport {
   double drop_rate = 0.0;
 
   ConsistencyReport consistency;
+
+  /// Declared-vs-encoded byte accounting (empty unless the scenario ran
+  /// with WireMode::kEncoded or kVerify).
+  wire::WireAudit wire_audit;
+  /// kVerify round-trip mismatches (0 means every frame round-tripped).
+  int64_t wire_verify_failures = 0;
 
   /// Virtual time when the run quiesced.
   VirtualTime end_time = 0;

@@ -65,6 +65,7 @@ RunReport RunScenario(Architecture arch, const Scenario& scenario_in) {
 
   EventLoop loop;
   Network net(&loop, s.seed ^ 0x6e657477ULL);
+  net.set_wire_mode(s.wire_mode);
   ManhattanWorld world(s.world, s.seed);
 
   // CPU price of evaluating an action: walls and avatars visible around
@@ -436,6 +437,8 @@ RunReport RunScenario(Architecture arch, const Scenario& scenario_in) {
     }
   }
   report.total_traffic = net.TotalTraffic();
+  report.wire_audit = net.wire_audit();
+  report.wire_verify_failures = net.wire_verify_failures();
   const double client_bytes =
       static_cast<double>(report.total_traffic.total_bytes() -
                           report.server_traffic.total_bytes());

@@ -7,6 +7,7 @@
 
 #include "common/types.h"
 #include "protocol/options.h"
+#include "wire/wire_mode.h"
 #include "world/cost_model.h"
 #include "world/manhattan_world.h"
 
@@ -63,6 +64,11 @@ struct Scenario {
   /// kZoned: the world is tiled into zones_per_side^2 zones, one zone
   /// server (simulated machine) each.
   int zones_per_side = 3;
+
+  /// How message sizes are charged to links: declared estimates (seed
+  /// behaviour), real encoded frame sizes, or encoded + round-trip
+  /// verification of every frame (see wire/wire_mode.h).
+  WireMode wire_mode = WireMode::kDeclared;
 
   /// Convenience: Table I defaults with a given client count.
   static Scenario TableOne(int clients);

@@ -1,0 +1,95 @@
+#include "wire/audit.h"
+
+#include <cstdio>
+
+#include "wire/registry.h"
+
+namespace seve {
+namespace wire {
+
+void WireAudit::RecordEncoded(int kind, int64_t declared, int64_t encoded) {
+  PerKind& entry = per_kind_[kind];
+  ++entry.count;
+  entry.declared_bytes += declared;
+  entry.encoded_bytes += encoded;
+}
+
+void WireAudit::RecordUnencodable(int kind) {
+  ++per_kind_[kind].unencodable;
+}
+
+void WireAudit::RecordVerifyFailure(int kind) {
+  ++per_kind_[kind].verify_failures;
+}
+
+int64_t WireAudit::TotalVerifyFailures() const {
+  int64_t total = 0;
+  for (const auto& [kind, entry] : per_kind_) total += entry.verify_failures;
+  return total;
+}
+
+int64_t WireAudit::TotalUnencodable() const {
+  int64_t total = 0;
+  for (const auto& [kind, entry] : per_kind_) total += entry.unencodable;
+  return total;
+}
+
+int64_t WireAudit::TotalDeclaredBytes() const {
+  int64_t total = 0;
+  for (const auto& [kind, entry] : per_kind_) total += entry.declared_bytes;
+  return total;
+}
+
+int64_t WireAudit::TotalEncodedBytes() const {
+  int64_t total = 0;
+  for (const auto& [kind, entry] : per_kind_) total += entry.encoded_bytes;
+  return total;
+}
+
+void WireAudit::Merge(const WireAudit& other) {
+  for (const auto& [kind, entry] : other.per_kind_) {
+    PerKind& mine = per_kind_[kind];
+    mine.count += entry.count;
+    mine.declared_bytes += entry.declared_bytes;
+    mine.encoded_bytes += entry.encoded_bytes;
+    mine.unencodable += entry.unencodable;
+    mine.verify_failures += entry.verify_failures;
+  }
+}
+
+std::string WireAudit::ToString() const {
+  std::string out;
+  char line[160];
+  std::snprintf(line, sizeof(line), "%-16s %10s %12s %12s %8s %6s %6s\n",
+                "kind", "count", "declared", "encoded", "delta%", "noenc",
+                "vfail");
+  out += line;
+  for (const auto& [kind, entry] : per_kind_) {
+    const double delta =
+        entry.declared_bytes == 0
+            ? 0.0
+            : 100.0 *
+                  static_cast<double>(entry.encoded_bytes -
+                                      entry.declared_bytes) /
+                  static_cast<double>(entry.declared_bytes);
+    std::snprintf(line, sizeof(line),
+                  "%-16s %10lld %12lld %12lld %+7.1f%% %6lld %6lld\n",
+                  MessageKindName(kind).c_str(),
+                  static_cast<long long>(entry.count),
+                  static_cast<long long>(entry.declared_bytes),
+                  static_cast<long long>(entry.encoded_bytes), delta,
+                  static_cast<long long>(entry.unencodable),
+                  static_cast<long long>(entry.verify_failures));
+    out += line;
+  }
+  return out;
+}
+
+std::string MessageKindName(int kind) {
+  const BodyCodec* codec = WireRegistry::Global().FindBody(kind);
+  if (codec != nullptr) return codec->name;
+  return "kind" + std::to_string(kind);
+}
+
+}  // namespace wire
+}  // namespace seve

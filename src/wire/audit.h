@@ -1,0 +1,53 @@
+#ifndef SEVE_WIRE_AUDIT_H_
+#define SEVE_WIRE_AUDIT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace seve {
+namespace wire {
+
+/// Declared-vs-encoded byte accounting, per message kind. Network::Send
+/// feeds this whenever WireMode is kEncoded or kVerify; the Figure-9
+/// bench and the size-audit tooling print it.
+class WireAudit {
+ public:
+  struct PerKind {
+    int64_t count = 0;           // frames actually encoded
+    int64_t declared_bytes = 0;  // sum of sender-declared sizes
+    int64_t encoded_bytes = 0;   // sum of real frame sizes
+    int64_t unencodable = 0;     // sends with no codec / kind-type mismatch
+    int64_t verify_failures = 0; // kVerify round-trip mismatches
+  };
+
+  void RecordEncoded(int kind, int64_t declared, int64_t encoded);
+  void RecordUnencodable(int kind);
+  void RecordVerifyFailure(int kind);
+
+  const std::map<int, PerKind>& per_kind() const { return per_kind_; }
+  bool empty() const { return per_kind_.empty(); }
+
+  int64_t TotalVerifyFailures() const;
+  int64_t TotalUnencodable() const;
+  int64_t TotalDeclaredBytes() const;
+  int64_t TotalEncodedBytes() const;
+
+  void Merge(const WireAudit& other);
+
+  /// Per-kind delta table:
+  ///   kind  count  declared  encoded  delta%  unencodable  verify_fail
+  std::string ToString() const;
+
+ private:
+  std::map<int, PerKind> per_kind_;
+};
+
+/// Human-readable name for the message kinds the standard codecs cover
+/// ("SubmitAction", "OccVerdict", ...); "kind<N>" for unknown kinds.
+std::string MessageKindName(int kind);
+
+}  // namespace wire
+}  // namespace seve
+
+#endif  // SEVE_WIRE_AUDIT_H_

@@ -1,0 +1,31 @@
+#include "wire/codec.h"
+
+#include "wire/wire_mode.h"
+
+namespace seve {
+
+const char* WireModeName(WireMode mode) {
+  switch (mode) {
+    case WireMode::kDeclared:
+      return "declared";
+    case WireMode::kEncoded:
+      return "encoded";
+    case WireMode::kVerify:
+      return "verify";
+  }
+  return "unknown";
+}
+
+namespace wire {
+
+uint32_t Checksum(const uint8_t* data, size_t size) {
+  uint32_t hash = 0x811c9dc5u;  // FNV offset basis
+  for (size_t i = 0; i < size; ++i) {
+    hash ^= data[i];
+    hash *= 0x01000193u;  // FNV prime
+  }
+  return hash;
+}
+
+}  // namespace wire
+}  // namespace seve

@@ -1,0 +1,169 @@
+#ifndef SEVE_WIRE_CODEC_H_
+#define SEVE_WIRE_CODEC_H_
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace seve {
+namespace wire {
+
+/// Raw encoded bytes. Little-endian fixed-width integers, LEB128 varints.
+using Bytes = std::vector<uint8_t>;
+
+/// Zigzag maps signed to unsigned so small-magnitude negatives stay short
+/// as varints: 0,-1,1,-2,... -> 0,1,2,3,...
+constexpr uint64_t ZigzagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^
+         static_cast<uint64_t>(v >> 63);
+}
+constexpr int64_t ZigzagDecode(uint64_t v) {
+  return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
+
+/// FNV-1a over a byte span; the frame checksum. Not cryptographic — it
+/// guards against accounting bugs and corruption, not adversaries.
+uint32_t Checksum(const uint8_t* data, size_t size);
+
+/// Append-only encoder over a growable byte buffer.
+class Writer {
+ public:
+  void PutByte(uint8_t b) { buf_.push_back(b); }
+
+  void PutFixed32(uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  void PutFixed64(uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  /// LEB128: 7 bits per byte, little-endian groups, high bit = continue.
+  void PutVarint(uint64_t v) {
+    while (v >= 0x80) {
+      buf_.push_back(static_cast<uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    buf_.push_back(static_cast<uint8_t>(v));
+  }
+
+  void PutZigzag(int64_t v) { PutVarint(ZigzagEncode(v)); }
+
+  /// IEEE-754 bit pattern as fixed64 — bit-exact round trips, NaN safe.
+  void PutDouble(double v) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    PutFixed64(bits);
+  }
+
+  void PutSpan(const uint8_t* data, size_t size) {
+    buf_.insert(buf_.end(), data, data + size);
+  }
+
+  size_t size() const { return buf_.size(); }
+  const Bytes& bytes() const { return buf_; }
+  Bytes Take() { return std::move(buf_); }
+
+ private:
+  Bytes buf_;
+};
+
+/// Bounds-checked decoder over a borrowed byte span. Every Read returns
+/// false on exhaustion/malformation and latches `failed()`; callers may
+/// chain reads and check once.
+class Reader {
+ public:
+  Reader(const uint8_t* data, size_t size)
+      : cursor_(data), end_(data + size) {}
+  explicit Reader(const Bytes& bytes)
+      : Reader(bytes.data(), bytes.size()) {}
+
+  bool ReadByte(uint8_t* out) {
+    if (remaining() < 1) return Fail();
+    *out = *cursor_++;
+    return true;
+  }
+
+  bool ReadFixed32(uint32_t* out) {
+    if (remaining() < 4) return Fail();
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(cursor_[i]) << (8 * i);
+    }
+    cursor_ += 4;
+    *out = v;
+    return true;
+  }
+
+  bool ReadFixed64(uint64_t* out) {
+    if (remaining() < 8) return Fail();
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(cursor_[i]) << (8 * i);
+    }
+    cursor_ += 8;
+    *out = v;
+    return true;
+  }
+
+  /// Rejects varints longer than 10 bytes or overflowing 64 bits.
+  bool ReadVarint(uint64_t* out) {
+    uint64_t v = 0;
+    for (int shift = 0; shift < 64; shift += 7) {
+      if (remaining() < 1) return Fail();
+      const uint8_t byte = *cursor_++;
+      v |= static_cast<uint64_t>(byte & 0x7f) << shift;
+      if ((byte & 0x80) == 0) {
+        // Final group must fit: at shift 63 only the low bit remains.
+        if (shift == 63 && (byte & 0x7e) != 0) return Fail();
+        *out = v;
+        return true;
+      }
+    }
+    return Fail();  // 10 continuation bytes: overlong
+  }
+
+  bool ReadZigzag(int64_t* out) {
+    uint64_t raw;
+    if (!ReadVarint(&raw)) return false;
+    *out = ZigzagDecode(raw);
+    return true;
+  }
+
+  bool ReadDouble(double* out) {
+    uint64_t bits;
+    if (!ReadFixed64(&bits)) return false;
+    std::memcpy(out, &bits, sizeof(*out));
+    return true;
+  }
+
+  /// Borrows `size` bytes without copying; the span aliases the input.
+  bool ReadSpan(size_t size, const uint8_t** out) {
+    if (remaining() < size) return Fail();
+    *out = cursor_;
+    cursor_ += size;
+    return true;
+  }
+
+  size_t remaining() const { return static_cast<size_t>(end_ - cursor_); }
+  bool failed() const { return failed_; }
+
+ private:
+  bool Fail() {
+    failed_ = true;
+    return false;
+  }
+
+  const uint8_t* cursor_;
+  const uint8_t* end_;
+  bool failed_ = false;
+};
+
+}  // namespace wire
+}  // namespace seve
+
+#endif  // SEVE_WIRE_CODEC_H_

@@ -1,0 +1,43 @@
+#include "wire/frame.h"
+
+namespace seve {
+namespace wire {
+
+Bytes EncodeFrame(int kind, const Bytes& body) {
+  Writer w;
+  w.PutFixed32(static_cast<uint32_t>(body.size()));
+  w.PutFixed32(static_cast<uint32_t>(kind));
+  w.PutFixed32(Checksum(body.data(), body.size()));
+  w.PutSpan(body.data(), body.size());
+  return w.Take();
+}
+
+Result<FrameView> DecodeFrame(const uint8_t* data, size_t size) {
+  Reader r(data, size);
+  uint32_t body_len = 0, kind = 0, checksum = 0;
+  if (!r.ReadFixed32(&body_len) || !r.ReadFixed32(&kind) ||
+      !r.ReadFixed32(&checksum)) {
+    return Status::InvalidArgument("frame: truncated header");
+  }
+  if (body_len > kMaxBodyBytes) {
+    return Status::InvalidArgument("frame: body length over limit");
+  }
+  if (body_len != r.remaining()) {
+    return Status::InvalidArgument("frame: body length mismatch");
+  }
+  const uint8_t* body = nullptr;
+  if (!r.ReadSpan(body_len, &body)) {
+    return Status::InvalidArgument("frame: truncated body");
+  }
+  if (Checksum(body, body_len) != checksum) {
+    return Status::InvalidArgument("frame: checksum mismatch");
+  }
+  FrameView view;
+  view.kind = static_cast<int>(kind);
+  view.body = body;
+  view.body_len = body_len;
+  return view;
+}
+
+}  // namespace wire
+}  // namespace seve

@@ -1,0 +1,42 @@
+#ifndef SEVE_WIRE_FRAME_H_
+#define SEVE_WIRE_FRAME_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "wire/codec.h"
+
+namespace seve {
+namespace wire {
+
+/// Frame layout (all fields little-endian):
+///
+///   [u32 body_len][u32 kind][u32 checksum(body)][body: body_len bytes]
+///
+/// The 12-byte header is the framing overhead every encoded message pays;
+/// the checksum covers the body only (the header is validated
+/// structurally: body_len must match the remaining bytes exactly).
+inline constexpr size_t kFrameHeaderBytes = 12;
+
+/// Hard ceiling on body size accepted by the decoder. Far above any real
+/// message; bounds allocations when fed hostile input (the fuzz harness).
+inline constexpr uint32_t kMaxBodyBytes = 1u << 28;  // 256 MiB
+
+/// Borrowed view into a decoded frame; valid while the input buffer is.
+struct FrameView {
+  int kind = 0;
+  const uint8_t* body = nullptr;
+  size_t body_len = 0;
+};
+
+/// Wraps `body` in a frame.
+Bytes EncodeFrame(int kind, const Bytes& body);
+
+/// Parses and validates one complete frame occupying the whole input:
+/// header present, body_len exact, checksum matching.
+Result<FrameView> DecodeFrame(const uint8_t* data, size_t size);
+
+}  // namespace wire
+}  // namespace seve
+
+#endif  // SEVE_WIRE_FRAME_H_

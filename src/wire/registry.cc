@@ -1,0 +1,48 @@
+#include "wire/registry.h"
+
+#include <typeinfo>
+
+#include "action/action.h"
+
+namespace seve {
+namespace wire {
+
+WireRegistry& WireRegistry::Global() {
+  static WireRegistry* registry = new WireRegistry();
+  return *registry;
+}
+
+void WireRegistry::RegisterBody(int kind, BodyCodec codec) {
+  bodies_[kind] = std::move(codec);
+}
+
+const BodyCodec* WireRegistry::FindBody(int kind) const {
+  auto it = bodies_.find(kind);
+  return it == bodies_.end() ? nullptr : &it->second;
+}
+
+void WireRegistry::RegisterAction(uint32_t tag, std::type_index type,
+                                  ActionCodec codec) {
+  actions_[tag] = std::move(codec);
+  action_tags_[type] = tag;
+}
+
+const ActionCodec* WireRegistry::FindActionByTag(uint32_t tag) const {
+  auto it = actions_.find(tag);
+  return it == actions_.end() ? nullptr : &it->second;
+}
+
+uint32_t WireRegistry::ActionTag(const Action& action) const {
+  auto it = action_tags_.find(std::type_index(typeid(action)));
+  return it == action_tags_.end() ? 0 : it->second;
+}
+
+std::vector<int> WireRegistry::RegisteredKinds() const {
+  std::vector<int> kinds;
+  kinds.reserve(bodies_.size());
+  for (const auto& [kind, codec] : bodies_) kinds.push_back(kind);
+  return kinds;
+}
+
+}  // namespace wire
+}  // namespace seve

@@ -1,0 +1,76 @@
+#ifndef SEVE_WIRE_REGISTRY_H_
+#define SEVE_WIRE_REGISTRY_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <typeindex>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "net/message.h"
+#include "wire/codec.h"
+
+namespace seve {
+
+class Action;
+
+namespace wire {
+
+/// Serializer pair for one message kind. `encode` writes the body payload
+/// (no frame) and must reject bodies whose dynamic type does not match
+/// the kind (a kind-number collision). `decode` parses one payload from
+/// the reader; when `reencode` is non-null it also writes the canonical
+/// encoding of what it parsed, so callers can byte-compare for drift
+/// (decode is a *transcoder*). Decoders must consume exactly the payload
+/// they were framed with — the caller checks for trailing bytes.
+struct BodyCodec {
+  std::string name;
+  std::function<Status(const MessageBody& body, Writer& w)> encode;
+  std::function<Status(Reader& r, Writer* reencode)> decode;
+};
+
+/// Serializer pair for one concrete Action subclass. The generic action
+/// header (ids, tick, read/write sets, interest profile) is handled by
+/// EncodeAction/TranscodeAction in wire_value.h; codecs only handle the
+/// subclass-specific payload.
+struct ActionCodec {
+  std::string name;
+  std::function<Status(const Action& action, Writer& w)> encode_payload;
+  std::function<Status(Reader& r, Writer* reencode)> decode_payload;
+};
+
+/// Process-global codec tables. Protocol modules register their
+/// serializers at startup (see EnsureDefaultCodecs in serializers.h);
+/// registration is not thread-safe and is expected before any traffic.
+class WireRegistry {
+ public:
+  static WireRegistry& Global();
+
+  /// Registers (or replaces) the codec for a message kind.
+  void RegisterBody(int kind, BodyCodec codec);
+  const BodyCodec* FindBody(int kind) const;
+
+  /// Registers (or replaces) the codec for an Action subclass. `tag` is
+  /// the on-wire type discriminator; tag 0 is reserved for unregistered
+  /// types (encoded with an empty payload).
+  void RegisterAction(uint32_t tag, std::type_index type, ActionCodec codec);
+  const ActionCodec* FindActionByTag(uint32_t tag) const;
+  /// Tag for a concrete action's dynamic type, or 0 if unregistered.
+  uint32_t ActionTag(const Action& action) const;
+
+  /// All registered message kinds, ascending (for audits and tests).
+  std::vector<int> RegisteredKinds() const;
+
+ private:
+  WireRegistry() = default;
+
+  std::map<int, BodyCodec> bodies_;
+  std::map<uint32_t, ActionCodec> actions_;
+  std::unordered_map<std::type_index, uint32_t> action_tags_;
+};
+
+}  // namespace wire
+}  // namespace seve
+
+#endif  // SEVE_WIRE_REGISTRY_H_

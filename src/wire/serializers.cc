@@ -1,0 +1,527 @@
+#include "wire/serializers.h"
+
+#include <typeindex>
+#include <utility>
+
+#include "action/blind_write.h"
+#include "baseline/central.h"
+#include "protocol/lock_protocol.h"
+#include "protocol/msg.h"
+#include "protocol/occ_protocol.h"
+#include "wire/wire_value.h"
+#include "world/dining.h"
+#include "world/move_action.h"
+#include "world/spell_action.h"
+
+namespace seve {
+namespace wire {
+namespace {
+
+Status Malformed(const char* what) { return Status::InvalidArgument(what); }
+
+/// Canonical bool: one byte, strictly 0 or 1 (a decoder accepting 2..255
+/// would re-encode them identically and mask corruption).
+void PutBool(Writer& w, bool v) { w.PutByte(v ? 1 : 0); }
+
+bool TranscodeBool(Reader& r, Writer* re) {
+  uint8_t b = 0;
+  if (!r.ReadByte(&b) || b > 1) return false;
+  if (re != nullptr) re->PutByte(b);
+  return true;
+}
+
+/// Wraps a typed encoder in the dynamic-type check every codec needs: a
+/// body whose kind() collides with a registered kind but whose dynamic
+/// type differs must be rejected, not reinterpreted.
+template <typename BodyT, typename EncodeFn>
+BodyCodec MakeCodec(const char* name, EncodeFn encode,
+                    std::function<Status(Reader&, Writer*)> decode) {
+  BodyCodec codec;
+  codec.name = name;
+  codec.encode = [encode](const MessageBody& body, Writer& w) -> Status {
+    const auto* typed = dynamic_cast<const BodyT*>(&body);
+    if (typed == nullptr) {
+      return Status::Internal("body dynamic type does not match its kind");
+    }
+    return encode(*typed, w);
+  };
+  codec.decode = std::move(decode);
+  return codec;
+}
+
+// ---- SEVE protocol bodies (protocol/msg.h) -------------------------------
+
+Status EncodeSubmitAction(const SubmitActionBody& body, Writer& w) {
+  const Status st = EncodeAction(*body.action, w);
+  if (!st.ok()) return st;
+  EncodeObjectSet(body.resync, w);
+  return Status::OK();
+}
+
+Status DecodeSubmitAction(Reader& r, Writer* re) {
+  Status st = TranscodeAction(r, re);
+  if (!st.ok()) return st;
+  return TranscodeObjectSet(r, re);
+}
+
+Status EncodeDeliverActions(const DeliverActionsBody& body, Writer& w) {
+  w.PutVarint(body.actions.size());
+  for (const OrderedAction& rec : body.actions) {
+    w.PutZigzag(rec.pos);
+    const Status st = EncodeAction(*rec.action, w);
+    if (!st.ok()) return st;
+  }
+  return Status::OK();
+}
+
+Status DecodeDeliverActions(Reader& r, Writer* re) {
+  uint64_t count = 0;
+  if (!r.ReadVarint(&count)) return Malformed("deliver: bad count");
+  if (count > r.remaining()) return Malformed("deliver: count over input");
+  if (re != nullptr) re->PutVarint(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    int64_t pos = 0;
+    if (!r.ReadZigzag(&pos)) return Malformed("deliver: bad pos");
+    if (re != nullptr) re->PutZigzag(pos);
+    const Status st = TranscodeAction(r, re);
+    if (!st.ok()) return st;
+  }
+  return Status::OK();
+}
+
+Status EncodeCompletion(const CompletionBody& body, Writer& w) {
+  w.PutZigzag(body.pos);
+  w.PutVarint(body.action_id.value());
+  w.PutVarint(body.from.value());
+  w.PutFixed64(body.digest);
+  PutBool(w, body.out_of_order);
+  EncodeObjectList(body.written, w);
+  return Status::OK();
+}
+
+Status DecodeCompletion(Reader& r, Writer* re) {
+  int64_t pos = 0;
+  uint64_t action_id = 0, from = 0, digest = 0;
+  if (!r.ReadZigzag(&pos) || !r.ReadVarint(&action_id) ||
+      !r.ReadVarint(&from) || !r.ReadFixed64(&digest)) {
+    return Malformed("completion: bad header");
+  }
+  if (re != nullptr) {
+    re->PutZigzag(pos);
+    re->PutVarint(action_id);
+    re->PutVarint(from);
+    re->PutFixed64(digest);
+  }
+  if (!TranscodeBool(r, re)) return Malformed("completion: bad flag");
+  return TranscodeObjectList(r, re);
+}
+
+Status EncodeDropNotice(const DropNoticeBody& body, Writer& w) {
+  w.PutVarint(body.action_id.value());
+  w.PutZigzag(body.pos);
+  w.PutZigzag(body.refresh_pos);
+  EncodeObjectList(body.refresh, w);
+  return Status::OK();
+}
+
+Status DecodeDropNotice(Reader& r, Writer* re) {
+  uint64_t action_id = 0;
+  int64_t pos = 0, refresh_pos = 0;
+  if (!r.ReadVarint(&action_id) || !r.ReadZigzag(&pos) ||
+      !r.ReadZigzag(&refresh_pos)) {
+    return Malformed("drop: bad header");
+  }
+  if (re != nullptr) {
+    re->PutVarint(action_id);
+    re->PutZigzag(pos);
+    re->PutZigzag(refresh_pos);
+  }
+  return TranscodeObjectList(r, re);
+}
+
+Status EncodeCommitNotice(const CommitNoticeBody& body, Writer& w) {
+  w.PutZigzag(body.pos);
+  return Status::OK();
+}
+
+Status DecodeCommitNotice(Reader& r, Writer* re) {
+  int64_t pos = 0;
+  if (!r.ReadZigzag(&pos)) return Malformed("commit: bad pos");
+  if (re != nullptr) re->PutZigzag(pos);
+  return Status::OK();
+}
+
+// ---- Baseline bodies (baseline/central.h) --------------------------------
+
+Status EncodeObjectUpdate(const ObjectUpdateBody& body, Writer& w) {
+  w.PutZigzag(body.pos);
+  w.PutVarint(body.action_id.value());
+  EncodeObjectList(body.objects, w);
+  return Status::OK();
+}
+
+Status DecodeObjectUpdate(Reader& r, Writer* re) {
+  int64_t pos = 0;
+  uint64_t action_id = 0;
+  if (!r.ReadZigzag(&pos) || !r.ReadVarint(&action_id)) {
+    return Malformed("update: bad header");
+  }
+  if (re != nullptr) {
+    re->PutZigzag(pos);
+    re->PutVarint(action_id);
+  }
+  return TranscodeObjectList(r, re);
+}
+
+// ---- Lock protocol bodies (protocol/lock_protocol.h) ---------------------
+
+Status EncodeLockRequest(const LockRequestBody& body, Writer& w) {
+  return EncodeAction(*body.action, w);
+}
+
+Status DecodeLockRequest(Reader& r, Writer* re) {
+  return TranscodeAction(r, re);
+}
+
+Status EncodeLockGrant(const LockGrantBody& body, Writer& w) {
+  w.PutVarint(body.action_id.value());
+  w.PutZigzag(body.pos);
+  return Status::OK();
+}
+
+Status DecodeLockGrant(Reader& r, Writer* re) {
+  uint64_t action_id = 0;
+  int64_t pos = 0;
+  if (!r.ReadVarint(&action_id) || !r.ReadZigzag(&pos)) {
+    return Malformed("grant: bad fields");
+  }
+  if (re != nullptr) {
+    re->PutVarint(action_id);
+    re->PutZigzag(pos);
+  }
+  return Status::OK();
+}
+
+Status EncodeLockEffect(const LockEffectBody& body, Writer& w) {
+  w.PutVarint(body.action_id.value());
+  w.PutVarint(body.origin.value());
+  w.PutZigzag(body.pos);
+  w.PutFixed64(body.digest);
+  EncodeObjectList(body.written, w);
+  return Status::OK();
+}
+
+Status DecodeLockEffect(Reader& r, Writer* re) {
+  uint64_t action_id = 0, origin = 0, digest = 0;
+  int64_t pos = 0;
+  if (!r.ReadVarint(&action_id) || !r.ReadVarint(&origin) ||
+      !r.ReadZigzag(&pos) || !r.ReadFixed64(&digest)) {
+    return Malformed("effect: bad header");
+  }
+  if (re != nullptr) {
+    re->PutVarint(action_id);
+    re->PutVarint(origin);
+    re->PutZigzag(pos);
+    re->PutFixed64(digest);
+  }
+  return TranscodeObjectList(r, re);
+}
+
+// ---- OCC protocol bodies (protocol/occ_protocol.h) -----------------------
+
+Status EncodeOccSubmit(const OccSubmitBody& body, Writer& w) {
+  const Status st = EncodeAction(*body.action, w);
+  if (!st.ok()) return st;
+  EncodeVersionList(body.read_versions, w);
+  w.PutFixed64(body.digest);
+  EncodeObjectList(body.written, w);
+  w.PutZigzag(body.attempt);
+  return Status::OK();
+}
+
+Status DecodeOccSubmit(Reader& r, Writer* re) {
+  Status st = TranscodeAction(r, re);
+  if (!st.ok()) return st;
+  st = TranscodeVersionList(r, re);
+  if (!st.ok()) return st;
+  uint64_t digest = 0;
+  if (!r.ReadFixed64(&digest)) return Malformed("occ submit: bad digest");
+  if (re != nullptr) re->PutFixed64(digest);
+  st = TranscodeObjectList(r, re);
+  if (!st.ok()) return st;
+  int64_t attempt = 0;
+  if (!r.ReadZigzag(&attempt)) return Malformed("occ submit: bad attempt");
+  if (re != nullptr) re->PutZigzag(attempt);
+  return Status::OK();
+}
+
+Status EncodeOccVerdict(const OccVerdictBody& body, Writer& w) {
+  w.PutVarint(body.action_id.value());
+  PutBool(w, body.committed);
+  w.PutZigzag(body.pos);
+  EncodeObjectList(body.refresh, w);
+  EncodeVersionList(body.refresh_versions, w);
+  return Status::OK();
+}
+
+Status DecodeOccVerdict(Reader& r, Writer* re) {
+  uint64_t action_id = 0;
+  if (!r.ReadVarint(&action_id)) return Malformed("verdict: bad id");
+  if (re != nullptr) re->PutVarint(action_id);
+  if (!TranscodeBool(r, re)) return Malformed("verdict: bad flag");
+  int64_t pos = 0;
+  if (!r.ReadZigzag(&pos)) return Malformed("verdict: bad pos");
+  if (re != nullptr) re->PutZigzag(pos);
+  const Status st = TranscodeObjectList(r, re);
+  if (!st.ok()) return st;
+  return TranscodeVersionList(r, re);
+}
+
+Status EncodeOccEffect(const OccEffectBody& body, Writer& w) {
+  w.PutZigzag(body.pos);
+  w.PutFixed64(body.digest);
+  EncodeObjectList(body.written, w);
+  EncodeVersionList(body.versions, w);
+  return Status::OK();
+}
+
+Status DecodeOccEffect(Reader& r, Writer* re) {
+  int64_t pos = 0;
+  uint64_t digest = 0;
+  if (!r.ReadZigzag(&pos) || !r.ReadFixed64(&digest)) {
+    return Malformed("occ effect: bad header");
+  }
+  if (re != nullptr) {
+    re->PutZigzag(pos);
+    re->PutFixed64(digest);
+  }
+  const Status st = TranscodeObjectList(r, re);
+  if (!st.ok()) return st;
+  return TranscodeVersionList(r, re);
+}
+
+// ---- Action payload codecs -----------------------------------------------
+
+/// On-wire type discriminators for concrete Action subclasses. Tag 0 is
+/// reserved for unregistered types.
+enum ActionWireTag : uint32_t {
+  kTagMove = 1,
+  kTagScryHeal = 2,
+  kTagAttack = 3,
+  kTagPickForks = 4,
+  kTagBlindWrite = 5,
+};
+
+template <typename ActionT, typename EncodeFn>
+ActionCodec MakeActionCodec(const char* name, EncodeFn encode,
+                            std::function<Status(Reader&, Writer*)> decode) {
+  ActionCodec codec;
+  codec.name = name;
+  codec.encode_payload = [encode](const Action& action, Writer& w) -> Status {
+    const auto* typed = dynamic_cast<const ActionT*>(&action);
+    if (typed == nullptr) {
+      return Status::Internal("action dynamic type does not match its tag");
+    }
+    return encode(*typed, w);
+  };
+  codec.decode_payload = std::move(decode);
+  return codec;
+}
+
+Status EncodeMovePayload(const MoveAction& action, Writer& w) {
+  w.PutVarint(action.avatar().value());
+  w.PutDouble(action.step());
+  w.PutDouble(action.avatar_radius());
+  return Status::OK();
+}
+
+Status DecodeMovePayload(Reader& r, Writer* re) {
+  uint64_t avatar = 0;
+  double step = 0, radius = 0;
+  if (!r.ReadVarint(&avatar) || !r.ReadDouble(&step) ||
+      !r.ReadDouble(&radius)) {
+    return Malformed("move: bad payload");
+  }
+  if (re != nullptr) {
+    re->PutVarint(avatar);
+    re->PutDouble(step);
+    re->PutDouble(radius);
+  }
+  return Status::OK();
+}
+
+Status EncodeScryHealPayload(const ScryHealAction& action, Writer& w) {
+  w.PutVarint(action.caster().value());
+  w.PutDouble(action.heal_amount());
+  return Status::OK();
+}
+
+Status DecodeScryHealPayload(Reader& r, Writer* re) {
+  uint64_t caster = 0;
+  double heal = 0;
+  if (!r.ReadVarint(&caster) || !r.ReadDouble(&heal)) {
+    return Malformed("scry: bad payload");
+  }
+  if (re != nullptr) {
+    re->PutVarint(caster);
+    re->PutDouble(heal);
+  }
+  return Status::OK();
+}
+
+Status EncodeAttackPayload(const AttackAction& action, Writer& w) {
+  w.PutVarint(action.attacker().value());
+  w.PutVarint(action.target().value());
+  w.PutDouble(action.damage());
+  return Status::OK();
+}
+
+Status DecodeAttackPayload(Reader& r, Writer* re) {
+  uint64_t attacker = 0, target = 0;
+  double damage = 0;
+  if (!r.ReadVarint(&attacker) || !r.ReadVarint(&target) ||
+      !r.ReadDouble(&damage)) {
+    return Malformed("attack: bad payload");
+  }
+  if (re != nullptr) {
+    re->PutVarint(attacker);
+    re->PutVarint(target);
+    re->PutDouble(damage);
+  }
+  return Status::OK();
+}
+
+Status EncodePickForksPayload(const PickForksAction& action, Writer& w) {
+  w.PutZigzag(action.philosopher());
+  return Status::OK();
+}
+
+Status DecodePickForksPayload(Reader& r, Writer* re) {
+  int64_t philosopher = 0;
+  if (!r.ReadZigzag(&philosopher)) return Malformed("forks: bad payload");
+  if (re != nullptr) re->PutZigzag(philosopher);
+  return Status::OK();
+}
+
+Status EncodeBlindWritePayload(const BlindWrite& action, Writer& w) {
+  EncodeObjectList(action.values(), w);
+  return Status::OK();
+}
+
+Status DecodeBlindWritePayload(Reader& r, Writer* re) {
+  return TranscodeObjectList(r, re);
+}
+
+void RegisterAll() {
+  WireRegistry& reg = WireRegistry::Global();
+
+  reg.RegisterBody(kSubmitAction,
+                   MakeCodec<SubmitActionBody>("SubmitAction",
+                                               EncodeSubmitAction,
+                                               DecodeSubmitAction));
+  reg.RegisterBody(kDeliverActions,
+                   MakeCodec<DeliverActionsBody>("DeliverActions",
+                                                 EncodeDeliverActions,
+                                                 DecodeDeliverActions));
+  reg.RegisterBody(kCompletion,
+                   MakeCodec<CompletionBody>("Completion", EncodeCompletion,
+                                             DecodeCompletion));
+  reg.RegisterBody(kDropNotice,
+                   MakeCodec<DropNoticeBody>("DropNotice", EncodeDropNotice,
+                                             DecodeDropNotice));
+  reg.RegisterBody(kCommitNotice,
+                   MakeCodec<CommitNoticeBody>("CommitNotice",
+                                               EncodeCommitNotice,
+                                               DecodeCommitNotice));
+  reg.RegisterBody(kObjectUpdate,
+                   MakeCodec<ObjectUpdateBody>("ObjectUpdate",
+                                               EncodeObjectUpdate,
+                                               DecodeObjectUpdate));
+  reg.RegisterBody(kLockRequest,
+                   MakeCodec<LockRequestBody>("LockRequest",
+                                              EncodeLockRequest,
+                                              DecodeLockRequest));
+  reg.RegisterBody(kLockGrant,
+                   MakeCodec<LockGrantBody>("LockGrant", EncodeLockGrant,
+                                            DecodeLockGrant));
+  reg.RegisterBody(kLockEffect,
+                   MakeCodec<LockEffectBody>("LockEffect", EncodeLockEffect,
+                                             DecodeLockEffect));
+  reg.RegisterBody(kOccSubmit,
+                   MakeCodec<OccSubmitBody>("OccSubmit", EncodeOccSubmit,
+                                            DecodeOccSubmit));
+  reg.RegisterBody(kOccVerdict,
+                   MakeCodec<OccVerdictBody>("OccVerdict", EncodeOccVerdict,
+                                             DecodeOccVerdict));
+  reg.RegisterBody(kOccEffect,
+                   MakeCodec<OccEffectBody>("OccEffect", EncodeOccEffect,
+                                            DecodeOccEffect));
+
+  reg.RegisterAction(kTagMove, std::type_index(typeid(MoveAction)),
+                     MakeActionCodec<MoveAction>("MoveAction",
+                                                 EncodeMovePayload,
+                                                 DecodeMovePayload));
+  reg.RegisterAction(kTagScryHeal, std::type_index(typeid(ScryHealAction)),
+                     MakeActionCodec<ScryHealAction>("ScryHealAction",
+                                                     EncodeScryHealPayload,
+                                                     DecodeScryHealPayload));
+  reg.RegisterAction(kTagAttack, std::type_index(typeid(AttackAction)),
+                     MakeActionCodec<AttackAction>("AttackAction",
+                                                   EncodeAttackPayload,
+                                                   DecodeAttackPayload));
+  reg.RegisterAction(kTagPickForks, std::type_index(typeid(PickForksAction)),
+                     MakeActionCodec<PickForksAction>("PickForksAction",
+                                                      EncodePickForksPayload,
+                                                      DecodePickForksPayload));
+  reg.RegisterAction(kTagBlindWrite, std::type_index(typeid(BlindWrite)),
+                     MakeActionCodec<BlindWrite>("BlindWrite",
+                                                 EncodeBlindWritePayload,
+                                                 DecodeBlindWritePayload));
+}
+
+}  // namespace
+
+void EnsureDefaultCodecs() {
+  static const bool registered = []() {
+    RegisterAll();
+    return true;
+  }();
+  (void)registered;
+}
+
+Result<Bytes> EncodeMessage(const MessageBody& body) {
+  const BodyCodec* codec = WireRegistry::Global().FindBody(body.kind());
+  if (codec == nullptr) {
+    return Status::NotFound("no codec registered for message kind " +
+                            std::to_string(body.kind()));
+  }
+  Writer w;
+  const Status st = codec->encode(body, w);
+  if (!st.ok()) return st;
+  return EncodeFrame(body.kind(), w.Take());
+}
+
+Status DecodeMessage(const uint8_t* data, size_t size, int* kind_out,
+                     Bytes* reencoded_body) {
+  Result<FrameView> frame = DecodeFrame(data, size);
+  if (!frame.ok()) return frame.status();
+  if (kind_out != nullptr) *kind_out = frame->kind;
+  const BodyCodec* codec = WireRegistry::Global().FindBody(frame->kind);
+  if (codec == nullptr) {
+    return Status::NotFound("no codec registered for message kind " +
+                            std::to_string(frame->kind));
+  }
+  Reader r(frame->body, frame->body_len);
+  Writer reencode;
+  const Status st =
+      codec->decode(r, reencoded_body != nullptr ? &reencode : nullptr);
+  if (!st.ok()) return st;
+  if (r.remaining() != 0) {
+    return Status::InvalidArgument("body: trailing bytes");
+  }
+  if (reencoded_body != nullptr) *reencoded_body = reencode.Take();
+  return Status::OK();
+}
+
+}  // namespace wire
+}  // namespace seve

@@ -1,0 +1,36 @@
+#ifndef SEVE_WIRE_SERIALIZERS_H_
+#define SEVE_WIRE_SERIALIZERS_H_
+
+#include "common/status.h"
+#include "net/message.h"
+#include "wire/codec.h"
+#include "wire/frame.h"
+#include "wire/registry.h"
+
+namespace seve {
+namespace wire {
+
+/// Registers the codecs for every in-tree message kind (SEVE protocol,
+/// Central/Broadcast/RING baselines, lock- and OCC-based classics) and
+/// every concrete Action subclass. Idempotent; called by the Network
+/// constructor, codec tests, and the fuzz harness.
+void EnsureDefaultCodecs();
+
+/// Encodes a full frame (header + body payload) for the message body.
+/// Fails with NotFound if the body's kind has no registered codec and
+/// with Internal if the registered codec rejects the body's dynamic type
+/// (kind-number collision).
+Result<Bytes> EncodeMessage(const MessageBody& body);
+
+/// Parses one complete frame: frame header, checksum, then the body
+/// payload through the kind's registered decoder, which must consume the
+/// payload exactly. With `reencoded_body` non-null the decoder also
+/// emits the canonical re-encoding of what it parsed — byte-comparing it
+/// against the original body bytes is the kVerify drift check.
+Status DecodeMessage(const uint8_t* data, size_t size, int* kind_out,
+                     Bytes* reencoded_body);
+
+}  // namespace wire
+}  // namespace seve
+
+#endif  // SEVE_WIRE_SERIALIZERS_H_

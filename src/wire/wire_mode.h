@@ -1,0 +1,24 @@
+#ifndef SEVE_WIRE_WIRE_MODE_H_
+#define SEVE_WIRE_WIRE_MODE_H_
+
+namespace seve {
+
+/// How Network::Send computes the byte size charged to a link.
+enum class WireMode {
+  /// Trust the sender-declared `Message::bytes` (the seed behaviour; the
+  /// declared value comes from the hand-maintained WireSize() estimates).
+  kDeclared,
+  /// Encode the body through the wire codec and charge the real frame
+  /// size. Bodies without a registered codec fall back to the declared
+  /// size and are counted in the audit.
+  kEncoded,
+  /// kEncoded plus a decode + re-encode byte comparison of every frame —
+  /// a debug mode that catches serializer drift the moment it happens.
+  kVerify,
+};
+
+const char* WireModeName(WireMode mode);
+
+}  // namespace seve
+
+#endif  // SEVE_WIRE_WIRE_MODE_H_

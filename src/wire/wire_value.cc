@@ -1,0 +1,274 @@
+#include "wire/wire_value.h"
+
+#include "wire/registry.h"
+
+namespace seve {
+namespace wire {
+namespace {
+
+constexpr uint8_t kValueNull = 0;
+constexpr uint8_t kValueInt = 1;
+constexpr uint8_t kValueDouble = 2;
+constexpr uint8_t kValueVec2 = 3;
+
+Status Malformed(const char* what) { return Status::InvalidArgument(what); }
+
+}  // namespace
+
+void EncodeValue(const Value& value, Writer& w) {
+  if (value.is_int()) {
+    w.PutByte(kValueInt);
+    w.PutZigzag(value.AsInt());
+  } else if (value.is_double()) {
+    w.PutByte(kValueDouble);
+    w.PutDouble(value.AsDouble());
+  } else if (value.is_vec2()) {
+    const Vec2 v = value.AsVec2();
+    w.PutByte(kValueVec2);
+    w.PutDouble(v.x);
+    w.PutDouble(v.y);
+  } else {
+    w.PutByte(kValueNull);
+  }
+}
+
+Status TranscodeValue(Reader& r, Writer* reencode) {
+  uint8_t tag = 0;
+  if (!r.ReadByte(&tag)) return Malformed("value: missing tag");
+  if (reencode != nullptr) reencode->PutByte(tag);
+  switch (tag) {
+    case kValueNull:
+      return Status::OK();
+    case kValueInt: {
+      int64_t v = 0;
+      if (!r.ReadZigzag(&v)) return Malformed("value: bad int");
+      if (reencode != nullptr) reencode->PutZigzag(v);
+      return Status::OK();
+    }
+    case kValueDouble: {
+      double v = 0;
+      if (!r.ReadDouble(&v)) return Malformed("value: bad double");
+      if (reencode != nullptr) reencode->PutDouble(v);
+      return Status::OK();
+    }
+    case kValueVec2: {
+      double x = 0, y = 0;
+      if (!r.ReadDouble(&x) || !r.ReadDouble(&y)) {
+        return Malformed("value: bad vec2");
+      }
+      if (reencode != nullptr) {
+        reencode->PutDouble(x);
+        reencode->PutDouble(y);
+      }
+      return Status::OK();
+    }
+    default:
+      return Malformed("value: unknown tag");
+  }
+}
+
+void EncodeObject(const Object& object, Writer& w) {
+  w.PutVarint(object.id().value());
+  const std::vector<AttrId> attrs = object.AttrIds();
+  w.PutVarint(attrs.size());
+  for (const AttrId attr : attrs) {
+    w.PutVarint(attr);
+    EncodeValue(object.Get(attr), w);
+  }
+}
+
+Status TranscodeObject(Reader& r, Writer* reencode) {
+  uint64_t id = 0, count = 0;
+  if (!r.ReadVarint(&id) || !r.ReadVarint(&count)) {
+    return Malformed("object: bad header");
+  }
+  // Each attribute costs >= 2 bytes; a larger count cannot parse.
+  if (count > r.remaining()) return Malformed("object: count over input");
+  if (reencode != nullptr) {
+    reencode->PutVarint(id);
+    reencode->PutVarint(count);
+  }
+  uint64_t prev_attr = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t attr = 0;
+    if (!r.ReadVarint(&attr)) return Malformed("object: bad attr id");
+    if (i > 0 && attr <= prev_attr) return Malformed("object: attrs unsorted");
+    prev_attr = attr;
+    if (reencode != nullptr) reencode->PutVarint(attr);
+    const Status st = TranscodeValue(r, reencode);
+    if (!st.ok()) return st;
+  }
+  return Status::OK();
+}
+
+void EncodeObjectSet(const ObjectSet& set, Writer& w) {
+  w.PutVarint(set.size());
+  uint64_t prev = 0;
+  bool first = true;
+  for (const ObjectId id : set) {
+    if (first) {
+      w.PutVarint(id.value());
+      first = false;
+    } else {
+      w.PutVarint(id.value() - prev - 1);
+    }
+    prev = id.value();
+  }
+}
+
+Status TranscodeObjectSet(Reader& r, Writer* reencode) {
+  uint64_t count = 0;
+  if (!r.ReadVarint(&count)) return Malformed("set: bad count");
+  if (count > r.remaining()) return Malformed("set: count over input");
+  if (reencode != nullptr) reencode->PutVarint(count);
+  uint64_t prev = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t delta = 0;
+    if (!r.ReadVarint(&delta)) return Malformed("set: bad id");
+    if (reencode != nullptr) reencode->PutVarint(delta);
+    // Reconstructed id must not wrap uint64 (delta-minus-one encoding).
+    const uint64_t id = (i == 0) ? delta : prev + delta + 1;
+    if (i > 0 && id <= prev) return Malformed("set: id overflow");
+    prev = id;
+  }
+  return Status::OK();
+}
+
+void EncodeInterestProfile(const InterestProfile& profile, Writer& w) {
+  w.PutDouble(profile.position.x);
+  w.PutDouble(profile.position.y);
+  w.PutDouble(profile.radius);
+  w.PutDouble(profile.velocity.x);
+  w.PutDouble(profile.velocity.y);
+  w.PutVarint(profile.interest_class);
+}
+
+Status TranscodeInterestProfile(Reader& r, Writer* reencode) {
+  double fields[5] = {0, 0, 0, 0, 0};
+  for (double& field : fields) {
+    if (!r.ReadDouble(&field)) return Malformed("interest: bad field");
+  }
+  uint64_t interest_class = 0;
+  if (!r.ReadVarint(&interest_class)) return Malformed("interest: bad class");
+  if (interest_class > 0xffffffffULL) return Malformed("interest: class range");
+  if (reencode != nullptr) {
+    for (const double field : fields) reencode->PutDouble(field);
+    reencode->PutVarint(interest_class);
+  }
+  return Status::OK();
+}
+
+Status EncodeAction(const Action& action, Writer& w) {
+  const WireRegistry& registry = WireRegistry::Global();
+  const uint32_t tag = registry.ActionTag(action);
+  w.PutVarint(tag);
+  w.PutVarint(action.id().value());
+  w.PutVarint(action.origin().value());
+  w.PutZigzag(action.tick());
+  EncodeObjectSet(action.ReadSet(), w);
+  EncodeObjectSet(action.WriteSet(), w);
+  EncodeInterestProfile(action.Interest(), w);
+
+  Writer payload;
+  if (tag != 0) {
+    const ActionCodec* codec = registry.FindActionByTag(tag);
+    const Status st = codec->encode_payload(action, payload);
+    if (!st.ok()) return st;
+  }
+  w.PutVarint(payload.size());
+  w.PutSpan(payload.bytes().data(), payload.size());
+  return Status::OK();
+}
+
+Status TranscodeAction(Reader& r, Writer* reencode) {
+  uint64_t tag = 0, id = 0, origin = 0;
+  int64_t tick = 0;
+  if (!r.ReadVarint(&tag) || !r.ReadVarint(&id) || !r.ReadVarint(&origin) ||
+      !r.ReadZigzag(&tick)) {
+    return Malformed("action: bad header");
+  }
+  if (reencode != nullptr) {
+    reencode->PutVarint(tag);
+    reencode->PutVarint(id);
+    reencode->PutVarint(origin);
+    reencode->PutZigzag(tick);
+  }
+  Status st = TranscodeObjectSet(r, reencode);
+  if (!st.ok()) return st;
+  st = TranscodeObjectSet(r, reencode);
+  if (!st.ok()) return st;
+  st = TranscodeInterestProfile(r, reencode);
+  if (!st.ok()) return st;
+
+  uint64_t payload_len = 0;
+  if (!r.ReadVarint(&payload_len)) return Malformed("action: bad payload len");
+  const uint8_t* payload = nullptr;
+  if (!r.ReadSpan(payload_len, &payload)) {
+    return Malformed("action: truncated payload");
+  }
+  if (reencode != nullptr) reencode->PutVarint(payload_len);
+
+  if (tag == 0) {
+    if (payload_len != 0) return Malformed("action: opaque payload nonempty");
+    return Status::OK();
+  }
+  if (tag > 0xffffffffULL) return Malformed("action: type tag range");
+  const ActionCodec* codec =
+      WireRegistry::Global().FindActionByTag(static_cast<uint32_t>(tag));
+  if (codec == nullptr) return Malformed("action: unknown type tag");
+  Reader payload_reader(payload, payload_len);
+  st = codec->decode_payload(payload_reader, reencode);
+  if (!st.ok()) return st;
+  if (payload_reader.remaining() != 0) {
+    return Malformed("action: trailing payload bytes");
+  }
+  return Status::OK();
+}
+
+void EncodeObjectList(const std::vector<Object>& objects, Writer& w) {
+  w.PutVarint(objects.size());
+  for (const Object& object : objects) EncodeObject(object, w);
+}
+
+Status TranscodeObjectList(Reader& r, Writer* reencode) {
+  uint64_t count = 0;
+  if (!r.ReadVarint(&count)) return Malformed("objects: bad count");
+  if (count > r.remaining()) return Malformed("objects: count over input");
+  if (reencode != nullptr) reencode->PutVarint(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    const Status st = TranscodeObject(r, reencode);
+    if (!st.ok()) return st;
+  }
+  return Status::OK();
+}
+
+void EncodeVersionList(const std::vector<std::pair<ObjectId, SeqNum>>& versions,
+                       Writer& w) {
+  w.PutVarint(versions.size());
+  for (const auto& [id, pos] : versions) {
+    w.PutVarint(id.value());
+    w.PutZigzag(pos);
+  }
+}
+
+Status TranscodeVersionList(Reader& r, Writer* reencode) {
+  uint64_t count = 0;
+  if (!r.ReadVarint(&count)) return Malformed("versions: bad count");
+  if (count > r.remaining()) return Malformed("versions: count over input");
+  if (reencode != nullptr) reencode->PutVarint(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t id = 0;
+    int64_t pos = 0;
+    if (!r.ReadVarint(&id) || !r.ReadZigzag(&pos)) {
+      return Malformed("versions: bad pair");
+    }
+    if (reencode != nullptr) {
+      reencode->PutVarint(id);
+      reencode->PutZigzag(pos);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace wire
+}  // namespace seve

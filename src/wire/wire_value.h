@@ -1,0 +1,62 @@
+#ifndef SEVE_WIRE_WIRE_VALUE_H_
+#define SEVE_WIRE_WIRE_VALUE_H_
+
+#include <vector>
+
+#include "action/action.h"
+#include "common/status.h"
+#include "store/object.h"
+#include "store/rw_set.h"
+#include "store/value.h"
+#include "wire/codec.h"
+
+namespace seve {
+namespace wire {
+
+/// Substrate encodings shared by every message kind. Each Encode* has a
+/// matching Transcode* that parses one instance from `r` and — when
+/// `reencode` is non-null — writes the canonical encoding of what it
+/// parsed, enabling byte-exact drift checks without materializing
+/// decoded C++ objects.
+
+/// value := tag byte (0 null | 1 int | 2 double | 3 vec2) + payload.
+void EncodeValue(const Value& value, Writer& w);
+Status TranscodeValue(Reader& r, Writer* reencode);
+
+/// object := id varint, attr_count varint, attrs sorted ascending as
+/// (attr_id varint, value). Sortedness is enforced on decode.
+void EncodeObject(const Object& object, Writer& w);
+Status TranscodeObject(Reader& r, Writer* reencode);
+
+/// set := count varint; first id varint; then (id[i]-id[i-1]-1) varint.
+/// Delta-minus-one encoding bakes strict ascending order into the format.
+void EncodeObjectSet(const ObjectSet& set, Writer& w);
+Status TranscodeObjectSet(Reader& r, Writer* reencode);
+
+/// interest := pos.x, pos.y, radius, vel.x, vel.y doubles + class varint.
+void EncodeInterestProfile(const InterestProfile& profile, Writer& w);
+Status TranscodeInterestProfile(Reader& r, Writer* reencode);
+
+/// Full action encoding: type tag varint (registry; 0 = unregistered),
+/// id varint, origin varint, tick zigzag, read set, write set, interest
+/// profile, then a length-prefixed subclass payload. Unregistered types
+/// carry an empty payload — they stay round-trippable, but their
+/// subclass fields are not accounted (the audit flags nothing here; test
+/// doubles are the only unregistered actions in-tree).
+Status EncodeAction(const Action& action, Writer& w);
+Status TranscodeAction(Reader& r, Writer* reencode);
+
+/// objects := count varint + that many objects.
+void EncodeObjectList(const std::vector<Object>& objects, Writer& w);
+Status TranscodeObjectList(Reader& r, Writer* reencode);
+
+/// versions := count varint + (object id varint, pos zigzag) pairs — the
+/// OCC read-version maps.
+void EncodeVersionList(const std::vector<std::pair<ObjectId, SeqNum>>& versions,
+                       Writer& w);
+Status TranscodeVersionList(Reader& r, Writer* reencode);
+
+}  // namespace wire
+}  // namespace seve
+
+#endif  // SEVE_WIRE_WIRE_VALUE_H_

@@ -38,6 +38,7 @@ class MoveAction : public Action {
 
   ObjectId avatar() const { return avatar_; }
   double step() const { return step_; }
+  double avatar_radius() const { return avatar_radius_; }
 
  private:
   ObjectId avatar_;

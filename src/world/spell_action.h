@@ -32,6 +32,7 @@ class ScryHealAction : public Action {
   /// The ally chosen by the most recent Apply (for example output);
   /// Invalid if none.
   ObjectId caster() const { return caster_; }
+  double heal_amount() const { return heal_amount_; }
 
  private:
   ObjectId caster_;
@@ -55,6 +56,10 @@ class AttackAction : public Action {
 
   InterestProfile Interest() const override { return interest_; }
   std::string ToString() const override;
+
+  ObjectId attacker() const { return attacker_; }
+  ObjectId target() const { return target_; }
+  double damage() const { return damage_; }
 
  private:
   ObjectId attacker_;

@@ -90,6 +90,59 @@ TEST(NetworkTest, FromKbpsConversion) {
   EXPECT_NEAR(link.bytes_per_us, 0.0125, 1e-9);
 }
 
+TEST(NetworkTest, FromKbpsPropagatesOverheadAndDropProbability) {
+  const LinkParams link = LinkParams::FromKbps(119'000, 100.0,
+                                               /*overhead=*/28,
+                                               /*drop_probability=*/0.25);
+  EXPECT_EQ(link.latency_us, 119'000);
+  EXPECT_NEAR(link.bytes_per_us, 0.0125, 1e-9);
+  EXPECT_EQ(link.per_message_overhead_bytes, 28);
+  EXPECT_DOUBLE_EQ(link.drop_probability, 0.25);
+}
+
+TEST(NetworkTest, FromKbpsZeroRateIsLatencyOnlySentinel) {
+  // kbps <= 0 must produce the bytes_per_us == 0 "infinite bandwidth"
+  // sentinel, not a division artifact (inf/nan serialization times).
+  const LinkParams zero = LinkParams::FromKbps(500, 0.0, 28, 0.1);
+  EXPECT_EQ(zero.bytes_per_us, 0.0);
+  EXPECT_EQ(zero.per_message_overhead_bytes, 28);
+  EXPECT_DOUBLE_EQ(zero.drop_probability, 0.1);
+  EXPECT_EQ(LinkParams::FromKbps(500, -7.5).bytes_per_us, 0.0);
+
+  // A zero-rate link behaves exactly like LatencyOnly: delivery after
+  // pure propagation delay regardless of frame size.
+  EventLoop loop;
+  Network net(&loop);
+  RecorderNode a(NodeId(1), &loop), b(NodeId(2), &loop);
+  net.AddNode(&a);
+  net.AddNode(&b);
+  net.ConnectDirected(NodeId(1), NodeId(2), LinkParams::FromKbps(500, 0.0));
+  a.Send(NodeId(2), 1'000'000, std::make_shared<PingBody>(1));
+  loop.RunUntilIdle();
+  ASSERT_EQ(b.arrivals.size(), 1u);
+  EXPECT_EQ(b.arrivals[0].first, 500);
+}
+
+TEST(NetworkTest, OverheadLargerThanPayloadStillTransmits) {
+  // A 1-byte payload with 100 bytes of framing: the link charges the
+  // full 101 bytes of serialization time and both endpoints account it.
+  EventLoop loop;
+  Network net(&loop);
+  RecorderNode a(NodeId(1), &loop), b(NodeId(2), &loop);
+  net.AddNode(&a);
+  net.AddNode(&b);
+  LinkParams link;
+  link.bytes_per_us = 1.0;
+  link.per_message_overhead_bytes = 100;
+  net.ConnectDirected(NodeId(1), NodeId(2), link);
+  a.Send(NodeId(2), 1, std::make_shared<PingBody>(1));
+  loop.RunUntilIdle();
+  ASSERT_EQ(b.arrivals.size(), 1u);
+  EXPECT_EQ(b.arrivals[0].first, 101);
+  EXPECT_EQ(a.traffic().sent.bytes, 101);
+  EXPECT_EQ(b.traffic().received.bytes, 101);
+}
+
 TEST(NetworkTest, PerMessageOverheadCharged) {
   EventLoop loop;
   Network net(&loop);

@@ -1,0 +1,212 @@
+#include "wire/codec.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "common/types.h"
+#include "wire/frame.h"
+
+namespace seve {
+namespace wire {
+namespace {
+
+TEST(VarintTest, RoundTripsBoundaryValues) {
+  const uint64_t cases[] = {0,
+                            1,
+                            127,
+                            128,
+                            129,
+                            16383,
+                            16384,
+                            (1ULL << 32) - 1,
+                            1ULL << 32,
+                            (1ULL << 63) - 1,
+                            1ULL << 63,
+                            std::numeric_limits<uint64_t>::max()};
+  for (const uint64_t v : cases) {
+    Writer w;
+    w.PutVarint(v);
+    Reader r(w.bytes());
+    uint64_t out = 0;
+    ASSERT_TRUE(r.ReadVarint(&out)) << v;
+    EXPECT_EQ(out, v);
+    EXPECT_EQ(r.remaining(), 0u);
+  }
+}
+
+TEST(VarintTest, EncodedLengths) {
+  const auto length_of = [](uint64_t v) {
+    Writer w;
+    w.PutVarint(v);
+    return w.size();
+  };
+  EXPECT_EQ(length_of(0), 1u);
+  EXPECT_EQ(length_of(127), 1u);
+  EXPECT_EQ(length_of(128), 2u);
+  EXPECT_EQ(length_of(16383), 2u);
+  EXPECT_EQ(length_of(16384), 3u);
+  EXPECT_EQ(length_of(std::numeric_limits<uint64_t>::max()), 10u);
+}
+
+TEST(VarintTest, RejectsOverlongEncoding) {
+  // 11 continuation bytes: cannot terminate inside 64 bits.
+  const uint8_t overlong[11] = {0x80, 0x80, 0x80, 0x80, 0x80, 0x80,
+                                0x80, 0x80, 0x80, 0x80, 0x00};
+  Reader r(overlong, sizeof(overlong));
+  uint64_t out = 0;
+  EXPECT_FALSE(r.ReadVarint(&out));
+  EXPECT_TRUE(r.failed());
+}
+
+TEST(VarintTest, RejectsOverflowInFinalGroup) {
+  // 10th byte carries bits above bit 63.
+  const uint8_t overflow[10] = {0xff, 0xff, 0xff, 0xff, 0xff,
+                                0xff, 0xff, 0xff, 0xff, 0x02};
+  Reader r(overflow, sizeof(overflow));
+  uint64_t out = 0;
+  EXPECT_FALSE(r.ReadVarint(&out));
+}
+
+TEST(VarintTest, RejectsTruncation) {
+  const uint8_t truncated[1] = {0x80};
+  Reader r(truncated, sizeof(truncated));
+  uint64_t out = 0;
+  EXPECT_FALSE(r.ReadVarint(&out));
+}
+
+TEST(ZigzagTest, MapsSmallMagnitudesToSmallCodes) {
+  EXPECT_EQ(ZigzagEncode(0), 0u);
+  EXPECT_EQ(ZigzagEncode(-1), 1u);
+  EXPECT_EQ(ZigzagEncode(1), 2u);
+  EXPECT_EQ(ZigzagEncode(-2), 3u);
+  EXPECT_EQ(ZigzagEncode(2), 4u);
+}
+
+TEST(ZigzagTest, RoundTripsExtremes) {
+  const int64_t cases[] = {0, -1, 1, std::numeric_limits<int64_t>::min(),
+                           std::numeric_limits<int64_t>::max(), kInvalidSeq};
+  for (const int64_t v : cases) {
+    Writer w;
+    w.PutZigzag(v);
+    Reader r(w.bytes());
+    int64_t out = 0;
+    ASSERT_TRUE(r.ReadZigzag(&out));
+    EXPECT_EQ(out, v);
+  }
+}
+
+TEST(FixedTest, LittleEndianLayout) {
+  Writer w;
+  w.PutFixed32(0x04030201u);
+  ASSERT_EQ(w.size(), 4u);
+  EXPECT_EQ(w.bytes()[0], 0x01);
+  EXPECT_EQ(w.bytes()[3], 0x04);
+  Reader r(w.bytes());
+  uint32_t out = 0;
+  ASSERT_TRUE(r.ReadFixed32(&out));
+  EXPECT_EQ(out, 0x04030201u);
+}
+
+TEST(DoubleTest, BitExactRoundTripIncludingSpecials) {
+  const double cases[] = {0.0,
+                          -0.0,
+                          1.5,
+                          -3.25e300,
+                          std::numeric_limits<double>::infinity(),
+                          std::numeric_limits<double>::quiet_NaN(),
+                          std::numeric_limits<double>::denorm_min()};
+  for (const double v : cases) {
+    Writer w;
+    w.PutDouble(v);
+    Reader r(w.bytes());
+    double out = 0;
+    ASSERT_TRUE(r.ReadDouble(&out));
+    uint64_t in_bits, out_bits;
+    std::memcpy(&in_bits, &v, 8);
+    std::memcpy(&out_bits, &out, 8);
+    EXPECT_EQ(in_bits, out_bits);
+  }
+}
+
+TEST(ReaderTest, FailureLatches) {
+  const uint8_t data[1] = {0x7f};
+  Reader r(data, sizeof(data));
+  uint32_t fixed = 0;
+  EXPECT_FALSE(r.ReadFixed32(&fixed));
+  EXPECT_TRUE(r.failed());
+  // The byte is still there, but a latched reader is meant to be checked.
+  EXPECT_EQ(r.remaining(), 1u);
+}
+
+TEST(ChecksumTest, SensitiveToEveryByte) {
+  Bytes data = {1, 2, 3, 4, 5};
+  const uint32_t base = Checksum(data.data(), data.size());
+  for (size_t i = 0; i < data.size(); ++i) {
+    Bytes mutated = data;
+    mutated[i] ^= 0x01;
+    EXPECT_NE(Checksum(mutated.data(), mutated.size()), base) << i;
+  }
+  EXPECT_NE(Checksum(data.data(), data.size() - 1), base);
+}
+
+TEST(FrameTest, RoundTrip) {
+  const Bytes body = {0xde, 0xad, 0xbe, 0xef};
+  const Bytes frame = EncodeFrame(42, body);
+  ASSERT_EQ(frame.size(), kFrameHeaderBytes + body.size());
+  const Result<FrameView> view = DecodeFrame(frame.data(), frame.size());
+  ASSERT_TRUE(view.ok()) << view.status().ToString();
+  EXPECT_EQ(view->kind, 42);
+  ASSERT_EQ(view->body_len, body.size());
+  EXPECT_EQ(Bytes(view->body, view->body + view->body_len), body);
+}
+
+TEST(FrameTest, EmptyBody) {
+  const Bytes frame = EncodeFrame(7, {});
+  const Result<FrameView> view = DecodeFrame(frame.data(), frame.size());
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view->body_len, 0u);
+}
+
+TEST(FrameTest, RejectsTruncatedHeader) {
+  const Bytes frame = EncodeFrame(1, {1, 2, 3});
+  for (size_t len = 0; len < kFrameHeaderBytes; ++len) {
+    EXPECT_FALSE(DecodeFrame(frame.data(), len).ok()) << len;
+  }
+}
+
+TEST(FrameTest, RejectsBodyLengthMismatch) {
+  Bytes frame = EncodeFrame(1, {1, 2, 3});
+  // Shorter input than declared.
+  EXPECT_FALSE(DecodeFrame(frame.data(), frame.size() - 1).ok());
+  // Extra trailing byte.
+  frame.push_back(0);
+  EXPECT_FALSE(DecodeFrame(frame.data(), frame.size()).ok());
+}
+
+TEST(FrameTest, RejectsCorruptedBody) {
+  Bytes frame = EncodeFrame(1, {1, 2, 3, 4});
+  frame[kFrameHeaderBytes + 2] ^= 0x40;
+  const Result<FrameView> view = DecodeFrame(frame.data(), frame.size());
+  ASSERT_FALSE(view.ok());
+  EXPECT_EQ(view.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FrameTest, RejectsCorruptedChecksumField) {
+  Bytes frame = EncodeFrame(1, {1, 2, 3, 4});
+  frame[8] ^= 0x01;  // checksum field lives at offset 8..11
+  EXPECT_FALSE(DecodeFrame(frame.data(), frame.size()).ok());
+}
+
+TEST(FrameTest, RejectsOversizedDeclaredLength) {
+  Writer w;
+  w.PutFixed32(kMaxBodyBytes + 1);
+  w.PutFixed32(1);
+  w.PutFixed32(0);
+  const Bytes frame = w.Take();
+  EXPECT_FALSE(DecodeFrame(frame.data(), frame.size()).ok());
+}
+
+}  // namespace
+}  // namespace wire
+}  // namespace seve

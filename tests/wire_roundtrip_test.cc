@@ -1,0 +1,336 @@
+// Round-trip property tests for the wire codec: every message kind, with
+// randomized actions, read/write sets, and object payloads, must satisfy
+//   reencode(decode(encode(body))) == encode(body)   (byte-exact)
+// which is exactly the drift check WireMode::kVerify runs in production.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "action/blind_write.h"
+#include "baseline/central.h"
+#include "common/rng.h"
+#include "protocol/lock_protocol.h"
+#include "protocol/msg.h"
+#include "protocol/occ_protocol.h"
+#include "wire/frame.h"
+#include "wire/serializers.h"
+#include "wire/wire_value.h"
+#include "world/dining.h"
+#include "world/move_action.h"
+#include "world/spell_action.h"
+
+namespace seve {
+namespace {
+
+using wire::Bytes;
+
+Value RandomValue(Rng* rng) {
+  switch (rng->NextBounded(4)) {
+    case 0:
+      return Value();
+    case 1:
+      return Value(rng->NextInt(-1'000'000, 1'000'000));
+    case 2:
+      return Value(rng->NextDouble(-1e6, 1e6));
+    default:
+      return Value(Vec2{rng->NextDouble(-500, 500),
+                        rng->NextDouble(-500, 500)});
+  }
+}
+
+Object RandomObject(Rng* rng) {
+  Object obj(ObjectId(rng->NextBounded(10'000)));
+  AttrId attr = 0;
+  const uint64_t attrs = rng->NextBounded(5);
+  for (uint64_t i = 0; i < attrs; ++i) {
+    attr += static_cast<AttrId>(1 + rng->NextBounded(10));
+    obj.Set(attr, RandomValue(rng));
+  }
+  return obj;
+}
+
+std::vector<Object> RandomObjects(Rng* rng, uint64_t max_count = 6) {
+  std::vector<Object> objects;
+  const uint64_t count = rng->NextBounded(max_count + 1);
+  for (uint64_t i = 0; i < count; ++i) objects.push_back(RandomObject(rng));
+  return objects;
+}
+
+ObjectSet RandomSet(Rng* rng, uint64_t max_count = 8) {
+  ObjectSet set;
+  const uint64_t count = rng->NextBounded(max_count + 1);
+  for (uint64_t i = 0; i < count; ++i) {
+    set.Insert(ObjectId(rng->NextBounded(10'000)));
+  }
+  return set;
+}
+
+InterestProfile RandomInterest(Rng* rng) {
+  InterestProfile profile;
+  profile.position = {rng->NextDouble(0, 1000), rng->NextDouble(0, 1000)};
+  profile.radius = rng->NextDouble(0, 50);
+  profile.velocity = {rng->NextDouble(-5, 5), rng->NextDouble(-5, 5)};
+  profile.interest_class = static_cast<uint32_t>(1 + rng->NextBounded(7));
+  return profile;
+}
+
+std::vector<std::pair<ObjectId, SeqNum>> RandomVersions(Rng* rng) {
+  std::vector<std::pair<ObjectId, SeqNum>> versions;
+  const uint64_t count = rng->NextBounded(6);
+  for (uint64_t i = 0; i < count; ++i) {
+    versions.emplace_back(ObjectId(rng->NextBounded(10'000)),
+                          rng->NextBool(0.2) ? kInvalidSeq
+                                             : rng->NextInt(0, 1'000'000));
+  }
+  return versions;
+}
+
+ActionPtr RandomAction(Rng* rng) {
+  const ActionId id(rng->NextBounded(1'000'000));
+  const ClientId origin(rng->NextBounded(64));
+  const Tick tick = rng->NextInt(0, 10'000);
+  switch (rng->NextBounded(5)) {
+    case 0:
+      return std::make_shared<MoveAction>(
+          id, origin, tick, ObjectId(rng->NextBounded(10'000)),
+          rng->NextDouble(0, 10), rng->NextDouble(0.1, 2.0),
+          /*walls=*/nullptr, RandomSet(rng), RandomInterest(rng));
+    case 1:
+      return std::make_shared<ScryHealAction>(
+          id, origin, tick, ObjectId(rng->NextBounded(10'000)),
+          RandomSet(rng), rng->NextDouble(1, 30), RandomInterest(rng));
+    case 2:
+      return std::make_shared<AttackAction>(
+          id, origin, tick, ObjectId(rng->NextBounded(10'000)),
+          ObjectId(rng->NextBounded(10'000)), rng->NextDouble(1, 50),
+          RandomInterest(rng));
+    case 3: {
+      const DiningTable table{8, 10.0};
+      return std::make_shared<PickForksAction>(
+          id, origin, tick, table, static_cast<int>(rng->NextBounded(8)));
+    }
+    default:
+      return std::make_shared<BlindWrite>(id, tick, RandomObjects(rng));
+  }
+}
+
+/// Encodes `body`, decodes with re-encoding, and asserts the canonical
+/// re-encoding is byte-identical to the original body bytes.
+void ExpectRoundTrip(const MessageBody& body) {
+  const Result<Bytes> encoded = wire::EncodeMessage(body);
+  ASSERT_TRUE(encoded.ok()) << encoded.status().ToString();
+  ASSERT_GT(encoded->size(), 0u);
+
+  int kind = 0;
+  Bytes reencoded;
+  const Status st =
+      wire::DecodeMessage(encoded->data(), encoded->size(), &kind, &reencoded);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(kind, body.kind());
+  const Bytes original_body(encoded->begin() + wire::kFrameHeaderBytes,
+                            encoded->end());
+  EXPECT_EQ(reencoded, original_body);
+}
+
+class WireRoundTripTest : public ::testing::Test {
+ protected:
+  void SetUp() override { wire::EnsureDefaultCodecs(); }
+  Rng rng_{20260806};
+};
+
+TEST_F(WireRoundTripTest, SubmitAction) {
+  for (int i = 0; i < 200; ++i) {
+    SubmitActionBody body(RandomAction(&rng_), RandomSet(&rng_));
+    ExpectRoundTrip(body);
+  }
+}
+
+TEST_F(WireRoundTripTest, DeliverActions) {
+  for (int i = 0; i < 100; ++i) {
+    DeliverActionsBody body;
+    const uint64_t count = rng_.NextBounded(8);
+    for (uint64_t j = 0; j < count; ++j) {
+      body.actions.push_back(
+          OrderedAction{rng_.NextInt(0, 1'000'000), RandomAction(&rng_)});
+    }
+    ExpectRoundTrip(body);
+  }
+}
+
+TEST_F(WireRoundTripTest, Completion) {
+  for (int i = 0; i < 100; ++i) {
+    CompletionBody body;
+    body.pos = rng_.NextInt(0, 1'000'000);
+    body.action_id = ActionId(rng_.NextBounded(1'000'000));
+    body.from = ClientId(rng_.NextBounded(64));
+    body.digest = rng_.Next();
+    body.out_of_order = rng_.NextBool(0.3);
+    body.written = RandomObjects(&rng_);
+    ExpectRoundTrip(body);
+  }
+}
+
+TEST_F(WireRoundTripTest, DropNotice) {
+  for (int i = 0; i < 100; ++i) {
+    DropNoticeBody body;
+    body.action_id = ActionId(rng_.NextBounded(1'000'000));
+    body.pos = rng_.NextBool(0.2) ? kInvalidSeq : rng_.NextInt(0, 1'000'000);
+    body.refresh = RandomObjects(&rng_);
+    body.refresh_pos = rng_.NextInt(0, 1'000'000);
+    ExpectRoundTrip(body);
+  }
+}
+
+TEST_F(WireRoundTripTest, CommitNotice) {
+  CommitNoticeBody body;
+  body.pos = kInvalidSeq;
+  ExpectRoundTrip(body);
+  body.pos = 123456;
+  ExpectRoundTrip(body);
+}
+
+TEST_F(WireRoundTripTest, ObjectUpdate) {
+  for (int i = 0; i < 100; ++i) {
+    ObjectUpdateBody body;
+    body.pos = rng_.NextInt(0, 1'000'000);
+    body.action_id = ActionId(rng_.NextBounded(1'000'000));
+    body.objects = RandomObjects(&rng_);
+    ExpectRoundTrip(body);
+  }
+}
+
+TEST_F(WireRoundTripTest, LockBodies) {
+  for (int i = 0; i < 100; ++i) {
+    LockRequestBody request(RandomAction(&rng_));
+    ExpectRoundTrip(request);
+
+    LockGrantBody grant;
+    grant.action_id = ActionId(rng_.NextBounded(1'000'000));
+    grant.pos = rng_.NextInt(0, 1'000'000);
+    ExpectRoundTrip(grant);
+
+    LockEffectBody effect;
+    effect.action_id = ActionId(rng_.NextBounded(1'000'000));
+    effect.origin = ClientId(rng_.NextBounded(64));
+    effect.pos = rng_.NextInt(0, 1'000'000);
+    effect.digest = rng_.Next();
+    effect.written = RandomObjects(&rng_);
+    ExpectRoundTrip(effect);
+  }
+}
+
+TEST_F(WireRoundTripTest, OccBodies) {
+  for (int i = 0; i < 100; ++i) {
+    OccSubmitBody submit;
+    submit.action = RandomAction(&rng_);
+    submit.read_versions = RandomVersions(&rng_);
+    submit.digest = rng_.Next();
+    submit.written = RandomObjects(&rng_);
+    submit.attempt = static_cast<int>(1 + rng_.NextBounded(5));
+    ExpectRoundTrip(submit);
+
+    OccVerdictBody verdict;
+    verdict.action_id = ActionId(rng_.NextBounded(1'000'000));
+    verdict.committed = rng_.NextBool(0.5);
+    verdict.pos = verdict.committed ? rng_.NextInt(0, 1'000'000) : kInvalidSeq;
+    verdict.refresh = RandomObjects(&rng_);
+    verdict.refresh_versions = RandomVersions(&rng_);
+    ExpectRoundTrip(verdict);
+
+    OccEffectBody effect;
+    effect.pos = rng_.NextInt(0, 1'000'000);
+    effect.digest = rng_.Next();
+    effect.written = RandomObjects(&rng_);
+    effect.versions = RandomVersions(&rng_);
+    ExpectRoundTrip(effect);
+  }
+}
+
+TEST_F(WireRoundTripTest, ExtremeIdsRoundTrip) {
+  // Invalid ids encode as ~0 (10-byte varints) and must survive.
+  CompletionBody body;
+  body.pos = kInvalidSeq;
+  body.action_id = ActionId::Invalid();
+  body.from = ClientId::Invalid();
+  body.digest = ~uint64_t{0};
+  ExpectRoundTrip(body);
+
+  // Blind writes carry ClientId::Invalid() as origin by construction.
+  DeliverActionsBody deliver;
+  std::vector<Object> values = {RandomObject(&rng_)};
+  deliver.actions.push_back(OrderedAction{
+      0, std::make_shared<BlindWrite>(ActionId(1), 0, values)});
+  ExpectRoundTrip(deliver);
+}
+
+TEST_F(WireRoundTripTest, UnregisteredActionTypeStillRoundTrips) {
+  // A subclass with no codec gets tag 0 + empty payload; header fields
+  // (sets, interest) still encode, and the frame still round-trips.
+  class OpaqueAction : public Action {
+   public:
+    OpaqueAction() : Action(ActionId(7), ClientId(3), 11) {
+      set_.Insert(ObjectId(4));
+    }
+    const ObjectSet& ReadSet() const override { return set_; }
+    const ObjectSet& WriteSet() const override { return set_; }
+    Result<ResultDigest> Apply(WorldState*) const override {
+      return ResultDigest{0};
+    }
+    InterestProfile Interest() const override { return {}; }
+
+   private:
+    ObjectSet set_;
+  };
+  SubmitActionBody body(std::make_shared<OpaqueAction>());
+  ExpectRoundTrip(body);
+}
+
+TEST_F(WireRoundTripTest, EncodeRejectsUnregisteredKind) {
+  struct StrangerBody : MessageBody {
+    int kind() const override { return 9999; }
+  };
+  const Result<Bytes> encoded = wire::EncodeMessage(StrangerBody{});
+  ASSERT_FALSE(encoded.ok());
+  EXPECT_EQ(encoded.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(WireRoundTripTest, EncodeRejectsKindCollision) {
+  // Claims kSubmitAction's kind number with the wrong dynamic type.
+  struct ImpostorBody : MessageBody {
+    int kind() const override { return kSubmitAction; }
+  };
+  const Result<Bytes> encoded = wire::EncodeMessage(ImpostorBody{});
+  ASSERT_FALSE(encoded.ok());
+  EXPECT_EQ(encoded.status().code(), StatusCode::kInternal);
+}
+
+TEST_F(WireRoundTripTest, EveryTruncationIsRejected) {
+  SubmitActionBody body(RandomAction(&rng_), RandomSet(&rng_));
+  const Result<Bytes> encoded = wire::EncodeMessage(body);
+  ASSERT_TRUE(encoded.ok());
+  for (size_t len = 0; len < encoded->size(); ++len) {
+    EXPECT_FALSE(
+        wire::DecodeMessage(encoded->data(), len, nullptr, nullptr).ok())
+        << "prefix length " << len;
+  }
+}
+
+TEST_F(WireRoundTripTest, BodyBitFlipsAreRejected) {
+  SubmitActionBody body(RandomAction(&rng_), RandomSet(&rng_));
+  const Result<Bytes> encoded = wire::EncodeMessage(body);
+  ASSERT_TRUE(encoded.ok());
+  // Every single-bit flip in the body is caught by the checksum.
+  for (size_t i = wire::kFrameHeaderBytes; i < encoded->size(); ++i) {
+    Bytes mutated = *encoded;
+    mutated[i] ^= 0x10;
+    EXPECT_FALSE(
+        wire::DecodeMessage(mutated.data(), mutated.size(), nullptr, nullptr)
+            .ok())
+        << "byte " << i;
+  }
+}
+
+}  // namespace
+}  // namespace seve
