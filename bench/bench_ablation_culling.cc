@@ -10,7 +10,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
-#include "sim/runner.h"
+#include "sim/sweep.h"
 
 int main(int argc, char** argv) {
   using namespace seve;
@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
       "culling prunes routed actions; consistency is preserved");
 
   const bool quick = bench::QuickMode(argc, argv);
+  const int num_jobs = bench::JobsArg(argc, argv);
 
   struct Config {
     const char* label;
@@ -29,20 +30,30 @@ int main(int argc, char** argv) {
       {"culling", true},
   };
 
-  std::printf("%-10s %-18s %-14s %-14s %-12s\n", "config",
-              "evals/client", "mean resp ms", "kb/client", "consistent");
+  std::vector<SweepJob> jobs;
   for (const Config& config : configs) {
     Scenario s = Scenario::TableOne(quick ? 16 : 48);
     s.world.num_walls = quick ? 2000 : 20000;
     s.moves_per_client = quick ? 15 : 50;
     s.seve.velocity_culling = config.velocity_culling;
-    const RunReport r = RunScenario(Architecture::kSeve, s);
-    std::printf("%-10s %-18.1f %-14.1f %-14.1f %-12s\n", config.label,
+    jobs.push_back(SweepJob{config.label,
+                            config.velocity_culling ? 1.0 : 0.0,
+                            Architecture::kSeve, std::move(s)});
+  }
+  const std::vector<SweepResult> results = RunSweep(jobs, num_jobs);
+
+  std::printf("%-10s %-18s %-14s %-14s %-12s\n", "config",
+              "evals/client", "mean resp ms", "kb/client", "consistent");
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    const RunReport& r = results[i].report;
+    std::printf("%-10s %-18.1f %-14.1f %-14.1f %-12s\n",
+                jobs[i].label.c_str(),
                 static_cast<double>(r.client_stats.actions_evaluated) /
                     r.num_clients,
                 r.MeanResponseMs(), r.per_client_kb,
                 r.consistency.consistent() ? "yes" : "NO");
-    std::fflush(stdout);
   }
+  bench::WriteBenchJson("ablation_culling", num_jobs, quick, jobs,
+                        results);
   return 0;
 }

@@ -10,7 +10,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
-#include "sim/runner.h"
+#include "sim/sweep.h"
 
 int main(int argc, char** argv) {
   using namespace seve;
@@ -19,32 +19,46 @@ int main(int argc, char** argv) {
       "response <= (1+omega) RTT; pushes batch better as omega grows");
 
   const bool quick = bench::QuickMode(argc, argv);
+  const int num_jobs = bench::JobsArg(argc, argv);
   const std::vector<double> omegas =
       quick ? std::vector<double>{0.5}
             : std::vector<double>{0.1, 0.25, 0.5, 0.75, 0.9};
 
-  std::printf("%-10s %-16s %-14s %-14s %-12s\n", "omega",
-              "mean resp ms", "(1+w)RTT ms", "kb/client", "msgs/client");
+  std::vector<SweepJob> jobs;
   for (const double omega : omegas) {
     Scenario s = Scenario::TableOne(32);
     s.world.num_walls = quick ? 2000 : 20000;
     s.moves_per_client = quick ? 15 : 50;
     s.seve.omega = omega;
-    const RunReport r = RunScenario(Architecture::kSeve, s);
-    const double bound_ms = (1.0 + omega) * 2.0 * 119.0;
-    std::printf("%-10.2f %-16.1f %-14.1f %-14.1f %-12.1f\n", omega,
-                r.MeanResponseMs(), bound_ms, r.per_client_kb,
-                static_cast<double>(r.total_traffic.sent.messages) / 32.0);
-    std::fflush(stdout);
+    jobs.push_back(
+        SweepJob{"omega", omega, Architecture::kSeve, std::move(s)});
   }
+  {
+    // Reply-on-submission extreme (pure Incomplete World Model).
+    Scenario s = Scenario::TableOne(32);
+    s.world.num_walls = quick ? 2000 : 20000;
+    s.moves_per_client = quick ? 15 : 50;
+    jobs.push_back(SweepJob{"reply", 0.0, Architecture::kIncompleteWorld,
+                            std::move(s)});
+  }
+  const std::vector<SweepResult> results = RunSweep(jobs, num_jobs);
 
-  // Reply-on-submission extreme (pure Incomplete World Model).
-  Scenario s = Scenario::TableOne(32);
-  s.world.num_walls = quick ? 2000 : 20000;
-  s.moves_per_client = quick ? 15 : 50;
-  const RunReport r = RunScenario(Architecture::kIncompleteWorld, s);
-  std::printf("%-10s %-16.1f %-14.1f %-14.1f %-12.1f\n", "reply",
-              r.MeanResponseMs(), 2.0 * 119.0, r.per_client_kb,
-              static_cast<double>(r.total_traffic.sent.messages) / 32.0);
+  std::printf("%-10s %-16s %-14s %-14s %-12s\n", "omega",
+              "mean resp ms", "(1+w)RTT ms", "kb/client", "msgs/client");
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    const RunReport& r = results[i].report;
+    const bool is_reply = jobs[i].label == "reply";
+    const double bound_ms =
+        (1.0 + (is_reply ? 0.0 : jobs[i].x)) * 2.0 * 119.0;
+    if (is_reply) {
+      std::printf("%-10s ", "reply");
+    } else {
+      std::printf("%-10.2f ", jobs[i].x);
+    }
+    std::printf("%-16.1f %-14.1f %-14.1f %-12.1f\n", r.MeanResponseMs(),
+                bound_ms, r.per_client_kb,
+                static_cast<double>(r.total_traffic.sent.messages) / 32.0);
+  }
+  bench::WriteBenchJson("ablation_omega", num_jobs, quick, jobs, results);
   return 0;
 }

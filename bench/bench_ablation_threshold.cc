@@ -9,7 +9,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
-#include "sim/runner.h"
+#include "sim/sweep.h"
 
 int main(int argc, char** argv) {
   using namespace seve;
@@ -18,13 +18,13 @@ int main(int argc, char** argv) {
       "drop rate falls and closure size grows as threshold rises");
 
   const bool quick = bench::QuickMode(argc, argv);
+  const int num_jobs = bench::JobsArg(argc, argv);
   const std::vector<double> thresholds =
       quick ? std::vector<double>{15.0, 60.0}
             : std::vector<double>{7.5, 15.0, 30.0, 45.0, 60.0, 120.0};
 
-  std::printf("%-12s %-12s %-16s %-18s\n", "threshold", "% dropped",
-              "mean resp ms", "max closure batch");
-  auto run_one = [&](double threshold, bool dropping, const char* label) {
+  auto make_job = [&](double threshold, bool dropping,
+                      const char* label) {
     // The calibrated Figure-8 arena: one dense social cluster where
     // conflict chains actually form (see bench_fig8_density).
     Scenario s = Scenario::TableOne(60);
@@ -37,19 +37,31 @@ int main(int argc, char** argv) {
     s.cost.per_avatar_us = 250.0;
     s.seve.threshold = threshold;
     s.moves_per_client = quick ? 10 : 40;
-    const RunReport r = RunScenario(
-        dropping ? Architecture::kSeve : Architecture::kSeveNoDropping, s);
-    std::printf("%-12s %-12.2f %-16.1f %-18lld\n", label,
-                r.drop_rate * 100.0, r.MeanResponseMs(),
-                static_cast<long long>(r.server_stats.closure_size.max()));
-    std::fflush(stdout);
+    return SweepJob{label, threshold,
+                    dropping ? Architecture::kSeve
+                             : Architecture::kSeveNoDropping,
+                    std::move(s)};
   };
 
+  std::vector<SweepJob> jobs;
   char label[32];
   for (const double threshold : thresholds) {
     std::snprintf(label, sizeof(label), "%.1f", threshold);
-    run_one(threshold, true, label);
+    jobs.push_back(make_job(threshold, true, label));
   }
-  run_one(std::numeric_limits<double>::infinity(), false, "off");
+  jobs.push_back(
+      make_job(std::numeric_limits<double>::infinity(), false, "off"));
+  const std::vector<SweepResult> results = RunSweep(jobs, num_jobs);
+
+  std::printf("%-12s %-12s %-16s %-18s\n", "threshold", "% dropped",
+              "mean resp ms", "max closure batch");
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    const RunReport& r = results[i].report;
+    std::printf("%-12s %-12.2f %-16.1f %-18lld\n", jobs[i].label.c_str(),
+                r.drop_rate * 100.0, r.MeanResponseMs(),
+                static_cast<long long>(r.server_stats.closure_size.max()));
+  }
+  bench::WriteBenchJson("ablation_threshold", num_jobs, quick, jobs,
+                        results);
   return 0;
 }

@@ -9,6 +9,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/gbench_main.h"
+
 #include <memory>
 #include <vector>
 
@@ -118,4 +120,6 @@ BENCHMARK(BM_InterestTestBatch);
 }  // namespace
 }  // namespace seve
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return seve::bench::GBenchMain("closure_cost", argc, argv);
+}

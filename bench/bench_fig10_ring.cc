@@ -9,7 +9,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
-#include "sim/runner.h"
+#include "sim/sweep.h"
 
 int main(int argc, char** argv) {
   using namespace seve;
@@ -18,18 +18,13 @@ int main(int argc, char** argv) {
       "Both flat over 20-60 clients; SEVE ~1% above RING (closure cost)");
 
   const bool quick = bench::QuickMode(argc, argv);
+  const int num_jobs = bench::JobsArg(argc, argv);
   const std::vector<int> client_counts =
       quick ? std::vector<int>{20, 40}
             : std::vector<int>{20, 30, 40, 50, 60};
 
-  struct Cell {
-    double seve_ms = 0.0;
-    double ring_ms = 0.0;
-  };
-  std::vector<Cell> cells(client_counts.size());
-
-  for (size_t i = 0; i < client_counts.size(); ++i) {
-    const int clients = client_counts[i];
+  std::vector<SweepJob> jobs;
+  for (const int clients : client_counts) {
     Scenario s = Scenario::TableOne(clients);
     // Densify: wider visibility + moderate clusters raise the average
     // visible avatars toward the paper's 14.01. The wall-check radius is
@@ -49,17 +44,24 @@ int main(int argc, char** argv) {
     // (transitive-closure walks), the paper's "runtime overhead of our
     // strongly consistent approach". Chain breaking is off — this dense
     // but spread workload produces no long chains to cut.
-    const RunReport seve_run =
-        RunScenario(Architecture::kSeveNoDropping, s);
-    const RunReport ring_run = RunScenario(Architecture::kRing, s);
-    cells[i] = Cell{seve_run.MeanResponseMs(), ring_run.MeanResponseMs()};
+    jobs.push_back(SweepJob{"SEVE", static_cast<double>(clients),
+                            Architecture::kSeveNoDropping, s});
+    jobs.push_back(SweepJob{"RING", static_cast<double>(clients),
+                            Architecture::kRing, std::move(s)});
+  }
+  const std::vector<SweepResult> results = RunSweep(jobs, num_jobs);
+  for (size_t i = 0; i + 1 < results.size(); i += 2) {
+    const RunReport& seve_run = results[i].report;
+    const RunReport& ring_run = results[i + 1].report;
+    const int clients = static_cast<int>(jobs[i].x);
     bench::PrintRunRow("SEVE", clients, seve_run);
     bench::PrintRunRow("RING", clients, ring_run);
     std::printf("  -> closure overhead vs RING: %+.2f%%   (RING consistency:"
                 " %lld mismatches)\n\n",
-                (cells[i].seve_ms / cells[i].ring_ms - 1.0) * 100.0,
+                (seve_run.MeanResponseMs() / ring_run.MeanResponseMs() -
+                 1.0) * 100.0,
                 static_cast<long long>(ring_run.consistency.mismatches));
-    std::fflush(stdout);
   }
+  bench::WriteBenchJson("fig10_ring", num_jobs, quick, jobs, results);
   return 0;
 }

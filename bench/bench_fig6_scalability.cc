@@ -8,7 +8,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
-#include "sim/runner.h"
+#include "sim/sweep.h"
 
 int main(int argc, char** argv) {
   using namespace seve;
@@ -17,9 +17,11 @@ int main(int argc, char** argv) {
       "Central & Broadcast collapse at ~30-32 clients; SEVE flat (~360ms)");
 
   const bool quick = bench::QuickMode(argc, argv);
+  const int num_jobs = bench::JobsArg(argc, argv);
   const std::vector<int> client_counts =
       quick ? std::vector<int>{8, 32} : std::vector<int>{8, 16, 24, 32, 40,
                                                          48, 64};
+  std::vector<SweepJob> jobs;
   for (const Architecture arch :
        {Architecture::kCentral, Architecture::kBroadcast,
         Architecture::kSeve}) {
@@ -29,10 +31,13 @@ int main(int argc, char** argv) {
         s.world.num_walls = 10000;
         s.moves_per_client = 20;
       }
-      const RunReport r = RunScenario(arch, s);
-      bench::PrintRunRow(ArchitectureName(arch), clients, r);
+      jobs.push_back(SweepJob{ArchitectureName(arch),
+                              static_cast<double>(clients), arch,
+                              std::move(s)});
     }
-    std::printf("\n");
   }
+  const std::vector<SweepResult> results =
+      bench::RunSweepAndPrint(jobs, num_jobs);
+  bench::WriteBenchJson("fig6_scalability", num_jobs, quick, jobs, results);
   return 0;
 }

@@ -7,7 +7,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
-#include "sim/runner.h"
+#include "sim/sweep.h"
 
 int main(int argc, char** argv) {
   using namespace seve;
@@ -16,10 +16,12 @@ int main(int argc, char** argv) {
       "Central/Broadcast unusable past ~10 ms/action; SEVE flat to 25 ms");
 
   const bool quick = bench::QuickMode(argc, argv);
+  const int num_jobs = bench::JobsArg(argc, argv);
   const std::vector<int> costs_ms =
       quick ? std::vector<int>{5, 15}
             : std::vector<int>{1, 3, 5, 7, 9, 11, 13, 15, 20, 25};
 
+  std::vector<SweepJob> jobs;
   for (const Architecture arch :
        {Architecture::kCentral, Architecture::kBroadcast,
         Architecture::kSeve}) {
@@ -28,10 +30,13 @@ int main(int argc, char** argv) {
       s.world.num_walls = 0;  // complexity comes from the override
       s.fixed_move_cost_us = static_cast<Micros>(cost_ms) * 1000;
       if (quick) s.moves_per_client = 20;
-      const RunReport r = RunScenario(arch, s);
-      bench::PrintRunRow(ArchitectureName(arch), cost_ms, r);
+      jobs.push_back(SweepJob{ArchitectureName(arch),
+                              static_cast<double>(cost_ms), arch,
+                              std::move(s)});
     }
-    std::printf("\n");
   }
+  const std::vector<SweepResult> results =
+      bench::RunSweepAndPrint(jobs, num_jobs);
+  bench::WriteBenchJson("fig7_complexity", num_jobs, quick, jobs, results);
   return 0;
 }

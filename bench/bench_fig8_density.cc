@@ -8,7 +8,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
-#include "sim/runner.h"
+#include "sim/sweep.h"
 
 int main(int argc, char** argv) {
   using namespace seve;
@@ -18,10 +18,12 @@ int main(int argc, char** argv) {
       "stays stable (1.5-7.5% moves dropped)");
 
   const bool quick = bench::QuickMode(argc, argv);
+  const int num_jobs = bench::JobsArg(argc, argv);
   const std::vector<double> visibilities =
       quick ? std::vector<double>{20.0, 60.0}
             : std::vector<double>{10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0};
 
+  std::vector<SweepJob> jobs;
   for (const Architecture arch :
        {Architecture::kSeveNoDropping, Architecture::kSeve}) {
     for (const double visibility : visibilities) {
@@ -40,13 +42,14 @@ int main(int argc, char** argv) {
       s.cost.per_avatar_us = 250.0;
       s.seve.threshold = 45.0;  // Table I: 1.5 x the Table-I visibility
       s.moves_per_client = quick ? 15 : 50;
-      const RunReport r = RunScenario(arch, s);
-      bench::PrintRunRow(ArchitectureName(arch),
-                         static_cast<int>(visibility), r);
+      jobs.push_back(SweepJob{ArchitectureName(arch), visibility, arch,
+                              std::move(s)});
     }
-    std::printf("\n");
   }
+  const std::vector<SweepResult> results =
+      bench::RunSweepAndPrint(jobs, num_jobs);
   std::printf("(x column = avatar visibility in units; `vis` column = "
               "measured average visible avatars, the paper's x-axis)\n");
+  bench::WriteBenchJson("fig8_density", num_jobs, quick, jobs, results);
   return 0;
 }

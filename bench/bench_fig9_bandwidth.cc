@@ -7,7 +7,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
-#include "sim/runner.h"
+#include "sim/sweep.h"
 #include "wire/audit.h"
 
 int main(int argc, char** argv) {
@@ -17,15 +17,14 @@ int main(int argc, char** argv) {
       "Broadcast quadratic (~800 kb/client at 64); SEVE ~= Central");
 
   const bool quick = bench::QuickMode(argc, argv);
+  const int num_jobs = bench::JobsArg(argc, argv);
   const std::vector<int> client_counts =
       quick ? std::vector<int>{8, 24} : std::vector<int>{8, 16, 24, 32, 40,
                                                          48, 56, 64};
   // Traffic is charged from real wire encodings, not the per-body declared
   // estimates; the audit below reports how far the two disagree.
   std::printf("wire mode: %s\n\n", WireModeName(WireMode::kEncoded));
-  std::printf("%-12s %-8s %-16s %-16s %-14s\n", "arch", "clients",
-              "kb/client", "server total kb", "messages");
-  wire::WireAudit audit;
+  std::vector<SweepJob> jobs;
   for (const Architecture arch :
        {Architecture::kCentral, Architecture::kBroadcast,
         Architecture::kSeve}) {
@@ -37,18 +36,28 @@ int main(int argc, char** argv) {
       s.world.num_walls = 0;
       s.moves_per_client = quick ? 20 : 100;
       s.wire_mode = WireMode::kEncoded;
-      const RunReport r = RunScenario(arch, s);
-      audit.Merge(r.wire_audit);
-      std::printf("%-12s %-8d %-16.1f %-16.1f %-14lld\n",
-                  ArchitectureName(arch), clients, r.per_client_kb,
-                  static_cast<double>(r.server_traffic.total_bytes()) /
-                      1024.0,
-                  static_cast<long long>(r.total_traffic.sent.messages));
-      std::fflush(stdout);
+      jobs.push_back(SweepJob{ArchitectureName(arch),
+                              static_cast<double>(clients), arch,
+                              std::move(s)});
     }
-    std::printf("\n");
   }
-  std::printf("Declared vs encoded sizes (all runs pooled):\n%s\n",
+  const std::vector<SweepResult> results = RunSweep(jobs, num_jobs);
+  std::printf("%-12s %-8s %-16s %-16s %-14s\n", "arch", "clients",
+              "kb/client", "server total kb", "messages");
+  wire::WireAudit audit;
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    if (i > 0 && jobs[i].label != jobs[i - 1].label) std::printf("\n");
+    const RunReport& r = results[i].report;
+    audit.Merge(r.wire_audit);
+    std::printf("%-12s %-8d %-16.1f %-16.1f %-14lld\n",
+                jobs[i].label.c_str(), static_cast<int>(jobs[i].x),
+                r.per_client_kb,
+                static_cast<double>(r.server_traffic.total_bytes()) /
+                    1024.0,
+                static_cast<long long>(r.total_traffic.sent.messages));
+  }
+  std::printf("\nDeclared vs encoded sizes (all runs pooled):\n%s\n",
               audit.ToString().c_str());
+  bench::WriteBenchJson("fig9_bandwidth", num_jobs, quick, jobs, results);
   return 0;
 }

@@ -5,7 +5,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/gbench_main.h"
+
+#include <algorithm>
+#include <functional>
 #include <memory>
+#include <vector>
 
 #include "common/rng.h"
 #include "net/event_loop.h"
@@ -61,6 +66,45 @@ void BM_GridIndexQuery(benchmark::State& state) {
 }
 BENCHMARK(BM_GridIndexQuery);
 
+// The avatar-tick workload: items jitter by small steps, so most Move
+// calls keep the covered cell range unchanged (the fast path).
+void BM_GridIndexAvatarMove(benchmark::State& state) {
+  Rng rng(3);
+  GridIndex index(AABB{{0.0, 0.0}, {1000.0, 1000.0}}, 20.0);
+  std::vector<Vec2> pos(64);
+  for (uint64_t key = 0; key < 64; ++key) {
+    pos[key] = {rng.NextDouble(100.0, 900.0), rng.NextDouble(100.0, 900.0)};
+    (void)index.Insert(key, AABB::FromCircle(pos[key], 0.5));
+  }
+  uint64_t k = 0;
+  for (auto _ : state) {
+    const uint64_t key = k % 64;
+    Vec2& p = pos[key];
+    p.x += rng.NextDouble(-3.0, 3.0);
+    p.y += rng.NextDouble(-3.0, 3.0);
+    p.x = std::min(std::max(p.x, 50.0), 950.0);
+    p.y = std::min(std::max(p.y, 50.0), 950.0);
+    benchmark::DoNotOptimize(index.Move(key, AABB::FromCircle(p, 0.5)));
+    ++k;
+  }
+}
+BENCHMARK(BM_GridIndexAvatarMove);
+
+// Collection variant used by code that needs the result list (sorted API).
+void BM_GridIndexCollectCircle(benchmark::State& state) {
+  Rng rng(4);
+  GridIndex index(AABB{{0.0, 0.0}, {1000.0, 1000.0}}, 20.0);
+  for (uint64_t key = 0; key < 100000; ++key) {
+    const Vec2 center{rng.NextDouble(0.0, 1000.0),
+                      rng.NextDouble(0.0, 1000.0)};
+    (void)index.Insert(key, AABB::FromCircle(center, 5.0));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.CollectCircle({500.0, 500.0}, 30.0));
+  }
+}
+BENCHMARK(BM_GridIndexCollectCircle);
+
 void BM_MoveEvaluation(benchmark::State& state) {
   WorldConfig cfg;
   cfg.num_walls = static_cast<int>(state.range(0));
@@ -91,6 +135,44 @@ void BM_EventLoopChurn(benchmark::State& state) {
 }
 BENCHMARK(BM_EventLoopChurn);
 
+// The schedule/run kernel with realistic captures: protocol callbacks
+// carry shared_ptr bodies plus ids, which overflow std::function's
+// small-buffer optimization and used to heap-allocate per event.
+void BM_EventLoopScheduleRun(benchmark::State& state) {
+  auto payload = std::make_shared<int>(7);
+  for (auto _ : state) {
+    EventLoop loop;
+    int64_t sum = 0;
+    for (int i = 0; i < 1000; ++i) {
+      uint64_t a = static_cast<uint64_t>(i);
+      uint64_t b = a ^ 0x9e3779b97f4a7c15ULL;
+      uint64_t c = a + b;
+      loop.At(i, [&sum, payload, a, b, c]() {
+        sum += static_cast<int64_t>(a + b + c) + *payload;
+      });
+    }
+    loop.RunUntilIdle();
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_EventLoopScheduleRun);
+
+// Interleaved schedule/run (timer-wheel style): every fired event
+// schedules a successor, so the heap stays warm and small.
+void BM_EventLoopPingPong(benchmark::State& state) {
+  for (auto _ : state) {
+    EventLoop loop;
+    int64_t fired = 0;
+    std::function<void()> tick = [&]() {
+      if (++fired < 1000) loop.After(10, tick);
+    };
+    loop.After(10, tick);
+    loop.RunUntilIdle();
+    benchmark::DoNotOptimize(fired);
+  }
+}
+BENCHMARK(BM_EventLoopPingPong);
+
 void BM_ObjectSetIntersects(benchmark::State& state) {
   Rng rng(2);
   std::vector<ObjectId> a_ids, b_ids;
@@ -108,4 +190,6 @@ BENCHMARK(BM_ObjectSetIntersects);
 }  // namespace
 }  // namespace seve
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return seve::bench::GBenchMain("micro_substrate", argc, argv);
+}

@@ -14,7 +14,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
-#include "sim/runner.h"
+#include "sim/sweep.h"
 
 int main(int argc, char** argv) {
   using namespace seve;
@@ -34,8 +34,9 @@ int main(int argc, char** argv) {
                                                              {"medium", 20.0},
                                                              {"high", 8.0}};
 
-  std::printf("%-10s %-12s %14s %12s %12s %14s\n", "contention", "arch",
-              "mean resp ms", "p95 ms", "committed", "divergences");
+  const int num_jobs = bench::JobsArg(argc, argv);
+  std::vector<SweepJob> jobs;
+  std::vector<const char*> level_of_job;
   for (const Level& level : levels) {
     for (const Architecture arch :
          {Architecture::kLockBased, Architecture::kTimestampOcc,
@@ -46,15 +47,28 @@ int main(int argc, char** argv) {
       s.world.spawn.clusters = 1;
       s.world.spawn.cluster_sigma = level.sigma;
       s.moves_per_client = quick ? 15 : 50;
-      const RunReport r = RunScenario(arch, s);
-      std::printf("%-10s %-12s %14.1f %12.1f %12lld %14lld\n", level.label,
-                  ArchitectureName(arch), r.MeanResponseMs(),
-                  r.P95ResponseMs(),
-                  static_cast<long long>(r.server_stats.actions_committed),
-                  static_cast<long long>(r.consistency.mismatches));
-      std::fflush(stdout);
+      jobs.push_back(SweepJob{std::string(level.label) + "/" +
+                                  ArchitectureName(arch),
+                              level.sigma, arch, std::move(s)});
+      level_of_job.push_back(level.label);
     }
-    std::printf("\n");
   }
+  const std::vector<SweepResult> results = RunSweep(jobs, num_jobs);
+
+  std::printf("%-10s %-12s %14s %12s %12s %14s\n", "contention", "arch",
+              "mean resp ms", "p95 ms", "committed", "divergences");
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    if (i > 0 && level_of_job[i] != level_of_job[i - 1]) {
+      std::printf("\n");
+    }
+    const RunReport& r = results[i].report;
+    std::printf("%-10s %-12s %14.1f %12.1f %12lld %14lld\n",
+                level_of_job[i], ArchitectureName(jobs[i].arch),
+                r.MeanResponseMs(), r.P95ResponseMs(),
+                static_cast<long long>(r.server_stats.actions_committed),
+                static_cast<long long>(r.consistency.mismatches));
+  }
+  bench::WriteBenchJson("sectionII_classic", num_jobs, quick, jobs,
+                        results);
   return 0;
 }

@@ -8,14 +8,17 @@
 // report server CPU utilisation and response degradation as the client
 // count grows. The knee marks the single-server capacity.
 
+#include <chrono>
 #include <cstdio>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "net/network.h"
 #include "protocol/seve_client.h"
 #include "protocol/seve_server.h"
+#include "sim/sweep.h"
 #include "tests/test_actions.h"
 
 namespace seve {
@@ -26,6 +29,7 @@ struct CapacityPoint {
   double server_busy_pct;
   double mean_response_ms;
   double p95_response_ms;
+  double wall_seconds = 0.0;
 };
 
 CapacityPoint RunCapacity(int num_clients, int moves_per_client) {
@@ -129,19 +133,61 @@ int main(int argc, char** argv) {
       "and computes closures)");
 
   const bool quick = bench::QuickMode(argc, argv);
+  const int num_jobs = bench::JobsArg(argc, argv);
   const std::vector<int> counts = quick
                                       ? std::vector<int>{250, 1000}
                                       : std::vector<int>{250, 500, 1000,
                                                          2000, 3000, 3500,
                                                          4000};
   const int moves = quick ? 5 : 10;
+
+  // Not a RunScenario sweep (this binary drives its own client fleet),
+  // but the points are still independent simulations: fan them out over
+  // the same work-stealing pool.
+  std::vector<CapacityPoint> points(counts.size());
+  ParallelFor(counts.size(), num_jobs, [&](size_t i) {
+    const auto start = std::chrono::steady_clock::now();
+    points[i] = RunCapacity(counts[i], moves);
+    points[i].wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+  });
+
   std::printf("%-8s %-18s %-18s %-14s\n", "clients", "server CPU busy %",
               "mean response ms", "p95 ms");
-  for (const int n : counts) {
-    const CapacityPoint p = RunCapacity(n, moves);
+  for (const CapacityPoint& p : points) {
     std::printf("%-8d %-18.1f %-18.1f %-14.1f\n", p.clients,
                 p.server_busy_pct, p.mean_response_ms, p.p95_response_ms);
-    std::fflush(stdout);
+  }
+
+  // Bespoke JSON (no RunReport here): same top-level envelope as the
+  // sweep benches, capacity-specific row fields.
+  std::string j = "{\n  \"bench\": \"server_capacity\",\n";
+  j += "  \"schema_version\": 1,\n";
+  j += "  \"jobs\": " + std::to_string(num_jobs) + ",\n";
+  j += std::string("  \"quick\": ") + (quick ? "true" : "false") + ",\n";
+  j += "  \"rows\": [\n";
+  for (size_t i = 0; i < points.size(); ++i) {
+    const CapacityPoint& p = points[i];
+    char row[256];
+    std::snprintf(row, sizeof(row),
+                  "    {\"clients\": %d, \"moves_per_client\": %d, "
+                  "\"server_busy_pct\": %.6g, \"response_mean_ms\": %.6g, "
+                  "\"response_p95_ms\": %.6g, \"wall_seconds\": %.6g}%s\n",
+                  p.clients, moves, p.server_busy_pct, p.mean_response_ms,
+                  p.p95_response_ms, p.wall_seconds,
+                  i + 1 < points.size() ? "," : "");
+    j += row;
+  }
+  j += "  ]\n}\n";
+  if (std::FILE* f = std::fopen("BENCH_server_capacity.json", "w")) {
+    std::fwrite(j.data(), 1, j.size(), f);
+    std::fclose(f);
+    std::printf("wrote BENCH_server_capacity.json (%zu rows, jobs=%d)\n",
+                points.size(), num_jobs);
+  } else {
+    std::fprintf(stderr, "WARNING: cannot write BENCH_server_capacity.json\n");
   }
   return 0;
 }

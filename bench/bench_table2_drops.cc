@@ -11,7 +11,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
-#include "sim/runner.h"
+#include "sim/sweep.h"
 
 int main(int argc, char** argv) {
   using namespace seve;
@@ -20,12 +20,12 @@ int main(int argc, char** argv) {
       "0 / 0 / 0.01 / 1.53 / 4.03 / 8.87 percent for ranges 1..11");
 
   const bool quick = bench::QuickMode(argc, argv);
+  const int num_jobs = bench::JobsArg(argc, argv);
   const std::vector<double> ranges =
       quick ? std::vector<double>{3.0, 9.0}
             : std::vector<double>{1.0, 3.0, 5.0, 7.0, 9.0, 11.0};
 
-  std::printf("%-18s %-12s %-12s\n", "move effect range", "% dropped",
-              "mean resp ms");
+  std::vector<SweepJob> jobs;
   for (const double range : ranges) {
     Scenario s = Scenario::TableOne(60);
     s.world.bounds = AABB{{0.0, 0.0}, {250.0, 250.0}};
@@ -41,10 +41,17 @@ int main(int argc, char** argv) {
     s.world.spawn.grid_spacing = 7.0;
     s.seve.threshold = 1.5 * s.world.visibility;  // Table I rule
     s.moves_per_client = quick ? 15 : 100;
-    const RunReport r = RunScenario(Architecture::kSeve, s);
-    std::printf("%-18.0f %-12.2f %-12.1f\n", range, r.drop_rate * 100.0,
-                r.MeanResponseMs());
-    std::fflush(stdout);
+    jobs.push_back(
+        SweepJob{"seve", range, Architecture::kSeve, std::move(s)});
   }
+  const std::vector<SweepResult> results = RunSweep(jobs, num_jobs);
+  std::printf("%-18s %-12s %-12s\n", "move effect range", "% dropped",
+              "mean resp ms");
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    const RunReport& r = results[i].report;
+    std::printf("%-18.0f %-12.2f %-12.1f\n", jobs[i].x,
+                r.drop_rate * 100.0, r.MeanResponseMs());
+  }
+  bench::WriteBenchJson("table2_drops", num_jobs, quick, jobs, results);
   return 0;
 }

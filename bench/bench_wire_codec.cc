@@ -7,6 +7,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/gbench_main.h"
+
 #include <cstdio>
 #include <memory>
 #include <utility>
@@ -303,7 +305,5 @@ BENCHMARK(BM_VarintEncode);
 int main(int argc, char** argv) {
   seve::wire::EnsureDefaultCodecs();
   seve::PrintSizeAudit();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return seve::bench::GBenchMain("wire_codec", argc, argv);
 }

@@ -11,7 +11,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
-#include "sim/runner.h"
+#include "sim/sweep.h"
 
 int main(int argc, char** argv) {
   using namespace seve;
@@ -34,8 +34,9 @@ int main(int argc, char** argv) {
   const std::vector<Spawn> spawns = {{"spread", uniform},
                                      {"crowded", crowd}};
 
-  std::printf("%-10s %-8s %-10s %14s %12s\n", "spawn", "arch", "clients",
-              "mean resp ms", "p95 ms");
+  const int num_jobs = bench::JobsArg(argc, argv);
+  std::vector<SweepJob> jobs;
+  std::vector<const char*> spawn_of_job;
   for (const Spawn& spawn : spawns) {
     for (const int clients : quick ? std::vector<int>{24}
                                    : std::vector<int>{16, 32, 48}) {
@@ -45,14 +46,28 @@ int main(int argc, char** argv) {
         s.world.spawn = spawn.config;
         s.zones_per_side = 3;
         s.moves_per_client = quick ? 15 : 50;
-        const RunReport r = RunScenario(arch, s);
-        std::printf("%-10s %-8s %-10d %14.1f %12.1f\n", spawn.label,
-                    ArchitectureName(arch), clients, r.MeanResponseMs(),
-                    r.P95ResponseMs());
-        std::fflush(stdout);
+        jobs.push_back(SweepJob{std::string(spawn.label) + "/" +
+                                    ArchitectureName(arch),
+                                static_cast<double>(clients), arch,
+                                std::move(s)});
+        spawn_of_job.push_back(spawn.label);
       }
     }
-    std::printf("\n");
   }
+  const std::vector<SweepResult> results = RunSweep(jobs, num_jobs);
+
+  std::printf("%-10s %-8s %-10s %14s %12s\n", "spawn", "arch", "clients",
+              "mean resp ms", "p95 ms");
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    if (i > 0 && spawn_of_job[i] != spawn_of_job[i - 1]) {
+      std::printf("\n");
+    }
+    const RunReport& r = results[i].report;
+    std::printf("%-10s %-8s %-10d %14.1f %12.1f\n", spawn_of_job[i],
+                ArchitectureName(jobs[i].arch),
+                static_cast<int>(jobs[i].x), r.MeanResponseMs(),
+                r.P95ResponseMs());
+  }
+  bench::WriteBenchJson("zoning_crowd", num_jobs, quick, jobs, results);
   return 0;
 }

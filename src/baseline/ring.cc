@@ -41,7 +41,7 @@ void RingServer::OnMessage(const Message& msg) {
   // no transitive-closure analysis afterwards).
   std::vector<NodeId> recipients;
   int candidates = 0;
-  client_index_.QueryCircle(
+  client_index_.ForEachInCircle(
       profile.position, visibility_, [&](uint64_t key) {
         ++candidates;
         const ClientId client(key);

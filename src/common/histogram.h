@@ -41,6 +41,11 @@ class Histogram {
   /// One-line summary: "count=... mean=... p50=... p95=... max=...".
   std::string ToString() const;
 
+  /// Raw bucket counts (exponential buckets, ~4% relative resolution).
+  /// Exposed for digesting and machine-readable bench output; the vector
+  /// only grows as large as the highest bucket touched.
+  const std::vector<int64_t>& buckets() const { return buckets_; }
+
  private:
   static size_t BucketFor(int64_t value);
 

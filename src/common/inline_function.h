@@ -1,0 +1,129 @@
+#ifndef SEVE_COMMON_INLINE_FUNCTION_H_
+#define SEVE_COMMON_INLINE_FUNCTION_H_
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace seve {
+
+/// Move-only `void()` callable with inline storage for captures up to
+/// `kInlineBytes`. Larger (or over-aligned, or throwing-move) callables
+/// fall back to a single heap allocation.
+///
+/// This replaces std::function<void()> on the event-loop hot path:
+/// protocol callbacks capture a shared_ptr body plus ids (40-56 bytes),
+/// which overflow libstdc++'s 16-byte small-buffer optimization and would
+/// otherwise heap-allocate once per scheduled event.
+template <size_t kInlineBytes>
+class InlineFunction {
+ public:
+  InlineFunction() noexcept = default;
+
+  template <typename F,
+            typename D = std::decay_t<F>,
+            typename = std::enable_if_t<
+                !std::is_same_v<D, InlineFunction> &&
+                std::is_invocable_r_v<void, D&>>>
+  InlineFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    Emplace(std::forward<F>(f));
+  }
+
+  /// Destroys any held callable and constructs `f` directly in place —
+  /// lets containers fill a slot without an intermediate move.
+  template <typename F, typename D = std::decay_t<F>>
+  void Emplace(F&& f) {
+    reset();
+    if constexpr (FitsInline<D>()) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
+      ops_ = &kInlineOps<D>;
+    } else {
+      ::new (static_cast<void*>(storage_)) D*(new D(std::forward<F>(f)));
+      ops_ = &kHeapOps<D>;
+    }
+  }
+
+  InlineFunction(InlineFunction&& other) noexcept : ops_(other.ops_) {
+    if (ops_ != nullptr) {
+      ops_->relocate(other.storage_, storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      ops_ = other.ops_;
+      if (ops_ != nullptr) {
+        ops_->relocate(other.storage_, storage_);
+        other.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+
+  ~InlineFunction() { reset(); }
+
+  /// Destroys the held callable (no-op when empty).
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  void operator()() { ops_->invoke(storage_); }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* storage);
+    /// Move-constructs the callable from `from` into `to`, then destroys
+    /// the source — the primitive both move operations are built from.
+    void (*relocate)(void* from, void* to) noexcept;
+    void (*destroy)(void* storage) noexcept;
+  };
+
+  template <typename D>
+  static constexpr bool FitsInline() {
+    return sizeof(D) <= kInlineBytes &&
+           alignof(D) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<D>;
+  }
+
+  template <typename D>
+  static D* As(void* storage) {
+    return std::launder(reinterpret_cast<D*>(storage));
+  }
+
+  template <typename D>
+  static constexpr Ops kInlineOps = {
+      [](void* s) { (*As<D>(s))(); },
+      [](void* from, void* to) noexcept {
+        ::new (to) D(std::move(*As<D>(from)));
+        As<D>(from)->~D();
+      },
+      [](void* s) noexcept { As<D>(s)->~D(); },
+  };
+
+  // Heap fallback stores a raw D* in the inline buffer; the pointer
+  // itself is trivially destructible, so relocation is a plain copy.
+  template <typename D>
+  static constexpr Ops kHeapOps = {
+      [](void* s) { (**As<D*>(s))(); },
+      [](void* from, void* to) noexcept { ::new (to) D*(*As<D*>(from)); },
+      [](void* s) noexcept { delete *As<D*>(s); },
+  };
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace seve
+
+#endif  // SEVE_COMMON_INLINE_FUNCTION_H_

@@ -1,29 +1,64 @@
 #include "net/event_loop.h"
 
-#include <algorithm>
-#include <utility>
-
 namespace seve {
 
-void EventLoop::At(VirtualTime t, Callback fn) {
-  queue_.push(Event{std::max(t, now_), next_seq_++, std::move(fn)});
+void EventLoop::GrowSlab() {
+  const uint32_t base = static_cast<uint32_t>(chunks_.size()) << kChunkShift;
+  chunks_.push_back(std::make_unique<Callback[]>(kChunkSize));
+  free_slots_.reserve(free_slots_.size() + kChunkSize);
+  // Hand slots out in ascending order (the free list is LIFO).
+  for (uint32_t i = kChunkSize; i > 0; --i) {
+    free_slots_.push_back(base + i - 1);
+  }
+}
+
+void EventLoop::PushEntry(VirtualTime t, uint32_t slot) {
+  const HeapEntry entry{t, next_seq_++, slot};
+  size_t i = heap_.size();
+  heap_.push_back(entry);
+  while (i > 0) {
+    const size_t parent = (i - 1) / 2;
+    if (!Earlier(entry, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = entry;
+}
+
+void EventLoop::SiftDown(size_t i) {
+  const HeapEntry entry = heap_[i];
+  const size_t n = heap_.size();
+  while (true) {
+    size_t child = 2 * i + 1;
+    if (child >= n) break;
+    if (child + 1 < n && Earlier(heap_[child + 1], heap_[child])) ++child;
+    if (!Earlier(heap_[child], entry)) break;
+    heap_[i] = heap_[child];
+    i = child;
+  }
+  heap_[i] = entry;
 }
 
 bool EventLoop::RunOne() {
-  if (queue_.empty()) return false;
-  // priority_queue::top() is const; move out via const_cast of the known
-  // mutable-through-pop element. Copy the callback instead: it is cheap
-  // relative to the simulation work and avoids UB.
-  Event ev = queue_.top();
-  queue_.pop();
-  now_ = ev.time;
+  if (heap_.empty()) return false;
+  const HeapEntry top = heap_.front();
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) SiftDown(0);
+  now_ = top.time;
   ++events_run_;
-  ev.fn();
+  // Run the callback in place: chunk addresses are stable and the slot is
+  // not yet on the free list, so the callback may freely schedule new
+  // events. Only release the slot after the call returns.
+  Callback& cb = SlotRef(top.slot);
+  cb();
+  cb.reset();
+  free_slots_.push_back(top.slot);
   return true;
 }
 
 void EventLoop::RunUntil(VirtualTime deadline) {
-  while (!queue_.empty() && queue_.top().time <= deadline) {
+  while (!heap_.empty() && heap_.front().time <= deadline) {
     RunOne();
   }
   now_ = std::max(now_, deadline);

@@ -1,11 +1,13 @@
 #ifndef SEVE_NET_EVENT_LOOP_H_
 #define SEVE_NET_EVENT_LOOP_H_
 
+#include <algorithm>
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <memory>
+#include <utility>
 #include <vector>
 
+#include "common/inline_function.h"
 #include "common/types.h"
 
 namespace seve {
@@ -15,9 +17,18 @@ namespace seve {
 /// Events fire in (time, insertion-sequence) order, so simultaneous events
 /// run in the order they were scheduled — ties never depend on container
 /// iteration order, which keeps runs bit-for-bit reproducible.
+///
+/// Hot-path layout: callbacks are constructed in place inside a chunked
+/// slab whose chunks never move (slots recycle through a free list, so a
+/// warm loop schedules events without allocating), and the priority queue
+/// is a hand-rolled binary heap of 24-byte POD entries, so sift
+/// operations never touch a callback.
 class EventLoop {
  public:
-  using Callback = std::function<void()>;
+  /// 64 inline bytes covers the network-delivery closure (Node* + Message,
+  /// 56 bytes) and typical protocol work items; anything bigger takes one
+  /// heap allocation inside InlineFunction instead of one per event.
+  using Callback = InlineFunction<64>;
 
   EventLoop() = default;
   EventLoop(const EventLoop&) = delete;
@@ -27,10 +38,18 @@ class EventLoop {
   VirtualTime now() const { return now_; }
 
   /// Schedules `fn` at absolute virtual time `t` (clamped to now()).
-  void At(VirtualTime t, Callback fn);
+  template <typename F>
+  void At(VirtualTime t, F&& fn) {
+    const uint32_t slot = AcquireSlot();
+    SlotRef(slot).Emplace(std::forward<F>(fn));
+    PushEntry(std::max(t, now_), slot);
+  }
 
   /// Schedules `fn` after `delay` microseconds.
-  void After(Micros delay, Callback fn) { At(now_ + delay, std::move(fn)); }
+  template <typename F>
+  void After(Micros delay, F&& fn) {
+    At(now_ + delay, std::forward<F>(fn));
+  }
 
   /// Runs the earliest pending event; returns false when queue is empty.
   bool RunOne();
@@ -45,23 +64,43 @@ class EventLoop {
   /// in overloaded scenarios.
   size_t RunUntilIdle(size_t max_events = SIZE_MAX);
 
-  size_t pending() const { return queue_.size(); }
+  size_t pending() const { return heap_.size(); }
   size_t events_run() const { return events_run_; }
 
  private:
-  struct Event {
+  /// Callbacks per slab chunk. Chunk addresses are stable, so a running
+  /// callback may schedule new events (growing the slab) while the loop
+  /// still holds a reference to its slot.
+  static constexpr uint32_t kChunkShift = 8;
+  static constexpr uint32_t kChunkSize = 1u << kChunkShift;
+
+  struct HeapEntry {
     VirtualTime time;
     uint64_t seq;
-    Callback fn;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
+    uint32_t slot;
   };
 
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  static bool Earlier(const HeapEntry& a, const HeapEntry& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  }
+
+  Callback& SlotRef(uint32_t slot) {
+    return chunks_[slot >> kChunkShift][slot & (kChunkSize - 1)];
+  }
+  uint32_t AcquireSlot() {
+    if (free_slots_.empty()) GrowSlab();
+    const uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    return slot;
+  }
+  void GrowSlab();
+  void PushEntry(VirtualTime t, uint32_t slot);
+  void SiftDown(size_t i);
+
+  std::vector<HeapEntry> heap_;
+  std::vector<std::unique_ptr<Callback[]>> chunks_;
+  std::vector<uint32_t> free_slots_;
   VirtualTime now_ = 0;
   uint64_t next_seq_ = 0;
   size_t events_run_ = 0;

@@ -15,8 +15,7 @@ void Node::Deliver(const Message& msg) {
   OnMessage(msg);
 }
 
-void Node::SubmitWork(Micros cost, std::function<void()> fn) {
-  if (failed_) return;
+VirtualTime Node::ChargeWork(Micros cost) {
   assert(cost >= 0);
   const Micros loaded_cost =
       static_cast<Micros>(std::llround(static_cast<double>(cost) * load_factor_));
@@ -24,9 +23,7 @@ void Node::SubmitWork(Micros cost, std::function<void()> fn) {
   const VirtualTime end = start + loaded_cost;
   cpu_free_at_ = end;
   cpu_busy_us_ += loaded_cost;
-  loop_->At(end, [this, fn = std::move(fn)]() {
-    if (!failed_) fn();
-  });
+  return end;
 }
 
 Micros Node::CpuBacklog() const {

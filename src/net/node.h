@@ -37,7 +37,18 @@ class Node {
   /// Queues `fn` on this node's CPU with the given execution cost. `fn`
   /// runs when the CPU becomes free, at virtual time start+cost (i.e. its
   /// effects — including message sends — happen after the work).
-  void SubmitWork(Micros cost, std::function<void()> fn);
+  ///
+  /// Templated so the caller's closure is type-erased exactly once (into
+  /// the event loop's inline-storage callback) instead of first through a
+  /// std::function and again through the scheduler.
+  template <typename F>
+  void SubmitWork(Micros cost, F&& fn) {
+    if (failed_) return;
+    const VirtualTime end = ChargeWork(cost);
+    loop_->At(end, [this, fn = std::forward<F>(fn)]() mutable {
+      if (!failed_) fn();
+    });
+  }
 
   /// CPU time at which the node would start brand-new work right now.
   VirtualTime cpu_free_at() const { return cpu_free_at_; }
@@ -76,6 +87,10 @@ class Node {
   Network* network() const { return network_; }
 
  private:
+  /// Accounts `cost` (scaled by the load factor) against this node's CPU
+  /// and returns the virtual time at which the work completes.
+  VirtualTime ChargeWork(Micros cost);
+
   NodeId id_;
   EventLoop* loop_;
   Network* network_ = nullptr;

@@ -133,7 +133,7 @@ Micros SeveServer::RouteToClients(SeqNum pos, const Action& action) {
   const double query_radius = interest_.ReachTerm() + profile.radius +
                               max_client_radius_ + projection_margin;
   int candidates = 0;
-  client_index_.QueryCircle(
+  client_index_.ForEachInCircle(
       profile.position, query_radius, [&](uint64_t key) {
         ++candidates;
         const ClientId client(key);

@@ -1,0 +1,63 @@
+#ifndef SEVE_SIM_SWEEP_H_
+#define SEVE_SIM_SWEEP_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/report.h"
+#include "sim/runner.h"
+#include "sim/scenario.h"
+
+namespace seve {
+
+/// One point of a sweep: an architecture, a fully specified scenario, and
+/// presentation metadata (row label + x-axis value) carried through to the
+/// ordered results.
+struct SweepJob {
+  std::string label;
+  double x = 0.0;
+  Architecture arch = Architecture::kSeve;
+  Scenario scenario;
+};
+
+/// Outcome of one sweep point. `digest` hashes every measured field of the
+/// report (histogram bins, traffic, wire audit, consistency) — two runs of
+/// the same job must produce the same digest regardless of how many worker
+/// threads the sweep used.
+struct SweepResult {
+  RunReport report;
+  double wall_seconds = 0.0;  // real time this one simulation took
+  uint64_t digest = 0;
+};
+
+/// Number of worker threads to use when the caller does not say:
+/// hardware_concurrency, at least 1.
+int DefaultJobs();
+
+/// Runs `fn(i)` for every i in [0, n) across `jobs` worker threads with a
+/// work-stealing scheduler (each worker owns a deque seeded round-robin;
+/// idle workers steal from the back of a victim's deque). `jobs <= 1` runs
+/// inline on the calling thread. `fn` must be safe to call concurrently
+/// for distinct i. The first exception thrown by `fn` is rethrown on the
+/// calling thread after all workers drain.
+void ParallelFor(size_t n, int jobs, const std::function<void(size_t)>& fn);
+
+/// Runs every job (each an independent, deterministic simulation with its
+/// own EventLoop, Network, RNG, and world) across `jobs` worker threads
+/// and returns results in job order. Results are bit-for-bit identical
+/// for any thread count: parallelism only changes which OS thread hosts a
+/// given simulation, never what it computes.
+std::vector<SweepResult> RunSweep(const std::vector<SweepJob>& jobs,
+                                  int num_jobs);
+
+/// FNV-1a digest over every measured field of a RunReport — response and
+/// closure histogram bins, protocol counters, traffic, per-kind wire
+/// audit, consistency counts, end time, and events run. The serial-vs-
+/// parallel determinism audit compares these.
+uint64_t DigestReport(const RunReport& report);
+
+}  // namespace seve
+
+#endif  // SEVE_SIM_SWEEP_H_

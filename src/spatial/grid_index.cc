@@ -6,6 +6,15 @@
 
 namespace seve {
 
+void GridIndex::CellVec::Grow() {
+  const uint32_t new_capacity = capacity_ * 2;
+  uint32_t* grown = new uint32_t[new_capacity];
+  std::memcpy(grown, data(), static_cast<size_t>(size_) * sizeof(uint32_t));
+  FreeHeap();
+  heap_ = grown;
+  capacity_ = new_capacity;
+}
+
 GridIndex::GridIndex(const AABB& bounds, double cell_size)
     : bounds_(bounds), cell_size_(cell_size) {
   assert(cell_size > 0.0);
@@ -27,87 +36,97 @@ GridIndex::CellRange GridIndex::RangeFor(const AABB& box) const {
           cell_y(box.max.y)};
 }
 
-void GridIndex::LinkItem(uint64_t key, const CellRange& range) {
+void GridIndex::LinkSlot(uint32_t slot, const CellRange& range) {
   for (int cy = range.y0; cy <= range.y1; ++cy) {
     for (int cx = range.x0; cx <= range.x1; ++cx) {
-      cells_[CellIndex(cx, cy)].push_back(key);
+      cells_[CellIndex(cx, cy)].push_back(slot);
     }
   }
 }
 
-void GridIndex::UnlinkItem(uint64_t key, const CellRange& range) {
+void GridIndex::UnlinkSlot(uint32_t slot, const CellRange& range) {
   for (int cy = range.y0; cy <= range.y1; ++cy) {
     for (int cx = range.x0; cx <= range.x1; ++cx) {
-      auto& cell = cells_[CellIndex(cx, cy)];
-      auto it = std::find(cell.begin(), cell.end(), key);
-      if (it != cell.end()) {
-        *it = cell.back();
-        cell.pop_back();
-      }
+      (void)cells_[CellIndex(cx, cy)].SwapRemove(slot);
     }
   }
 }
 
 Status GridIndex::Insert(uint64_t key, const AABB& box) {
-  if (items_.count(key) != 0) {
+  if (slot_of_.count(key) != 0) {
     return Status::AlreadyExists("grid key already present");
   }
+  uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<uint32_t>(recs_.size());
+    recs_.emplace_back();
+  }
   const CellRange range = RangeFor(box);
-  items_.emplace(key, ItemRec{box, range});
-  LinkItem(key, range);
+  ItemRec& rec = recs_[slot];
+  rec.key = key;
+  rec.box = box;
+  rec.range = range;
+  rec.stamp = 0;  // recycled slots must not look already-visited
+  slot_of_.emplace(key, slot);
+  LinkSlot(slot, range);
   return Status::OK();
 }
 
 Status GridIndex::Remove(uint64_t key) {
-  auto it = items_.find(key);
-  if (it == items_.end()) return Status::NotFound("grid key absent");
-  UnlinkItem(key, it->second.range);
-  items_.erase(it);
+  auto it = slot_of_.find(key);
+  if (it == slot_of_.end()) return Status::NotFound("grid key absent");
+  const uint32_t slot = it->second;
+  UnlinkSlot(slot, recs_[slot].range);
+  slot_of_.erase(it);
+  free_slots_.push_back(slot);
   return Status::OK();
 }
 
 Status GridIndex::Move(uint64_t key, const AABB& new_box) {
-  auto it = items_.find(key);
-  if (it == items_.end()) return Status::NotFound("grid key absent");
+  auto it = slot_of_.find(key);
+  if (it == slot_of_.end()) return Status::NotFound("grid key absent");
+  const uint32_t slot = it->second;
+  ItemRec& rec = recs_[slot];
   const CellRange new_range = RangeFor(new_box);
-  const CellRange& old_range = it->second.range;
-  if (new_range.x0 != old_range.x0 || new_range.y0 != old_range.y0 ||
-      new_range.x1 != old_range.x1 || new_range.y1 != old_range.y1) {
-    UnlinkItem(key, old_range);
-    LinkItem(key, new_range);
-    it->second.range = new_range;
+  if (SameRange(new_range, rec.range)) {
+    ++move_fastpath_hits_;
+  } else {
+    UnlinkSlot(slot, rec.range);
+    LinkSlot(slot, new_range);
+    rec.range = new_range;
+    ++move_relinks_;
   }
-  it->second.box = new_box;
+  rec.box = new_box;
   return Status::OK();
 }
 
 void GridIndex::QueryBox(const AABB& query,
                          const std::function<void(uint64_t)>& fn) const {
-  const CellRange range = RangeFor(query);
-  ++query_epoch_;
-  for (int cy = range.y0; cy <= range.y1; ++cy) {
-    for (int cx = range.x0; cx <= range.x1; ++cx) {
-      for (uint64_t key : cells_[CellIndex(cx, cy)]) {
-        auto [it, fresh] = stamp_.try_emplace(key, query_epoch_);
-        if (!fresh) {
-          if (it->second == query_epoch_) continue;
-          it->second = query_epoch_;
-        }
-        const auto& rec = items_.at(key);
-        if (rec.box.Intersects(query)) fn(key);
-      }
-    }
-  }
+  ForEachInBox(query, [&fn](uint64_t key) { fn(key); });
 }
 
 void GridIndex::QueryCircle(Vec2 center, double radius,
                             const std::function<void(uint64_t)>& fn) const {
-  QueryBox(AABB::FromCircle(center, radius), fn);
+  ForEachInBox(AABB::FromCircle(center, radius),
+               [&fn](uint64_t key) { fn(key); });
+}
+
+void GridIndex::CollectBoxInto(const AABB& query,
+                               std::vector<uint64_t>* out) const {
+  ForEachInBox(query, [out](uint64_t key) { out->push_back(key); });
+}
+
+void GridIndex::CollectCircleInto(Vec2 center, double radius,
+                                  std::vector<uint64_t>* out) const {
+  CollectBoxInto(AABB::FromCircle(center, radius), out);
 }
 
 std::vector<uint64_t> GridIndex::CollectBox(const AABB& query) const {
   std::vector<uint64_t> out;
-  QueryBox(query, [&out](uint64_t key) { out.push_back(key); });
+  CollectBoxInto(query, &out);
   std::sort(out.begin(), out.end());
   return out;
 }

@@ -1,5 +1,6 @@
 #include "wire/registry.h"
 
+#include <mutex>
 #include <typeinfo>
 
 #include "action/action.h"
@@ -13,31 +14,37 @@ WireRegistry& WireRegistry::Global() {
 }
 
 void WireRegistry::RegisterBody(int kind, BodyCodec codec) {
+  std::unique_lock lock(mu_);
   bodies_[kind] = std::move(codec);
 }
 
 const BodyCodec* WireRegistry::FindBody(int kind) const {
+  std::shared_lock lock(mu_);
   auto it = bodies_.find(kind);
   return it == bodies_.end() ? nullptr : &it->second;
 }
 
 void WireRegistry::RegisterAction(uint32_t tag, std::type_index type,
                                   ActionCodec codec) {
+  std::unique_lock lock(mu_);
   actions_[tag] = std::move(codec);
   action_tags_[type] = tag;
 }
 
 const ActionCodec* WireRegistry::FindActionByTag(uint32_t tag) const {
+  std::shared_lock lock(mu_);
   auto it = actions_.find(tag);
   return it == actions_.end() ? nullptr : &it->second;
 }
 
 uint32_t WireRegistry::ActionTag(const Action& action) const {
+  std::shared_lock lock(mu_);
   auto it = action_tags_.find(std::type_index(typeid(action)));
   return it == action_tags_.end() ? 0 : it->second;
 }
 
 std::vector<int> WireRegistry::RegisteredKinds() const {
+  std::shared_lock lock(mu_);
   std::vector<int> kinds;
   kinds.reserve(bodies_.size());
   for (const auto& [kind, codec] : bodies_) kinds.push_back(kind);

@@ -3,9 +3,11 @@
 
 #include <functional>
 #include <map>
+#include <shared_mutex>
 #include <string>
 #include <typeindex>
 #include <unordered_map>
+#include <vector>
 
 #include "common/status.h"
 #include "net/message.h"
@@ -41,8 +43,12 @@ struct ActionCodec {
 };
 
 /// Process-global codec tables. Protocol modules register their
-/// serializers at startup (see EnsureDefaultCodecs in serializers.h);
-/// registration is not thread-safe and is expected before any traffic.
+/// serializers at startup (see EnsureDefaultCodecs in serializers.h).
+/// Registration and lookup are thread-safe (shared_mutex): parallel
+/// sweeps construct Networks — and hence trigger EnsureDefaultCodecs —
+/// from worker threads. Codec pointers returned by Find* stay valid for
+/// the process lifetime, but *replacing* an already-registered kind
+/// while traffic is in flight is still the caller's race to avoid.
 class WireRegistry {
  public:
   static WireRegistry& Global();
@@ -65,6 +71,7 @@ class WireRegistry {
  private:
   WireRegistry() = default;
 
+  mutable std::shared_mutex mu_;
   std::map<int, BodyCodec> bodies_;
   std::map<uint32_t, ActionCodec> actions_;
   std::unordered_map<std::type_index, uint32_t> action_tags_;

@@ -1,5 +1,6 @@
 #include "wire/serializers.h"
 
+#include <mutex>
 #include <typeindex>
 #include <utility>
 
@@ -482,11 +483,12 @@ void RegisterAll() {
 }  // namespace
 
 void EnsureDefaultCodecs() {
-  static const bool registered = []() {
-    RegisterAll();
-    return true;
-  }();
-  (void)registered;
+  // Explicit call_once (not a magic static) so registration is visibly
+  // safe when parallel sweep workers construct Networks concurrently:
+  // every caller blocks until RegisterAll has fully populated the
+  // registry, then proceeds lock-free on the flag.
+  static std::once_flag registered;
+  std::call_once(registered, RegisterAll);
 }
 
 Result<Bytes> EncodeMessage(const MessageBody& body) {

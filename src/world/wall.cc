@@ -30,7 +30,7 @@ std::shared_ptr<const WallField> WallField::Generate(const AABB& bounds,
 
 int WallField::CountNear(Vec2 center, double radius) const {
   int count = 0;
-  index_.QueryCircle(center, radius, [&](uint64_t key) {
+  index_.ForEachInCircle(center, radius, [&](uint64_t key) {
     if (CircleIntersectsSegment(center, radius, walls_[key].segment)) {
       ++count;
     }
@@ -49,7 +49,7 @@ std::optional<std::pair<double, size_t>> WallField::FirstHit(
   double best_dist = std::numeric_limits<double>::infinity();
   size_t best_idx = 0;
   bool found = false;
-  index_.QueryBox(sweep, [&](uint64_t key) {
+  index_.ForEachInBox(sweep, [&](uint64_t key) {
     const auto hit = MovingCircleSegmentHit(start, dir, max_dist, radius,
                                             walls_[key].segment);
     if (hit.has_value() && *hit < best_dist) {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <memory>
 #include <vector>
 
 namespace seve {
@@ -90,6 +92,65 @@ TEST(EventLoopTest, EventsRunCounter) {
   for (int i = 0; i < 5; ++i) loop.At(i, []() {});
   loop.RunUntilIdle();
   EXPECT_EQ(loop.events_run(), 5u);
+}
+
+TEST(EventLoopTest, LargeCaptureCallbacksSurviveSlabGrowth) {
+  // Captures beyond the inline-callback buffer take the heap fallback;
+  // scheduling enough of them grows the slot slab across several chunks.
+  // Every capture must run intact and be destroyed exactly once.
+  EventLoop loop;
+  auto counter = std::make_shared<int>(0);
+  struct Big {
+    char pad[100] = {};
+    std::shared_ptr<int> counter;
+  };
+  constexpr int kEvents = 1000;  // > several 256-slot chunks
+  for (int i = 0; i < kEvents; ++i) {
+    Big big;
+    big.counter = counter;
+    loop.At(i, [big]() { ++*big.counter; });
+  }
+  EXPECT_EQ(counter.use_count(), 1 + kEvents);
+  loop.RunUntilIdle();
+  EXPECT_EQ(*counter, kEvents);
+  EXPECT_EQ(counter.use_count(), 1);
+}
+
+TEST(EventLoopTest, SlotReuseKeepsOrderingStable) {
+  // Interleave scheduling and running so slots are freed and reused;
+  // (time, insertion-seq) ordering must be unaffected by slot identity.
+  EventLoop loop;
+  std::vector<int> order;
+  for (int round = 0; round < 10; ++round) {
+    const VirtualTime base = loop.now();
+    for (int i = 4; i >= 0; --i) {
+      const int id = round * 5 + i;
+      loop.At(base + static_cast<VirtualTime>(i), [&order, id]() {
+        order.push_back(id);
+      });
+    }
+    loop.RunUntilIdle();
+  }
+  ASSERT_EQ(order.size(), 50u);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(EventLoopTest, CallbackReschedulingFromInsideCallback) {
+  // A callback scheduling new work while it runs (the common protocol
+  // pattern) must not invalidate the in-flight callback's storage even
+  // when the new work forces slab growth.
+  EventLoop loop;
+  int fired = 0;
+  auto marker = std::make_shared<int>(41);
+  loop.At(1, [&loop, &fired, marker]() {
+    for (int i = 0; i < 600; ++i) {
+      loop.After(1, [&fired]() { ++fired; });
+    }
+    // Touch the capture after the burst: storage must still be alive.
+    EXPECT_EQ(*marker, 41);
+  });
+  loop.RunUntilIdle();
+  EXPECT_EQ(fired, 600);
 }
 
 }  // namespace

@@ -88,6 +88,68 @@ TEST(GridIndexTest, ContainsAndSize) {
   EXPECT_EQ(index.size(), 1u);
 }
 
+TEST(GridIndexTest, MoveFastPathCounter) {
+  GridIndex index(WorldBox(), 10.0);
+  ASSERT_TRUE(index.Insert(1, AABB::FromCircle({15.0, 15.0}, 1.0)).ok());
+  EXPECT_EQ(index.move_fastpath_hits(), 0u);
+  EXPECT_EQ(index.move_relinks(), 0u);
+
+  // Jitter within the same cell range: no relink.
+  ASSERT_TRUE(index.Move(1, AABB::FromCircle({16.0, 15.5}, 1.0)).ok());
+  ASSERT_TRUE(index.Move(1, AABB::FromCircle({15.2, 14.8}, 1.0)).ok());
+  EXPECT_EQ(index.move_fastpath_hits(), 2u);
+  EXPECT_EQ(index.move_relinks(), 0u);
+
+  // Crossing into a different cell range forces a relink.
+  ASSERT_TRUE(index.Move(1, AABB::FromCircle({55.0, 55.0}, 1.0)).ok());
+  EXPECT_EQ(index.move_fastpath_hits(), 2u);
+  EXPECT_EQ(index.move_relinks(), 1u);
+
+  // Query correctness is unaffected either way.
+  EXPECT_EQ(index.CollectCircle({55.0, 55.0}, 5.0),
+            std::vector<uint64_t>{1});
+  EXPECT_TRUE(index.CollectCircle({15.0, 15.0}, 2.0).empty());
+}
+
+TEST(GridIndexTest, SlotReuseAfterRemove) {
+  GridIndex index(WorldBox(), 10.0);
+  // Fill, remove, and refill: freed record slots are reused and stale
+  // visit stamps from earlier queries must not suppress new items.
+  for (uint64_t key = 0; key < 20; ++key) {
+    ASSERT_TRUE(
+        index.Insert(key, AABB::FromCircle({5.0, 5.0}, 1.0)).ok());
+  }
+  EXPECT_EQ(index.CollectCircle({5.0, 5.0}, 3.0).size(), 20u);
+  for (uint64_t key = 0; key < 20; ++key) {
+    ASSERT_TRUE(index.Remove(key).ok());
+  }
+  EXPECT_EQ(index.size(), 0u);
+  for (uint64_t key = 100; key < 120; ++key) {
+    ASSERT_TRUE(
+        index.Insert(key, AABB::FromCircle({5.0, 5.0}, 1.0)).ok());
+  }
+  std::vector<uint64_t> got = index.CollectCircle({5.0, 5.0}, 3.0);
+  ASSERT_EQ(got.size(), 20u);
+  EXPECT_EQ(got.front(), 100u);
+  EXPECT_EQ(got.back(), 119u);
+}
+
+TEST(GridIndexTest, CollectIntoAppendsWithoutSorting) {
+  GridIndex index(WorldBox(), 10.0);
+  ASSERT_TRUE(index.Insert(7, AABB::FromCircle({20.0, 20.0}, 1.0)).ok());
+  ASSERT_TRUE(index.Insert(3, AABB::FromCircle({21.0, 20.0}, 1.0)).ok());
+  std::vector<uint64_t> out{999};  // pre-existing contents preserved
+  index.CollectCircleInto({20.0, 20.0}, 5.0, &out);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0], 999u);
+  // Visit order (insertion order within a cell), not sorted order.
+  EXPECT_EQ(out[1], 7u);
+  EXPECT_EQ(out[2], 3u);
+  // The sorted convenience wrapper still sorts.
+  EXPECT_EQ(index.CollectCircle({20.0, 20.0}, 5.0),
+            (std::vector<uint64_t>{3, 7}));
+}
+
 // Property test: grid query results always match a brute-force scan.
 class GridIndexPropertyTest : public ::testing::TestWithParam<uint64_t> {};
 

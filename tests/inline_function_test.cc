@@ -1,0 +1,109 @@
+#include "common/inline_function.h"
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+namespace seve {
+namespace {
+
+using SmallFn = InlineFunction<64>;
+
+TEST(InlineFunctionTest, EmptyByDefault) {
+  SmallFn fn;
+  EXPECT_FALSE(fn);
+}
+
+TEST(InlineFunctionTest, InvokesSmallCapture) {
+  int hits = 0;
+  SmallFn fn([&hits]() { ++hits; });
+  ASSERT_TRUE(fn);
+  fn();
+  fn();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(InlineFunctionTest, MoveTransfersOwnership) {
+  int hits = 0;
+  SmallFn a([&hits]() { ++hits; });
+  SmallFn b(std::move(a));
+  EXPECT_FALSE(a);  // NOLINT(bugprone-use-after-move): documented state
+  ASSERT_TRUE(b);
+  b();
+  EXPECT_EQ(hits, 1);
+
+  SmallFn c;
+  c = std::move(b);
+  EXPECT_FALSE(b);  // NOLINT(bugprone-use-after-move)
+  ASSERT_TRUE(c);
+  c();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(InlineFunctionTest, MoveOnlyCaptureWorks) {
+  auto owned = std::make_unique<int>(7);
+  SmallFn fn([p = std::move(owned)]() { *p += 1; });
+  ASSERT_TRUE(fn);
+  fn();
+}
+
+TEST(InlineFunctionTest, LargeCaptureFallsBackToHeap) {
+  // 128 bytes of captured state cannot fit 64 inline bytes; the callable
+  // must still work (heap storage) and destroy its capture exactly once.
+  struct Big {
+    char pad[120] = {};
+    std::shared_ptr<int> counter;
+  };
+  auto counter = std::make_shared<int>(0);
+  static_assert(sizeof(Big) > 64);
+  {
+    Big big;
+    big.counter = counter;
+    SmallFn fn([big]() { *big.counter += 1; });
+    ASSERT_TRUE(fn);
+    fn();
+    EXPECT_EQ(*counter, 1);
+    EXPECT_EQ(counter.use_count(), 3);  // local + big + capture
+
+    SmallFn moved(std::move(fn));
+    EXPECT_FALSE(fn);  // NOLINT(bugprone-use-after-move)
+    moved();
+    EXPECT_EQ(*counter, 2);
+  }
+  EXPECT_EQ(counter.use_count(), 1);
+}
+
+TEST(InlineFunctionTest, ResetDestroysCapture) {
+  auto counter = std::make_shared<int>(0);
+  SmallFn fn([counter]() { ++*counter; });
+  EXPECT_EQ(counter.use_count(), 2);
+  fn.reset();
+  EXPECT_FALSE(fn);
+  EXPECT_EQ(counter.use_count(), 1);
+}
+
+TEST(InlineFunctionTest, EmplaceReusesSlot) {
+  int first = 0;
+  int second = 0;
+  SmallFn fn([&first]() { ++first; });
+  fn();
+  fn.Emplace([&second]() { ++second; });
+  fn();
+  EXPECT_EQ(first, 1);
+  EXPECT_EQ(second, 1);
+}
+
+TEST(InlineFunctionTest, SelfAssignViaMoveIsSafe) {
+  std::string log;
+  SmallFn fn([&log]() { log += "x"; });
+  SmallFn& ref = fn;
+  fn = std::move(ref);
+  ASSERT_TRUE(fn);
+  fn();
+  EXPECT_EQ(log, "x");
+}
+
+}  // namespace
+}  // namespace seve
