@@ -60,6 +60,11 @@ void BM_TransitiveClosure(benchmark::State& bench_state) {
 
   // Walk the closure of the newest action, as Algorithm 6 does per reply.
   const ActionPtr& target = fx.actions.back();
+  const ObjectSetCounters set_counters_before = GetObjectSetCounters();
+  const uint64_t walk_visits_before = fx.queue.walk_visits_total();
+  int64_t iters = 0;
+  int64_t visits_total = 0;
+  int64_t included_total = 0;
   for (auto _ : bench_state) {
     ObjectSet read_set = target->ReadSet();
     int included = 0;
@@ -71,7 +76,33 @@ void BM_TransitiveClosure(benchmark::State& bench_state) {
         });
     benchmark::DoNotOptimize(visits);
     benchmark::DoNotOptimize(included);
+    ++iters;
+    visits_total += visits;
+    included_total += included;
   }
+  // Kernel counters, per closure walk: how much work the walk did and how
+  // often the signature prefilter decided an intersection test by itself.
+  // These land in BENCH_closure_cost.json alongside the timings.
+  const ObjectSetCounters& sc = GetObjectSetCounters();
+  const double denom = iters > 0 ? static_cast<double>(iters) : 1.0;
+  bench_state.counters["walk_visits"] =
+      static_cast<double>(visits_total) / denom;
+  bench_state.counters["walk_included"] =
+      static_cast<double>(included_total) / denom;
+  bench_state.counters["queue_visits_total"] = static_cast<double>(
+      fx.queue.walk_visits_total() - walk_visits_before);
+  bench_state.counters["intersect_calls"] =
+      static_cast<double>(sc.intersect_calls - set_counters_before.intersect_calls) /
+      denom;
+  bench_state.counters["sig_rejects"] =
+      static_cast<double>(sc.sig_rejects - set_counters_before.sig_rejects) /
+      denom;
+  bench_state.counters["gallop_probes"] =
+      static_cast<double>(sc.gallop_probes - set_counters_before.gallop_probes) /
+      denom;
+  bench_state.counters["merge_scans"] =
+      static_cast<double>(sc.merge_scans - set_counters_before.merge_scans) /
+      denom;
 }
 BENCHMARK(BM_TransitiveClosure)
     ->ArgNames({"avatars", "queue"})

@@ -46,8 +46,34 @@ void BM_WorldStateDigest(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(ws.Digest());
   }
+  state.counters["digest_folds"] = static_cast<double>(ws.digest_folds());
+  state.counters["digest_rescans"] = static_cast<double>(ws.digest_rescans());
 }
-BENCHMARK(BM_WorldStateDigest)->Arg(64)->Arg(1024);
+// The incremental digest makes this flat in the object count (it used to
+// rescan all n objects per call); 16384 is the tell.
+BENCHMARK(BM_WorldStateDigest)->Arg(64)->Arg(1024)->Arg(16384);
+
+// The realistic digest workload: mutate one object, then read the digest
+// (what the sweep determinism checks and consistency audits do per
+// frame). Cost must be one hash fold, independent of store size.
+void BM_WorldStateMutateDigest(benchmark::State& state) {
+  WorldState ws;
+  const auto n = static_cast<uint64_t>(state.range(0));
+  for (uint64_t i = 0; i < n; ++i) {
+    ws.SetAttr(ObjectId(i), kAttrPosition,
+               Value(Vec2{static_cast<double>(i), 1.0}));
+  }
+  uint64_t k = 0;
+  for (auto _ : state) {
+    ws.SetAttr(ObjectId(k % n), kAttrPosition,
+               Value(Vec2{static_cast<double>(k), 2.0}));
+    benchmark::DoNotOptimize(ws.Digest());
+    ++k;
+  }
+  state.counters["digest_folds"] = static_cast<double>(ws.digest_folds());
+  state.counters["digest_rescans"] = static_cast<double>(ws.digest_rescans());
+}
+BENCHMARK(BM_WorldStateMutateDigest)->Arg(64)->Arg(1024)->Arg(16384);
 
 void BM_GridIndexQuery(benchmark::State& state) {
   Rng rng(1);

@@ -30,9 +30,21 @@ struct CapacityPoint {
   double mean_response_ms;
   double p95_response_ms;
   double wall_seconds = 0.0;
+  // Closure-engine kernel counters for the run (real work, not simulated
+  // cost): conflict-walk visits, ObjectSet signature decisions, and
+  // incremental-digest activity in the authoritative store.
+  uint64_t walk_visits = 0;
+  uint64_t intersect_calls = 0;
+  uint64_t sig_rejects = 0;
+  uint64_t digest_folds = 0;
+  uint64_t digest_rescans = 0;
 };
 
 CapacityPoint RunCapacity(int num_clients, int moves_per_client) {
+  // ObjectSet counters are thread_local and each capacity point runs
+  // wholly inside one pool worker, so deltas here are this run's alone
+  // (plus any earlier run on the same worker — hence before/after).
+  const ObjectSetCounters set_before = GetObjectSetCounters();
   constexpr Micros kLatency = 119000;
   constexpr Micros kRtt = 2 * kLatency;
   constexpr Micros kPeriod = 300000;
@@ -119,6 +131,12 @@ CapacityPoint RunCapacity(int num_clients, int moves_per_client) {
       100.0 * static_cast<double>(server.cpu_busy_us()) / wall;
   point.mean_response_ms = responses.Mean() / 1000.0;
   point.p95_response_ms = static_cast<double>(responses.P95()) / 1000.0;
+  const ObjectSetCounters& set_after = GetObjectSetCounters();
+  point.walk_visits = static_cast<uint64_t>(server.stats().closure_visits);
+  point.intersect_calls = set_after.intersect_calls - set_before.intersect_calls;
+  point.sig_rejects = set_after.sig_rejects - set_before.sig_rejects;
+  point.digest_folds = server.authoritative().digest_folds();
+  point.digest_rescans = server.authoritative().digest_rescans();
   return point;
 }
 
@@ -170,13 +188,21 @@ int main(int argc, char** argv) {
   j += "  \"rows\": [\n";
   for (size_t i = 0; i < points.size(); ++i) {
     const CapacityPoint& p = points[i];
-    char row[256];
+    char row[512];
     std::snprintf(row, sizeof(row),
                   "    {\"clients\": %d, \"moves_per_client\": %d, "
                   "\"server_busy_pct\": %.6g, \"response_mean_ms\": %.6g, "
-                  "\"response_p95_ms\": %.6g, \"wall_seconds\": %.6g}%s\n",
+                  "\"response_p95_ms\": %.6g, \"wall_seconds\": %.6g, "
+                  "\"walk_visits\": %llu, \"intersect_calls\": %llu, "
+                  "\"sig_rejects\": %llu, \"digest_folds\": %llu, "
+                  "\"digest_rescans\": %llu}%s\n",
                   p.clients, moves, p.server_busy_pct, p.mean_response_ms,
                   p.p95_response_ms, p.wall_seconds,
+                  static_cast<unsigned long long>(p.walk_visits),
+                  static_cast<unsigned long long>(p.intersect_calls),
+                  static_cast<unsigned long long>(p.sig_rejects),
+                  static_cast<unsigned long long>(p.digest_folds),
+                  static_cast<unsigned long long>(p.digest_rescans),
                   i + 1 < points.size() ? "," : "");
     j += row;
   }

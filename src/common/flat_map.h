@@ -1,0 +1,149 @@
+#ifndef SEVE_COMMON_FLAT_MAP_H_
+#define SEVE_COMMON_FLAT_MAP_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace seve {
+
+/// Open-addressing hash map with linear probing over a power-of-two slot
+/// array. Replaces std::unordered_map on the closure-engine hot paths
+/// (the server queue's per-object writer index, the world-state object
+/// store, OCC/lock version maps): one flat array probe instead of a
+/// bucket-pointer chase, and erasure is tombstone-free — deleted slots
+/// are healed immediately by backward-shifting the displaced run, so
+/// probe sequences never grow with deletion history.
+///
+/// Requirements: Key equality-comparable + hashable, Value
+/// default-constructible and movable. Pointers returned by Find remain
+/// valid until the next insertion or erasure.
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class FlatMap {
+ public:
+  FlatMap() = default;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  Value* Find(const Key& key) {
+    const size_t i = FindIndex(key);
+    return i == kNone ? nullptr : &slots_[i].value;
+  }
+  const Value* Find(const Key& key) const {
+    const size_t i = FindIndex(key);
+    return i == kNone ? nullptr : &slots_[i].value;
+  }
+  bool Contains(const Key& key) const { return FindIndex(key) != kNone; }
+
+  /// Returns {value pointer, inserted}. A newly inserted slot holds a
+  /// default-constructed Value.
+  std::pair<Value*, bool> TryEmplace(const Key& key) {
+    if ((size_ + 1) * 8 > slots_.size() * 7) Grow();
+    size_t i = Hash{}(key) & mask_;
+    while (used_[i]) {
+      if (slots_[i].key == key) return {&slots_[i].value, false};
+      i = (i + 1) & mask_;
+    }
+    used_[i] = 1;
+    slots_[i].key = key;
+    slots_[i].value = Value{};
+    ++size_;
+    return {&slots_[i].value, true};
+  }
+
+  Value& operator[](const Key& key) { return *TryEmplace(key).first; }
+
+  /// Removes `key` if present. Backward-shift deletion: every displaced
+  /// entry in the probe run after the hole is moved back into it, so no
+  /// tombstone is left behind.
+  bool Erase(const Key& key) {
+    size_t i = FindIndex(key);
+    if (i == kNone) return false;
+    size_t j = i;
+    for (;;) {
+      j = (j + 1) & mask_;
+      if (!used_[j]) break;
+      const size_t home = Hash{}(slots_[j].key) & mask_;
+      // Slot j may fill the hole at i only if its probe path passes
+      // through i, i.e. home is cyclically outside (i, j].
+      if (((j - home) & mask_) < ((j - i) & mask_)) continue;
+      slots_[i] = std::move(slots_[j]);
+      i = j;
+    }
+    used_[i] = 0;
+    slots_[i].value = Value{};  // release the payload eagerly
+    --size_;
+    return true;
+  }
+
+  void Clear() {
+    std::fill(used_.begin(), used_.end(), uint8_t{0});
+    for (Slot& s : slots_) s.value = Value{};
+    size_ = 0;
+  }
+
+  void Reserve(size_t n) {
+    while (n * 8 > slots_.size() * 7) Grow();
+  }
+
+  /// Calls fn(key, value) for every entry, in slot order (hash order —
+  /// callers needing determinism must sort, as with unordered_map).
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (size_t i = 0; i < slots_.size(); ++i) {
+      if (used_[i]) fn(slots_[i].key, slots_[i].value);
+    }
+  }
+  template <typename Fn>
+  void ForEach(Fn&& fn) {
+    for (size_t i = 0; i < slots_.size(); ++i) {
+      if (used_[i]) fn(slots_[i].key, slots_[i].value);
+    }
+  }
+
+ private:
+  struct Slot {
+    Key key{};
+    Value value{};
+  };
+  static constexpr size_t kNone = ~size_t{0};
+
+  size_t FindIndex(const Key& key) const {
+    if (size_ == 0) return kNone;
+    size_t i = Hash{}(key) & mask_;
+    while (used_[i]) {
+      if (slots_[i].key == key) return i;
+      i = (i + 1) & mask_;
+    }
+    return kNone;
+  }
+
+  void Grow() {
+    const size_t new_cap = slots_.empty() ? 16 : slots_.size() * 2;
+    std::vector<Slot> old_slots = std::move(slots_);
+    std::vector<uint8_t> old_used = std::move(used_);
+    slots_ = std::vector<Slot>(new_cap);
+    used_.assign(new_cap, 0);
+    mask_ = new_cap - 1;
+    for (size_t idx = 0; idx < old_slots.size(); ++idx) {
+      if (!old_used[idx]) continue;
+      size_t i = Hash{}(old_slots[idx].key) & mask_;
+      while (used_[i]) i = (i + 1) & mask_;
+      used_[i] = 1;
+      slots_[i] = std::move(old_slots[idx]);
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::vector<uint8_t> used_;
+  size_t size_ = 0;
+  size_t mask_ = 0;
+};
+
+}  // namespace seve
+
+#endif  // SEVE_COMMON_FLAT_MAP_H_

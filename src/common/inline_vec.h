@@ -1,0 +1,155 @@
+#ifndef SEVE_COMMON_INLINE_VEC_H_
+#define SEVE_COMMON_INLINE_VEC_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstring>
+#include <type_traits>
+#include <utility>
+
+namespace seve {
+
+/// Small-buffer vector for trivially copyable elements: the first N
+/// elements live inline (no allocation), larger counts spill to a heap
+/// array. The closure-engine hot paths (read/write sets, writer chains,
+/// conflict-walk candidate heaps) hold a handful of elements in the
+/// common case, so inline storage removes the per-set allocation the
+/// std::vector representation paid.
+///
+/// Same recipe as GridIndex::CellVec (PR 2), generalised: raw byte
+/// storage + memcpy, which is why T must be trivially copyable.
+template <typename T, size_t N>
+class InlineVec {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "InlineVec requires trivially copyable elements");
+  static_assert(N > 0, "InlineVec needs a nonzero inline capacity");
+
+ public:
+  InlineVec() = default;
+  ~InlineVec() { FreeHeap(); }
+
+  InlineVec(const InlineVec& other) { assign(other.data(), other.size_); }
+  InlineVec& operator=(const InlineVec& other) {
+    if (this != &other) assign(other.data(), other.size_);
+    return *this;
+  }
+  InlineVec(InlineVec&& other) noexcept { MoveFrom(std::move(other)); }
+  InlineVec& operator=(InlineVec&& other) noexcept {
+    if (this != &other) {
+      FreeHeap();
+      MoveFrom(std::move(other));
+    }
+    return *this;
+  }
+
+  size_t size() const { return size_; }
+  size_t capacity() const { return capacity_; }
+  bool empty() const { return size_ == 0; }
+
+  // gcc's -Wmaybe-uninitialized flags the speculated load of heap_ in
+  // the not-taken arm of the select under sanitizer instrumentation;
+  // heap_ is only ever dereferenced after Reserve sets it (capacity_
+  // != N), so the read is dead on the inline path.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+  const T* data() const {
+    return capacity_ == N ? reinterpret_cast<const T*>(inline_) : heap_;
+  }
+  T* data() {
+    return capacity_ == N ? reinterpret_cast<T*>(inline_) : heap_;
+  }
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+  const T* begin() const { return data(); }
+  const T* end() const { return data() + size_; }
+  T* begin() { return data(); }
+  T* end() { return data() + size_; }
+  const T& operator[](size_t i) const { return data()[i]; }
+  T& operator[](size_t i) { return data()[i]; }
+  const T& back() const { return data()[size_ - 1]; }
+  T& back() { return data()[size_ - 1]; }
+
+  void push_back(const T& v) {
+    if (size_ == capacity_) Reserve(size_ + 1);
+    data()[size_++] = v;
+  }
+  void pop_back() { --size_; }
+
+  /// Drops all elements, keeping the current capacity (heap or inline).
+  void clear() { size_ = 0; }
+
+  void Reserve(size_t want) {
+    if (want <= capacity_) return;
+    size_t cap = capacity_ * 2;
+    while (cap < want) cap *= 2;
+    T* grown = new T[cap];
+    std::memcpy(static_cast<void*>(grown), data(), size_ * sizeof(T));
+    FreeHeap();
+    heap_ = grown;
+    capacity_ = cap;
+  }
+
+  void assign(const T* src, size_t n) {
+    Reserve(n);
+    // n == 0 may come with src == nullptr (e.g. an empty std::vector's
+    // data()); memmove requires non-null pointers even then.
+    if (n != 0) std::memmove(static_cast<void*>(data()), src, n * sizeof(T));
+    size_ = n;
+  }
+
+  /// Inserts `v` before index `i`, shifting the tail right.
+  void InsertAt(size_t i, const T& v) {
+    Reserve(size_ + 1);
+    T* d = data();
+    std::memmove(static_cast<void*>(d + i + 1), d + i,
+                 (size_ - i) * sizeof(T));
+    d[i] = v;
+    ++size_;
+  }
+
+  /// Removes the first `n` elements, shifting the tail left.
+  void EraseFront(size_t n) {
+    T* d = data();
+    std::memmove(static_cast<void*>(d), d + n, (size_ - n) * sizeof(T));
+    size_ -= n;
+  }
+
+  /// Sets the logical size after writing directly into reserved storage.
+  void SetSize(size_t n) { size_ = n; }
+
+  friend bool operator==(const InlineVec& a, const InlineVec& b) {
+    return a.size_ == b.size_ &&
+           (a.size_ == 0 ||
+            std::memcmp(a.data(), b.data(), a.size_ * sizeof(T)) == 0);
+  }
+
+ private:
+  void FreeHeap() {
+    if (capacity_ != N) delete[] heap_;
+  }
+  void MoveFrom(InlineVec&& other) noexcept {
+    size_ = other.size_;
+    capacity_ = other.capacity_;
+    if (capacity_ == N) {
+      std::memcpy(inline_, other.inline_, sizeof(inline_));
+    } else {
+      heap_ = other.heap_;
+      other.capacity_ = N;
+    }
+    other.size_ = 0;
+  }
+
+  size_t size_ = 0;
+  size_t capacity_ = N;
+  union {
+    alignas(T) unsigned char inline_[N * sizeof(T)];
+    T* heap_;
+  };
+};
+
+}  // namespace seve
+
+#endif  // SEVE_COMMON_INLINE_VEC_H_

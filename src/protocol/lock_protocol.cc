@@ -35,7 +35,7 @@ void LockServer::OnMessage(const Message& msg) {
 
 bool LockServer::LocksFree(const ObjectSet& set) const {
   for (ObjectId id : set) {
-    if (lock_table_.count(id) != 0) return false;
+    if (lock_table_.Contains(id)) return false;
   }
   return true;
 }
@@ -69,15 +69,14 @@ void LockServer::HandleEffect(const LockEffectBody& effect) {
   ++stats_.actions_committed;
 
   // Release the locks...
-  auto held = held_sets_.find(effect.action_id);
-  if (held != held_sets_.end()) {
-    for (ObjectId id : held->second) {
-      auto lock = lock_table_.find(id);
-      if (lock != lock_table_.end() && lock->second == effect.action_id) {
-        lock_table_.erase(lock);
+  if (ObjectSet* held = held_sets_.Find(effect.action_id)) {
+    for (ObjectId id : *held) {
+      const ActionId* owner = lock_table_.Find(id);
+      if (owner != nullptr && *owner == effect.action_id) {
+        lock_table_.Erase(id);
       }
     }
-    held_sets_.erase(held);
+    held_sets_.Erase(effect.action_id);
   }
 
   // ...fan the effect out to every other client...

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "action/action.h"
+#include "common/flat_map.h"
 #include "common/metrics.h"
 #include "net/node.h"
 #include "protocol/client_cost.h"
@@ -94,8 +95,11 @@ class LockServer : public Node {
 
   WorldState state_;
   CostModel cost_;
-  std::unordered_map<ObjectId, ActionId> lock_table_;  // held locks
-  std::unordered_map<ActionId, ObjectSet> held_sets_;
+  // LocksFree probes the table once per read-set id on every request and
+  // every FIFO rescan — open addressing keeps those probes in one cache
+  // line each.
+  FlatMap<ObjectId, ActionId> lock_table_;  // held locks
+  FlatMap<ActionId, ObjectSet> held_sets_;
   std::deque<Waiting> waiting_;
   std::unordered_map<ClientId, NodeId> clients_;
   std::vector<ClientId> client_order_;

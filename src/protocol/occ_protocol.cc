@@ -32,8 +32,8 @@ void OccServer::Certify(const OccSubmitBody& submit, ClientId origin) {
   // Validation: every read version must still be current.
   bool stale = false;
   for (const auto& [id, version] : submit.read_versions) {
-    auto it = versions_.find(id);
-    const SeqNum current = it == versions_.end() ? kInvalidSeq : it->second;
+    const SeqNum* v = versions_.Find(id);
+    const SeqNum current = v != nullptr ? *v : kInvalidSeq;
     if (current != version) {
       stale = true;
       break;
@@ -48,9 +48,9 @@ void OccServer::Certify(const OccSubmitBody& submit, ClientId origin) {
     // Refresh the stale read set so the retry starts from current state.
     verdict->refresh = state_.Extract(submit.action->ReadSet());
     for (ObjectId id : submit.action->ReadSet()) {
-      auto it = versions_.find(id);
+      const SeqNum* v = versions_.Find(id);
       verdict->refresh_versions.emplace_back(
-          id, it == versions_.end() ? kInvalidSeq : it->second);
+          id, v != nullptr ? *v : kInvalidSeq);
     }
     Send(origin_it->second, verdict->WireSize(), verdict);
     return;
@@ -112,9 +112,8 @@ void OccClient::Attempt(ActionPtr action, int attempt) {
     in_flight_[action->id()] = Pending{action, attempt, digest,
                                        body->written};
     for (ObjectId id : action->ReadSet()) {
-      auto it = versions_.find(id);
-      body->read_versions.emplace_back(
-          id, it == versions_.end() ? kInvalidSeq : it->second);
+      const SeqNum* v = versions_.Find(id);
+      body->read_versions.emplace_back(id, v != nullptr ? *v : kInvalidSeq);
     }
     Send(server_, body->WireSize(), body);
   });

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "action/action.h"
+#include "common/flat_map.h"
 #include "common/metrics.h"
 #include "net/node.h"
 #include "protocol/client_cost.h"
@@ -100,7 +101,10 @@ class OccServer : public Node {
 
   WorldState state_;
   CostModel cost_;
-  std::unordered_map<ObjectId, SeqNum> versions_;
+  // Per-object committed-version map: certification probes it once per
+  // read-set entry, so it sits in the same FlatMap the closure engine
+  // uses for its hot lookups.
+  FlatMap<ObjectId, SeqNum> versions_;
   std::unordered_map<ClientId, NodeId> clients_;
   std::vector<ClientId> client_order_;
   SeqNum next_pos_ = 0;
@@ -138,7 +142,7 @@ class OccClient : public Node {
   ClientId client_;
   NodeId server_;
   WorldState state_;
-  std::unordered_map<ObjectId, SeqNum> versions_;
+  FlatMap<ObjectId, SeqNum> versions_;
   ActionCostFn cost_fn_;
   Micros install_us_;
   int max_attempts_;

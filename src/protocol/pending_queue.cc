@@ -47,11 +47,13 @@ void PendingQueue::Reconcile(WorldState* optimistic,
 }
 
 void PendingQueue::RebuildWriteSet() {
-  ObjectSet rebuilt;
+  // In-place rebuild: Clear keeps the inline/heap capacity and UnionWith
+  // runs through the shared merge scratch, so a Pop/Remove rebuild never
+  // allocates in steady state.
+  write_set_.Clear();
   for (const Entry& entry : entries_) {
-    rebuilt.UnionWith(entry.action->WriteSet());
+    write_set_.UnionWith(entry.action->WriteSet());
   }
-  write_set_ = std::move(rebuilt);
 }
 
 }  // namespace seve

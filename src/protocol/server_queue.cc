@@ -1,7 +1,6 @@
 #include "protocol/server_queue.h"
 
 #include <algorithm>
-#include <queue>
 
 namespace seve {
 
@@ -29,73 +28,39 @@ const ServerQueue::Entry* ServerQueue::Find(SeqNum pos) const {
 }
 
 SeqNum ServerQueue::GreatestWriterBelow(ObjectId id, SeqNum below) const {
-  auto it = writers_.find(id);
-  if (it == writers_.end()) return kInvalidSeq;
-  std::vector<SeqNum>& positions = it->second;
-  // Lazy prune of committed prefix (amortized O(1) per append).
-  auto first_live = std::lower_bound(positions.begin(), positions.end(), base_);
-  if (first_live != positions.begin() &&
-      static_cast<size_t>(first_live - positions.begin()) * 2 >
-          positions.size()) {
-    positions.erase(positions.begin(), first_live);
-    first_live = positions.begin();
+  WriterChain* positions = writers_.Find(id);
+  if (positions == nullptr) return kInvalidSeq;
+  SeqNum* first_live =
+      std::lower_bound(positions->begin(), positions->end(), base_);
+  if (first_live == positions->end()) {
+    // Every writer of this object has committed: drop the chain outright
+    // (backward-shift erase, no tombstone left in the table).
+    writers_.Erase(id);
+    ++writer_prunes_;
+    return kInvalidSeq;
   }
-  auto candidate = std::lower_bound(first_live, positions.end(), below);
+  // Lazy prune of the committed prefix (amortized O(1) per append): only
+  // pay the memmove once the dead prefix outweighs the live suffix.
+  const size_t dead = static_cast<size_t>(first_live - positions->begin());
+  if (dead > 0 && dead * 2 > positions->size()) {
+    positions->EraseFront(dead);
+    ++writer_prunes_;
+    first_live = positions->begin();
+  }
+  SeqNum* candidate = std::lower_bound(first_live, positions->end(), below);
   if (candidate == first_live) return kInvalidSeq;
   --candidate;
   return *candidate >= base_ ? *candidate : kInvalidSeq;
 }
 
-int ServerQueue::WalkConflicts(
-    SeqNum start_pos, ObjectSet* read_set,
-    const std::function<WalkVerdict(const Entry&)>& visitor) const {
-  // Max-heap of (candidate position, object) pairs; each object's writer
-  // chain is enumerated in descending pos order, so globally entries are
-  // visited in descending order as Algorithms 6 and 7 require.
-  using Candidate = std::pair<SeqNum, ObjectId>;
-  std::priority_queue<Candidate> heap;
-
-  auto seed = [&](ObjectId id, SeqNum below) {
-    const SeqNum writer = GreatestWriterBelow(id, below);
-    if (writer != kInvalidSeq) heap.push({writer, id});
-  };
-  for (ObjectId id : *read_set) seed(id, start_pos);
-
-  std::unordered_set<SeqNum> visited;
-  int visits = 0;
-  while (!heap.empty()) {
-    const auto [pos, obj] = heap.top();
-    heap.pop();
-    // Continue this object's chain regardless of the verdict below.
-    if (read_set->Contains(obj)) seed(obj, pos);
-    if (visited.count(pos) != 0) continue;
-    const Entry* entry = Find(pos);
-    if (entry == nullptr || !entry->valid) continue;
-    if (!read_set->Contains(obj)) continue;  // object resolved meanwhile
-    if (!entry->action->WriteSet().Intersects(*read_set)) continue;
-    visited.insert(pos);
-    ++visits;
-
-    const WalkVerdict verdict = visitor(*entry);
-    if (verdict == WalkVerdict::kStop) break;
-    if (verdict == WalkVerdict::kResolve) {
-      read_set->SubtractWith(entry->action->WriteSet());
-    } else if (verdict == WalkVerdict::kInclude) {
-      // S ← S ∪ RS(a_j); new objects contribute their own writer chains.
-      for (ObjectId id : entry->action->ReadSet()) {
-        if (!read_set->Contains(id)) {
-          read_set->Insert(id);
-          seed(id, pos);
-        }
-      }
-    }
-  }
-  return visits;
-}
-
 void ServerQueue::MarkInvalid(SeqNum pos) {
   Entry* entry = Find(pos);
   if (entry != nullptr) entry->valid = false;
+}
+
+size_t ServerQueue::WriterChainLengthForTest(ObjectId id) const {
+  const WriterChain* chain = writers_.Find(id);
+  return chain != nullptr ? chain->size() : 0;
 }
 
 std::vector<SeqNum> ServerQueue::Complete(

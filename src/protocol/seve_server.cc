@@ -91,9 +91,9 @@ void SeveServer::HandleSubmit(ClientId from, ActionPtr action,
       validity_frontier_ = pos + 1;
       std::vector<OrderedAction> batch =
           ComputeClosure(from, pos, &cpu, resync);
-      auto it = clients_.find(from);
-      if (it != clients_.end() && !batch.empty()) {
-        NodeId dst = it->second.node;
+      const ClientRec* rec = clients_.Find(from);
+      if (rec != nullptr && !batch.empty()) {
+        NodeId dst = rec->node;
         SubmitWork(cpu, [this, dst, batch = std::move(batch)]() {
           auto body = std::make_shared<DeliverActionsBody>();
           body->actions = std::move(batch);
@@ -110,15 +110,17 @@ void SeveServer::HandleSubmit(ClientId from, ActionPtr action,
     // Incomplete World Model without push: reply immediately with the
     // transitive closure of the submitted action (Algorithm 5 step 4b).
     validity_frontier_ = pos + 1;
-    auto it = clients_.find(from);
-    if (it == clients_.end()) return;
-    ClientRec* rec = &it->second;
+    const ClientRec* rec = clients_.Find(from);
+    if (rec == nullptr) return;
+    // Capture the node id by value: FlatMap slots move on growth, so a
+    // ClientRec pointer must not outlive this call.
+    NodeId dst = rec->node;
     std::vector<OrderedAction> batch =
         ComputeClosure(from, pos, &cpu, resync);
-    SubmitWork(cpu, [this, rec, batch = std::move(batch)]() {
+    SubmitWork(cpu, [this, dst, batch = std::move(batch)]() {
       auto body = std::make_shared<DeliverActionsBody>();
       body->actions = std::move(batch);
-      Send(rec->node, body->WireSize(), body);
+      Send(dst, body->WireSize(), body);
     });
   }
 }
@@ -137,9 +139,9 @@ Micros SeveServer::RouteToClients(SeqNum pos, const Action& action) {
       profile.position, query_radius, [&](uint64_t key) {
         ++candidates;
         const ClientId client(key);
-        auto it = clients_.find(client);
-        if (it == clients_.end()) return;
-        ClientRec& rec = it->second;
+        ClientRec* rec_ptr = clients_.Find(client);
+        if (rec_ptr == nullptr) return;
+        ClientRec& rec = *rec_ptr;
         if (client != action.origin() &&
             !interest_.MayAffect(profile, loop()->now(), rec.profile,
                                  rec.profile_time)) {
@@ -149,9 +151,9 @@ Micros SeveServer::RouteToClients(SeqNum pos, const Action& action) {
       });
   // The origin always gets its own action back even if the spatial query
   // missed it (e.g. a zero-radius profile on a grid boundary).
-  auto origin_it = clients_.find(action.origin());
-  if (origin_it != clients_.end()) {
-    auto& pending = origin_it->second.pending_push;
+  ClientRec* origin_rec = clients_.Find(action.origin());
+  if (origin_rec != nullptr) {
+    auto& pending = origin_rec->pending_push;
     if (std::find(pending.begin(), pending.end(), pos) == pending.end()) {
       pending.push_back(pos);
     }
@@ -295,22 +297,22 @@ void SeveServer::OnTick() {
   for (SeqNum pos = scan_start; pos < end; ++pos) {
     const ServerQueue::Entry* entry = queue_.Find(pos);
     if (entry == nullptr || !entry->valid) {
-      pending_resync_.erase(pos);
+      pending_resync_.Erase(pos);
       continue;
     }
     const ClientId origin = entry->action->origin();
-    auto it = clients_.find(origin);
-    if (it == clients_.end()) continue;
+    const ClientRec* rec = clients_.Find(origin);
+    if (rec == nullptr) continue;
+    const NodeId dst = rec->node;
     ObjectSet resync;
-    auto resync_it = pending_resync_.find(pos);
-    if (resync_it != pending_resync_.end()) {
-      resync = std::move(resync_it->second);
-      pending_resync_.erase(resync_it);
+    if (ObjectSet* stashed = pending_resync_.Find(pos)) {
+      resync = std::move(*stashed);
+      pending_resync_.Erase(pos);
     }
     std::vector<OrderedAction> batch =
         ComputeClosure(origin, pos, &cpu, resync);
     if (!batch.empty()) {
-      replies.push_back(Reply{it->second.node, std::move(batch)});
+      replies.push_back(Reply{dst, std::move(batch)});
     }
   }
 
@@ -322,8 +324,8 @@ void SeveServer::OnTick() {
       Send(reply.node, body->WireSize(), body);
     }
     for (const Drop& drop : drops) {
-      auto it = clients_.find(drop.origin);
-      if (it == clients_.end()) continue;
+      const ClientRec* rec = clients_.Find(drop.origin);
+      if (rec == nullptr) continue;
       auto body = std::make_shared<DropNoticeBody>();
       body->action_id = drop.action_id;
       body->pos = drop.pos;
@@ -331,7 +333,7 @@ void SeveServer::OnTick() {
       // so its next declaration starts from authoritative positions.
       body->refresh = state_.Extract(drop.read_set);
       body->refresh_pos = queue_.begin_pos() - 1;
-      Send(it->second.node, body->WireSize(), body);
+      Send(rec->node, body->WireSize(), body);
     }
   });
 
@@ -342,7 +344,7 @@ void SeveServer::OnTick() {
 
 void SeveServer::OnPushCycle() {
   for (ClientId client : client_order_) {
-    ClientRec& rec = clients_.at(client);
+    ClientRec& rec = *clients_.Find(client);
     // Ship only validity-decided positions; keep the rest queued.
     std::vector<SeqNum> ready;
     std::vector<SeqNum> not_ready;
@@ -407,10 +409,10 @@ void SeveServer::HandleCompletion(const CompletionBody& completion) {
 
 void SeveServer::UpdateClientProfile(ClientId client,
                                      const InterestProfile& profile) {
-  auto it = clients_.find(client);
-  if (it == clients_.end()) return;
-  it->second.profile = profile;
-  it->second.profile_time = loop()->now();
+  ClientRec* rec = clients_.Find(client);
+  if (rec == nullptr) return;
+  rec->profile = profile;
+  rec->profile_time = loop()->now();
   (void)client_index_.Move(IndexKey(client),
                            AABB::FromCircle(profile.position, 0.0));
   max_client_radius_ = std::max(max_client_radius_, profile.radius);
@@ -420,7 +422,7 @@ void SeveServer::SendCommitNotices() {
   auto body = std::make_shared<CommitNoticeBody>();
   body->pos = queue_.begin_pos() - 1;
   for (ClientId client : client_order_) {
-    Send(clients_.at(client).node, body->WireSize(), body);
+    Send(clients_.Find(client)->node, body->WireSize(), body);
   }
   if (running_ && options_.commit_notice_period_us > 0) {
     loop()->After(options_.commit_notice_period_us,

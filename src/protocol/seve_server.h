@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "action/action.h"
+#include "common/flat_map.h"
 #include "common/metrics.h"
 #include "net/node.h"
 #include "protocol/interest.h"
@@ -112,7 +113,9 @@ class SeveServer : public Node {
   InterestModel interest_;
   SeveOptions options_;
   ServerQueue queue_;
-  std::unordered_map<ClientId, ClientRec> clients_;
+  // Hot per-message lookups live in open-addressing FlatMaps; cold,
+  // externally exposed bookkeeping (committed_digests_) stays std.
+  FlatMap<ClientId, ClientRec> clients_;
   std::vector<ClientId> client_order_;  // registration order, deterministic
   GridIndex client_index_;
   double max_client_radius_ = 0.0;
@@ -120,7 +123,7 @@ class SeveServer : public Node {
   SeqNum tick_scan_pos_ = 0;
   // Resync sets attached to submissions whose reply waits for the
   // validity tick (dropping mode); consumed by OnTick.
-  std::unordered_map<SeqNum, ObjectSet> pending_resync_;
+  FlatMap<SeqNum, ObjectSet> pending_resync_;
   ActionId::ValueType next_blind_id_ = 1ull << 62;
   bool running_ = false;
   ProtocolStats stats_;

@@ -1,30 +1,78 @@
 #include "store/rw_set.h"
 
 #include <algorithm>
+#include <iterator>
 
 namespace seve {
+namespace {
+
+thread_local ObjectSetCounters g_object_set_counters;
+
+/// Per-thread merge scratch shared by the union/difference paths. The
+/// protocols churn through these merges once per queue operation; reusing
+/// one buffer makes them allocation-free after warmup.
+std::vector<ObjectId>& MergeScratch() {
+  thread_local std::vector<ObjectId> scratch;
+  return scratch;
+}
+
+}  // namespace
+
+ObjectSetCounters& GetObjectSetCounters() { return g_object_set_counters; }
 
 ObjectSet::ObjectSet(std::initializer_list<ObjectId> ids)
     : ObjectSet(std::vector<ObjectId>(ids)) {}
 
-ObjectSet::ObjectSet(std::vector<ObjectId> ids) : ids_(std::move(ids)) {
-  std::sort(ids_.begin(), ids_.end());
-  ids_.erase(std::unique(ids_.begin(), ids_.end()), ids_.end());
+ObjectSet::ObjectSet(std::vector<ObjectId> ids) {
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  ids_.assign(ids.data(), ids.size());
+  RecomputeSignature();
+}
+
+void ObjectSet::RecomputeSignature() {
+  uint64_t sig = 0;
+  for (ObjectId id : ids_) sig |= Bit(id);
+  sig_ = sig;
 }
 
 void ObjectSet::Insert(ObjectId id) {
-  auto it = std::lower_bound(ids_.begin(), ids_.end(), id);
-  if (it == ids_.end() || *it != id) ids_.insert(it, id);
+  const ObjectId* it = std::lower_bound(ids_.begin(), ids_.end(), id);
+  if (it != ids_.end() && *it == id) return;
+  ids_.InsertAt(static_cast<size_t>(it - ids_.begin()), id);
+  sig_ |= Bit(id);
 }
 
 bool ObjectSet::Contains(ObjectId id) const {
+  if ((sig_ & Bit(id)) == 0) return false;
   return std::binary_search(ids_.begin(), ids_.end(), id);
 }
 
 bool ObjectSet::Intersects(const ObjectSet& other) const {
-  auto a = ids_.begin();
-  auto b = other.ids_.begin();
-  while (a != ids_.end() && b != other.ids_.end()) {
+  ObjectSetCounters& c = g_object_set_counters;
+  ++c.intersect_calls;
+  if ((sig_ & other.sig_) == 0) {
+    ++c.sig_rejects;
+    return false;
+  }
+  const ObjectSet* small = this;
+  const ObjectSet* big = &other;
+  if (small->size() > big->size()) std::swap(small, big);
+  // Lopsided operands (the closure walk's tiny write set vs the growing
+  // read set): probe each small id into the big set — O(s log b) beats
+  // the O(s + b) merge once b dominates.
+  if (big->size() >= 16 && big->size() >= 8 * small->size()) {
+    ++c.gallop_probes;
+    for (ObjectId id : *small) {
+      if ((big->sig_ & Bit(id)) == 0) continue;
+      if (std::binary_search(big->begin(), big->end(), id)) return true;
+    }
+    return false;
+  }
+  ++c.merge_scans;
+  const ObjectId* a = small->begin();
+  const ObjectId* b = big->begin();
+  while (a != small->end() && b != big->end()) {
     if (*a < *b) {
       ++a;
     } else if (*b < *a) {
@@ -38,25 +86,62 @@ bool ObjectSet::Intersects(const ObjectSet& other) const {
 
 void ObjectSet::UnionWith(const ObjectSet& other) {
   if (other.empty()) return;
-  std::vector<ObjectId> merged;
-  merged.reserve(ids_.size() + other.ids_.size());
-  std::set_union(ids_.begin(), ids_.end(), other.ids_.begin(),
-                 other.ids_.end(), std::back_inserter(merged));
-  ids_ = std::move(merged);
+  if (empty()) {
+    *this = other;
+    return;
+  }
+  // If the signatures are disjoint or other brings nothing new, a merge
+  // is still needed for ordering — but when this already covers other we
+  // can skip it outright.
+  if ((sig_ & other.sig_) == other.sig_ &&
+      std::includes(begin(), end(), other.begin(), other.end())) {
+    return;
+  }
+  std::vector<ObjectId>& scratch = MergeScratch();
+  scratch.clear();
+  scratch.reserve(ids_.size() + other.ids_.size());
+  std::set_union(begin(), end(), other.begin(), other.end(),
+                 std::back_inserter(scratch));
+  ids_.assign(scratch.data(), scratch.size());
+  sig_ |= other.sig_;
+}
+
+void ObjectSet::UnionWithSorted(const ObjectId* first, size_t n) {
+  if (n == 0) return;
+  std::vector<ObjectId>& scratch = MergeScratch();
+  scratch.clear();
+  scratch.reserve(ids_.size() + n);
+  std::set_union(begin(), end(), first, first + n,
+                 std::back_inserter(scratch));
+  ids_.assign(scratch.data(), scratch.size());
+  for (size_t i = 0; i < n; ++i) sig_ |= Bit(first[i]);
 }
 
 void ObjectSet::SubtractWith(const ObjectSet& other) {
-  if (other.empty() || ids_.empty()) return;
-  std::vector<ObjectId> diff;
-  diff.reserve(ids_.size());
-  std::set_difference(ids_.begin(), ids_.end(), other.ids_.begin(),
-                      other.ids_.end(), std::back_inserter(diff));
-  ids_ = std::move(diff);
+  if (other.empty() || empty()) return;
+  if ((sig_ & other.sig_) == 0) return;  // provably disjoint: no-op
+  // In-place difference: the write cursor never passes the read cursor.
+  ObjectId* out = ids_.begin();
+  const ObjectId* a = ids_.begin();
+  const ObjectId* b = other.begin();
+  while (a != ids_.end() && b != other.end()) {
+    if (*a < *b) {
+      *out++ = *a++;
+    } else if (*b < *a) {
+      ++b;
+    } else {
+      ++a;
+      ++b;
+    }
+  }
+  while (a != ids_.end()) *out++ = *a++;
+  ids_.SetSize(static_cast<size_t>(out - ids_.begin()));
+  RecomputeSignature();
 }
 
 bool ObjectSet::Covers(const ObjectSet& other) const {
-  return std::includes(ids_.begin(), ids_.end(), other.ids_.begin(),
-                       other.ids_.end());
+  if ((sig_ & other.sig_) != other.sig_) return false;
+  return std::includes(begin(), end(), other.begin(), other.end());
 }
 
 ObjectSet ObjectSet::Union(const ObjectSet& a, const ObjectSet& b) {
@@ -72,11 +157,15 @@ ObjectSet ObjectSet::Difference(const ObjectSet& a, const ObjectSet& b) {
 }
 
 ObjectSet ObjectSet::Intersection(const ObjectSet& a, const ObjectSet& b) {
-  std::vector<ObjectId> inter;
-  std::set_intersection(a.ids_.begin(), a.ids_.end(), b.ids_.begin(),
-                        b.ids_.end(), std::back_inserter(inter));
   ObjectSet out;
-  out.ids_ = std::move(inter);
+  if ((a.sig_ & b.sig_) == 0) return out;
+  std::vector<ObjectId>& scratch = MergeScratch();
+  scratch.clear();
+  scratch.reserve(std::min(a.size(), b.size()));
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(scratch));
+  out.ids_.assign(scratch.data(), scratch.size());
+  out.RecomputeSignature();
   return out;
 }
 

@@ -1,19 +1,42 @@
 #ifndef SEVE_STORE_RW_SET_H_
 #define SEVE_STORE_RW_SET_H_
 
+#include <cstdint>
 #include <initializer_list>
 #include <string>
 #include <vector>
 
+#include "common/inline_vec.h"
 #include "common/types.h"
 
 namespace seve {
 
+/// Per-thread counters for the ObjectSet fast paths, exposed so benches
+/// can report why closure walks got cheaper (kernel-counter telemetry).
+/// Thread-local: the parallel sweep engine runs one simulation per
+/// worker, so counters never race.
+struct ObjectSetCounters {
+  uint64_t intersect_calls = 0;
+  uint64_t sig_rejects = 0;      // Intersects decided by signature AND alone
+  uint64_t gallop_probes = 0;    // Intersects via binary-search probing
+  uint64_t merge_scans = 0;      // Intersects via linear merge
+};
+ObjectSetCounters& GetObjectSetCounters();
+
 /// A sorted, deduplicated set of object ids — the representation of an
 /// action's read set RS(a) and write set WS(a) (Section III-C).
 ///
-/// The consistency protocols are built on set intersection/union over
-/// these, so both are O(n) merges over sorted vectors.
+/// Closure-engine representation:
+///   * ids live in an InlineVec (the tiny read/write sets that dominate
+///     Manhattan People workloads never allocate),
+///   * a 64-bit Bloom-fold signature (bit id mod 64 per element) is
+///     maintained alongside, so Intersects/Contains/Covers reject
+///     disjoint operands with one AND before any merge,
+///   * Intersects gallops (binary-search probes) when the operand sizes
+///     are lopsided — the conflict walk tests tiny write sets against a
+///     growing closure read set,
+///   * UnionWith/SubtractWith reuse merge scratch instead of allocating
+///     a fresh vector per call.
 class ObjectSet {
  public:
   ObjectSet() = default;
@@ -27,15 +50,34 @@ class ObjectSet {
   bool empty() const { return ids_.empty(); }
   size_t size() const { return ids_.size(); }
 
-  const std::vector<ObjectId>& ids() const { return ids_; }
-  auto begin() const { return ids_.begin(); }
-  auto end() const { return ids_.end(); }
+  /// Materialises the ids as a vector (test/debug convenience — hot
+  /// paths iterate begin()/end() directly).
+  std::vector<ObjectId> ids() const {
+    return std::vector<ObjectId>(begin(), end());
+  }
+  const ObjectId* begin() const { return ids_.begin(); }
+  const ObjectId* end() const { return ids_.end(); }
+
+  /// The Bloom-fold signature: OR of 1 << (id mod 64) over all members.
+  /// sig(A) & sig(B) == 0 implies A ∩ B = ∅ (never the converse).
+  uint64_t signature() const { return sig_; }
+
+  /// Drops all ids, keeping allocated capacity for refill.
+  void Clear() {
+    ids_.clear();
+    sig_ = 0;
+  }
 
   /// True iff this ∩ other ≠ ∅. The hot test of Algorithms 6 and 7.
   bool Intersects(const ObjectSet& other) const;
 
   /// this ← this ∪ other.
   void UnionWith(const ObjectSet& other);
+
+  /// this ← this ∪ [first, first+n): bulk insert of a sorted, deduplicated
+  /// id range in one merge pass (the conflict walk batches its closure
+  /// additions through this instead of paying one memmove per id).
+  void UnionWithSorted(const ObjectId* first, size_t n);
 
   /// this ← this \ other.
   void SubtractWith(const ObjectSet& other);
@@ -54,7 +96,15 @@ class ObjectSet {
   }
 
  private:
-  std::vector<ObjectId> ids_;
+  static constexpr uint64_t Bit(ObjectId id) {
+    return uint64_t{1} << (id.value() & 63u);
+  }
+  void RecomputeSignature();
+
+  // Manhattan People write sets hold 1-3 ids and read sets a handful;
+  // 8 inline slots cover the common case without spilling.
+  InlineVec<ObjectId, 8> ids_;
+  uint64_t sig_ = 0;
 };
 
 }  // namespace seve

@@ -12,29 +12,63 @@ const Value& NullValue() {
 
 }  // namespace
 
+void WorldState::FlushPending() const {
+  if (!pending_.valid()) return;
+  const Object* obj = objects_.Find(pending_);
+  if (obj != nullptr) {
+    digest_acc_ ^= obj->Hash();
+    ++digest_folds_;
+  }
+  pending_ = ObjectId::Invalid();
+}
+
+void WorldState::Touch(ObjectId id, const Object* existing) {
+  if (pending_ == id) return;  // hash already folded out
+  FlushPending();
+  if (existing != nullptr) {
+    digest_acc_ ^= existing->Hash();
+    ++digest_folds_;
+  }
+  pending_ = id;
+}
+
+void WorldState::Forget(ObjectId id, const Object& existing) {
+  if (pending_ == id) {
+    pending_ = ObjectId::Invalid();  // hash was never folded in
+    return;
+  }
+  digest_acc_ ^= existing.Hash();
+  ++digest_folds_;
+}
+
 Status WorldState::Insert(Object object) {
   const ObjectId id = object.id();
-  auto [it, inserted] = objects_.emplace(id, std::move(object));
+  auto [slot, inserted] = objects_.TryEmplace(id);
   if (!inserted) return Status::AlreadyExists("object already exists");
+  Touch(id, nullptr);
+  *slot = std::move(object);
   ++version_;
   return Status::OK();
 }
 
 void WorldState::Upsert(Object object) {
-  objects_[object.id()] = std::move(object);
+  const ObjectId id = object.id();
+  auto [slot, inserted] = objects_.TryEmplace(id);
+  Touch(id, inserted ? nullptr : slot);
+  *slot = std::move(object);
   ++version_;
 }
 
 const Object* WorldState::Find(ObjectId id) const {
-  auto it = objects_.find(id);
-  return it == objects_.end() ? nullptr : &it->second;
+  return objects_.Find(id);
 }
 
 Object* WorldState::FindMutable(ObjectId id) {
-  auto it = objects_.find(id);
-  if (it == objects_.end()) return nullptr;
+  Object* obj = objects_.Find(id);
+  if (obj == nullptr) return nullptr;
+  Touch(id, obj);
   ++version_;
-  return &it->second;
+  return obj;
 }
 
 const Value& WorldState::GetAttr(ObjectId id, AttrId attr) const {
@@ -43,19 +77,18 @@ const Value& WorldState::GetAttr(ObjectId id, AttrId attr) const {
 }
 
 void WorldState::SetAttr(ObjectId id, AttrId attr, Value value) {
-  auto it = objects_.find(id);
-  if (it == objects_.end()) {
-    Object obj(id);
-    obj.Set(attr, std::move(value));
-    objects_.emplace(id, std::move(obj));
-  } else {
-    it->second.Set(attr, std::move(value));
-  }
+  auto [slot, inserted] = objects_.TryEmplace(id);
+  Touch(id, inserted ? nullptr : slot);
+  if (inserted) *slot = Object(id);
+  slot->Set(attr, std::move(value));
   ++version_;
 }
 
 Status WorldState::Remove(ObjectId id) {
-  if (objects_.erase(id) == 0) return Status::NotFound("object absent");
+  const Object* obj = objects_.Find(id);
+  if (obj == nullptr) return Status::NotFound("object absent");
+  Forget(id, *obj);
+  objects_.Erase(id);
   ++version_;
   return Status::OK();
 }
@@ -65,9 +98,15 @@ void WorldState::CopyObjectsFrom(const WorldState& source,
   for (ObjectId id : set) {
     const Object* src = source.Find(id);
     if (src != nullptr) {
-      objects_[id] = *src;
+      auto [slot, inserted] = objects_.TryEmplace(id);
+      Touch(id, inserted ? nullptr : slot);
+      *slot = *src;
     } else {
-      objects_.erase(id);
+      const Object* mine = objects_.Find(id);
+      if (mine != nullptr) {
+        Forget(id, *mine);
+        objects_.Erase(id);
+      }
     }
   }
   ++version_;
@@ -84,19 +123,21 @@ std::vector<Object> WorldState::Extract(const ObjectSet& set) const {
 }
 
 void WorldState::ApplyObjects(const std::vector<Object>& objects) {
-  for (const Object& obj : objects) objects_[obj.id()] = obj;
+  for (const Object& obj : objects) {
+    auto [slot, inserted] = objects_.TryEmplace(obj.id());
+    Touch(obj.id(), inserted ? nullptr : slot);
+    *slot = obj;
+  }
   if (!objects.empty()) ++version_;
 }
 
 uint64_t WorldState::Digest() const {
-  // XOR of per-object digests: order-independent over the hash map.
-  uint64_t digest = 0x2545f4914f6cdd1dULL;
-  for (const auto& [id, obj] : objects_) digest ^= obj.Hash();
-  return digest;
+  FlushPending();
+  return digest_acc_;
 }
 
 uint64_t WorldState::DigestOf(const ObjectSet& set) const {
-  uint64_t digest = 0x2545f4914f6cdd1dULL;
+  uint64_t digest = kDigestSeed;
   for (ObjectId id : set) {
     const Object* obj = Find(id);
     if (obj != nullptr) digest ^= obj->Hash();
@@ -104,10 +145,18 @@ uint64_t WorldState::DigestOf(const ObjectSet& set) const {
   return digest;
 }
 
+uint64_t WorldState::RescanDigest() const {
+  ++digest_rescans_;
+  uint64_t digest = kDigestSeed;
+  objects_.ForEach(
+      [&digest](ObjectId, const Object& obj) { digest ^= obj.Hash(); });
+  return digest;
+}
+
 std::vector<ObjectId> WorldState::ObjectIds() const {
   std::vector<ObjectId> ids;
   ids.reserve(objects_.size());
-  for (const auto& [id, obj] : objects_) ids.push_back(id);
+  objects_.ForEach([&ids](ObjectId id, const Object&) { ids.push_back(id); });
   std::sort(ids.begin(), ids.end());
   return ids;
 }

@@ -2,9 +2,9 @@
 #define SEVE_STORE_WORLD_STATE_H_
 
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_map.h"
 #include "common/status.h"
 #include "common/types.h"
 #include "store/object.h"
@@ -17,6 +17,15 @@ namespace seve {
 /// Each client holds two of these (the optimistic state ζCO and the stable
 /// state ζCS); the server holds the authoritative ζS. All action
 /// application, reconciliation and blind writes operate on WorldState.
+///
+/// Objects live in an open-addressing FlatMap, and the order-independent
+/// state digest is maintained *incrementally*: digest = seed ^ XOR of
+/// per-object hashes, updated on every mutation, so Digest() is O(1)
+/// instead of a full rescan. At most one object (the most recently
+/// mutated one, `pending_`) may have its hash folded out lazily — it is
+/// folded back in from the object's current contents the next time the
+/// digest is needed, which is what makes FindMutable and repeated
+/// SetAttr on one object cost one hash instead of one per write.
 class WorldState {
  public:
   WorldState() = default;
@@ -37,7 +46,9 @@ class WorldState {
   /// Looks up an object; nullptr if absent.
   const Object* Find(ObjectId id) const;
 
-  /// Mutable lookup; nullptr if absent. Bumps the version.
+  /// Mutable lookup; nullptr if absent. Bumps the version. The caller
+  /// may mutate through the returned pointer until the next WorldState
+  /// call; the digest folds the final contents in lazily.
   Object* FindMutable(ObjectId id);
 
   /// Reads one attribute; null Value if object or attribute is absent.
@@ -48,7 +59,7 @@ class WorldState {
 
   Status Remove(ObjectId id);
 
-  bool Contains(ObjectId id) const { return objects_.count(id) != 0; }
+  bool Contains(ObjectId id) const { return objects_.Find(id) != nullptr; }
   size_t size() const { return objects_.size(); }
 
   /// Monotone change counter (bumped on every mutating access).
@@ -68,12 +79,22 @@ class WorldState {
   void ApplyObjects(const std::vector<Object>& objects);
 
   /// Order-independent digest of the full state; equal digests across
-  /// replicas mean consistent states.
+  /// replicas mean consistent states. O(1): maintained incrementally on
+  /// every mutation (bit-for-bit equal to RescanDigest()).
   uint64_t Digest() const;
 
   /// Digest restricted to `set` (for per-client consistency checks in the
   /// Incomplete World Model, where clients track only subsets).
   uint64_t DigestOf(const ObjectSet& set) const;
+
+  /// Full-rescan reference digest (O(n)); tests and benches verify the
+  /// incremental digest against it.
+  uint64_t RescanDigest() const;
+
+  /// Incremental-digest kernel counters (hash folds performed, full
+  /// rescans requested) for bench telemetry.
+  uint64_t digest_folds() const { return digest_folds_; }
+  uint64_t digest_rescans() const { return digest_rescans_; }
 
   /// All object ids, ascending (deterministic iteration for tests).
   std::vector<ObjectId> ObjectIds() const;
@@ -81,8 +102,23 @@ class WorldState {
   std::string ToString() const;
 
  private:
-  std::unordered_map<ObjectId, Object> objects_;
+  static constexpr uint64_t kDigestSeed = 0x2545f4914f6cdd1dULL;
+
+  /// Folds the pending object's current hash back into the digest.
+  void FlushPending() const;
+  /// Excludes `id` from the folded digest (removing `existing`'s hash if
+  /// it was folded) and records it as the pending object.
+  void Touch(ObjectId id, const Object* existing);
+  /// Folds out `existing` ahead of an erase.
+  void Forget(ObjectId id, const Object& existing);
+
+  FlatMap<ObjectId, Object> objects_;
   uint64_t version_ = 0;
+  // XOR-fold of per-object hashes for every object except pending_.
+  mutable uint64_t digest_acc_ = kDigestSeed;
+  mutable ObjectId pending_ = ObjectId::Invalid();
+  mutable uint64_t digest_folds_ = 0;
+  mutable uint64_t digest_rescans_ = 0;
 };
 
 }  // namespace seve

@@ -1,0 +1,164 @@
+#include "common/flat_map.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace seve {
+namespace {
+
+TEST(FlatMapTest, EmptyMapFindsNothing) {
+  FlatMap<uint64_t, int> map;
+  EXPECT_EQ(map.size(), 0u);
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.Find(7), nullptr);
+  EXPECT_FALSE(map.Contains(7));
+  EXPECT_FALSE(map.Erase(7));
+}
+
+TEST(FlatMapTest, InsertFindErase) {
+  FlatMap<uint64_t, std::string> map;
+  auto [slot, inserted] = map.TryEmplace(1);
+  ASSERT_TRUE(inserted);
+  *slot = "one";
+  EXPECT_EQ(map.size(), 1u);
+
+  auto [again, inserted2] = map.TryEmplace(1);
+  EXPECT_FALSE(inserted2);
+  EXPECT_EQ(*again, "one");
+
+  map[2] = "two";
+  ASSERT_NE(map.Find(2), nullptr);
+  EXPECT_EQ(*map.Find(2), "two");
+
+  EXPECT_TRUE(map.Erase(1));
+  EXPECT_EQ(map.Find(1), nullptr);
+  EXPECT_EQ(map.size(), 1u);
+  EXPECT_EQ(*map.Find(2), "two");
+}
+
+TEST(FlatMapTest, OperatorBracketDefaultConstructs) {
+  FlatMap<uint64_t, int> map;
+  EXPECT_EQ(map[5], 0);
+  map[5] += 3;
+  EXPECT_EQ(map[5], 3);
+}
+
+TEST(FlatMapTest, GrowthPreservesEntries) {
+  FlatMap<uint64_t, uint64_t> map;
+  for (uint64_t i = 0; i < 1000; ++i) map[i] = i * i;
+  EXPECT_EQ(map.size(), 1000u);
+  for (uint64_t i = 0; i < 1000; ++i) {
+    ASSERT_NE(map.Find(i), nullptr) << i;
+    EXPECT_EQ(*map.Find(i), i * i);
+  }
+}
+
+TEST(FlatMapTest, ForEachVisitsEverything) {
+  FlatMap<uint64_t, int> map;
+  for (uint64_t i = 0; i < 64; ++i) map[i] = 1;
+  int total = 0;
+  map.ForEach([&total](uint64_t, int v) { total += v; });
+  EXPECT_EQ(total, 64);
+}
+
+TEST(FlatMapTest, ClearEmptiesButStaysUsable) {
+  FlatMap<uint64_t, int> map;
+  for (uint64_t i = 0; i < 100; ++i) map[i] = 1;
+  map.Clear();
+  EXPECT_EQ(map.size(), 0u);
+  EXPECT_EQ(map.Find(5), nullptr);
+  map[5] = 42;
+  EXPECT_EQ(*map.Find(5), 42);
+}
+
+TEST(FlatMapTest, IdKeysWork) {
+  FlatMap<ObjectId, int> map;
+  map[ObjectId(3)] = 30;
+  map[ObjectId(4)] = 40;
+  EXPECT_EQ(*map.Find(ObjectId(3)), 30);
+  EXPECT_TRUE(map.Erase(ObjectId(3)));
+  EXPECT_EQ(map.Find(ObjectId(3)), nullptr);
+  EXPECT_EQ(*map.Find(ObjectId(4)), 40);
+}
+
+// Backward-shift deletion is the subtle part of tombstone-free open
+// addressing: deleting from the middle of a probe cluster must keep every
+// displaced key reachable. Clustered keys (ids that collide mod the table
+// size) exercise exactly that.
+TEST(FlatMapTest, EraseInsideProbeClusterKeepsKeysReachable) {
+  FlatMap<uint64_t, int> map;
+  // With identity-ish hashing not guaranteed, build a big cluster by
+  // volume instead: many keys, erase every third, verify the rest.
+  for (uint64_t i = 0; i < 300; ++i) map[i] = static_cast<int>(i);
+  for (uint64_t i = 0; i < 300; i += 3) EXPECT_TRUE(map.Erase(i));
+  for (uint64_t i = 0; i < 300; ++i) {
+    if (i % 3 == 0) {
+      EXPECT_EQ(map.Find(i), nullptr) << i;
+    } else {
+      ASSERT_NE(map.Find(i), nullptr) << i;
+      EXPECT_EQ(*map.Find(i), static_cast<int>(i));
+    }
+  }
+}
+
+// Randomized differential test against std::unordered_map: interleaved
+// insert/overwrite/erase/lookup must agree at every step.
+class FlatMapFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FlatMapFuzzTest, MatchesUnorderedMap) {
+  Rng rng(GetParam());
+  FlatMap<uint64_t, uint64_t> map;
+  std::unordered_map<uint64_t, uint64_t> ref;
+  // Small key space forces frequent collisions, overwrites and re-inserts
+  // of previously erased keys (the backward-shift hole-filling path).
+  constexpr uint64_t kKeySpace = 97;
+  for (int step = 0; step < 20000; ++step) {
+    const uint64_t key = rng.NextBounded(kKeySpace);
+    switch (rng.NextBounded(4)) {
+      case 0:
+      case 1: {  // insert / overwrite
+        const uint64_t value = rng.Next();
+        map[key] = value;
+        ref[key] = value;
+        break;
+      }
+      case 2: {  // erase
+        EXPECT_EQ(map.Erase(key), ref.erase(key) > 0);
+        break;
+      }
+      default: {  // lookup
+        const uint64_t* found = map.Find(key);
+        auto it = ref.find(key);
+        ASSERT_EQ(found != nullptr, it != ref.end()) << "key " << key;
+        if (found != nullptr) {
+          EXPECT_EQ(*found, it->second);
+        }
+        break;
+      }
+    }
+    ASSERT_EQ(map.size(), ref.size());
+  }
+  // Final sweep: every surviving key agrees; ForEach visits each exactly
+  // once.
+  size_t visited = 0;
+  map.ForEach([&](uint64_t key, uint64_t value) {
+    ++visited;
+    auto it = ref.find(key);
+    ASSERT_NE(it, ref.end()) << key;
+    EXPECT_EQ(value, it->second);
+  });
+  EXPECT_EQ(visited, ref.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FlatMapFuzzTest,
+                         ::testing::Values(101, 202, 303, 404));
+
+}  // namespace
+}  // namespace seve

@@ -1,0 +1,151 @@
+#include "common/inline_vec.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace seve {
+namespace {
+
+TEST(InlineVecTest, StartsEmptyInline) {
+  InlineVec<uint64_t, 4> v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_EQ(v.capacity(), 4u);
+}
+
+TEST(InlineVecTest, PushWithinInlineCapacity) {
+  InlineVec<uint64_t, 4> v;
+  for (uint64_t i = 0; i < 4; ++i) v.push_back(i);
+  EXPECT_EQ(v.size(), 4u);
+  EXPECT_EQ(v.capacity(), 4u);  // still inline
+  for (uint64_t i = 0; i < 4; ++i) EXPECT_EQ(v[i], i);
+}
+
+TEST(InlineVecTest, SpillsToHeapAndKeepsContents) {
+  InlineVec<uint64_t, 4> v;
+  for (uint64_t i = 0; i < 100; ++i) v.push_back(i);
+  EXPECT_EQ(v.size(), 100u);
+  EXPECT_GT(v.capacity(), 4u);
+  for (uint64_t i = 0; i < 100; ++i) EXPECT_EQ(v[i], i);
+}
+
+TEST(InlineVecTest, InsertAtAndEraseFront) {
+  InlineVec<uint64_t, 4> v;
+  v.push_back(1);
+  v.push_back(3);
+  v.InsertAt(1, 2);  // 1 2 3
+  v.InsertAt(0, 0);  // 0 1 2 3
+  v.InsertAt(4, 4);  // 0 1 2 3 4 (spills)
+  ASSERT_EQ(v.size(), 5u);
+  for (uint64_t i = 0; i < 5; ++i) EXPECT_EQ(v[i], i);
+  v.EraseFront(2);  // 2 3 4
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], 2u);
+  EXPECT_EQ(v[2], 4u);
+}
+
+TEST(InlineVecTest, CopyAndMoveBothStorageModes) {
+  InlineVec<uint64_t, 4> small;
+  small.push_back(7);
+  InlineVec<uint64_t, 4> small_copy = small;
+  EXPECT_EQ(small_copy.size(), 1u);
+  EXPECT_EQ(small_copy[0], 7u);
+
+  InlineVec<uint64_t, 4> big;
+  for (uint64_t i = 0; i < 50; ++i) big.push_back(i);
+  InlineVec<uint64_t, 4> big_copy = big;
+  EXPECT_EQ(big_copy.size(), 50u);
+  EXPECT_EQ(big_copy[49], 49u);
+
+  InlineVec<uint64_t, 4> moved = std::move(big);
+  EXPECT_EQ(moved.size(), 50u);
+  EXPECT_EQ(moved[49], 49u);
+
+  // Self-sufficient after the source dies.
+  big = InlineVec<uint64_t, 4>();
+  EXPECT_EQ(moved[0], 0u);
+}
+
+TEST(InlineVecTest, ClearKeepsCapacity) {
+  InlineVec<uint64_t, 4> v;
+  for (uint64_t i = 0; i < 50; ++i) v.push_back(i);
+  const size_t cap = v.capacity();
+  v.clear();
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.capacity(), cap);
+}
+
+TEST(InlineVecTest, EqualityIsElementwise) {
+  InlineVec<uint64_t, 2> a;
+  InlineVec<uint64_t, 2> b;
+  EXPECT_TRUE(a == b);
+  a.push_back(1);
+  EXPECT_FALSE(a == b);
+  b.push_back(1);
+  EXPECT_TRUE(a == b);
+  // Both spilled, same contents: still equal.
+  InlineVec<uint64_t, 2> c;
+  InlineVec<uint64_t, 2> e;
+  for (uint64_t i = 0; i < 10; ++i) c.push_back(i);
+  for (uint64_t i = 0; i < 10; ++i) e.push_back(i);
+  EXPECT_TRUE(c == e);
+}
+
+TEST(InlineVecTest, WorksWithObjectId) {
+  InlineVec<ObjectId, 2> v;
+  v.push_back(ObjectId(5));
+  v.push_back(ObjectId(6));
+  v.push_back(ObjectId(7));  // spill
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[2], ObjectId(7));
+}
+
+// Differential test vs std::vector across a random op sequence.
+TEST(InlineVecTest, MatchesStdVectorUnderRandomOps) {
+  Rng rng(424242);
+  InlineVec<uint64_t, 8> v;
+  std::vector<uint64_t> ref;
+  for (int step = 0; step < 10000; ++step) {
+    switch (rng.NextBounded(5)) {
+      case 0:
+      case 1: {
+        const uint64_t x = rng.Next();
+        v.push_back(x);
+        ref.push_back(x);
+        break;
+      }
+      case 2: {
+        if (!ref.empty()) {
+          v.pop_back();
+          ref.pop_back();
+        }
+        break;
+      }
+      case 3: {
+        const size_t at = rng.NextBounded(ref.size() + 1);
+        const uint64_t x = rng.Next();
+        v.InsertAt(at, x);
+        ref.insert(ref.begin() + static_cast<ptrdiff_t>(at), x);
+        break;
+      }
+      default: {
+        if (!ref.empty()) {
+          const size_t n = rng.NextBounded(ref.size()) + 1;
+          v.EraseFront(n);
+          ref.erase(ref.begin(), ref.begin() + static_cast<ptrdiff_t>(n));
+        }
+        break;
+      }
+    }
+    ASSERT_EQ(v.size(), ref.size());
+  }
+  for (size_t i = 0; i < ref.size(); ++i) ASSERT_EQ(v[i], ref[i]) << i;
+}
+
+}  // namespace
+}  // namespace seve

@@ -69,6 +69,44 @@ TEST(PendingQueueTest, RemoveById) {
   EXPECT_EQ(q.RemoveById(ActionId(99)).code(), StatusCode::kNotFound);
 }
 
+// The in-place rebuild (Clear + UnionWith over the survivors) must leave
+// write_set() exactly equivalent to a from-scratch union, across pops and
+// removals in any order — including signature-colliding ids (65 ≡ 1,
+// 69 ≡ 5 mod 64) so a stale signature bit can't fake membership.
+TEST(PendingQueueTest, RebuildKeepsWriteSetEquivalentToFreshUnion) {
+  PendingQueue q;
+  const uint64_t targets[] = {1, 5, 65, 69, 5, 1};
+  uint64_t next_id = 1;
+  for (uint64_t t : targets) {
+    q.Push(std::make_shared<AddAction>(ActionId(next_id++), ObjectId(t), 1),
+           0, 0);
+  }
+  auto fresh_union = [&q]() {
+    ObjectSet expected;
+    for (const PendingQueue::Entry& e : q.entries()) {
+      expected.UnionWith(e.action->WriteSet());
+    }
+    return expected;
+  };
+  EXPECT_EQ(q.write_set(), fresh_union());
+
+  q.PopFront();  // drops one writer of object 1; 65 still shares its bit
+  EXPECT_EQ(q.write_set(), fresh_union());
+  EXPECT_TRUE(q.write_set().Contains(ObjectId(1)));  // id 6 still writes 1
+
+  ASSERT_TRUE(q.RemoveById(ActionId(6)).ok());  // last writer of object 1
+  EXPECT_EQ(q.write_set(), fresh_union());
+  EXPECT_FALSE(q.write_set().Contains(ObjectId(1)));
+  EXPECT_TRUE(q.write_set().Contains(ObjectId(65)));
+
+  while (!q.empty()) {
+    q.PopFront();
+    EXPECT_EQ(q.write_set(), fresh_union());
+  }
+  EXPECT_TRUE(q.write_set().empty());
+  EXPECT_EQ(q.write_set().signature(), 0u);
+}
+
 TEST(PendingQueueTest, ReconcileReplaysOverStable) {
   // Optimistic state diverged: stable says 100, optimistic evaluated two
   // pending +1 actions on top of a stale 0.

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <iterator>
+#include <vector>
+
 #include "common/rng.h"
 
 namespace seve {
@@ -106,6 +110,128 @@ TEST_P(ObjectSetPropertyTest, AlgebraicIdentities) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ObjectSetPropertyTest,
                          ::testing::Values(11, 22, 33, 44, 55));
+
+TEST(ObjectSetSignatureTest, SignatureTracksMembershipBits) {
+  ObjectSet s;
+  EXPECT_EQ(s.signature(), 0u);
+  s.Insert(ObjectId(3));
+  EXPECT_EQ(s.signature(), uint64_t{1} << 3);
+  s.Insert(ObjectId(67));  // 67 mod 64 == 3: same bit
+  EXPECT_EQ(s.signature(), uint64_t{1} << 3);
+  s.Insert(ObjectId(10));
+  EXPECT_EQ(s.signature(), (uint64_t{1} << 3) | (uint64_t{1} << 10));
+}
+
+TEST(ObjectSetSignatureTest, CollidingSignaturesStillAnswerExactly) {
+  // 1 and 65 share signature bit 1; the signature can't separate them, so
+  // the exact merge/search path must.
+  const ObjectSet a = Make({1});
+  const ObjectSet b = Make({65});
+  EXPECT_EQ(a.signature(), b.signature());
+  EXPECT_FALSE(a.Intersects(b));
+  EXPECT_FALSE(a.Contains(ObjectId(65)));
+  EXPECT_FALSE(a.Covers(b));
+  EXPECT_TRUE(ObjectSet::Intersection(a, b).empty());
+  EXPECT_EQ(ObjectSet::Union(a, b), Make({1, 65}));
+  EXPECT_EQ(ObjectSet::Difference(a, b), a);
+}
+
+TEST(ObjectSetSignatureTest, ClearResetsSignatureAndKeepsCapacity) {
+  ObjectSet s = Make({1, 2, 3});
+  s.Clear();
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.signature(), 0u);
+  s.Insert(ObjectId(64));
+  EXPECT_EQ(s.signature(), uint64_t{1} << 0);
+  EXPECT_TRUE(s.Contains(ObjectId(64)));
+}
+
+TEST(ObjectSetSignatureTest, GallopPathAgreesWithMergePath) {
+  // Big sorted set vs tiny probe set (the closure walk's shape): the
+  // lopsided operands take the galloping branch; flipping operand order
+  // must give the same answer.
+  std::vector<ObjectId> big_ids;
+  for (uint64_t i = 0; i < 400; i += 2) big_ids.push_back(ObjectId(i));
+  const ObjectSet big((std::vector<ObjectId>(big_ids)));
+  const ObjectSet hit = Make({199, 200});    // 200 is in big
+  const ObjectSet miss = Make({199, 201});   // neither in big
+  EXPECT_TRUE(big.Intersects(hit));
+  EXPECT_TRUE(hit.Intersects(big));
+  EXPECT_FALSE(big.Intersects(miss));
+  EXPECT_FALSE(miss.Intersects(big));
+}
+
+// Differential property tests against a naive std::vector reference
+// model, with ids drawn so signature collisions (ids equal mod 64) are
+// common — the Bloom filter must never change an answer, only skip work.
+class ObjectSetSignaturePropertyTest
+    : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ObjectSetSignaturePropertyTest, MatchesNaiveReference) {
+  Rng rng(GetParam());
+  // Ids of the form (k mod 8) + 64 * j: only 8 distinct signature bits
+  // across the whole universe, so cross-set bit collisions dominate.
+  auto random_ids = [&rng]() {
+    std::vector<ObjectId> ids;
+    const size_t n = rng.NextBounded(24);
+    for (size_t i = 0; i < n; ++i) {
+      ids.push_back(ObjectId(rng.NextBounded(8) + 64 * rng.NextBounded(6)));
+    }
+    return ids;
+  };
+  auto naive_sorted = [](std::vector<ObjectId> ids) {
+    std::sort(ids.begin(), ids.end());
+    ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+    return ids;
+  };
+  for (int iter = 0; iter < 200; ++iter) {
+    const std::vector<ObjectId> raw_a = random_ids();
+    const std::vector<ObjectId> raw_b = random_ids();
+    const std::vector<ObjectId> ref_a = naive_sorted(raw_a);
+    const std::vector<ObjectId> ref_b = naive_sorted(raw_b);
+    const ObjectSet a{std::vector<ObjectId>(raw_a)};
+    const ObjectSet b{std::vector<ObjectId>(raw_b)};
+
+    // Intersects vs naive scan.
+    bool naive_intersects = false;
+    for (ObjectId id : ref_a) {
+      if (std::binary_search(ref_b.begin(), ref_b.end(), id)) {
+        naive_intersects = true;
+        break;
+      }
+    }
+    EXPECT_EQ(a.Intersects(b), naive_intersects);
+    EXPECT_EQ(b.Intersects(a), naive_intersects);
+
+    // Union vs naive merge.
+    std::vector<ObjectId> ref_union;
+    std::set_union(ref_a.begin(), ref_a.end(), ref_b.begin(), ref_b.end(),
+                   std::back_inserter(ref_union));
+    EXPECT_EQ(ObjectSet::Union(a, b).ids(), ref_union);
+
+    // Difference vs naive difference.
+    std::vector<ObjectId> ref_diff;
+    std::set_difference(ref_a.begin(), ref_a.end(), ref_b.begin(),
+                        ref_b.end(), std::back_inserter(ref_diff));
+    EXPECT_EQ(ObjectSet::Difference(a, b).ids(), ref_diff);
+
+    // Covers vs naive includes.
+    EXPECT_EQ(a.Covers(b), std::includes(ref_a.begin(), ref_a.end(),
+                                         ref_b.begin(), ref_b.end()));
+
+    // Contains for every id in the collision-heavy universe.
+    for (uint64_t k = 0; k < 8; ++k) {
+      for (uint64_t j = 0; j < 6; ++j) {
+        const ObjectId id(k + 64 * j);
+        EXPECT_EQ(a.Contains(id),
+                  std::binary_search(ref_a.begin(), ref_a.end(), id));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ObjectSetSignaturePropertyTest,
+                         ::testing::Values(7, 77, 777));
 
 }  // namespace
 }  // namespace seve

@@ -202,6 +202,79 @@ TEST(ServerQueueWalkTest, CommittedEntriesNotVisited) {
   EXPECT_EQ(visited, std::vector<SeqNum>{1});
 }
 
+TEST(ServerQueueWalkTest, EpochStampsResetBetweenWalks) {
+  // Two consecutive walks over the same chain must both visit it in
+  // full — a stale visit stamp from walk 1 must not suppress walk 2.
+  ServerQueue q;
+  q.Append(Make(1, {1}, {1}), 0);
+  q.Append(Make(2, {1}, {1}), 0);
+  for (int round = 0; round < 3; ++round) {
+    ObjectSet s({ObjectId(1)});
+    std::vector<SeqNum> visited;
+    q.WalkConflicts(2, &s, [&](const ServerQueue::Entry& e) {
+      visited.push_back(e.pos);
+      return ServerQueue::WalkVerdict::kInclude;
+    });
+    EXPECT_EQ(visited, (std::vector<SeqNum>{1, 0})) << "round " << round;
+  }
+  EXPECT_EQ(q.walk_visits_total(), 6u);
+}
+
+// Regression coverage for GreatestWriterBelow's lazy prune: committing
+// most of a long single-object writer chain leaves a dead prefix in the
+// writer index; the first walk afterwards must (a) prune it, (b) return
+// exactly the same chain as before the prune, and (c) never resurrect
+// positions below the committed frontier.
+TEST(ServerQueueWalkTest, LazyPruneFiresWithoutChangingChainResults) {
+  ServerQueue q;
+  constexpr int kChain = 16;
+  for (int i = 0; i < kChain; ++i) {
+    q.Append(Make(static_cast<uint64_t>(i + 1), {1}, {1}), 0);
+  }
+  EXPECT_EQ(q.WriterChainLengthForTest(ObjectId(1)),
+            static_cast<size_t>(kChain));
+
+  auto walk_chain = [&q]() {
+    ObjectSet s({ObjectId(1)});
+    std::vector<SeqNum> visited;
+    q.WalkConflicts(q.end_pos(), &s, [&](const ServerQueue::Entry& e) {
+      visited.push_back(e.pos);
+      return ServerQueue::WalkVerdict::kInclude;
+    });
+    return visited;
+  };
+
+  // Commit the first 12 positions (75% of the chain): the stored chain
+  // still holds all 16 entries until a walk touches it.
+  for (SeqNum pos = 0; pos < 12; ++pos) {
+    q.Complete(pos, static_cast<ResultDigest>(pos), {},
+               [](const ServerQueue::Entry&) {});
+  }
+  EXPECT_EQ(q.WriterChainLengthForTest(ObjectId(1)),
+            static_cast<size_t>(kChain));
+  EXPECT_EQ(q.writer_prunes(), 0u);
+
+  const std::vector<SeqNum> after_commit = walk_chain();
+  // The prune fired (dead prefix 12 > live suffix 4)...
+  EXPECT_GE(q.writer_prunes(), 1u);
+  EXPECT_EQ(q.WriterChainLengthForTest(ObjectId(1)), 4u);
+  // ...and the walk saw exactly the uncommitted suffix, descending, with
+  // nothing below base_ resurrected.
+  EXPECT_EQ(after_commit, (std::vector<SeqNum>{15, 14, 13, 12}));
+  for (SeqNum pos : after_commit) EXPECT_GE(pos, q.begin_pos());
+  // A pruned chain keeps answering identically on repeat walks.
+  EXPECT_EQ(walk_chain(), after_commit);
+
+  // Committing the rest drops the chain from the index entirely on the
+  // next probe, and the walk finds nothing.
+  for (SeqNum pos = 12; pos < kChain; ++pos) {
+    q.Complete(pos, static_cast<ResultDigest>(pos), {},
+               [](const ServerQueue::Entry&) {});
+  }
+  EXPECT_TRUE(walk_chain().empty());
+  EXPECT_EQ(q.WriterChainLengthForTest(ObjectId(1)), 0u);
+}
+
 TEST(ServerQueueWalkTest, DiamondDependencyVisitedOnce) {
   ServerQueue q;
   q.Append(Make(1, {1, 2}, {1, 2}), 0);  // pos 0 writes both

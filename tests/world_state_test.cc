@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/rng.h"
+
 namespace seve {
 namespace {
 
@@ -134,6 +136,115 @@ TEST(WorldStateTest, ObjectIdsSorted) {
   state.Upsert(MakeObj(5, 1));
   EXPECT_EQ(state.ObjectIds(),
             (std::vector<ObjectId>{ObjectId(2), ObjectId(5), ObjectId(9)}));
+}
+
+TEST(WorldStateTest, IncrementalDigestMatchesRescanAfterEachMutation) {
+  WorldState state;
+  EXPECT_EQ(state.Digest(), state.RescanDigest());
+  ASSERT_TRUE(state.Insert(MakeObj(1, 10)).ok());
+  EXPECT_EQ(state.Digest(), state.RescanDigest());
+  state.Upsert(MakeObj(1, 20));
+  EXPECT_EQ(state.Digest(), state.RescanDigest());
+  state.SetAttr(ObjectId(2), 1, Value(int64_t{5}));
+  EXPECT_EQ(state.Digest(), state.RescanDigest());
+  ASSERT_TRUE(state.Remove(ObjectId(1)).ok());
+  EXPECT_EQ(state.Digest(), state.RescanDigest());
+}
+
+TEST(WorldStateTest, IncrementalDigestSeesMutationsThroughFindMutable) {
+  // FindMutable hands out a raw pointer; the digest must fold the
+  // caller's writes in lazily, whenever they happen before the next
+  // digest read.
+  WorldState state;
+  state.Upsert(MakeObj(1, 10));
+  const uint64_t before = state.Digest();
+  Object* obj = state.FindMutable(ObjectId(1));
+  ASSERT_NE(obj, nullptr);
+  obj->Set(1, Value(int64_t{77}));
+  EXPECT_NE(state.Digest(), before);
+  EXPECT_EQ(state.Digest(), state.RescanDigest());
+
+  // Same story when another object is touched in between: flushing the
+  // pending object must capture the final contents, not the snapshot.
+  Object* again = state.FindMutable(ObjectId(1));
+  again->Set(1, Value(int64_t{78}));
+  state.SetAttr(ObjectId(2), 1, Value(int64_t{1}));
+  EXPECT_EQ(state.Digest(), state.RescanDigest());
+}
+
+TEST(WorldStateTest, DigestIsO1NotARescan) {
+  WorldState state;
+  for (uint64_t i = 0; i < 100; ++i) state.Upsert(MakeObj(i, 7));
+  (void)state.Digest();
+  const uint64_t rescans_before = state.digest_rescans();
+  const uint64_t folds_before = state.digest_folds();
+  for (int i = 0; i < 50; ++i) (void)state.Digest();
+  // Repeated digest reads neither rescan nor re-fold anything.
+  EXPECT_EQ(state.digest_rescans(), rescans_before);
+  EXPECT_EQ(state.digest_folds(), folds_before);
+}
+
+// Randomized mutation fuzz: every mutating entry point, interleaved, with
+// the incremental digest checked against the O(n) rescan at random
+// points and after every removal.
+TEST(WorldStateTest, IncrementalDigestFuzzAgainstRescan) {
+  Rng rng(20260806);
+  WorldState state;
+  WorldState other;
+  for (uint64_t i = 0; i < 16; ++i) other.Upsert(MakeObj(i, 1000));
+  constexpr uint64_t kIdSpace = 24;
+  for (int step = 0; step < 5000; ++step) {
+    const uint64_t id = rng.NextBounded(kIdSpace);
+    switch (rng.NextBounded(8)) {
+      case 0:
+        (void)state.Insert(MakeObj(id, static_cast<int64_t>(rng.Next() % 100)));
+        break;
+      case 1:
+        state.Upsert(MakeObj(id, static_cast<int64_t>(rng.Next() % 100)));
+        break;
+      case 2:
+        state.SetAttr(ObjectId(id),
+                      static_cast<AttrId>(1 + rng.NextBounded(3)),
+                      Value(static_cast<int64_t>(rng.Next() % 100)));
+        break;
+      case 3:
+        (void)state.Remove(ObjectId(id));
+        break;
+      case 4: {
+        if (Object* obj = state.FindMutable(ObjectId(id))) {
+          obj->Set(2, Value(static_cast<int64_t>(rng.Next() % 100)));
+        }
+        break;
+      }
+      case 5: {
+        ObjectSet set;
+        const size_t n = rng.NextBounded(4);
+        for (size_t i = 0; i < n; ++i) {
+          set.Insert(ObjectId(rng.NextBounded(kIdSpace)));
+        }
+        state.CopyObjectsFrom(other, set);
+        break;
+      }
+      case 6: {
+        std::vector<Object> batch;
+        const size_t n = rng.NextBounded(4);
+        for (size_t i = 0; i < n; ++i) {
+          batch.push_back(MakeObj(rng.NextBounded(kIdSpace),
+                                  static_cast<int64_t>(rng.Next() % 100)));
+        }
+        state.ApplyObjects(batch);
+        break;
+      }
+      default:
+        ASSERT_EQ(state.Digest(), state.RescanDigest()) << "step " << step;
+        break;
+    }
+  }
+  ASSERT_EQ(state.Digest(), state.RescanDigest());
+  // And the digest still matches an order-independent rebuild.
+  WorldState rebuilt;
+  for (ObjectId id : state.ObjectIds()) rebuilt.Upsert(*state.Find(id));
+  EXPECT_EQ(rebuilt.Digest(), state.Digest());
 }
 
 TEST(WorldStateTest, CopySemantics) {
