@@ -128,12 +128,12 @@ int main() {
   // result — the scrying spell picked the same target everywhere.
   int64_t checked = 0, divergent = 0;
   for (const auto& client : clients) {
-    for (const auto& [pos, digest] : client->eval_digests()) {
-      auto it = server.committed_digests().find(pos);
-      if (it == server.committed_digests().end()) continue;
+    client->eval_digests().ForEach([&](SeqNum pos, ResultDigest digest) {
+      const ResultDigest* committed = server.committed_digests().Find(pos);
+      if (committed == nullptr) return;
       ++checked;
-      if (it->second != digest) ++divergent;
-    }
+      if (*committed != digest) ++divergent;
+    });
   }
   std::printf("\nreplica evaluations checked: %lld, divergent: %lld\n",
               static_cast<long long>(checked),

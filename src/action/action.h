@@ -5,6 +5,7 @@
 #include <memory>
 #include <string>
 
+#include "common/flat_map.h"
 #include "common/status.h"
 #include "common/types.h"
 #include "spatial/vec2.h"
@@ -34,6 +35,14 @@ struct InterestProfile {
 /// <a, v>. Two evaluations agree iff digests agree; this is how a client
 /// detects that its optimistic evaluation diverged from the stable one.
 using ResultDigest = uint64_t;
+
+/// Per-position (pos -> digest) evaluation log kept by every replica and
+/// by authoritative servers. Deliberately a seve::FlatMap, not
+/// std::unordered_map: the consistency audit iterates these maps, and
+/// FlatMap's iteration order is pinned by our own hash + insertion
+/// sequence rather than by the standard library's bucket scheme — the
+/// digest contract must not depend on which stdlib linked the binary.
+using DigestMap = FlatMap<SeqNum, ResultDigest>;
 
 /// An action: one atomic read-set/write-set transaction over the world
 /// state (Section II-B / III). Concrete game logic (e.g. MoveAction in

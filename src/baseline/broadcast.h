@@ -54,7 +54,7 @@ class BroadcastClient : public Node {
   const WorldState& state() const { return state_; }
   ProtocolStats& stats() { return stats_; }
   const ProtocolStats& stats() const { return stats_; }
-  const std::unordered_map<SeqNum, ResultDigest>& eval_digests() const {
+  const DigestMap& eval_digests() const {
     return eval_digests_;
   }
 
@@ -68,7 +68,7 @@ class BroadcastClient : public Node {
   ActionCostFn cost_fn_;
   ProtocolStats stats_;
   std::unordered_map<ActionId, VirtualTime> in_flight_;
-  std::unordered_map<SeqNum, ResultDigest> eval_digests_;
+  DigestMap eval_digests_;
 };
 
 }  // namespace seve

@@ -33,7 +33,7 @@ class CentralServer : public Node {
 
   const WorldState& state() const { return state_; }
   ProtocolStats& stats() { return stats_; }
-  const std::unordered_map<SeqNum, ResultDigest>& committed_digests() const {
+  const DigestMap& committed_digests() const {
     return committed_digests_;
   }
 
@@ -57,7 +57,7 @@ class CentralServer : public Node {
   std::unordered_map<ClientId, ClientRec> clients_;
   std::vector<ClientId> client_order_;
   ProtocolStats stats_;
-  std::unordered_map<SeqNum, ResultDigest> committed_digests_;
+  DigestMap committed_digests_;
 };
 
 /// Thin client for the Central baseline: submits inputs, installs state

@@ -5,6 +5,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <initializer_list>
 #include <utility>
 #include <vector>
 
@@ -25,6 +26,11 @@ template <typename Key, typename Value, typename Hash = std::hash<Key>>
 class FlatMap {
  public:
   FlatMap() = default;
+
+  FlatMap(std::initializer_list<std::pair<Key, Value>> init) {
+    Reserve(init.size());
+    for (const auto& kv : init) (*this)[kv.first] = kv.second;
+  }
 
   size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }

@@ -8,16 +8,25 @@
 
 namespace seve {
 
-/// Move-only `void()` callable with inline storage for captures up to
+/// Move-only callable with inline storage for captures up to
 /// `kInlineBytes`. Larger (or over-aligned, or throwing-move) callables
 /// fall back to a single heap allocation.
 ///
-/// This replaces std::function<void()> on the event-loop hot path:
+/// This replaces std::function on the event-loop and sweep hot paths:
 /// protocol callbacks capture a shared_ptr body plus ids (40-56 bytes),
 /// which overflow libstdc++'s 16-byte small-buffer optimization and would
 /// otherwise heap-allocate once per scheduled event.
-template <size_t kInlineBytes>
-class InlineFunction {
+///
+/// `InlineFunction<64>` is a `void()` callable; arbitrary signatures are
+/// spelled `InlineFunction<64, int(double)>`. Like std::function,
+/// invocation is const-qualified: holding a const InlineFunction& means
+/// "may call", not "observes nothing" (the target is invoked through its
+/// stored, possibly mutable, state).
+template <size_t kInlineBytes, typename Sig = void()>
+class InlineFunction;
+
+template <size_t kInlineBytes, typename R, typename... Args>
+class InlineFunction<kInlineBytes, R(Args...)> {
  public:
   InlineFunction() noexcept = default;
 
@@ -25,7 +34,7 @@ class InlineFunction {
             typename D = std::decay_t<F>,
             typename = std::enable_if_t<
                 !std::is_same_v<D, InlineFunction> &&
-                std::is_invocable_r_v<void, D&>>>
+                std::is_invocable_r_v<R, D&, Args...>>>
   InlineFunction(F&& f) {  // NOLINT(google-explicit-constructor)
     Emplace(std::forward<F>(f));
   }
@@ -78,11 +87,14 @@ class InlineFunction {
 
   explicit operator bool() const noexcept { return ops_ != nullptr; }
 
-  void operator()() { ops_->invoke(storage_); }
+  R operator()(Args... args) const {
+    return ops_->invoke(const_cast<unsigned char*>(storage_),
+                        std::forward<Args>(args)...);
+  }
 
  private:
   struct Ops {
-    void (*invoke)(void* storage);
+    R (*invoke)(void* storage, Args&&... args);
     /// Move-constructs the callable from `from` into `to`, then destroys
     /// the source — the primitive both move operations are built from.
     void (*relocate)(void* from, void* to) noexcept;
@@ -103,7 +115,9 @@ class InlineFunction {
 
   template <typename D>
   static constexpr Ops kInlineOps = {
-      [](void* s) { (*As<D>(s))(); },
+      [](void* s, Args&&... args) -> R {
+        return (*As<D>(s))(std::forward<Args>(args)...);
+      },
       [](void* from, void* to) noexcept {
         ::new (to) D(std::move(*As<D>(from)));
         As<D>(from)->~D();
@@ -115,7 +129,9 @@ class InlineFunction {
   // itself is trivially destructible, so relocation is a plain copy.
   template <typename D>
   static constexpr Ops kHeapOps = {
-      [](void* s) { (**As<D*>(s))(); },
+      [](void* s, Args&&... args) -> R {
+        return (**As<D*>(s))(std::forward<Args>(args)...);
+      },
       [](void* from, void* to) noexcept { ::new (to) D*(*As<D*>(from)); },
       [](void* s) noexcept { delete *As<D*>(s); },
   };

@@ -42,7 +42,7 @@ class BasicClient : public Node {
 
   /// pos -> digest for every action this client evaluated on ζCS; the
   /// consistency checker compares these across replicas (Theorem 1).
-  const std::unordered_map<SeqNum, ResultDigest>& eval_digests() const {
+  const DigestMap& eval_digests() const {
     return eval_digests_;
   }
 
@@ -62,7 +62,7 @@ class BasicClient : public Node {
   ActionCostFn cost_fn_;
   Micros install_us_;
   ProtocolStats stats_;
-  std::unordered_map<SeqNum, ResultDigest> eval_digests_;
+  DigestMap eval_digests_;
 };
 
 }  // namespace seve

@@ -22,9 +22,9 @@ void BasicServer::OnMessage(const Message& msg) {
     ++stats_.actions_submitted;
     ++stats_.actions_committed;  // basic protocol: serialization = commit
     // (b) return to C all actions between posC and pos(a).
-    auto it = clients_.find(action->origin());
-    if (it != clients_.end()) {
-      SendRange(&it->second, pos + 1);
+    ClientRec* rec = clients_.Find(action->origin());
+    if (rec != nullptr) {
+      SendRange(rec, pos + 1);
     }
   });
 }
@@ -41,9 +41,7 @@ void BasicServer::SendRange(ClientRec* rec, SeqNum up_to_exclusive) {
 
 void BasicServer::FlushAll() {
   const SeqNum end = static_cast<SeqNum>(queue_.size());
-  for (auto& [client, rec] : clients_) {
-    SendRange(&rec, end);
-  }
+  clients_.ForEach([&](ClientId, ClientRec& rec) { SendRange(&rec, end); });
 }
 
 }  // namespace seve

@@ -1,10 +1,10 @@
 #ifndef SEVE_PROTOCOL_BASIC_SERVER_H_
 #define SEVE_PROTOCOL_BASIC_SERVER_H_
 
-#include <unordered_map>
 #include <vector>
 
 #include "action/action.h"
+#include "common/flat_map.h"
 #include "common/metrics.h"
 #include "net/node.h"
 #include "protocol/msg.h"
@@ -45,7 +45,9 @@ class BasicServer : public Node {
 
   Micros serialize_us_;
   std::vector<OrderedAction> queue_;
-  std::unordered_map<ClientId, ClientRec> clients_;
+  // FlatMap: FlushAll iterates this to fan out the tail of the queue, so
+  // delivery order must be pinned by our hash, not the stdlib's buckets.
+  FlatMap<ClientId, ClientRec> clients_;
   ProtocolStats stats_;
 };
 

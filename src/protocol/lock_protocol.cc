@@ -56,9 +56,9 @@ void LockServer::Grant(ClientId client, const ActionPtr& action) {
   auto body = std::make_shared<LockGrantBody>();
   body->action_id = action->id();
   body->pos = next_pos_++;
-  auto it = clients_.find(client);
-  if (it != clients_.end()) {
-    Send(it->second, body->WireSize(), body);
+  const NodeId* node = clients_.Find(client);
+  if (node != nullptr) {
+    Send(*node, body->WireSize(), body);
   }
 }
 
@@ -83,7 +83,7 @@ void LockServer::HandleEffect(const LockEffectBody& effect) {
   auto body = std::make_shared<LockEffectBody>(effect);
   for (ClientId client : client_order_) {
     if (client == effect.origin) continue;
-    Send(clients_.at(client), body->WireSize(), body);
+    Send(*clients_.Find(client), body->WireSize(), body);
   }
 
   // ...and grant whatever the released locks unblocked (FIFO scan).
@@ -120,10 +120,10 @@ void LockClient::OnMessage(const Message& msg) {
   switch (msg.body->kind()) {
     case kLockGrant: {
       const auto& grant = static_cast<const LockGrantBody&>(*msg.body);
-      auto it = pending_.find(grant.action_id);
-      if (it == pending_.end()) return;
-      ActionPtr action = it->second;
-      pending_.erase(it);
+      ActionPtr* found = pending_.Find(grant.action_id);
+      if (found == nullptr) return;
+      ActionPtr action = std::move(*found);
+      pending_.Erase(grant.action_id);
       const Micros cost = cost_fn_(*action, state_);
       SubmitWork(cost, [this, action, pos = grant.pos]() {
         // Execute under the global locks and ship the effect.
@@ -139,10 +139,10 @@ void LockClient::OnMessage(const Message& msg) {
           effect->written = state_.Extract(action->WriteSet());
         }
         Send(server_, effect->WireSize(), effect);
-        auto at = submitted_at_.find(action->id());
-        if (at != submitted_at_.end()) {
-          stats_.response_time_us.Add(loop()->now() - at->second);
-          submitted_at_.erase(at);
+        const VirtualTime* at = submitted_at_.Find(action->id());
+        if (at != nullptr) {
+          stats_.response_time_us.Add(loop()->now() - *at);
+          submitted_at_.Erase(action->id());
         }
       });
       break;

@@ -2,7 +2,6 @@
 #define SEVE_PROTOCOL_LOCK_PROTOCOL_H_
 
 #include <deque>
-#include <unordered_map>
 #include <vector>
 
 #include "action/action.h"
@@ -73,7 +72,7 @@ class LockServer : public Node {
 
   const WorldState& state() const { return state_; }
   ProtocolStats& stats() { return stats_; }
-  const std::unordered_map<SeqNum, ResultDigest>& committed_digests() const {
+  const DigestMap& committed_digests() const {
     return committed_digests_;
   }
   /// Requests currently blocked behind held locks.
@@ -101,11 +100,11 @@ class LockServer : public Node {
   FlatMap<ObjectId, ActionId> lock_table_;  // held locks
   FlatMap<ActionId, ObjectSet> held_sets_;
   std::deque<Waiting> waiting_;
-  std::unordered_map<ClientId, NodeId> clients_;
+  FlatMap<ClientId, NodeId> clients_;
   std::vector<ClientId> client_order_;
   SeqNum next_pos_ = 0;
   ProtocolStats stats_;
-  std::unordered_map<SeqNum, ResultDigest> committed_digests_;
+  DigestMap committed_digests_;
 };
 
 /// Client side: submits lock requests, executes on grant, applies foreign
@@ -122,7 +121,7 @@ class LockClient : public Node {
   const WorldState& state() const { return state_; }
   ProtocolStats& stats() { return stats_; }
   const ProtocolStats& stats() const { return stats_; }
-  const std::unordered_map<SeqNum, ResultDigest>& eval_digests() const {
+  const DigestMap& eval_digests() const {
     return eval_digests_;
   }
 
@@ -136,9 +135,9 @@ class LockClient : public Node {
   ActionCostFn cost_fn_;
   Micros install_us_;
   ProtocolStats stats_;
-  std::unordered_map<ActionId, ActionPtr> pending_;
-  std::unordered_map<ActionId, VirtualTime> submitted_at_;
-  std::unordered_map<SeqNum, ResultDigest> eval_digests_;
+  FlatMap<ActionId, ActionPtr> pending_;
+  FlatMap<ActionId, VirtualTime> submitted_at_;
+  DigestMap eval_digests_;
 };
 
 }  // namespace seve

@@ -26,8 +26,8 @@ void OccServer::OnMessage(const Message& msg) {
 }
 
 void OccServer::Certify(const OccSubmitBody& submit, ClientId origin) {
-  auto origin_it = clients_.find(origin);
-  if (origin_it == clients_.end()) return;
+  const NodeId* origin_node = clients_.Find(origin);
+  if (origin_node == nullptr) return;
 
   // Validation: every read version must still be current.
   bool stale = false;
@@ -52,7 +52,7 @@ void OccServer::Certify(const OccSubmitBody& submit, ClientId origin) {
       verdict->refresh_versions.emplace_back(
           id, v != nullptr ? *v : kInvalidSeq);
     }
-    Send(origin_it->second, verdict->WireSize(), verdict);
+    Send(*origin_node, verdict->WireSize(), verdict);
     return;
   }
 
@@ -71,10 +71,10 @@ void OccServer::Certify(const OccSubmitBody& submit, ClientId origin) {
   }
   verdict->committed = true;
   verdict->pos = pos;
-  Send(origin_it->second, verdict->WireSize(), verdict);
+  Send(*origin_node, verdict->WireSize(), verdict);
   for (ClientId client : client_order_) {
     if (client == origin) continue;
-    Send(clients_.at(client), effect->WireSize(), effect);
+    Send(*clients_.Find(client), effect->WireSize(), effect);
   }
 }
 
@@ -125,23 +125,23 @@ void OccClient::OnMessage(const Message& msg) {
       const auto verdict =
           std::static_pointer_cast<const OccVerdictBody>(msg.body);
       SubmitWork(install_us_, [this, verdict]() {
-        auto pending_it = in_flight_.find(verdict->action_id);
-        if (pending_it == in_flight_.end()) return;
+        Pending* pending_rec = in_flight_.Find(verdict->action_id);
+        if (pending_rec == nullptr) return;
         if (verdict->committed) {
-          auto at = submitted_at_.find(verdict->action_id);
-          if (at != submitted_at_.end()) {
-            stats_.response_time_us.Add(loop()->now() - at->second);
-            submitted_at_.erase(at);
+          const VirtualTime* at = submitted_at_.Find(verdict->action_id);
+          if (at != nullptr) {
+            stats_.response_time_us.Add(loop()->now() - *at);
+            submitted_at_.Erase(verdict->action_id);
           }
           ++stats_.actions_evaluated;
           // Install the exact values the server committed (re-executing
           // here could diverge if foreign effects landed meanwhile).
-          state_.ApplyObjects(pending_it->second.written);
-          eval_digests_[verdict->pos] = pending_it->second.last_digest;
-          for (ObjectId id : pending_it->second.action->WriteSet()) {
+          state_.ApplyObjects(pending_rec->written);
+          eval_digests_[verdict->pos] = pending_rec->last_digest;
+          for (ObjectId id : pending_rec->action->WriteSet()) {
             versions_[id] = verdict->pos;
           }
-          in_flight_.erase(pending_it);
+          in_flight_.Erase(verdict->action_id);
           return;
         }
         // Abort: refresh from the verdict and retry (bounded).
@@ -149,11 +149,11 @@ void OccClient::OnMessage(const Message& msg) {
         for (const auto& [id, version] : verdict->refresh_versions) {
           versions_[id] = version;
         }
-        Pending pending = pending_it->second;
-        in_flight_.erase(pending_it);
+        Pending pending = std::move(*pending_rec);
+        in_flight_.Erase(verdict->action_id);
         if (pending.attempt >= max_attempts_) {
           ++gave_up_;
-          submitted_at_.erase(verdict->action_id);
+          submitted_at_.Erase(verdict->action_id);
           return;
         }
         ++retries_;

@@ -1,7 +1,6 @@
 #ifndef SEVE_PROTOCOL_OCC_PROTOCOL_H_
 #define SEVE_PROTOCOL_OCC_PROTOCOL_H_
 
-#include <unordered_map>
 #include <vector>
 
 #include "action/action.h"
@@ -88,7 +87,7 @@ class OccServer : public Node {
 
   const WorldState& state() const { return state_; }
   ProtocolStats& stats() { return stats_; }
-  const std::unordered_map<SeqNum, ResultDigest>& committed_digests() const {
+  const DigestMap& committed_digests() const {
     return committed_digests_;
   }
   int64_t aborts() const { return aborts_; }
@@ -105,12 +104,12 @@ class OccServer : public Node {
   // read-set entry, so it sits in the same FlatMap the closure engine
   // uses for its hot lookups.
   FlatMap<ObjectId, SeqNum> versions_;
-  std::unordered_map<ClientId, NodeId> clients_;
+  FlatMap<ClientId, NodeId> clients_;
   std::vector<ClientId> client_order_;
   SeqNum next_pos_ = 0;
   int64_t aborts_ = 0;
   ProtocolStats stats_;
-  std::unordered_map<SeqNum, ResultDigest> committed_digests_;
+  DigestMap committed_digests_;
 };
 
 /// Client side: tentative execution over versioned local state, with
@@ -127,7 +126,7 @@ class OccClient : public Node {
   const WorldState& state() const { return state_; }
   ProtocolStats& stats() { return stats_; }
   const ProtocolStats& stats() const { return stats_; }
-  const std::unordered_map<SeqNum, ResultDigest>& eval_digests() const {
+  const DigestMap& eval_digests() const {
     return eval_digests_;
   }
   int64_t retries() const { return retries_; }
@@ -147,15 +146,15 @@ class OccClient : public Node {
   Micros install_us_;
   int max_attempts_;
   ProtocolStats stats_;
-  std::unordered_map<ActionId, VirtualTime> submitted_at_;
+  FlatMap<ActionId, VirtualTime> submitted_at_;
   struct Pending {
     ActionPtr action;
     int attempt = 1;
     ResultDigest last_digest = 0;
     std::vector<Object> written;  // effect of the last tentative run
   };
-  std::unordered_map<ActionId, Pending> in_flight_;
-  std::unordered_map<SeqNum, ResultDigest> eval_digests_;
+  FlatMap<ActionId, Pending> in_flight_;
+  DigestMap eval_digests_;
   int64_t retries_ = 0;
   int64_t gave_up_ = 0;
 };

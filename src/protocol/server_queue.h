@@ -43,6 +43,8 @@ class ServerQueue {
     SeqNum pos = kInvalidSeq;
     ActionPtr action;
     VirtualTime submitted_at = 0;
+    // Membership-only (never iterated): bucket order is unobservable.
+    // seve-lint: allow(det-unordered-container): membership test only
     std::unordered_set<ClientId> sent;  // the paper's sent(a)
     bool valid = true;                  // Algorithm 7's isValid
     bool completed = false;

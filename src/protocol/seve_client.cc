@@ -91,9 +91,8 @@ SeveClient::ApplyOutcome SeveClient::GuardedApply(const OrderedAction& rec,
     // values, so this path is confined to the sub-RTT window before a
     // chain member's completion arrives.)
     for (ObjectId id : rec.action->ReadSet()) {
-      auto it = last_writer_.find(id);
-      if ((it != last_writer_.end() && it->second > rec.pos) ||
-          tainted_.Contains(id)) {
+      const SeqNum* last = last_writer_.Find(id);
+      if ((last != nullptr && *last > rec.pos) || tainted_.Contains(id)) {
         outcome.out_of_order = true;
         break;
       }
@@ -107,8 +106,8 @@ SeveClient::ApplyOutcome SeveClient::GuardedApply(const OrderedAction& rec,
   std::vector<Object> protected_values;
   std::vector<ObjectId> protected_missing;
   for (ObjectId id : rec.action->WriteSet()) {
-    auto it = last_writer_.find(id);
-    if (it != last_writer_.end() && it->second > rec.pos) {
+    const SeqNum* newest = last_writer_.Find(id);
+    if (newest != nullptr && *newest > rec.pos) {
       const Object* obj = stable_.Find(id);
       if (obj != nullptr) {
         protected_values.push_back(*obj);

@@ -1,7 +1,6 @@
 #ifndef SEVE_PROTOCOL_SEVE_CLIENT_H_
 #define SEVE_PROTOCOL_SEVE_CLIENT_H_
 
-#include <unordered_map>
 #include <unordered_set>
 
 #include "action/action.h"
@@ -48,7 +47,7 @@ class SeveClient : public Node {
   ProtocolStats& stats() { return stats_; }
   const ProtocolStats& stats() const { return stats_; }
 
-  const std::unordered_map<SeqNum, ResultDigest>& eval_digests() const {
+  const DigestMap& eval_digests() const {
     return eval_digests_;
   }
 
@@ -89,11 +88,13 @@ class SeveClient : public Node {
   Micros install_us_;
   SeveOptions options_;
   ProtocolStats stats_;
-  std::unordered_map<SeqNum, ResultDigest> eval_digests_;
+  DigestMap eval_digests_;
   // Per-object position of the newest action applied to ζCS.
-  std::unordered_map<ObjectId, SeqNum> last_writer_;
+  FlatMap<ObjectId, SeqNum> last_writer_;
   // Positions of non-blind actions applied to ζCS; duplicate deliveries
   // must not double-apply (non-idempotent actions).
+  // Membership-only (never iterated), so bucket order is unobservable.
+  // seve-lint: allow(det-unordered-container): membership test only
   std::unordered_set<SeqNum> applied_;
   // Objects whose current ζCS value may not equal the serial value at
   // their last_writer position (produced by an out-of-order evaluation).

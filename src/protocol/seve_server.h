@@ -62,7 +62,7 @@ class SeveServer : public Node {
 
   /// pos -> stable digest of every installed action (from completion
   /// messages); ground truth for the consistency checker.
-  const std::unordered_map<SeqNum, ResultDigest>& committed_digests() const {
+  const DigestMap& committed_digests() const {
     return committed_digests_;
   }
   /// pos of actions dropped by Algorithm 7.
@@ -113,8 +113,7 @@ class SeveServer : public Node {
   InterestModel interest_;
   SeveOptions options_;
   ServerQueue queue_;
-  // Hot per-message lookups live in open-addressing FlatMaps; cold,
-  // externally exposed bookkeeping (committed_digests_) stays std.
+  // Hot per-message lookups live in open-addressing FlatMaps.
   FlatMap<ClientId, ClientRec> clients_;
   std::vector<ClientId> client_order_;  // registration order, deterministic
   GridIndex client_index_;
@@ -127,9 +126,11 @@ class SeveServer : public Node {
   ActionId::ValueType next_blind_id_ = 1ull << 62;
   bool running_ = false;
   ProtocolStats stats_;
-  std::unordered_map<SeqNum, ResultDigest> committed_digests_;
+  DigestMap committed_digests_;
   // Positions whose committed result was produced over reordered inputs
   // (flagged completions): excluded from the serializability audit.
+  // Membership-only (never iterated), so bucket order is unobservable.
+  // seve-lint: allow(det-unordered-container): membership test only
   std::unordered_set<SeqNum> audit_excluded_;
   std::vector<SeqNum> dropped_positions_;
 };

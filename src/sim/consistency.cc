@@ -16,29 +16,29 @@ std::string ConsistencyReport::ToString() const {
 }
 
 ConsistencyReport CheckDigestConsistency(
-    const std::unordered_map<SeqNum, ResultDigest>& authority,
-    const std::vector<const std::unordered_map<SeqNum, ResultDigest>*>&
-        replicas) {
+    const DigestMap& authority,
+    const std::vector<const DigestMap*>& replicas) {
   ConsistencyReport report;
-  std::unordered_map<SeqNum, ResultDigest> reference = authority;
+  DigestMap reference = authority;
   if (reference.empty()) {
     // No authoritative log: elect the first replica holding each position.
     for (const auto* replica : replicas) {
-      for (const auto& [pos, digest] : *replica) {
-        reference.try_emplace(pos, digest);
-      }
+      replica->ForEach([&reference](SeqNum pos, ResultDigest digest) {
+        auto [slot, inserted] = reference.TryEmplace(pos);
+        if (inserted) *slot = digest;
+      });
     }
   }
   int replica_index = 0;
   for (const auto* replica : replicas) {
-    for (const auto& [pos, digest] : *replica) {
-      auto it = reference.find(pos);
-      if (it == reference.end()) {
+    replica->ForEach([&](SeqNum pos, ResultDigest digest) {
+      const ResultDigest* ref = reference.Find(pos);
+      if (ref == nullptr) {
         ++report.unreferenced;
-        continue;
+        return;
       }
       ++report.compared;
-      if (it->second != digest) {
+      if (*ref != digest) {
         ++report.mismatches;
         if (report.mismatches <= 8 && std::getenv("SEVE_DEBUG_CONSISTENCY")) {
           std::fprintf(stderr,
@@ -46,10 +46,10 @@ ConsistencyReport CheckDigestConsistency(
                        "ref=%016llx\n",
                        static_cast<long long>(pos), replica_index,
                        static_cast<unsigned long long>(digest),
-                       static_cast<unsigned long long>(it->second));
+                       static_cast<unsigned long long>(*ref));
         }
       }
-    }
+    });
     ++replica_index;
   }
   return report;

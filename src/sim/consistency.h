@@ -2,7 +2,6 @@
 #define SEVE_SIM_CONSISTENCY_H_
 
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "action/action.h"
@@ -37,9 +36,8 @@ struct ConsistencyReport {
 /// holding a position becomes the reference). Each entry of `replicas`
 /// maps pos -> digest for the actions that replica evaluated.
 ConsistencyReport CheckDigestConsistency(
-    const std::unordered_map<SeqNum, ResultDigest>& authority,
-    const std::vector<const std::unordered_map<SeqNum, ResultDigest>*>&
-        replicas);
+    const DigestMap& authority,
+    const std::vector<const DigestMap*>& replicas);
 
 }  // namespace seve
 

@@ -1,7 +1,6 @@
 #include "sim/runner.h"
 
 #include <algorithm>
-#include <functional>
 #include <memory>
 #include <vector>
 
@@ -9,6 +8,7 @@
 #include "baseline/zoned.h"
 #include "baseline/central.h"
 #include "baseline/ring.h"
+#include "common/inline_function.h"
 #include "common/rng.h"
 #include "net/network.h"
 #include "protocol/basic_client.h"
@@ -23,12 +23,15 @@
 namespace seve {
 namespace {
 
-/// Uniform handle over the per-architecture client types.
+/// Uniform handle over the per-architecture client types. Each member
+/// captures a single client pointer, so InlineFunction keeps the whole
+/// driver table allocation-free (std::function here would heap-allocate
+/// three times per client).
 struct ClientDriver {
-  std::function<void(ActionPtr)> submit;
-  std::function<const WorldState&()> view;
-  std::function<const ProtocolStats&()> stats;
-  const std::unordered_map<SeqNum, ResultDigest>* digests = nullptr;
+  InlineFunction<16, void(ActionPtr)> submit;
+  InlineFunction<16, const WorldState&()> view;
+  InlineFunction<16, const ProtocolStats&()> stats;
+  const DigestMap* digests = nullptr;
 };
 
 NodeId ServerNode() { return NodeId(0); }
@@ -104,9 +107,9 @@ RunReport RunScenario(Architecture arch, const Scenario& scenario_in) {
   std::vector<std::unique_ptr<ZonedClient>> zoned_clients;
 
   std::vector<ClientDriver> drivers(static_cast<size_t>(s.num_clients));
-  std::function<void()> stop_and_flush = []() {};
-  std::function<const WorldState&()> observer;
-  const std::unordered_map<SeqNum, ResultDigest>* authority = nullptr;
+  InlineFunction<16> stop_and_flush = []() {};
+  InlineFunction<16, const WorldState&()> observer;
+  const DigestMap* authority = nullptr;
   Node* server_node = nullptr;
   ProtocolStats* server_stats = nullptr;
 
@@ -388,7 +391,10 @@ RunReport RunScenario(Architecture arch, const Scenario& scenario_in) {
   double visible_sum = 0.0;
   int64_t visible_samples = 0;
   const Micros sample_period = 500 * kMicrosPerMilli;
-  std::function<void()> sample = [&]() {
+  // Self-rescheduling sampler: the loop holds only a thin wrapper around
+  // `sample` (InlineFunction is move-only, so the callable itself cannot
+  // be copied into the scheduler the way a std::function could).
+  InlineFunction<96> sample = [&]() {
     if (loop.now() > last_submission) return;
     const WorldState& state = observer();
     for (int i = 0; i < s.num_clients; ++i) {
@@ -398,9 +404,9 @@ RunReport RunScenario(Architecture arch, const Scenario& scenario_in) {
                                             avatar);
       ++visible_samples;
     }
-    loop.After(sample_period, sample);
+    loop.After(sample_period, [&sample]() { sample(); });
   };
-  loop.After(sample_period, sample);
+  loop.After(sample_period, [&sample]() { sample(); });
 
   // ---- Run to quiescence --------------------------------------------------
   const Micros push_period =
@@ -417,7 +423,7 @@ RunReport RunScenario(Architecture arch, const Scenario& scenario_in) {
   report.end_time = loop.now();
   report.events_run = loop.events_run();
 
-  std::vector<const std::unordered_map<SeqNum, ResultDigest>*> replicas;
+  std::vector<const DigestMap*> replicas;
   for (int i = 0; i < s.num_clients; ++i) {
     const ClientDriver& driver = drivers[static_cast<size_t>(i)];
     const ProtocolStats& stats = driver.stats();
@@ -450,7 +456,7 @@ RunReport RunScenario(Architecture arch, const Scenario& scenario_in) {
                                  static_cast<double>(visible_samples);
   report.drop_rate = report.server_stats.DropRate();
 
-  static const std::unordered_map<SeqNum, ResultDigest> kEmpty;
+  static const DigestMap kEmpty;
   report.consistency = CheckDigestConsistency(
       authority != nullptr ? *authority : kEmpty, replicas);
   return report;

@@ -80,10 +80,13 @@ int DefaultJobs() {
   return hw == 0 ? 1 : static_cast<int>(hw);
 }
 
-void ParallelFor(size_t n, int jobs, const std::function<void(size_t)>& fn) {
+namespace internal {
+
+void ParallelForImpl(size_t n, int jobs, void (*invoke)(void*, size_t),
+                     void* ctx) {
   if (n == 0) return;
   if (jobs <= 1 || n == 1) {
-    for (size_t i = 0; i < n; ++i) fn(i);
+    for (size_t i = 0; i < n; ++i) invoke(ctx, i);
     return;
   }
   const size_t num_workers = std::min(static_cast<size_t>(jobs), n);
@@ -124,7 +127,7 @@ void ParallelFor(size_t n, int jobs, const std::function<void(size_t)>& fn) {
       // No work anywhere. Jobs never enqueue new jobs, so we are done.
       if (!got) return;
       try {
-        fn(idx);
+        invoke(ctx, idx);
       } catch (...) {
         std::lock_guard<std::mutex> lock(error_mu);
         if (!first_error) first_error = std::current_exception();
@@ -141,6 +144,8 @@ void ParallelFor(size_t n, int jobs, const std::function<void(size_t)>& fn) {
   for (std::thread& t : threads) t.join();
   if (first_error) std::rethrow_exception(first_error);
 }
+
+}  // namespace internal
 
 std::vector<SweepResult> RunSweep(const std::vector<SweepJob>& jobs,
                                   int num_jobs) {

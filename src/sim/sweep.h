@@ -2,8 +2,8 @@
 #define SEVE_SIM_SWEEP_H_
 
 #include <cstdint>
-#include <functional>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "sim/report.h"
@@ -36,13 +36,29 @@ struct SweepResult {
 /// hardware_concurrency, at least 1.
 int DefaultJobs();
 
+namespace internal {
+/// Type-erased core of ParallelFor: one function pointer + context, so
+/// the scheduler lives in sweep.cc without dragging std::function (and
+/// its per-call allocation) onto the sweep hot path.
+void ParallelForImpl(size_t n, int jobs, void (*invoke)(void*, size_t),
+                     void* ctx);
+}  // namespace internal
+
 /// Runs `fn(i)` for every i in [0, n) across `jobs` worker threads with a
 /// work-stealing scheduler (each worker owns a deque seeded round-robin;
 /// idle workers steal from the back of a victim's deque). `jobs <= 1` runs
 /// inline on the calling thread. `fn` must be safe to call concurrently
 /// for distinct i. The first exception thrown by `fn` is rethrown on the
-/// calling thread after all workers drain.
-void ParallelFor(size_t n, int jobs, const std::function<void(size_t)>& fn);
+/// calling thread after all workers drain. `fn` is borrowed for the call,
+/// never copied.
+template <typename Fn>
+void ParallelFor(size_t n, int jobs, Fn&& fn) {
+  using D = std::remove_reference_t<Fn>;
+  internal::ParallelForImpl(
+      n, jobs,
+      [](void* ctx, size_t i) { (*static_cast<D*>(ctx))(i); },
+      const_cast<void*>(static_cast<const void*>(&fn)));
+}
 
 /// Runs every job (each an independent, deterministic simulation with its
 /// own EventLoop, Network, RNG, and world) across `jobs` worker threads

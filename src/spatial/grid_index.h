@@ -163,6 +163,8 @@ class GridIndex {
     uint32_t* MutableData() { return capacity_ == kInline ? inline_ : heap_; }
     void Grow();
     void FreeHeap() {
+      // Pairs with CellVec::Grow's small-buffer allocation.
+      // seve-lint: allow(mem-raw-delete): small-buffer array release
       if (capacity_ != kInline) delete[] heap_;
     }
     void MoveFrom(CellVec&& other) noexcept {

@@ -9,6 +9,9 @@ namespace seve {
 namespace wire {
 
 WireRegistry& WireRegistry::Global() {
+  // Intentionally leaked singleton: codecs are looked up from worker
+  // threads during static destruction of test fixtures.
+  // seve-lint: allow(mem-raw-new): leaked process-lifetime singleton
   static WireRegistry* registry = new WireRegistry();
   return *registry;
 }

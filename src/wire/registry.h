@@ -6,7 +6,6 @@
 #include <shared_mutex>
 #include <string>
 #include <typeindex>
-#include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
@@ -74,7 +73,9 @@ class WireRegistry {
   mutable std::shared_mutex mu_;
   std::map<int, BodyCodec> bodies_;
   std::map<uint32_t, ActionCodec> actions_;
-  std::unordered_map<std::type_index, uint32_t> action_tags_;
+  // Ordered map: cold lookup table, and std::type_index hashing would
+  // make slot order depend on the runtime's RTTI implementation.
+  std::map<std::type_index, uint32_t> action_tags_;
 };
 
 }  // namespace wire

@@ -12,6 +12,9 @@ std::shared_ptr<const WallField> WallField::Generate(const AABB& bounds,
                                                      Rng* rng) {
   // Cell size: a few wall lengths keeps cells small but query-friendly.
   const double cell = std::max(wall_length * 2.0, bounds.Width() / 256.0);
+  // make_shared cannot reach the private constructor; ownership
+  // transfers to the shared_ptr on the same line.
+  // seve-lint: allow(mem-raw-new): private-ctor shared_ptr adoption
   auto field = std::shared_ptr<WallField>(new WallField(bounds, cell));
   field->walls_.reserve(static_cast<size_t>(std::max(count, 0)));
   for (int i = 0; i < count; ++i) {

@@ -1,0 +1,165 @@
+#include "baseline/zoned.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "net/network.h"
+#include "tests/test_actions.h"
+
+namespace seve {
+namespace {
+
+constexpr Micros kLatency = 10000;
+const AABB kBounds{{0.0, 0.0}, {100.0, 100.0}};
+
+ActionCostFn FixedCost(Micros cost) {
+  return [cost](const Action&, const WorldState&) { return cost; };
+}
+
+/// A 2x2 zoned deployment: four zone servers, each client registered
+/// with every zone (as the runner does), actions routed by position.
+struct ZonedFixture {
+  EventLoop loop;
+  Network net;
+  ZoneMap zones{kBounds, 2};
+  std::vector<std::unique_ptr<ZoneServer>> servers;
+  std::vector<std::unique_ptr<ZonedClient>> clients;
+
+  explicit ZonedFixture(int num_clients, Micros action_cost = 100)
+      : net(&loop) {
+    CostModel cost;
+    cost.central_overhead_us = 0;
+    std::vector<NodeId> zone_nodes;
+    for (int z = 0; z < zones.zone_count(); ++z) {
+      const NodeId node(100 + static_cast<uint64_t>(z));
+      auto server = std::make_unique<ZoneServer>(
+          node, &loop, z, CounterState({1, 2}), cost,
+          FixedCost(action_cost), /*visibility=*/30.0);
+      net.AddNode(server.get());
+      zone_nodes.push_back(node);
+      servers.push_back(std::move(server));
+    }
+    for (uint64_t i = 0; i < static_cast<uint64_t>(num_clients); ++i) {
+      auto client = std::make_unique<ZonedClient>(
+          NodeId(i + 1), &loop, ClientId(i), &zones, zone_nodes,
+          CounterState({1, 2}), /*install_us=*/10);
+      net.AddNode(client.get());
+      for (const NodeId zone_node : zone_nodes) {
+        net.ConnectBidirectional(zone_node, NodeId(i + 1),
+                                 LinkParams::LatencyOnly(kLatency));
+      }
+      for (auto& server : servers) {
+        server->RegisterClient(client->client_id(), NodeId(i + 1));
+      }
+      clients.push_back(std::move(client));
+    }
+  }
+};
+
+TEST(ZoneMapTest, TilesTheWorldRowMajor) {
+  ZoneMap zones(kBounds, 2);
+  EXPECT_EQ(zones.zone_count(), 4);
+  EXPECT_EQ(zones.ZoneOf({10.0, 10.0}), 0);
+  EXPECT_EQ(zones.ZoneOf({90.0, 10.0}), 1);
+  EXPECT_EQ(zones.ZoneOf({10.0, 90.0}), 2);
+  EXPECT_EQ(zones.ZoneOf({90.0, 90.0}), 3);
+}
+
+TEST(ZoneMapTest, ClampsOutOfBoundsPositions) {
+  ZoneMap zones(kBounds, 2);
+  EXPECT_EQ(zones.ZoneOf({-50.0, -50.0}), 0);
+  EXPECT_EQ(zones.ZoneOf({150.0, 150.0}), 3);
+  EXPECT_EQ(zones.ZoneOf({150.0, -50.0}), 1);
+}
+
+TEST(ZoneMapTest, DegenerateGridIsASingleZone) {
+  ZoneMap zones(kBounds, 0);  // clamped to 1x1
+  EXPECT_EQ(zones.zone_count(), 1);
+  EXPECT_EQ(zones.ZoneOf({999.0, -999.0}), 0);
+}
+
+TEST(ZonedBaselineTest, RoutesToOwningZoneAndAcks) {
+  ZonedFixture fx(1);
+  // Position (10, 10) lives in zone 0: only that server sees the action.
+  fx.clients[0]->SubmitLocalAction(std::make_shared<CounterAdd>(
+      ActionId(1), ClientId(0), ObjectId(1), 5, ProfileAt({10.0, 10.0}, 5.0)));
+  fx.loop.RunUntilIdle();
+
+  EXPECT_EQ(fx.servers[0]->stats().actions_committed, 1);
+  for (size_t z = 1; z < 4; ++z) {
+    EXPECT_EQ(fx.servers[z]->stats().actions_committed, 0) << "zone " << z;
+  }
+  EXPECT_EQ(fx.servers[0]->state().GetAttr(ObjectId(1), 1).AsInt(), 5);
+  // The ack updated the client's view and closed the response clock.
+  EXPECT_EQ(fx.clients[0]->view().GetAttr(ObjectId(1), 1).AsInt(), 5);
+  EXPECT_EQ(fx.clients[0]->stats().response_time_us.count(), 1);
+  EXPECT_GE(fx.clients[0]->stats().response_time_us.min(), 2 * kLatency);
+}
+
+TEST(ZonedBaselineTest, CrowdedZoneQueuesWhileOthersIdle) {
+  // Each action costs 20 ms of zone-server CPU. Five actions crowd into
+  // zone 0; a lone action in zone 3 is unaffected by the pile-up.
+  ZonedFixture fx(2, /*action_cost=*/20000);
+  for (uint64_t k = 0; k < 5; ++k) {
+    fx.clients[0]->SubmitLocalAction(std::make_shared<CounterAdd>(
+        ActionId(k + 1), ClientId(0), ObjectId(1), 1,
+        ProfileAt({10.0, 10.0}, 5.0)));
+  }
+  fx.clients[1]->SubmitLocalAction(std::make_shared<CounterAdd>(
+      ActionId(100), ClientId(1), ObjectId(2), 1,
+      ProfileAt({90.0, 90.0}, 5.0)));
+  fx.loop.RunUntilIdle();
+
+  // The crowded client's last ack waits behind 5 x 20 ms of CPU; the
+  // idle-zone client pays one execution only.
+  EXPECT_GE(fx.clients[0]->stats().response_time_us.max(),
+            2 * kLatency + 5 * 20000);
+  EXPECT_LT(fx.clients[1]->stats().response_time_us.max(),
+            2 * kLatency + 2 * 20000);
+  EXPECT_EQ(fx.servers[0]->stats().actions_committed, 5);
+  EXPECT_EQ(fx.servers[3]->stats().actions_committed, 1);
+}
+
+TEST(ZonedBaselineTest, CrossZoneInteractionsAreInvisible) {
+  ZonedFixture fx(2);
+  // Client 1 establishes its position just across the zone border from
+  // where client 0 will act — within visibility (30) but in zone 1.
+  fx.clients[1]->SubmitLocalAction(std::make_shared<CounterAdd>(
+      ActionId(10), ClientId(1), ObjectId(2), 1,
+      ProfileAt({55.0, 10.0}, 5.0)));
+  fx.loop.RunUntilIdle();
+
+  // Client 0 acts 10 units away in zone 0. Zone 0 never saw client 1
+  // act, so the update is not forwarded — the paper's zoning blind spot.
+  fx.clients[0]->SubmitLocalAction(std::make_shared<CounterAdd>(
+      ActionId(11), ClientId(0), ObjectId(1), 7,
+      ProfileAt({45.0, 10.0}, 5.0)));
+  fx.loop.RunUntilIdle();
+
+  EXPECT_EQ(fx.servers[0]->state().GetAttr(ObjectId(1), 1).AsInt(), 7);
+  EXPECT_EQ(fx.clients[0]->view().GetAttr(ObjectId(1), 1).AsInt(), 7);
+  EXPECT_EQ(fx.clients[1]->view().GetAttr(ObjectId(1), 1).AsInt(), 0);
+  // Zone 1's own replica never executed the action either.
+  EXPECT_EQ(fx.servers[1]->state().GetAttr(ObjectId(1), 1).AsInt(), 0);
+}
+
+TEST(ZonedBaselineTest, SameZoneNeighborsSeeUpdates) {
+  ZonedFixture fx(2);
+  // Both clients act inside zone 0, 10 units apart: after each has been
+  // seen once, updates fan out within the zone.
+  fx.clients[1]->SubmitLocalAction(std::make_shared<CounterAdd>(
+      ActionId(20), ClientId(1), ObjectId(2), 1,
+      ProfileAt({20.0, 10.0}, 5.0)));
+  fx.loop.RunUntilIdle();
+  fx.clients[0]->SubmitLocalAction(std::make_shared<CounterAdd>(
+      ActionId(21), ClientId(0), ObjectId(1), 9,
+      ProfileAt({10.0, 10.0}, 5.0)));
+  fx.loop.RunUntilIdle();
+
+  EXPECT_EQ(fx.clients[1]->view().GetAttr(ObjectId(1), 1).AsInt(), 9);
+}
+
+}  // namespace
+}  // namespace seve

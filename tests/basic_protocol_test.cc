@@ -105,9 +105,12 @@ TEST(BasicProtocolTest, EveryClientEvaluatesEveryAction) {
   }
   // Digests agree across all replicas for every position.
   for (SeqNum pos = 0; pos < 3; ++pos) {
-    const ResultDigest d0 = fx.clients[0]->eval_digests().at(pos);
-    EXPECT_EQ(fx.clients[1]->eval_digests().at(pos), d0);
-    EXPECT_EQ(fx.clients[2]->eval_digests().at(pos), d0);
+    const ResultDigest* d0 = fx.clients[0]->eval_digests().Find(pos);
+    ASSERT_NE(d0, nullptr);
+    ASSERT_NE(fx.clients[1]->eval_digests().Find(pos), nullptr);
+    ASSERT_NE(fx.clients[2]->eval_digests().Find(pos), nullptr);
+    EXPECT_EQ(*fx.clients[1]->eval_digests().Find(pos), *d0);
+    EXPECT_EQ(*fx.clients[2]->eval_digests().Find(pos), *d0);
   }
 }
 

@@ -5,8 +5,6 @@
 namespace seve {
 namespace {
 
-using DigestMap = std::unordered_map<SeqNum, ResultDigest>;
-
 TEST(ConsistencyTest, EmptyInputsAreConsistent) {
   const ConsistencyReport report = CheckDigestConsistency({}, {});
   EXPECT_TRUE(report.consistent());

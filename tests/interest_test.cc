@@ -108,6 +108,44 @@ TEST(InterestModelTest, VelocityCullingPrunesStationaryFar) {
   EXPECT_FALSE(culling.MayAffect(action, 0, client, 0));
 }
 
+TEST(InterestModelTest, AccessorsReflectConstruction) {
+  InterestModel model(12.5, 100000, 0.25, /*velocity_culling=*/true);
+  EXPECT_DOUBLE_EQ(model.max_speed(), 12.5);
+  EXPECT_EQ(model.rtt_us(), 100000);
+  EXPECT_DOUBLE_EQ(model.omega(), 0.25);
+  EXPECT_TRUE(model.velocity_culling());
+  // reach = 2 * 12.5 * 1.25 * 0.1s = 3.125 units.
+  EXPECT_NEAR(model.ReachTerm(), 3.125, 1e-9);
+}
+
+TEST(InterestModelTest, ZeroThresholdCombinedBoundEqualsBound) {
+  InterestModel model(10.0, 238000, 0.5);
+  EXPECT_DOUBLE_EQ(model.CombinedBound(3.0, 4.0, 0.0),
+                   model.Bound(3.0, 4.0));
+}
+
+TEST(InterestModelTest, ClassFilterPrecedesVelocityCulling) {
+  // With both optimizations on, a disjoint class mask eliminates the
+  // action even when the projected position would conflict.
+  InterestModel model(10.0, 238000, 0.5, /*velocity_culling=*/true,
+                      /*interest_classes=*/true);
+  const InterestProfile client = At({0.0, 0.0}, 5.0, {}, 0b01);
+  const InterestProfile toward = At({1.0, 0.0}, 1.0, {-100.0, 0.0}, 0b10);
+  EXPECT_FALSE(model.MayAffect(toward, 400000, client, 0));
+}
+
+TEST(InterestModelTest, NewerClientProfileClampsProjectionToZero) {
+  InterestModel model(10.0, 238000, 0.5, /*velocity_culling=*/true);
+  const InterestProfile client = At({0.0, 0.0}, 5.0);
+  // Client profile is NEWER than the action (dt < 0): the projection
+  // window clamps at zero rather than extrapolating backwards, so this
+  // toward-flying arrow stays at distance 40 > 12.14 -> no conflict.
+  const InterestProfile toward = At({40.0, 0.0}, 1.0, {-100.0, 0.0});
+  EXPECT_FALSE(model.MayAffect(toward, 0, client, 400000));
+  // Sanity: with a positive window the same arrow conflicts.
+  EXPECT_TRUE(model.MayAffect(toward, 400000, client, 0));
+}
+
 TEST(InterestProfileTest, PositionAtExtrapolates) {
   InterestProfile p = At({10.0, 0.0}, 1.0, {2.0, -1.0});
   const Vec2 projected = p.PositionAt(3.0);

@@ -76,7 +76,7 @@ TEST(AuditTaintTest, OutOfOrderEvalExcludedAndTaintPropagates) {
   // tainted, not audited, not completed.
   h.server.DeliverBatch(NodeId(1), {{2, ReadsXWritesY(2, 1, 2, 2)}});
   h.loop.RunUntilIdle();
-  EXPECT_EQ(h.client->eval_digests().count(2), 0u);
+  EXPECT_FALSE(h.client->eval_digests().Contains(2));
   EXPECT_EQ(h.client->stats().out_of_order_evals, 1);
   // The write still landed (bounded-staleness install).
   EXPECT_EQ(h.client->stable().GetAttr(ObjectId(2), 1).AsInt(), 1);
@@ -84,7 +84,7 @@ TEST(AuditTaintTest, OutOfOrderEvalExcludedAndTaintPropagates) {
   // pos 6 reads object 2 (tainted), writes object 3: taint propagates.
   h.server.DeliverBatch(NodeId(1), {{6, ReadsXWritesY(3, 2, 3, 6)}});
   h.loop.RunUntilIdle();
-  EXPECT_EQ(h.client->eval_digests().count(6), 0u);
+  EXPECT_FALSE(h.client->eval_digests().Contains(6));
   EXPECT_EQ(h.client->stats().out_of_order_evals, 2);
 }
 
@@ -109,7 +109,7 @@ TEST(AuditTaintTest, BlindWriteHealsTaint) {
   // ...so a later reader of object 2 is audited again.
   h.server.DeliverBatch(NodeId(1), {{8, ReadsXWritesY(4, 2, 3, 8)}});
   h.loop.RunUntilIdle();
-  EXPECT_EQ(h.client->eval_digests().count(8), 1u);
+  EXPECT_TRUE(h.client->eval_digests().Contains(8));
 }
 
 TEST(AuditTaintTest, WriterOfTaintedObjectStaysTainted) {
@@ -125,7 +125,7 @@ TEST(AuditTaintTest, WriterOfTaintedObjectStaysTainted) {
   // pos 9 writes (and therefore reads) tainted object 2: still excluded.
   h.server.DeliverBatch(NodeId(1), {{9, ReadsXWritesY(5, 3, 2, 9)}});
   h.loop.RunUntilIdle();
-  EXPECT_EQ(h.client->eval_digests().count(9), 0u);
+  EXPECT_FALSE(h.client->eval_digests().Contains(9));
   EXPECT_GE(h.client->stats().out_of_order_evals, 2);
 }
 

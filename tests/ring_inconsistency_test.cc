@@ -88,7 +88,7 @@ TEST(RingInconsistencyTest, VisibilityFilteringDiverges) {
   loop.RunUntilIdle();
 
   // A never saw C's shot (C is 40 units away, visibility 25)...
-  EXPECT_EQ(clients[0]->eval_digests().count(0), 0u);
+  EXPECT_FALSE(clients[0]->eval_digests().Contains(0));
   // ...so A thinks B was alive and A is dead.
   EXPECT_DOUBLE_EQ(
       clients[0]->state().GetAttr(ObjectId(1), kAttrHealth).AsDouble(), 0.0);
@@ -101,10 +101,10 @@ TEST(RingInconsistencyTest, VisibilityFilteringDiverges) {
       100.0);
 
   // The replicas computed different results for B's shot (pos 1).
-  ASSERT_EQ(clients[0]->eval_digests().count(1), 1u);
-  ASSERT_EQ(clients[1]->eval_digests().count(1), 1u);
-  EXPECT_NE(clients[0]->eval_digests().at(1),
-            clients[1]->eval_digests().at(1));
+  ASSERT_TRUE(clients[0]->eval_digests().Contains(1));
+  ASSERT_TRUE(clients[1]->eval_digests().Contains(1));
+  EXPECT_NE(*clients[0]->eval_digests().Find(1),
+            *clients[1]->eval_digests().Find(1));
 }
 
 TEST(RingInconsistencyTest, SeveClosureStaysConsistent) {
@@ -155,13 +155,13 @@ TEST(RingInconsistencyTest, SeveClosureStaysConsistent) {
   // result — and the committed result is "aborted" (B was already dead),
   // so A survives on every replica that knows about A.
   for (const auto& client : clients) {
-    for (const auto& [pos, digest] : client->eval_digests()) {
-      auto it = server.committed_digests().find(pos);
-      if (it != server.committed_digests().end()) {
-        EXPECT_EQ(it->second, digest)
+    client->eval_digests().ForEach([&](SeqNum pos, ResultDigest digest) {
+      const ResultDigest* committed = server.committed_digests().Find(pos);
+      if (committed != nullptr) {
+        EXPECT_EQ(*committed, digest)
             << "client " << client->client_id().value() << " pos " << pos;
       }
-    }
+    });
   }
   EXPECT_DOUBLE_EQ(
       server.authoritative().GetAttr(ObjectId(1), kAttrHealth).AsDouble(),

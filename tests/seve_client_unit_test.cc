@@ -106,7 +106,7 @@ TEST(SeveClientUnitTest, LastWriterGuardBlocksStaleInclusion) {
   EXPECT_EQ(h.client->stable().GetAttr(ObjectId(1), 1).AsInt(), 100);
   // The stale inclusion is transient-only: evaluated, but excluded from
   // the serializability audit.
-  EXPECT_EQ(h.client->eval_digests().count(2), 0u);
+  EXPECT_FALSE(h.client->eval_digests().Contains(2));
   EXPECT_EQ(h.client->stats().out_of_order_evals, 1);
 }
 

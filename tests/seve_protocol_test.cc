@@ -224,11 +224,12 @@ TEST(SeveProtocolTest, ConcurrentWritersStayConsistent) {
             1);
   // Evaluation digests agree with the server's committed digests.
   for (const auto& client : fx.clients) {
-    for (const auto& [pos, digest] : client->eval_digests()) {
-      auto it = fx.server->committed_digests().find(pos);
-      ASSERT_NE(it, fx.server->committed_digests().end());
-      EXPECT_EQ(it->second, digest) << "pos " << pos;
-    }
+    client->eval_digests().ForEach([&](SeqNum pos, ResultDigest digest) {
+      const ResultDigest* committed =
+          fx.server->committed_digests().Find(pos);
+      ASSERT_NE(committed, nullptr);
+      EXPECT_EQ(*committed, digest) << "pos " << pos;
+    });
   }
 }
 

@@ -1,0 +1,661 @@
+#include "lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstddef>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace seve_lint {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Tokenizer
+// ---------------------------------------------------------------------------
+
+enum class TokKind { kIdent, kNumber, kPunct, kString, kChar };
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line;
+};
+
+struct Include {
+  std::string target;  // path inside quotes or angle brackets
+  bool quoted;         // "..." (project include) vs <...> (system)
+  int line;
+};
+
+struct Allow {
+  int line;          // line the annotation comment starts on
+  std::string rule;  // rule name, or "*"
+  bool whole_file;
+};
+
+// One file, lexed: code tokens (comments, strings and preprocessor
+// directives stripped), includes, and seve-lint annotations.
+struct LexedFile {
+  const SourceFile* src = nullptr;
+  std::vector<Token> tokens;
+  std::vector<Include> includes;
+  std::vector<Allow> allows;
+  std::vector<int> annotation_lines;  // every seve-lint annotation
+};
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Parses `seve-lint: allow(rule[, rule...])[: reason]` or
+// `seve-lint: allow-file(...)` out of a comment body.
+void ParseAnnotation(const std::string& comment, int line, LexedFile* out) {
+  const std::string marker = "seve-lint:";
+  size_t at = comment.find(marker);
+  if (at == std::string::npos) return;
+  out->annotation_lines.push_back(line);
+  size_t pos = at + marker.size();
+  while (pos < comment.size() && comment[pos] == ' ') ++pos;
+  bool whole_file = false;
+  if (comment.compare(pos, 11, "allow-file(") == 0) {
+    whole_file = true;
+    pos += 11;
+  } else if (comment.compare(pos, 6, "allow(") == 0) {
+    pos += 6;
+  } else {
+    return;  // unknown verb; recorded as an annotation but grants nothing
+  }
+  const size_t close = comment.find(')', pos);
+  if (close == std::string::npos) return;
+  std::string list = comment.substr(pos, close - pos);
+  std::stringstream ss(list);
+  std::string rule;
+  while (std::getline(ss, rule, ',')) {
+    rule.erase(0, rule.find_first_not_of(" \t"));
+    const size_t last = rule.find_last_not_of(" \t");
+    if (last == std::string::npos) continue;
+    rule.resize(last + 1);
+    out->allows.push_back(Allow{line, rule, whole_file});
+  }
+}
+
+// Consumes a preprocessor directive starting at `i` (which points at '#').
+// Records #include targets; honors backslash line continuations.
+size_t LexPreprocessor(const std::string& s, size_t i, int* line,
+                       LexedFile* out) {
+  const int start_line = *line;
+  size_t j = i + 1;
+  while (j < s.size() && (s[j] == ' ' || s[j] == '\t')) ++j;
+  size_t word_end = j;
+  while (word_end < s.size() && IsIdentChar(s[word_end])) ++word_end;
+  const std::string directive = s.substr(j, word_end - j);
+  // Scan to the (continuation-aware) end of the directive.
+  size_t end = word_end;
+  while (end < s.size()) {
+    if (s[end] == '\n') {
+      if (end > 0 && s[end - 1] == '\\') {
+        ++*line;
+        ++end;
+        continue;
+      }
+      break;
+    }
+    // A // comment ends the directive's useful text but we still need to
+    // find the newline; comments inside directives are rare enough that
+    // scanning through is fine.
+    ++end;
+  }
+  if (directive == "include") {
+    size_t k = word_end;
+    while (k < end && (s[k] == ' ' || s[k] == '\t')) ++k;
+    if (k < end && (s[k] == '"' || s[k] == '<')) {
+      const char close = s[k] == '"' ? '"' : '>';
+      const size_t stop = s.find(close, k + 1);
+      if (stop != std::string::npos && stop < end) {
+        out->includes.push_back(
+            Include{s.substr(k + 1, stop - k - 1), s[k] == '"', start_line});
+      }
+    }
+  }
+  return end;  // caller handles the newline itself
+}
+
+LexedFile Lex(const SourceFile& src) {
+  LexedFile out;
+  out.src = &src;
+  const std::string& s = src.content;
+  int line = 1;
+  size_t i = 0;
+  bool at_line_start = true;  // only whitespace seen since last newline
+  while (i < s.size()) {
+    const char c = s[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      at_line_start = true;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+      ++i;
+      continue;
+    }
+    if (c == '#' && at_line_start) {
+      i = LexPreprocessor(s, i, &line, &out);
+      continue;
+    }
+    at_line_start = false;
+    // Line comment.
+    if (c == '/' && i + 1 < s.size() && s[i + 1] == '/') {
+      const size_t end = s.find('\n', i);
+      const std::string body =
+          s.substr(i, (end == std::string::npos ? s.size() : end) - i);
+      ParseAnnotation(body, line, &out);
+      i = end == std::string::npos ? s.size() : end;
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < s.size() && s[i + 1] == '*') {
+      const int start_line = line;
+      size_t end = s.find("*/", i + 2);
+      if (end == std::string::npos) end = s.size();
+      const std::string body = s.substr(i, end - i);
+      ParseAnnotation(body, start_line, &out);
+      for (size_t k = i; k < end; ++k) {
+        if (s[k] == '\n') ++line;
+      }
+      i = end == s.size() ? end : end + 2;
+      continue;
+    }
+    // Raw string literal: R"tag( ... )tag".
+    if (c == 'R' && i + 1 < s.size() && s[i + 1] == '"') {
+      size_t tag_end = i + 2;
+      while (tag_end < s.size() && s[tag_end] != '(') ++tag_end;
+      std::string closer(")");
+      closer.append(s, i + 2, tag_end - i - 2);
+      closer.push_back('"');
+      size_t end = s.find(closer, tag_end);
+      if (end == std::string::npos) end = s.size();
+      for (size_t k = i; k < end && k < s.size(); ++k) {
+        if (s[k] == '\n') ++line;
+      }
+      out.tokens.push_back(Token{TokKind::kString, "<raw>", line});
+      i = std::min(s.size(), end + closer.size());
+      continue;
+    }
+    // String / char literal.
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      size_t j = i + 1;
+      while (j < s.size() && s[j] != quote) {
+        if (s[j] == '\\' && j + 1 < s.size()) ++j;
+        if (s[j] == '\n') ++line;
+        ++j;
+      }
+      out.tokens.push_back(Token{
+          quote == '"' ? TokKind::kString : TokKind::kChar, "<lit>", line});
+      i = j + 1;
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      size_t j = i + 1;
+      while (j < s.size() && IsIdentChar(s[j])) ++j;
+      out.tokens.push_back(Token{TokKind::kIdent, s.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t j = i + 1;
+      while (j < s.size() && (IsIdentChar(s[j]) || s[j] == '.')) ++j;
+      out.tokens.push_back(Token{TokKind::kNumber, s.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    // Punctuation; `::` is the only multi-char operator the rules need.
+    if (c == ':' && i + 1 < s.size() && s[i + 1] == ':') {
+      out.tokens.push_back(Token{TokKind::kPunct, "::", line});
+      i += 2;
+      continue;
+    }
+    out.tokens.push_back(Token{TokKind::kPunct, std::string(1, c), line});
+    ++i;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Rule helpers
+// ---------------------------------------------------------------------------
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.size() >= prefix.size() &&
+         s.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool InDir(const std::string& path, const std::string& dir) {
+  return StartsWith(path, dir + "/");
+}
+
+bool IsTok(const std::vector<Token>& t, size_t i, TokKind kind,
+           const char* text) {
+  return i < t.size() && t[i].kind == kind && t[i].text == text;
+}
+
+class Linter {
+ public:
+  Linter(const std::vector<SourceFile>& files, const LintConfig& config)
+      : config_(config) {
+    lexed_.reserve(files.size());
+    for (const SourceFile& f : files) lexed_.push_back(Lex(f));
+  }
+
+  std::vector<Finding> Run() {
+    for (const LexedFile& f : lexed_) {
+      CheckUnorderedContainers(f);
+      CheckBannedFunctions(f);
+      CheckPointerKeys(f);
+      CheckStdFunction(f);
+      CheckRawNewDelete(f);
+      CheckLayering(f);
+      CheckForbiddenAllows(f);
+    }
+    CheckWireCompleteness();
+    std::sort(findings_.begin(), findings_.end(),
+              [](const Finding& a, const Finding& b) {
+                if (a.file != b.file) return a.file < b.file;
+                if (a.line != b.line) return a.line < b.line;
+                return a.rule < b.rule;
+              });
+    return findings_;
+  }
+
+ private:
+  // An allow annotation covers its own line and the line directly below
+  // it, so it can trail the flagged code or sit on the preceding line.
+  bool Allowed(const LexedFile& f, const std::string& rule, int line) const {
+    for (const Allow& a : f.allows) {
+      if (a.rule != rule && a.rule != "*") continue;
+      if (a.whole_file) return true;
+      if (line == a.line || line == a.line + 1) return true;
+    }
+    return false;
+  }
+
+  void Report(const LexedFile& f, const std::string& rule, int line,
+              std::string message) {
+    if (Allowed(f, rule, line)) return;
+    findings_.push_back(
+        Finding{f.src->path, line, rule, std::move(message)});
+  }
+
+  // --- det-unordered-container --------------------------------------------
+  void CheckUnorderedContainers(const LexedFile& f) {
+    const std::string& p = f.src->path;
+    if (!InDir(p, "src/store") && !InDir(p, "src/wire") &&
+        !InDir(p, "src/protocol")) {
+      return;
+    }
+    for (const Token& t : f.tokens) {
+      if (t.kind != TokKind::kIdent) continue;
+      if (t.text == "unordered_map" || t.text == "unordered_set") {
+        Report(f, "det-unordered-container", t.line,
+               "std::" + t.text +
+                   " in a digest/ordering/serialization layer: iteration "
+                   "order is implementation-defined; use seve::FlatMap "
+                   "(sort before iterating) or std::map");
+      }
+    }
+  }
+
+  // --- det-banned-fn -------------------------------------------------------
+  void CheckBannedFunctions(const LexedFile& f) {
+    const std::string& p = f.src->path;
+    if (!InDir(p, "src/sim") && !InDir(p, "src/protocol") &&
+        !InDir(p, "src/world")) {
+      return;
+    }
+    const std::vector<Token>& t = f.tokens;
+    for (size_t i = 0; i < t.size(); ++i) {
+      if (t[i].kind != TokKind::kIdent) continue;
+      const std::string& id = t[i].text;
+      if (id == "system_clock" || id == "high_resolution_clock") {
+        Report(f, "det-banned-fn", t[i].line,
+               id + ": wall-clock time in a deterministic layer; "
+                    "simulations must be pure functions of (scenario, "
+                    "seed) — use VirtualTime or seve::Rng");
+        continue;
+      }
+      const bool call_like = IsTok(t, i + 1, TokKind::kPunct, "(");
+      if (!call_like) continue;
+      const bool member_access =
+          i > 0 && ((t[i - 1].kind == TokKind::kPunct &&
+                     (t[i - 1].text == "." || t[i - 1].text == ">")) ||
+                    (t[i - 1].kind == TokKind::kIdent));
+      if (id == "rand" || id == "srand" || id == "gettimeofday" ||
+          ((id == "time" || id == "clock") && !member_access)) {
+        Report(f, "det-banned-fn", t[i].line,
+               id + "() is nondeterministic; use seve::Rng or VirtualTime");
+      }
+    }
+  }
+
+  // --- det-pointer-key -----------------------------------------------------
+  void CheckPointerKeys(const LexedFile& f) {
+    const std::string& p = f.src->path;
+    if (!InDir(p, "src/sim") && !InDir(p, "src/protocol") &&
+        !InDir(p, "src/world")) {
+      return;
+    }
+    static const std::set<std::string> kContainers = {
+        "map",           "set",           "multimap", "multiset",
+        "unordered_map", "unordered_set", "FlatMap"};
+    const std::vector<Token>& t = f.tokens;
+    for (size_t i = 0; i < t.size(); ++i) {
+      if (t[i].kind != TokKind::kIdent || !kContainers.count(t[i].text)) {
+        continue;
+      }
+      // Require std:: (or seve::) qualification for the std containers to
+      // avoid firing on unrelated identifiers named `map`/`set`.
+      if (t[i].text != "FlatMap") {
+        if (i < 2 || !IsTok(t, i - 1, TokKind::kPunct, "::") ||
+            t[i - 2].kind != TokKind::kIdent ||
+            (t[i - 2].text != "std" && t[i - 2].text != "seve")) {
+          continue;
+        }
+      }
+      if (!IsTok(t, i + 1, TokKind::kPunct, "<")) continue;
+      // Scan the first template argument; a trailing `*` means the key
+      // is a pointer, and pointer order is allocation order.
+      int depth = 1;
+      bool prev_star = false;
+      for (size_t j = i + 2; j < t.size() && j < i + 66; ++j) {
+        const Token& tk = t[j];
+        if (tk.kind == TokKind::kPunct) {
+          if (tk.text == "<") ++depth;
+          if (tk.text == ">" && --depth == 0) break;
+          if (tk.text == "," && depth == 1) break;
+        }
+        prev_star = tk.kind == TokKind::kPunct && tk.text == "*";
+        if (depth == 0) break;
+      }
+      if (prev_star) {
+        Report(f, "det-pointer-key", t[i].line,
+               t[i].text +
+                   " keyed on a pointer: pointer order is allocation "
+                   "order and varies run to run; key on a stable id");
+      }
+    }
+  }
+
+  // --- hot-std-function ----------------------------------------------------
+  void CheckStdFunction(const LexedFile& f) {
+    const std::string& p = f.src->path;
+    if (!InDir(p, "src/net") && !InDir(p, "src/sim")) return;
+    const std::vector<Token>& t = f.tokens;
+    for (size_t i = 2; i < t.size(); ++i) {
+      if (IsTok(t, i, TokKind::kIdent, "function") &&
+          IsTok(t, i - 1, TokKind::kPunct, "::") &&
+          IsTok(t, i - 2, TokKind::kIdent, "std")) {
+        Report(f, "hot-std-function", t[i].line,
+               "std::function on a hot path: one heap allocation per "
+               "callback; use seve::InlineFunction or a template");
+      }
+    }
+  }
+
+  // --- mem-raw-new / mem-raw-delete ---------------------------------------
+  void CheckRawNewDelete(const LexedFile& f) {
+    const std::string& p = f.src->path;
+    if (!StartsWith(p, "src/") || InDir(p, "src/common")) return;
+    const std::vector<Token>& t = f.tokens;
+    for (size_t i = 0; i < t.size(); ++i) {
+      if (t[i].kind != TokKind::kIdent) continue;
+      const bool after_op =
+          i > 0 && IsTok(t, i - 1, TokKind::kIdent, "operator");
+      if (t[i].text == "new" && !after_op) {
+        Report(f, "mem-raw-new", t[i].line,
+               "raw `new` outside src/common: use std::make_unique/"
+               "make_shared or a common container");
+      }
+      if (t[i].text == "delete" && !after_op &&
+          !(i > 0 && IsTok(t, i - 1, TokKind::kPunct, "="))) {
+        Report(f, "mem-raw-delete", t[i].line,
+               "raw `delete` outside src/common: ownership belongs in "
+               "smart pointers or common containers");
+      }
+    }
+  }
+
+  // --- layering ------------------------------------------------------------
+  void CheckLayering(const LexedFile& f) {
+    const std::string& p = f.src->path;
+    static const std::set<std::string> kLayers = {
+        "common", "spatial", "store",    "action", "world", "wire",
+        "net",    "protocol", "baseline", "sim",    "core"};
+    auto layer_of = [](const std::string& target) -> std::string {
+      const size_t slash = target.find('/');
+      if (slash == std::string::npos) return "";
+      const std::string head = target.substr(0, slash);
+      return kLayers.count(head) ? head : "";
+    };
+    for (const Include& inc : f.includes) {
+      if (!inc.quoted) continue;
+      const std::string target_layer = layer_of(inc.target);
+      if (target_layer.empty()) continue;
+      if (InDir(p, "src/common") && target_layer != "common") {
+        Report(f, "layer-common-pure", inc.line,
+               "src/common must not include \"" + inc.target +
+                   "\": common is the bottom layer");
+      }
+      if ((InDir(p, "src/store") || InDir(p, "src/net")) &&
+          target_layer == "protocol") {
+        Report(f, "layer-no-protocol", inc.line,
+               p.substr(0, 9) + " must not include \"" + inc.target +
+                   "\": store/net sit below the protocol layer");
+      }
+      if (InDir(p, "src/world") && target_layer == "baseline") {
+        Report(f, "layer-world-no-baseline", inc.line,
+               "src/world must not include \"" + inc.target +
+                   "\": worlds are protocol-agnostic");
+      }
+    }
+  }
+
+  // --- forbidden-allow -----------------------------------------------------
+  void CheckForbiddenAllows(const LexedFile& f) {
+    const std::string& p = f.src->path;
+    for (const std::string& prefix : config_.forbid_allow_prefixes) {
+      if (p != prefix && !StartsWith(p, prefix + "/") &&
+          !StartsWith(p, prefix)) {
+        continue;
+      }
+      for (int line : f.annotation_lines) {
+        // Never suppressible: an allow inside a digest path is exactly
+        // the contract erosion this rule exists to block.
+        findings_.push_back(Finding{
+            p, line, "forbidden-allow",
+            "seve-lint annotation in a protected digest path (" + prefix +
+                "): the escape hatch is banned here; fix the code instead"});
+      }
+      break;
+    }
+  }
+
+  // --- wire-missing-codec --------------------------------------------------
+  void CheckWireCompleteness() {
+    struct Site {
+      const LexedFile* file;
+      int line;
+    };
+    std::map<std::string, Site> kinds;    // kind constant -> decl site
+    std::map<std::string, Site> actions;  // Action subclass -> decl site
+    std::set<std::string> registered_kinds;
+    std::set<std::string> registered_types;
+
+    for (const LexedFile& f : lexed_) {
+      const std::string& p = f.src->path;
+      if (!StartsWith(p, "src/")) continue;
+      const std::vector<Token>& t = f.tokens;
+      if (InDir(p, "src/wire")) {
+        for (size_t i = 0; i + 2 < t.size(); ++i) {
+          if (IsTok(t, i, TokKind::kIdent, "RegisterBody") &&
+              IsTok(t, i + 1, TokKind::kPunct, "(") &&
+              t[i + 2].kind == TokKind::kIdent) {
+            registered_kinds.insert(t[i + 2].text);
+          }
+          if (IsTok(t, i, TokKind::kIdent, "typeid") &&
+              IsTok(t, i + 1, TokKind::kPunct, "(") &&
+              t[i + 2].kind == TokKind::kIdent) {
+            registered_types.insert(t[i + 2].text);
+          }
+        }
+        continue;
+      }
+      for (size_t i = 0; i + 7 < t.size(); ++i) {
+        // `int kind() const override { return <ident>; }`
+        if (IsTok(t, i, TokKind::kIdent, "kind") &&
+            IsTok(t, i + 1, TokKind::kPunct, "(") &&
+            IsTok(t, i + 2, TokKind::kPunct, ")") &&
+            IsTok(t, i + 3, TokKind::kIdent, "const") &&
+            IsTok(t, i + 4, TokKind::kIdent, "override") &&
+            IsTok(t, i + 5, TokKind::kPunct, "{") &&
+            IsTok(t, i + 6, TokKind::kIdent, "return") &&
+            t[i + 7].kind == TokKind::kIdent) {
+          kinds.emplace(t[i + 7].text, Site{&f, t[i].line});
+        }
+        // `class <Name> [final] : public Action {`
+        if (IsTok(t, i, TokKind::kIdent, "class") &&
+            t[i + 1].kind == TokKind::kIdent) {
+          size_t j = i + 2;
+          if (IsTok(t, j, TokKind::kIdent, "final")) ++j;
+          if (IsTok(t, j, TokKind::kPunct, ":") &&
+              IsTok(t, j + 1, TokKind::kIdent, "public") &&
+              IsTok(t, j + 2, TokKind::kIdent, "Action") &&
+              IsTok(t, j + 3, TokKind::kPunct, "{")) {
+            actions.emplace(t[i + 1].text, Site{&f, t[i].line});
+          }
+        }
+      }
+    }
+    for (const auto& [kind, site] : kinds) {
+      if (registered_kinds.count(kind)) continue;
+      Report(*site.file, "wire-missing-codec", site.line,
+             "MessageBody kind " + kind +
+                 " has no RegisterBody() codec in src/wire — every "
+                 "variant must serialize (see serializers.cc)");
+    }
+    for (const auto& [type, site] : actions) {
+      if (registered_types.count(type)) continue;
+      Report(*site.file, "wire-missing-codec", site.line,
+             "Action subclass " + type +
+                 " has no RegisterAction() codec in src/wire — replayed "
+                 "actions must serialize identically on every client");
+    }
+  }
+
+  LintConfig config_;
+  std::vector<LexedFile> lexed_;
+  std::vector<Finding> findings_;
+};
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Finding> LintFiles(const std::vector<SourceFile>& files,
+                               const LintConfig& config) {
+  return Linter(files, config).Run();
+}
+
+bool LintTree(const std::string& root, const LintConfig& config,
+              std::vector<Finding>* findings, int* files_checked,
+              std::string* error) {
+  namespace fs = std::filesystem;
+  const fs::path src_root = fs::path(root) / "src";
+  std::error_code ec;
+  if (!fs::is_directory(src_root, ec)) {
+    *error = "not a source tree (missing " + src_root.string() + ")";
+    return false;
+  }
+  std::vector<std::string> paths;
+  for (fs::recursive_directory_iterator it(src_root, ec), end;
+       it != end && !ec; it.increment(ec)) {
+    if (!it->is_regular_file()) continue;
+    const std::string ext = it->path().extension().string();
+    if (ext != ".h" && ext != ".cc") continue;
+    paths.push_back(fs::relative(it->path(), root, ec).generic_string());
+  }
+  if (ec) {
+    *error = "walking " + src_root.string() + ": " + ec.message();
+    return false;
+  }
+  std::sort(paths.begin(), paths.end());
+  std::vector<SourceFile> files;
+  files.reserve(paths.size());
+  for (const std::string& rel : paths) {
+    std::ifstream in(fs::path(root) / rel, std::ios::binary);
+    if (!in) {
+      *error = "cannot read " + rel;
+      return false;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    files.push_back(SourceFile{rel, buf.str()});
+  }
+  *files_checked = static_cast<int>(files.size());
+  *findings = LintFiles(files, config);
+  return true;
+}
+
+std::string ToJson(const std::vector<Finding>& findings, int files_checked) {
+  std::ostringstream out;
+  out << "{\"files_checked\":" << files_checked << ",\"finding_count\":"
+      << findings.size() << ",\"findings\":[";
+  for (size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    if (i != 0) out << ",";
+    out << "{\"file\":\"" << JsonEscape(f.file) << "\",\"line\":" << f.line
+        << ",\"rule\":\"" << JsonEscape(f.rule) << "\",\"message\":\""
+        << JsonEscape(f.message) << "\"}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+}  // namespace seve_lint

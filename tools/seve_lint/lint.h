@@ -1,0 +1,88 @@
+#ifndef SEVE_TOOLS_SEVE_LINT_LINT_H_
+#define SEVE_TOOLS_SEVE_LINT_LINT_H_
+
+#include <string>
+#include <vector>
+
+// seve-lint: a dependency-free determinism & layering analyzer for the
+// SEVE source tree. It tokenizes C++ directly (no libclang, so it runs
+// in every CI environment the compiler does) and enforces the project
+// invariants that the runtime fuzz tests can only sample:
+//
+//   det-unordered-container  unordered_{map,set} in digest/ordering/
+//                            serialization layers (src/store, src/wire,
+//                            src/protocol) — iteration order is
+//                            implementation-defined, so any such
+//                            container is a latent digest divergence.
+//   det-banned-fn            std::rand/srand/time()/clock()/
+//                            gettimeofday() and system_clock /
+//                            high_resolution_clock in src/sim,
+//                            src/protocol, src/world — simulations must
+//                            be pure functions of (scenario, seed).
+//   det-pointer-key          associative containers keyed on pointers in
+//                            src/sim, src/protocol, src/world — pointer
+//                            order is allocation order, which varies
+//                            run to run.
+//   hot-std-function         std::function in src/net and src/sim where
+//                            seve::InlineFunction is mandated (one heap
+//                            allocation per callback on the event-loop
+//                            hot path).
+//   mem-raw-new              raw new/delete outside src/common — owning
+//   mem-raw-delete           allocations go through smart pointers or
+//                            the common containers.
+//   layer-common-pure        src/common includes a higher layer.
+//   layer-no-protocol        src/store or src/net includes src/protocol.
+//   layer-world-no-baseline  src/world includes src/baseline.
+//   wire-missing-codec       a MessageBody variant (kind() override) or
+//                            Action subclass with no codec registration
+//                            in src/wire — the build-time version of the
+//                            PR-1 runtime wire audit.
+//   forbidden-allow          a `// seve-lint: allow(...)` annotation in
+//                            a path where the escape hatch is banned
+//                            (--forbid-allow-in), e.g. digest paths.
+//
+// Escape hatch: `// seve-lint: allow(rule)` or
+// `// seve-lint: allow(rule): reason` suppresses findings for `rule` on
+// the comment's line and the line directly below it.
+// `// seve-lint: allow-file(rule): reason` suppresses a rule for the
+// whole file. forbidden-allow is never suppressible.
+
+namespace seve_lint {
+
+struct SourceFile {
+  std::string path;     // repo-relative, forward slashes, e.g. "src/net/x.h"
+  std::string content;  // full file text
+};
+
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+struct LintConfig {
+  // Path prefixes (repo-relative) in which any seve-lint allow
+  // annotation is itself an error. Protects digest paths from silent
+  // contract erosion.
+  std::vector<std::string> forbid_allow_prefixes;
+};
+
+// Runs every rule over the given in-memory tree. Findings are sorted by
+// (file, line, rule). Cross-file rules (layering, wire-completeness) see
+// exactly the files passed in.
+std::vector<Finding> LintFiles(const std::vector<SourceFile>& files,
+                               const LintConfig& config);
+
+// Loads `<root>/src/**/*.{h,cc}` (sorted, for deterministic reports) and
+// lints it. Returns false and sets `error` if the tree cannot be read.
+bool LintTree(const std::string& root, const LintConfig& config,
+              std::vector<Finding>* findings, int* files_checked,
+              std::string* error);
+
+// Machine-readable report: {"files_checked":N,"findings":[...]}.
+std::string ToJson(const std::vector<Finding>& findings, int files_checked);
+
+}  // namespace seve_lint
+
+#endif  // SEVE_TOOLS_SEVE_LINT_LINT_H_

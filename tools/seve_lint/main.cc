@@ -1,0 +1,79 @@
+// seve-lint CLI. Exit codes: 0 clean, 1 findings, 2 usage/IO error.
+//
+//   seve_lint --root <repo> [--json]
+//             [--forbid-allow-in=<prefix>[,<prefix>...]]
+
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+namespace {
+
+void SplitCsv(const std::string& csv, std::vector<std::string>* out) {
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out->push_back(item);
+  }
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: seve_lint --root <repo> [--json] "
+      "[--forbid-allow-in=<prefix>,...]\n"
+      "Lints <repo>/src against the SEVE determinism & layering rules.\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  bool json = false;
+  seve_lint::LintConfig config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg.rfind("--root=", 0) == 0) {
+      root = arg.substr(7);
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg.rfind("--forbid-allow-in=", 0) == 0) {
+      SplitCsv(arg.substr(std::strlen("--forbid-allow-in=")),
+               &config.forbid_allow_prefixes);
+    } else if (arg == "--forbid-allow-in" && i + 1 < argc) {
+      SplitCsv(argv[++i], &config.forbid_allow_prefixes);
+    } else {
+      std::fprintf(stderr, "seve_lint: unknown argument '%s'\n",
+                   arg.c_str());
+      return Usage();
+    }
+  }
+
+  std::vector<seve_lint::Finding> findings;
+  int files_checked = 0;
+  std::string error;
+  if (!seve_lint::LintTree(root, config, &findings, &files_checked,
+                           &error)) {
+    std::fprintf(stderr, "seve_lint: %s\n", error.c_str());
+    return 2;
+  }
+
+  if (json) {
+    std::printf("%s\n", seve_lint::ToJson(findings, files_checked).c_str());
+  } else {
+    for (const seve_lint::Finding& f : findings) {
+      std::printf("%s:%d: [%s] %s\n", f.file.c_str(), f.line,
+                  f.rule.c_str(), f.message.c_str());
+    }
+    std::fprintf(stderr, "seve-lint: %zu finding(s) in %d files\n",
+                 findings.size(), files_checked);
+  }
+  return findings.empty() ? 0 : 1;
+}

@@ -1,0 +1,338 @@
+#include "lint.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace seve_lint {
+namespace {
+
+std::vector<Finding> Lint(const std::vector<SourceFile>& files,
+                         LintConfig config = {}) {
+  return LintFiles(files, config);
+}
+
+int CountRule(const std::vector<Finding>& findings, const std::string& rule) {
+  return static_cast<int>(
+      std::count_if(findings.begin(), findings.end(),
+                    [&](const Finding& f) { return f.rule == rule; }));
+}
+
+const Finding* FindRule(const std::vector<Finding>& findings,
+                        const std::string& rule) {
+  for (const Finding& f : findings) {
+    if (f.rule == rule) return &f;
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// det-unordered-container
+// ---------------------------------------------------------------------------
+
+TEST(UnorderedContainerRule, FiresInDigestLayersWithFileAndLine) {
+  const std::string code =
+      "#include <unordered_map>\n"
+      "namespace seve {\n"
+      "std::unordered_map<int, int> table;\n"
+      "}\n";
+  for (const char* dir : {"src/store", "src/wire", "src/protocol"}) {
+    auto findings =
+        Lint({{std::string(dir) + "/x.h", code}});
+    ASSERT_EQ(CountRule(findings, "det-unordered-container"), 1) << dir;
+    const Finding* f = FindRule(findings, "det-unordered-container");
+    EXPECT_EQ(f->file, std::string(dir) + "/x.h");
+    EXPECT_EQ(f->line, 3);  // the use, not the #include
+  }
+}
+
+TEST(UnorderedContainerRule, SilentOutsideDigestLayers) {
+  const std::string code = "std::unordered_set<int> s;\n";
+  EXPECT_TRUE(Lint({{"src/sim/x.cc", code}}).empty());
+  EXPECT_TRUE(Lint({{"src/common/x.h", code}}).empty());
+}
+
+TEST(UnorderedContainerRule, AllowOnPrecedingLineSuppresses) {
+  const std::string code =
+      "// seve-lint: allow(det-unordered-container): lookup-only\n"
+      "std::unordered_map<int, int> table;\n";
+  EXPECT_TRUE(Lint({{"src/protocol/x.h", code}}).empty());
+}
+
+TEST(UnorderedContainerRule, TrailingAllowSuppresses) {
+  const std::string code =
+      "std::unordered_map<int, int> t;  // seve-lint: allow("
+      "det-unordered-container)\n";
+  EXPECT_TRUE(Lint({{"src/protocol/x.h", code}}).empty());
+}
+
+TEST(UnorderedContainerRule, AllowFileSuppressesWholeFile) {
+  const std::string code =
+      "// seve-lint: allow-file(det-unordered-container): audit cache\n"
+      "std::unordered_map<int, int> a;\n"
+      "std::unordered_map<int, int> b;\n";
+  EXPECT_TRUE(Lint({{"src/protocol/x.h", code}}).empty());
+}
+
+TEST(UnorderedContainerRule, AllowForOtherRuleDoesNotSuppress) {
+  const std::string code =
+      "// seve-lint: allow(mem-raw-new): wrong rule\n"
+      "std::unordered_map<int, int> table;\n";
+  EXPECT_EQ(CountRule(Lint({{"src/store/x.h", code}}),
+                      "det-unordered-container"),
+            1);
+}
+
+TEST(UnorderedContainerRule, CommentsAndStringsDoNotFire) {
+  const std::string code =
+      "// an unordered_map would be wrong here\n"
+      "/* unordered_set too */\n"
+      "const char* kDoc = \"std::unordered_map\";\n";
+  EXPECT_TRUE(Lint({{"src/store/x.cc", code}}).empty());
+}
+
+// ---------------------------------------------------------------------------
+// det-banned-fn
+// ---------------------------------------------------------------------------
+
+TEST(BannedFnRule, FiresOnRandTimeAndSystemClock) {
+  auto findings = Lint({{"src/sim/x.cc",
+                        "int a = std::rand();\n"
+                        "long b = time(nullptr);\n"
+                        "auto c = std::chrono::system_clock::now();\n"}});
+  EXPECT_EQ(CountRule(findings, "det-banned-fn"), 3);
+}
+
+TEST(BannedFnRule, MemberNamedTimeIsFine) {
+  auto findings = Lint({{"src/protocol/x.cc",
+                        "auto t = loop.time();\n"
+                        "auto u = loop->time();\n"
+                        "VirtualTime time(0);\n"}});
+  EXPECT_EQ(CountRule(findings, "det-banned-fn"), 0);
+}
+
+TEST(BannedFnRule, SteadyClockPermittedForWallMeasurement) {
+  auto findings = Lint(
+      {{"src/sim/x.cc", "auto t0 = std::chrono::steady_clock::now();\n"}});
+  EXPECT_EQ(CountRule(findings, "det-banned-fn"), 0);
+}
+
+TEST(BannedFnRule, SilentOutsideDeterministicLayers) {
+  EXPECT_TRUE(Lint({{"src/common/rng.cc", "int x = rand();\n"}}).empty());
+}
+
+// ---------------------------------------------------------------------------
+// det-pointer-key
+// ---------------------------------------------------------------------------
+
+TEST(PointerKeyRule, FiresOnPointerKeyedMapAndSet) {
+  auto findings = Lint({{"src/protocol/x.h",
+                        "std::map<Node*, int> by_node;\n"
+                        "std::set<const Obj*> objs;\n"}});
+  EXPECT_EQ(CountRule(findings, "det-pointer-key"), 2);
+}
+
+TEST(PointerKeyRule, ValuePointersAndIdKeysAreFine) {
+  auto findings = Lint({{"src/protocol/x.h",
+                        "std::map<int, Node*> nodes;\n"
+                        "FlatMap<ObjectId, ActionId> locks;\n"}});
+  EXPECT_EQ(CountRule(findings, "det-pointer-key"), 0);
+}
+
+TEST(PointerKeyRule, FiresOnFlatMapPointerKey) {
+  auto findings =
+      Lint({{"src/world/x.h", "FlatMap<Wall*, int> walls;\n"}});
+  EXPECT_EQ(CountRule(findings, "det-pointer-key"), 1);
+}
+
+// ---------------------------------------------------------------------------
+// hot-std-function
+// ---------------------------------------------------------------------------
+
+TEST(StdFunctionRule, FiresInNetAndSim) {
+  const std::string code = "std::function<void()> cb;\n";
+  EXPECT_EQ(CountRule(Lint({{"src/net/x.h", code}}), "hot-std-function"), 1);
+  EXPECT_EQ(CountRule(Lint({{"src/sim/x.cc", code}}), "hot-std-function"), 1);
+}
+
+TEST(StdFunctionRule, SilentElsewhereAndWhenAllowed) {
+  EXPECT_TRUE(
+      Lint({{"src/wire/x.h", "std::function<void()> cb;\n"}}).empty());
+  EXPECT_TRUE(Lint({{"src/net/x.h",
+                    "// seve-lint: allow(hot-std-function): cold path\n"
+                    "std::function<void()> cb;\n"}})
+                  .empty());
+}
+
+// ---------------------------------------------------------------------------
+// mem-raw-new / mem-raw-delete
+// ---------------------------------------------------------------------------
+
+TEST(RawNewRule, FiresOutsideCommonOnly) {
+  const std::string code = "int* p = new int[4];\ndelete[] p;\n";
+  auto findings = Lint({{"src/spatial/x.cc", code}});
+  EXPECT_EQ(CountRule(findings, "mem-raw-new"), 1);
+  EXPECT_EQ(CountRule(findings, "mem-raw-delete"), 1);
+  EXPECT_TRUE(Lint({{"src/common/x.cc", code}}).empty());
+}
+
+TEST(RawNewRule, DeletedFunctionsAndOperatorsAreFine) {
+  auto findings = Lint({{"src/net/x.h",
+                        "struct A {\n"
+                        "  A(const A&) = delete;\n"
+                        "  void operator delete(void*);\n"
+                        "  void* operator new(unsigned long);\n"
+                        "};\n"}});
+  EXPECT_EQ(CountRule(findings, "mem-raw-new"), 0);
+  EXPECT_EQ(CountRule(findings, "mem-raw-delete"), 0);
+}
+
+TEST(RawNewRule, IdentifiersContainingNewAreFine) {
+  auto findings = Lint(
+      {{"src/spatial/x.cc", "int new_capacity = renewed + newest;\n"}});
+  EXPECT_TRUE(findings.empty());
+}
+
+// ---------------------------------------------------------------------------
+// layering
+// ---------------------------------------------------------------------------
+
+TEST(LayeringRule, CommonMustBeBottom) {
+  auto findings = Lint({{"src/common/x.h",
+                        "#include \"common/types.h\"\n"
+                        "#include \"store/object.h\"\n"}});
+  ASSERT_EQ(CountRule(findings, "layer-common-pure"), 1);
+  EXPECT_EQ(FindRule(findings, "layer-common-pure")->line, 2);
+}
+
+TEST(LayeringRule, StoreAndNetMustNotSeeProtocol) {
+  const std::string code = "#include \"protocol/msg.h\"\n";
+  EXPECT_EQ(CountRule(Lint({{"src/store/x.cc", code}}),
+                      "layer-no-protocol"),
+            1);
+  EXPECT_EQ(
+      CountRule(Lint({{"src/net/x.cc", code}}), "layer-no-protocol"), 1);
+  // protocol itself may, of course.
+  EXPECT_TRUE(Lint({{"src/protocol/x.cc", code}}).empty());
+}
+
+TEST(LayeringRule, WorldMustNotSeeBaseline) {
+  auto findings =
+      Lint({{"src/world/x.cc", "#include \"baseline/ring.h\"\n"}});
+  EXPECT_EQ(CountRule(findings, "layer-world-no-baseline"), 1);
+}
+
+TEST(LayeringRule, SystemIncludesAndForeignPathsAreFine) {
+  auto findings = Lint({{"src/common/x.h",
+                        "#include <vector>\n"
+                        "#include <gtest/gtest.h>\n"
+                        "#include \"common/status.h\"\n"}});
+  EXPECT_TRUE(findings.empty());
+}
+
+// ---------------------------------------------------------------------------
+// wire-missing-codec
+// ---------------------------------------------------------------------------
+
+TEST(WireCompletenessRule, FlagsUnregisteredBodyAndAction) {
+  std::vector<SourceFile> tree = {
+      {"src/protocol/msg.h",
+       "struct GoodBody : MessageBody {\n"
+       "  int kind() const override { return kGood; }\n"
+       "};\n"
+       "struct OrphanBody : MessageBody {\n"
+       "  int kind() const override { return kOrphan; }\n"
+       "};\n"},
+      {"src/world/acts.h",
+       "class GoodAction : public Action {\n"
+       "};\n"
+       "class OrphanAction final : public Action {\n"
+       "};\n"},
+      {"src/wire/serializers.cc",
+       "void Register(WireRegistry& reg) {\n"
+       "  reg.RegisterBody(kGood, MakeCodec());\n"
+       "  reg.RegisterAction(1, std::type_index(typeid(GoodAction)),\n"
+       "                     MakeActionCodec());\n"
+       "}\n"}};
+  auto findings = Lint(tree);
+  ASSERT_EQ(CountRule(findings, "wire-missing-codec"), 2);
+  const Finding& body = findings[0];
+  EXPECT_EQ(body.file, "src/protocol/msg.h");
+  EXPECT_EQ(body.line, 5);
+  EXPECT_NE(body.message.find("kOrphan"), std::string::npos);
+  const Finding* action = nullptr;
+  for (const Finding& f : findings) {
+    if (f.file == "src/world/acts.h") action = &f;
+  }
+  ASSERT_NE(action, nullptr);
+  EXPECT_EQ(action->line, 3);
+  EXPECT_NE(action->message.find("OrphanAction"), std::string::npos);
+}
+
+TEST(WireCompletenessRule, FullyRegisteredTreeIsClean) {
+  std::vector<SourceFile> tree = {
+      {"src/protocol/msg.h",
+       "struct GoodBody : MessageBody {\n"
+       "  int kind() const override { return kGood; }\n"
+       "};\n"},
+      {"src/wire/serializers.cc", "reg.RegisterBody(kGood, c);\n"}};
+  EXPECT_TRUE(Lint(tree).empty());
+}
+
+// ---------------------------------------------------------------------------
+// forbidden-allow (--forbid-allow-in)
+// ---------------------------------------------------------------------------
+
+TEST(ForbiddenAllowRule, AllowInProtectedPathIsItselfAFinding) {
+  LintConfig config;
+  config.forbid_allow_prefixes = {"src/store", "src/wire/serializers"};
+  auto findings =
+      Lint({{"src/store/x.cc",
+            "// seve-lint: allow(det-unordered-container): sneaky\n"
+            "std::unordered_map<int, int> t;\n"}},
+          config);
+  // The annotation is flagged AND it still suppresses nothing it is not
+  // entitled to hide — forbidden-allow itself cannot be allowed away.
+  EXPECT_EQ(CountRule(findings, "forbidden-allow"), 1);
+}
+
+TEST(ForbiddenAllowRule, FilePrefixMatchesAndOthersPass) {
+  LintConfig config;
+  config.forbid_allow_prefixes = {"src/wire/serializers"};
+  const std::string annotated =
+      "// seve-lint: allow(mem-raw-new): leaked singleton\n";
+  EXPECT_EQ(CountRule(Lint({{"src/wire/serializers.cc", annotated}}, config),
+                      "forbidden-allow"),
+            1);
+  EXPECT_EQ(CountRule(Lint({{"src/wire/registry.cc", annotated}}, config),
+                      "forbidden-allow"),
+            0);
+}
+
+// ---------------------------------------------------------------------------
+// report plumbing
+// ---------------------------------------------------------------------------
+
+TEST(Report, FindingsSortedAndJsonWellFormed) {
+  auto findings = Lint({{"src/store/b.h", "std::unordered_map<int,int> x;\n"},
+                       {"src/store/a.h", "std::unordered_map<int,int> x;\n"}});
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].file, "src/store/a.h");
+  EXPECT_EQ(findings[1].file, "src/store/b.h");
+  const std::string json = ToJson(findings, 2);
+  EXPECT_NE(json.find("\"files_checked\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"finding_count\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"rule\":\"det-unordered-container\""),
+            std::string::npos);
+}
+
+TEST(Report, CleanTreeYieldsEmptyJson) {
+  const std::string json = ToJson({}, 7);
+  EXPECT_EQ(json,
+            "{\"files_checked\":7,\"finding_count\":0,\"findings\":[]}");
+}
+
+}  // namespace
+}  // namespace seve_lint
