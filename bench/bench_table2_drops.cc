@@ -44,13 +44,41 @@ int main(int argc, char** argv) {
     jobs.push_back(
         SweepJob{"seve", range, Architecture::kSeve, std::move(s)});
   }
+  const size_t num_range_jobs = jobs.size();
+
+  // Chaos leg: frame loss on every link with the reliable channel
+  // enabled. The interesting outputs here are the transport counters
+  // (retransmits / duplicates / acks), which land in the JSON rows.
+  const std::vector<double> drops =
+      quick ? std::vector<double>{0.01} : std::vector<double>{0.01, 0.05};
+  for (const double drop : drops) {
+    Scenario s = Scenario::TableOne(quick ? 8 : 20);
+    s.world.num_walls = 200;
+    s.moves_per_client = quick ? 10 : 40;
+    s.drop_probability = drop;
+    s.reliable_transport = true;
+    jobs.push_back(SweepJob{"lossy", drop, Architecture::kIncompleteWorld,
+                            std::move(s)});
+  }
+
   const std::vector<SweepResult> results = RunSweep(jobs, num_jobs);
   std::printf("%-18s %-12s %-12s\n", "move effect range", "% dropped",
               "mean resp ms");
-  for (size_t i = 0; i < jobs.size(); ++i) {
+  for (size_t i = 0; i < num_range_jobs; ++i) {
     const RunReport& r = results[i].report;
     std::printf("%-18.0f %-12.2f %-12.1f\n", jobs[i].x,
                 r.drop_rate * 100.0, r.MeanResponseMs());
+  }
+  std::printf("\n%-12s %-12s %-12s %-12s\n", "link loss", "retransmits",
+              "dup drops", "acks");
+  for (size_t i = num_range_jobs; i < jobs.size(); ++i) {
+    const RunReport& r = results[i].report;
+    const ChannelStats& c = r.client_stats.channel;
+    const ChannelStats& sv = r.server_stats.channel;
+    std::printf("%-12.2f %-12llu %-12llu %-12llu\n", jobs[i].x,
+                static_cast<unsigned long long>(c.retransmits + sv.retransmits),
+                static_cast<unsigned long long>(c.dup_drops + sv.dup_drops),
+                static_cast<unsigned long long>(c.acks_sent + sv.acks_sent));
   }
   bench::WriteBenchJson("table2_drops", num_jobs, quick, jobs, results);
   return 0;

@@ -131,7 +131,11 @@ inline bool WriteBenchJson(const std::string& bench_name, int num_jobs,
     detail::AppendDouble(&j, job.scenario.link_kbps);
     j += ", \"wire_mode\": \"";
     detail::AppendEscaped(&j, WireModeName(job.scenario.wire_mode));
-    j += "\"},\n     \"wall_seconds\": ";
+    j += "\", \"drop_probability\": ";
+    detail::AppendDouble(&j, job.scenario.drop_probability);
+    j += std::string(", \"reliable_transport\": ") +
+         (job.scenario.reliable_transport ? "true" : "false");
+    j += "},\n     \"wall_seconds\": ";
     detail::AppendDouble(&j, results[i].wall_seconds);
     {
       char digest[32];
@@ -174,6 +178,26 @@ inline bool WriteBenchJson(const std::string& bench_name, int num_jobs,
          std::to_string(r.wire_verify_failures);
     j += ", \"end_time_us\": " + std::to_string(r.end_time);
     j += ", \"events_run\": " + std::to_string(r.events_run);
+    {
+      // Reliable-channel and recovery counters (all zero on the plain
+      // transport — emitted unconditionally so the schema is stable).
+      const ChannelStats& cch = r.client_stats.channel;
+      const ChannelStats& sch = r.server_stats.channel;
+      j += ", \"channel_retransmits\": " +
+           std::to_string(cch.retransmits + sch.retransmits);
+      j += ", \"channel_dup_drops\": " +
+           std::to_string(cch.dup_drops + sch.dup_drops);
+      j += ", \"channel_rtx_timeouts\": " +
+           std::to_string(cch.rtx_timeouts + sch.rtx_timeouts);
+      j += ", \"channel_acks_sent\": " +
+           std::to_string(cch.acks_sent + sch.acks_sent);
+      j += ", \"channel_ack_bytes\": " +
+           std::to_string(cch.ack_bytes + sch.ack_bytes);
+      j += ", \"rejoins\": " +
+           std::to_string(r.client_stats.rejoins + r.server_stats.rejoins);
+      j += ", \"snapshot_chunks\": " +
+           std::to_string(r.server_stats.snapshot_chunks);
+    }
     j += "}}";
     j += (i + 1 < jobs.size()) ? ",\n" : "\n";
   }

@@ -4,6 +4,35 @@
 
 namespace seve {
 
+void ChannelStats::Merge(const ChannelStats& other) {
+  data_frames += other.data_frames;
+  retransmits += other.retransmits;
+  rtx_timeouts += other.rtx_timeouts;
+  rtx_abandoned += other.rtx_abandoned;
+  dup_drops += other.dup_drops;
+  out_of_order += other.out_of_order;
+  stale_drops += other.stale_drops;
+  acks_sent += other.acks_sent;
+  ack_bytes += other.ack_bytes;
+}
+
+std::string ChannelStats::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "frames=%lld rtx=%lld timeouts=%lld abandoned=%lld "
+                "dups=%lld ooo=%lld stale=%lld acks=%lld ack_bytes=%lld",
+                static_cast<long long>(data_frames),
+                static_cast<long long>(retransmits),
+                static_cast<long long>(rtx_timeouts),
+                static_cast<long long>(rtx_abandoned),
+                static_cast<long long>(dup_drops),
+                static_cast<long long>(out_of_order),
+                static_cast<long long>(stale_drops),
+                static_cast<long long>(acks_sent),
+                static_cast<long long>(ack_bytes));
+  return buf;
+}
+
 void ProtocolStats::Merge(const ProtocolStats& other) {
   actions_submitted += other.actions_submitted;
   actions_committed += other.actions_committed;
@@ -13,8 +42,11 @@ void ProtocolStats::Merge(const ProtocolStats& other) {
   out_of_order_evals += other.out_of_order_evals;
   blind_writes += other.blind_writes;
   closure_visits += other.closure_visits;
+  rejoins += other.rejoins;
+  snapshot_chunks += other.snapshot_chunks;
   closure_size.Merge(other.closure_size);
   response_time_us.Merge(other.response_time_us);
+  channel.Merge(other.channel);
 }
 
 std::string ProtocolStats::ToString() const {
@@ -30,7 +62,16 @@ std::string ProtocolStats::ToString() const {
                 static_cast<long long>(out_of_order_evals),
                 static_cast<long long>(blind_writes));
   std::string out = buf;
+  if (rejoins != 0 || snapshot_chunks != 0) {
+    std::snprintf(buf, sizeof(buf), " rejoins=%lld snapshot_chunks=%lld",
+                  static_cast<long long>(rejoins),
+                  static_cast<long long>(snapshot_chunks));
+    out += buf;
+  }
   out += "\n  response_us: " + response_time_us.ToString();
+  if (channel.data_frames != 0 || channel.acks_sent != 0) {
+    out += "\n  channel: " + channel.ToString();
+  }
   return out;
 }
 

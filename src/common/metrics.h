@@ -35,6 +35,23 @@ struct TrafficStats {
   }
 };
 
+/// Reliable-channel counters (net/channel.h): retransmission and
+/// duplicate-suppression activity on one node, or aggregated over a set.
+struct ChannelStats {
+  int64_t data_frames = 0;     // first transmissions of wrapped messages
+  int64_t retransmits = 0;     // frames sent again after an rtx timeout
+  int64_t rtx_timeouts = 0;    // retransmission timer firings
+  int64_t rtx_abandoned = 0;   // frames given up after max_retries
+  int64_t dup_drops = 0;       // duplicate frames suppressed at receive
+  int64_t out_of_order = 0;    // frames buffered past a sequence gap
+  int64_t stale_drops = 0;     // frames from a pre-rejoin incarnation
+  int64_t acks_sent = 0;       // standalone ack frames
+  int64_t ack_bytes = 0;       // bytes spent on standalone acks
+
+  void Merge(const ChannelStats& other);
+  std::string ToString() const;
+};
+
 /// Protocol-level counters accumulated during a run.
 struct ProtocolStats {
   int64_t actions_submitted = 0;
@@ -47,8 +64,13 @@ struct ProtocolStats {
                                      // the result is transient-only
   int64_t blind_writes = 0;          // W(S, v) actions synthesized by server
   int64_t closure_visits = 0;        // queue entries inspected by Algorithm 6
+  int64_t rejoins = 0;               // Fail()->Rejoin() recoveries completed
+  int64_t snapshot_chunks = 0;       // catch-up chunks sent (server side)
   Histogram closure_size;            // |A| per reply / per push batch
   Histogram response_time_us;        // submit -> stable-result latency
+  /// Transport-layer counters; protocols leave this empty, the runner
+  /// folds each node's reliable-channel stats in after the run.
+  ChannelStats channel;
 
   double DropRate() const {
     return actions_submitted == 0

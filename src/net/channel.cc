@@ -1,0 +1,246 @@
+#include "net/channel.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "net/node.h"
+
+namespace seve {
+
+ReliableChannel::ReliableChannel(Node* node, const ChannelConfig& config)
+    : node_(node), config_(config) {}
+
+uint64_t ReliableChannel::SackBits(const RecvState& rs) const {
+  uint64_t bits = 0;
+  // Bit k means seq cum_ack+1+k was received, and cum_ack is always
+  // next_expected-1 here — so the base is next_expected itself (bit 0 is
+  // the gap frame and thus never set).
+  const SeqNum base = rs.next_expected;
+  // FlatMap iteration is slot order, but OR-ing bits is order-blind.
+  rs.buffer.ForEach([&bits, base](const SeqNum& seq, const Message&) {
+    const SeqNum off = seq - base;
+    if (off >= 0 && off < 64) bits |= uint64_t{1} << off;
+  });
+  return bits;
+}
+
+void ReliableChannel::FillAck(NodeId dst, ChannelDataBody* frame) {
+  RecvState* rs = recv_.Find(dst);
+  if (rs == nullptr || rs->peer_incarnation == 0) return;
+  frame->ack_incarnation = rs->peer_incarnation;
+  frame->cum_ack = rs->next_expected - 1;
+  frame->sack_bits = SackBits(*rs);
+  // This frame carries the ack: the delayed standalone ack is redundant.
+  rs->ack_pending = false;
+  ++rs->ack_epoch;
+}
+
+void ReliableChannel::TransmitHead(NodeId peer, SendState* st,
+                                   bool is_retransmit) {
+  const Unacked& u = is_retransmit ? st->window.front() : st->window.back();
+  auto frame = std::make_shared<ChannelDataBody>();
+  frame->incarnation = st->incarnation;
+  frame->seq = u.seq;
+  frame->inner = u.body;
+  frame->inner_bytes = u.bytes;
+  FillAck(peer, frame.get());
+  const int64_t frame_bytes = frame->WireSize();
+  node_->SendRaw(peer, frame_bytes, std::move(frame));
+}
+
+void ReliableChannel::Send(NodeId dst, int64_t bytes,
+                           std::shared_ptr<const MessageBody> body) {
+  auto [st, inserted] = send_.TryEmplace(dst);
+  if (inserted) {
+    st->incarnation = ++last_incarnation_[dst];
+    st->rto = config_.initial_rto_us;
+  }
+  st->window.push_back(Unacked{st->next_seq++, bytes, std::move(body), 0});
+  ++stats_.data_frames;
+  TransmitHead(dst, st, /*is_retransmit=*/false);
+  if (!st->timer_armed) ArmRtxTimer(dst);
+}
+
+void ReliableChannel::ArmRtxTimer(NodeId peer) {
+  SendState* st = send_.Find(peer);
+  if (st == nullptr) return;
+  if (st->window.empty()) {
+    st->timer_armed = false;
+    return;
+  }
+  st->timer_armed = true;
+  const uint64_t epoch = ++st->timer_epoch;
+  node_->loop()->After(st->rto, [this, peer, epoch]() {
+    OnRtxTimer(peer, epoch);
+  });
+}
+
+void ReliableChannel::OnRtxTimer(NodeId peer, uint64_t epoch) {
+  SendState* st = send_.Find(peer);
+  if (st == nullptr || !st->timer_armed || epoch != st->timer_epoch) return;
+  if (st->window.empty()) {
+    st->timer_armed = false;
+    return;
+  }
+  ++stats_.rtx_timeouts;
+  if (config_.max_retries > 0 &&
+      st->window.front().retries >= config_.max_retries) {
+    // The peer has been unreachable across the whole backoff schedule
+    // (crashed and never rejoined): stop burning the wire on this frame.
+    ++stats_.rtx_abandoned;
+    st->window.pop_front();
+    if (st->window.empty()) {
+      st->timer_armed = false;
+      return;
+    }
+  }
+  ++st->window.front().retries;
+  ++stats_.retransmits;
+  TransmitHead(peer, st, /*is_retransmit=*/true);
+  st->rto = std::min<Micros>(
+      config_.max_rto_us,
+      static_cast<Micros>(static_cast<double>(st->rto) * config_.rto_backoff));
+  ArmRtxTimer(peer);
+}
+
+void ReliableChannel::OnAck(NodeId peer, uint64_t ack_incarnation,
+                            SeqNum cum_ack, uint64_t sack_bits) {
+  SendState* st = send_.Find(peer);
+  if (st == nullptr || ack_incarnation != st->incarnation) return;
+  bool progress = false;
+  while (!st->window.empty() && st->window.front().seq <= cum_ack) {
+    st->window.pop_front();
+    progress = true;
+  }
+  if (sack_bits != 0 && !st->window.empty()) {
+    const SeqNum base = cum_ack + 1;
+    const auto acked = [base, sack_bits](const Unacked& u) {
+      const SeqNum off = u.seq - base;
+      return off >= 0 && off < 64 && ((sack_bits >> off) & 1) != 0;
+    };
+    const auto end =
+        std::remove_if(st->window.begin(), st->window.end(), acked);
+    if (end != st->window.end()) {
+      st->window.erase(end, st->window.end());
+      progress = true;
+    }
+  }
+  if (progress) {
+    st->rto = config_.initial_rto_us;
+    ++st->timer_epoch;  // supersede the outstanding timer
+    st->timer_armed = false;
+    if (!st->window.empty()) ArmRtxTimer(peer);
+  }
+}
+
+void ReliableChannel::OnFrame(const Message& msg) {
+  if (msg.body == nullptr) return;
+  if (msg.body->kind() == kChannelAck) {
+    const auto& ack = static_cast<const ChannelAckBody&>(*msg.body);
+    OnAck(msg.src, ack.ack_incarnation, ack.cum_ack, ack.sack_bits);
+    return;
+  }
+  if (msg.body->kind() == kChannelData) OnData(msg);
+}
+
+void ReliableChannel::OnData(const Message& msg) {
+  const auto& frame = static_cast<const ChannelDataBody&>(*msg.body);
+  // The piggybacked ack is for our send direction; process it regardless
+  // of what happens to the data half.
+  OnAck(msg.src, frame.ack_incarnation, frame.cum_ack, frame.sack_bits);
+
+  RecvState* rs = recv_.TryEmplace(msg.src).first;
+  if (frame.incarnation < rs->min_incarnation ||
+      frame.incarnation < rs->peer_incarnation) {
+    ++stats_.stale_drops;  // a frame from the peer's previous life
+    return;
+  }
+  if (frame.incarnation > rs->peer_incarnation) {
+    // The peer restarted its stream toward us: fresh numbering.
+    rs->peer_incarnation = frame.incarnation;
+    rs->next_expected = 0;
+    rs->buffer.Clear();
+  }
+  if (frame.seq < rs->next_expected || rs->buffer.Contains(frame.seq)) {
+    ++stats_.dup_drops;
+    // Re-ack so a sender that missed our previous ack stops retrying.
+    ScheduleAck(msg.src);
+    return;
+  }
+  if (frame.seq != rs->next_expected) ++stats_.out_of_order;
+
+  Message inner;
+  inner.src = msg.src;
+  inner.dst = msg.dst;
+  inner.bytes = frame.inner_bytes;
+  inner.sent_at = msg.sent_at;
+  inner.body = frame.inner;
+  rs->buffer[frame.seq] = std::move(inner);
+
+  // Deliver the in-order run. OnMessage may reenter Send (growing send_)
+  // or even ResetPeer (clearing this very buffer), so re-find the state
+  // on every iteration instead of trusting any cached pointer.
+  const NodeId peer = msg.src;
+  for (;;) {
+    RecvState* cur = recv_.Find(peer);
+    if (cur == nullptr) break;
+    Message* next = cur->buffer.Find(cur->next_expected);
+    if (next == nullptr) break;
+    Message deliver = std::move(*next);
+    cur->buffer.Erase(cur->next_expected);
+    ++cur->next_expected;
+    if (!node_->failed()) node_->OnMessage(deliver);
+  }
+  ScheduleAck(peer);
+}
+
+void ReliableChannel::ScheduleAck(NodeId peer) {
+  RecvState* rs = recv_.Find(peer);
+  if (rs == nullptr || rs->ack_pending) return;
+  rs->ack_pending = true;
+  const uint64_t epoch = ++rs->ack_epoch;
+  node_->loop()->After(config_.ack_delay_us, [this, peer, epoch]() {
+    RecvState* cur = recv_.Find(peer);
+    if (cur == nullptr || !cur->ack_pending || cur->ack_epoch != epoch) {
+      return;  // piggybacked, reset, or superseded in the meantime
+    }
+    cur->ack_pending = false;
+    SendStandaloneAck(peer);
+  });
+}
+
+void ReliableChannel::SendStandaloneAck(NodeId peer) {
+  RecvState* rs = recv_.Find(peer);
+  if (rs == nullptr || rs->peer_incarnation == 0) return;
+  auto ack = std::make_shared<ChannelAckBody>();
+  ack->ack_incarnation = rs->peer_incarnation;
+  ack->cum_ack = rs->next_expected - 1;
+  ack->sack_bits = SackBits(*rs);
+  ++stats_.acks_sent;
+  const int64_t bytes = ack->WireSize();
+  stats_.ack_bytes += bytes;
+  node_->SendRaw(peer, bytes, std::move(ack));
+}
+
+void ReliableChannel::ResetPeerSend(NodeId peer) {
+  SendState* st = send_.TryEmplace(peer).first;
+  st->incarnation = ++last_incarnation_[peer];
+  st->next_seq = 0;
+  st->window.clear();
+  st->rto = config_.initial_rto_us;
+  st->timer_armed = false;
+  ++st->timer_epoch;
+}
+
+void ReliableChannel::ResetPeer(NodeId peer) {
+  ResetPeerSend(peer);
+  RecvState* rs = recv_.TryEmplace(peer).first;
+  rs->min_incarnation = rs->peer_incarnation + 1;
+  rs->peer_incarnation = 0;
+  rs->next_expected = 0;
+  rs->buffer.Clear();
+  rs->ack_pending = false;
+  ++rs->ack_epoch;
+}
+
+}  // namespace seve

@@ -1,0 +1,130 @@
+#ifndef SEVE_NET_CHANNEL_H_
+#define SEVE_NET_CHANNEL_H_
+
+#include <deque>
+#include <memory>
+
+#include "common/flat_map.h"
+#include "common/metrics.h"
+#include "common/types.h"
+#include "net/channel_msg.h"
+#include "net/message.h"
+
+namespace seve {
+
+class Node;
+
+/// Retransmission / ack tuning for one node's reliable channel.
+struct ChannelConfig {
+  /// First retransmission timeout; must comfortably exceed RTT plus
+  /// ack_delay_us or every frame gets a spurious duplicate.
+  Micros initial_rto_us = 500 * kMicrosPerMilli;
+  /// RTO multiplier applied after every timeout (exponential backoff).
+  double rto_backoff = 2.0;
+  /// Backoff ceiling.
+  Micros max_rto_us = 8 * kMicrosPerSecond;
+  /// Retransmissions per frame before the channel gives up on it
+  /// (0 = retry forever). A finite default keeps RunUntilIdle quiescent
+  /// when the peer is permanently crashed.
+  int max_retries = 25;
+  /// Delay before a standalone ack when no reverse traffic piggybacks.
+  Micros ack_delay_us = 20 * kMicrosPerMilli;
+};
+
+/// Per-link reliable channel layered on Network::Send — the simulator's
+/// stand-in for the TCP connections the paper's testbed runs on.
+///
+/// Sender side: every outgoing protocol message is wrapped in a
+/// ChannelDataBody with a per-destination sequence number and kept in a
+/// window until acked; an EventLoop timer retransmits the oldest unacked
+/// frame with exponential backoff. Receiver side: frames are delivered to
+/// the application exactly once and in sequence order (out-of-order
+/// frames buffer until the gap fills); cumulative + selective acks
+/// piggyback on reverse data frames, with a delayed standalone ack as the
+/// fallback when the receiver has nothing to say.
+///
+/// Crash recovery: ResetPeer() starts a fresh stream incarnation toward a
+/// peer and refuses frames from the peer's previous incarnation, so a
+/// rejoining node never sees pre-crash frames resurface inside its new
+/// conversation.
+class ReliableChannel {
+ public:
+  ReliableChannel(Node* node, const ChannelConfig& config);
+
+  /// Wraps and sends one protocol message (called from Node::Send).
+  void Send(NodeId dst, int64_t bytes,
+            std::shared_ptr<const MessageBody> body);
+
+  /// Handles an arrived kChannelData / kChannelAck frame (called from
+  /// Node::Deliver). In-sequence wrapped messages are handed to the
+  /// node's OnMessage synchronously, in order.
+  void OnFrame(const Message& msg);
+
+  /// Forgets all transport state shared with `peer` and starts a new
+  /// send incarnation: in-flight and unacked frames from the previous
+  /// life are discarded on both directions. Used by the crashed side of
+  /// a rejoin, whose receive context is gone.
+  void ResetPeer(NodeId peer);
+
+  /// Send-direction-only reset: discards the unacked window and starts a
+  /// fresh outgoing incarnation, but keeps reassembling the peer's
+  /// current incoming stream. Used by the surviving side of a rejoin —
+  /// the rejoining peer's new stream is already in progress when its
+  /// Rejoin message arrives, and fencing it off would swallow every
+  /// frame the peer sends next.
+  void ResetPeerSend(NodeId peer);
+
+  const ChannelStats& stats() const { return stats_; }
+
+ private:
+  struct Unacked {
+    SeqNum seq = 0;
+    int64_t bytes = 0;
+    std::shared_ptr<const MessageBody> body;
+    int retries = 0;
+  };
+  struct SendState {
+    uint64_t incarnation = 0;
+    SeqNum next_seq = 0;
+    std::deque<Unacked> window;  // seq-ordered, unacked frames only
+    Micros rto = 0;
+    /// Timers cannot be cancelled; each armed timer captures the epoch
+    /// current at arm time and no-ops if the epoch has moved on.
+    uint64_t timer_epoch = 0;
+    bool timer_armed = false;
+  };
+  struct RecvState {
+    uint64_t peer_incarnation = 0;  // stream currently being reassembled
+    uint64_t min_incarnation = 0;   // floor set by ResetPeer: below = stale
+    SeqNum next_expected = 0;
+    FlatMap<SeqNum, Message> buffer;  // out-of-order frames past the gap
+    bool ack_pending = false;
+    uint64_t ack_epoch = 0;
+  };
+
+  void OnData(const Message& msg);
+  void OnAck(NodeId peer, uint64_t ack_incarnation, SeqNum cum_ack,
+             uint64_t sack_bits);
+  /// Fills the piggybacked ack fields of an outgoing data frame and
+  /// cancels any pending standalone ack toward `dst`.
+  void FillAck(NodeId dst, ChannelDataBody* frame);
+  uint64_t SackBits(const RecvState& rs) const;
+  void ArmRtxTimer(NodeId peer);
+  void OnRtxTimer(NodeId peer, uint64_t epoch);
+  void TransmitHead(NodeId peer, SendState* st, bool is_retransmit);
+  void ScheduleAck(NodeId peer);
+  void SendStandaloneAck(NodeId peer);
+
+  Node* node_;
+  ChannelConfig config_;
+  ChannelStats stats_;
+  FlatMap<NodeId, SendState> send_;
+  FlatMap<NodeId, RecvState> recv_;
+  /// Highest send incarnation ever used toward each peer; survives
+  /// ResetPeer so re-created streams keep climbing.
+  FlatMap<NodeId, uint64_t> last_incarnation_;
+};
+
+}  // namespace seve
+
+#endif  // SEVE_NET_CHANNEL_H_

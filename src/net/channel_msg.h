@@ -1,0 +1,57 @@
+#ifndef SEVE_NET_CHANNEL_MSG_H_
+#define SEVE_NET_CHANNEL_MSG_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "common/types.h"
+#include "net/message.h"
+
+namespace seve {
+
+/// Message discriminators for the reliable-channel framing layer
+/// (net/channel.h). Numbered well above the protocol (1..5) and baseline
+/// (100..) ranges so the wire registry stays collision-free.
+enum ChannelMsgKind : int {
+  kChannelData = 300,  // sequenced frame wrapping one protocol message
+  kChannelAck = 301,   // standalone cumulative + selective ack
+};
+
+/// A sequenced data frame: one protocol-level message wrapped with the
+/// channel header. Ack state for the reverse direction piggybacks on
+/// every data frame, so an active bidirectional conversation needs no
+/// standalone ack traffic at all.
+struct ChannelDataBody : MessageBody {
+  /// Sender stream incarnation; bumped on crash/rejoin so stale frames
+  /// from a previous life are never merged into the new stream.
+  uint64_t incarnation = 0;
+  /// Per-destination sequence number, 0-based within the incarnation.
+  SeqNum seq = 0;
+  /// Piggybacked ack for the reverse direction (same fields as
+  /// ChannelAckBody); ack_incarnation == 0 means "nothing received yet".
+  uint64_t ack_incarnation = 0;
+  SeqNum cum_ack = -1;
+  uint64_t sack_bits = 0;  // bit k set <=> cum_ack + 1 + k was received
+  /// The wrapped protocol message and its declared wire size (what the
+  /// inner Send charged; re-used when delivering to the application).
+  std::shared_ptr<const MessageBody> inner;
+  int64_t inner_bytes = 0;
+
+  int kind() const override { return kChannelData; }
+  int64_t WireSize() const { return 26 + inner_bytes; }
+};
+
+/// Standalone ack frame, sent on a short delay timer when the receiver
+/// has no reverse data traffic to piggyback on.
+struct ChannelAckBody : MessageBody {
+  uint64_t ack_incarnation = 0;
+  SeqNum cum_ack = -1;
+  uint64_t sack_bits = 0;
+
+  int kind() const override { return kChannelAck; }
+  int64_t WireSize() const { return 18; }
+};
+
+}  // namespace seve
+
+#endif  // SEVE_NET_CHANNEL_MSG_H_

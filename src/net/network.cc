@@ -64,7 +64,12 @@ void Network::ConnectBidirectional(NodeId a, NodeId b,
 
 void Network::ConnectDirected(NodeId src, NodeId dst,
                               const LinkParams& params) {
-  links_[{src.value(), dst.value()}] = LinkState{params, 0};
+  // Preserve the serialization backlog (free_at) when reconfiguring an
+  // existing link mid-run: swapping parameters does not clear the frames
+  // already clocked onto the wire.
+  const auto [it, inserted] =
+      links_.try_emplace({src.value(), dst.value()}, LinkState{params, 0});
+  if (!inserted) it->second.params = params;
 }
 
 Status Network::Send(Message msg) {
@@ -89,13 +94,9 @@ Status Network::Send(Message msg) {
     src_it->second->mutable_traffic()->sent.Record(wire_bytes);
   }
 
-  if (link.params.drop_probability > 0.0 &&
-      rng_.NextBool(link.params.drop_probability)) {
-    ++messages_dropped_;
-    return Status::OK();  // loss is not an error to the sender
-  }
-
-  // FIFO serialization: the frame occupies the link for tx microseconds.
+  // FIFO serialization: the frame occupies the link for tx microseconds —
+  // charged before the loss decision, because real loss happens on the
+  // wire or beyond, after the bytes were clocked out of the NIC.
   Micros tx = 0;
   if (link.params.bytes_per_us > 0.0) {
     tx = static_cast<Micros>(std::ceil(static_cast<double>(wire_bytes) /
@@ -104,6 +105,12 @@ Status Network::Send(Message msg) {
   const VirtualTime start = std::max(loop_->now(), link.free_at);
   link.free_at = start + tx;
   const VirtualTime arrival = start + tx + link.params.latency_us;
+
+  if (link.params.drop_probability > 0.0 &&
+      rng_.NextBool(link.params.drop_probability)) {
+    ++messages_dropped_;
+    return Status::OK();  // loss is not an error to the sender
+  }
 
   Node* dst_node = node_it->second;
   Message delivered = std::move(msg);

@@ -65,7 +65,8 @@ class Network {
   /// Creates (or replaces) the two directed links a->b and b->a.
   void ConnectBidirectional(NodeId a, NodeId b, const LinkParams& params);
 
-  /// Creates (or replaces) the directed link src->dst.
+  /// Creates the directed link src->dst, or swaps the parameters of an
+  /// existing one in place (its serialization backlog is preserved).
   void ConnectDirected(NodeId src, NodeId dst, const LinkParams& params);
 
   /// Controls how Send computes the byte size charged to the link:
@@ -85,9 +86,11 @@ class Network {
     return wire_audit_.TotalVerifyFailures();
   }
 
-  /// Sends a message; fails if no link or unknown destination. Traffic is
-  /// accounted on both endpoints even if the message is later dropped
-  /// (bytes entered the wire).
+  /// Sends a message; fails if no link or unknown destination. The
+  /// sender's traffic counter and the link's FIFO serialization time are
+  /// always charged (the bytes entered the wire even when the frame is
+  /// later lost); the receiver's counter records only frames actually
+  /// delivered, so sent-vs-received asymmetry measures loss.
   Status Send(Message msg);
 
   /// Aggregate traffic across all registered nodes (each byte counted

@@ -3,15 +3,29 @@
 #include <cassert>
 #include <cmath>
 
+#include "net/channel.h"
 #include "net/network.h"
 
 namespace seve {
 
 Node::Node(NodeId id, EventLoop* loop) : id_(id), loop_(loop) {}
 
+Node::~Node() = default;
+
+void Node::EnableReliableTransport(const ChannelConfig& config) {
+  channel_ = std::make_unique<ReliableChannel>(this, config);
+}
+
 void Node::Deliver(const Message& msg) {
   if (failed_) return;
   traffic_.received.Record(msg.bytes);
+  if (channel_ != nullptr && msg.body != nullptr) {
+    const int kind = msg.body->kind();
+    if (kind == kChannelData || kind == kChannelAck) {
+      channel_->OnFrame(msg);
+      return;
+    }
+  }
   OnMessage(msg);
 }
 
@@ -33,13 +47,23 @@ Micros Node::CpuBacklog() const {
 
 void Node::Send(NodeId dst, int64_t bytes,
                 std::shared_ptr<const MessageBody> body) {
+  if (channel_ != nullptr) {
+    channel_->Send(dst, bytes, std::move(body));
+    return;
+  }
+  SendRaw(dst, bytes, std::move(body));
+}
+
+void Node::SendRaw(NodeId dst, int64_t bytes,
+                   std::shared_ptr<const MessageBody> body) {
   assert(network_ != nullptr);
   Message msg;
   msg.src = id_;
   msg.dst = dst;
   msg.bytes = bytes;
   msg.body = std::move(body);
-  // Best-effort: protocol layers treat the network as lossy anyway.
+  // Best-effort: without the reliable channel, protocol layers treat the
+  // network as lossy; with it, the channel owns retransmission.
   (void)network_->Send(std::move(msg));
 }
 

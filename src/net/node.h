@@ -12,6 +12,8 @@
 namespace seve {
 
 class Network;
+class ReliableChannel;
+struct ChannelConfig;
 
 /// A simulated host (the server or one client machine) with a single
 /// simulated CPU.
@@ -23,7 +25,7 @@ class Network;
 class Node {
  public:
   Node(NodeId id, EventLoop* loop);
-  virtual ~Node() = default;
+  virtual ~Node();  // out-of-line: ReliableChannel is incomplete here
 
   Node(const Node&) = delete;
   Node& operator=(const Node&) = delete;
@@ -75,18 +77,33 @@ class Node {
 
   void set_network(Network* network) { network_ = network; }
 
+  /// Wraps every subsequent Send in a reliable channel (net/channel.h):
+  /// sequencing, acks, and timeout retransmission over the lossy links.
+  /// Incoming channel frames are terminated here too, so the protocol
+  /// layer above sees exactly-once, in-order delivery per peer.
+  void EnableReliableTransport(const ChannelConfig& config);
+  ReliableChannel* reliable_channel() { return channel_.get(); }
+  const ReliableChannel* reliable_channel() const { return channel_.get(); }
+
  protected:
   /// Handles an arrived message. Runs at arrival time with zero CPU cost;
   /// use SubmitWork for anything expensive.
   virtual void OnMessage(const Message& msg) = 0;
 
-  /// Sends a message through the attached network. Convenience wrapper.
+  /// Sends a message through the attached network (via the reliable
+  /// channel when one is enabled). Convenience wrapper.
   void Send(NodeId dst, int64_t bytes,
             std::shared_ptr<const MessageBody> body);
 
   Network* network() const { return network_; }
 
  private:
+  friend class ReliableChannel;
+
+  /// Raw network send, bypassing the reliable channel (used by the
+  /// channel itself to put its frames on the wire).
+  void SendRaw(NodeId dst, int64_t bytes,
+               std::shared_ptr<const MessageBody> body);
   /// Accounts `cost` (scaled by the load factor) against this node's CPU
   /// and returns the virtual time at which the work completes.
   VirtualTime ChargeWork(Micros cost);
@@ -99,6 +116,7 @@ class Node {
   double load_factor_ = 1.0;
   bool failed_ = false;
   TrafficStats traffic_;
+  std::unique_ptr<ReliableChannel> channel_;
 };
 
 }  // namespace seve

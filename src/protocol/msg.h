@@ -17,6 +17,11 @@ enum MsgKind : int {
   kDropNotice = 4,     // server -> client: action dropped (Alg. 7)
   kCommitNotice = 5,   // server -> client: last installed pos (GC aid)
 
+  // Crash/rejoin recovery (Section III-C):
+  kRejoin = 6,           // client -> server: back from the dead
+  kSnapshotRequest = 7,  // client -> server: send me a catch-up snapshot
+  kSnapshotChunk = 8,    // server -> client: one slice of zeta_S + tail
+
   // Baseline architectures:
   kCentralInput = 100,  // client -> central server: input command
   kCentralAck = 101,    // central server -> origin client: action result
@@ -115,6 +120,49 @@ struct CommitNoticeBody : MessageBody {
 
   int kind() const override { return kCommitNotice; }
   int64_t WireSize() const { return 16; }
+};
+
+/// Client -> server: the client crashed and is rejoining. The server
+/// resets the shared reliable-channel state (so pre-crash frames from
+/// either side cannot resurface) and drops any queued pushes for the
+/// client; the client follows up with a SnapshotRequest.
+struct RejoinBody : MessageBody {
+  ClientId client;
+
+  int kind() const override { return kRejoin; }
+  int64_t WireSize() const { return 16; }
+};
+
+/// Client -> server: request a full catch-up snapshot of ζS.
+struct SnapshotRequestBody : MessageBody {
+  ClientId client;
+
+  int kind() const override { return kSnapshotRequest; }
+  int64_t WireSize() const { return 16; }
+};
+
+/// Server -> client: one slice of the catch-up snapshot. The object
+/// payload is ζS — semantically a batch of blind writes W(S, ζS(S)) at
+/// the commit frontier `snapshot_pos` (Section III-C: state a rejoined
+/// client may treat as authoritative). The final chunk additionally
+/// carries the live tail: every still-uncommitted queue entry, with
+/// completed entries substituted by blind writes of their stable results
+/// exactly as ComputeClosure does, so replay from the snapshot converges
+/// to the same digests as never-failed clients.
+struct SnapshotChunkBody : MessageBody {
+  SeqNum snapshot_pos = kInvalidSeq;  // commit frontier the values reflect
+  int64_t chunk = 0;                  // 0-based chunk index
+  int64_t total = 1;                  // chunk count; last carries the tail
+  std::vector<Object> objects;
+  std::vector<OrderedAction> tail;
+
+  int kind() const override { return kSnapshotChunk; }
+  int64_t WireSize() const {
+    int64_t size = 32;
+    for (const Object& obj : objects) size += obj.WireSize();
+    for (const OrderedAction& rec : tail) size += 8 + rec.action->WireSize();
+    return size;
+  }
 };
 
 }  // namespace seve

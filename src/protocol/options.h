@@ -31,6 +31,10 @@ struct SeveOptions {
   /// messages for every action it applies, not just its own.
   bool all_client_completions = false;
 
+  /// Crash/rejoin recovery: objects per SnapshotChunk when the server
+  /// streams ζS to a rejoining client.
+  int snapshot_chunk_objects = 64;
+
   /// The simulation tick τ; Algorithm 7 runs once per tick.
   Micros tick_us = 100 * 1000;
 

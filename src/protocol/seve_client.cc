@@ -5,6 +5,8 @@
 #include <utility>
 #include <vector>
 
+#include "net/channel.h"
+
 namespace seve {
 
 SeveClient::SeveClient(NodeId node, EventLoop* loop, ClientId client,
@@ -21,6 +23,7 @@ SeveClient::SeveClient(NodeId node, EventLoop* loop, ClientId client,
       options_(options) {}
 
 void SeveClient::SubmitLocalAction(ActionPtr action) {
+  if (failed() || rejoining_) return;
   assert(action->ReadSet().Covers(action->WriteSet()) &&
          "protocol invariant RS(a) ⊇ WS(a) violated");
   const Micros cost = cost_fn_(*action, optimistic_);
@@ -34,7 +37,37 @@ void SeveClient::SubmitLocalAction(ActionPtr action) {
   });
 }
 
+void SeveClient::Rejoin() {
+  set_failed(false);
+  rejoining_ = true;
+  // Everything replicated before the crash is untrusted: the snapshot
+  // rebuilds ζCS from scratch and ζCO is re-seeded from it afterwards.
+  stable_ = WorldState{};
+  optimistic_ = WorldState{};
+  pending_ = PendingQueue{};
+  last_writer_.Clear();
+  applied_.clear();
+  tainted_ = ObjectSet{};
+  ++stats_.rejoins;
+  // Fresh channel incarnation first, so the Rejoin/SnapshotRequest pair
+  // (and everything after) rides a stream the server can tell apart from
+  // pre-crash leftovers.
+  if (ReliableChannel* channel = reliable_channel()) {
+    channel->ResetPeer(server_);
+  }
+  auto rejoin = std::make_shared<RejoinBody>();
+  rejoin->client = client_;
+  Send(server_, rejoin->WireSize(), rejoin);
+  auto request = std::make_shared<SnapshotRequestBody>();
+  request->client = client_;
+  Send(server_, request->WireSize(), request);
+}
+
 void SeveClient::OnMessage(const Message& msg) {
+  if (rejoining_ && msg.body->kind() != kSnapshotChunk) {
+    // Pre-snapshot protocol traffic: superseded by the snapshot.
+    return;
+  }
   switch (msg.body->kind()) {
     case kDeliverActions: {
       const auto& deliver =
@@ -57,9 +90,37 @@ void SeveClient::OnMessage(const Message& msg) {
       last_commit_notice_ = notice.pos;
       break;
     }
+    case kSnapshotChunk:
+      HandleSnapshotChunk(static_cast<const SnapshotChunkBody&>(*msg.body));
+      break;
     default:
       break;
   }
+}
+
+void SeveClient::HandleSnapshotChunk(const SnapshotChunkBody& chunk) {
+  if (!rejoining_) return;  // duplicate catch-up from a slow path
+  // The snapshot is a batch of blind writes W(S, ζS(S)) at the commit
+  // frontier: install directly and stamp the last-writer guards so tail
+  // actions (all at higher positions) apply on top.
+  for (const Object& obj : chunk.objects) {
+    stable_.Upsert(obj);
+    last_writer_[obj.id()] = chunk.snapshot_pos;
+  }
+  if (chunk.chunk + 1 != chunk.total) return;
+
+  // Final chunk: the replica is authoritative as of snapshot_pos. Replay
+  // the live tail in order on the CPU, then re-seed the optimistic view.
+  rejoining_ = false;
+  for (const OrderedAction& rec : chunk.tail) {
+    const Micros cost = rec.action->IsBlindWrite()
+                            ? install_us_
+                            : cost_fn_(*rec.action, stable_);
+    SubmitWork(cost, [this, rec]() { ApplyOrdered(rec); });
+  }
+  // CPU FIFO ordering puts this after the tail replay but before any
+  // post-snapshot deliveries that arrive later.
+  SubmitWork(install_us_, [this]() { optimistic_ = stable_; });
 }
 
 void SeveClient::ApplyOrdered(const OrderedAction& rec) {

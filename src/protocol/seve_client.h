@@ -35,7 +35,19 @@ class SeveClient : public Node {
              const SeveOptions& options);
 
   /// Algorithm 4 step 2: optimistic evaluation + submission.
+  /// Silently ignored while the client is failed or still rejoining.
   void SubmitLocalAction(ActionPtr action);
+
+  /// Crash: all deliveries and work are dropped until Rejoin().
+  void Fail() { set_failed(true); }
+
+  /// Recovery (Section III-C): discards all pre-crash replica state,
+  /// resets the reliable-channel conversation with the server, and asks
+  /// for a ζS snapshot. Protocol traffic is ignored until the final
+  /// SnapshotChunk arrives, after which the client converges to the same
+  /// digests as never-failed clients.
+  void Rejoin();
+  bool rejoining() const { return rejoining_; }
 
   ClientId client_id() const { return client_; }
   const WorldState& stable() const { return stable_; }
@@ -59,6 +71,7 @@ class SeveClient : public Node {
   void HandleForeign(const OrderedAction& rec);
   void HandleOwnEcho(const OrderedAction& rec);
   void HandleDropNotice(const DropNoticeBody& notice);
+  void HandleSnapshotChunk(const SnapshotChunkBody& chunk);
 
   struct ApplyOutcome {
     ResultDigest digest = 0;
@@ -103,6 +116,9 @@ class SeveClient : public Node {
   ObjectSet tainted_;
   SeqNum last_commit_notice_ = kInvalidSeq;
   int64_t drops_observed_ = 0;
+  /// True between Rejoin() and the final SnapshotChunk: protocol traffic
+  /// is ignored (it predates the snapshot) and submissions are refused.
+  bool rejoining_ = false;
 };
 
 }  // namespace seve

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "action/blind_write.h"
+#include "net/channel.h"
 
 namespace seve {
 namespace {
@@ -70,9 +71,91 @@ void SeveServer::OnMessage(const Message& msg) {
     case kCompletion:
       HandleCompletion(static_cast<const CompletionBody&>(*msg.body));
       break;
+    case kRejoin:
+      HandleRejoin(static_cast<const RejoinBody&>(*msg.body));
+      break;
+    case kSnapshotRequest:
+      HandleSnapshotRequest(
+          static_cast<const SnapshotRequestBody&>(*msg.body));
+      break;
     default:
       break;
   }
+}
+
+void SeveServer::HandleRejoin(const RejoinBody& rejoin) {
+  ClientRec* rec = clients_.Find(rejoin.client);
+  if (rec == nullptr) return;
+  // The client's pre-crash conversation is dead: start a fresh outgoing
+  // channel incarnation so unacked pre-crash frames stay buried, and drop
+  // queued pushes — the snapshot supersedes them. Only the send side
+  // resets: this Rejoin already arrived on the client's new incoming
+  // stream, which must keep flowing.
+  rec->pending_push.clear();
+  if (ReliableChannel* channel = reliable_channel()) {
+    channel->ResetPeerSend(rec->node);
+  }
+  ++stats_.rejoins;
+}
+
+void SeveServer::HandleSnapshotRequest(const SnapshotRequestBody& request) {
+  ClientRec* rec = clients_.Find(request.client);
+  if (rec == nullptr) return;
+  const NodeId dst = rec->node;
+  const SeqNum snapshot_pos = queue_.begin_pos() - 1;
+  const std::vector<ObjectId> ids = state_.ObjectIds();  // sorted
+
+  const int64_t per_chunk =
+      std::max<int64_t>(1, options_.snapshot_chunk_objects);
+  const int64_t total = std::max<int64_t>(
+      1, (static_cast<int64_t>(ids.size()) + per_chunk - 1) / per_chunk);
+
+  std::vector<std::shared_ptr<SnapshotChunkBody>> chunks;
+  chunks.reserve(static_cast<size_t>(total));
+  for (int64_t c = 0; c < total; ++c) {
+    auto body = std::make_shared<SnapshotChunkBody>();
+    body->snapshot_pos = snapshot_pos;
+    body->chunk = c;
+    body->total = total;
+    const size_t begin = static_cast<size_t>(c * per_chunk);
+    const size_t end = std::min(ids.size(),
+                                static_cast<size_t>((c + 1) * per_chunk));
+    for (size_t i = begin; i < end; ++i) {
+      const Object* obj = state_.Find(ids[i]);
+      if (obj != nullptr) body->objects.push_back(*obj);
+    }
+    chunks.push_back(std::move(body));
+  }
+
+  // The live tail: everything submitted but not yet committed. Completed
+  // entries ship as blind writes of their stable results (replayable
+  // anywhere); the rest ship as actions for the client to evaluate —
+  // exactly the substitution rule ComputeClosure applies.
+  std::vector<OrderedAction>& tail = chunks.back()->tail;
+  for (SeqNum pos = queue_.begin_pos(); pos < queue_.end_pos(); ++pos) {
+    ServerQueue::Entry* entry = queue_.Find(pos);
+    if (entry == nullptr || !entry->valid) continue;
+    entry->sent.insert(request.client);
+    if (entry->completed) {
+      tail.push_back(OrderedAction{
+          pos,
+          std::make_shared<BlindWrite>(ActionId(next_blind_id_++),
+                                       loop()->now() / options_.tick_us,
+                                       entry->stable_written)});
+      ++stats_.blind_writes;
+    } else {
+      tail.push_back(OrderedAction{pos, entry->action});
+    }
+  }
+
+  stats_.snapshot_chunks += total;
+  const Micros cpu =
+      cost_.serialize_us * static_cast<Micros>(total) + cost_.install_us;
+  SubmitWork(cpu, [this, dst, chunks = std::move(chunks)]() {
+    for (const auto& chunk : chunks) {
+      Send(dst, chunk->WireSize(), chunk);
+    }
+  });
 }
 
 void SeveServer::HandleSubmit(ClientId from, ActionPtr action,

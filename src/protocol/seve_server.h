@@ -84,6 +84,13 @@ class SeveServer : public Node {
   void HandleSubmit(ClientId from, ActionPtr action,
                     const ObjectSet& resync);
   void HandleCompletion(const CompletionBody& completion);
+  /// Crash recovery (Section III-C): resets the shared channel state and
+  /// forgets queued pushes for the rejoining client.
+  void HandleRejoin(const RejoinBody& rejoin);
+  /// Streams ζS to the rejoining client in SnapshotChunk slices; the
+  /// final chunk carries the uncommitted queue tail (completed entries
+  /// substituted by blind writes of their stable results).
+  void HandleSnapshotRequest(const SnapshotRequestBody& request);
   void OnTick();  // Algorithm 7: validity decisions for the last tick
   void OnPushCycle();  // First Bound: proactive push every ω·RTT
 

@@ -25,6 +25,26 @@ std::string RunReport::Summary() const {
       consistency.ToString().c_str(),
       static_cast<double>(end_time) / 1e6, events_run);
   std::string out = buf;
+  const ChannelStats& client_ch = client_stats.channel;
+  const ChannelStats& server_ch = server_stats.channel;
+  if (client_ch.data_frames + server_ch.data_frames != 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "\n  channel: retransmits=%lld dup_drops=%lld "
+                  "rtx_timeouts=%lld acks=%lld ack_kb=%.1f rejoins=%lld",
+                  static_cast<long long>(client_ch.retransmits +
+                                         server_ch.retransmits),
+                  static_cast<long long>(client_ch.dup_drops +
+                                         server_ch.dup_drops),
+                  static_cast<long long>(client_ch.rtx_timeouts +
+                                         server_ch.rtx_timeouts),
+                  static_cast<long long>(client_ch.acks_sent +
+                                         server_ch.acks_sent),
+                  static_cast<double>(client_ch.ack_bytes +
+                                      server_ch.ack_bytes) /
+                      1024.0,
+                  static_cast<long long>(client_stats.rejoins));
+    out += buf;
+  }
   if (!wire_audit.empty()) {
     std::snprintf(buf, sizeof(buf),
                   "\n  wire: verify_failures=%lld unencodable=%lld "

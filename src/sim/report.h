@@ -1,7 +1,9 @@
 #ifndef SEVE_SIM_REPORT_H_
 #define SEVE_SIM_REPORT_H_
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/histogram.h"
 #include "common/metrics.h"
@@ -40,6 +42,13 @@ struct RunReport {
   double drop_rate = 0.0;
 
   ConsistencyReport consistency;
+
+  /// Final stable-state digest of every client replica (client order) and
+  /// of the authoritative/observer state — the chaos-matrix convergence
+  /// check: under loss with the reliable channel these must match the
+  /// lossless run bit for bit.
+  std::vector<uint64_t> client_state_digests;
+  uint64_t final_state_digest = 0;
 
   /// Declared-vs-encoded byte accounting (empty unless the scenario ran
   /// with WireMode::kEncoded or kVerify).

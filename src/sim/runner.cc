@@ -10,6 +10,7 @@
 #include "baseline/ring.h"
 #include "common/inline_function.h"
 #include "common/rng.h"
+#include "net/channel.h"
 #include "net/network.h"
 #include "protocol/basic_client.h"
 #include "protocol/basic_server.h"
@@ -30,6 +31,9 @@ namespace {
 struct ClientDriver {
   InlineFunction<16, void(ActionPtr)> submit;
   InlineFunction<16, const WorldState&()> view;
+  /// The replica audited for convergence: the stable state where the
+  /// architecture distinguishes it from the submission view.
+  InlineFunction<16, const WorldState&()> stable_view;
   InlineFunction<16, const ProtocolStats&()> stats;
   const DigestMap* digests = nullptr;
 };
@@ -42,10 +46,11 @@ NodeId ClientNode(int index) {
 LinkParams MakeLink(const Scenario& s) {
   if (s.link_kbps > 0.0) {
     return LinkParams::FromKbps(s.one_way_latency_us, s.link_kbps,
-                                s.msg_overhead_bytes);
+                                s.msg_overhead_bytes, s.drop_probability);
   }
   LinkParams params = LinkParams::LatencyOnly(s.one_way_latency_us);
   params.per_message_overhead_bytes = s.msg_overhead_bytes;
+  params.drop_probability = s.drop_probability;
   return params;
 }
 
@@ -113,8 +118,15 @@ RunReport RunScenario(Architecture arch, const Scenario& scenario_in) {
   Node* server_node = nullptr;
   ProtocolStats* server_stats = nullptr;
 
-  auto connect_client = [&](int i, Node* node) {
+  // Every node joins the network through here so the reliable-transport
+  // switch wraps clients and servers alike.
+  auto add_node = [&](Node* node) {
     net.AddNode(node);
+    if (s.reliable_transport) node->EnableReliableTransport(s.channel);
+  };
+
+  auto connect_client = [&](int i, Node* node) {
+    add_node(node);
     net.ConnectBidirectional(ServerNode(), ClientNode(i), link);
     node->set_load_factor(s.client_load_factor);
   };
@@ -134,7 +146,7 @@ RunReport RunScenario(Architecture arch, const Scenario& scenario_in) {
       seve_server = std::make_unique<SeveServer>(
           ServerNode(), &loop, world.InitialState(), s.cost, interest, opts,
           s.world.bounds);
-      net.AddNode(seve_server.get());
+      add_node(seve_server.get());
       for (int i = 0; i < s.num_clients; ++i) {
         auto client = std::make_unique<SeveClient>(
             ClientNode(i), &loop, ClientId(static_cast<uint64_t>(i)),
@@ -147,6 +159,7 @@ RunReport RunScenario(Architecture arch, const Scenario& scenario_in) {
         drivers[static_cast<size_t>(i)] = ClientDriver{
             [raw](ActionPtr a) { raw->SubmitLocalAction(std::move(a)); },
             [raw]() -> const WorldState& { return raw->optimistic(); },
+            [raw]() -> const WorldState& { return raw->stable(); },
             [raw]() -> const ProtocolStats& { return raw->stats(); },
             &raw->eval_digests()};
         seve_clients.push_back(std::move(client));
@@ -167,7 +180,7 @@ RunReport RunScenario(Architecture arch, const Scenario& scenario_in) {
     case Architecture::kBasic: {
       basic_server = std::make_unique<BasicServer>(ServerNode(), &loop,
                                                    s.cost.serialize_us);
-      net.AddNode(basic_server.get());
+      add_node(basic_server.get());
       for (int i = 0; i < s.num_clients; ++i) {
         auto client = std::make_unique<BasicClient>(
             ClientNode(i), &loop, ClientId(static_cast<uint64_t>(i)),
@@ -178,6 +191,7 @@ RunReport RunScenario(Architecture arch, const Scenario& scenario_in) {
         drivers[static_cast<size_t>(i)] = ClientDriver{
             [raw](ActionPtr a) { raw->SubmitLocalAction(std::move(a)); },
             [raw]() -> const WorldState& { return raw->optimistic(); },
+            [raw]() -> const WorldState& { return raw->stable(); },
             [raw]() -> const ProtocolStats& { return raw->stats(); },
             &raw->eval_digests()};
         basic_clients.push_back(std::move(client));
@@ -194,7 +208,7 @@ RunReport RunScenario(Architecture arch, const Scenario& scenario_in) {
       central_server = std::make_unique<CentralServer>(
           ServerNode(), &loop, world.InitialState(), s.cost, cost_fn,
           s.world.visibility);
-      net.AddNode(central_server.get());
+      add_node(central_server.get());
       for (int i = 0; i < s.num_clients; ++i) {
         auto client = std::make_unique<CentralClient>(
             ClientNode(i), &loop, ClientId(static_cast<uint64_t>(i)),
@@ -204,6 +218,7 @@ RunReport RunScenario(Architecture arch, const Scenario& scenario_in) {
         CentralClient* raw = client.get();
         drivers[static_cast<size_t>(i)] = ClientDriver{
             [raw](ActionPtr a) { raw->SubmitLocalAction(std::move(a)); },
+            [raw]() -> const WorldState& { return raw->view(); },
             [raw]() -> const WorldState& { return raw->view(); },
             [raw]() -> const ProtocolStats& { return raw->stats(); },
             nullptr};
@@ -220,7 +235,7 @@ RunReport RunScenario(Architecture arch, const Scenario& scenario_in) {
     case Architecture::kBroadcast: {
       broadcast_server =
           std::make_unique<BroadcastServer>(ServerNode(), &loop, s.cost);
-      net.AddNode(broadcast_server.get());
+      add_node(broadcast_server.get());
       for (int i = 0; i < s.num_clients; ++i) {
         auto client = std::make_unique<BroadcastClient>(
             ClientNode(i), &loop, ClientId(static_cast<uint64_t>(i)),
@@ -230,6 +245,7 @@ RunReport RunScenario(Architecture arch, const Scenario& scenario_in) {
         BroadcastClient* raw = client.get();
         drivers[static_cast<size_t>(i)] = ClientDriver{
             [raw](ActionPtr a) { raw->SubmitLocalAction(std::move(a)); },
+            [raw]() -> const WorldState& { return raw->state(); },
             [raw]() -> const WorldState& { return raw->state(); },
             [raw]() -> const ProtocolStats& { return raw->stats(); },
             &raw->eval_digests()};
@@ -245,7 +261,7 @@ RunReport RunScenario(Architecture arch, const Scenario& scenario_in) {
     case Architecture::kRing: {
       ring_server = std::make_unique<RingServer>(
           ServerNode(), &loop, s.cost, s.world.visibility, s.world.bounds);
-      net.AddNode(ring_server.get());
+      add_node(ring_server.get());
       for (int i = 0; i < s.num_clients; ++i) {
         auto client = std::make_unique<RingClient>(
             ClientNode(i), &loop, ClientId(static_cast<uint64_t>(i)),
@@ -256,6 +272,7 @@ RunReport RunScenario(Architecture arch, const Scenario& scenario_in) {
         RingClient* raw = client.get();
         drivers[static_cast<size_t>(i)] = ClientDriver{
             [raw](ActionPtr a) { raw->SubmitLocalAction(std::move(a)); },
+            [raw]() -> const WorldState& { return raw->state(); },
             [raw]() -> const WorldState& { return raw->state(); },
             [raw]() -> const ProtocolStats& { return raw->stats(); },
             &raw->eval_digests()};
@@ -272,7 +289,7 @@ RunReport RunScenario(Architecture arch, const Scenario& scenario_in) {
       lock_server = std::make_unique<LockServer>(ServerNode(), &loop,
                                                  world.InitialState(),
                                                  s.cost);
-      net.AddNode(lock_server.get());
+      add_node(lock_server.get());
       for (int i = 0; i < s.num_clients; ++i) {
         auto client = std::make_unique<LockClient>(
             ClientNode(i), &loop, ClientId(static_cast<uint64_t>(i)),
@@ -282,6 +299,7 @@ RunReport RunScenario(Architecture arch, const Scenario& scenario_in) {
         LockClient* raw = client.get();
         drivers[static_cast<size_t>(i)] = ClientDriver{
             [raw](ActionPtr a) { raw->SubmitLocalAction(std::move(a)); },
+            [raw]() -> const WorldState& { return raw->state(); },
             [raw]() -> const WorldState& { return raw->state(); },
             [raw]() -> const ProtocolStats& { return raw->stats(); },
             &raw->eval_digests()};
@@ -298,7 +316,7 @@ RunReport RunScenario(Architecture arch, const Scenario& scenario_in) {
     case Architecture::kTimestampOcc: {
       occ_server = std::make_unique<OccServer>(ServerNode(), &loop,
                                                world.InitialState(), s.cost);
-      net.AddNode(occ_server.get());
+      add_node(occ_server.get());
       for (int i = 0; i < s.num_clients; ++i) {
         auto client = std::make_unique<OccClient>(
             ClientNode(i), &loop, ClientId(static_cast<uint64_t>(i)),
@@ -308,6 +326,7 @@ RunReport RunScenario(Architecture arch, const Scenario& scenario_in) {
         OccClient* raw = client.get();
         drivers[static_cast<size_t>(i)] = ClientDriver{
             [raw](ActionPtr a) { raw->SubmitLocalAction(std::move(a)); },
+            [raw]() -> const WorldState& { return raw->state(); },
             [raw]() -> const WorldState& { return raw->state(); },
             [raw]() -> const ProtocolStats& { return raw->stats(); },
             &raw->eval_digests()};
@@ -331,7 +350,7 @@ RunReport RunScenario(Architecture arch, const Scenario& scenario_in) {
         auto server = std::make_unique<ZoneServer>(
             node_id, &loop, z, world.InitialState(), s.cost, cost_fn,
             s.world.visibility);
-        net.AddNode(server.get());
+        add_node(server.get());
         zone_nodes.push_back(node_id);
         zone_servers.push_back(std::move(server));
       }
@@ -340,7 +359,7 @@ RunReport RunScenario(Architecture arch, const Scenario& scenario_in) {
             ClientNode(i), &loop, ClientId(static_cast<uint64_t>(i)),
             zone_map.get(), zone_nodes, world.InitialState(),
             s.cost.install_us);
-        net.AddNode(client.get());
+        add_node(client.get());
         client->set_load_factor(s.client_load_factor);
         for (const NodeId zone_node : zone_nodes) {
           net.ConnectBidirectional(zone_node, ClientNode(i), link);
@@ -352,6 +371,7 @@ RunReport RunScenario(Architecture arch, const Scenario& scenario_in) {
         drivers[static_cast<size_t>(i)] = ClientDriver{
             [raw](ActionPtr a) { raw->SubmitLocalAction(std::move(a)); },
             [raw]() -> const WorldState& { return raw->view(); },
+            [raw]() -> const WorldState& { return raw->view(); },
             [raw]() -> const ProtocolStats& { return raw->stats(); },
             nullptr};
         zoned_clients.push_back(std::move(client));
@@ -362,6 +382,33 @@ RunReport RunScenario(Architecture arch, const Scenario& scenario_in) {
         return clients.front()->view();
       };
       break;
+    }
+  }
+
+  // ---- Crash/rejoin schedule --------------------------------------------
+  // SEVE clients run the real recovery protocol (snapshot catch-up); the
+  // baselines just stop/resume receiving, which is what they'd do anyway.
+  const bool seve_recovery = arch == Architecture::kSeve ||
+                             arch == Architecture::kSeveNoDropping ||
+                             arch == Architecture::kIncompleteWorld;
+  for (const Scenario::FailureEvent& f : s.failures) {
+    if (f.client < 0 || f.client >= s.num_clients) continue;
+    const int c = f.client;
+    loop.At(f.fail_at_us, [&, c]() {
+      if (seve_recovery) {
+        seve_clients[static_cast<size_t>(c)]->Fail();
+      } else {
+        net.FindNode(ClientNode(c))->set_failed(true);
+      }
+    });
+    if (f.rejoin_at_us > f.fail_at_us) {
+      loop.At(f.rejoin_at_us, [&, c]() {
+        if (seve_recovery) {
+          seve_clients[static_cast<size_t>(c)]->Rejoin();
+        } else {
+          net.FindNode(ClientNode(c))->set_failed(false);
+        }
+      });
     }
   }
 
@@ -411,8 +458,21 @@ RunReport RunScenario(Architecture arch, const Scenario& scenario_in) {
   // ---- Run to quiescence --------------------------------------------------
   const Micros push_period =
       static_cast<Micros>(s.seve.omega * static_cast<double>(rtt_us));
-  loop.RunUntil(last_submission + s.one_way_latency_us + s.seve.tick_us +
-                push_period + 100 * kMicrosPerMilli);
+  VirtualTime last_activity = last_submission;
+  for (const Scenario::FailureEvent& f : s.failures) {
+    last_activity = std::max(last_activity,
+                             std::max(f.fail_at_us, f.rejoin_at_us));
+  }
+  Micros drain_slack = 100 * kMicrosPerMilli;
+  if (s.reliable_transport) {
+    // Retransmission chains must complete before the servers stop ticking,
+    // or a late-arriving frame misses the final flush and the lossy run
+    // diverges from the lossless one. Budget several walks up the backoff
+    // ladder (virtual time is cheap; the loop idles through the gaps).
+    drain_slack += 8 * s.channel.initial_rto_us + 2 * s.channel.max_rto_us;
+  }
+  loop.RunUntil(last_activity + s.one_way_latency_us + s.seve.tick_us +
+                push_period + drain_slack);
   stop_and_flush();
   loop.RunUntilIdle(s.max_drain_events);
 
@@ -459,6 +519,35 @@ RunReport RunScenario(Architecture arch, const Scenario& scenario_in) {
   static const DigestMap kEmpty;
   report.consistency = CheckDigestConsistency(
       authority != nullptr ? *authority : kEmpty, replicas);
+
+  report.client_state_digests.reserve(static_cast<size_t>(s.num_clients));
+  for (int i = 0; i < s.num_clients; ++i) {
+    report.client_state_digests.push_back(
+        drivers[static_cast<size_t>(i)].stable_view().Digest());
+  }
+  report.final_state_digest = observer().Digest();
+
+  if (s.reliable_transport) {
+    // Channel counters live on the nodes, not in ProtocolStats; fold them
+    // in here (after the kZoned re-aggregation, which resets the structs).
+    for (int i = 0; i < s.num_clients; ++i) {
+      const Node* node = net.FindNode(ClientNode(i));
+      if (node != nullptr && node->reliable_channel() != nullptr) {
+        report.client_stats.channel.Merge(node->reliable_channel()->stats());
+      }
+    }
+    if (arch == Architecture::kZoned) {
+      for (const auto& zone : zone_servers) {
+        if (zone->reliable_channel() != nullptr) {
+          report.server_stats.channel.Merge(
+              zone->reliable_channel()->stats());
+        }
+      }
+    } else if (server_node->reliable_channel() != nullptr) {
+      report.server_stats.channel.Merge(
+          server_node->reliable_channel()->stats());
+    }
+  }
   return report;
 }
 

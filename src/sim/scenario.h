@@ -4,8 +4,10 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "common/types.h"
+#include "net/channel.h"
 #include "protocol/options.h"
 #include "wire/wire_mode.h"
 #include "world/cost_model.h"
@@ -46,6 +48,24 @@ struct Scenario {
   /// Per-link bandwidth cap (Table I: 100 Kbps); 0 = unlimited.
   double link_kbps = 100.0;
   int64_t msg_overhead_bytes = 28;  // IP+UDP framing
+  /// Applied to every link: probability each frame is silently lost
+  /// (chaos matrices). Requires reliable_transport for convergence.
+  double drop_probability = 0.0;
+  /// Wrap every node's traffic in the reliable channel (net/channel.h) —
+  /// the simulator's stand-in for the paper's TCP testbed.
+  bool reliable_transport = false;
+  /// Retransmission/ack tuning when reliable_transport is on.
+  ChannelConfig channel;
+
+  /// Crash/rejoin schedule. SEVE clients run the full Section III-C
+  /// recovery (snapshot catch-up on rejoin); other architectures honor
+  /// the schedule as plain fail/unfail of the node.
+  struct FailureEvent {
+    int client = 0;
+    Micros fail_at_us = 0;
+    Micros rejoin_at_us = 0;  // <= fail_at_us means the crash is permanent
+  };
+  std::vector<FailureEvent> failures;
 
   CostModel cost;
   /// If set, every action evaluation costs exactly this much (the

@@ -53,8 +53,22 @@ class Fnv {
     I64(s.out_of_order_evals);
     I64(s.blind_writes);
     I64(s.closure_visits);
+    I64(s.rejoins);
+    I64(s.snapshot_chunks);
+    Channel(s.channel);
     Hist(s.closure_size);
     Hist(s.response_time_us);
+  }
+  void Channel(const ChannelStats& c) {
+    I64(c.data_frames);
+    I64(c.retransmits);
+    I64(c.rtx_timeouts);
+    I64(c.rtx_abandoned);
+    I64(c.dup_drops);
+    I64(c.out_of_order);
+    I64(c.stale_drops);
+    I64(c.acks_sent);
+    I64(c.ack_bytes);
   }
   void Traffic(const TrafficStats& t) {
     I64(t.sent.messages);
@@ -177,6 +191,8 @@ uint64_t DigestReport(const RunReport& r) {
   f.I64(r.consistency.compared);
   f.I64(r.consistency.mismatches);
   f.I64(r.consistency.unreferenced);
+  for (const uint64_t d : r.client_state_digests) f.U64(d);
+  f.U64(r.final_state_digest);
   for (const auto& [kind, per] : r.wire_audit.per_kind()) {
     f.I64(kind);
     f.I64(per.count);

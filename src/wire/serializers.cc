@@ -6,6 +6,7 @@
 
 #include "action/blind_write.h"
 #include "baseline/central.h"
+#include "net/channel_msg.h"
 #include "protocol/lock_protocol.h"
 #include "protocol/msg.h"
 #include "protocol/occ_protocol.h"
@@ -149,6 +150,165 @@ Status DecodeCommitNotice(Reader& r, Writer* re) {
   int64_t pos = 0;
   if (!r.ReadZigzag(&pos)) return Malformed("commit: bad pos");
   if (re != nullptr) re->PutZigzag(pos);
+  return Status::OK();
+}
+
+// ---- Recovery bodies (protocol/msg.h) ------------------------------------
+
+Status EncodeRejoin(const RejoinBody& body, Writer& w) {
+  w.PutVarint(body.client.value());
+  return Status::OK();
+}
+
+Status DecodeRejoin(Reader& r, Writer* re) {
+  uint64_t client = 0;
+  if (!r.ReadVarint(&client)) return Malformed("rejoin: bad client");
+  if (re != nullptr) re->PutVarint(client);
+  return Status::OK();
+}
+
+Status EncodeSnapshotRequest(const SnapshotRequestBody& body, Writer& w) {
+  w.PutVarint(body.client.value());
+  return Status::OK();
+}
+
+Status DecodeSnapshotRequest(Reader& r, Writer* re) {
+  uint64_t client = 0;
+  if (!r.ReadVarint(&client)) return Malformed("snap req: bad client");
+  if (re != nullptr) re->PutVarint(client);
+  return Status::OK();
+}
+
+Status EncodeSnapshotChunk(const SnapshotChunkBody& body, Writer& w) {
+  w.PutZigzag(body.snapshot_pos);
+  w.PutVarint(static_cast<uint64_t>(body.chunk));
+  w.PutVarint(static_cast<uint64_t>(body.total));
+  EncodeObjectList(body.objects, w);
+  w.PutVarint(body.tail.size());
+  for (const OrderedAction& rec : body.tail) {
+    w.PutZigzag(rec.pos);
+    const Status st = EncodeAction(*rec.action, w);
+    if (!st.ok()) return st;
+  }
+  return Status::OK();
+}
+
+Status DecodeSnapshotChunk(Reader& r, Writer* re) {
+  int64_t snapshot_pos = 0;
+  uint64_t chunk = 0, total = 0;
+  if (!r.ReadZigzag(&snapshot_pos) || !r.ReadVarint(&chunk) ||
+      !r.ReadVarint(&total)) {
+    return Malformed("snap chunk: bad header");
+  }
+  if (re != nullptr) {
+    re->PutZigzag(snapshot_pos);
+    re->PutVarint(chunk);
+    re->PutVarint(total);
+  }
+  const Status st = TranscodeObjectList(r, re);
+  if (!st.ok()) return st;
+  uint64_t count = 0;
+  if (!r.ReadVarint(&count)) return Malformed("snap chunk: bad tail count");
+  if (count > r.remaining()) return Malformed("snap chunk: count over input");
+  if (re != nullptr) re->PutVarint(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    int64_t pos = 0;
+    if (!r.ReadZigzag(&pos)) return Malformed("snap chunk: bad tail pos");
+    if (re != nullptr) re->PutZigzag(pos);
+    const Status tail_st = TranscodeAction(r, re);
+    if (!tail_st.ok()) return tail_st;
+  }
+  return Status::OK();
+}
+
+// ---- Reliable channel frames (net/channel_msg.h) -------------------------
+
+Status EncodeChannelData(const ChannelDataBody& body, Writer& w) {
+  w.PutVarint(body.incarnation);
+  w.PutZigzag(body.seq);
+  w.PutVarint(body.ack_incarnation);
+  w.PutZigzag(body.cum_ack);
+  w.PutFixed64(body.sack_bits);
+  if (body.inner == nullptr) return Malformed("channel: null inner body");
+  const BodyCodec* codec =
+      WireRegistry::Global().FindBody(body.inner->kind());
+  if (codec == nullptr) {
+    return Status::NotFound("channel: no codec for inner kind " +
+                            std::to_string(body.inner->kind()));
+  }
+  Writer inner;
+  const Status st = codec->encode(*body.inner, inner);
+  if (!st.ok()) return st;
+  w.PutVarint(static_cast<uint64_t>(body.inner->kind()));
+  w.PutVarint(inner.size());
+  w.PutSpan(inner.bytes().data(), inner.size());
+  return Status::OK();
+}
+
+Status DecodeChannelData(Reader& r, Writer* re) {
+  uint64_t incarnation = 0, ack_incarnation = 0, sack = 0;
+  int64_t seq = 0, cum_ack = 0;
+  if (!r.ReadVarint(&incarnation) || !r.ReadZigzag(&seq) ||
+      !r.ReadVarint(&ack_incarnation) || !r.ReadZigzag(&cum_ack) ||
+      !r.ReadFixed64(&sack)) {
+    return Malformed("channel: bad header");
+  }
+  if (re != nullptr) {
+    re->PutVarint(incarnation);
+    re->PutZigzag(seq);
+    re->PutVarint(ack_incarnation);
+    re->PutZigzag(cum_ack);
+    re->PutFixed64(sack);
+  }
+  uint64_t inner_kind = 0, inner_len = 0;
+  if (!r.ReadVarint(&inner_kind) || !r.ReadVarint(&inner_len)) {
+    return Malformed("channel: bad inner framing");
+  }
+  const uint8_t* inner_data = nullptr;
+  if (!r.ReadSpan(inner_len, &inner_data)) {
+    return Malformed("channel: inner length over input");
+  }
+  const BodyCodec* codec =
+      WireRegistry::Global().FindBody(static_cast<int>(inner_kind));
+  if (codec == nullptr) {
+    return Status::NotFound("channel: no codec for inner kind " +
+                            std::to_string(inner_kind));
+  }
+  Reader inner_reader(inner_data, inner_len);
+  Writer inner_writer;
+  const Status st =
+      codec->decode(inner_reader, re != nullptr ? &inner_writer : nullptr);
+  if (!st.ok()) return st;
+  if (inner_reader.remaining() != 0) {
+    return Malformed("channel: inner trailing bytes");
+  }
+  if (re != nullptr) {
+    re->PutVarint(inner_kind);
+    re->PutVarint(inner_writer.size());
+    re->PutSpan(inner_writer.bytes().data(), inner_writer.size());
+  }
+  return Status::OK();
+}
+
+Status EncodeChannelAck(const ChannelAckBody& body, Writer& w) {
+  w.PutVarint(body.ack_incarnation);
+  w.PutZigzag(body.cum_ack);
+  w.PutFixed64(body.sack_bits);
+  return Status::OK();
+}
+
+Status DecodeChannelAck(Reader& r, Writer* re) {
+  uint64_t ack_incarnation = 0, sack = 0;
+  int64_t cum_ack = 0;
+  if (!r.ReadVarint(&ack_incarnation) || !r.ReadZigzag(&cum_ack) ||
+      !r.ReadFixed64(&sack)) {
+    return Malformed("channel ack: bad fields");
+  }
+  if (re != nullptr) {
+    re->PutVarint(ack_incarnation);
+    re->PutZigzag(cum_ack);
+    re->PutFixed64(sack);
+  }
   return Status::OK();
 }
 
@@ -434,6 +594,24 @@ void RegisterAll() {
                    MakeCodec<CommitNoticeBody>("CommitNotice",
                                                EncodeCommitNotice,
                                                DecodeCommitNotice));
+  reg.RegisterBody(kRejoin,
+                   MakeCodec<RejoinBody>("Rejoin", EncodeRejoin,
+                                         DecodeRejoin));
+  reg.RegisterBody(kSnapshotRequest,
+                   MakeCodec<SnapshotRequestBody>("SnapshotRequest",
+                                                  EncodeSnapshotRequest,
+                                                  DecodeSnapshotRequest));
+  reg.RegisterBody(kSnapshotChunk,
+                   MakeCodec<SnapshotChunkBody>("SnapshotChunk",
+                                                EncodeSnapshotChunk,
+                                                DecodeSnapshotChunk));
+  reg.RegisterBody(kChannelData,
+                   MakeCodec<ChannelDataBody>("ChannelData",
+                                              EncodeChannelData,
+                                              DecodeChannelData));
+  reg.RegisterBody(kChannelAck,
+                   MakeCodec<ChannelAckBody>("ChannelAck", EncodeChannelAck,
+                                             DecodeChannelAck));
   reg.RegisterBody(kObjectUpdate,
                    MakeCodec<ObjectUpdateBody>("ObjectUpdate",
                                                EncodeObjectUpdate,

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "net/channel.h"
 #include "net/network.h"
 #include "protocol/seve_client.h"
 #include "protocol/seve_server.h"
@@ -102,6 +103,50 @@ TEST(FailureTest, SurvivorsContinueAfterPeerCrash) {
   EXPECT_EQ(fx.server->stats().actions_committed, 3);
   EXPECT_EQ(fx.clients[0]->stable().GetAttr(ObjectId(1), 1).AsInt(), 3);
   EXPECT_EQ(fx.clients[1]->stable().GetAttr(ObjectId(1), 1).AsInt(), 3);
+}
+
+TEST(FailureTest, CrashRejoinCatchesUpViaSnapshot) {
+  FailureFixture fx(3, /*all_completions=*/true);
+  // Run the whole conversation over the reliable channel so the rejoin
+  // exercises the incarnation reset on both sides.
+  ChannelConfig cfg;
+  cfg.initial_rto_us = 50'000;
+  cfg.ack_delay_us = 5'000;
+  fx.server->EnableReliableTransport(cfg);
+  for (auto& client : fx.clients) client->EnableReliableTransport(cfg);
+
+  fx.clients[0]->SubmitLocalAction(
+      std::make_shared<CounterAdd>(ActionId(1), ClientId(0), ObjectId(1), 5,
+                                   ProfileAt({0.0, 0.0}, 10.0)));
+  fx.loop.RunUntil(15'000);
+  fx.clients[0]->Fail();
+  EXPECT_TRUE(fx.clients[0]->failed());
+
+  // While client 0 is down, the others commit its action (fault-tolerant
+  // completions) and the server keeps trying to reach it in vain.
+  fx.loop.RunUntil(400'000);
+  fx.clients[0]->Rejoin();
+  EXPECT_TRUE(fx.clients[0]->rejoining());
+  fx.loop.RunUntil(500'000);
+  EXPECT_FALSE(fx.clients[0]->rejoining());  // snapshot installed
+
+  // Post-rejoin the client is a full participant again.
+  fx.clients[0]->SubmitLocalAction(
+      std::make_shared<CounterAdd>(ActionId(2), ClientId(0), ObjectId(1), 3,
+                                   ProfileAt({0.0, 0.0}, 10.0)));
+  fx.Drain();
+
+  EXPECT_EQ(fx.server->stats().rejoins, 1);
+  EXPECT_GE(fx.server->stats().snapshot_chunks, 1);
+  EXPECT_EQ(fx.clients[0]->stats().rejoins, 1);
+  EXPECT_EQ(fx.server->stats().actions_committed, 2);
+  EXPECT_EQ(fx.server->authoritative().GetAttr(ObjectId(1), 1).AsInt(), 8);
+  // Every replica — including the one that crashed — ends bit-identical
+  // to the authority.
+  for (const auto& client : fx.clients) {
+    EXPECT_EQ(client->stable().GetAttr(ObjectId(1), 1).AsInt(), 8);
+    EXPECT_EQ(client->stable().Digest(), fx.server->authoritative().Digest());
+  }
 }
 
 TEST(FailureTest, LossyLinkStillConverges) {

@@ -1,0 +1,132 @@
+// Chaos-matrix convergence: with frame loss on every link and the
+// reliable channel enabled, a run must terminate and every client's
+// final stable state must be bit-identical to the lossless run's. The
+// workload keeps avatars far apart (singleton read/write sets), so the
+// final state is independent of the arrival reshuffling that
+// retransmissions introduce — any digest difference is a transport bug.
+
+#include <gtest/gtest.h>
+
+#include "sim/runner.h"
+
+namespace seve {
+namespace {
+
+Scenario SpreadScenario(int clients, int moves) {
+  Scenario s = Scenario::TableOne(clients);
+  s.world.num_walls = 200;
+  s.moves_per_client = moves;
+  // Latency-only links: bandwidth queueing would couple delivery *times*
+  // (not outcomes) to loss and hide transport bugs behind timing noise.
+  s.link_kbps = 0.0;
+  // Far-apart avatars: no closure ever spans two clients.
+  s.world.spawn.pattern = SpawnConfig::Pattern::kGrid;
+  s.world.spawn.grid_spacing = 100.0;
+  return s;
+}
+
+/// Runs `arch` lossless over the plain transport, then lossy over the
+/// reliable channel, and requires identical final state digests.
+void ExpectLosslessEquivalence(Architecture arch, double drop) {
+  const Scenario clean = SpreadScenario(6, 10);
+  const RunReport baseline = RunScenario(arch, clean);
+
+  Scenario lossy = clean;
+  lossy.drop_probability = drop;
+  lossy.reliable_transport = true;
+  const RunReport report = RunScenario(arch, lossy);
+
+  ASSERT_EQ(report.client_state_digests.size(),
+            baseline.client_state_digests.size());
+  for (size_t i = 0; i < baseline.client_state_digests.size(); ++i) {
+    EXPECT_EQ(report.client_state_digests[i],
+              baseline.client_state_digests[i])
+        << "client " << i << " diverged at drop=" << drop;
+  }
+  EXPECT_EQ(report.final_state_digest, baseline.final_state_digest);
+  EXPECT_GT(report.client_stats.channel.data_frames, 0);
+  EXPECT_GT(report.server_stats.channel.data_frames, 0);
+}
+
+TEST(LossyConvergenceTest, BasicConverges) {
+  ExpectLosslessEquivalence(Architecture::kBasic, 0.01);
+  ExpectLosslessEquivalence(Architecture::kBasic, 0.05);
+}
+
+TEST(LossyConvergenceTest, IncompleteWorldConverges) {
+  ExpectLosslessEquivalence(Architecture::kIncompleteWorld, 0.01);
+  ExpectLosslessEquivalence(Architecture::kIncompleteWorld, 0.05);
+}
+
+TEST(LossyConvergenceTest, FirstBoundConverges) {
+  ExpectLosslessEquivalence(Architecture::kSeveNoDropping, 0.01);
+  ExpectLosslessEquivalence(Architecture::kSeveNoDropping, 0.05);
+}
+
+TEST(LossyConvergenceTest, InformationBoundConverges) {
+  ExpectLosslessEquivalence(Architecture::kSeve, 0.01);
+  ExpectLosslessEquivalence(Architecture::kSeve, 0.05);
+}
+
+TEST(LossyConvergenceTest, AcceptanceOnePercentEveryLink) {
+  // The headline criterion: a full Incomplete World Model run with 1%
+  // loss on every link terminates, converges to the lossless digest, and
+  // actually exercised the channel (nonzero retransmit/dup counters that
+  // surface in the RunReport).
+  const Scenario clean = SpreadScenario(8, 15);
+  const RunReport baseline =
+      RunScenario(Architecture::kIncompleteWorld, clean);
+
+  Scenario lossy = clean;
+  lossy.drop_probability = 0.01;
+  lossy.reliable_transport = true;
+  const RunReport report = RunScenario(Architecture::kIncompleteWorld, lossy);
+
+  ASSERT_EQ(report.client_state_digests.size(), 8u);
+  for (size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(report.client_state_digests[i],
+              baseline.client_state_digests[i]);
+  }
+  EXPECT_EQ(report.final_state_digest, baseline.final_state_digest);
+  const ChannelStats& ch = report.client_stats.channel;
+  const ChannelStats& sch = report.server_stats.channel;
+  EXPECT_GT(ch.retransmits + sch.retransmits, 0);
+  EXPECT_GT(ch.dup_drops + sch.dup_drops + ch.retransmits + sch.retransmits,
+            0);
+  EXPECT_GT(sch.acks_sent + ch.acks_sent, 0);
+  // The summary line must surface the channel counters.
+  EXPECT_NE(report.Summary().find("channel:"), std::string::npos);
+}
+
+TEST(LossyConvergenceTest, CrashRejoinConvergesWithinRun) {
+  // Interacting workload (everyone inside everyone's interest radius)
+  // under the proactive-push protocol: every client hears about every
+  // commit, so after a crash, a snapshot rejoin, and the drain, all
+  // replicas must agree with the authority.
+  Scenario s = Scenario::TableOne(4);
+  s.world.num_walls = 200;
+  s.moves_per_client = 8;
+  s.link_kbps = 0.0;
+  s.world.spawn.pattern = SpawnConfig::Pattern::kGrid;
+  s.world.spawn.grid_spacing = 2.0;
+  s.world.speed = 1.0;  // tiny steps: the cluster never drifts apart
+  s.seve.all_client_completions = true;
+  s.drop_probability = 0.01;
+  s.reliable_transport = true;
+  s.failures.push_back(
+      {/*client=*/1, /*fail_at_us=*/600'000, /*rejoin_at_us=*/1'400'000});
+
+  const RunReport report = RunScenario(Architecture::kSeveNoDropping, s);
+
+  EXPECT_EQ(report.client_stats.rejoins, 1);
+  EXPECT_EQ(report.server_stats.rejoins, 1);
+  EXPECT_GE(report.server_stats.snapshot_chunks, 1);
+  ASSERT_EQ(report.client_state_digests.size(), 4u);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(report.client_state_digests[i], report.final_state_digest)
+        << "client " << i << " did not converge after the rejoin";
+  }
+}
+
+}  // namespace
+}  // namespace seve

@@ -178,6 +178,80 @@ TEST(NetworkTest, DropProbabilityOneLosesEverything) {
   EXPECT_EQ(net.messages_dropped(), 10);
 }
 
+TEST(NetworkTest, DroppedFrameStillOccupiesTheLink) {
+  // Loss happens on the wire or beyond: a dropped frame was still clocked
+  // out of the NIC, so it must delay the next frame on the FIFO link.
+  EventLoop loop;
+  Network net(&loop, 7);
+  RecorderNode a(NodeId(1), &loop), b(NodeId(2), &loop);
+  net.AddNode(&a);
+  net.AddNode(&b);
+  LinkParams lossy;
+  lossy.bytes_per_us = 1.0;
+  lossy.drop_probability = 1.0;
+  net.ConnectDirected(NodeId(1), NodeId(2), lossy);
+  a.Send(NodeId(2), 1000, std::make_shared<PingBody>(1));  // lost at t=1000
+
+  // Heal the link (drop_probability 0). Reconnecting must not reset the
+  // serialization backlog left by the lost frame.
+  LinkParams clean = lossy;
+  clean.drop_probability = 0.0;
+  net.ConnectDirected(NodeId(1), NodeId(2), clean);
+  a.Send(NodeId(2), 1000, std::make_shared<PingBody>(2));
+  loop.RunUntilIdle();
+
+  ASSERT_EQ(b.arrivals.size(), 1u);
+  EXPECT_EQ(b.arrivals[0].second, 2);
+  // Queued behind the lost frame: 1000 us for it, 1000 us for this one.
+  EXPECT_EQ(b.arrivals[0].first, 2000);
+  EXPECT_EQ(net.messages_dropped(), 1);
+}
+
+TEST(NetworkTest, ReconnectPreservesLinkBacklog) {
+  EventLoop loop;
+  Network net(&loop);
+  RecorderNode a(NodeId(1), &loop), b(NodeId(2), &loop);
+  net.AddNode(&a);
+  net.AddNode(&b);
+  LinkParams slow;
+  slow.bytes_per_us = 1.0;
+  net.ConnectDirected(NodeId(1), NodeId(2), slow);
+  a.Send(NodeId(2), 1000, std::make_shared<PingBody>(1));  // busy until 1000
+
+  LinkParams fast;
+  fast.bytes_per_us = 2.0;
+  net.ConnectDirected(NodeId(1), NodeId(2), fast);  // upgrade mid-flight
+  a.Send(NodeId(2), 1000, std::make_shared<PingBody>(2));
+  loop.RunUntilIdle();
+
+  ASSERT_EQ(b.arrivals.size(), 2u);
+  EXPECT_EQ(b.arrivals[0].first, 1000);
+  // New rate applies, but only after the in-flight frame finishes.
+  EXPECT_EQ(b.arrivals[1].first, 1500);
+}
+
+TEST(NetworkTest, SenderChargedForDroppedFrames) {
+  // The sender's counter and the link always see the frame; only the
+  // receiver's counter records actual deliveries, so the sent-received
+  // asymmetry measures loss.
+  EventLoop loop;
+  Network net(&loop, 7);
+  RecorderNode a(NodeId(1), &loop), b(NodeId(2), &loop);
+  net.AddNode(&a);
+  net.AddNode(&b);
+  LinkParams link = LinkParams::LatencyOnly(10);
+  link.drop_probability = 1.0;
+  net.ConnectDirected(NodeId(1), NodeId(2), link);
+  a.Send(NodeId(2), 100, std::make_shared<PingBody>(1));
+  loop.RunUntilIdle();
+
+  EXPECT_EQ(a.traffic().sent.messages, 1);
+  EXPECT_EQ(a.traffic().sent.bytes, 100);
+  EXPECT_EQ(b.traffic().received.messages, 0);
+  EXPECT_EQ(b.traffic().received.bytes, 0);
+  EXPECT_EQ(net.messages_dropped(), 1);
+}
+
 TEST(NetworkTest, FailedNodeDropsDeliveries) {
   EventLoop loop;
   Network net(&loop);
