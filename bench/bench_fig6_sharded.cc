@@ -1,0 +1,72 @@
+// Figure 6 companion: response time and commit-protocol mix of the
+// zone-sharded serialization tier (DESIGN.md §12) as the shard count
+// grows 1 -> 4 -> 8 -> 16 at a fixed client population.
+//
+// Expected shape: almost all actions keep the 1-RTT fast path (the
+// Bloom-fold containment test routes them locally), a small
+// boundary-proportional fraction escalates to the two-phase cross-shard
+// commit and pays the extra shard-to-shard round trip, and the mean
+// response time stays near the single-server Incomplete-World figure
+// while per-shard serialization load drops roughly linearly.
+//
+// The workload is Table I's clustered spawn with the cluster count
+// raised so crowds land all over the world: each extra shard adds cuts
+// through inhabited territory, so the escalated fraction in
+// BENCH_fig6_sharded.json grows with the shard count instead of being a
+// fixed centre-of-the-world artifact.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "sim/sweep.h"
+
+int main(int argc, char** argv) {
+  using namespace seve;
+  bench::Banner(
+      "Figure 6 (sharded) - serialization tier scaling across shards",
+      "fast path stays ~1 RTT at any shard count; only boundary closures "
+      "pay the cross-shard commit");
+
+  const bool quick = bench::QuickMode(argc, argv);
+  const int num_jobs = bench::JobsArg(argc, argv);
+  const int clients = quick ? 16 : 64;
+
+  std::vector<SweepJob> jobs;
+  for (const int shards : {1, 4, 8, 16}) {
+    Scenario s = Scenario::TableOne(clients);
+    s.world.spawn.clusters = 16;
+    s.world.spawn.cluster_sigma = 5.0;
+    if (quick) {
+      s.world.num_walls = 10000;
+      s.moves_per_client = 20;
+      // Keep per-cluster density at the full run's ~4 avatars.
+      s.world.spawn.clusters = 4;
+    }
+    s.shards = shards;
+    jobs.push_back(SweepJob{"SEVE-sharded", static_cast<double>(shards),
+                            Architecture::kSeveSharded, std::move(s)});
+  }
+  const std::vector<SweepResult> results =
+      bench::RunSweepAndPrint(jobs, num_jobs);
+
+  std::printf("\ncommit-protocol mix per shard count:\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    ShardCounters total;
+    for (const ShardCounters& sc : results[i].report.shard_counters) {
+      total.Merge(sc);
+    }
+    std::printf(
+        "  shards=%2d  fast_path=%6lld  escalated=%6lld  "
+        "fast_fraction=%6.2f%%  tokens=%6lld  commits=%6lld  aborts=%lld\n",
+        static_cast<int>(jobs[i].x), static_cast<long long>(total.fast_path),
+        static_cast<long long>(total.escalated),
+        total.FastPathFraction() * 100.0,
+        static_cast<long long>(total.tokens_served),
+        static_cast<long long>(total.commits),
+        static_cast<long long>(total.aborts));
+  }
+
+  bench::WriteBenchJson("fig6_sharded", num_jobs, quick, jobs, results);
+  return 0;
+}

@@ -14,6 +14,7 @@
 
 #include "common/rng.h"
 #include "net/event_loop.h"
+#include "shard/shard_map.h"
 #include "spatial/grid_index.h"
 #include "store/world_state.h"
 #include "world/attrs.h"
@@ -212,6 +213,35 @@ void BM_ObjectSetIntersects(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ObjectSetIntersects);
+
+// The sharded tier's routing predicate (DESIGN.md §12): one Bloom AND
+// rejects most cross-shard read sets before any per-id owner lookup.
+// range(0) = 1 benches the hit path (set fully inside shard 0), 0 the
+// reject path (set straddles shards, usually killed by the signature).
+void BM_IsSubsetOfShard(benchmark::State& state) {
+  WorldState initial;
+  for (uint64_t i = 0; i < 4096; ++i) {
+    const double x = static_cast<double>(i % 64) * 15.0;
+    const double y = static_cast<double>(i / 64) * 15.0;
+    initial.SetAttr(ObjectId(i), kAttrPosition, Value(Vec2{x, y}));
+  }
+  const ShardMap map(AABB{{0.0, 0.0}, {1000.0, 1000.0}}, 4, initial);
+  const bool local = state.range(0) == 1;
+  std::vector<ObjectId> ids;
+  Rng rng(7);
+  for (int i = 0; i < 16; ++i) {
+    const uint64_t id = rng.NextBounded(4096);
+    ids.push_back(local ? ObjectId(map.objects_of(0)[id % map.objects_of(0)
+                                                             .size()]
+                                       .value())
+                        : ObjectId(id));
+  }
+  const ObjectSet set(ids);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(set.IsSubsetOfShard(map, 0));
+  }
+}
+BENCHMARK(BM_IsSubsetOfShard)->ArgName("local")->Arg(1)->Arg(0);
 
 }  // namespace
 }  // namespace seve

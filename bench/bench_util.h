@@ -198,6 +198,30 @@ inline bool WriteBenchJson(const std::string& bench_name, int num_jobs,
       j += ", \"snapshot_chunks\": " +
            std::to_string(r.server_stats.snapshot_chunks);
     }
+    if (!r.shard_counters.empty()) {
+      // Sharded-tier commit counters (DESIGN.md §12): totals plus one
+      // entry per shard, in shard order.
+      ShardCounters total;
+      for (const ShardCounters& sc : r.shard_counters) total.Merge(sc);
+      j += ", \"shard_count\": " + std::to_string(r.shard_counters.size());
+      j += ", \"fast_path_total\": " + std::to_string(total.fast_path);
+      j += ", \"escalated_total\": " + std::to_string(total.escalated);
+      j += ", \"fast_path_fraction\": ";
+      detail::AppendDouble(&j, total.FastPathFraction());
+      j += ", \"shards\": [";
+      for (size_t sh = 0; sh < r.shard_counters.size(); ++sh) {
+        const ShardCounters& sc = r.shard_counters[sh];
+        if (sh > 0) j += ", ";
+        j += "{\"fast_path\": " + std::to_string(sc.fast_path);
+        j += ", \"escalated\": " + std::to_string(sc.escalated);
+        j += ", \"tokens_served\": " + std::to_string(sc.tokens_served);
+        j += ", \"commits\": " + std::to_string(sc.commits);
+        j += ", \"aborts\": " + std::to_string(sc.aborts);
+        j += ", \"stale_tokens\": " + std::to_string(sc.stale_tokens);
+        j += "}";
+      }
+      j += "]";
+    }
     j += "}}";
     j += (i + 1 < jobs.size()) ? ",\n" : "\n";
   }

@@ -66,18 +66,8 @@ void ZoneServer::Execute(ActionPtr action) {
 }
 
 ZoneMap::ZoneMap(const AABB& bounds, int zones_per_side)
-    : bounds_(bounds), zones_per_side_(std::max(1, zones_per_side)) {}
-
-int ZoneMap::ZoneOf(Vec2 position) const {
-  auto coord = [this](double value, double lo, double extent) {
-    const double rel = (value - lo) / extent * zones_per_side_;
-    return std::clamp(static_cast<int>(std::floor(rel)), 0,
-                      zones_per_side_ - 1);
-  };
-  const int zx = coord(position.x, bounds_.min.x, bounds_.Width());
-  const int zy = coord(position.y, bounds_.min.y, bounds_.Height());
-  return zy * zones_per_side_ + zx;
-}
+    : grid_(bounds, std::max(1, zones_per_side),
+            std::max(1, zones_per_side)) {}
 
 ZonedClient::ZonedClient(NodeId node, EventLoop* loop, ClientId client,
                          const ZoneMap* zones,

@@ -11,6 +11,7 @@
 #include "protocol/client_cost.h"
 #include "protocol/msg.h"
 #include "spatial/aabb.h"
+#include "spatial/zone_grid.h"
 #include "store/world_state.h"
 #include "world/cost_model.h"
 
@@ -64,19 +65,20 @@ class ZoneServer : public Node {
 
 /// The zone map: tiles the world into a k x k grid and owns the zone
 /// servers. Provides the client-side routing rule (position -> zone).
+/// The grid math is shared with the sharded tier's ShardMap through
+/// spatial/zone_grid.h, so both route by exactly one clamping rule.
 class ZoneMap {
  public:
   ZoneMap(const AABB& bounds, int zones_per_side);
 
-  int zones_per_side() const { return zones_per_side_; }
-  int zone_count() const { return zones_per_side_ * zones_per_side_; }
+  int zones_per_side() const { return grid_.cols(); }
+  int zone_count() const { return grid_.cell_count(); }
 
   /// Zone index owning `position`.
-  int ZoneOf(Vec2 position) const;
+  int ZoneOf(Vec2 position) const { return grid_.CellOf(position); }
 
  private:
-  AABB bounds_;
-  int zones_per_side_;
+  ZoneGrid grid_;
 };
 
 /// Zoned client: routes each action to the owning zone server by the

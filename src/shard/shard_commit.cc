@@ -1,0 +1,38 @@
+#include "shard/shard_commit.h"
+
+#include <algorithm>
+
+namespace seve {
+
+PendingEscalation& ShardCommitTable::Create(SeqNum pos) {
+  if (PendingEscalation* existing = Find(pos)) return *existing;
+  pending_.emplace_back();
+  pending_.back().pos = pos;
+  return pending_.back();
+}
+
+PendingEscalation* ShardCommitTable::Find(SeqNum pos) {
+  for (PendingEscalation& esc : pending_) {
+    if (esc.pos == pos) return &esc;
+  }
+  return nullptr;
+}
+
+void ShardCommitTable::Erase(SeqNum pos) {
+  pending_.erase(std::remove_if(pending_.begin(), pending_.end(),
+                                [pos](const PendingEscalation& esc) {
+                                  return esc.pos == pos;
+                                }),
+                 pending_.end());
+}
+
+std::vector<SeqNum> ShardCommitTable::PositionsFrom(ClientId origin) const {
+  std::vector<SeqNum> positions;
+  for (const PendingEscalation& esc : pending_) {
+    if (esc.origin == origin) positions.push_back(esc.pos);
+  }
+  std::sort(positions.begin(), positions.end());
+  return positions;
+}
+
+}  // namespace seve

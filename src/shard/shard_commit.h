@@ -1,0 +1,103 @@
+#ifndef SEVE_SHARD_SHARD_COMMIT_H_
+#define SEVE_SHARD_SHARD_COMMIT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/inline_vec.h"
+#include "common/types.h"
+#include "shard/shard_map.h"
+#include "store/object.h"
+#include "store/rw_set.h"
+
+namespace seve {
+
+/// Global commit stamps for the sharded tier (DESIGN.md §12).
+///
+/// Each shard serializes its own ServerQueue with dense local positions;
+/// on the wire every position is translated to the global stamp
+///
+///   stamp(p, s) = (p + 1) << kShardBits | s
+///
+/// which is unique across shards, strictly monotone in p for a fixed
+/// shard, and recovers both components with shifts. The +1 keeps the
+/// frontier sentinel p = -1 (blind writes stamped "before everything")
+/// non-negative. Clients never decode stamps — their last-writer guards
+/// only compare them, and every write to a given object carries the
+/// owner shard's stamps, so the per-object order is total. The
+/// escalation epoch rides alongside in the prepare/token bodies rather
+/// than inside the stamp: it fences protocol lifecycles (crash/rejoin),
+/// not the serialization order.
+struct ShardStamp {
+  /// Up to 64 shards; positions keep 57 bits of headroom.
+  static constexpr int kShardBits = 6;
+
+  static constexpr SeqNum Global(SeqNum local_pos, ShardId shard) {
+    return ((local_pos + 1) << kShardBits) | static_cast<SeqNum>(shard);
+  }
+  static constexpr SeqNum LocalPos(SeqNum stamp) {
+    return (stamp >> kShardBits) - 1;
+  }
+  static constexpr ShardId Shard(SeqNum stamp) {
+    return static_cast<ShardId>(stamp &
+                                ((SeqNum{1} << kShardBits) - 1));
+  }
+};
+
+/// One in-flight escalated commit at the owning shard: the action sits
+/// in the local queue while prepare-tokens are collected from the peer
+/// shards its read closure touches. The closure walk ran once at submit
+/// time; its results (`included`, `closure`) are frozen here and reused
+/// verbatim by the reply assembly when the last token arrives.
+struct PendingEscalation {
+  /// A peer that answered, with the token sequence number it issued
+  /// (echoed in the commit message — the peer-side fencing check).
+  struct Participant {
+    ShardId shard = 0;
+    SeqNum token_seq = 0;
+  };
+
+  SeqNum pos = kInvalidSeq;  // owner-local queue position
+  ClientId origin;
+  NodeId origin_node;        // captured at submit; FlatMap slots move
+  uint64_t epoch = 0;        // owner epoch at escalation time
+  std::vector<SeqNum> included;  // closure positions from the submit walk
+  ObjectSet closure;             // final read set S of the submit walk
+  InlineVec<ShardId, 8> waiting;     // peers not yet heard from
+  InlineVec<Participant, 8> acked;   // peers heard from
+  std::vector<Object> token_values;  // committed values gathered so far
+};
+
+/// The owning shard's table of in-flight escalations. Deliberately a
+/// plain vector: escalations in flight are few (bounded by clients per
+/// shard), and iteration must be deterministic for the rejoin-abort
+/// sweep.
+class ShardCommitTable {
+ public:
+  /// Creates (or returns) the escalation record for `pos`.
+  PendingEscalation& Create(SeqNum pos);
+  PendingEscalation* Find(SeqNum pos);
+  void Erase(SeqNum pos);
+
+  bool empty() const { return pending_.empty(); }
+  size_t size() const { return pending_.size(); }
+
+  /// Owner-local positions of every in-flight escalation submitted by
+  /// `origin`, ascending (the rejoin abort sweep).
+  std::vector<SeqNum> PositionsFrom(ClientId origin) const;
+
+ private:
+  std::vector<PendingEscalation> pending_;  // ascending pos (append order)
+};
+
+/// Peer-side record of an issued prepare-token, retired by the matching
+/// commit or abort.
+struct OutstandingToken {
+  SeqNum stamp = kInvalidSeq;  // owner-shard global stamp
+  ShardId home = 0;
+  SeqNum token_seq = 0;
+};
+
+}  // namespace seve
+
+#endif  // SEVE_SHARD_SHARD_COMMIT_H_

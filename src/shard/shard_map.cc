@@ -1,0 +1,50 @@
+#include "shard/shard_map.h"
+
+#include <cmath>
+
+#include "world/attrs.h"
+
+namespace seve {
+
+int ShardMap::FactorCols(int shards) {
+  // Largest divisor of N no greater than sqrt(N) becomes the row count,
+  // so the grid is as square as the factorization allows (8 -> 4 x 2,
+  // 16 -> 4 x 4) and shard boundaries stay short.
+  const int n = shards < 1 ? 1 : shards;
+  int rows = static_cast<int>(std::floor(std::sqrt(static_cast<double>(n))));
+  while (rows > 1 && n % rows != 0) --rows;
+  return n / rows;
+}
+
+ShardMap::ShardMap(const AABB& bounds, int shards,
+                   const WorldState& initial)
+    : grid_(bounds, FactorCols(shards),
+            (shards < 1 ? 1 : shards) / FactorCols(shards)) {
+  signatures_.assign(static_cast<size_t>(grid_.cell_count()), 0);
+  objects_.assign(static_cast<size_t>(grid_.cell_count()), {});
+  for (const ObjectId id : initial.ObjectIds()) {  // ascending
+    const Value& pos = initial.GetAttr(id, kAttrPosition);
+    const int owner = pos.is_null() ? 0 : grid_.CellOf(pos.AsVec2());
+    owner_[id] = owner;
+    signatures_[static_cast<size_t>(owner)] |=
+        uint64_t{1} << (id.value() & 63u);
+    objects_[static_cast<size_t>(owner)].push_back(id);
+  }
+}
+
+// Out-of-line definition of the ObjectSet fast path declared in
+// store/rw_set.h: the store layer must not include shard headers
+// (seve-lint layering), so the member lives here and callers link
+// seve_shard.
+bool ObjectSet::IsSubsetOfShard(const ShardMap& map, int shard) const {
+  // Bloom fast path: a member bit outside the shard's fold proves a
+  // member outside the shard — one AND answers the common cross-shard
+  // case without touching the owner map.
+  if ((sig_ & ~map.shard_signature(shard)) != 0) return false;
+  for (const ObjectId id : *this) {
+    if (map.ShardOfObject(id) != shard) return false;
+  }
+  return true;
+}
+
+}  // namespace seve

@@ -1,0 +1,72 @@
+#ifndef SEVE_SHARD_SHARD_MAP_H_
+#define SEVE_SHARD_SHARD_MAP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/flat_map.h"
+#include "common/types.h"
+#include "spatial/zone_grid.h"
+#include "store/world_state.h"
+
+namespace seve {
+
+/// Index of one shard server in the sharded serialization tier.
+using ShardId = int;
+
+/// Static partition of the object-id space across N shard servers
+/// (DESIGN.md §12). Derived from the zoned baseline's ZoneMap: the world
+/// is tiled into a cols x rows grid (N factored as close to square as
+/// possible — 8 shards tile 4 x 2), and every object id is assigned the
+/// shard whose cell contains its *initial* position. Ownership is by id
+/// and never migrates: avatars that wander across a cell boundary stay
+/// with their home shard, so routing, commit stamps and the serializa-
+/// bility argument never depend on a moving assignment.
+///
+/// Alongside the exact owner map the ShardMap folds each shard's ids
+/// into a 64-bit Bloom signature (bit id mod 64, the ObjectSet fold), so
+/// ObjectSet::IsSubsetOfShard can reject cross-shard read sets with one
+/// AND before any per-id lookup.
+class ShardMap {
+ public:
+  ShardMap(const AABB& bounds, int shards, const WorldState& initial);
+
+  int shard_count() const { return grid_.cell_count(); }
+  const ZoneGrid& grid() const { return grid_; }
+
+  /// Owner of `id`; ids absent from the initial state fall to shard 0
+  /// (nothing in the workloads mints fresh ids, but the rule keeps the
+  /// map total).
+  ShardId ShardOfObject(ObjectId id) const {
+    const int* owner = owner_.Find(id);
+    return owner == nullptr ? 0 : *owner;
+  }
+
+  /// Shard whose cell contains `position` (initial spawn routing).
+  ShardId ShardOfPosition(Vec2 position) const {
+    return grid_.CellOf(position);
+  }
+
+  /// Bloom fold of the ids owned by `shard`: OR of 1 << (id mod 64).
+  /// sig(S) & ~shard_signature(s) != 0 proves S has a member outside s.
+  uint64_t shard_signature(ShardId shard) const {
+    return signatures_[static_cast<size_t>(shard)];
+  }
+
+  /// Ids owned by `shard`, ascending (partition construction order).
+  const std::vector<ObjectId>& objects_of(ShardId shard) const {
+    return objects_[static_cast<size_t>(shard)];
+  }
+
+ private:
+  static int FactorCols(int shards);
+
+  ZoneGrid grid_;
+  FlatMap<ObjectId, int> owner_;
+  std::vector<uint64_t> signatures_;
+  std::vector<std::vector<ObjectId>> objects_;
+};
+
+}  // namespace seve
+
+#endif  // SEVE_SHARD_SHARD_MAP_H_

@@ -1,0 +1,92 @@
+#ifndef SEVE_SHARD_SHARD_MSG_H_
+#define SEVE_SHARD_SHARD_MSG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "net/message.h"
+#include "store/object.h"
+#include "store/rw_set.h"
+
+namespace seve {
+
+/// Message discriminators for the cross-shard commit protocol
+/// (shard/shard_server.h; DESIGN.md §12). Numbered above the protocol
+/// (1..8), baseline (100..) and channel (300/301) ranges so the wire
+/// registry stays collision-free.
+enum ShardMsgKind : int {
+  kShardPrepare = 310,  // owner -> peer: request a prepare-token
+  kShardToken = 311,    // peer -> owner: committed values + frontier
+  kShardCommit = 312,   // owner -> peer: escalated action committed
+  kShardAbort = 313,    // owner -> peer: escalation cancelled (fencing)
+};
+
+/// Owning shard -> peer shard: the first phase of an escalated commit.
+/// Asks the peer for a prepare-token covering `reads` — the subset of the
+/// action's read closure the peer owns. Prepares go out in ascending
+/// shard-id order (the deterministic token order of DESIGN.md §12).
+struct ShardPrepareBody : MessageBody {
+  /// Global commit stamp the owner assigned the escalated action.
+  SeqNum stamp = kInvalidSeq;
+  int32_t home_shard = 0;
+  /// Owner's escalation epoch; echoed in the token so replies fenced off
+  /// by a rejoin-driven epoch bump are discarded.
+  uint64_t epoch = 0;
+  ObjectSet reads;
+
+  int kind() const override { return kShardPrepare; }
+  int64_t WireSize() const {
+    return 28 + static_cast<int64_t>(reads.size()) * 8;
+  }
+};
+
+/// Peer shard -> owning shard: the prepare-token. Carries the peer's
+/// committed values for the requested reads (semantically a blind write
+/// W(S, ζS(S)) of the peer's partition) plus the committed frontier those
+/// values reflect, and a peer-local monotone token sequence number the
+/// eventual commit must echo.
+struct ShardTokenBody : MessageBody {
+  SeqNum stamp = kInvalidSeq;  // echoes the prepare stamp
+  int32_t peer_shard = 0;
+  uint64_t epoch = 0;          // echoes the prepare epoch
+  SeqNum token_seq = 0;
+  SeqNum frontier = kInvalidSeq;  // peer committed frontier (global stamp)
+  std::vector<Object> values;
+
+  int kind() const override { return kShardToken; }
+  int64_t WireSize() const {
+    int64_t size = 44;
+    for (const Object& obj : values) size += obj.WireSize();
+    return size;
+  }
+};
+
+/// Owning shard -> peer shard: the escalated action at `stamp` committed;
+/// the peer may retire its outstanding-token record. `token_seq` echoes
+/// the peer's token (fencing: a commit for a token the peer never issued,
+/// or issued in a previous epoch, is ignored).
+struct ShardCommitBody : MessageBody {
+  SeqNum stamp = kInvalidSeq;
+  int32_t home_shard = 0;
+  SeqNum token_seq = 0;
+
+  int kind() const override { return kShardCommit; }
+  int64_t WireSize() const { return 28; }
+};
+
+/// Owning shard -> peer shard: the escalation at `stamp` was cancelled
+/// (the submitting client crashed and rejoined before the reply could
+/// reach its new incarnation); the peer drops its outstanding-token
+/// record.
+struct ShardAbortBody : MessageBody {
+  SeqNum stamp = kInvalidSeq;
+  int32_t home_shard = 0;
+
+  int kind() const override { return kShardAbort; }
+  int64_t WireSize() const { return 20; }
+};
+
+}  // namespace seve
+
+#endif  // SEVE_SHARD_SHARD_MSG_H_

@@ -1,0 +1,29 @@
+#include "shard/shard_router.h"
+
+#include <algorithm>
+
+namespace seve {
+
+ShardSpan SpanOf(const ObjectSet& set, const ShardMap& map) {
+  ShardSpan span;
+  for (const ObjectId id : set) {
+    const ShardId owner = map.ShardOfObject(id);
+    if (std::find(span.shards.begin(), span.shards.end(), owner) ==
+        span.shards.end()) {
+      span.shards.push_back(owner);
+    }
+  }
+  std::sort(span.shards.begin(), span.shards.end());
+  return span;
+}
+
+ObjectSet OwnedSubset(const ObjectSet& set, const ShardMap& map,
+                      ShardId shard) {
+  ObjectSet owned;
+  for (const ObjectId id : set) {  // ascending: Insert stays O(1) amortized
+    if (map.ShardOfObject(id) == shard) owned.Insert(id);
+  }
+  return owned;
+}
+
+}  // namespace seve

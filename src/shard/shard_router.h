@@ -1,0 +1,31 @@
+#ifndef SEVE_SHARD_SHARD_ROUTER_H_
+#define SEVE_SHARD_SHARD_ROUTER_H_
+
+#include "common/inline_vec.h"
+#include "shard/shard_map.h"
+#include "store/rw_set.h"
+
+namespace seve {
+
+/// Which shards an ObjectSet touches. `shards` is ascending, so walking
+/// it issues prepares in ascending shard-id order — the deterministic
+/// token order the commit protocol requires (DESIGN.md §12).
+struct ShardSpan {
+  InlineVec<ShardId, 8> shards;
+
+  bool single() const { return shards.size() == 1; }
+  /// Owning shard: the lowest shard id in the span.
+  ShardId home() const { return shards.empty() ? 0 : shards[0]; }
+};
+
+/// Partitions `set` across the shard map: every shard owning at least
+/// one member, ascending.
+ShardSpan SpanOf(const ObjectSet& set, const ShardMap& map);
+
+/// The members of `set` owned by `shard` (the per-peer prepare payload).
+ObjectSet OwnedSubset(const ObjectSet& set, const ShardMap& map,
+                      ShardId shard);
+
+}  // namespace seve
+
+#endif  // SEVE_SHARD_SHARD_ROUTER_H_

@@ -1,0 +1,490 @@
+#include "shard/shard_server.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "action/blind_write.h"
+#include "net/channel.h"
+#include "shard/shard_router.h"
+
+namespace seve {
+
+SeveShardServer::SeveShardServer(NodeId node, EventLoop* loop, ShardId shard,
+                                 const ShardMap* map,
+                                 const WorldState& initial,
+                                 const CostModel& cost,
+                                 const SeveOptions& options)
+    : Node(node, loop),
+      shard_(shard),
+      map_(map),
+      cost_(cost),
+      options_(options),
+      peer_nodes_(static_cast<size_t>(map->shard_count())),
+      // Blind ids carry the shard in bits 48..: streams never collide
+      // across shards, and they never reach any compared digest (blind
+      // writes are bookkeeping, not evaluated actions).
+      next_blind_id_((ActionId::ValueType{1} << 62) +
+                     (static_cast<ActionId::ValueType>(shard) << 48)) {
+  for (const ObjectId id : map->objects_of(shard)) {
+    const Object* obj = initial.Find(id);
+    if (obj != nullptr) state_.Upsert(*obj);
+  }
+}
+
+void SeveShardServer::RegisterClient(ClientId client, NodeId node) {
+  clients_[client] = node;
+}
+
+void SeveShardServer::RegisterPeer(ShardId shard, NodeId node) {
+  peer_nodes_[static_cast<size_t>(shard)] = node;
+}
+
+void SeveShardServer::OnMessage(const Message& msg) {
+  switch (msg.body->kind()) {
+    case kSubmitAction: {
+      const auto& submit = static_cast<const SubmitActionBody&>(*msg.body);
+      HandleSubmit(submit.action->origin(), submit.action, submit.resync);
+      break;
+    }
+    case kCompletion:
+      HandleCompletion(static_cast<const CompletionBody&>(*msg.body));
+      break;
+    case kRejoin:
+      HandleRejoin(static_cast<const RejoinBody&>(*msg.body));
+      break;
+    case kSnapshotRequest:
+      HandleSnapshotRequest(
+          static_cast<const SnapshotRequestBody&>(*msg.body));
+      break;
+    case kShardPrepare:
+      HandlePrepare(static_cast<const ShardPrepareBody&>(*msg.body));
+      break;
+    case kShardToken:
+      HandleToken(static_cast<const ShardTokenBody&>(*msg.body));
+      break;
+    case kShardCommit:
+      HandlePeerCommit(static_cast<const ShardCommitBody&>(*msg.body));
+      break;
+    case kShardAbort:
+      HandlePeerAbort(static_cast<const ShardAbortBody&>(*msg.body));
+      break;
+    default:
+      break;
+  }
+}
+
+void SeveShardServer::HandleSubmit(ClientId from, ActionPtr action,
+                                   const ObjectSet& resync) {
+  const SeqNum pos = queue_.Append(action, loop()->now());
+  ++stats_.actions_submitted;
+  Micros cpu = cost_.serialize_us;
+
+  // One conflict walk decides the routing AND captures the closure: the
+  // final read set S and the included positions feed the reply assembly
+  // directly (fast path) or are frozen in the escalation record, so the
+  // fast/escalated decision costs no second walk. Crucially, sent(a) is
+  // NOT marked here — it is marked at assembly time, so a later action
+  // from the same client still walks into an unresolved escalated
+  // predecessor, escalates with it, and the FIFO token order keeps the
+  // client's replies in submission order.
+  ObjectSet closure = ObjectSet::Union(action->ReadSet(), resync);
+  std::vector<SeqNum> included;
+  const int visits = queue_.WalkConflicts(
+      pos, &closure, [&](const ServerQueue::Entry& entry) {
+        if (entry.sent.count(from) != 0 &&
+            !entry.action->WriteSet().Intersects(resync)) {
+          return ServerQueue::WalkVerdict::kResolve;
+        }
+        included.push_back(entry.pos);
+        return ServerQueue::WalkVerdict::kInclude;
+      });
+  stats_.closure_visits += visits;
+  cpu += static_cast<Micros>(cost_.closure_per_visit_us *
+                             static_cast<double>(visits + 1));
+
+  const NodeId* client_node = clients_.Find(from);
+  if (client_node == nullptr) return;
+  const NodeId dst = *client_node;
+
+  if (closure.IsSubsetOfShard(*map_, shard_)) {
+    // Fast path: the whole closure lives here; reply in one round trip
+    // exactly like the single-server Incomplete World Model.
+    ++counters_.fast_path;
+    std::vector<OrderedAction> batch =
+        AssembleBatch(from, pos, included, closure, {}, &cpu);
+    SubmitWork(cpu, [this, dst, batch = std::move(batch)]() {
+      auto body = std::make_shared<DeliverActionsBody>();
+      body->actions = batch;
+      Send(dst, body->WireSize(), body);
+    });
+    return;
+  }
+
+  // Escalate: freeze the walk results and request one prepare-token per
+  // peer shard the closure touches, in ascending shard-id order.
+  ++counters_.escalated;
+  escalated_.insert(pos);
+  PendingEscalation& esc = pending_.Create(pos);
+  esc.origin = from;
+  esc.origin_node = dst;
+  esc.epoch = epoch_;
+  esc.included = std::move(included);
+  esc.closure = closure;
+
+  const ShardSpan span = SpanOf(closure, *map_);
+  struct Prepare {
+    NodeId node;
+    std::shared_ptr<ShardPrepareBody> body;
+  };
+  std::vector<Prepare> prepares;
+  for (const ShardId peer : span.shards) {  // ascending: ordered tokens
+    if (peer == shard_) continue;
+    esc.waiting.push_back(peer);
+    auto body = std::make_shared<ShardPrepareBody>();
+    body->stamp = ShardStamp::Global(pos, shard_);
+    body->home_shard = static_cast<int32_t>(shard_);
+    body->epoch = epoch_;
+    body->reads = OwnedSubset(closure, *map_, peer);
+    prepares.push_back(
+        Prepare{peer_nodes_[static_cast<size_t>(peer)], std::move(body)});
+  }
+  cpu += cost_.serialize_us * static_cast<Micros>(prepares.size());
+  SubmitWork(cpu, [this, prepares = std::move(prepares)]() {
+    for (const Prepare& prepare : prepares) {
+      Send(prepare.node, prepare.body->WireSize(), prepare.body);
+    }
+  });
+}
+
+std::vector<OrderedAction> SeveShardServer::AssembleBatch(
+    ClientId client, SeqNum pos, const std::vector<SeqNum>& included,
+    const ObjectSet& closure, const std::vector<Object>& remote_values,
+    Micros* cpu_cost) {
+  ServerQueue::Entry* target = queue_.Find(pos);
+  if (target == nullptr || !target->valid) return {};
+  target->sent.insert(client);
+  for (const SeqNum p : included) {
+    ServerQueue::Entry* entry = queue_.Find(p);
+    if (entry != nullptr) entry->sent.insert(client);
+  }
+
+  std::vector<SeqNum> ordered = included;
+  std::sort(ordered.begin(), ordered.end());
+
+  std::vector<OrderedAction> batch;
+  batch.reserve(ordered.size() + 2);
+  if (!closure.empty() || !remote_values.empty()) {
+    // Extract skips the closure's non-local ids; the token values cover
+    // them. Both enter at the committed-frontier stamp, so every value —
+    // local or token-carried — joins the client's last-writer order
+    // through this shard's own monotone stream, older than anything
+    // still queued here (the cross-shard stamp-interleaving hazard).
+    std::vector<Object> values = state_.Extract(closure);
+    values.insert(values.end(), remote_values.begin(), remote_values.end());
+    auto blind = std::make_shared<BlindWrite>(
+        ActionId(next_blind_id_++), loop()->now() / options_.tick_us,
+        std::move(values));
+    ++stats_.blind_writes;
+    batch.push_back(OrderedAction{
+        ShardStamp::Global(queue_.begin_pos() - 1, shard_), blind});
+    *cpu_cost += cost_.install_us;
+  }
+  for (const SeqNum p : ordered) {
+    const ServerQueue::Entry* entry = queue_.Find(p);
+    // Entries committed since the walk are covered by the head blind
+    // write (their writes stayed in the closure set); invalidated ones
+    // are aborted no-ops.
+    if (entry == nullptr || !entry->valid) continue;
+    if (entry->completed) {
+      batch.push_back(OrderedAction{
+          ShardStamp::Global(p, shard_),
+          std::make_shared<BlindWrite>(ActionId(next_blind_id_++),
+                                       loop()->now() / options_.tick_us,
+                                       entry->stable_written)});
+      ++stats_.blind_writes;
+    } else {
+      batch.push_back(
+          OrderedAction{ShardStamp::Global(p, shard_), entry->action});
+    }
+  }
+  batch.push_back(
+      OrderedAction{ShardStamp::Global(pos, shard_), target->action});
+  stats_.closure_size.Add(static_cast<int64_t>(batch.size()));
+  return batch;
+}
+
+void SeveShardServer::HandlePrepare(const ShardPrepareBody& prepare) {
+  // Tokens are served immediately from committed state: no locks, no
+  // waiting on in-flight actions, hence no cross-shard deadlock. The
+  // escalated action's serial point is the owner's queue position; the
+  // token values are the freshest committed remote values available at
+  // prepare time (the Incomplete-World approximation across shards —
+  // DESIGN.md §12 — backstopped by the serializability audit).
+  auto body = std::make_shared<ShardTokenBody>();
+  body->stamp = prepare.stamp;
+  body->peer_shard = static_cast<int32_t>(shard_);
+  body->epoch = prepare.epoch;
+  body->token_seq = ++next_token_seq_;
+  body->frontier = ShardStamp::Global(queue_.begin_pos() - 1, shard_);
+  body->values = state_.Extract(prepare.reads);
+  outstanding_.push_back(OutstandingToken{
+      prepare.stamp, static_cast<ShardId>(prepare.home_shard),
+      body->token_seq});
+  ++counters_.tokens_served;
+  const NodeId dst =
+      peer_nodes_[static_cast<size_t>(prepare.home_shard)];
+  SubmitWork(cost_.serialize_us + cost_.install_us,
+             [this, dst, body]() { Send(dst, body->WireSize(), body); });
+}
+
+void SeveShardServer::HandleToken(const ShardTokenBody& token) {
+  SubmitWork(cost_.install_us, []() {});
+  const SeqNum pos = ShardStamp::LocalPos(token.stamp);
+  PendingEscalation* esc = pending_.Find(pos);
+  if (esc == nullptr || token.epoch != esc->epoch) {
+    // Escalation already aborted (rejoin fencing) or from a previous
+    // epoch: the token retires peer-side via the abort we sent.
+    ++counters_.stale_tokens;
+    return;
+  }
+  const ShardId peer = static_cast<ShardId>(token.peer_shard);
+  InlineVec<ShardId, 8> still;
+  bool expected = false;
+  for (const ShardId s : esc->waiting) {
+    if (s == peer) {
+      expected = true;
+    } else {
+      still.push_back(s);
+    }
+  }
+  if (!expected) return;  // duplicate (transport retries are upstream)
+  esc->waiting = still;
+  esc->acked.push_back(
+      PendingEscalation::Participant{peer, token.token_seq});
+  esc->token_values.insert(esc->token_values.end(), token.values.begin(),
+                           token.values.end());
+  if (esc->waiting.empty()) FinishEscalation(pos);
+}
+
+void SeveShardServer::FinishEscalation(SeqNum pos) {
+  PendingEscalation* esc = pending_.Find(pos);
+  if (esc == nullptr) return;
+  Micros cpu =
+      cost_.serialize_us * static_cast<Micros>(esc->acked.size() + 1);
+  std::vector<OrderedAction> batch = AssembleBatch(
+      esc->origin, pos, esc->included, esc->closure, esc->token_values,
+      &cpu);
+  const NodeId dst = esc->origin_node;
+  struct Commit {
+    NodeId node;
+    std::shared_ptr<ShardCommitBody> body;
+  };
+  std::vector<Commit> commits;
+  for (const PendingEscalation::Participant& part : esc->acked) {
+    auto body = std::make_shared<ShardCommitBody>();
+    body->stamp = ShardStamp::Global(pos, shard_);
+    body->home_shard = static_cast<int32_t>(shard_);
+    body->token_seq = part.token_seq;
+    commits.push_back(
+        Commit{peer_nodes_[static_cast<size_t>(part.shard)],
+               std::move(body)});
+  }
+  ++counters_.commits;
+  pending_.Erase(pos);
+  SubmitWork(cpu, [this, dst, batch = std::move(batch),
+                   commits = std::move(commits)]() {
+    if (!batch.empty()) {
+      auto body = std::make_shared<DeliverActionsBody>();
+      body->actions = batch;
+      Send(dst, body->WireSize(), body);
+    }
+    for (const Commit& commit : commits) {
+      Send(commit.node, commit.body->WireSize(), commit.body);
+    }
+  });
+}
+
+void SeveShardServer::HandlePeerCommit(const ShardCommitBody& commit) {
+  SubmitWork(cost_.serialize_us, []() {});
+  RetireToken(commit.stamp, static_cast<ShardId>(commit.home_shard),
+              commit.token_seq);
+}
+
+void SeveShardServer::HandlePeerAbort(const ShardAbortBody& abort) {
+  SubmitWork(cost_.serialize_us, []() {});
+  RetireToken(abort.stamp, static_cast<ShardId>(abort.home_shard),
+              kInvalidSeq);
+}
+
+void SeveShardServer::RetireToken(SeqNum stamp, ShardId home,
+                                  SeqNum token_seq) {
+  outstanding_.erase(
+      std::remove_if(outstanding_.begin(), outstanding_.end(),
+                     [&](const OutstandingToken& tok) {
+                       return tok.stamp == stamp && tok.home == home &&
+                              (token_seq == kInvalidSeq ||
+                               tok.token_seq == token_seq);
+                     }),
+      outstanding_.end());
+}
+
+void SeveShardServer::InstallEntry(const ServerQueue::Entry& entry) {
+  state_.ApplyObjects(entry.stable_written);
+  if (audit_excluded_.count(entry.pos) == 0) {
+    committed_digests_[ShardStamp::Global(entry.pos, shard_)] =
+        entry.stable_digest;
+  }
+  ++stats_.actions_committed;
+}
+
+void SeveShardServer::HandleCompletion(const CompletionBody& completion) {
+  const ShardId owner = ShardStamp::Shard(completion.pos);
+  if (owner != shard_) {
+    // Safety net for all-client completions: a completion quoting
+    // another shard's stamp routes to its owner.
+    auto body = std::make_shared<CompletionBody>(completion);
+    const NodeId dst = peer_nodes_[static_cast<size_t>(owner)];
+    SubmitWork(cost_.serialize_us,
+               [this, dst, body]() { Send(dst, body->WireSize(), body); });
+    return;
+  }
+  SubmitWork(cost_.install_us, []() {});
+  const SeqNum pos = ShardStamp::LocalPos(completion.pos);
+  if (completion.out_of_order) audit_excluded_.insert(pos);
+  (void)queue_.Complete(
+      pos, completion.digest, completion.written,
+      [this](const ServerQueue::Entry& entry) { InstallEntry(entry); });
+}
+
+void SeveShardServer::HandleRejoin(const RejoinBody& rejoin) {
+  const NodeId* node = clients_.Find(rejoin.client);
+  if (node == nullptr) return;
+  const NodeId client_node = *node;
+  // Fresh outgoing channel incarnation; queued frames from the dead
+  // conversation stay buried (PR 5 recovery contract).
+  if (ReliableChannel* channel = reliable_channel()) {
+    channel->ResetPeerSend(client_node);
+  }
+  ++stats_.rejoins;
+  ++epoch_;  // fence: tokens echoing the old epoch are now stale
+
+  // Abort the crashed client's escalations still waiting for tokens —
+  // the reply could never reach the new incarnation — and tell every
+  // involved peer to retire its token.
+  struct Abort {
+    NodeId node;
+    std::shared_ptr<ShardAbortBody> body;
+  };
+  std::vector<Abort> aborts;
+  for (const SeqNum pos : pending_.PositionsFrom(rejoin.client)) {
+    PendingEscalation* esc = pending_.Find(pos);
+    if (esc == nullptr) continue;
+    auto notify = [&](ShardId peer) {
+      auto body = std::make_shared<ShardAbortBody>();
+      body->stamp = ShardStamp::Global(pos, shard_);
+      body->home_shard = static_cast<int32_t>(shard_);
+      aborts.push_back(
+          Abort{peer_nodes_[static_cast<size_t>(peer)], std::move(body)});
+    };
+    for (const ShardId peer : esc->waiting) notify(peer);
+    for (const PendingEscalation::Participant& part : esc->acked) {
+      notify(part.shard);
+    }
+    queue_.MarkInvalid(pos);
+    ++counters_.aborts;
+    pending_.Erase(pos);
+  }
+  // The client's resolved-but-uncompleted escalations can never finish
+  // either: only the dead incarnation received the reply, and a
+  // cross-shard closure cannot be replayed from a partition snapshot.
+  // Invalidate them so the committed frontier keeps advancing. (Peers'
+  // tokens were already retired by the commits FinishEscalation sent.)
+  for (SeqNum pos = queue_.begin_pos(); pos < queue_.end_pos(); ++pos) {
+    ServerQueue::Entry* entry = queue_.Find(pos);
+    if (entry == nullptr || !entry->valid || entry->completed) continue;
+    if (entry->action->origin() != rejoin.client) continue;
+    if (escalated_.count(pos) == 0) continue;
+    queue_.MarkInvalid(pos);
+    ++counters_.aborts;
+  }
+  // An invalidated head may unblock the committed frontier.
+  ServerQueue::Entry* head = queue_.Find(queue_.begin_pos());
+  if (head != nullptr && !head->valid) {
+    (void)queue_.Complete(
+        head->pos, 0, {},
+        [this](const ServerQueue::Entry& entry) { InstallEntry(entry); });
+  }
+
+  SubmitWork(cost_.serialize_us, [this, aborts = std::move(aborts)]() {
+    for (const Abort& abort : aborts) {
+      Send(abort.node, abort.body->WireSize(), abort.body);
+    }
+  });
+}
+
+void SeveShardServer::HandleSnapshotRequest(
+    const SnapshotRequestBody& request) {
+  const NodeId* node = clients_.Find(request.client);
+  if (node == nullptr) return;
+  const NodeId dst = *node;
+  const SeqNum snapshot_pos =
+      ShardStamp::Global(queue_.begin_pos() - 1, shard_);
+  const std::vector<ObjectId> ids = state_.ObjectIds();  // sorted
+
+  const int64_t per_chunk =
+      std::max<int64_t>(1, options_.snapshot_chunk_objects);
+  const int64_t total = std::max<int64_t>(
+      1, (static_cast<int64_t>(ids.size()) + per_chunk - 1) / per_chunk);
+
+  std::vector<std::shared_ptr<SnapshotChunkBody>> chunks;
+  chunks.reserve(static_cast<size_t>(total));
+  for (int64_t c = 0; c < total; ++c) {
+    auto body = std::make_shared<SnapshotChunkBody>();
+    body->snapshot_pos = snapshot_pos;
+    body->chunk = c;
+    body->total = total;
+    const size_t begin = static_cast<size_t>(c * per_chunk);
+    const size_t end = std::min(ids.size(),
+                                static_cast<size_t>((c + 1) * per_chunk));
+    for (size_t i = begin; i < end; ++i) {
+      const Object* obj = state_.Find(ids[i]);
+      if (obj != nullptr) body->objects.push_back(*obj);
+    }
+    chunks.push_back(std::move(body));
+  }
+
+  // The live tail. Completed entries ship as blind writes of their
+  // stable results; live single-shard entries ship as actions. Live
+  // ESCALATED entries are withheld: their closures need cross-shard
+  // values a partition snapshot cannot carry, so re-evaluating them here
+  // could diverge — their origins complete them through the normal path.
+  std::vector<OrderedAction>& tail = chunks.back()->tail;
+  for (SeqNum pos = queue_.begin_pos(); pos < queue_.end_pos(); ++pos) {
+    ServerQueue::Entry* entry = queue_.Find(pos);
+    if (entry == nullptr || !entry->valid) continue;
+    if (!entry->completed && escalated_.count(pos) != 0) continue;
+    entry->sent.insert(request.client);
+    if (entry->completed) {
+      tail.push_back(OrderedAction{
+          ShardStamp::Global(pos, shard_),
+          std::make_shared<BlindWrite>(ActionId(next_blind_id_++),
+                                       loop()->now() / options_.tick_us,
+                                       entry->stable_written)});
+      ++stats_.blind_writes;
+    } else {
+      tail.push_back(
+          OrderedAction{ShardStamp::Global(pos, shard_), entry->action});
+    }
+  }
+
+  stats_.snapshot_chunks += total;
+  const Micros cpu =
+      cost_.serialize_us * static_cast<Micros>(total) + cost_.install_us;
+  SubmitWork(cpu, [this, dst, chunks = std::move(chunks)]() {
+    for (const auto& chunk : chunks) {
+      Send(dst, chunk->WireSize(), chunk);
+    }
+  });
+}
+
+}  // namespace seve

@@ -1,0 +1,148 @@
+#ifndef SEVE_SHARD_SHARD_SERVER_H_
+#define SEVE_SHARD_SHARD_SERVER_H_
+
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "action/action.h"
+#include "common/flat_map.h"
+#include "common/metrics.h"
+#include "net/node.h"
+#include "protocol/msg.h"
+#include "protocol/options.h"
+#include "protocol/server_queue.h"
+#include "shard/shard_commit.h"
+#include "shard/shard_map.h"
+#include "shard/shard_msg.h"
+#include "shard/shard_stats.h"
+#include "store/world_state.h"
+#include "world/cost_model.h"
+
+namespace seve {
+
+/// One node of the zone-sharded serialization tier (DESIGN.md §12): a
+/// SEVE Incomplete-World server that owns a static partition of the
+/// object-id space (shard/shard_map.h) and serializes only actions whose
+/// home avatar it owns.
+///
+/// Every submission runs one conflict walk (Algorithm 6). When the
+/// resulting closure read set lies entirely in this shard — the common
+/// case, answered by ObjectSet::IsSubsetOfShard's one-AND Bloom test —
+/// the reply ships in one round trip exactly like the single-server
+/// protocol. Otherwise the action escalates to a deterministic two-phase
+/// cross-shard commit: prepares go to the owning peers in ascending
+/// shard-id order, each peer immediately answers with a prepare-token
+/// carrying its committed values for the requested reads (tokens are
+/// served from committed state only — no locks, no waiting, hence no
+/// deadlock), and when the last token arrives the owner folds the token
+/// values into the head blind write of the closure reply, stamped at the
+/// owner's committed frontier so every value enters the client's
+/// last-writer order through one monotone stream.
+///
+/// All wire positions are global (epoch, shard, seq) stamps
+/// (ShardStamp::Global); clients treat them as opaque ordered values, so
+/// the unmodified SeveClient speaks to a shard exactly as it speaks to
+/// the single server. Crash/rejoin fencing: a rejoin bumps the shard's
+/// escalation epoch, aborts the crashed client's still-waiting
+/// escalations (peers retire their tokens via ShardAbort), and
+/// invalidates its unfinishable resolved escalations so the committed
+/// frontier keeps advancing.
+class SeveShardServer : public Node {
+ public:
+  SeveShardServer(NodeId node, EventLoop* loop, ShardId shard,
+                  const ShardMap* map, const WorldState& initial,
+                  const CostModel& cost, const SeveOptions& options);
+
+  /// Registers a client homed on this shard (its avatar is owned here).
+  void RegisterClient(ClientId client, NodeId node);
+  /// Registers a peer shard server's node id (commit-protocol routing).
+  void RegisterPeer(ShardId shard, NodeId node);
+
+  ShardId shard() const { return shard_; }
+  /// This shard's partition of ζS (committed prefix only).
+  const WorldState& authoritative() const { return state_; }
+  SeqNum committed_frontier() const { return queue_.begin_pos(); }
+  size_t uncommitted() const { return queue_.uncommitted_size(); }
+  /// In-flight escalations (owner side); 0 after a clean drain.
+  size_t pending_escalations() const { return pending_.size(); }
+  /// Unretired prepare-tokens (peer side); 0 after a clean drain.
+  size_t outstanding_tokens() const { return outstanding_.size(); }
+
+  ProtocolStats& stats() { return stats_; }
+  const ProtocolStats& stats() const { return stats_; }
+  const ShardCounters& counters() const { return counters_; }
+
+  /// Global stamp -> stable digest of every installed action; ground
+  /// truth for the consistency checker.
+  const DigestMap& committed_digests() const { return committed_digests_; }
+
+ protected:
+  void OnMessage(const Message& msg) override;
+
+ private:
+  void HandleSubmit(ClientId from, ActionPtr action, const ObjectSet& resync);
+  void HandleCompletion(const CompletionBody& completion);
+  void HandleRejoin(const RejoinBody& rejoin);
+  void HandleSnapshotRequest(const SnapshotRequestBody& request);
+  void HandlePrepare(const ShardPrepareBody& prepare);
+  void HandleToken(const ShardTokenBody& token);
+  void HandlePeerCommit(const ShardCommitBody& commit);
+  void HandlePeerAbort(const ShardAbortBody& abort);
+
+  /// Resolves an escalation whose last token arrived: assembles the
+  /// closure reply (token values folded into the head blind write),
+  /// sends it to the origin, and retires the peers' tokens with commit
+  /// messages.
+  void FinishEscalation(SeqNum pos);
+
+  /// Assembles the wire batch for the closure captured at submit time:
+  /// head blind write (local extract of `closure` + `remote_values`) at
+  /// the committed-frontier stamp, then the included entries (completed
+  /// ones substituted by blind writes of their stable results), then the
+  /// target — all positions translated to global stamps. Marks sent(a).
+  std::vector<OrderedAction> AssembleBatch(
+      ClientId client, SeqNum pos, const std::vector<SeqNum>& included,
+      const ObjectSet& closure, const std::vector<Object>& remote_values,
+      Micros* cpu_cost);
+
+  /// Installs committed entries into the partition state (the
+  /// queue-advance callback shared by the completion and abort paths).
+  void InstallEntry(const ServerQueue::Entry& entry);
+
+  /// Drops the peer-side record of a token; token_seq == kInvalidSeq
+  /// matches any (aborts don't know which token the peer issued).
+  void RetireToken(SeqNum stamp, ShardId home, SeqNum token_seq);
+
+  ShardId shard_;
+  const ShardMap* map_;  // shared, owned by the runner
+  WorldState state_;     // this shard's partition of ζS
+  CostModel cost_;
+  SeveOptions options_;
+  ServerQueue queue_;
+  FlatMap<ClientId, NodeId> clients_;
+  std::vector<NodeId> peer_nodes_;  // indexed by ShardId
+  ShardCommitTable pending_;        // owner-side in-flight escalations
+  std::vector<OutstandingToken> outstanding_;  // peer-side issued tokens
+  uint64_t epoch_ = 1;        // bumped per rejoin; fences escalations
+  SeqNum next_token_seq_ = 0;
+  ActionId::ValueType next_blind_id_;
+  ProtocolStats stats_;
+  ShardCounters counters_;
+  DigestMap committed_digests_;  // keyed by global stamp
+  // Local positions that went through escalation: their closures need
+  // cross-shard values, so they cannot be replayed from a partition
+  // snapshot (rejoin sweep + snapshot tail consult this).
+  // Membership-only (never iterated), so bucket order is unobservable.
+  // seve-lint: allow(det-unordered-container): membership test only
+  std::unordered_set<SeqNum> escalated_;
+  // Positions whose committed result was produced over reordered inputs
+  // (flagged completions): excluded from the serializability audit.
+  // Membership-only (never iterated), so bucket order is unobservable.
+  // seve-lint: allow(det-unordered-container): membership test only
+  std::unordered_set<SeqNum> audit_excluded_;
+};
+
+}  // namespace seve
+
+#endif  // SEVE_SHARD_SHARD_SERVER_H_

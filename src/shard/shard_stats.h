@@ -1,0 +1,38 @@
+#ifndef SEVE_SHARD_SHARD_STATS_H_
+#define SEVE_SHARD_SHARD_STATS_H_
+
+#include <cstdint>
+
+namespace seve {
+
+/// Per-shard counters of the sharded serialization tier (DESIGN.md §12).
+/// Kept in a standalone header so the sim report layer can embed them
+/// without pulling in the shard server.
+struct ShardCounters {
+  int64_t fast_path = 0;      // single-shard closures replied in 1 RTT
+  int64_t escalated = 0;      // cross-shard closures escalated to 2-phase
+  int64_t tokens_served = 0;  // prepare-tokens issued to peer shards
+  int64_t commits = 0;        // escalations resolved (reply + commits sent)
+  int64_t aborts = 0;         // escalations cancelled by crash fencing
+  int64_t stale_tokens = 0;   // tokens fenced off (epoch bump / abort race)
+
+  void Merge(const ShardCounters& other) {
+    fast_path += other.fast_path;
+    escalated += other.escalated;
+    tokens_served += other.tokens_served;
+    commits += other.commits;
+    aborts += other.aborts;
+    stale_tokens += other.stale_tokens;
+  }
+
+  double FastPathFraction() const {
+    const int64_t total = fast_path + escalated;
+    return total == 0 ? 1.0
+                      : static_cast<double>(fast_path) /
+                            static_cast<double>(total);
+  }
+};
+
+}  // namespace seve
+
+#endif  // SEVE_SHARD_SHARD_STATS_H_

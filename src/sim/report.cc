@@ -45,6 +45,23 @@ std::string RunReport::Summary() const {
                   static_cast<long long>(client_stats.rejoins));
     out += buf;
   }
+  if (!shard_counters.empty()) {
+    ShardCounters total;
+    for (const ShardCounters& s : shard_counters) total.Merge(s);
+    std::snprintf(buf, sizeof(buf),
+                  "\n  shards: n=%zu fast_path=%lld escalated=%lld "
+                  "(%.1f%% fast) tokens=%lld commits=%lld aborts=%lld "
+                  "stale=%lld",
+                  shard_counters.size(),
+                  static_cast<long long>(total.fast_path),
+                  static_cast<long long>(total.escalated),
+                  total.FastPathFraction() * 100.0,
+                  static_cast<long long>(total.tokens_served),
+                  static_cast<long long>(total.commits),
+                  static_cast<long long>(total.aborts),
+                  static_cast<long long>(total.stale_tokens));
+    out += buf;
+  }
   if (!wire_audit.empty()) {
     std::snprintf(buf, sizeof(buf),
                   "\n  wire: verify_failures=%lld unencodable=%lld "

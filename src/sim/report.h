@@ -7,6 +7,7 @@
 
 #include "common/histogram.h"
 #include "common/metrics.h"
+#include "shard/shard_stats.h"
 #include "sim/consistency.h"
 #include "sim/scenario.h"
 #include "wire/audit.h"
@@ -42,6 +43,10 @@ struct RunReport {
   double drop_rate = 0.0;
 
   ConsistencyReport consistency;
+
+  /// kSeveSharded: per-shard commit-protocol counters (shard order);
+  /// empty for every other architecture.
+  std::vector<ShardCounters> shard_counters;
 
   /// Final stable-state digest of every client replica (client order) and
   /// of the authoritative/observer state — the chaos-matrix convergence

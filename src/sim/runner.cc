@@ -19,6 +19,8 @@
 #include "protocol/occ_protocol.h"
 #include "protocol/seve_client.h"
 #include "protocol/seve_server.h"
+#include "shard/shard_map.h"
+#include "shard/shard_server.h"
 #include "world/attrs.h"
 
 namespace seve {
@@ -110,6 +112,13 @@ RunReport RunScenario(Architecture arch, const Scenario& scenario_in) {
   std::unique_ptr<ZoneMap> zone_map;
   std::vector<std::unique_ptr<ZoneServer>> zone_servers;
   std::vector<std::unique_ptr<ZonedClient>> zoned_clients;
+  std::unique_ptr<ShardMap> shard_map;
+  std::vector<std::unique_ptr<SeveShardServer>> shard_servers;
+  // kSeveSharded observer/audit scratch: the merged view is rebuilt from
+  // the shard partitions on demand, the authority map is the union of the
+  // per-shard digest maps (global stamps never collide across shards).
+  WorldState sharded_view;
+  DigestMap sharded_authority;
 
   std::vector<ClientDriver> drivers(static_cast<size_t>(s.num_clients));
   InlineFunction<16> stop_and_flush = []() {};
@@ -383,6 +392,76 @@ RunReport RunScenario(Architecture arch, const Scenario& scenario_in) {
       };
       break;
     }
+    case Architecture::kSeveSharded: {
+      // Each shard is an Incomplete-World server over its partition;
+      // pushing/dropping stay off exactly as in kIncompleteWorld, so a
+      // 1-shard run degenerates to the single server behind global stamps.
+      SeveOptions opts = s.seve;
+      opts.proactive_push = false;
+      opts.dropping = false;
+      shard_map = std::make_unique<ShardMap>(s.world.bounds, s.shards,
+                                             world.InitialState());
+      // Shard server node ids live above the zoned baseline's range.
+      std::vector<NodeId> shard_nodes;
+      for (ShardId sh = 0; sh < shard_map->shard_count(); ++sh) {
+        const NodeId node_id(200000 + static_cast<uint64_t>(sh));
+        auto server = std::make_unique<SeveShardServer>(
+            node_id, &loop, sh, shard_map.get(), world.InitialState(),
+            s.cost, opts);
+        add_node(server.get());
+        shard_nodes.push_back(node_id);
+        shard_servers.push_back(std::move(server));
+      }
+      // Full shard mesh: every pair gets a link and every server knows
+      // every peer's node id (prepare/token/commit/abort routing).
+      for (size_t a = 0; a < shard_nodes.size(); ++a) {
+        for (size_t b = a + 1; b < shard_nodes.size(); ++b) {
+          net.ConnectBidirectional(shard_nodes[a], shard_nodes[b], link);
+        }
+        for (size_t b = 0; b < shard_nodes.size(); ++b) {
+          shard_servers[a]->RegisterPeer(static_cast<ShardId>(b),
+                                         shard_nodes[b]);
+        }
+      }
+      for (int i = 0; i < s.num_clients; ++i) {
+        // A client connects only to the shard that owns its avatar; all
+        // cross-shard work happens server-side via the commit protocol.
+        const ShardId home =
+            shard_map->ShardOfObject(ManhattanWorld::AvatarId(i));
+        const NodeId home_node = shard_nodes[static_cast<size_t>(home)];
+        auto client = std::make_unique<SeveClient>(
+            ClientNode(i), &loop, ClientId(static_cast<uint64_t>(i)),
+            home_node, world.InitialState(), cost_fn, s.cost.install_us,
+            opts);
+        add_node(client.get());
+        client->set_load_factor(s.client_load_factor);
+        net.ConnectBidirectional(home_node, ClientNode(i), link);
+        shard_servers[static_cast<size_t>(home)]->RegisterClient(
+            client->client_id(), ClientNode(i));
+        SeveClient* raw = client.get();
+        drivers[static_cast<size_t>(i)] = ClientDriver{
+            [raw](ActionPtr a) { raw->SubmitLocalAction(std::move(a)); },
+            [raw]() -> const WorldState& { return raw->optimistic(); },
+            [raw]() -> const WorldState& { return raw->stable(); },
+            [raw]() -> const ProtocolStats& { return raw->stats(); },
+            &raw->eval_digests()};
+        seve_clients.push_back(std::move(client));
+      }
+      server_node = shard_servers.front().get();
+      server_stats = &shard_servers.front()->stats();
+      observer = [&view = sharded_view,
+                  &servers = shard_servers]() -> const WorldState& {
+        view = WorldState{};
+        for (const auto& srv : servers) {
+          const WorldState& part = srv->authoritative();
+          for (const ObjectId id : part.ObjectIds()) {
+            view.Upsert(*part.Find(id));
+          }
+        }
+        return view;
+      };
+      break;
+    }
   }
 
   // ---- Crash/rejoin schedule --------------------------------------------
@@ -390,7 +469,8 @@ RunReport RunScenario(Architecture arch, const Scenario& scenario_in) {
   // baselines just stop/resume receiving, which is what they'd do anyway.
   const bool seve_recovery = arch == Architecture::kSeve ||
                              arch == Architecture::kSeveNoDropping ||
-                             arch == Architecture::kIncompleteWorld;
+                             arch == Architecture::kIncompleteWorld ||
+                             arch == Architecture::kSeveSharded;
   for (const Scenario::FailureEvent& f : s.failures) {
     if (f.client < 0 || f.client >= s.num_clients) continue;
     const int c = f.client;
@@ -502,6 +582,22 @@ RunReport RunScenario(Architecture arch, const Scenario& scenario_in) {
       report.server_traffic.Merge(zone->traffic());
     }
   }
+  if (arch == Architecture::kSeveSharded) {
+    // Same fleet aggregation, plus the per-shard commit counters and the
+    // unioned authority digest map for the consistency audit.
+    report.server_stats = ProtocolStats{};
+    report.server_traffic = TrafficStats{};
+    for (const auto& shard : shard_servers) {
+      report.server_stats.Merge(shard->stats());
+      report.server_traffic.Merge(shard->traffic());
+      report.shard_counters.push_back(shard->counters());
+      shard->committed_digests().ForEach(
+          [&](const SeqNum& pos, const auto& digest) {
+            sharded_authority[pos] = digest;
+          });
+    }
+    authority = &sharded_authority;
+  }
   report.total_traffic = net.TotalTraffic();
   report.wire_audit = net.wire_audit();
   report.wire_verify_failures = net.wire_verify_failures();
@@ -541,6 +637,13 @@ RunReport RunScenario(Architecture arch, const Scenario& scenario_in) {
         if (zone->reliable_channel() != nullptr) {
           report.server_stats.channel.Merge(
               zone->reliable_channel()->stats());
+        }
+      }
+    } else if (arch == Architecture::kSeveSharded) {
+      for (const auto& shard : shard_servers) {
+        if (shard->reliable_channel() != nullptr) {
+          report.server_stats.channel.Merge(
+              shard->reliable_channel()->stats());
         }
       }
     } else if (server_node->reliable_channel() != nullptr) {

@@ -24,6 +24,8 @@ const char* ArchitectureName(Architecture arch) {
       return "LockBased";
     case Architecture::kTimestampOcc:
       return "OCC";
+    case Architecture::kSeveSharded:
+      return "SEVE-sharded";
   }
   return "?";
 }

@@ -27,6 +27,7 @@ enum class Architecture {
   kZoned,           // geographic zoning across zone servers (Section II-A)
   kLockBased,       // distributed locking (Section II-B, Project Darkstar)
   kTimestampOcc,    // timestamp/OCC certification (Section II-B)
+  kSeveSharded,     // zone-sharded serialization tier (DESIGN.md §12)
 };
 
 const char* ArchitectureName(Architecture arch);
@@ -84,6 +85,11 @@ struct Scenario {
   /// kZoned: the world is tiled into zones_per_side^2 zones, one zone
   /// server (simulated machine) each.
   int zones_per_side = 3;
+
+  /// kSeveSharded: number of shard servers the serialization tier is
+  /// statically partitioned across (shard/shard_map.h). 1 degenerates to
+  /// a single Incomplete-World server behind global stamps.
+  int shards = 1;
 
   /// How message sizes are charged to links: declared estimates (seed
   /// behaviour), real encoded frame sizes, or encoded + round-trip

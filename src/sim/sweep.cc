@@ -191,6 +191,14 @@ uint64_t DigestReport(const RunReport& r) {
   f.I64(r.consistency.compared);
   f.I64(r.consistency.mismatches);
   f.I64(r.consistency.unreferenced);
+  for (const ShardCounters& s : r.shard_counters) {
+    f.I64(s.fast_path);
+    f.I64(s.escalated);
+    f.I64(s.tokens_served);
+    f.I64(s.commits);
+    f.I64(s.aborts);
+    f.I64(s.stale_tokens);
+  }
   for (const uint64_t d : r.client_state_digests) f.U64(d);
   f.U64(r.final_state_digest);
   for (const auto& [kind, per] : r.wire_audit.per_kind()) {

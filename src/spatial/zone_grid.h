@@ -1,0 +1,51 @@
+#ifndef SEVE_SPATIAL_ZONE_GRID_H_
+#define SEVE_SPATIAL_ZONE_GRID_H_
+
+#include <algorithm>
+#include <cmath>
+
+#include "spatial/aabb.h"
+
+namespace seve {
+
+/// Shared position→cell routing math: tiles `bounds` into a cols x rows
+/// grid and maps positions to row-major cell indices. Extracted from the
+/// zoned baseline's ZoneMap so the sharded serialization tier's ShardMap
+/// and the zoned baseline use one implementation — PR 4's tests flagged
+/// the cross-zone blind-spot logic as a duplication hazard, and one
+/// clamping rule here is what keeps their routing decisions identical.
+class ZoneGrid {
+ public:
+  ZoneGrid(const AABB& bounds, int cols, int rows)
+      : bounds_(bounds),
+        cols_(std::max(1, cols)),
+        rows_(std::max(1, rows)) {}
+
+  int cols() const { return cols_; }
+  int rows() const { return rows_; }
+  int cell_count() const { return cols_ * rows_; }
+  const AABB& bounds() const { return bounds_; }
+
+  /// Cell index owning `position`; positions outside the bounds clamp to
+  /// the nearest edge cell (the zoned baseline's historical behaviour).
+  int CellOf(Vec2 position) const {
+    const int cx = Coord(position.x, bounds_.min.x, bounds_.Width(), cols_);
+    const int cy = Coord(position.y, bounds_.min.y, bounds_.Height(), rows_);
+    return cy * cols_ + cx;
+  }
+
+ private:
+  static int Coord(double value, double lo, double extent, int cells) {
+    const double rel =
+        (value - lo) / extent * static_cast<double>(cells);
+    return std::clamp(static_cast<int>(std::floor(rel)), 0, cells - 1);
+  }
+
+  AABB bounds_;
+  int cols_;
+  int rows_;
+};
+
+}  // namespace seve
+
+#endif  // SEVE_SPATIAL_ZONE_GRID_H_

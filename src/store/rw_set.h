@@ -23,6 +23,8 @@ struct ObjectSetCounters {
 };
 ObjectSetCounters& GetObjectSetCounters();
 
+class ShardMap;  // shard/shard_map.h: static object→shard partition
+
 /// A sorted, deduplicated set of object ids — the representation of an
 /// action's read set RS(a) and write set WS(a) (Section III-C).
 ///
@@ -84,6 +86,14 @@ class ObjectSet {
 
   /// True iff every id of `other` is in this set (⊇ check: RS(a) ⊇ WS(a)).
   bool Covers(const ObjectSet& other) const;
+
+  /// True iff every member is owned by `shard` — the sharded tier's
+  /// fast-path containment test. Answers "no" via the 64-bit Bloom
+  /// signature when a member's bit falls outside the shard's fold, and
+  /// only then pays the exact per-id scan. Defined out-of-line in
+  /// shard/shard_map.cc (the store layer must not include shard
+  /// headers); callers link seve_shard.
+  bool IsSubsetOfShard(const ShardMap& map, int shard) const;
 
   static ObjectSet Union(const ObjectSet& a, const ObjectSet& b);
   static ObjectSet Difference(const ObjectSet& a, const ObjectSet& b);

@@ -10,6 +10,7 @@
 #include "protocol/lock_protocol.h"
 #include "protocol/msg.h"
 #include "protocol/occ_protocol.h"
+#include "shard/shard_msg.h"
 #include "wire/wire_value.h"
 #include "world/dining.h"
 #include "world/move_action.h"
@@ -308,6 +309,98 @@ Status DecodeChannelAck(Reader& r, Writer* re) {
     re->PutVarint(ack_incarnation);
     re->PutZigzag(cum_ack);
     re->PutFixed64(sack);
+  }
+  return Status::OK();
+}
+
+// ---- Sharded-tier commit bodies (shard/shard_msg.h) ----------------------
+
+Status EncodeShardPrepare(const ShardPrepareBody& body, Writer& w) {
+  w.PutZigzag(body.stamp);
+  w.PutZigzag(body.home_shard);
+  w.PutVarint(body.epoch);
+  EncodeObjectSet(body.reads, w);
+  return Status::OK();
+}
+
+Status DecodeShardPrepare(Reader& r, Writer* re) {
+  int64_t stamp = 0, home = 0;
+  uint64_t epoch = 0;
+  if (!r.ReadZigzag(&stamp) || !r.ReadZigzag(&home) ||
+      !r.ReadVarint(&epoch)) {
+    return Malformed("prepare: bad header");
+  }
+  if (re != nullptr) {
+    re->PutZigzag(stamp);
+    re->PutZigzag(home);
+    re->PutVarint(epoch);
+  }
+  return TranscodeObjectSet(r, re);
+}
+
+Status EncodeShardToken(const ShardTokenBody& body, Writer& w) {
+  w.PutZigzag(body.stamp);
+  w.PutZigzag(body.peer_shard);
+  w.PutVarint(body.epoch);
+  w.PutZigzag(body.token_seq);
+  w.PutZigzag(body.frontier);
+  EncodeObjectList(body.values, w);
+  return Status::OK();
+}
+
+Status DecodeShardToken(Reader& r, Writer* re) {
+  int64_t stamp = 0, peer = 0, token_seq = 0, frontier = 0;
+  uint64_t epoch = 0;
+  if (!r.ReadZigzag(&stamp) || !r.ReadZigzag(&peer) ||
+      !r.ReadVarint(&epoch) || !r.ReadZigzag(&token_seq) ||
+      !r.ReadZigzag(&frontier)) {
+    return Malformed("token: bad header");
+  }
+  if (re != nullptr) {
+    re->PutZigzag(stamp);
+    re->PutZigzag(peer);
+    re->PutVarint(epoch);
+    re->PutZigzag(token_seq);
+    re->PutZigzag(frontier);
+  }
+  return TranscodeObjectList(r, re);
+}
+
+Status EncodeShardCommit(const ShardCommitBody& body, Writer& w) {
+  w.PutZigzag(body.stamp);
+  w.PutZigzag(body.home_shard);
+  w.PutZigzag(body.token_seq);
+  return Status::OK();
+}
+
+Status DecodeShardCommit(Reader& r, Writer* re) {
+  int64_t stamp = 0, home = 0, token_seq = 0;
+  if (!r.ReadZigzag(&stamp) || !r.ReadZigzag(&home) ||
+      !r.ReadZigzag(&token_seq)) {
+    return Malformed("shard commit: bad fields");
+  }
+  if (re != nullptr) {
+    re->PutZigzag(stamp);
+    re->PutZigzag(home);
+    re->PutZigzag(token_seq);
+  }
+  return Status::OK();
+}
+
+Status EncodeShardAbort(const ShardAbortBody& body, Writer& w) {
+  w.PutZigzag(body.stamp);
+  w.PutZigzag(body.home_shard);
+  return Status::OK();
+}
+
+Status DecodeShardAbort(Reader& r, Writer* re) {
+  int64_t stamp = 0, home = 0;
+  if (!r.ReadZigzag(&stamp) || !r.ReadZigzag(&home)) {
+    return Malformed("shard abort: bad fields");
+  }
+  if (re != nullptr) {
+    re->PutZigzag(stamp);
+    re->PutZigzag(home);
   }
   return Status::OK();
 }
@@ -612,6 +705,20 @@ void RegisterAll() {
   reg.RegisterBody(kChannelAck,
                    MakeCodec<ChannelAckBody>("ChannelAck", EncodeChannelAck,
                                              DecodeChannelAck));
+  reg.RegisterBody(kShardPrepare,
+                   MakeCodec<ShardPrepareBody>("ShardPrepare",
+                                               EncodeShardPrepare,
+                                               DecodeShardPrepare));
+  reg.RegisterBody(kShardToken,
+                   MakeCodec<ShardTokenBody>("ShardToken", EncodeShardToken,
+                                             DecodeShardToken));
+  reg.RegisterBody(kShardCommit,
+                   MakeCodec<ShardCommitBody>("ShardCommit",
+                                              EncodeShardCommit,
+                                              DecodeShardCommit));
+  reg.RegisterBody(kShardAbort,
+                   MakeCodec<ShardAbortBody>("ShardAbort", EncodeShardAbort,
+                                             DecodeShardAbort));
   reg.RegisterBody(kObjectUpdate,
                    MakeCodec<ObjectUpdateBody>("ObjectUpdate",
                                                EncodeObjectUpdate,

@@ -15,6 +15,7 @@
 #include "protocol/lock_protocol.h"
 #include "protocol/msg.h"
 #include "protocol/occ_protocol.h"
+#include "shard/shard_msg.h"
 #include "wire/frame.h"
 #include "wire/serializers.h"
 #include "wire/wire_value.h"
@@ -255,6 +256,38 @@ TEST_F(WireRoundTripTest, ChannelBodies) {
     }
     data.inner_bytes = 32 + rng_.NextInt(0, 512);
     ExpectRoundTrip(data);
+  }
+}
+
+TEST_F(WireRoundTripTest, ShardCommitBodies) {
+  for (int i = 0; i < 100; ++i) {
+    ShardPrepareBody prepare;
+    prepare.stamp = rng_.NextInt(0, 1'000'000);
+    prepare.home_shard = static_cast<int32_t>(rng_.NextBounded(64));
+    prepare.epoch = 1 + rng_.NextBounded(10);
+    prepare.reads = RandomSet(&rng_);
+    ExpectRoundTrip(prepare);
+
+    ShardTokenBody token;
+    token.stamp = rng_.NextInt(0, 1'000'000);
+    token.peer_shard = static_cast<int32_t>(rng_.NextBounded(64));
+    token.epoch = 1 + rng_.NextBounded(10);
+    token.token_seq = rng_.NextInt(0, 1'000'000);
+    token.frontier = rng_.NextBool(0.2) ? kInvalidSeq
+                                        : rng_.NextInt(0, 1'000'000);
+    token.values = RandomObjects(&rng_);
+    ExpectRoundTrip(token);
+
+    ShardCommitBody commit;
+    commit.stamp = rng_.NextInt(0, 1'000'000);
+    commit.home_shard = static_cast<int32_t>(rng_.NextBounded(64));
+    commit.token_seq = rng_.NextInt(0, 1'000'000);
+    ExpectRoundTrip(commit);
+
+    ShardAbortBody abort;
+    abort.stamp = rng_.NextInt(0, 1'000'000);
+    abort.home_shard = static_cast<int32_t>(rng_.NextBounded(64));
+    ExpectRoundTrip(abort);
   }
 }
 
