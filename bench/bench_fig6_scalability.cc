@@ -36,6 +36,24 @@ int main(int argc, char** argv) {
                               std::move(s)});
     }
   }
+  // "seve-xl": the SoA/dirty-list fan-out path at populations two
+  // orders beyond the paper's 64-client testbed (the 100k single-shard
+  // point lives in bench_server_capacity). Sparse read sets keep the
+  // scripted move generator O(1) per move so the sweep exercises the
+  // server hot path, not the O(N) read-set builder; the O(N^2)
+  // visibility sampler is likewise disabled.
+  const std::vector<int> xl_counts =
+      quick ? std::vector<int>{1000} : std::vector<int>{1000, 2000, 5000};
+  for (const int clients : xl_counts) {
+    Scenario s = Scenario::TableOne(clients);
+    s.world.num_walls = 1000;
+    s.moves_per_client = 10;
+    s.world.sparse_reads = true;
+    s.workload.sample_visibility = false;
+    jobs.push_back(SweepJob{"seve-xl", static_cast<double>(clients),
+                            Architecture::kSeve, std::move(s)});
+  }
+
   const std::vector<SweepResult> results =
       bench::RunSweepAndPrint(jobs, num_jobs);
   bench::WriteBenchJson("fig6_scalability", num_jobs, quick, jobs, results);

@@ -7,9 +7,17 @@
 // with lightweight clients (one private counter each, uniform spread) and
 // report server CPU utilisation and response degradation as the client
 // count grows. The knee marks the single-server capacity.
+//
+// The XL regime extends the sweep to a 100,000-avatar single shard
+// (DESIGN.md §13): a spectator-heavy population where only a small
+// mover district is active at any instant, short links, and tight
+// interest radii. Every XL point runs twice — dirty-list flush vs the
+// legacy full-client scan (SeveOptions::legacy_flush_scan) — with the
+// real wall-clock of the flush+route kernels recorded side by side.
 
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
@@ -24,11 +32,19 @@
 namespace seve {
 namespace {
 
+struct CapacityConfig {
+  int clients = 0;
+  int movers = 0;  // active submitters; == clients in the classic regime
+  int moves = 0;
+  bool xl = false;           // 100k single-shard regime
+  bool legacy_flush = false; // run the pre-dirty-list full scan
+};
+
 struct CapacityPoint {
-  int clients;
-  double server_busy_pct;
-  double mean_response_ms;
-  double p95_response_ms;
+  CapacityConfig config;
+  double server_busy_pct = 0.0;
+  double mean_response_ms = 0.0;
+  double p95_response_ms = 0.0;
   double wall_seconds = 0.0;
   // Closure-engine kernel counters for the run (real work, not simulated
   // cost): conflict-walk visits, ObjectSet signature decisions, and
@@ -38,16 +54,21 @@ struct CapacityPoint {
   uint64_t sig_rejects = 0;
   uint64_t digest_folds = 0;
   uint64_t digest_rescans = 0;
+  // Fan-out kernel counters + measured flush/route wall time.
+  FanoutCounters fanout;
+  double dirty_scan_ratio = 0.0;
+  int64_t flush_route_ns = 0;
 };
 
-CapacityPoint RunCapacity(int num_clients, int moves_per_client) {
+CapacityPoint RunCapacity(const CapacityConfig& cfg) {
   // ObjectSet counters are thread_local and each capacity point runs
   // wholly inside one pool worker, so deltas here are this run's alone
   // (plus any earlier run on the same worker — hence before/after).
   const ObjectSetCounters set_before = GetObjectSetCounters();
-  constexpr Micros kLatency = 119000;
-  constexpr Micros kRtt = 2 * kLatency;
-  constexpr Micros kPeriod = 300000;
+  const Micros kLatency = cfg.xl ? 20000 : 119000;
+  const Micros kRtt = 2 * kLatency;
+  const Micros kPeriod = cfg.xl ? 500000 : 300000;
+  const double kRadius = cfg.xl ? 1.0 : 10.0;
 
   EventLoop loop;
   Network net(&loop);
@@ -55,12 +76,19 @@ CapacityPoint RunCapacity(int num_clients, int moves_per_client) {
   opts.proactive_push = true;
   opts.dropping = true;
   opts.threshold = 45.0;
+  opts.legacy_flush_scan = cfg.legacy_flush;
+  if (cfg.xl) {
+    // Measure the real flush+route kernels; silence the CommitNotice
+    // broadcast so the (node-less) spectator population stays silent.
+    opts.kernel_timing = true;
+    opts.commit_notice_period_us = 0;
+  }
   InterestModel interest(10.0, kRtt, opts.omega);
   const AABB bounds{{0.0, 0.0}, {1000.0, 1000.0}};
 
   // Server starts with every client's counter object.
   WorldState server_state;
-  for (int i = 0; i < num_clients; ++i) {
+  for (int i = 0; i < cfg.clients; ++i) {
     server_state.SetAttr(ObjectId(static_cast<uint64_t>(i) + 1), 1,
                          Value(int64_t{0}));
   }
@@ -71,9 +99,9 @@ CapacityPoint RunCapacity(int num_clients, int moves_per_client) {
   Rng rng(7);
   std::vector<std::unique_ptr<SeveClient>> clients;
   std::vector<InterestProfile> profiles;
-  clients.reserve(static_cast<size_t>(num_clients));
-  profiles.reserve(static_cast<size_t>(num_clients));
-  for (int i = 0; i < num_clients; ++i) {
+  clients.reserve(static_cast<size_t>(cfg.movers));
+  profiles.reserve(static_cast<size_t>(cfg.movers));
+  for (int i = 0; i < cfg.movers; ++i) {
     const ObjectId counter(static_cast<uint64_t>(i) + 1);
     WorldState initial;
     initial.SetAttr(counter, 1, Value(int64_t{0}));
@@ -85,22 +113,39 @@ CapacityPoint RunCapacity(int num_clients, int moves_per_client) {
     net.AddNode(client.get());
     net.ConnectBidirectional(NodeId(0), client->id(),
                              LinkParams::LatencyOnly(kLatency));
-    InterestProfile profile = ProfileAt(
-        {rng.NextDouble(0.0, 1000.0), rng.NextDouble(0.0, 1000.0)}, 10.0);
+    // XL: movers pack into a 200x200 district; classic: uniform world.
+    InterestProfile profile =
+        cfg.xl ? ProfileAt({rng.NextDouble(5.0, 195.0),
+                            rng.NextDouble(5.0, 195.0)},
+                           kRadius)
+               : ProfileAt({rng.NextDouble(0.0, 1000.0),
+                            rng.NextDouble(0.0, 1000.0)},
+                           kRadius);
     server.RegisterClient(client->client_id(), client->id(), profile);
     profiles.push_back(profile);
     clients.push_back(std::move(client));
+  }
+  // XL spectators: registered (slot + spatial-index + flush bookkeeping
+  // all carry them) but idle and far from the mover district, so no
+  // message ever targets them — they need no simulated node. This is the
+  // population the dirty list must NOT scan.
+  for (int i = cfg.movers; i < cfg.clients; ++i) {
+    server.RegisterClient(
+        ClientId(static_cast<uint64_t>(i)),
+        NodeId(static_cast<uint64_t>(i) + 1'000'000),
+        ProfileAt({rng.NextDouble(305.0, 995.0), rng.NextDouble(5.0, 995.0)},
+                  kRadius));
   }
   server.Start();
 
   Rng jitter(13);
   VirtualTime last = 0;
-  for (int i = 0; i < num_clients; ++i) {
+  for (int i = 0; i < cfg.movers; ++i) {
     const VirtualTime start = static_cast<VirtualTime>(
         jitter.NextBounded(static_cast<uint64_t>(kPeriod)));
     SeveClient* client = clients[static_cast<size_t>(i)].get();
     const ObjectId counter(static_cast<uint64_t>(i) + 1);
-    for (int k = 0; k < moves_per_client; ++k) {
+    for (int k = 0; k < cfg.moves; ++k) {
       const VirtualTime when = start + static_cast<VirtualTime>(k) * kPeriod;
       last = std::max(last, when);
       const InterestProfile profile = profiles[static_cast<size_t>(i)];
@@ -113,8 +158,11 @@ CapacityPoint RunCapacity(int num_clients, int moves_per_client) {
     }
   }
   // Every action carries its client's (fixed) interest profile, so the
-  // spatial routing only tests genuinely nearby clients.
-  loop.RunUntil(last + kRtt + 300000);
+  // spatial routing only tests genuinely nearby clients. XL keeps the
+  // server running through an idle tail: a live shard push-cycles
+  // whether or not anyone moved, which is exactly where the dirty list
+  // beats the full scan.
+  loop.RunUntil(last + kRtt + (cfg.xl ? 1'800'000 : 300'000));
   server.Stop();
   loop.RunUntilIdle(100'000'000);
   server.FlushAll();
@@ -126,7 +174,7 @@ CapacityPoint RunCapacity(int num_clients, int moves_per_client) {
   }
   const double wall = static_cast<double>(loop.now());
   CapacityPoint point;
-  point.clients = num_clients;
+  point.config = cfg;
   point.server_busy_pct =
       100.0 * static_cast<double>(server.cpu_busy_us()) / wall;
   point.mean_response_ms = responses.Mean() / 1000.0;
@@ -137,7 +185,28 @@ CapacityPoint RunCapacity(int num_clients, int moves_per_client) {
   point.sig_rejects = set_after.sig_rejects - set_before.sig_rejects;
   point.digest_folds = server.authoritative().digest_folds();
   point.digest_rescans = server.authoritative().digest_rescans();
+  point.fanout = server.stats().fanout;
+  point.dirty_scan_ratio = point.fanout.DirtyScanRatio(cfg.clients);
+  point.flush_route_ns = server.flush_route_wall_ns();
   return point;
+}
+
+int MoversFor(int clients) {
+  // Spectator-heavy town square: ~2% of the shard population is active
+  // at any moment, capped so the submission stream stays bounded.
+  return std::max(64, std::min(1000, clients / 50));
+}
+
+int AvatarsArg(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--avatars") == 0 && i + 1 < argc) {
+      return std::max(1, std::atoi(argv[i + 1]));
+    }
+    if (std::strncmp(argv[i], "--avatars=", 10) == 0) {
+      return std::max(1, std::atoi(argv[i] + 10));
+    }
+  }
+  return 0;
 }
 
 }  // namespace
@@ -152,31 +221,79 @@ int main(int argc, char** argv) {
 
   const bool quick = bench::QuickMode(argc, argv);
   const int num_jobs = bench::JobsArg(argc, argv);
-  const std::vector<int> counts = quick
-                                      ? std::vector<int>{250, 1000}
-                                      : std::vector<int>{250, 500, 1000,
-                                                         2000, 3000, 3500,
-                                                         4000};
-  const int moves = quick ? 5 : 10;
+  const int avatars_only = AvatarsArg(argc, argv);
+
+  std::vector<CapacityConfig> configs;
+  if (avatars_only > 0) {
+    // Perf-smoke mode: one XL population, both flush arms.
+    const int movers = MoversFor(avatars_only);
+    configs.push_back({avatars_only, movers, 5, true, false});
+    configs.push_back({avatars_only, movers, 5, true, true});
+  } else {
+    const std::vector<int> counts =
+        quick ? std::vector<int>{250, 1000}
+              : std::vector<int>{250, 500, 1000, 2000, 3000, 3500, 4000};
+    const int moves = quick ? 5 : 10;
+    for (int c : counts) configs.push_back({c, c, moves, false, false});
+    if (!quick) {
+      // The 100k-avatar single-shard regime, each point twice: dirty-list
+      // flush vs the legacy full scan, side by side.
+      for (int c : {10000, 20000, 50000, 100000}) {
+        const int movers = MoversFor(c);
+        configs.push_back({c, movers, 5, true, false});
+        configs.push_back({c, movers, 5, true, true});
+      }
+    }
+  }
 
   // Not a RunScenario sweep (this binary drives its own client fleet),
   // but the points are still independent simulations: fan them out over
   // the same work-stealing pool.
-  std::vector<CapacityPoint> points(counts.size());
-  ParallelFor(counts.size(), num_jobs, [&](size_t i) {
+  std::vector<CapacityPoint> points(configs.size());
+  ParallelFor(configs.size(), num_jobs, [&](size_t i) {
     const auto start = std::chrono::steady_clock::now();
-    points[i] = RunCapacity(counts[i], moves);
+    points[i] = RunCapacity(configs[i]);
     points[i].wall_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       start)
             .count();
   });
 
-  std::printf("%-8s %-18s %-18s %-14s\n", "clients", "server CPU busy %",
-              "mean response ms", "p95 ms");
+  std::printf("%-8s %-8s %-8s %-18s %-16s %-10s %-14s\n", "clients",
+              "movers", "flush", "server CPU busy %", "mean resp ms",
+              "p95 ms", "flush+route ms");
   for (const CapacityPoint& p : points) {
-    std::printf("%-8d %-18.1f %-18.1f %-14.1f\n", p.clients,
-                p.server_busy_pct, p.mean_response_ms, p.p95_response_ms);
+    std::printf("%-8d %-8d %-8s %-18.1f %-16.1f %-10.1f %-14.2f\n",
+                p.config.clients, p.config.movers,
+                p.config.xl ? (p.config.legacy_flush ? "legacy" : "dirty")
+                            : "-",
+                p.server_busy_pct, p.mean_response_ms, p.p95_response_ms,
+                static_cast<double>(p.flush_route_ns) / 1e6);
+  }
+
+  // XL pairs: kernel speedup of the dirty-list flush over the full scan.
+  struct Speedup {
+    int clients;
+    double factor;
+  };
+  std::vector<Speedup> speedups;
+  for (size_t i = 0; i + 1 < points.size(); ++i) {
+    const CapacityPoint& dirty = points[i];
+    const CapacityPoint& legacy = points[i + 1];
+    if (dirty.config.xl && legacy.config.xl &&
+        dirty.config.clients == legacy.config.clients &&
+        !dirty.config.legacy_flush && legacy.config.legacy_flush &&
+        dirty.flush_route_ns > 0) {
+      const double factor = static_cast<double>(legacy.flush_route_ns) /
+                            static_cast<double>(dirty.flush_route_ns);
+      speedups.push_back({dirty.config.clients, factor});
+      std::printf("xl %-7d flush+route kernel speedup: %.2fx "
+                  "(legacy %.2f ms -> dirty %.2f ms, scan ratio %.4f)\n",
+                  dirty.config.clients, factor,
+                  static_cast<double>(legacy.flush_route_ns) / 1e6,
+                  static_cast<double>(dirty.flush_route_ns) / 1e6,
+                  dirty.dirty_scan_ratio);
+    }
   }
 
   // Bespoke JSON (no RunReport here): same top-level envelope as the
@@ -185,25 +302,48 @@ int main(int argc, char** argv) {
   j += "  \"schema_version\": 1,\n";
   j += "  \"jobs\": " + std::to_string(num_jobs) + ",\n";
   j += std::string("  \"quick\": ") + (quick ? "true" : "false") + ",\n";
+  j += "  \"xl_speedups\": [";
+  for (size_t i = 0; i < speedups.size(); ++i) {
+    char s[96];
+    std::snprintf(s, sizeof(s),
+                  "%s{\"clients\": %d, \"flush_route_speedup\": %.6g}",
+                  i > 0 ? ", " : "", speedups[i].clients,
+                  speedups[i].factor);
+    j += s;
+  }
+  j += "],\n";
   j += "  \"rows\": [\n";
   for (size_t i = 0; i < points.size(); ++i) {
     const CapacityPoint& p = points[i];
-    char row[512];
-    std::snprintf(row, sizeof(row),
-                  "    {\"clients\": %d, \"moves_per_client\": %d, "
-                  "\"server_busy_pct\": %.6g, \"response_mean_ms\": %.6g, "
-                  "\"response_p95_ms\": %.6g, \"wall_seconds\": %.6g, "
-                  "\"walk_visits\": %llu, \"intersect_calls\": %llu, "
-                  "\"sig_rejects\": %llu, \"digest_folds\": %llu, "
-                  "\"digest_rescans\": %llu}%s\n",
-                  p.clients, moves, p.server_busy_pct, p.mean_response_ms,
-                  p.p95_response_ms, p.wall_seconds,
-                  static_cast<unsigned long long>(p.walk_visits),
-                  static_cast<unsigned long long>(p.intersect_calls),
-                  static_cast<unsigned long long>(p.sig_rejects),
-                  static_cast<unsigned long long>(p.digest_folds),
-                  static_cast<unsigned long long>(p.digest_rescans),
-                  i + 1 < points.size() ? "," : "");
+    char row[1024];
+    std::snprintf(
+        row, sizeof(row),
+        "    {\"clients\": %d, \"movers\": %d, \"moves_per_client\": %d, "
+        "\"regime\": \"%s\", \"flush_scan\": \"%s\", "
+        "\"server_busy_pct\": %.6g, \"response_mean_ms\": %.6g, "
+        "\"response_p95_ms\": %.6g, \"wall_seconds\": %.6g, "
+        "\"walk_visits\": %llu, \"intersect_calls\": %llu, "
+        "\"sig_rejects\": %llu, \"digest_folds\": %llu, "
+        "\"digest_rescans\": %llu, \"push_batches\": %lld, "
+        "\"coalesced_pushes\": %lld, \"dirty_slots_flushed\": %lld, "
+        "\"flush_cycles\": %lld, \"dirty_scan_ratio\": %.6g, "
+        "\"route_alloc\": %lld, \"flush_route_ns\": %lld}%s\n",
+        p.config.clients, p.config.movers, p.config.moves,
+        p.config.xl ? "xl" : "classic",
+        p.config.legacy_flush ? "legacy" : "dirty", p.server_busy_pct,
+        p.mean_response_ms, p.p95_response_ms, p.wall_seconds,
+        static_cast<unsigned long long>(p.walk_visits),
+        static_cast<unsigned long long>(p.intersect_calls),
+        static_cast<unsigned long long>(p.sig_rejects),
+        static_cast<unsigned long long>(p.digest_folds),
+        static_cast<unsigned long long>(p.digest_rescans),
+        static_cast<long long>(p.fanout.push_batches),
+        static_cast<long long>(p.fanout.coalesced_pushes),
+        static_cast<long long>(p.fanout.dirty_slots_flushed),
+        static_cast<long long>(p.fanout.flush_cycles), p.dirty_scan_ratio,
+        static_cast<long long>(p.fanout.route_alloc),
+        static_cast<long long>(p.flush_route_ns),
+        i + 1 < points.size() ? "," : "");
     j += row;
   }
   j += "  ]\n}\n";

@@ -198,6 +198,22 @@ inline bool WriteBenchJson(const std::string& bench_name, int num_jobs,
       j += ", \"snapshot_chunks\": " +
            std::to_string(r.server_stats.snapshot_chunks);
     }
+    {
+      // Fan-out kernel counters (DESIGN.md §13): zero outside the SEVE
+      // push path — emitted unconditionally so the schema is stable.
+      const FanoutCounters& fan = r.server_stats.fanout;
+      j += ", \"push_batches\": " + std::to_string(fan.push_batches);
+      j += ", \"coalesced_pushes\": " +
+           std::to_string(fan.coalesced_pushes);
+      j += ", \"superseded_moves\": " +
+           std::to_string(fan.superseded_moves);
+      j += ", \"dirty_slots_flushed\": " +
+           std::to_string(fan.dirty_slots_flushed);
+      j += ", \"flush_cycles\": " + std::to_string(fan.flush_cycles);
+      j += ", \"dirty_scan_ratio\": ";
+      detail::AppendDouble(&j, fan.DirtyScanRatio(r.num_clients));
+      j += ", \"route_alloc\": " + std::to_string(fan.route_alloc);
+    }
     if (!r.shard_counters.empty()) {
       // Sharded-tier commit counters (DESIGN.md §12): totals plus one
       // entry per shard, in shard order.

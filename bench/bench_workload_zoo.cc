@@ -1,0 +1,57 @@
+// The workload zoo (DESIGN.md §13): three declarative crowd stagings —
+// flash crowd, two-army battle, caravan — layered over the Manhattan
+// People world, each run with move-supersession off (seed digests) and
+// on (newer queued moves replace never-sent predecessors).
+//
+// Every row reports the fan-out kernel counters (push batches, coalesced
+// pushes, superseded moves, dirty-scan ratio) next to the paper's
+// response/drop metrics, so the stagings double as regression anchors
+// for the SoA/dirty-list hot path.
+
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "sim/sweep.h"
+
+int main(int argc, char** argv) {
+  using namespace seve;
+  bench::Banner(
+      "Workload zoo - crowd stagings on the SEVE hot path",
+      "Flash crowd / two-army battle / caravan; supersession on vs off");
+
+  const bool quick = bench::QuickMode(argc, argv);
+  const int num_jobs = bench::JobsArg(argc, argv);
+  // 512 is near the knee for a 50ms move period (the server is already
+  // heavily oversubscribed); far past it runs end before the backlog
+  // drains and the terminal-state audit reports divergence.
+  const std::vector<int> counts =
+      quick ? std::vector<int>{128} : std::vector<int>{256, 512};
+  std::vector<SweepJob> jobs;
+  for (const WorkloadKind kind :
+       {WorkloadKind::kFlashCrowd, WorkloadKind::kBattle,
+        WorkloadKind::kCaravan}) {
+    for (const bool supersession : {false, true}) {
+      for (const int clients : counts) {
+        Scenario s = Scenario::TableOne(clients);
+        s.world.num_walls = 1000;
+        s.moves_per_client = quick ? 10 : 30;
+        // Faster than the server tick so successive moves from one
+        // avatar overlap in the pending queue — the supersession case.
+        s.move_period_us = 50 * kMicrosPerMilli;
+        s.workload.kind = kind;
+        s.seve.move_supersession = supersession;
+        std::string label = WorkloadKindName(kind);
+        if (supersession) label += "+ss";
+        jobs.push_back(SweepJob{std::move(label),
+                                static_cast<double>(clients),
+                                Architecture::kSeve, std::move(s)});
+      }
+    }
+  }
+
+  const std::vector<SweepResult> results =
+      bench::RunSweepAndPrint(jobs, num_jobs);
+  bench::WriteBenchJson("workload_zoo", num_jobs, quick, jobs, results);
+  return 0;
+}

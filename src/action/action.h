@@ -88,6 +88,12 @@ class Action {
   /// reads beyond their own set).
   virtual bool IsBlindWrite() const { return false; }
 
+  /// True for avatar-movement actions, whose still-queued predecessor
+  /// from the same origin may be superseded by a newer one (the
+  /// updatable-queue optimisation; see SeveOptions::move_supersession).
+  /// Actions with cumulative effects must keep the default false.
+  virtual bool IsMovement() const { return false; }
+
   virtual std::string ToString() const;
 
  private:

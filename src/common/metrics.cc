@@ -33,6 +33,15 @@ std::string ChannelStats::ToString() const {
   return buf;
 }
 
+void FanoutCounters::Merge(const FanoutCounters& other) {
+  push_batches += other.push_batches;
+  coalesced_pushes += other.coalesced_pushes;
+  superseded_moves += other.superseded_moves;
+  dirty_slots_flushed += other.dirty_slots_flushed;
+  flush_cycles += other.flush_cycles;
+  route_alloc += other.route_alloc;
+}
+
 void ProtocolStats::Merge(const ProtocolStats& other) {
   actions_submitted += other.actions_submitted;
   actions_committed += other.actions_committed;
@@ -47,6 +56,7 @@ void ProtocolStats::Merge(const ProtocolStats& other) {
   closure_size.Merge(other.closure_size);
   response_time_us.Merge(other.response_time_us);
   channel.Merge(other.channel);
+  fanout.Merge(other.fanout);
 }
 
 std::string ProtocolStats::ToString() const {
@@ -71,6 +81,18 @@ std::string ProtocolStats::ToString() const {
   out += "\n  response_us: " + response_time_us.ToString();
   if (channel.data_frames != 0 || channel.acks_sent != 0) {
     out += "\n  channel: " + channel.ToString();
+  }
+  if (fanout.push_batches != 0 || fanout.superseded_moves != 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "\n  fanout: batches=%lld coalesced=%lld superseded=%lld "
+                  "dirty_flushed=%lld cycles=%lld route_alloc=%lld",
+                  static_cast<long long>(fanout.push_batches),
+                  static_cast<long long>(fanout.coalesced_pushes),
+                  static_cast<long long>(fanout.superseded_moves),
+                  static_cast<long long>(fanout.dirty_slots_flushed),
+                  static_cast<long long>(fanout.flush_cycles),
+                  static_cast<long long>(fanout.route_alloc));
+    out += buf;
   }
   return out;
 }

@@ -52,6 +52,32 @@ struct ChannelStats {
   std::string ToString() const;
 };
 
+/// Fan-out path counters (server push pipeline): how much work the
+/// dirty-list flush and coalesced push batching actually did. All zero on
+/// clients and on architectures without the proactive push.
+struct FanoutCounters {
+  int64_t push_batches = 0;       // coalesced DeliverActions pushes sent
+  int64_t coalesced_pushes = 0;   // ready positions shipped beyond the
+                                  // first of their batch (saved messages)
+  int64_t superseded_moves = 0;   // queued moves replaced by a newer one
+  int64_t dirty_slots_flushed = 0;// dirty client slots examined by flushes
+  int64_t flush_cycles = 0;       // push cycles that ran
+  int64_t route_alloc = 0;        // routing-path vector growths (scratch +
+                                  // pending lists); 0 in steady state
+
+  /// Dirty-list scan work per flush relative to a full-client scan
+  /// (`clients` registered): < 1.0 means the dirty list beat the legacy
+  /// every-client loop.
+  double DirtyScanRatio(int64_t clients) const {
+    const int64_t full = clients * flush_cycles;
+    return full == 0 ? 0.0
+                     : static_cast<double>(dirty_slots_flushed) /
+                           static_cast<double>(full);
+  }
+
+  void Merge(const FanoutCounters& other);
+};
+
 /// Protocol-level counters accumulated during a run.
 struct ProtocolStats {
   int64_t actions_submitted = 0;
@@ -71,6 +97,8 @@ struct ProtocolStats {
   /// Transport-layer counters; protocols leave this empty, the runner
   /// folds each node's reliable-channel stats in after the run.
   ChannelStats channel;
+  /// Push fan-out pipeline counters (servers only).
+  FanoutCounters fanout;
 
   double DropRate() const {
     return actions_submitted == 0

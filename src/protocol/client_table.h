@@ -1,0 +1,151 @@
+#ifndef SEVE_PROTOCOL_CLIENT_TABLE_H_
+#define SEVE_PROTOCOL_CLIENT_TABLE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "action/action.h"
+#include "common/flat_map.h"
+#include "common/types.h"
+
+namespace seve {
+
+/// SoA registry of a server's clients (DESIGN.md §13): one stable dense
+/// slot per client, parallel arrays for the fields the hot paths touch
+/// (interest profile for routing, pending-push list + dirty stamp for the
+/// flush), and a FlatMap reduced to the id→slot lookup. Slots are handed
+/// out in registration order and never move, so iterating slots ascending
+/// reproduces the old `client_order_` broadcast order exactly.
+///
+/// The dirty machinery is epoch-stamped: MarkPending stamps its slot into
+/// the current epoch (appending it to the dirty list once), TakeDirty
+/// hands the sorted list to the flush and opens a fresh epoch. Invariant:
+/// a slot with a non-empty pending list is always stamped in the current
+/// epoch — the flush either drains the list or re-marks the slot.
+class ClientTable {
+ public:
+  using Slot = uint32_t;
+  static constexpr Slot kNoSlot = 0xffffffffu;
+  /// Pending lists start with this capacity; growth past it is a
+  /// routing-path allocation and is charged to `route_alloc`.
+  static constexpr size_t kInitialPendingCapacity = 16;
+
+  Slot Register(ClientId id, NodeId node, const InterestProfile& profile,
+                VirtualTime now) {
+    if (ids_.size() == ids_.capacity()) {
+      const size_t cap = std::max<size_t>(64, ids_.size() * 2);
+      ids_.reserve(cap);
+      nodes_.reserve(cap);
+      positions_.reserve(cap);
+      velocities_.reserve(cap);
+      radii_.reserve(cap);
+      interest_classes_.reserve(cap);
+      profile_times_.reserve(cap);
+      pending_.reserve(cap);
+      dirty_stamp_.reserve(cap);
+      dirty_.reserve(cap);
+    }
+    const Slot slot = static_cast<Slot>(ids_.size());
+    slot_of_[id] = slot;
+    ids_.push_back(id);
+    nodes_.push_back(node);
+    positions_.push_back(profile.position);
+    velocities_.push_back(profile.velocity);
+    radii_.push_back(profile.radius);
+    interest_classes_.push_back(profile.interest_class);
+    profile_times_.push_back(now);
+    pending_.emplace_back();
+    std::vector<SeqNum>& pending = pending_.back();
+    pending.reserve(kInitialPendingCapacity);
+    dirty_stamp_.push_back(0);
+    return slot;
+  }
+
+  size_t size() const { return ids_.size(); }
+  Slot SlotOf(ClientId id) const {
+    const Slot* slot = slot_of_.Find(id);
+    return slot == nullptr ? kNoSlot : *slot;
+  }
+  ClientId id_of(Slot slot) const { return ids_[slot]; }
+  NodeId node(Slot slot) const { return nodes_[slot]; }
+  VirtualTime profile_time(Slot slot) const { return profile_times_[slot]; }
+
+  InterestProfile ProfileOf(Slot slot) const {
+    InterestProfile profile;
+    profile.position = positions_[slot];
+    profile.radius = radii_[slot];
+    profile.velocity = velocities_[slot];
+    profile.interest_class = interest_classes_[slot];
+    return profile;
+  }
+
+  void SetProfile(Slot slot, const InterestProfile& profile,
+                  VirtualTime now) {
+    positions_[slot] = profile.position;
+    velocities_[slot] = profile.velocity;
+    radii_[slot] = profile.radius;
+    interest_classes_[slot] = profile.interest_class;
+    profile_times_[slot] = now;
+  }
+
+  std::vector<SeqNum>& pending(Slot slot) { return pending_[slot]; }
+  const std::vector<SeqNum>& pending(Slot slot) const {
+    return pending_[slot];
+  }
+  /// Rejoin: queued pushes are superseded by the snapshot. Capacity is
+  /// kept; the stale dirty stamp is harmless (flush skips empty lists).
+  void ClearPending(Slot slot) { pending_[slot].clear(); }
+
+  /// Appends `pos` to the slot's pending-push list and stamps the slot
+  /// into the current dirty epoch. A capacity growth is charged to
+  /// `*route_alloc` (zero in steady state: capacity is retained across
+  /// flushes).
+  void MarkPending(Slot slot, SeqNum pos, int64_t* route_alloc) {
+    std::vector<SeqNum>& pending = pending_[slot];
+    if (pending.size() == pending.capacity()) ++*route_alloc;
+    pending.push_back(pos);
+    MarkDirty(slot);
+  }
+
+  /// Stamps the slot into the current dirty epoch (idempotent). The
+  /// dirty list's capacity is pre-reserved by Register, so this never
+  /// allocates.
+  void MarkDirty(Slot slot) {
+    if (dirty_stamp_[slot] == dirty_epoch_) return;
+    dirty_stamp_[slot] = dirty_epoch_;
+    dirty_.push_back(slot);
+  }
+
+  /// Moves the dirty set — sorted ascending, i.e. registration order —
+  /// into *out and opens a fresh epoch. The flush must MarkDirty every
+  /// slot it leaves with pending work. Buffers ping-pong between *out and
+  /// the internal list, so steady state allocates nothing.
+  void TakeDirty(std::vector<Slot>* out) {
+    std::sort(dirty_.begin(), dirty_.end());
+    out->clear();
+    std::swap(*out, dirty_);
+    ++dirty_epoch_;
+  }
+
+  size_t dirty_size() const { return dirty_.size(); }
+
+ private:
+  FlatMap<ClientId, Slot> slot_of_;
+  // Parallel arrays indexed by slot (== registration order).
+  std::vector<ClientId> ids_;
+  std::vector<NodeId> nodes_;
+  std::vector<Vec2> positions_;
+  std::vector<Vec2> velocities_;
+  std::vector<double> radii_;
+  std::vector<uint32_t> interest_classes_;
+  std::vector<VirtualTime> profile_times_;
+  std::vector<std::vector<SeqNum>> pending_;  // routed, not yet pushed
+  std::vector<uint64_t> dirty_stamp_;
+  std::vector<Slot> dirty_;  // stamped slots, append order
+  uint64_t dirty_epoch_ = 1;
+};
+
+}  // namespace seve
+
+#endif  // SEVE_PROTOCOL_CLIENT_TABLE_H_

@@ -1,3 +1,5 @@
+// seve-lint: allow-file(hot-vector-realloc): Section II baseline path,
+// not on the SEVE fan-out hot path this rule protects.
 #include "protocol/lock_protocol.h"
 
 #include <memory>

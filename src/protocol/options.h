@@ -35,6 +35,25 @@ struct SeveOptions {
   /// streams ζS to a rejoining client.
   int snapshot_chunk_objects = 64;
 
+  /// Updatable-queue optimisation: a newer MoveAction from the same
+  /// origin invalidates its still-queued predecessor, provided the
+  /// predecessor was never sent to any client (so nothing has to be
+  /// recalled). The origin is told via the Information Bound drop path.
+  /// Off by default — with it off the data path is bit-identical to the
+  /// pre-supersession protocol.
+  bool move_supersession = false;
+
+  /// Benchmarking compat mode: run the push flush as the pre-dirty-list
+  /// full scan over every registered client. Message contents, costs and
+  /// digests are identical to the dirty-list flush; only wall-clock
+  /// differs. Used by bench_server_capacity for side-by-side kernels.
+  bool legacy_flush_scan = false;
+
+  /// Accumulate real wall-clock nanoseconds around the flush+route
+  /// kernels (SeveServer::flush_route_wall_ns). Never enters simulated
+  /// time, stats or digests.
+  bool kernel_timing = false;
+
   /// The simulation tick τ; Algorithm 7 runs once per tick.
   Micros tick_us = 100 * 1000;
 

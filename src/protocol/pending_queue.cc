@@ -12,7 +12,8 @@ ResultDigest EvaluateAction(const Action& action, WorldState* state) {
 void PendingQueue::Push(ActionPtr action, ResultDigest digest,
                         VirtualTime submitted_at) {
   write_set_.UnionWith(action->WriteSet());
-  entries_.push_back(Entry{std::move(action), digest, submitted_at});
+  entries_.push_back(  // seve-lint: allow(hot-vector-realloc): std::deque has no reserve
+      Entry{std::move(action), digest, submitted_at});
 }
 
 void PendingQueue::PopFront() {

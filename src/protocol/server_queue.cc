@@ -11,9 +11,12 @@ SeqNum ServerQueue::Append(ActionPtr action, VirtualTime now) {
   entry.action = std::move(action);
   entry.submitted_at = now;
   for (ObjectId id : entry.action->WriteSet()) {
-    writers_[id].push_back(pos);
+    // Writer chains are InlineVec<SeqNum, 4>: short chains (the common
+    // case) never touch the heap, and the lazy prune in
+    // GreatestWriterBelow keeps long ones bounded.
+    writers_[id].push_back(pos);  // seve-lint: allow(hot-vector-realloc): InlineVec inline capacity
   }
-  entries_.push_back(std::move(entry));
+  entries_.push_back(std::move(entry));  // seve-lint: allow(hot-vector-realloc): std::deque has no reserve
   return pos;
 }
 
@@ -58,6 +61,22 @@ void ServerQueue::MarkInvalid(SeqNum pos) {
   if (entry != nullptr) entry->valid = false;
 }
 
+SeqNum ServerQueue::NoteMovementAppend(SeqNum pos, ClientId origin) {
+  SeqNum* last = last_move_pos_.Find(origin);
+  const SeqNum prev = last == nullptr ? kInvalidSeq : *last;
+  last_move_pos_[origin] = pos;
+  if (prev == kInvalidSeq) return kInvalidSeq;
+  const Entry* entry = Find(prev);
+  if (entry == nullptr || !entry->valid || entry->completed) {
+    return kInvalidSeq;
+  }
+  // Never recall: once any replica holds the predecessor, its optimistic
+  // effects are out in the world and it must serialize normally.
+  if (!entry->sent.empty()) return kInvalidSeq;
+  if (!entry->action->IsMovement()) return kInvalidSeq;
+  return prev;
+}
+
 size_t ServerQueue::WriterChainLengthForTest(ObjectId id) const {
   const WriterChain* chain = writers_.Find(id);
   return chain != nullptr ? chain->size() : 0;
@@ -80,7 +99,9 @@ std::vector<SeqNum> ServerQueue::Complete(
     if (head.valid && !head.completed) break;
     if (head.valid) {
       install(head);
-      installed.push_back(head.pos);
+      // Usually 0-1 entries per completion; the frontier advances one
+      // head at a time except after a long invalid prefix.
+      installed.push_back(head.pos);  // seve-lint: allow(hot-vector-realloc): near-empty in steady state
     }
     entries_.pop_front();
     ++base_;

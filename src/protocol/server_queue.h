@@ -103,7 +103,7 @@ class ServerQueue {
     auto seed = [this, &heap](ObjectId id, SeqNum below) {
       const SeqNum writer = GreatestWriterBelow(id, below);
       if (writer != kInvalidSeq) {
-        heap.push_back(Candidate{writer, id});
+        heap.push_back(Candidate{writer, id});  // seve-lint: allow(hot-vector-realloc): InlineVec inline capacity
         std::push_heap(heap.begin(), heap.end());
       }
     };
@@ -193,7 +193,7 @@ class ServerQueue {
           if (!member(id)) {
             WalkStamp(id, epoch);
             member_sig |= sig_bit(id);
-            added.push_back(id);
+            added.push_back(id);  // seve-lint: allow(hot-vector-realloc): InlineVec inline capacity
             seed(id, pos);
           }
         }
@@ -207,6 +207,16 @@ class ServerQueue {
   /// Algorithm 7: marks an entry dropped. Dropped entries are skipped by
   /// WalkConflicts and discarded when they reach the frontier.
   void MarkInvalid(SeqNum pos);
+
+  /// Updatable-queue bookkeeping (SeveOptions::move_supersession): call
+  /// right after Append(pos) of a movement action. Updates the
+  /// per-origin newest-movement index and returns the origin's previous
+  /// queued movement position iff that predecessor is still valid,
+  /// uncompleted, itself a movement, and was never sent to any client —
+  /// i.e. it can be dropped without recalling anything from a replica.
+  /// Returns kInvalidSeq otherwise. Callers that never invoke this pay
+  /// nothing; the data path is untouched when the knob is off.
+  SeqNum NoteMovementAppend(SeqNum pos, ClientId origin);
 
   /// Records the stable result for `pos` (Algorithm 5 step 5). Then
   /// advances the committed frontier: pops entries while the head is
@@ -270,6 +280,9 @@ class ServerQueue {
 
   SeqNum base_ = 0;  // pos of entries_.front()
   std::deque<Entry> entries_;
+  // Newest movement position per origin; only populated when the server
+  // runs with move_supersession (see NoteMovementAppend).
+  FlatMap<ClientId, SeqNum> last_move_pos_;
   // Object -> ascending positions of uncommitted writers. Pruned lazily:
   // the committed prefix of a chain is erased when it outweighs the live
   // suffix, and a fully committed chain is dropped from the map (the

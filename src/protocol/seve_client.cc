@@ -166,6 +166,8 @@ SeveClient::ApplyOutcome SeveClient::GuardedApply(const OrderedAction& rec,
   // older snapshot.
   std::vector<Object> protected_values;
   std::vector<ObjectId> protected_missing;
+  protected_values.reserve(rec.action->WriteSet().size());
+  protected_missing.reserve(rec.action->WriteSet().size());
   for (ObjectId id : rec.action->WriteSet()) {
     const SeqNum* newest = last_writer_.Find(id);
     if (newest != nullptr && *newest > rec.pos) {

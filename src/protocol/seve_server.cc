@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cmath>
 
 #include "action/blind_write.h"
@@ -10,8 +11,14 @@
 namespace seve {
 namespace {
 
-// Key of a client in the server's spatial index over client positions.
-uint64_t IndexKey(ClientId client) { return client.value(); }
+// Wall-clock for the kernel_timing option. Measurement only: the value
+// never feeds simulated time, stats or digests.
+// seve-lint: allow(det-banned-fn): wall measurement behind kernel_timing
+int64_t WallNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 }  // namespace
 
@@ -29,23 +36,27 @@ SeveServer::SeveServer(NodeId node, EventLoop* loop, WorldState initial,
   // reply-on-submission mode ships actions before their tick's validity
   // decision, so dropping requires proactive push.
   assert(!options_.dropping || options_.proactive_push);
+  ready_scratch_.reserve(ClientTable::kInitialPendingCapacity);
+  closure_included_.reserve(ClientTable::kInitialPendingCapacity);
 }
 
 void SeveServer::RegisterClient(ClientId client, NodeId node,
                                 const InterestProfile& profile) {
-  ClientRec rec;
-  rec.node = node;
-  rec.profile = profile;
-  rec.profile_time = loop()->now();
-  clients_[client] = std::move(rec);
-  client_order_.push_back(client);
-  (void)client_index_.Insert(IndexKey(client),
+  const ClientTable::Slot slot =
+      clients_.Register(client, node, profile, loop()->now());
+  (void)client_index_.Insert(slot,
                              AABB::FromCircle(profile.position, 0.0));
   max_client_radius_ = std::max(max_client_radius_, profile.radius);
 }
 
 void SeveServer::Start() {
   running_ = true;
+  // Pre-size the routing scratch for the registered population: a circle
+  // query yields at most one key per client, so after this reserve the
+  // steady-state route path performs no allocation (fanout.route_alloc
+  // stays 0).
+  route_scratch_.reserve(clients_.size());
+  dirty_scratch_.reserve(clients_.size());
   if (options_.dropping) {
     loop()->After(options_.tick_us, [this]() { OnTick(); });
   }
@@ -84,24 +95,24 @@ void SeveServer::OnMessage(const Message& msg) {
 }
 
 void SeveServer::HandleRejoin(const RejoinBody& rejoin) {
-  ClientRec* rec = clients_.Find(rejoin.client);
-  if (rec == nullptr) return;
+  const ClientTable::Slot slot = clients_.SlotOf(rejoin.client);
+  if (slot == ClientTable::kNoSlot) return;
   // The client's pre-crash conversation is dead: start a fresh outgoing
   // channel incarnation so unacked pre-crash frames stay buried, and drop
   // queued pushes — the snapshot supersedes them. Only the send side
   // resets: this Rejoin already arrived on the client's new incoming
   // stream, which must keep flowing.
-  rec->pending_push.clear();
+  clients_.ClearPending(slot);
   if (ReliableChannel* channel = reliable_channel()) {
-    channel->ResetPeerSend(rec->node);
+    channel->ResetPeerSend(clients_.node(slot));
   }
   ++stats_.rejoins;
 }
 
 void SeveServer::HandleSnapshotRequest(const SnapshotRequestBody& request) {
-  ClientRec* rec = clients_.Find(request.client);
-  if (rec == nullptr) return;
-  const NodeId dst = rec->node;
+  const ClientTable::Slot slot = clients_.SlotOf(request.client);
+  if (slot == ClientTable::kNoSlot) return;
+  const NodeId dst = clients_.node(slot);
   const SeqNum snapshot_pos = queue_.begin_pos() - 1;
   const std::vector<ObjectId> ids = state_.ObjectIds();  // sorted
 
@@ -120,6 +131,7 @@ void SeveServer::HandleSnapshotRequest(const SnapshotRequestBody& request) {
     const size_t begin = static_cast<size_t>(c * per_chunk);
     const size_t end = std::min(ids.size(),
                                 static_cast<size_t>((c + 1) * per_chunk));
+    body->objects.reserve(end - begin);
     for (size_t i = begin; i < end; ++i) {
       const Object* obj = state_.Find(ids[i]);
       if (obj != nullptr) body->objects.push_back(*obj);
@@ -130,8 +142,9 @@ void SeveServer::HandleSnapshotRequest(const SnapshotRequestBody& request) {
   // The live tail: everything submitted but not yet committed. Completed
   // entries ship as blind writes of their stable results (replayable
   // anywhere); the rest ship as actions for the client to evaluate —
-  // exactly the substitution rule ComputeClosure applies.
+  // exactly the substitution rule AppendClosure applies.
   std::vector<OrderedAction>& tail = chunks.back()->tail;
+  tail.reserve(static_cast<size_t>(queue_.end_pos() - queue_.begin_pos()));
   for (SeqNum pos = queue_.begin_pos(); pos < queue_.end_pos(); ++pos) {
     ServerQueue::Entry* entry = queue_.Find(pos);
     if (entry == nullptr || !entry->valid) continue;
@@ -172,11 +185,11 @@ void SeveServer::HandleSubmit(ClientId from, ActionPtr action,
       // trip); pushes pre-warm the *other* interested clients, which is
       // what keeps these replies lean (Section III-D).
       validity_frontier_ = pos + 1;
-      std::vector<OrderedAction> batch =
-          ComputeClosure(from, pos, &cpu, resync);
-      const ClientRec* rec = clients_.Find(from);
-      if (rec != nullptr && !batch.empty()) {
-        NodeId dst = rec->node;
+      std::vector<OrderedAction> batch;
+      AppendClosure(from, pos, &cpu, &batch, resync);
+      const ClientTable::Slot slot = clients_.SlotOf(from);
+      if (slot != ClientTable::kNoSlot && !batch.empty()) {
+        const NodeId dst = clients_.node(slot);
         SubmitWork(cpu, [this, dst, batch = std::move(batch)]() {
           auto body = std::make_shared<DeliverActionsBody>();
           body->actions = std::move(batch);
@@ -184,6 +197,12 @@ void SeveServer::HandleSubmit(ClientId from, ActionPtr action,
         });
         return;
       }
+    } else if (options_.move_supersession && action->IsMovement()) {
+      // Updatable queue: this move supersedes the origin's still-queued,
+      // never-sent predecessor. Only reachable in dropping mode — the
+      // synchronous reply above marks the predecessor sent otherwise.
+      const SeqNum prev = queue_.NoteMovementAppend(pos, from);
+      if (prev != kInvalidSeq) SupersedeMove(prev);
     }
     // With dropping enabled the echo must wait for this tick's validity
     // decision; OnTick sends the origin replies right after deciding.
@@ -193,13 +212,11 @@ void SeveServer::HandleSubmit(ClientId from, ActionPtr action,
     // Incomplete World Model without push: reply immediately with the
     // transitive closure of the submitted action (Algorithm 5 step 4b).
     validity_frontier_ = pos + 1;
-    const ClientRec* rec = clients_.Find(from);
-    if (rec == nullptr) return;
-    // Capture the node id by value: FlatMap slots move on growth, so a
-    // ClientRec pointer must not outlive this call.
-    NodeId dst = rec->node;
-    std::vector<OrderedAction> batch =
-        ComputeClosure(from, pos, &cpu, resync);
+    const ClientTable::Slot slot = clients_.SlotOf(from);
+    if (slot == ClientTable::kNoSlot) return;
+    const NodeId dst = clients_.node(slot);
+    std::vector<OrderedAction> batch;
+    AppendClosure(from, pos, &cpu, &batch, resync);
     SubmitWork(cpu, [this, dst, batch = std::move(batch)]() {
       auto body = std::make_shared<DeliverActionsBody>();
       body->actions = std::move(batch);
@@ -208,7 +225,43 @@ void SeveServer::HandleSubmit(ClientId from, ActionPtr action,
   }
 }
 
+void SeveServer::SupersedeMove(SeqNum prev) {
+  ServerQueue::Entry* entry = queue_.Find(prev);
+  if (entry == nullptr) return;
+  const ClientId origin = entry->action->origin();
+  const ActionId action_id = entry->action->id();
+  ObjectSet read_set = entry->action->ReadSet();
+  queue_.MarkInvalid(prev);
+  ++stats_.fanout.superseded_moves;
+  // Stale pending-push references and the resync stash resolve lazily /
+  // eagerly: AppendClosure skips invalid entries, the stash dies here.
+  pending_resync_.Erase(prev);
+  // An invalidated head may unblock the committed frontier.
+  if (prev == queue_.begin_pos()) {
+    (void)queue_.Complete(prev, 0, {}, [this](const ServerQueue::Entry& e) {
+      state_.ApplyObjects(e.stable_written);
+      committed_digests_[e.pos] = e.stable_digest;
+      ++stats_.actions_committed;
+    });
+  }
+  const ClientTable::Slot slot = clients_.SlotOf(origin);
+  if (slot == ClientTable::kNoSlot) return;
+  const NodeId dst = clients_.node(slot);
+  // The origin rolls the superseded move back exactly like an
+  // Information Bound drop: notice + authoritative refresh of its reads.
+  SubmitWork(cost_.serialize_us, [this, dst, prev, action_id,
+                                  read_set = std::move(read_set)]() {
+    auto body = std::make_shared<DropNoticeBody>();
+    body->action_id = action_id;
+    body->pos = prev;
+    body->refresh = state_.Extract(read_set);
+    body->refresh_pos = queue_.begin_pos() - 1;
+    Send(dst, body->WireSize(), body);
+  });
+}
+
 Micros SeveServer::RouteToClients(SeqNum pos, const Action& action) {
+  const int64_t t0 = options_.kernel_timing ? WallNowNs() : 0;
   const InterestProfile profile = action.Interest();
   // With velocity culling the influence center may be projected by up to
   // s·(1+ω)RTT (= half the reach term); widen the spatial pre-filter so
@@ -217,44 +270,46 @@ Micros SeveServer::RouteToClients(SeqNum pos, const Action& action) {
       interest_.velocity_culling() ? 0.5 * interest_.ReachTerm() : 0.0;
   const double query_radius = interest_.ReachTerm() + profile.radius +
                               max_client_radius_ + projection_margin;
-  int candidates = 0;
-  client_index_.ForEachInCircle(
-      profile.position, query_radius, [&](uint64_t key) {
-        ++candidates;
-        const ClientId client(key);
-        ClientRec* rec_ptr = clients_.Find(client);
-        if (rec_ptr == nullptr) return;
-        ClientRec& rec = *rec_ptr;
-        if (client != action.origin() &&
-            !interest_.MayAffect(profile, loop()->now(), rec.profile,
-                                 rec.profile_time)) {
-          return;
-        }
-        rec.pending_push.push_back(pos);
-      });
+  route_scratch_.clear();
+  const size_t cap_before = route_scratch_.capacity();
+  client_index_.CollectCircleInto(profile.position, query_radius,
+                                  &route_scratch_);
+  if (route_scratch_.capacity() != cap_before) ++stats_.fanout.route_alloc;
+  const int candidates = static_cast<int>(route_scratch_.size());
+  const ClientTable::Slot origin_slot = clients_.SlotOf(action.origin());
+  const VirtualTime now = loop()->now();
+  bool origin_routed = false;
+  for (const uint64_t key : route_scratch_) {
+    const auto slot = static_cast<ClientTable::Slot>(key);
+    if (slot != origin_slot &&
+        !interest_.MayAffect(profile, now, clients_.ProfileOf(slot),
+                             clients_.profile_time(slot))) {
+      continue;
+    }
+    if (slot == origin_slot) origin_routed = true;
+    clients_.MarkPending(slot, pos, &stats_.fanout.route_alloc);
+  }
   // The origin always gets its own action back even if the spatial query
   // missed it (e.g. a zero-radius profile on a grid boundary).
-  ClientRec* origin_rec = clients_.Find(action.origin());
-  if (origin_rec != nullptr) {
-    auto& pending = origin_rec->pending_push;
-    if (std::find(pending.begin(), pending.end(), pos) == pending.end()) {
-      pending.push_back(pos);
-    }
+  if (origin_slot != ClientTable::kNoSlot && !origin_routed) {
+    clients_.MarkPending(origin_slot, pos, &stats_.fanout.route_alloc);
   }
+  if (options_.kernel_timing) flush_route_wall_ns_ += WallNowNs() - t0;
   return static_cast<Micros>(cost_.interest_test_us *
                              static_cast<double>(std::max(candidates, 1)));
 }
 
-std::vector<OrderedAction> SeveServer::ComputeClosure(
-    ClientId client, SeqNum pos, Micros* cpu_cost,
-    const ObjectSet& resync) {
+void SeveServer::AppendClosure(ClientId client, SeqNum pos,
+                               Micros* cpu_cost,
+                               std::vector<OrderedAction>* out,
+                               const ObjectSet& resync) {
   ServerQueue::Entry* target = queue_.Find(pos);
-  if (target == nullptr || !target->valid) return {};
-  if (target->sent.count(client) != 0) return {};
+  if (target == nullptr || !target->valid) return;
+  if (target->sent.count(client) != 0) return;
 
   ObjectSet read_set =
       ObjectSet::Union(target->action->ReadSet(), resync);
-  std::vector<SeqNum> included;
+  closure_included_.clear();
   const int visits = queue_.WalkConflicts(
       pos, &read_set, [&](const ServerQueue::Entry& entry) {
         if (entry.sent.count(client) != 0 &&
@@ -263,7 +318,7 @@ std::vector<OrderedAction> SeveServer::ComputeClosure(
         }
         // Not yet sent — or sent but the client flagged its outputs as
         // non-replayable, so re-deliver (as stable values once known).
-        included.push_back(entry.pos);
+        closure_included_.push_back(entry.pos);
         return ServerQueue::WalkVerdict::kInclude;
       });
   stats_.closure_visits += visits;
@@ -272,16 +327,16 @@ std::vector<OrderedAction> SeveServer::ComputeClosure(
 
   // Mark sent(a) ∪= {C} for the target and every included action.
   target->sent.insert(client);
-  for (SeqNum p : included) {
+  for (SeqNum p : closure_included_) {
     ServerQueue::Entry* entry = queue_.Find(p);
     if (entry != nullptr) entry->sent.insert(client);
   }
 
   // Assemble in ascending pos order with the blind write W(S, ζS(S))
   // first (Algorithm 6 prepends it last).
-  std::sort(included.begin(), included.end());
-  std::vector<OrderedAction> batch;
-  batch.reserve(included.size() + 2);
+  std::sort(closure_included_.begin(), closure_included_.end());
+  const size_t start = out->size();
+  out->reserve(start + closure_included_.size() + 2);
   if (!read_set.empty()) {
     auto blind = std::make_shared<BlindWrite>(
         ActionId(next_blind_id_++),
@@ -291,29 +346,28 @@ std::vector<OrderedAction> SeveServer::ComputeClosure(
     // Effective position: the committed frontier, so client-side
     // last-writer guards treat the snapshot as older than any queued
     // action it accompanies.
-    batch.push_back(OrderedAction{queue_.begin_pos() - 1, blind});
+    out->push_back(OrderedAction{queue_.begin_pos() - 1, blind});
     *cpu_cost += cost_.install_us;
   }
-  for (SeqNum p : included) {
+  for (SeqNum p : closure_included_) {
     const ServerQueue::Entry* entry = queue_.Find(p);
     if (entry == nullptr) continue;
     if (entry->completed) {
       // Substitute the stable effect: value shipping is replayable at
       // any client regardless of what it applied before, unlike re-
       // executing the action over possibly-newer inputs.
-      batch.push_back(OrderedAction{
+      out->push_back(OrderedAction{
           entry->pos,
           std::make_shared<BlindWrite>(ActionId(next_blind_id_++),
                                        loop()->now() / options_.tick_us,
                                        entry->stable_written)});
       ++stats_.blind_writes;
     } else {
-      batch.push_back(OrderedAction{entry->pos, entry->action});
+      out->push_back(OrderedAction{entry->pos, entry->action});
     }
   }
-  batch.push_back(OrderedAction{target->pos, target->action});
-  stats_.closure_size.Add(static_cast<int64_t>(batch.size()));
-  return batch;
+  out->push_back(OrderedAction{target->pos, target->action});
+  stats_.closure_size.Add(static_cast<int64_t>(out->size() - start));
 }
 
 void SeveServer::OnTick() {
@@ -353,7 +407,9 @@ void SeveServer::OnTick() {
     if (invalid) {
       queue_.MarkInvalid(pos);
       ++stats_.actions_dropped;
-      dropped_positions_.push_back(pos);
+      // Information Bound drops are rare: the audit log and the notice
+      // list grow amortized over the run, not per tick.
+      dropped_positions_.push_back(pos);  // seve-lint: allow(hot-vector-realloc): rare drop path (covers next line too)
       drops.push_back(Drop{entry->action->origin(), pos,
                            entry->action->id(),
                            entry->action->ReadSet()});
@@ -377,6 +433,7 @@ void SeveServer::OnTick() {
     std::vector<OrderedAction> batch;
   };
   std::vector<Reply> replies;
+  replies.reserve(static_cast<size_t>(end - scan_start));
   for (SeqNum pos = scan_start; pos < end; ++pos) {
     const ServerQueue::Entry* entry = queue_.Find(pos);
     if (entry == nullptr || !entry->valid) {
@@ -384,16 +441,16 @@ void SeveServer::OnTick() {
       continue;
     }
     const ClientId origin = entry->action->origin();
-    const ClientRec* rec = clients_.Find(origin);
-    if (rec == nullptr) continue;
-    const NodeId dst = rec->node;
+    const ClientTable::Slot slot = clients_.SlotOf(origin);
+    if (slot == ClientTable::kNoSlot) continue;
+    const NodeId dst = clients_.node(slot);
     ObjectSet resync;
     if (ObjectSet* stashed = pending_resync_.Find(pos)) {
       resync = std::move(*stashed);
       pending_resync_.Erase(pos);
     }
-    std::vector<OrderedAction> batch =
-        ComputeClosure(origin, pos, &cpu, resync);
+    std::vector<OrderedAction> batch;
+    AppendClosure(origin, pos, &cpu, &batch, resync);
     if (!batch.empty()) {
       replies.push_back(Reply{dst, std::move(batch)});
     }
@@ -407,8 +464,8 @@ void SeveServer::OnTick() {
       Send(reply.node, body->WireSize(), body);
     }
     for (const Drop& drop : drops) {
-      const ClientRec* rec = clients_.Find(drop.origin);
-      if (rec == nullptr) continue;
+      const ClientTable::Slot slot = clients_.SlotOf(drop.origin);
+      if (slot == ClientTable::kNoSlot) continue;
       auto body = std::make_shared<DropNoticeBody>();
       body->action_id = drop.action_id;
       body->pos = drop.pos;
@@ -416,7 +473,7 @@ void SeveServer::OnTick() {
       // so its next declaration starts from authoritative positions.
       body->refresh = state_.Extract(drop.read_set);
       body->refresh_pos = queue_.begin_pos() - 1;
-      Send(rec->node, body->WireSize(), body);
+      Send(clients_.node(slot), body->WireSize(), body);
     }
   });
 
@@ -425,41 +482,75 @@ void SeveServer::OnTick() {
   }
 }
 
-void SeveServer::OnPushCycle() {
-  for (ClientId client : client_order_) {
-    ClientRec& rec = *clients_.Find(client);
-    // Ship only validity-decided positions; keep the rest queued.
-    std::vector<SeqNum> ready;
-    std::vector<SeqNum> not_ready;
-    for (SeqNum pos : rec.pending_push) {
-      (pos < validity_frontier_ ? ready : not_ready).push_back(pos);
+void SeveServer::FlushSlot(ClientTable::Slot slot) {
+  std::vector<SeqNum>& pending = clients_.pending(slot);
+  if (pending.empty()) return;
+  // Partition in place against the validity frontier: ready positions
+  // move to the scratch, the rest compact to the front (order and
+  // capacity retained).
+  ready_scratch_.clear();
+  size_t keep = 0;
+  for (SeqNum pos : pending) {
+    if (pos < validity_frontier_) {
+      ready_scratch_.push_back(pos);
+    } else {
+      pending[keep++] = pos;
     }
-    rec.pending_push = std::move(not_ready);
-    if (ready.empty()) continue;
-    std::sort(ready.begin(), ready.end());
-
-    Micros cpu = 0;
-    std::vector<OrderedAction> batch;
-    for (SeqNum pos : ready) {
-      std::vector<OrderedAction> part = ComputeClosure(client, pos, &cpu);
-      batch.insert(batch.end(), part.begin(), part.end());
-    }
-    if (batch.empty()) continue;
-    // Restore global serialization order across the concatenated
-    // sub-closures: a later target's chain may reach below an earlier
-    // target's position, and clients must apply in pos order. (Blind
-    // writes carry the committed frontier, so they sort to the front.)
-    std::stable_sort(batch.begin(), batch.end(),
-                     [](const OrderedAction& a, const OrderedAction& b) {
-                       return a.pos < b.pos;
-                     });
-    NodeId dst = rec.node;
-    SubmitWork(cpu, [this, dst, batch = std::move(batch)]() {
-      auto body = std::make_shared<DeliverActionsBody>();
-      body->actions = std::move(batch);
-      Send(dst, body->WireSize(), body);
-    });
   }
+  pending.resize(keep);
+  // Dirty-list invariant: a slot left with pending work stays stamped in
+  // the (new) epoch so the next cycle revisits it.
+  if (keep > 0) clients_.MarkDirty(slot);
+  if (ready_scratch_.empty()) return;
+  std::sort(ready_scratch_.begin(), ready_scratch_.end());
+
+  const ClientId client = clients_.id_of(slot);
+  Micros cpu = 0;
+  std::vector<OrderedAction> batch;
+  for (SeqNum pos : ready_scratch_) {
+    AppendClosure(client, pos, &cpu, &batch);
+  }
+  if (batch.empty()) return;
+  // Restore global serialization order across the concatenated
+  // sub-closures: a later target's chain may reach below an earlier
+  // target's position, and clients must apply in pos order. (Blind
+  // writes carry the committed frontier, so they sort to the front.)
+  std::stable_sort(batch.begin(), batch.end(),
+                   [](const OrderedAction& a, const OrderedAction& b) {
+                     return a.pos < b.pos;
+                   });
+  ++stats_.fanout.push_batches;
+  stats_.fanout.coalesced_pushes +=
+      static_cast<int64_t>(ready_scratch_.size()) - 1;
+  const NodeId dst = clients_.node(slot);
+  SubmitWork(cpu, [this, dst, batch = std::move(batch)]() {
+    auto body = std::make_shared<DeliverActionsBody>();
+    body->actions = std::move(batch);
+    Send(dst, body->WireSize(), body);
+  });
+}
+
+void SeveServer::OnPushCycle() {
+  const int64_t t0 = options_.kernel_timing ? WallNowNs() : 0;
+  ++stats_.fanout.flush_cycles;
+  if (options_.legacy_flush_scan) {
+    // Pre-dirty-list arm, kept for side-by-side kernel benchmarking:
+    // walk every registered slot. Ascending slot order is registration
+    // order, so the emitted messages are identical to the dirty path's.
+    const size_t n = clients_.size();
+    stats_.fanout.dirty_slots_flushed += static_cast<int64_t>(n);
+    for (size_t slot = 0; slot < n; ++slot) {
+      FlushSlot(static_cast<ClientTable::Slot>(slot));
+    }
+  } else {
+    clients_.TakeDirty(&dirty_scratch_);
+    stats_.fanout.dirty_slots_flushed +=
+        static_cast<int64_t>(dirty_scratch_.size());
+    for (const ClientTable::Slot slot : dirty_scratch_) {
+      FlushSlot(slot);
+    }
+  }
+  if (options_.kernel_timing) flush_route_wall_ns_ += WallNowNs() - t0;
 
   if (running_) {
     const Micros push_period = static_cast<Micros>(
@@ -492,20 +583,20 @@ void SeveServer::HandleCompletion(const CompletionBody& completion) {
 
 void SeveServer::UpdateClientProfile(ClientId client,
                                      const InterestProfile& profile) {
-  ClientRec* rec = clients_.Find(client);
-  if (rec == nullptr) return;
-  rec->profile = profile;
-  rec->profile_time = loop()->now();
-  (void)client_index_.Move(IndexKey(client),
-                           AABB::FromCircle(profile.position, 0.0));
+  const ClientTable::Slot slot = clients_.SlotOf(client);
+  if (slot == ClientTable::kNoSlot) return;
+  clients_.SetProfile(slot, profile, loop()->now());
+  (void)client_index_.Move(slot, AABB::FromCircle(profile.position, 0.0));
   max_client_radius_ = std::max(max_client_radius_, profile.radius);
 }
 
 void SeveServer::SendCommitNotices() {
   auto body = std::make_shared<CommitNoticeBody>();
   body->pos = queue_.begin_pos() - 1;
-  for (ClientId client : client_order_) {
-    Send(clients_.Find(client)->node, body->WireSize(), body);
+  const size_t n = clients_.size();
+  for (size_t slot = 0; slot < n; ++slot) {
+    Send(clients_.node(static_cast<ClientTable::Slot>(slot)),
+         body->WireSize(), body);
   }
   if (running_ && options_.commit_notice_period_us > 0) {
     loop()->After(options_.commit_notice_period_us,

@@ -1,8 +1,8 @@
 #ifndef SEVE_PROTOCOL_SEVE_SERVER_H_
 #define SEVE_PROTOCOL_SEVE_SERVER_H_
 
+#include <cstdint>
 #include <memory>
-#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -10,6 +10,7 @@
 #include "common/flat_map.h"
 #include "common/metrics.h"
 #include "net/node.h"
+#include "protocol/client_table.h"
 #include "protocol/interest.h"
 #include "protocol/msg.h"
 #include "protocol/options.h"
@@ -32,6 +33,11 @@ namespace seve {
 ///     (Algorithm 6, via the server queue's writer index),
 /// which is why its capacity is orders of magnitude beyond the Central
 /// baseline's (Section V-B: ~3500 clients on one server).
+///
+/// Client bookkeeping is an SoA ClientTable (DESIGN.md §13): dense slots
+/// in registration order, with the push flush driven by an epoch-stamped
+/// dirty list so a cycle costs O(clients with pending work), not
+/// O(registered clients).
 class SeveServer : public Node {
  public:
   SeveServer(NodeId node, EventLoop* loop, WorldState initial,
@@ -60,6 +66,11 @@ class SeveServer : public Node {
   ProtocolStats& stats() { return stats_; }
   const ProtocolStats& stats() const { return stats_; }
 
+  /// Wall-clock nanoseconds spent in the flush + route kernels, when
+  /// options.kernel_timing is on. Measurement only — never feeds
+  /// simulated time, stats or digests.
+  int64_t flush_route_wall_ns() const { return flush_route_wall_ns_; }
+
   /// pos -> stable digest of every installed action (from completion
   /// messages); ground truth for the consistency checker.
   const DigestMap& committed_digests() const {
@@ -74,13 +85,6 @@ class SeveServer : public Node {
   void OnMessage(const Message& msg) override;
 
  private:
-  struct ClientRec {
-    NodeId node;
-    InterestProfile profile;
-    VirtualTime profile_time = 0;
-    std::vector<SeqNum> pending_push;  // routed, not yet pushed
-  };
-
   void HandleSubmit(ClientId from, ActionPtr action,
                     const ObjectSet& resync);
   void HandleCompletion(const CompletionBody& completion);
@@ -94,8 +98,16 @@ class SeveServer : public Node {
   void OnTick();  // Algorithm 7: validity decisions for the last tick
   void OnPushCycle();  // First Bound: proactive push every ω·RTT
 
-  /// Algorithm 6 for one target action: returns the ordered batch
-  /// (blind write first) and marks sent(a) for every included action.
+  /// Per-slot half of the push cycle: partitions the slot's pending list
+  /// against the validity frontier, closes over the ready positions and
+  /// ships them as one coalesced DeliverActions batch. Re-stamps the slot
+  /// dirty when positions stay queued (preserving the dirty-list
+  /// invariant).
+  void FlushSlot(ClientTable::Slot slot);
+
+  /// Algorithm 6 for one target action: appends the ordered batch
+  /// (blind write first) to *out and marks sent(a) for every included
+  /// action. Appends nothing when there is nothing to deliver.
   /// `cpu_cost` accumulates the simulated cost of the walk.
   ///
   /// `resync` (origin replies only) adds objects the client flagged as
@@ -104,13 +116,21 @@ class SeveServer : public Node {
   /// in the head blind write. Included entries whose stable result is
   /// already known (completed) are substituted by blind writes of their
   /// written values — always replayable at any client.
-  std::vector<OrderedAction> ComputeClosure(ClientId client, SeqNum pos,
-                                            Micros* cpu_cost,
-                                            const ObjectSet& resync = {});
+  void AppendClosure(ClientId client, SeqNum pos, Micros* cpu_cost,
+                     std::vector<OrderedAction>* out,
+                     const ObjectSet& resync = {});
 
-  /// Routes a new action to interested clients' pending_push lists
-  /// (Equation 1 over the client spatial index). Returns simulated cost.
+  /// Routes a new action to interested clients' pending-push lists
+  /// (Equation 1 over the client spatial index, via the reusable
+  /// route_scratch_ buffer — zero-alloc in steady state). Returns
+  /// simulated cost.
   Micros RouteToClients(SeqNum pos, const Action& action);
+
+  /// Updatable-queue supersession (options.move_supersession): the
+  /// origin's still-queued, never-sent predecessor move at `prev` is
+  /// invalidated and the origin is told through the Information Bound
+  /// drop path (DropNotice + authoritative refresh of its reads).
+  void SupersedeMove(SeqNum prev);
 
   void UpdateClientProfile(ClientId client, const InterestProfile& profile);
   void SendCommitNotices();
@@ -120,10 +140,10 @@ class SeveServer : public Node {
   InterestModel interest_;
   SeveOptions options_;
   ServerQueue queue_;
-  // Hot per-message lookups live in open-addressing FlatMaps.
-  FlatMap<ClientId, ClientRec> clients_;
-  std::vector<ClientId> client_order_;  // registration order, deterministic
-  GridIndex client_index_;
+  // SoA client registry; slots ascend in registration order, which keeps
+  // every per-client iteration identical to the old client_order_ walk.
+  ClientTable clients_;
+  GridIndex client_index_;  // keyed by client slot
   double max_client_radius_ = 0.0;
   SeqNum validity_frontier_ = 0;  // positions below are drop-decided
   SeqNum tick_scan_pos_ = 0;
@@ -140,6 +160,13 @@ class SeveServer : public Node {
   // seve-lint: allow(det-unordered-container): membership test only
   std::unordered_set<SeqNum> audit_excluded_;
   std::vector<SeqNum> dropped_positions_;
+  // Reusable hot-path scratch (steady-state zero-alloc; route_scratch_
+  // growth after Start is charged to fanout.route_alloc).
+  std::vector<uint64_t> route_scratch_;           // spatial query hits
+  std::vector<ClientTable::Slot> dirty_scratch_;  // flush working set
+  std::vector<SeqNum> ready_scratch_;             // per-slot partition
+  std::vector<SeqNum> closure_included_;          // AppendClosure walk
+  int64_t flush_route_wall_ns_ = 0;
 };
 
 }  // namespace seve

@@ -14,6 +14,16 @@ namespace seve {
 /// Index of one shard server in the sharded serialization tier.
 using ShardId = int;
 
+/// Node-id block reserved for shard servers: shard s listens on
+/// kShardNodeIdBase + s. Single source of truth for the runner, tests
+/// and tooling (client and server node blocks live well below it).
+inline constexpr uint64_t kShardNodeIdBase = 200000;
+
+/// Node id of shard `s`'s server.
+inline NodeId ShardServerNode(ShardId s) {
+  return NodeId(kShardNodeIdBase + static_cast<uint64_t>(s));
+}
+
 /// Static partition of the object-id space across N shard servers
 /// (DESIGN.md §12). Derived from the zoned baseline's ZoneMap: the world
 /// is tiled into a cols x rows grid (N factored as close to square as

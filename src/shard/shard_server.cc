@@ -32,7 +32,7 @@ SeveShardServer::SeveShardServer(NodeId node, EventLoop* loop, ShardId shard,
 }
 
 void SeveShardServer::RegisterClient(ClientId client, NodeId node) {
-  clients_[client] = node;
+  (void)clients_.Register(client, node, InterestProfile{}, loop()->now());
 }
 
 void SeveShardServer::RegisterPeer(ShardId shard, NodeId node) {
@@ -102,9 +102,9 @@ void SeveShardServer::HandleSubmit(ClientId from, ActionPtr action,
   cpu += static_cast<Micros>(cost_.closure_per_visit_us *
                              static_cast<double>(visits + 1));
 
-  const NodeId* client_node = clients_.Find(from);
-  if (client_node == nullptr) return;
-  const NodeId dst = *client_node;
+  const ClientTable::Slot client_slot = clients_.SlotOf(from);
+  if (client_slot == ClientTable::kNoSlot) return;
+  const NodeId dst = clients_.node(client_slot);
 
   if (closure.IsSubsetOfShard(*map_, shard_)) {
     // Fast path: the whole closure lives here; reply in one round trip
@@ -357,9 +357,9 @@ void SeveShardServer::HandleCompletion(const CompletionBody& completion) {
 }
 
 void SeveShardServer::HandleRejoin(const RejoinBody& rejoin) {
-  const NodeId* node = clients_.Find(rejoin.client);
-  if (node == nullptr) return;
-  const NodeId client_node = *node;
+  const ClientTable::Slot slot = clients_.SlotOf(rejoin.client);
+  if (slot == ClientTable::kNoSlot) return;
+  const NodeId client_node = clients_.node(slot);
   // Fresh outgoing channel incarnation; queued frames from the dead
   // conversation stay buried (PR 5 recovery contract).
   if (ReliableChannel* channel = reliable_channel()) {
@@ -424,9 +424,9 @@ void SeveShardServer::HandleRejoin(const RejoinBody& rejoin) {
 
 void SeveShardServer::HandleSnapshotRequest(
     const SnapshotRequestBody& request) {
-  const NodeId* node = clients_.Find(request.client);
-  if (node == nullptr) return;
-  const NodeId dst = *node;
+  const ClientTable::Slot slot = clients_.SlotOf(request.client);
+  if (slot == ClientTable::kNoSlot) return;
+  const NodeId dst = clients_.node(slot);
   const SeqNum snapshot_pos =
       ShardStamp::Global(queue_.begin_pos() - 1, shard_);
   const std::vector<ObjectId> ids = state_.ObjectIds();  // sorted

@@ -9,6 +9,7 @@
 #include "common/flat_map.h"
 #include "common/metrics.h"
 #include "net/node.h"
+#include "protocol/client_table.h"
 #include "protocol/msg.h"
 #include "protocol/options.h"
 #include "protocol/server_queue.h"
@@ -120,7 +121,9 @@ class SeveShardServer : public Node {
   CostModel cost_;
   SeveOptions options_;
   ServerQueue queue_;
-  FlatMap<ClientId, NodeId> clients_;
+  // SoA registry shared with the single-server tier; shards only use the
+  // id→slot→node path (profiles stay at their defaults).
+  ClientTable clients_;
   std::vector<NodeId> peer_nodes_;  // indexed by ShardId
   ShardCommitTable pending_;        // owner-side in-flight escalations
   std::vector<OutstandingToken> outstanding_;  // peer-side issued tokens

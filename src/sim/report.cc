@@ -45,6 +45,21 @@ std::string RunReport::Summary() const {
                   static_cast<long long>(client_stats.rejoins));
     out += buf;
   }
+  const FanoutCounters& fan = server_stats.fanout;
+  if (fan.push_batches != 0 || fan.superseded_moves != 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "\n  fanout: batches=%lld coalesced=%lld superseded=%lld "
+                  "dirty_flushed=%lld cycles=%lld ratio=%.3f "
+                  "route_alloc=%lld",
+                  static_cast<long long>(fan.push_batches),
+                  static_cast<long long>(fan.coalesced_pushes),
+                  static_cast<long long>(fan.superseded_moves),
+                  static_cast<long long>(fan.dirty_slots_flushed),
+                  static_cast<long long>(fan.flush_cycles),
+                  fan.DirtyScanRatio(num_clients),
+                  static_cast<long long>(fan.route_alloc));
+    out += buf;
+  }
   if (!shard_counters.empty()) {
     ShardCounters total;
     for (const ShardCounters& s : shard_counters) total.Merge(s);

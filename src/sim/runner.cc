@@ -72,6 +72,9 @@ InterestProfile InitialProfile(const ManhattanWorld& world, int index) {
 RunReport RunScenario(Architecture arch, const Scenario& scenario_in) {
   Scenario s = scenario_in;
   s.world.num_avatars = s.num_clients;
+  // Workload zoo: staged spawns + scale knobs land in s.world before the
+  // world is constructed.
+  ApplyWorkload(&s);
 
   EventLoop loop;
   Network net(&loop, s.seed ^ 0x6e657477ULL);
@@ -401,10 +404,11 @@ RunReport RunScenario(Architecture arch, const Scenario& scenario_in) {
       opts.dropping = false;
       shard_map = std::make_unique<ShardMap>(s.world.bounds, s.shards,
                                              world.InitialState());
-      // Shard server node ids live above the zoned baseline's range.
+      // Shard server node ids live above the zoned baseline's range
+      // (kShardNodeIdBase in shard/shard_map.h).
       std::vector<NodeId> shard_nodes;
       for (ShardId sh = 0; sh < shard_map->shard_count(); ++sh) {
-        const NodeId node_id(200000 + static_cast<uint64_t>(sh));
+        const NodeId node_id = ShardServerNode(sh);
         auto server = std::make_unique<SeveShardServer>(
             node_id, &loop, sh, shard_map.get(), world.InitialState(),
             s.cost, opts);
@@ -533,7 +537,11 @@ RunReport RunScenario(Architecture arch, const Scenario& scenario_in) {
     }
     loop.After(sample_period, [&sample]() { sample(); });
   };
-  loop.After(sample_period, [&sample]() { sample(); });
+  // The sampler is O(clients²) per tick; the six-figure workloads turn it
+  // off (avg_visible_avatars then reports 0).
+  if (s.workload.sample_visibility) {
+    loop.After(sample_period, [&sample]() { sample(); });
+  }
 
   // ---- Run to quiescence --------------------------------------------------
   const Micros push_period =

@@ -9,6 +9,7 @@
 #include "common/types.h"
 #include "net/channel.h"
 #include "protocol/options.h"
+#include "sim/workloads/workloads.h"
 #include "wire/wire_mode.h"
 #include "world/cost_model.h"
 #include "world/manhattan_world.h"
@@ -72,6 +73,10 @@ struct Scenario {
   /// If set, every action evaluation costs exactly this much (the
   /// Figure-7 complexity sweep).
   std::optional<Micros> fixed_move_cost_us;
+
+  /// Crowd-movement staging (sim/workloads): the runner applies it to the
+  /// world's spawn config before constructing the world.
+  WorkloadConfig workload;
 
   SeveOptions seve;
 

@@ -56,8 +56,17 @@ class Fnv {
     I64(s.rejoins);
     I64(s.snapshot_chunks);
     Channel(s.channel);
+    Fanout(s.fanout);
     Hist(s.closure_size);
     Hist(s.response_time_us);
+  }
+  void Fanout(const FanoutCounters& c) {
+    I64(c.push_batches);
+    I64(c.coalesced_pushes);
+    I64(c.superseded_moves);
+    I64(c.dirty_slots_flushed);
+    I64(c.flush_cycles);
+    I64(c.route_alloc);
   }
   void Channel(const ChannelStats& c) {
     I64(c.data_frames);

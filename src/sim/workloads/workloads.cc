@@ -1,0 +1,161 @@
+#include "sim/workloads/workloads.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/scenario.h"
+
+namespace seve {
+namespace {
+
+// Inward axis-aligned heading: the dominant-axis unit vector from `pos`
+// toward `target` (ties go to x, matching the move kernel's axis walk).
+Vec2 HeadingToward(Vec2 pos, Vec2 target) {
+  const double dx = target.x - pos.x;
+  const double dy = target.y - pos.y;
+  if (std::abs(dx) >= std::abs(dy)) {
+    return {dx >= 0.0 ? 1.0 : -1.0, 0.0};
+  }
+  return {0.0, dy >= 0.0 ? 1.0 : -1.0};
+}
+
+// Point at arc-length `t` along the perimeter of the square with center
+// `c` and half-side `r`, starting at the south-west corner and walking
+// counter-clockwise.
+Vec2 SquarePerimeterPoint(Vec2 c, double r, double t) {
+  const double side = 2.0 * r;
+  if (t < side) return {c.x - r + t, c.y - r};                  // south
+  t -= side;
+  if (t < side) return {c.x + r, c.y - r + t};                  // east
+  t -= side;
+  if (t < side) return {c.x + r - t, c.y + r};                  // north
+  t -= side;
+  return {c.x - r, c.y + r - t};                                // west
+}
+
+void StageFlashCrowd(const WorkloadConfig& cfg, int n, StagedSpawn* out) {
+  // Concentric square shells around the focus, innermost first; each
+  // shell holds as many avatars as its perimeter fits at `spacing`.
+  const double spacing = std::max(0.5, cfg.spacing);
+  int placed = 0;
+  int shell = 0;
+  while (placed < n) {
+    const double r = cfg.crowd_radius + spacing * shell;
+    const double perimeter = 8.0 * r;
+    const int capacity = std::max(
+        1, std::min(n - placed, static_cast<int>(perimeter / spacing)));
+    for (int j = 0; j < capacity; ++j) {
+      const double t =
+          perimeter * (static_cast<double>(j) + 0.5) /
+          static_cast<double>(capacity);
+      const Vec2 pos = SquarePerimeterPoint(cfg.focus, r, t);
+      out->positions.push_back(pos);
+      out->directions.push_back(HeadingToward(pos, cfg.focus));
+    }
+    placed += capacity;
+    ++shell;
+  }
+}
+
+void StageBattle(const WorkloadConfig& cfg, int n, Vec2 world_min,
+                 Vec2 world_max, StagedSpawn* out) {
+  // Two blocks face each other across a north-south front through the
+  // focus: even indices form the west army (advancing east), odd indices
+  // the east army (advancing west). Ranks are as wide as the world
+  // allows, so the armies meet along a long contact line.
+  const double spacing = std::max(0.5, cfg.spacing);
+  const double margin = spacing + 1.0;
+  const int rank_len = std::max(
+      1, static_cast<int>((world_max.y - world_min.y - 2.0 * margin) /
+                          spacing));
+  for (int i = 0; i < n; ++i) {
+    const bool west = (i % 2) == 0;
+    const int soldier = i / 2;
+    const int file = soldier % rank_len;   // position along the front
+    const int rank = soldier / rank_len;   // depth behind the front
+    const double y =
+        world_min.y + margin + spacing * static_cast<double>(file);
+    const double front_x =
+        cfg.focus.x + (west ? -0.5 : 0.5) * cfg.front_gap;
+    const double x =
+        front_x + (west ? -spacing : spacing) * static_cast<double>(rank);
+    out->positions.push_back({x, y});
+    out->directions.push_back({west ? 1.0 : -1.0, 0.0});
+  }
+}
+
+void StageCaravan(const WorkloadConfig& cfg, int n, Vec2 world_min,
+                  Vec2 world_max, StagedSpawn* out) {
+  // A long multi-lane column hugging the west edge, everyone heading
+  // east. Lanes stack symmetrically around the focus centerline.
+  const double spacing = std::max(0.5, cfg.spacing);
+  const double margin = spacing + 1.0;
+  const int lane_len = std::max(
+      1, static_cast<int>(0.8 * (world_max.x - world_min.x - 2.0 * margin) /
+                          spacing));
+  for (int i = 0; i < n; ++i) {
+    const int lane = i / lane_len;
+    const int slot = i % lane_len;
+    // 0, +1, -1, +2, -2, ... lane offsets around the centerline.
+    const int lane_offset = (lane % 2 == 0) ? lane / 2 : -(lane / 2 + 1);
+    const double x =
+        world_min.x + margin + spacing * static_cast<double>(slot);
+    const double y =
+        cfg.focus.y + spacing * static_cast<double>(lane_offset);
+    out->positions.push_back({x, y});
+    out->directions.push_back({1.0, 0.0});
+  }
+}
+
+}  // namespace
+
+const char* WorkloadKindName(WorkloadKind kind) {
+  switch (kind) {
+    case WorkloadKind::kManhattan:
+      return "manhattan";
+    case WorkloadKind::kFlashCrowd:
+      return "flash-crowd";
+    case WorkloadKind::kBattle:
+      return "battle";
+    case WorkloadKind::kCaravan:
+      return "caravan";
+  }
+  return "unknown";
+}
+
+StagedSpawn StageWorkload(const WorkloadConfig& config, int num_avatars,
+                          Vec2 world_min, Vec2 world_max) {
+  StagedSpawn staged;
+  if (num_avatars <= 0 || config.kind == WorkloadKind::kManhattan) {
+    return staged;
+  }
+  staged.positions.reserve(static_cast<size_t>(num_avatars));
+  staged.directions.reserve(static_cast<size_t>(num_avatars));
+  switch (config.kind) {
+    case WorkloadKind::kManhattan:
+      break;
+    case WorkloadKind::kFlashCrowd:
+      StageFlashCrowd(config, num_avatars, &staged);
+      break;
+    case WorkloadKind::kBattle:
+      StageBattle(config, num_avatars, world_min, world_max, &staged);
+      break;
+    case WorkloadKind::kCaravan:
+      StageCaravan(config, num_avatars, world_min, world_max, &staged);
+      break;
+  }
+  return staged;
+}
+
+void ApplyWorkload(Scenario* scenario) {
+  const WorkloadConfig& cfg = scenario->workload;
+  scenario->world.sparse_reads = cfg.sparse_reads;
+  if (cfg.kind == WorkloadKind::kManhattan) return;
+  StagedSpawn staged =
+      StageWorkload(cfg, scenario->num_clients, scenario->world.bounds.min,
+                    scenario->world.bounds.max);
+  scenario->world.spawn.explicit_positions = std::move(staged.positions);
+  scenario->world.spawn.explicit_directions = std::move(staged.directions);
+}
+
+}  // namespace seve

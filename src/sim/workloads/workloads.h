@@ -1,0 +1,75 @@
+#ifndef SEVE_SIM_WORKLOADS_WORKLOADS_H_
+#define SEVE_SIM_WORKLOADS_WORKLOADS_H_
+
+#include <vector>
+
+#include "spatial/vec2.h"
+
+namespace seve {
+
+struct Scenario;
+
+/// The workload zoo (DESIGN.md §13): declarative crowd-movement stagings
+/// layered over the Manhattan People world. Each workload only chooses
+/// initial avatar positions and headings — movement, collision and wire
+/// behaviour are untouched, so every workload runs on every architecture
+/// and stays digest-deterministic.
+enum class WorkloadKind {
+  /// Default procedural city crowd (WorldConfig::spawn pattern).
+  kManhattan,
+  /// Flash crowd: avatars spawn on the perimeter of a square around
+  /// `focus` and all walk inward — density and conflict-chain length
+  /// spike as the run progresses.
+  kFlashCrowd,
+  /// Two-army battle: two densely packed blocks face each other across a
+  /// front line through `focus` and advance.
+  kBattle,
+  /// Caravan: a long multi-lane column starts at the west edge and
+  /// migrates east — sustained motion, locally dense, globally sparse.
+  kCaravan,
+};
+
+const char* WorkloadKindName(WorkloadKind kind);
+
+/// Scenario-level workload selection plus the scale knobs that make the
+/// six-figure regimes tractable.
+struct WorkloadConfig {
+  WorkloadKind kind = WorkloadKind::kManhattan;
+
+  /// Staging reference point (flash-crowd convergence target, battle
+  /// front midpoint, caravan lane centerline).
+  Vec2 focus{500.0, 500.0};
+  /// Flash crowd: half-side of the square spawn perimeter.
+  double crowd_radius = 120.0;
+  /// Battle: gap between the opposing front rows.
+  double front_gap = 60.0;
+  /// Within-formation spacing (battle ranks, caravan lanes).
+  double spacing = 2.0;
+
+  /// Forwarded to WorldConfig::sparse_reads: declare only the mover's own
+  /// avatar instead of the O(N) neighbourhood scan.
+  bool sparse_reads = false;
+  /// Run the runner's every-500ms visibility sampler (the Figure 8
+  /// metric). O(N²) — turn off for six-figure populations.
+  bool sample_visibility = true;
+};
+
+/// Computes the staged spawn positions for `kind` (count avatars inside
+/// `min`..`max`-style bounds given via the scenario's world config) and
+/// writes them into the scenario's SpawnConfig, then forwards the scale
+/// knobs. kManhattan leaves the procedural spawn untouched. Idempotent:
+/// positions are recomputed from the config each call.
+void ApplyWorkload(Scenario* scenario);
+
+/// The staged positions/headings alone (exposed for tests): entry i is
+/// avatar i's spawn. Both vectors are empty for kManhattan.
+struct StagedSpawn {
+  std::vector<Vec2> positions;
+  std::vector<Vec2> directions;
+};
+StagedSpawn StageWorkload(const WorkloadConfig& config, int num_avatars,
+                          Vec2 world_min, Vec2 world_max);
+
+}  // namespace seve
+
+#endif  // SEVE_SIM_WORKLOADS_WORKLOADS_H_

@@ -46,37 +46,50 @@ ManhattanWorld::ManhattanWorld(const WorldConfig& config, uint64_t seed)
   const int grid_cols = static_cast<int>(
       std::ceil(std::sqrt(static_cast<double>(config_.num_avatars))));
 
+  const std::vector<Vec2>& staged = config_.spawn.explicit_positions;
+  const std::vector<Vec2>& headings = config_.spawn.explicit_directions;
+
   for (int i = 0; i < config_.num_avatars; ++i) {
     Vec2 pos;
-    switch (config_.spawn.pattern) {
-      case SpawnConfig::Pattern::kUniform:
-        pos = {spawn_rng.NextDouble(b.min.x, b.max.x),
-               spawn_rng.NextDouble(b.min.y, b.max.y)};
-        break;
-      case SpawnConfig::Pattern::kGrid: {
-        const double spacing = config_.spawn.grid_spacing;
-        const int row = i / grid_cols;
-        const int col = i % grid_cols;
-        const Vec2 center{0.5 * (b.min.x + b.max.x),
-                          0.5 * (b.min.y + b.max.y)};
-        const double half = 0.5 * spacing * (grid_cols - 1);
-        pos = {center.x - half + spacing * col,
-               center.y - half + spacing * row};
-        break;
-      }
-      case SpawnConfig::Pattern::kClustered: {
-        const Vec2 center =
-            cluster_centers[static_cast<size_t>(i) % cluster_centers.size()];
-        pos = {center.x + spawn_rng.NextGaussian() * config_.spawn.cluster_sigma,
-               center.y + spawn_rng.NextGaussian() * config_.spawn.cluster_sigma};
-        break;
+    if (!staged.empty()) {
+      pos = staged[static_cast<size_t>(i) % staged.size()];
+    } else {
+      switch (config_.spawn.pattern) {
+        case SpawnConfig::Pattern::kUniform:
+          pos = {spawn_rng.NextDouble(b.min.x, b.max.x),
+                 spawn_rng.NextDouble(b.min.y, b.max.y)};
+          break;
+        case SpawnConfig::Pattern::kGrid: {
+          const double spacing = config_.spawn.grid_spacing;
+          const int row = i / grid_cols;
+          const int col = i % grid_cols;
+          const Vec2 center{0.5 * (b.min.x + b.max.x),
+                            0.5 * (b.min.y + b.max.y)};
+          const double half = 0.5 * spacing * (grid_cols - 1);
+          pos = {center.x - half + spacing * col,
+                 center.y - half + spacing * row};
+          break;
+        }
+        case SpawnConfig::Pattern::kClustered: {
+          const Vec2 center = cluster_centers[static_cast<size_t>(i) %
+                                              cluster_centers.size()];
+          pos = {center.x +
+                     spawn_rng.NextGaussian() * config_.spawn.cluster_sigma,
+                 center.y +
+                     spawn_rng.NextGaussian() * config_.spawn.cluster_sigma};
+          break;
+        }
       }
     }
     pos = b.Clamp(pos);
 
+    const Vec2 heading = static_cast<size_t>(i) < headings.size()
+                             ? headings[static_cast<size_t>(i)]
+                             : AxisAlignedDirection(&spawn_rng);
+
     Object avatar(AvatarId(i));
     avatar.Set(kAttrPosition, Value(pos));
-    avatar.Set(kAttrDirection, Value(AxisAlignedDirection(&spawn_rng)));
+    avatar.Set(kAttrDirection, Value(heading));
     avatar.Set(kAttrBumps, Value(int64_t{0}));
     avatar.Set(kAttrHealth, Value(100.0));
     (void)initial_state_.Insert(std::move(avatar));
@@ -97,14 +110,16 @@ std::shared_ptr<const MoveAction> ManhattanWorld::MakeMove(
   // Apply() consult exactly these declared avatars.
   const double declare_range = config_.move_effect_range;
   ObjectSet read_set({avatar});
-  for (int i = 0; i < config_.num_avatars; ++i) {
-    const ObjectId other = AvatarId(i);
-    if (other == avatar) continue;
-    const Object* obj = view.Find(other);
-    if (obj == nullptr) continue;
-    if (DistanceSq(obj->Get(kAttrPosition).AsVec2(), pos) <=
-        declare_range * declare_range) {
-      read_set.Insert(other);
+  if (!config_.sparse_reads) {
+    for (int i = 0; i < config_.num_avatars; ++i) {
+      const ObjectId other = AvatarId(i);
+      if (other == avatar) continue;
+      const Object* obj = view.Find(other);
+      if (obj == nullptr) continue;
+      if (DistanceSq(obj->Get(kAttrPosition).AsVec2(), pos) <=
+          declare_range * declare_range) {
+        read_set.Insert(other);
+      }
     }
   }
 

@@ -2,6 +2,7 @@
 #define SEVE_WORLD_MANHATTAN_WORLD_H_
 
 #include <memory>
+#include <vector>
 
 #include "common/rng.h"
 #include "common/types.h"
@@ -26,6 +27,14 @@ struct SpawnConfig {
   /// (the paper's empirically determined 6.87).
   int clusters = 6;
   double cluster_sigma = 15.0;
+  /// Staged placement (the workload zoo, sim/workloads): when non-empty,
+  /// avatar i spawns at explicit_positions[i % size] (clamped to bounds)
+  /// instead of the procedural pattern. explicit_directions[i] likewise
+  /// overrides the random initial heading for i < size. Spawn-rng draws
+  /// are skipped for overridden fields, so appending avatars never
+  /// perturbs earlier ones.
+  std::vector<Vec2> explicit_positions;
+  std::vector<Vec2> explicit_directions;
 };
 
 /// Full parameterization of a Manhattan People world (Table I defaults).
@@ -43,6 +52,11 @@ struct WorldConfig {
   /// Avatar visibility (Table I: 30 units); drives per-move cost and the
   /// RING baseline's filter.
   double visibility = 30.0;
+  /// Declare only the mover's own avatar as the read set instead of the
+  /// O(num_avatars) neighbourhood scan — the six-figure-population regime
+  /// switch (conflicts degrade to per-avatar chains; routing still fans
+  /// out through interest profiles).
+  bool sparse_reads = false;
   SpawnConfig spawn;
 };
 

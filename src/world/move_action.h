@@ -35,6 +35,9 @@ class MoveAction : public Action {
 
   int64_t WireSize() const override;
   std::string ToString() const override;
+  /// Moves are position-absorbing: a newer move by the same avatar makes
+  /// its queued, never-delivered predecessor redundant.
+  bool IsMovement() const override { return true; }
 
   ObjectId avatar() const { return avatar_; }
   double step() const { return step_; }

@@ -262,6 +262,7 @@ class Linter {
       CheckUnorderedContainers(f);
       CheckBannedFunctions(f);
       CheckPointerKeys(f);
+      CheckHotVectorRealloc(f);
       CheckStdFunction(f);
       CheckRawNewDelete(f);
       CheckLayering(f);
@@ -392,6 +393,55 @@ class Linter {
                    " keyed on a pointer: pointer order is allocation "
                    "order and varies run to run; key on a stable id");
       }
+    }
+  }
+
+  // --- hot-vector-realloc --------------------------------------------------
+  // Receiver identifier of a `recv.method(` / `recv->method(` call, where
+  // `i` indexes the method name. Empty when the receiver is not a plain
+  // identifier (indexing or call results).
+  static std::string ReceiverOf(const std::vector<Token>& t, size_t i) {
+    if (i >= 2 && IsTok(t, i - 1, TokKind::kPunct, ".") &&
+        t[i - 2].kind == TokKind::kIdent) {
+      return t[i - 2].text;
+    }
+    if (i >= 3 && IsTok(t, i - 1, TokKind::kPunct, ">") &&
+        IsTok(t, i - 2, TokKind::kPunct, "-") &&
+        t[i - 3].kind == TokKind::kIdent) {
+      return t[i - 3].text;
+    }
+    return "";
+  }
+
+  void CheckHotVectorRealloc(const LexedFile& f) {
+    const std::string& p = f.src->path;
+    if (!InDir(p, "src/protocol")) return;
+    const std::vector<Token>& t = f.tokens;
+    // Pass 1: receivers with a reserve() call anywhere in this file —
+    // matching is by identifier, so one reserve at construction or at
+    // batch start covers every later append to that name.
+    std::set<std::string> reserved;
+    for (size_t i = 0; i < t.size(); ++i) {
+      if (IsTok(t, i, TokKind::kIdent, "reserve") &&
+          IsTok(t, i + 1, TokKind::kPunct, "(")) {
+        const std::string recv = ReceiverOf(t, i);
+        if (!recv.empty()) reserved.insert(recv);
+      }
+    }
+    for (size_t i = 0; i < t.size(); ++i) {
+      if (t[i].kind != TokKind::kIdent ||
+          (t[i].text != "push_back" && t[i].text != "emplace_back") ||
+          !IsTok(t, i + 1, TokKind::kPunct, "(")) {
+        continue;
+      }
+      const std::string recv = ReceiverOf(t, i);
+      if (!recv.empty() && reserved.count(recv)) continue;
+      Report(f, "hot-vector-realloc", t[i].line,
+             (recv.empty() ? std::string("append")
+                           : recv + "." + t[i].text) +
+                 " without a reserve() on the same receiver in this file: "
+                 "growth reallocations on the protocol hot path; reserve "
+                 "a bound up front or annotate a cold path");
     }
   }
 

@@ -23,6 +23,10 @@
 //                            src/sim, src/protocol, src/world — pointer
 //                            order is allocation order, which varies
 //                            run to run.
+//   hot-vector-realloc       push_back/emplace_back in src/protocol with
+//                            no reserve() on the same receiver anywhere
+//                            in the file — growth reallocations on the
+//                            per-action/per-flush hot path.
 //   hot-std-function         std::function in src/net and src/sim where
 //                            seve::InlineFunction is mandated (one heap
 //                            allocation per callback on the event-loop

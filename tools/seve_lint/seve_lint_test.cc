@@ -148,6 +148,65 @@ TEST(PointerKeyRule, FiresOnFlatMapPointerKey) {
 }
 
 // ---------------------------------------------------------------------------
+// hot-vector-realloc
+// ---------------------------------------------------------------------------
+
+TEST(HotVectorReallocRule, FiresOnUnreservedAppendInProtocol) {
+  const std::string code =
+      "void f(std::vector<int>& out) {\n"
+      "  out.push_back(1);\n"
+      "}\n";
+  auto findings = Lint({{"src/protocol/x.cc", code}});
+  ASSERT_EQ(CountRule(findings, "hot-vector-realloc"), 1);
+  EXPECT_EQ(FindRule(findings, "hot-vector-realloc")->line, 2);
+}
+
+TEST(HotVectorReallocRule, ReserveOnSameReceiverAnywhereInFileClears) {
+  const std::string code =
+      "void f(std::vector<int>& out, size_t n) {\n"
+      "  out.reserve(n);\n"
+      "  for (size_t i = 0; i < n; ++i) out.push_back(1);\n"
+      "}\n"
+      "void g(std::vector<int>* items) {\n"
+      "  items->reserve(4);\n"
+      "  items->emplace_back(2);\n"
+      "}\n";
+  EXPECT_TRUE(Lint({{"src/protocol/x.cc", code}}).empty());
+}
+
+TEST(HotVectorReallocRule, ArrowAppendAndEmplaceBackAreCovered) {
+  const std::string code =
+      "void f(std::vector<int>* out) {\n"
+      "  out->push_back(1);\n"
+      "  out->emplace_back(2);\n"
+      "}\n";
+  EXPECT_EQ(CountRule(Lint({{"src/protocol/x.cc", code}}),
+                      "hot-vector-realloc"),
+            2);
+}
+
+TEST(HotVectorReallocRule, NonIdentifierReceiverStillFires) {
+  // Indexed/call-result receivers can't be matched to a reserve, so the
+  // rule stays conservative and requires an annotation.
+  const std::string code = "void f() { table[k].push_back(1); }\n";
+  EXPECT_EQ(CountRule(Lint({{"src/protocol/x.cc", code}}),
+                      "hot-vector-realloc"),
+            1);
+}
+
+TEST(HotVectorReallocRule, SilentOutsideProtocolAndWhenAllowed) {
+  const std::string code = "void f() { out.push_back(1); }\n";
+  EXPECT_TRUE(Lint({{"src/sim/x.cc", code}}).empty());
+  EXPECT_TRUE(Lint({{"src/net/x.cc", code}}).empty());
+  EXPECT_TRUE(
+      Lint({{"src/protocol/x.cc",
+             "void f() {\n"
+             "  out.push_back(1);  // seve-lint: allow(hot-vector-realloc): cold\n"
+             "}\n"}})
+          .empty());
+}
+
+// ---------------------------------------------------------------------------
 // hot-std-function
 // ---------------------------------------------------------------------------
 
