@@ -1,72 +1,181 @@
-// Figure 6 companion: response time and commit-protocol mix of the
-// zone-sharded serialization tier (DESIGN.md §12) as the shard count
-// grows 1 -> 4 -> 8 -> 16 at a fixed client population.
+// Figure 6 companion, XL edition: the zone-sharded serialization tier
+// driven to six-figure populations (DESIGN.md §12/§14). Sweeps
+// 10k/25k/50k/100k flash-crowd clients across 1/4/8/16 shards, each
+// multi-shard point in two arms:
+//   static      — the seed partition, no ownership movement;
+//   rebalanced  — the load-aware rebalancer migrates crowd members off
+//                 the hottest shards every 500 ms (shard/rebalancer.h).
 //
-// Expected shape: almost all actions keep the 1-RTT fast path (the
-// Bloom-fold containment test routes them locally), a small
-// boundary-proportional fraction escalates to the two-phase cross-shard
-// commit and pays the extra shard-to-shard round trip, and the mean
-// response time stays near the single-server Incomplete-World figure
-// while per-shard serialization load drops roughly linearly.
+// The flash crowd spawns in tight shells around the world centre, so the
+// static partition leaves the outer shards idle: max/mean queue-depth
+// imbalance sits near  #shards / #occupied-cells  (~4 at 16 shards).
+// The rebalanced arm must pull the last-window imbalance toward 1 while
+// the merged committed state stays bit-identical to the 1-shard arm —
+// handoffs change which shard serializes, never what commits. The binary
+// exits non-zero if any arm of a population diverges from its 1-shard
+// digest, so CI can gate on it directly.
 //
-// The workload is Table I's clustered spawn with the cluster count
-// raised so crowds land all over the world: each extra shard adds cuts
-// through inhabited territory, so the escalated fraction in
-// BENCH_fig6_sharded.json grows with the shard count instead of being a
-// fixed centre-of-the-world artifact.
+// Scale knobs (all digest-neutral across the compared arms):
+// sparse_reads (singleton closures), sparse_replicas (own-avatar client
+// state), sample_visibility off, fixed per-move evaluation cost.
+//
+// Flags: --quick (CI smoke), --jobs N, --clients N / --shards M (focused
+// run: population N at 1 + M shards, both arms — the perf-smoke leg uses
+// --quick --clients 20000 --shards 8).
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "sim/sweep.h"
 
+namespace {
+
+int IntFlag(int argc, char** argv, const char* name, int fallback) {
+  const size_t len = std::strlen(name);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0 && i + 1 < argc) {
+      return std::atoi(argv[i + 1]);
+    }
+    if (std::strncmp(argv[i], name, len) == 0 && argv[i][len] == '=') {
+      return std::atoi(argv[i] + len + 1);
+    }
+  }
+  return fallback;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace seve;
   bench::Banner(
-      "Figure 6 (sharded) - serialization tier scaling across shards",
-      "fast path stays ~1 RTT at any shard count; only boundary closures "
-      "pay the cross-shard commit");
+      "Figure 6 (sharded XL) - 100k-avatar flash crowd across shards",
+      "per-shard load drops with the shard count; rebalancing handoffs "
+      "flatten the crowd's hot spot without perturbing the committed "
+      "state");
 
   const bool quick = bench::QuickMode(argc, argv);
   const int num_jobs = bench::JobsArg(argc, argv);
-  const int clients = quick ? 16 : 64;
+  const int clients_override = IntFlag(argc, argv, "--clients", 0);
+  const int shards_override = IntFlag(argc, argv, "--shards", 0);
+
+  std::vector<int> populations;
+  std::vector<int> shard_counts;
+  if (clients_override > 0) {
+    populations = {clients_override};
+  } else if (quick) {
+    populations = {2000};
+  } else {
+    populations = {10'000, 25'000, 50'000, 100'000};
+  }
+  if (shards_override > 0) {
+    shard_counts = {shards_override};
+  } else if (quick) {
+    shard_counts = {4, 8};
+  } else {
+    shard_counts = {4, 8, 16};
+  }
+
+  auto base_scenario = [&](int clients) {
+    Scenario s = Scenario::TableOne(clients);
+    s.moves_per_client = quick ? 6 : 12;
+    // 1 s between moves keeps the hot shards below saturation (the
+    // static imbalance is geometry — 4 crowded cells — not overload).
+    // At the Table-One 300 ms cadence a 100k hot spot queues seconds of
+    // backlog, and the handoff message chain itself waits behind it, so
+    // no migration lands inside the measured run.
+    s.move_period_us = 1000 * kMicrosPerMilli;
+    s.world.num_walls = 1000;
+    s.link_kbps = 0.0;
+    s.fixed_move_cost_us = 50;
+    s.workload.kind = WorkloadKind::kFlashCrowd;
+    s.workload.crowd_radius = 120.0;
+    s.workload.spacing = 0.5;
+    s.workload.sparse_reads = true;
+    s.workload.sparse_replicas = true;
+    s.workload.sample_visibility = false;
+    // Load sampling runs in every arm; only `rebalance.enabled` arms act
+    // on it. One epoch must be able to drain a 100k-avatar hot spot in a
+    // single plan (at 16 shards that is ~75k handoffs): the windows that
+    // overlap the handoff burst are poisoned and skipped, so a capped
+    // first epoch would leave residual hot shards with no re-plan until
+    // the burst settles.
+    // The epoch matches the move period, so every window sees each
+    // client exactly once and the arrival delta is an exact ownership
+    // count. A shorter window samples only the clients whose submission
+    // phase lands inside it — structural skew above the headroom that
+    // keeps re-triggering ~500-move corrections whose own adoption
+    // transients spike the late windows (a 3-window limit cycle).
+    s.rebalance.period_us = s.move_period_us;
+    s.rebalance.headroom = 1.1;
+    s.rebalance.max_moves_per_epoch = 100'000;
+    return s;
+  };
 
   std::vector<SweepJob> jobs;
-  for (const int shards : {1, 4, 8, 16}) {
-    Scenario s = Scenario::TableOne(clients);
-    s.world.spawn.clusters = 16;
-    s.world.spawn.cluster_sigma = 5.0;
-    if (quick) {
-      s.world.num_walls = 10000;
-      s.moves_per_client = 20;
-      // Keep per-cluster density at the full run's ~4 avatars.
-      s.world.spawn.clusters = 4;
+  for (const int clients : populations) {
+    const std::string pop = std::to_string(clients / 1000) + "k";
+    {
+      Scenario s = base_scenario(clients);
+      s.shards = 1;
+      jobs.push_back(SweepJob{"static-" + pop, 1.0,
+                              Architecture::kSeveSharded, std::move(s)});
     }
-    s.shards = shards;
-    jobs.push_back(SweepJob{"SEVE-sharded", static_cast<double>(shards),
-                            Architecture::kSeveSharded, std::move(s)});
+    for (const int shards : shard_counts) {
+      Scenario s = base_scenario(clients);
+      s.shards = shards;
+      jobs.push_back(SweepJob{"static-" + pop,
+                              static_cast<double>(shards),
+                              Architecture::kSeveSharded, s});
+      s.rebalance.enabled = true;
+      jobs.push_back(SweepJob{"rebalanced-" + pop,
+                              static_cast<double>(shards),
+                              Architecture::kSeveSharded, std::move(s)});
+    }
   }
+
   const std::vector<SweepResult> results =
       bench::RunSweepAndPrint(jobs, num_jobs);
 
-  std::printf("\ncommit-protocol mix per shard count:\n");
-  for (size_t i = 0; i < results.size(); ++i) {
-    ShardCounters total;
-    for (const ShardCounters& sc : results[i].report.shard_counters) {
-      total.Merge(sc);
+  std::printf(
+      "\nload imbalance (max/mean of per-shard queue peaks) and handoffs:\n");
+  int parity_failures = 0;
+  size_t row = 0;
+  for (const int clients : populations) {
+    const uint64_t reference = results[row].report.final_state_digest;
+    const size_t rows_this_pop = 1 + 2 * shard_counts.size();
+    for (size_t k = 0; k < rows_this_pop; ++k, ++row) {
+      const SweepJob& job = jobs[row];
+      const RunReport& r = results[row].report;
+      ShardCounters total;
+      for (const ShardCounters& sc : r.shard_counters) total.Merge(sc);
+      const bool parity = r.final_state_digest == reference;
+      if (!parity) ++parity_failures;
+      std::printf(
+          "  %-16s clients=%6d shards=%2d  imbalance=%5.2f->%5.2f  "
+          "planned=%6lld out=%6lld in=%6lld aborts=%lld pending=%lld  "
+          "rehomed=%6lld  digest=%s\n",
+          job.label.c_str(), clients, static_cast<int>(job.x),
+          r.load_imbalance_first, r.load_imbalance_last,
+          static_cast<long long>(r.migration_moves_planned),
+          static_cast<long long>(total.migrations_out),
+          static_cast<long long>(total.migrations_in),
+          static_cast<long long>(total.migration_aborts),
+          static_cast<long long>(total.migrations_pending),
+          static_cast<long long>(total.rehomed_clients),
+          parity ? "match" : "MISMATCH");
     }
-    std::printf(
-        "  shards=%2d  fast_path=%6lld  escalated=%6lld  "
-        "fast_fraction=%6.2f%%  tokens=%6lld  commits=%6lld  aborts=%lld\n",
-        static_cast<int>(jobs[i].x), static_cast<long long>(total.fast_path),
-        static_cast<long long>(total.escalated),
-        total.FastPathFraction() * 100.0,
-        static_cast<long long>(total.tokens_served),
-        static_cast<long long>(total.commits),
-        static_cast<long long>(total.aborts));
   }
 
   bench::WriteBenchJson("fig6_sharded", num_jobs, quick, jobs, results);
+  if (parity_failures != 0) {
+    std::fprintf(stderr,
+                 "FAIL: %d arm(s) diverged from their 1-shard digest\n",
+                 parity_failures);
+    return 1;
+  }
   return 0;
 }

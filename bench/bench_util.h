@@ -224,6 +224,34 @@ inline bool WriteBenchJson(const std::string& bench_name, int num_jobs,
       j += ", \"escalated_total\": " + std::to_string(total.escalated);
       j += ", \"fast_path_fraction\": ";
       detail::AppendDouble(&j, total.FastPathFraction());
+      // Load + migration totals (DESIGN.md §14).
+      j += ", \"submits_total\": " + std::to_string(total.submits);
+      j += ", \"queue_depth_peak\": " +
+           std::to_string(total.queue_depth_peak);
+      j += ", \"migrations_out_total\": " +
+           std::to_string(total.migrations_out);
+      j += ", \"migrations_in_total\": " +
+           std::to_string(total.migrations_in);
+      j += ", \"migration_aborts_total\": " +
+           std::to_string(total.migration_aborts);
+      j += ", \"migrations_pending_total\": " +
+           std::to_string(total.migrations_pending);
+      j += ", \"rehomed_clients_total\": " +
+           std::to_string(total.rehomed_clients);
+      j += ", \"escalated_pushes_total\": " +
+           std::to_string(total.escalated_pushes);
+      j += ", \"migration_moves_planned\": " +
+           std::to_string(r.migration_moves_planned);
+      j += ", \"load_imbalance_first\": ";
+      detail::AppendDouble(&j, r.load_imbalance_first);
+      j += ", \"load_imbalance_last\": ";
+      detail::AppendDouble(&j, r.load_imbalance_last);
+      j += ", \"imbalance_windows\": [";
+      for (size_t w = 0; w < r.shard_imbalance_windows.size(); ++w) {
+        if (w > 0) j += ", ";
+        detail::AppendDouble(&j, r.shard_imbalance_windows[w]);
+      }
+      j += "]";
       j += ", \"shards\": [";
       for (size_t sh = 0; sh < r.shard_counters.size(); ++sh) {
         const ShardCounters& sc = r.shard_counters[sh];
@@ -234,6 +262,19 @@ inline bool WriteBenchJson(const std::string& bench_name, int num_jobs,
         j += ", \"commits\": " + std::to_string(sc.commits);
         j += ", \"aborts\": " + std::to_string(sc.aborts);
         j += ", \"stale_tokens\": " + std::to_string(sc.stale_tokens);
+        j += ", \"submits\": " + std::to_string(sc.submits);
+        j += ", \"queue_depth_peak\": " +
+             std::to_string(sc.queue_depth_peak);
+        j += ", \"migrations_out\": " + std::to_string(sc.migrations_out);
+        j += ", \"migrations_in\": " + std::to_string(sc.migrations_in);
+        j += ", \"migration_aborts\": " +
+             std::to_string(sc.migration_aborts);
+        j += ", \"migrations_pending\": " +
+             std::to_string(sc.migrations_pending);
+        j += ", \"rehomed_clients\": " +
+             std::to_string(sc.rehomed_clients);
+        j += ", \"escalated_pushes\": " +
+             std::to_string(sc.escalated_pushes);
         j += "}";
       }
       j += "]";

@@ -62,6 +62,35 @@ class ClientTable {
     return slot;
   }
 
+  /// A client's registration record, detached from any slot — the unit
+  /// the ownership-migration protocol ships between shards (DESIGN.md
+  /// §14). The source shard extracts it, the destination adopts it.
+  struct ClientRecord {
+    ClientId id;
+    NodeId node;
+    InterestProfile profile;
+  };
+
+  ClientRecord ExtractRecord(Slot slot) const {
+    return ClientRecord{ids_[slot], nodes_[slot], ProfileOf(slot)};
+  }
+
+  /// Adopts a migrated client record: re-registers, or — when the client
+  /// was homed here before (an object migrating back) — refreshes the
+  /// existing slot's node and profile in place, so no duplicate slot is
+  /// minted. There is deliberately no unregister: the source's slot
+  /// stays behind as an inert record (its pending list is cleared by the
+  /// caller; flushes skip empty lists).
+  Slot Adopt(const ClientRecord& record, VirtualTime now) {
+    const Slot existing = SlotOf(record.id);
+    if (existing != kNoSlot) {
+      nodes_[existing] = record.node;
+      SetProfile(existing, record.profile, now);
+      return existing;
+    }
+    return Register(record.id, record.node, record.profile, now);
+  }
+
   size_t size() const { return ids_.size(); }
   Slot SlotOf(ClientId id) const {
     const Slot* slot = slot_of_.Find(id);

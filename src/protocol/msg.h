@@ -1,6 +1,7 @@
 #ifndef SEVE_PROTOCOL_MSG_H_
 #define SEVE_PROTOCOL_MSG_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "action/action.h"
@@ -26,6 +27,14 @@ enum MsgKind : int {
   kCentralInput = 100,  // client -> central server: input command
   kCentralAck = 101,    // central server -> origin client: action result
   kObjectUpdate = 102,  // object-state push (Central/Broadcast/RING)
+
+  // Ownership migration, client-facing leg (DESIGN.md §14). Numbered in
+  // the shard migration block (320..) — see shard/shard_msg.h for the
+  // shard-to-shard members — but defined here because SeveClient speaks
+  // them: the protocol layer must not depend on shard headers.
+  kRehome = 324,      // source shard -> client: switch your server to dest
+  kRehomeAck = 325,   // client -> source shard: switched; source may drain
+  kRehomeDone = 326,  // dest shard -> client: adopted; flush buffered actions
 };
 
 /// Client -> server: submit one action for serialization (Alg. 1 step 2 /
@@ -163,6 +172,38 @@ struct SnapshotChunkBody : MessageBody {
     for (const OrderedAction& rec : tail) size += 8 + rec.action->WireSize();
     return size;
   }
+};
+
+/// Source shard -> client: your avatar is moving to the shard at
+/// `dest_node`; point your submissions there and ack so the source can
+/// drain. The client buffers fresh submissions until RehomeDone.
+struct RehomeBody : MessageBody {
+  ObjectId object;
+  ClientId client;
+  uint64_t dest_node = 0;  // NodeId value of the destination shard
+  uint64_t epoch = 0;
+  int kind() const override { return kRehome; }
+  int64_t WireSize() const { return 36; }
+};
+
+/// Client -> source shard: the client switched servers; everything it
+/// sent before this ack is already in the source's queue (FIFO link), so
+/// the source's drain wait now covers every straggler.
+struct RehomeAckBody : MessageBody {
+  ClientId client;
+  ObjectId object;
+  uint64_t epoch = 0;
+  int kind() const override { return kRehomeAck; }
+  int64_t WireSize() const { return 28; }
+};
+
+/// Destination shard -> client: the adoption installed; the client flushes
+/// its buffered submissions into the new shard's stream.
+struct RehomeDoneBody : MessageBody {
+  ClientId client;
+  ObjectId object;
+  int kind() const override { return kRehomeDone; }
+  int64_t WireSize() const { return 20; }
 };
 
 }  // namespace seve

@@ -43,6 +43,15 @@ struct SeveOptions {
   /// pre-supersession protocol.
   bool move_supersession = false;
 
+  /// Sharded tier only (SeveShardServer): fan committed escalated-closure
+  /// results out through First-Bound style coalesced push batches (blind
+  /// writes of the stable values) to the interested clients of the owning
+  /// shard, instead of leaving every non-origin client to pull them. The
+  /// single-server tier ignores the flag (its First Bound push already
+  /// covers this). Pure replica freshening: pushes are authoritative
+  /// blind writes, so server state and committed digests are unchanged.
+  bool escalated_push = true;
+
   /// Benchmarking compat mode: run the push flush as the pre-dirty-list
   /// full scan over every registered client. Message contents, costs and
   /// digests are identical to the dirty-list flush; only wall-clock

@@ -61,6 +61,21 @@ void ServerQueue::MarkInvalid(SeqNum pos) {
   if (entry != nullptr) entry->valid = false;
 }
 
+bool ServerQueue::HasUncommittedWriter(ObjectId id) const {
+  const WriterChain* positions = writers_.Find(id);
+  if (positions == nullptr) return false;
+  // The chain is ascending; suffix entries at/above base_ are still in
+  // the queue. Invalid entries don't count (their install is skipped),
+  // but completed-waiting-for-frontier ones do.
+  for (auto it = positions->end(); it != positions->begin();) {
+    --it;
+    if (*it < base_) break;
+    const Entry* entry = Find(*it);
+    if (entry != nullptr && entry->valid) return true;
+  }
+  return false;
+}
+
 SeqNum ServerQueue::NoteMovementAppend(SeqNum pos, ClientId origin) {
   SeqNum* last = last_move_pos_.Find(origin);
   const SeqNum prev = last == nullptr ? kInvalidSeq : *last;

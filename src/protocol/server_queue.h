@@ -208,6 +208,12 @@ class ServerQueue {
   /// WalkConflicts and discarded when they reach the frontier.
   void MarkInvalid(SeqNum pos);
 
+  /// True while any uncommitted entry writes `id`. Completed-but-not-yet-
+  /// installed entries count: their install would re-materialize the
+  /// object. The ownership-migration drain wait (shard/shard_server.cc)
+  /// polls this before moving an object's authoritative record.
+  bool HasUncommittedWriter(ObjectId id) const;
+
   /// Updatable-queue bookkeeping (SeveOptions::move_supersession): call
   /// right after Append(pos) of a movement action. Updates the
   /// per-origin newest-movement index and returns the origin's previous

@@ -33,7 +33,15 @@ void SeveClient::SubmitLocalAction(ActionPtr action) {
     pending_.Push(action, digest, submitted_at);
     ++stats_.actions_submitted;
     auto body = std::make_shared<SubmitActionBody>(action);
-    Send(server_, body->WireSize(), body);
+    if (rehoming_) {
+      // Mid-handoff (DESIGN.md §14): park the body until RehomeDone.
+      // The optimistic evaluation and the pending entry above proceed
+      // normally — only the wire send waits for the new home.
+      // seve-lint: allow(hot-vector-realloc): rehome window only, cold
+      rehome_buffer_.push_back(std::move(body));
+    } else {
+      Send(server_, body->WireSize(), body);
+    }
   });
 }
 
@@ -48,6 +56,12 @@ void SeveClient::Rejoin() {
   last_writer_.Clear();
   applied_.clear();
   tainted_ = ObjectSet{};
+  // A crash mid-rehome: the buffered bodies died with the incarnation
+  // (their pending entries were just reset too). server_ already points
+  // at whichever shard the client last switched to — the rejoin lands
+  // there, and the shards sort out the race (DESIGN.md §14 cases A/B).
+  rehoming_ = false;
+  rehome_buffer_.clear();
   ++stats_.rejoins;
   // Fresh channel incarnation first, so the Rejoin/SnapshotRequest pair
   // (and everything after) rides a stream the server can tell apart from
@@ -93,9 +107,43 @@ void SeveClient::OnMessage(const Message& msg) {
     case kSnapshotChunk:
       HandleSnapshotChunk(static_cast<const SnapshotChunkBody&>(*msg.body));
       break;
+    case kRehome:
+      // Note the rejoining_ gate above: a client mid-rejoin drops the
+      // Rehome, its direct Rejoin reaches the source, and the source
+      // cancels the handoff (case A) — consistent on both ends.
+      HandleRehome(static_cast<const RehomeBody&>(*msg.body));
+      break;
+    case kRehomeDone:
+      HandleRehomeDone(static_cast<const RehomeDoneBody&>(*msg.body));
+      break;
     default:
       break;
   }
+}
+
+void SeveClient::HandleRehome(const RehomeBody& rehome) {
+  if (rehome.client != client_) return;
+  // Ack to the OLD server first: the client->source link is FIFO, so
+  // every submission sent before this ack is already ahead of it in the
+  // source's queue — the ack bounds the source's drain wait exactly.
+  auto ack = std::make_shared<RehomeAckBody>();
+  ack->client = client_;
+  ack->object = rehome.object;
+  ack->epoch = rehome.epoch;
+  Send(server_, ack->WireSize(), ack);
+  server_ = NodeId(rehome.dest_node);
+  rehoming_ = true;
+}
+
+void SeveClient::HandleRehomeDone(const RehomeDoneBody& done) {
+  if (done.client != client_ || !rehoming_) return;
+  // The destination adopted the record; buffered submissions flow into
+  // its stream, in submission order, behind the adoption entry.
+  rehoming_ = false;
+  for (const std::shared_ptr<SubmitActionBody>& body : rehome_buffer_) {
+    Send(server_, body->WireSize(), body);
+  }
+  rehome_buffer_.clear();
 }
 
 void SeveClient::HandleSnapshotChunk(const SnapshotChunkBody& chunk) {

@@ -1,7 +1,9 @@
 #ifndef SEVE_PROTOCOL_SEVE_CLIENT_H_
 #define SEVE_PROTOCOL_SEVE_CLIENT_H_
 
+#include <memory>
 #include <unordered_set>
+#include <vector>
 
 #include "action/action.h"
 #include "common/metrics.h"
@@ -48,6 +50,12 @@ class SeveClient : public Node {
   /// digests as never-failed clients.
   void Rejoin();
   bool rejoining() const { return rejoining_; }
+  /// True between Rehome and RehomeDone: submissions are buffered so the
+  /// destination shard never sees this client before its adoption.
+  bool rehoming() const { return rehoming_; }
+  /// Current home server (changes when the sharded tier rehomes the
+  /// client's avatar).
+  NodeId server() const { return server_; }
 
   ClientId client_id() const { return client_; }
   const WorldState& stable() const { return stable_; }
@@ -72,6 +80,8 @@ class SeveClient : public Node {
   void HandleOwnEcho(const OrderedAction& rec);
   void HandleDropNotice(const DropNoticeBody& notice);
   void HandleSnapshotChunk(const SnapshotChunkBody& chunk);
+  void HandleRehome(const RehomeBody& rehome);
+  void HandleRehomeDone(const RehomeDoneBody& done);
 
   struct ApplyOutcome {
     ResultDigest digest = 0;
@@ -119,6 +129,14 @@ class SeveClient : public Node {
   /// True between Rejoin() and the final SnapshotChunk: protocol traffic
   /// is ignored (it predates the snapshot) and submissions are refused.
   bool rejoining_ = false;
+  /// True between Rehome and RehomeDone (DESIGN.md §14): the avatar's
+  /// record is in flight between shards. Fresh submissions are
+  /// evaluated and queued locally but their bodies are parked in
+  /// rehome_buffer_ — the destination appends every submission to its
+  /// queue before checking registration, so a pre-adoption arrival
+  /// would stall its frontier forever.
+  bool rehoming_ = false;
+  std::vector<std::shared_ptr<SubmitActionBody>> rehome_buffer_;
 };
 
 }  // namespace seve

@@ -1,0 +1,75 @@
+#include "shard/rebalancer.h"
+
+#include <algorithm>
+
+namespace seve {
+
+std::vector<MigrationMove> PlanRebalance(
+    const std::vector<ShardLoad>& loads,
+    const std::vector<std::vector<ObjectId>>& movable,
+    const RebalancePolicy& policy) {
+  std::vector<MigrationMove> moves;
+  if (loads.size() < 2) return moves;
+
+  const size_t shards = loads.size();
+  // Working copies the peel adjusts as it projects each move.
+  std::vector<double> load(shards, 0.0);
+  std::vector<int64_t> remaining(shards, 0);
+  // Per-shard cursor into its movable list: candidates are consumed in
+  // the caller's order (ascending object id), never revisited.
+  std::vector<size_t> cursor(shards, 0);
+  double total = 0.0;
+  for (const ShardLoad& sample : loads) {
+    const size_t s = static_cast<size_t>(sample.shard);
+    load[s] = static_cast<double>(sample.load);
+    remaining[s] = std::min(
+        sample.movable,
+        static_cast<int64_t>(movable[s].size()));
+    total += load[s];
+  }
+  const double mean = total / static_cast<double>(shards);
+  if (mean <= 0.0) return moves;
+
+  for (int step = 0; step < policy.max_moves; ++step) {
+    // Hottest shard with something left to move; ties break on the
+    // lowest id (the determinism contract).
+    size_t hot = shards;
+    for (size_t s = 0; s < shards; ++s) {
+      if (remaining[s] <= 0) continue;
+      if (load[s] <= static_cast<double>(policy.min_load)) continue;
+      if (hot == shards || load[s] > load[hot]) hot = s;
+    }
+    if (hot == shards) break;
+    if (load[hot] <= mean * policy.headroom) break;
+    // Coldest shard, same tie-break. The destination does not need
+    // movable objects of its own — it only receives.
+    size_t cold = 0;
+    for (size_t s = 1; s < shards; ++s) {
+      if (load[s] < load[cold]) cold = s;
+    }
+    if (cold == hot) break;
+
+    // Uniform per-object estimate over the shard's CURRENT remainder:
+    // each peel re-divides, so the projection stays consistent as the
+    // movable pool shrinks.
+    const double per_object =
+        load[hot] / static_cast<double>(std::max<int64_t>(1, remaining[hot]));
+    const ObjectId object = movable[hot][cursor[hot]];
+    ++cursor[hot];
+    --remaining[hot];
+    load[hot] -= per_object;
+    load[cold] += per_object;
+    moves.push_back(MigrationMove{object, static_cast<ShardId>(hot),
+                                  static_cast<ShardId>(cold)});
+  }
+
+  // Pinned execution order: ascending object id, independent of the
+  // greedy visit order above.
+  std::sort(moves.begin(), moves.end(),
+            [](const MigrationMove& a, const MigrationMove& b) {
+              return a.object < b.object;
+            });
+  return moves;
+}
+
+}  // namespace seve

@@ -1,0 +1,64 @@
+#ifndef SEVE_SHARD_REBALANCER_H_
+#define SEVE_SHARD_REBALANCER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "shard/shard_map.h"
+
+namespace seve {
+
+/// One shard's load sample for a rebalancing epoch. `load` is whatever
+/// scalar the caller samples (the runner uses the submit-count delta,
+/// the CI gate the queue-depth peak); `movable` is how many movable
+/// objects the shard currently homes — the per-object load estimate is
+/// load / movable.
+struct ShardLoad {
+  ShardId shard = 0;
+  int64_t load = 0;
+  int64_t movable = 0;
+};
+
+/// Knobs of the greedy peel (PlanRebalance).
+struct RebalancePolicy {
+  /// Stop peeling a shard once its projected load is within
+  /// `headroom` x mean (1.25 = tolerate 25% over the mean).
+  double headroom = 1.25;
+  /// Hard cap on moves per planning epoch (keeps the handoff burst — and
+  /// the per-move Offer/Commit traffic — bounded).
+  int max_moves = 64;
+  /// Shards at or below this load are never peeled (noise floor).
+  int64_t min_load = 1;
+};
+
+/// One planned handoff: `object`'s record moves from shard `from` to
+/// shard `to` (executed by SeveShardServer::StartMigration).
+struct MigrationMove {
+  ObjectId object;
+  ShardId from = 0;
+  ShardId to = 0;
+};
+
+/// Deterministic load-aware migration planning (DESIGN.md §14): greedily
+/// peels movable objects off the hottest shard onto the coldest until
+/// every shard's projected load fits under headroom x mean or the move
+/// budget runs out.
+///
+/// Determinism contract: the plan is a pure function of the inputs. Ties
+/// break on the lowest shard id, candidate objects are consumed in the
+/// caller-provided order (the runner passes them ascending by object
+/// id), and the returned moves are sorted by object id — so every run
+/// with the same samples schedules the same handoffs in the same order.
+///
+/// `movable[s]` lists shard s's movable objects; `loads` must cover
+/// every shard exactly once. Objects are assumed to contribute
+/// load[s] / movable[s] each (uniform within a shard).
+std::vector<MigrationMove> PlanRebalance(
+    const std::vector<ShardLoad>& loads,
+    const std::vector<std::vector<ObjectId>>& movable,
+    const RebalancePolicy& policy);
+
+}  // namespace seve
+
+#endif  // SEVE_SHARD_REBALANCER_H_

@@ -24,19 +24,24 @@ inline NodeId ShardServerNode(ShardId s) {
   return NodeId(kShardNodeIdBase + static_cast<uint64_t>(s));
 }
 
-/// Static partition of the object-id space across N shard servers
-/// (DESIGN.md §12). Derived from the zoned baseline's ZoneMap: the world
-/// is tiled into a cols x rows grid (N factored as close to square as
-/// possible — 8 shards tile 4 x 2), and every object id is assigned the
-/// shard whose cell contains its *initial* position. Ownership is by id
-/// and never migrates: avatars that wander across a cell boundary stay
-/// with their home shard, so routing, commit stamps and the serializa-
-/// bility argument never depend on a moving assignment.
+/// Partition of the object-id space across N shard servers (DESIGN.md
+/// §12/§14). Derived from the zoned baseline's ZoneMap: the world is
+/// tiled into a cols x rows grid (N factored as close to square as
+/// possible — 8 shards tile 4 x 2), and every object id starts on the
+/// shard whose cell contains its *initial* position. Ownership is by id,
+/// not position: avatars that wander across a cell boundary stay with
+/// their owner until an explicit MigrateOwner (the PR 8 handoff
+/// protocol's commit point) moves the record, so routing, commit stamps
+/// and the serializability argument never depend on a silently moving
+/// assignment.
 ///
 /// Alongside the exact owner map the ShardMap folds each shard's ids
 /// into a 64-bit Bloom signature (bit id mod 64, the ObjectSet fold), so
 /// ObjectSet::IsSubsetOfShard can reject cross-shard read sets with one
-/// AND before any per-id lookup.
+/// AND before any per-id lookup. Migration keeps the signatures a safe
+/// superset: the destination's fold gains the id's bit, the source's
+/// keeps it (a stale bit only costs the exact-owner loop a look — the
+/// Bloom test is a prefilter, never the final word).
 class ShardMap {
  public:
   ShardMap(const AABB& bounds, int shards, const WorldState& initial);
@@ -63,9 +68,22 @@ class ShardMap {
     return signatures_[static_cast<size_t>(shard)];
   }
 
-  /// Ids owned by `shard`, ascending (partition construction order).
+  /// Ids of the *initial* partition of `shard`, ascending. Deliberately
+  /// not maintained across MigrateOwner (that would cost O(partition)
+  /// per move): use ShardOfObject for live ownership. Consumers are the
+  /// shard-server constructors, which run before any migration.
   const std::vector<ObjectId>& objects_of(ShardId shard) const {
     return objects_[static_cast<size_t>(shard)];
+  }
+
+  /// Commit point of an ownership handoff (DESIGN.md §14): `id` now
+  /// belongs to `dest`. O(1) — owner map update plus the dest signature
+  /// fold; the source signature intentionally keeps the stale bit (safe
+  /// superset, see class comment).
+  void MigrateOwner(ObjectId id, ShardId dest) {
+    owner_[id] = dest;
+    signatures_[static_cast<size_t>(dest)] |= uint64_t{1}
+                                              << (id.value() & 63u);
   }
 
  private:

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "action/action.h"
 #include "common/types.h"
 #include "net/message.h"
 #include "store/object.h"
@@ -20,6 +21,15 @@ enum ShardMsgKind : int {
   kShardToken = 311,    // peer -> owner: committed values + frontier
   kShardCommit = 312,   // owner -> peer: escalated action committed
   kShardAbort = 313,    // owner -> peer: escalation cancelled (fencing)
+  // Dynamic ownership migration (DESIGN.md §14). The client-facing leg
+  // — kRehome 324, kRehomeAck 325, kRehomeDone 326 — lives in
+  // protocol/msg.h (SeveClient speaks it; protocol must not depend on
+  // shard headers), numbered inside this block.
+  kMigrateOffer = 320,   // source -> dest: propose an ownership handoff
+  kMigrateAck = 321,     // dest -> source: adoption slot reserved
+  kMigrateCommit = 322,  // source -> dest: record + fence, ownership flips
+  kMigrateAbort = 323,   // source -> dest: handoff cancelled (crash race)
+  kMigrateRejoin = 327,  // dest -> source: client rejoined pre-adoption
 };
 
 /// Owning shard -> peer shard: the first phase of an escalated commit.
@@ -84,6 +94,78 @@ struct ShardAbortBody : MessageBody {
   int32_t home_shard = 0;
 
   int kind() const override { return kShardAbort; }
+  int64_t WireSize() const { return 20; }
+};
+
+/// Source shard -> destination shard: proposes handing `object`'s
+/// authoritative record over (DESIGN.md §14). The dest reserves an
+/// adoption slot (so rejoins arriving early can be parked) and acks;
+/// nothing moves until the MigrateCommit.
+struct MigrateOfferBody : MessageBody {
+  ObjectId object;
+  int32_t source_shard = 0;
+  int32_t dest_shard = 0;
+  uint64_t epoch = 0;  // source escalation epoch at offer time
+  /// Client homed on `object` (its avatar); invalid if none.
+  ClientId client;
+
+  int kind() const override { return kMigrateOffer; }
+  int64_t WireSize() const { return 40; }
+};
+
+/// Destination shard -> source shard: the adoption slot is reserved; the
+/// source may fence the client and start draining the object's writers.
+struct MigrateAckBody : MessageBody {
+  ObjectId object;
+  int32_t dest_shard = 0;
+  uint64_t epoch = 0;  // echoes the offer epoch
+  int kind() const override { return kMigrateAck; }
+  int64_t WireSize() const { return 24; }
+};
+
+/// Source shard -> destination shard: the commit point of the handoff.
+/// Carries the object's committed value (empty if the source never held
+/// it), the fence stamp — a global stamp at least as new as every stamp
+/// the source ever issued, so the dest restamps its own frontier strictly
+/// above it — and the client record to adopt (node + interest profile).
+struct MigrateCommitBody : MessageBody {
+  ObjectId object;
+  int32_t source_shard = 0;
+  uint64_t epoch = 0;
+  SeqNum fence = kInvalidSeq;   // global stamp; dest stamps above this
+  std::vector<Object> value;    // 0 or 1 committed object copies
+  ClientId client;              // invalid if the object had no client
+  uint64_t client_node = 0;     // NodeId value of the client's machine
+  InterestProfile profile;      // routing profile carried across shards
+
+  int kind() const override { return kMigrateCommit; }
+  int64_t WireSize() const {
+    int64_t size = 92;
+    for (const Object& obj : value) size += obj.WireSize();
+    return size;
+  }
+};
+
+/// Source shard -> destination shard: the handoff was cancelled before
+/// its commit point (the homed client crashed and rejoined at the
+/// source); the dest releases the adoption slot.
+struct MigrateAbortBody : MessageBody {
+  ObjectId object;
+  int32_t source_shard = 0;
+  uint64_t epoch = 0;
+  int kind() const override { return kMigrateAbort; }
+  int64_t WireSize() const { return 24; }
+};
+
+/// Destination shard -> source shard: a client mid-migration rejoined at
+/// the dest before its adoption arrived. The source treats it as an
+/// implicit RehomeAck, invalidates the client's unfinishable queue
+/// entries (the dest's snapshot supersedes them) and pushes the handoff
+/// to its commit point.
+struct MigrateRejoinBody : MessageBody {
+  ClientId client;
+  ObjectId object;
+  int kind() const override { return kMigrateRejoin; }
   int64_t WireSize() const { return 20; }
 };
 

@@ -10,13 +10,14 @@
 namespace seve {
 
 SeveShardServer::SeveShardServer(NodeId node, EventLoop* loop, ShardId shard,
-                                 const ShardMap* map,
-                                 const WorldState& initial,
+                                 ShardMap* map, const WorldState& initial,
+                                 const InterestModel& interest,
                                  const CostModel& cost,
                                  const SeveOptions& options)
     : Node(node, loop),
       shard_(shard),
       map_(map),
+      interest_(interest),
       cost_(cost),
       options_(options),
       peer_nodes_(static_cast<size_t>(map->shard_count())),
@@ -29,10 +30,14 @@ SeveShardServer::SeveShardServer(NodeId node, EventLoop* loop, ShardId shard,
     const Object* obj = initial.Find(id);
     if (obj != nullptr) state_.Upsert(*obj);
   }
+  push_scratch_.reserve(64);
 }
 
-void SeveShardServer::RegisterClient(ClientId client, NodeId node) {
-  (void)clients_.Register(client, node, InterestProfile{}, loop()->now());
+void SeveShardServer::RegisterClient(ClientId client, NodeId node,
+                                     ObjectId avatar,
+                                     const InterestProfile& profile) {
+  (void)clients_.Register(client, node, profile, loop()->now());
+  if (avatar.valid()) avatar_client_[avatar] = client;
 }
 
 void SeveShardServer::RegisterPeer(ShardId shard, NodeId node) {
@@ -68,15 +73,90 @@ void SeveShardServer::OnMessage(const Message& msg) {
     case kShardAbort:
       HandlePeerAbort(static_cast<const ShardAbortBody&>(*msg.body));
       break;
+    case kMigrateOffer:
+      HandleMigrateOffer(static_cast<const MigrateOfferBody&>(*msg.body));
+      break;
+    case kMigrateAck:
+      HandleMigrateAck(static_cast<const MigrateAckBody&>(*msg.body));
+      break;
+    case kMigrateCommit:
+      HandleMigrateCommit(static_cast<const MigrateCommitBody&>(*msg.body));
+      break;
+    case kMigrateAbort:
+      HandleMigrateAbort(static_cast<const MigrateAbortBody&>(*msg.body));
+      break;
+    case kRehomeAck:
+      HandleRehomeAck(static_cast<const RehomeAckBody&>(*msg.body));
+      break;
+    case kMigrateRejoin:
+      HandleMigrateRejoin(static_cast<const MigrateRejoinBody&>(*msg.body));
+      break;
     default:
       break;
   }
 }
 
+// ---- Stamp segments (DESIGN.md §14) ---------------------------------------
+
+SeqNum SeveShardServer::StampOffsetAt(SeqNum pos) const {
+  // Last segment with from_pos <= pos; segments are ascending, binary
+  // search keeps this O(log adoptions) on the stamp hot path.
+  auto it = std::upper_bound(
+      stamp_segments_.begin(), stamp_segments_.end(), pos,
+      [](SeqNum p, const StampSegment& seg) { return p < seg.from_pos; });
+  return it == stamp_segments_.begin() ? 0 : (it - 1)->offset;
+}
+
+SeqNum SeveShardServer::GlobalStampOf(SeqNum pos) const {
+  return ShardStamp::Global(pos + StampOffsetAt(pos), shard_);
+}
+
+SeqNum SeveShardServer::LocalPosOfStamp(SeqNum stamp) const {
+  const SeqNum shifted = ShardStamp::LocalPos(stamp);
+  // Newest-first: a stamp issued under segment k decodes only there —
+  // for any newer segment j, candidate = shifted - offset_j < from_j
+  // (the entry was appended before segment j opened, and segments open
+  // at the then-current end_pos). In steady state the first probe hits.
+  for (auto it = stamp_segments_.rbegin(); it != stamp_segments_.rend();
+       ++it) {
+    const SeqNum candidate = shifted - it->offset;
+    if (candidate >= it->from_pos) return candidate;
+  }
+  return shifted;
+}
+
+void SeveShardServer::FenceStampsAbove(SeqNum fence_stamp) {
+  // The next position to be stamped (end_pos and beyond) must map
+  // strictly above the fence: the shifted part must exceed the fence's,
+  // which dominates regardless of the shard bits.
+  const SeqNum min_shifted = ShardStamp::LocalPos(fence_stamp) + 1;
+  const SeqNum at = queue_.end_pos();
+  const SeqNum current = StampOffsetAt(at);
+  const SeqNum needed = min_shifted - at;
+  if (needed <= current) return;
+  if (!stamp_segments_.empty() && stamp_segments_.back().from_pos == at) {
+    // Two fences between appends collapse into one segment.
+    stamp_segments_.back().offset = needed;
+  } else {
+    // Rare (once per adoption), not a routed hot path.
+    stamp_segments_.push_back(StampSegment{at, needed});  // seve-lint: allow(hot-vector-realloc): per-adoption, cold
+  }
+}
+
 void SeveShardServer::HandleSubmit(ClientId from, ActionPtr action,
                                    const ObjectSet& resync) {
+  // Unknown clients are rejected BEFORE the append: an entry that can
+  // never complete would stall the committed frontier forever. (The
+  // rehome barrier keeps mid-migration clients out of this path; this
+  // is the backstop.)
+  const ClientTable::Slot client_slot = clients_.SlotOf(from);
+  if (client_slot == ClientTable::kNoSlot) return;
   const SeqNum pos = queue_.Append(action, loop()->now());
   ++stats_.actions_submitted;
+  ++counters_.submits;
+  const int64_t depth = static_cast<int64_t>(queue_.uncommitted_size());
+  counters_.queue_depth_peak = std::max(counters_.queue_depth_peak, depth);
+  window_queue_peak_ = std::max(window_queue_peak_, depth);
   Micros cpu = cost_.serialize_us;
 
   // One conflict walk decides the routing AND captures the closure: the
@@ -102,8 +182,6 @@ void SeveShardServer::HandleSubmit(ClientId from, ActionPtr action,
   cpu += static_cast<Micros>(cost_.closure_per_visit_us *
                              static_cast<double>(visits + 1));
 
-  const ClientTable::Slot client_slot = clients_.SlotOf(from);
-  if (client_slot == ClientTable::kNoSlot) return;
   const NodeId dst = clients_.node(client_slot);
 
   if (closure.IsSubsetOfShard(*map_, shard_)) {
@@ -141,7 +219,7 @@ void SeveShardServer::HandleSubmit(ClientId from, ActionPtr action,
     if (peer == shard_) continue;
     esc.waiting.push_back(peer);
     auto body = std::make_shared<ShardPrepareBody>();
-    body->stamp = ShardStamp::Global(pos, shard_);
+    body->stamp = GlobalStampOf(pos);
     body->home_shard = static_cast<int32_t>(shard_);
     body->epoch = epoch_;
     body->reads = OwnedSubset(closure, *map_, peer);
@@ -154,6 +232,12 @@ void SeveShardServer::HandleSubmit(ClientId from, ActionPtr action,
       Send(prepare.node, prepare.body->WireSize(), prepare.body);
     }
   });
+  // A span that collapsed to this shard alone (a stale Bloom bit after a
+  // migration can force the escalated route onto an all-local closure)
+  // has no tokens to wait for: resolve immediately.
+  if (pending_.Find(pos) != nullptr && pending_.Find(pos)->waiting.empty()) {
+    FinishEscalation(pos);
+  }
 }
 
 std::vector<OrderedAction> SeveShardServer::AssembleBatch(
@@ -185,8 +269,8 @@ std::vector<OrderedAction> SeveShardServer::AssembleBatch(
         ActionId(next_blind_id_++), loop()->now() / options_.tick_us,
         std::move(values));
     ++stats_.blind_writes;
-    batch.push_back(OrderedAction{
-        ShardStamp::Global(queue_.begin_pos() - 1, shard_), blind});
+    batch.push_back(
+        OrderedAction{GlobalStampOf(queue_.begin_pos() - 1), blind});
     *cpu_cost += cost_.install_us;
   }
   for (const SeqNum p : ordered) {
@@ -197,18 +281,16 @@ std::vector<OrderedAction> SeveShardServer::AssembleBatch(
     if (entry == nullptr || !entry->valid) continue;
     if (entry->completed) {
       batch.push_back(OrderedAction{
-          ShardStamp::Global(p, shard_),
+          GlobalStampOf(p),
           std::make_shared<BlindWrite>(ActionId(next_blind_id_++),
                                        loop()->now() / options_.tick_us,
                                        entry->stable_written)});
       ++stats_.blind_writes;
     } else {
-      batch.push_back(
-          OrderedAction{ShardStamp::Global(p, shard_), entry->action});
+      batch.push_back(OrderedAction{GlobalStampOf(p), entry->action});
     }
   }
-  batch.push_back(
-      OrderedAction{ShardStamp::Global(pos, shard_), target->action});
+  batch.push_back(OrderedAction{GlobalStampOf(pos), target->action});
   stats_.closure_size.Add(static_cast<int64_t>(batch.size()));
   return batch;
 }
@@ -225,7 +307,7 @@ void SeveShardServer::HandlePrepare(const ShardPrepareBody& prepare) {
   body->peer_shard = static_cast<int32_t>(shard_);
   body->epoch = prepare.epoch;
   body->token_seq = ++next_token_seq_;
-  body->frontier = ShardStamp::Global(queue_.begin_pos() - 1, shard_);
+  body->frontier = GlobalStampOf(queue_.begin_pos() - 1);
   body->values = state_.Extract(prepare.reads);
   outstanding_.push_back(OutstandingToken{
       prepare.stamp, static_cast<ShardId>(prepare.home_shard),
@@ -239,7 +321,7 @@ void SeveShardServer::HandlePrepare(const ShardPrepareBody& prepare) {
 
 void SeveShardServer::HandleToken(const ShardTokenBody& token) {
   SubmitWork(cost_.install_us, []() {});
-  const SeqNum pos = ShardStamp::LocalPos(token.stamp);
+  const SeqNum pos = LocalPosOfStamp(token.stamp);
   PendingEscalation* esc = pending_.Find(pos);
   if (esc == nullptr || token.epoch != esc->epoch) {
     // Escalation already aborted (rejoin fencing) or from a previous
@@ -282,7 +364,7 @@ void SeveShardServer::FinishEscalation(SeqNum pos) {
   std::vector<Commit> commits;
   for (const PendingEscalation::Participant& part : esc->acked) {
     auto body = std::make_shared<ShardCommitBody>();
-    body->stamp = ShardStamp::Global(pos, shard_);
+    body->stamp = GlobalStampOf(pos);
     body->home_shard = static_cast<int32_t>(shard_);
     body->token_seq = part.token_seq;
     commits.push_back(
@@ -331,17 +413,111 @@ void SeveShardServer::RetireToken(SeqNum stamp, ShardId home,
 void SeveShardServer::InstallEntry(const ServerQueue::Entry& entry) {
   state_.ApplyObjects(entry.stable_written);
   if (audit_excluded_.count(entry.pos) == 0) {
-    committed_digests_[ShardStamp::Global(entry.pos, shard_)] =
-        entry.stable_digest;
+    committed_digests_[GlobalStampOf(entry.pos)] = entry.stable_digest;
   }
   ++stats_.actions_committed;
+  // Freshen the origin's routing profile from the installed action
+  // (push targeting and the migrated record both read it; no protocol
+  // state depends on it).
+  if (!entry.action->IsBlindWrite()) {
+    const ClientTable::Slot slot = clients_.SlotOf(entry.action->origin());
+    if (slot != ClientTable::kNoSlot) {
+      clients_.SetProfile(slot, entry.action->Interest(), loop()->now());
+    }
+  }
+  if (options_.escalated_push && escalated_.count(entry.pos) != 0 &&
+      !entry.stable_written.empty()) {
+    QueueEscalatedPush(entry);
+  }
+}
+
+void SeveShardServer::CompleteAndInstall(SeqNum pos, ResultDigest digest,
+                                         std::vector<Object> written) {
+  (void)queue_.Complete(
+      pos, digest, std::move(written),
+      [this](const ServerQueue::Entry& entry) { InstallEntry(entry); });
+  FlushEscalatedPushes();
+  // A frontier advance may have drained the last uncommitted writer of
+  // an object mid-handoff.
+  RecheckMigrations();
+}
+
+void SeveShardServer::QueueEscalatedPush(const ServerQueue::Entry& entry) {
+  // First-Bound style fan-out of a committed escalated closure: every
+  // interested client of this shard gets the stable result as an
+  // authoritative blind write at the entry's own stamp. Pure replica
+  // freshening — the values equal what the origin's completion
+  // installed, so server state and committed digests are untouched, and
+  // the client's last-writer guard makes re-delivery idempotent.
+  auto blind = std::make_shared<BlindWrite>(
+      ActionId(next_blind_id_++), loop()->now() / options_.tick_us,
+      entry.stable_written);
+  ++stats_.blind_writes;
+  const OrderedAction record{GlobalStampOf(entry.pos), blind};
+  const InterestProfile action_profile = entry.action->Interest();
+  const VirtualTime now = loop()->now();
+  const ClientTable::Slot origin_slot =
+      clients_.SlotOf(entry.action->origin());
+  const ClientTable::Slot slots = static_cast<ClientTable::Slot>(
+      clients_.size());
+  for (ClientTable::Slot slot = 0; slot < slots; ++slot) {
+    if (slot == origin_slot) continue;
+    if (entry.sent.count(clients_.id_of(slot)) != 0) continue;
+    if (!interest_.MayAffect(action_profile, now, clients_.ProfileOf(slot),
+                             clients_.profile_time(slot))) {
+      continue;
+    }
+    // Capacity is retained across flushes; growth is a cold start-up.
+    push_scratch_.push_back({slot, record});  // seve-lint: allow(hot-vector-realloc): capacity retained across flushes
+  }
+}
+
+void SeveShardServer::FlushEscalatedPushes() {
+  if (push_scratch_.empty()) return;
+  // Slot order == registration order: the deterministic fan-out order.
+  std::stable_sort(push_scratch_.begin(), push_scratch_.end(),
+                   [](const std::pair<ClientTable::Slot, OrderedAction>& a,
+                      const std::pair<ClientTable::Slot, OrderedAction>& b) {
+                     return a.first < b.first;
+                   });
+  struct Push {
+    NodeId node;
+    std::shared_ptr<DeliverActionsBody> body;
+  };
+  std::vector<Push> pushes;
+  size_t i = 0;
+  while (i < push_scratch_.size()) {
+    const ClientTable::Slot slot = push_scratch_[i].first;
+    auto body = std::make_shared<DeliverActionsBody>();
+    while (i < push_scratch_.size() && push_scratch_[i].first == slot) {
+      // Stable sort preserves install order within a slot: ascending
+      // stamps, the order the client must apply them in.
+      body->actions.push_back(push_scratch_[i].second);
+      ++i;
+    }
+    ++stats_.fanout.push_batches;
+    stats_.fanout.coalesced_pushes +=
+        static_cast<int64_t>(body->actions.size()) - 1;
+    ++counters_.escalated_pushes;
+    pushes.push_back(Push{clients_.node(slot), std::move(body)});
+  }
+  push_scratch_.clear();
+  const Micros cpu =
+      cost_.serialize_us * static_cast<Micros>(pushes.size());
+  SubmitWork(cpu, [this, pushes = std::move(pushes)]() {
+    for (const Push& push : pushes) {
+      Send(push.node, push.body->WireSize(), push.body);
+    }
+  });
 }
 
 void SeveShardServer::HandleCompletion(const CompletionBody& completion) {
   const ShardId owner = ShardStamp::Shard(completion.pos);
   if (owner != shard_) {
-    // Safety net for all-client completions: a completion quoting
-    // another shard's stamp routes to its owner.
+    // Safety net for all-client completions and rehomed clients: a
+    // completion quoting another shard's stamp routes to its owner (a
+    // rehomed client keeps completing its source-stamped tail through
+    // the destination).
     auto body = std::make_shared<CompletionBody>(completion);
     const NodeId dst = peer_nodes_[static_cast<size_t>(owner)];
     SubmitWork(cost_.serialize_us,
@@ -349,25 +525,12 @@ void SeveShardServer::HandleCompletion(const CompletionBody& completion) {
     return;
   }
   SubmitWork(cost_.install_us, []() {});
-  const SeqNum pos = ShardStamp::LocalPos(completion.pos);
+  const SeqNum pos = LocalPosOfStamp(completion.pos);
   if (completion.out_of_order) audit_excluded_.insert(pos);
-  (void)queue_.Complete(
-      pos, completion.digest, completion.written,
-      [this](const ServerQueue::Entry& entry) { InstallEntry(entry); });
+  CompleteAndInstall(pos, completion.digest, completion.written);
 }
 
-void SeveShardServer::HandleRejoin(const RejoinBody& rejoin) {
-  const ClientTable::Slot slot = clients_.SlotOf(rejoin.client);
-  if (slot == ClientTable::kNoSlot) return;
-  const NodeId client_node = clients_.node(slot);
-  // Fresh outgoing channel incarnation; queued frames from the dead
-  // conversation stay buried (PR 5 recovery contract).
-  if (ReliableChannel* channel = reliable_channel()) {
-    channel->ResetPeerSend(client_node);
-  }
-  ++stats_.rejoins;
-  ++epoch_;  // fence: tokens echoing the old epoch are now stale
-
+void SeveShardServer::AbortEscalationsFrom(ClientId client) {
   // Abort the crashed client's escalations still waiting for tokens —
   // the reply could never reach the new incarnation — and tell every
   // involved peer to retire its token.
@@ -376,12 +539,12 @@ void SeveShardServer::HandleRejoin(const RejoinBody& rejoin) {
     std::shared_ptr<ShardAbortBody> body;
   };
   std::vector<Abort> aborts;
-  for (const SeqNum pos : pending_.PositionsFrom(rejoin.client)) {
+  for (const SeqNum pos : pending_.PositionsFrom(client)) {
     PendingEscalation* esc = pending_.Find(pos);
     if (esc == nullptr) continue;
     auto notify = [&](ShardId peer) {
       auto body = std::make_shared<ShardAbortBody>();
-      body->stamp = ShardStamp::Global(pos, shard_);
+      body->stamp = GlobalStampOf(pos);
       body->home_shard = static_cast<int32_t>(shard_);
       aborts.push_back(
           Abort{peer_nodes_[static_cast<size_t>(peer)], std::move(body)});
@@ -394,6 +557,55 @@ void SeveShardServer::HandleRejoin(const RejoinBody& rejoin) {
     ++counters_.aborts;
     pending_.Erase(pos);
   }
+  if (aborts.empty()) return;
+  SubmitWork(cost_.serialize_us, [this, aborts = std::move(aborts)]() {
+    for (const Abort& abort : aborts) {
+      Send(abort.node, abort.body->WireSize(), abort.body);
+    }
+  });
+}
+
+void SeveShardServer::HandleRejoin(const RejoinBody& rejoin) {
+  const ClientTable::Slot slot = clients_.SlotOf(rejoin.client);
+  if (slot == ClientTable::kNoSlot) {
+    // Case B of the crash race (DESIGN.md §14): the client rehomed to
+    // this shard, crashed, and its rejoin beat the MigrateCommit here.
+    // Forward the fact to the source once — it treats the rejoin as an
+    // implicit RehomeAck and can invalidate the crashed incarnation's
+    // unfinishable tail — and park the rejoin until the adoption lands.
+    for (ExpectedAdoption& expected : expected_adoptions_) {
+      if (expected.client != rejoin.client) continue;
+      if (!expected.rejoin_forwarded) {
+        expected.rejoin_forwarded = true;
+        auto body = std::make_shared<MigrateRejoinBody>();
+        body->client = expected.client;
+        body->object = expected.object;
+        const NodeId dst = peer_nodes_[static_cast<size_t>(expected.source)];
+        SubmitWork(cost_.serialize_us, [this, dst, body]() {
+          Send(dst, body->WireSize(), body);
+        });
+      }
+      const RejoinBody parked = rejoin;
+      loop()->After(options_.tick_us,
+                    [this, parked]() { HandleRejoin(parked); });
+      return;
+    }
+    return;  // neither registered nor expected: stale, drop
+  }
+  const NodeId client_node = clients_.node(slot);
+  // Fresh outgoing channel incarnation; queued frames from the dead
+  // conversation stay buried (PR 5 recovery contract).
+  if (ReliableChannel* channel = reliable_channel()) {
+    channel->ResetPeerSend(client_node);
+  }
+  ++stats_.rejoins;
+  ++epoch_;  // fence: tokens echoing the old epoch are now stale
+
+  AbortEscalationsFrom(rejoin.client);
+  // Case A of the crash race: the client rejoined HERE, so it never
+  // switched (or switched and reset) — cancel its not-yet-draining
+  // outbound handoffs and release the destinations' adoption slots.
+  CancelMigrationsFor(rejoin.client);
   // The client's resolved-but-uncompleted escalations can never finish
   // either: only the dead incarnation received the reply, and a
   // cross-shard closure cannot be replayed from a partition snapshot.
@@ -410,25 +622,27 @@ void SeveShardServer::HandleRejoin(const RejoinBody& rejoin) {
   // An invalidated head may unblock the committed frontier.
   ServerQueue::Entry* head = queue_.Find(queue_.begin_pos());
   if (head != nullptr && !head->valid) {
-    (void)queue_.Complete(
-        head->pos, 0, {},
-        [this](const ServerQueue::Entry& entry) { InstallEntry(entry); });
+    CompleteAndInstall(head->pos, 0, {});
   }
-
-  SubmitWork(cost_.serialize_us, [this, aborts = std::move(aborts)]() {
-    for (const Abort& abort : aborts) {
-      Send(abort.node, abort.body->WireSize(), abort.body);
-    }
-  });
 }
 
 void SeveShardServer::HandleSnapshotRequest(
     const SnapshotRequestBody& request) {
   const ClientTable::Slot slot = clients_.SlotOf(request.client);
-  if (slot == ClientTable::kNoSlot) return;
+  if (slot == ClientTable::kNoSlot) {
+    // Case B parking, same as HandleRejoin: the snapshot must reflect
+    // the adopted record, so it waits for the MigrateCommit.
+    for (const ExpectedAdoption& expected : expected_adoptions_) {
+      if (expected.client != request.client) continue;
+      const SnapshotRequestBody parked = request;
+      loop()->After(options_.tick_us,
+                    [this, parked]() { HandleSnapshotRequest(parked); });
+      return;
+    }
+    return;
+  }
   const NodeId dst = clients_.node(slot);
-  const SeqNum snapshot_pos =
-      ShardStamp::Global(queue_.begin_pos() - 1, shard_);
+  const SeqNum snapshot_pos = GlobalStampOf(queue_.begin_pos() - 1);
   const std::vector<ObjectId> ids = state_.ObjectIds();  // sorted
 
   const int64_t per_chunk =
@@ -466,14 +680,13 @@ void SeveShardServer::HandleSnapshotRequest(
     entry->sent.insert(request.client);
     if (entry->completed) {
       tail.push_back(OrderedAction{
-          ShardStamp::Global(pos, shard_),
+          GlobalStampOf(pos),
           std::make_shared<BlindWrite>(ActionId(next_blind_id_++),
                                        loop()->now() / options_.tick_us,
                                        entry->stable_written)});
       ++stats_.blind_writes;
     } else {
-      tail.push_back(
-          OrderedAction{ShardStamp::Global(pos, shard_), entry->action});
+      tail.push_back(OrderedAction{GlobalStampOf(pos), entry->action});
     }
   }
 
@@ -485,6 +698,283 @@ void SeveShardServer::HandleSnapshotRequest(
       Send(dst, chunk->WireSize(), chunk);
     }
   });
+}
+
+// ---- Ownership migration (DESIGN.md §14) ----------------------------------
+
+bool SeveShardServer::StartMigration(ObjectId object, ShardId dest) {
+  // Rebalancer plans can be stale by the time they execute (a previous
+  // epoch's move, a crash-cancelled handoff): every precondition is
+  // re-checked here and a false return is a no-op.
+  if (dest == shard_ || dest < 0 ||
+      dest >= static_cast<ShardId>(peer_nodes_.size())) {
+    return false;
+  }
+  if (map_->ShardOfObject(object) != shard_) return false;
+  for (const MigrationOut& out : migrating_out_) {
+    if (out.object == object) return false;
+  }
+  // Just adopted and still settling (the commit may still be queued
+  // behind our frontier): no onward migration until it lands.
+  for (const ExpectedAdoption& expected : expected_adoptions_) {
+    if (expected.object == object) return false;
+  }
+  MigrationOut out;
+  out.object = object;
+  out.dest = dest;
+  out.epoch = epoch_;
+  if (const ClientId* client = avatar_client_.Find(object)) {
+    const ClientTable::Slot slot = clients_.SlotOf(*client);
+    if (slot != ClientTable::kNoSlot) {
+      out.client = *client;
+      out.client_node = clients_.node(slot);
+    }
+  }
+  migrating_out_.push_back(out);
+
+  auto body = std::make_shared<MigrateOfferBody>();
+  body->object = object;
+  body->source_shard = static_cast<int32_t>(shard_);
+  body->dest_shard = static_cast<int32_t>(dest);
+  body->epoch = epoch_;
+  body->client = out.client;
+  const NodeId dst = peer_nodes_[static_cast<size_t>(dest)];
+  SubmitWork(cost_.serialize_us, [this, dst, body]() {
+    Send(dst, body->WireSize(), body);
+  });
+  return true;
+}
+
+void SeveShardServer::HandleMigrateOffer(const MigrateOfferBody& offer) {
+  SubmitWork(cost_.serialize_us, []() {});
+  for (const ExpectedAdoption& expected : expected_adoptions_) {
+    if (expected.object == offer.object) return;  // duplicate offer
+  }
+  ExpectedAdoption expected;
+  expected.object = offer.object;
+  expected.source = static_cast<ShardId>(offer.source_shard);
+  expected.client = offer.client;
+  expected_adoptions_.push_back(expected);
+
+  auto body = std::make_shared<MigrateAckBody>();
+  body->object = offer.object;
+  body->dest_shard = static_cast<int32_t>(shard_);
+  body->epoch = offer.epoch;
+  const NodeId dst = peer_nodes_[static_cast<size_t>(offer.source_shard)];
+  SubmitWork(cost_.serialize_us, [this, dst, body]() {
+    Send(dst, body->WireSize(), body);
+  });
+}
+
+void SeveShardServer::HandleMigrateAck(const MigrateAckBody& ack) {
+  SubmitWork(cost_.serialize_us, []() {});
+  for (MigrationOut& out : migrating_out_) {
+    if (out.object != ack.object ||
+        out.phase != MigrationOut::Phase::kOffered) {
+      continue;
+    }
+    if (out.client.valid()) {
+      // Park the client: it buffers submissions until the destination
+      // says RehomeDone, and its RehomeAck bounds the straggler window
+      // (FIFO link: everything it sent before the ack is already in our
+      // queue, so the drain wait below covers it).
+      out.phase = MigrationOut::Phase::kAwaitRehomeAck;
+      auto body = std::make_shared<RehomeBody>();
+      body->object = out.object;
+      body->client = out.client;
+      body->dest_node =
+          peer_nodes_[static_cast<size_t>(out.dest)].value();
+      body->epoch = out.epoch;
+      const NodeId dst = out.client_node;
+      SubmitWork(cost_.serialize_us, [this, dst, body]() {
+        Send(dst, body->WireSize(), body);
+      });
+    } else {
+      out.phase = MigrationOut::Phase::kDraining;
+    }
+    break;
+  }
+  RecheckMigrations();
+}
+
+void SeveShardServer::HandleRehomeAck(const RehomeAckBody& ack) {
+  SubmitWork(cost_.serialize_us, []() {});
+  for (MigrationOut& out : migrating_out_) {
+    if (out.object == ack.object &&
+        out.phase == MigrationOut::Phase::kAwaitRehomeAck) {
+      out.phase = MigrationOut::Phase::kDraining;
+      break;
+    }
+  }
+  RecheckMigrations();
+}
+
+void SeveShardServer::RecheckMigrations() {
+  if (migrating_out_.empty()) return;
+  // Collect first: CommitMigration erases from migrating_out_.
+  InlineVec<ObjectId, 8> ready;
+  for (const MigrationOut& out : migrating_out_) {
+    if (out.phase == MigrationOut::Phase::kDraining &&
+        !queue_.HasUncommittedWriter(out.object)) {
+      ready.push_back(out.object);
+    }
+  }
+  for (const ObjectId object : ready) CommitMigration(object);
+}
+
+void SeveShardServer::CommitMigration(ObjectId object) {
+  auto it = migrating_out_.begin();
+  while (it != migrating_out_.end() && it->object != object) ++it;
+  if (it == migrating_out_.end()) return;
+  const MigrationOut out = *it;
+  migrating_out_.erase(it);
+
+  auto body = std::make_shared<MigrateCommitBody>();
+  body->object = object;
+  body->source_shard = static_cast<int32_t>(shard_);
+  body->epoch = out.epoch;
+  // The fence: the newest stamp this shard has issued. Every stamp the
+  // destination mints from its adoption on sorts strictly above it, so
+  // the rehomed client's last-writer order stays monotone across the
+  // handoff.
+  body->fence = GlobalStampOf(queue_.end_pos() - 1);
+  if (const Object* value = state_.Find(object)) {
+    body->value.push_back(*value);
+  }
+  if (out.client.valid()) {
+    const ClientTable::Slot slot = clients_.SlotOf(out.client);
+    if (slot != ClientTable::kNoSlot) {
+      const ClientTable::ClientRecord record = clients_.ExtractRecord(slot);
+      body->client = record.id;
+      body->client_node = record.node.value();
+      body->profile = record.profile;
+      // The slot stays behind as an inert record (ClientTable has no
+      // unregister); drop its queued pushes so flushes skip it.
+      clients_.ClearPending(slot);
+    }
+  }
+  // The commit point: value leaves the partition, the shared map flips
+  // the owner, routing follows from the next lookup on.
+  state_.Remove(object);
+  map_->MigrateOwner(object, out.dest);
+  avatar_client_.Erase(object);
+  ++counters_.migrations_out;
+
+  const NodeId dst = peer_nodes_[static_cast<size_t>(out.dest)];
+  SubmitWork(cost_.serialize_us + cost_.install_us, [this, dst, body]() {
+    Send(dst, body->WireSize(), body);
+  });
+}
+
+void SeveShardServer::HandleMigrateCommit(const MigrateCommitBody& commit) {
+  auto it = expected_adoptions_.begin();
+  while (it != expected_adoptions_.end() && it->object != commit.object) {
+    ++it;
+  }
+  if (it == expected_adoptions_.end()) return;  // aborted then re-offered
+  expected_adoptions_.erase(it);
+
+  // Adopt: all stamps from here on sort above everything the source
+  // ever issued, and the record enters this shard's stream as a
+  // completed blind write — authoritative, excluded from the audit
+  // (its "result" was computed by the source's installs, not an
+  // evaluation of ours).
+  FenceStampsAbove(commit.fence);
+  auto blind = std::make_shared<BlindWrite>(
+      ActionId(next_blind_id_++), loop()->now() / options_.tick_us,
+      commit.value);
+  ++stats_.blind_writes;
+  const SeqNum pos = queue_.Append(blind, loop()->now());
+  audit_excluded_.insert(pos);
+  ++counters_.migrations_in;
+
+  NodeId rehome_dst{0};
+  std::shared_ptr<RehomeDoneBody> done;
+  if (commit.client.valid()) {
+    ClientTable::ClientRecord record;
+    record.id = commit.client;
+    record.node = NodeId(commit.client_node);
+    record.profile = commit.profile;
+    (void)clients_.Adopt(record, loop()->now());
+    avatar_client_[commit.object] = commit.client;
+    ++counters_.rehomed_clients;
+    done = std::make_shared<RehomeDoneBody>();
+    done->client = commit.client;
+    done->object = commit.object;
+    rehome_dst = record.node;
+  }
+  SubmitWork(cost_.serialize_us + cost_.install_us,
+             [this, rehome_dst, done]() {
+               if (done != nullptr) {
+                 Send(rehome_dst, done->WireSize(), done);
+               }
+             });
+  // Install the adoption (it completes in place; the frontier advances
+  // over it once everything older commits).
+  CompleteAndInstall(pos, 0, commit.value);
+}
+
+void SeveShardServer::HandleMigrateAbort(const MigrateAbortBody& abort) {
+  SubmitWork(cost_.serialize_us, []() {});
+  auto it = expected_adoptions_.begin();
+  while (it != expected_adoptions_.end() && it->object != abort.object) {
+    ++it;
+  }
+  if (it != expected_adoptions_.end()) expected_adoptions_.erase(it);
+}
+
+void SeveShardServer::CancelMigrationsFor(ClientId client) {
+  auto it = migrating_out_.begin();
+  while (it != migrating_out_.end()) {
+    if (it->client != client ||
+        it->phase == MigrationOut::Phase::kDraining) {
+      // A draining handoff is past the point of no return: the client
+      // already switched (its rejoin would land at the destination).
+      ++it;
+      continue;
+    }
+    auto body = std::make_shared<MigrateAbortBody>();
+    body->object = it->object;
+    body->source_shard = static_cast<int32_t>(shard_);
+    body->epoch = it->epoch;
+    const NodeId dst = peer_nodes_[static_cast<size_t>(it->dest)];
+    SubmitWork(cost_.serialize_us, [this, dst, body]() {
+      Send(dst, body->WireSize(), body);
+    });
+    ++counters_.migration_aborts;
+    it = migrating_out_.erase(it);
+  }
+}
+
+void SeveShardServer::HandleMigrateRejoin(const MigrateRejoinBody& rejoin) {
+  SubmitWork(cost_.serialize_us, []() {});
+  // The destination vouches that the client is pointed at it: an
+  // implicit RehomeAck (the real one died with the old incarnation).
+  for (MigrationOut& out : migrating_out_) {
+    if (out.object == rejoin.object) {
+      out.phase = MigrationOut::Phase::kDraining;
+    }
+  }
+  ++stats_.rejoins;
+  ++epoch_;  // fence: tokens echoing the old epoch are now stale
+  AbortEscalationsFrom(rejoin.client);
+  // The crashed incarnation's whole uncompleted tail is unfinishable —
+  // escalated or not, nobody will ever complete it (the new incarnation
+  // starts from the destination's snapshot). Invalidate it so the drain
+  // wait terminates and the handoff can commit.
+  for (SeqNum pos = queue_.begin_pos(); pos < queue_.end_pos(); ++pos) {
+    ServerQueue::Entry* entry = queue_.Find(pos);
+    if (entry == nullptr || !entry->valid || entry->completed) continue;
+    if (entry->action->origin() != rejoin.client) continue;
+    queue_.MarkInvalid(pos);
+    ++counters_.aborts;
+  }
+  ServerQueue::Entry* head = queue_.Find(queue_.begin_pos());
+  if (head != nullptr && !head->valid) {
+    CompleteAndInstall(head->pos, 0, {});
+  } else {
+    RecheckMigrations();
+  }
 }
 
 }  // namespace seve

@@ -10,6 +10,7 @@
 #include "common/metrics.h"
 #include "net/node.h"
 #include "protocol/client_table.h"
+#include "protocol/interest.h"
 #include "protocol/msg.h"
 #include "protocol/options.h"
 #include "protocol/server_queue.h"
@@ -49,16 +50,58 @@ namespace seve {
 /// escalations (peers retire their tokens via ShardAbort), and
 /// invalidates its unfinishable resolved escalations so the committed
 /// frontier keeps advancing.
+///
+/// Ownership migration (DESIGN.md §14): StartMigration hands one
+/// object's authoritative record — committed value, client registration,
+/// interest profile — to a peer shard through a
+/// MigrateOffer/MigrateAck/MigrateCommit exchange. The source drains the
+/// object's uncommitted writers (the client is parked behind a
+/// Rehome/RehomeAck barrier so no straggler submission can land after
+/// the fence), then commits: the value leaves its state, the shared
+/// ShardMap flips the owner, and the destination adopts the record as a
+/// completed blind write stamped above the source's fence. Stamp
+/// monotonicity across handoffs is kept by per-shard stamp segments
+/// (FenceStampsAbove): local positions are translated to global stamps
+/// through a piecewise offset so every stamp a client ever sees from its
+/// chain of home shards is strictly increasing. A crash racing a handoff
+/// is fenced like a plain rejoin: the source cancels not-yet-draining
+/// offers (MigrateAbort), and a rejoin arriving at the destination
+/// before adoption is parked and forwarded (MigrateRejoin) so the source
+/// can invalidate the crashed client's unfinishable tail and commit.
 class SeveShardServer : public Node {
  public:
   SeveShardServer(NodeId node, EventLoop* loop, ShardId shard,
-                  const ShardMap* map, const WorldState& initial,
-                  const CostModel& cost, const SeveOptions& options);
+                  ShardMap* map, const WorldState& initial,
+                  const InterestModel& interest, const CostModel& cost,
+                  const SeveOptions& options);
 
   /// Registers a client homed on this shard (its avatar is owned here).
-  void RegisterClient(ClientId client, NodeId node);
+  /// `avatar` + `profile` feed the migration protocol and the
+  /// escalated-push fan-out; callers that use neither may pass
+  /// ObjectId() and a default profile.
+  void RegisterClient(ClientId client, NodeId node, ObjectId avatar,
+                      const InterestProfile& profile);
   /// Registers a peer shard server's node id (commit-protocol routing).
   void RegisterPeer(ShardId shard, NodeId node);
+
+  /// Begins handing `object`'s authoritative record to shard `dest`.
+  /// Returns false (and does nothing) when the transfer cannot start:
+  /// not owned here, already in flight, or just adopted and still
+  /// settling. Safe to call with a stale rebalancer plan.
+  bool StartMigration(ObjectId object, ShardId dest);
+
+  /// In-flight outbound handoffs (source side); 0 after a clean drain.
+  size_t pending_migrations() const { return migrating_out_.size(); }
+  /// Offered-but-not-committed inbound handoffs (destination side).
+  size_t pending_adoptions() const { return expected_adoptions_.size(); }
+
+  /// Peak uncommitted-queue depth since the last call (the rebalancer's
+  /// load signal); resets the window to the current depth.
+  int64_t TakeWindowQueuePeak() {
+    const int64_t peak = window_queue_peak_;
+    window_queue_peak_ = static_cast<int64_t>(queue_.uncommitted_size());
+    return peak;
+  }
 
   ShardId shard() const { return shard_; }
   /// This shard's partition of ζS (committed prefix only).
@@ -82,6 +125,31 @@ class SeveShardServer : public Node {
   void OnMessage(const Message& msg) override;
 
  private:
+  /// One outbound handoff on the source shard. The phases gate the
+  /// commit: an offer must be acked (the destination has reserved the
+  /// adoption), the client must be parked (RehomeAck — or a forwarded
+  /// rejoin, which proves the client is already pointed at the
+  /// destination), and the object's uncommitted writers must drain.
+  struct MigrationOut {
+    enum class Phase { kOffered, kAwaitRehomeAck, kDraining };
+    ObjectId object;
+    ShardId dest = 0;
+    ClientId client;       // invalid when the object has no homed client
+    NodeId client_node{0};
+    uint64_t epoch = 0;
+    Phase phase = Phase::kOffered;
+  };
+
+  /// One reserved inbound handoff on the destination shard: the offer
+  /// was acked, the commit has not yet arrived. Blocks onward migration
+  /// of the object and parks early rejoins of the rehomed client.
+  struct ExpectedAdoption {
+    ObjectId object;
+    ShardId source = 0;
+    ClientId client;
+    bool rejoin_forwarded = false;
+  };
+
   void HandleSubmit(ClientId from, ActionPtr action, const ObjectSet& resync);
   void HandleCompletion(const CompletionBody& completion);
   void HandleRejoin(const RejoinBody& rejoin);
@@ -90,6 +158,59 @@ class SeveShardServer : public Node {
   void HandleToken(const ShardTokenBody& token);
   void HandlePeerCommit(const ShardCommitBody& commit);
   void HandlePeerAbort(const ShardAbortBody& abort);
+  void HandleMigrateOffer(const MigrateOfferBody& offer);
+  void HandleMigrateAck(const MigrateAckBody& ack);
+  void HandleMigrateCommit(const MigrateCommitBody& commit);
+  void HandleMigrateAbort(const MigrateAbortBody& abort);
+  void HandleRehomeAck(const RehomeAckBody& ack);
+  void HandleMigrateRejoin(const MigrateRejoinBody& rejoin);
+
+  /// ---- Stamp segments (DESIGN.md §14) --------------------------------
+  /// Local queue positions are translated to global stamps through a
+  /// piecewise-constant offset: adopting a migrated object fences all
+  /// future stamps above the source's commit stamp by opening a new
+  /// segment at the current queue end. Segments are ascending in both
+  /// from_pos and offset; positions below the first segment carry the
+  /// implicit offset 0. Segments only ever open at the current end_pos,
+  /// so the stamp of an already-appended position never changes.
+  struct StampSegment {
+    SeqNum from_pos;
+    SeqNum offset;
+  };
+
+  /// Offset in force for local position `pos`.
+  SeqNum StampOffsetAt(SeqNum pos) const;
+  /// Global wire stamp of local position `pos`.
+  SeqNum GlobalStampOf(SeqNum pos) const;
+  /// Inverse of GlobalStampOf for stamps this shard issued.
+  SeqNum LocalPosOfStamp(SeqNum stamp) const;
+  /// Ensures every stamp issued for positions >= end_pos() exceeds
+  /// `fence_stamp` (another shard's commit stamp) strictly.
+  void FenceStampsAbove(SeqNum fence_stamp);
+
+  /// ---- Migration (source side) ---------------------------------------
+  /// Commits every kDraining handoff whose object has no uncommitted
+  /// writer left. Called after every frontier advance.
+  void RecheckMigrations();
+  void CommitMigration(ObjectId object);
+  /// Case A of the crash race: a direct rejoin from `client` cancels its
+  /// not-yet-draining outbound handoffs (MigrateAbort to the
+  /// destination releases the reserved adoption).
+  void CancelMigrationsFor(ClientId client);
+  /// Sweeps `client`'s still-waiting escalations (the owner-side rejoin
+  /// fence): peers retire their tokens via ShardAbort, the local
+  /// positions are invalidated.
+  void AbortEscalationsFrom(ClientId client);
+
+  /// queue_.Complete + the post-install work every call site needs: the
+  /// escalated-push flush and the migration drain recheck.
+  void CompleteAndInstall(SeqNum pos, ResultDigest digest,
+                          std::vector<Object> written);
+  /// First-Bound style fan-out of a committed escalated closure: queues
+  /// one (slot, blind write) per interested client (InstallEntry), then
+  /// FlushEscalatedPushes coalesces per slot into DeliverActions batches.
+  void QueueEscalatedPush(const ServerQueue::Entry& entry);
+  void FlushEscalatedPushes();
 
   /// Resolves an escalation whose last token arrived: assembles the
   /// closure reply (token values folded into the head blind write),
@@ -116,8 +237,9 @@ class SeveShardServer : public Node {
   void RetireToken(SeqNum stamp, ShardId home, SeqNum token_seq);
 
   ShardId shard_;
-  const ShardMap* map_;  // shared, owned by the runner
-  WorldState state_;     // this shard's partition of ζS
+  ShardMap* map_;     // shared, owned by the runner; written at commit
+  WorldState state_;  // this shard's partition of ζS
+  InterestModel interest_;
   CostModel cost_;
   SeveOptions options_;
   ServerQueue queue_;
@@ -140,10 +262,25 @@ class SeveShardServer : public Node {
   // seve-lint: allow(det-unordered-container): membership test only
   std::unordered_set<SeqNum> escalated_;
   // Positions whose committed result was produced over reordered inputs
-  // (flagged completions): excluded from the serializability audit.
+  // (flagged completions) or adopted from another shard: excluded from
+  // the serializability audit.
   // Membership-only (never iterated), so bucket order is unobservable.
   // seve-lint: allow(det-unordered-container): membership test only
   std::unordered_set<SeqNum> audit_excluded_;
+
+  // ---- Migration state (DESIGN.md §14) -------------------------------
+  std::vector<StampSegment> stamp_segments_;  // ascending from_pos
+  std::vector<MigrationOut> migrating_out_;
+  std::vector<ExpectedAdoption> expected_adoptions_;
+  // Homed avatar -> client; maintained by RegisterClient, adoption and
+  // migration commit. The rebalancer's movable set and the Rehome
+  // barrier both key off it.
+  FlatMap<ObjectId, ClientId> avatar_client_;
+  // Peak uncommitted depth since the last rebalancer sample.
+  int64_t window_queue_peak_ = 0;
+  // Escalated-push scratch, (slot, stamped blind write); filled by
+  // installs inside one Complete burst, drained by FlushEscalatedPushes.
+  std::vector<std::pair<ClientTable::Slot, OrderedAction>> push_scratch_;
 };
 
 }  // namespace seve

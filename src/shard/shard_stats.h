@@ -15,6 +15,18 @@ struct ShardCounters {
   int64_t commits = 0;        // escalations resolved (reply + commits sent)
   int64_t aborts = 0;         // escalations cancelled by crash fencing
   int64_t stale_tokens = 0;   // tokens fenced off (epoch bump / abort race)
+  // Load observability (PR 8): raw submissions accepted into this shard's
+  // queue and the peak uncommitted queue depth over the run — the
+  // numerator/denominator material for the max/mean load-imbalance metric.
+  int64_t submits = 0;
+  int64_t queue_depth_peak = 0;
+  // Dynamic ownership migration (DESIGN.md §14).
+  int64_t migrations_out = 0;    // records handed off by this shard
+  int64_t migrations_in = 0;     // records adopted by this shard
+  int64_t migration_aborts = 0;  // handoffs cancelled (crash races)
+  int64_t rehomed_clients = 0;   // clients re-pointed to this shard
+  int64_t escalated_pushes = 0;  // coalesced push batches of escalated results
+  int64_t migrations_pending = 0;  // in flight at collection time (leak check)
 
   void Merge(const ShardCounters& other) {
     fast_path += other.fast_path;
@@ -23,6 +35,17 @@ struct ShardCounters {
     commits += other.commits;
     aborts += other.aborts;
     stale_tokens += other.stale_tokens;
+    submits += other.submits;
+    // A peak, not a flow: the fleet total is the worst single shard.
+    queue_depth_peak = queue_depth_peak > other.queue_depth_peak
+                           ? queue_depth_peak
+                           : other.queue_depth_peak;
+    migrations_out += other.migrations_out;
+    migrations_in += other.migrations_in;
+    migration_aborts += other.migration_aborts;
+    rehomed_clients += other.rehomed_clients;
+    escalated_pushes += other.escalated_pushes;
+    migrations_pending += other.migrations_pending;
   }
 
   double FastPathFraction() const {

@@ -76,6 +76,30 @@ std::string RunReport::Summary() const {
                   static_cast<long long>(total.aborts),
                   static_cast<long long>(total.stale_tokens));
     out += buf;
+    std::snprintf(buf, sizeof(buf),
+                  "\n  shard load: submits=%lld queue_peak=%lld "
+                  "imbalance=%.2f->%.2f (windows=%zu)",
+                  static_cast<long long>(total.submits),
+                  static_cast<long long>(total.queue_depth_peak),
+                  load_imbalance_first, load_imbalance_last,
+                  shard_imbalance_windows.size());
+    out += buf;
+    if (total.migrations_out + total.migrations_in +
+            total.migration_aborts + total.migrations_pending !=
+        0) {
+      std::snprintf(
+          buf, sizeof(buf),
+          "\n  migration: planned=%lld out=%lld in=%lld aborts=%lld "
+          "rehomed=%lld pending=%lld pushes=%lld",
+          static_cast<long long>(migration_moves_planned),
+          static_cast<long long>(total.migrations_out),
+          static_cast<long long>(total.migrations_in),
+          static_cast<long long>(total.migration_aborts),
+          static_cast<long long>(total.rehomed_clients),
+          static_cast<long long>(total.migrations_pending),
+          static_cast<long long>(total.escalated_pushes));
+      out += buf;
+    }
   }
   if (!wire_audit.empty()) {
     std::snprintf(buf, sizeof(buf),

@@ -48,6 +48,17 @@ struct RunReport {
   /// empty for every other architecture.
   std::vector<ShardCounters> shard_counters;
 
+  /// kSeveSharded: load-imbalance series, one sample per rebalance
+  /// window — max/mean of the per-shard queue-depth peaks in that
+  /// window (all-zero windows are skipped). First sample ≈ the static
+  /// partition's imbalance, last ≈ post-rebalancing.
+  std::vector<double> shard_imbalance_windows;
+  double load_imbalance_first = 0.0;
+  double load_imbalance_last = 0.0;
+  /// Total handoffs the rebalancer planned (scheduled MigrationEvents
+  /// are not counted; see shard_counters migrations_out for executed).
+  int64_t migration_moves_planned = 0;
+
   /// Final stable-state digest of every client replica (client order) and
   /// of the authoritative/observer state — the chaos-matrix convergence
   /// check: under loss with the reliable channel these must match the

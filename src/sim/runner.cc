@@ -19,6 +19,7 @@
 #include "protocol/occ_protocol.h"
 #include "protocol/seve_client.h"
 #include "protocol/seve_server.h"
+#include "shard/rebalancer.h"
 #include "shard/shard_map.h"
 #include "shard/shard_server.h"
 #include "world/attrs.h"
@@ -117,6 +118,9 @@ RunReport RunScenario(Architecture arch, const Scenario& scenario_in) {
   std::vector<std::unique_ptr<ZonedClient>> zoned_clients;
   std::unique_ptr<ShardMap> shard_map;
   std::vector<std::unique_ptr<SeveShardServer>> shard_servers;
+  // Hoisted out of the kSeveSharded case: the migration schedule and the
+  // rebalance tick below need shard node ids after construction.
+  std::vector<NodeId> shard_nodes;
   // kSeveSharded observer/audit scratch: the merged view is rebuilt from
   // the shard partitions on demand, the authority map is the union of the
   // per-shard digest maps (global stamps never collide across shards).
@@ -143,6 +147,19 @@ RunReport RunScenario(Architecture arch, const Scenario& scenario_in) {
     node->set_load_factor(s.client_load_factor);
   };
 
+  // Initial replica for client i. sparse_replicas seeds only the client's
+  // own avatar instead of a full world copy — a full replica per client is
+  // O(clients^2) memory, untenable at the 100k-client sweeps. Digests stay
+  // comparable as long as every compared arm uses the same setting.
+  auto client_initial = [&](int i) -> WorldState {
+    if (!s.workload.sparse_replicas) return world.InitialState();
+    WorldState state;
+    const Object* avatar =
+        world.InitialState().Find(ManhattanWorld::AvatarId(i));
+    if (avatar != nullptr) state.Upsert(*avatar);
+    return state;
+  };
+
   switch (arch) {
     case Architecture::kSeve:
     case Architecture::kSeveNoDropping:
@@ -162,7 +179,7 @@ RunReport RunScenario(Architecture arch, const Scenario& scenario_in) {
       for (int i = 0; i < s.num_clients; ++i) {
         auto client = std::make_unique<SeveClient>(
             ClientNode(i), &loop, ClientId(static_cast<uint64_t>(i)),
-            ServerNode(), world.InitialState(), cost_fn, s.cost.install_us,
+            ServerNode(), client_initial(i), cost_fn, s.cost.install_us,
             opts);
         connect_client(i, client.get());
         seve_server->RegisterClient(client->client_id(), ClientNode(i),
@@ -404,14 +421,15 @@ RunReport RunScenario(Architecture arch, const Scenario& scenario_in) {
       opts.dropping = false;
       shard_map = std::make_unique<ShardMap>(s.world.bounds, s.shards,
                                              world.InitialState());
+      InterestModel interest(s.world.speed, rtt_us, opts.omega,
+                             opts.velocity_culling, opts.interest_classes);
       // Shard server node ids live above the zoned baseline's range
       // (kShardNodeIdBase in shard/shard_map.h).
-      std::vector<NodeId> shard_nodes;
       for (ShardId sh = 0; sh < shard_map->shard_count(); ++sh) {
         const NodeId node_id = ShardServerNode(sh);
         auto server = std::make_unique<SeveShardServer>(
             node_id, &loop, sh, shard_map.get(), world.InitialState(),
-            s.cost, opts);
+            interest, s.cost, opts);
         add_node(server.get());
         shard_nodes.push_back(node_id);
         shard_servers.push_back(std::move(server));
@@ -435,13 +453,14 @@ RunReport RunScenario(Architecture arch, const Scenario& scenario_in) {
         const NodeId home_node = shard_nodes[static_cast<size_t>(home)];
         auto client = std::make_unique<SeveClient>(
             ClientNode(i), &loop, ClientId(static_cast<uint64_t>(i)),
-            home_node, world.InitialState(), cost_fn, s.cost.install_us,
+            home_node, client_initial(i), cost_fn, s.cost.install_us,
             opts);
         add_node(client.get());
         client->set_load_factor(s.client_load_factor);
         net.ConnectBidirectional(home_node, ClientNode(i), link);
         shard_servers[static_cast<size_t>(home)]->RegisterClient(
-            client->client_id(), ClientNode(i));
+            client->client_id(), ClientNode(i), ManhattanWorld::AvatarId(i),
+            InitialProfile(world, i));
         SeveClient* raw = client.get();
         drivers[static_cast<size_t>(i)] = ClientDriver{
             [raw](ActionPtr a) { raw->SubmitLocalAction(std::move(a)); },
@@ -496,6 +515,32 @@ RunReport RunScenario(Architecture arch, const Scenario& scenario_in) {
     }
   }
 
+  // ---- Ownership-migration schedule (kSeveSharded) ------------------------
+  // Explicit handoffs from the scenario; the rebalancer below generates
+  // the load-driven ones. Destination<->client links are created lazily —
+  // an up-front all-pairs mesh would be O(clients x shards) links.
+  VirtualTime last_migration = 0;
+  if (arch == Architecture::kSeveSharded) {
+    for (const Scenario::MigrationEvent& m : s.migrations) {
+      if (m.client < 0 || m.client >= s.num_clients) continue;
+      if (m.to_shard < 0 ||
+          m.to_shard >= static_cast<int>(shard_servers.size())) {
+        continue;
+      }
+      last_migration = std::max(last_migration, m.at_us);
+      const int c = m.client;
+      const ShardId to = static_cast<ShardId>(m.to_shard);
+      loop.At(m.at_us, [&, c, to]() {
+        const ObjectId avatar = ManhattanWorld::AvatarId(c);
+        const ShardId from = shard_map->ShardOfObject(avatar);
+        if (from == to) return;
+        net.ConnectBidirectional(shard_nodes[static_cast<size_t>(to)],
+                                 ClientNode(c), link);
+        shard_servers[static_cast<size_t>(from)]->StartMigration(avatar, to);
+      });
+    }
+  }
+
   // ---- Drive the move streams -------------------------------------------
   Rng gen_rng(s.seed ^ 0x67656e);
   VirtualTime last_submission = 0;
@@ -543,10 +588,102 @@ RunReport RunScenario(Architecture arch, const Scenario& scenario_in) {
     loop.After(sample_period, [&sample]() { sample(); });
   }
 
+  // ---- Shard load sampling + rebalancing (kSeveSharded) -------------------
+  // Runs every rebalance period even when rebalancing is disabled, so
+  // static runs still report their load-imbalance series for comparison.
+  std::vector<double> imbalance_windows;
+  int64_t moves_planned = 0;
+  std::vector<int64_t> prev_submits(shard_servers.size(), 0);
+  int64_t prev_migrations_out = 0;
+  InlineFunction<128> rebalance_tick = [&]() {
+    // Imbalance sample: max/mean of the per-shard queue-depth peaks over
+    // the window that just ended. All-idle windows carry no signal.
+    // Sampling happens even on the final tick past last_submission, so
+    // the series ends on the post-burst steady state, not mid-handoff.
+    std::vector<int64_t> peaks;
+    peaks.reserve(shard_servers.size());
+    int64_t peak_sum = 0;
+    int64_t peak_max = 0;
+    for (const auto& shard : shard_servers) {
+      const int64_t p = shard->TakeWindowQueuePeak();
+      peaks.push_back(p);
+      peak_sum += p;
+      peak_max = std::max(peak_max, p);
+    }
+    if (peak_sum > 0) {
+      const double mean = static_cast<double>(peak_sum) /
+                          static_cast<double>(peaks.size());
+      imbalance_windows.push_back(static_cast<double>(peak_max) / mean);
+    }
+    // Past the last scheduled submission there is nothing left to plan
+    // for; stop rescheduling so the loop can drain to idle.
+    if (loop.now() > last_submission) return;
+    // Planning load = submit-count delta over the window: unlike the
+    // queue peak it carries no drain backlog from before an earlier
+    // handoff burst, so it tracks ownership, not history. A window that
+    // overlapped a burst (commits landed, or handoffs still in flight)
+    // splits rehomed clients' arrivals across two shards — skip planning
+    // on such poisoned samples and wait for one clean window.
+    std::vector<int64_t> arrivals(shard_servers.size(), 0);
+    int64_t migrations_out = 0;
+    int64_t in_flight = 0;
+    for (size_t sh = 0; sh < shard_servers.size(); ++sh) {
+      const int64_t submits = shard_servers[sh]->counters().submits;
+      arrivals[sh] = submits - prev_submits[sh];
+      prev_submits[sh] = submits;
+      migrations_out += shard_servers[sh]->counters().migrations_out;
+      in_flight +=
+          static_cast<int64_t>(shard_servers[sh]->pending_migrations()) +
+          static_cast<int64_t>(shard_servers[sh]->pending_adoptions());
+    }
+    const bool poisoned =
+        migrations_out != prev_migrations_out || in_flight != 0;
+    prev_migrations_out = migrations_out;
+    if (s.rebalance.enabled && !poisoned && peak_sum > 0) {
+      // Movable sets scanned in ascending client index = ascending avatar
+      // object id, which pins the rebalancer's candidate order.
+      std::vector<std::vector<ObjectId>> movable(shard_servers.size());
+      for (int i = 0; i < s.num_clients; ++i) {
+        const ObjectId avatar = ManhattanWorld::AvatarId(i);
+        const ShardId owner = shard_map->ShardOfObject(avatar);
+        movable[static_cast<size_t>(owner)].push_back(avatar);
+      }
+      std::vector<ShardLoad> loads;
+      loads.reserve(shard_servers.size());
+      for (size_t sh = 0; sh < shard_servers.size(); ++sh) {
+        loads.push_back(
+            ShardLoad{static_cast<ShardId>(sh), arrivals[sh],
+                      static_cast<int64_t>(movable[sh].size())});
+      }
+      RebalancePolicy policy;
+      policy.headroom = s.rebalance.headroom;
+      policy.max_moves = s.rebalance.max_moves_per_epoch;
+      const std::vector<MigrationMove> moves =
+          PlanRebalance(loads, movable, policy);
+      moves_planned += static_cast<int64_t>(moves.size());
+      for (const MigrationMove& mv : moves) {
+        // AvatarId(i) = ObjectId(i + 1), so the owning client index is
+        // recoverable for the lazy destination link.
+        const int c = static_cast<int>(mv.object.value()) - 1;
+        net.ConnectBidirectional(shard_nodes[static_cast<size_t>(mv.to)],
+                                 ClientNode(c), link);
+        shard_servers[static_cast<size_t>(mv.from)]->StartMigration(mv.object,
+                                                                    mv.to);
+      }
+    }
+    loop.After(s.rebalance.period_us,
+               [&rebalance_tick]() { rebalance_tick(); });
+  };
+  if (arch == Architecture::kSeveSharded) {
+    loop.After(s.rebalance.period_us,
+               [&rebalance_tick]() { rebalance_tick(); });
+  }
+
   // ---- Run to quiescence --------------------------------------------------
   const Micros push_period =
       static_cast<Micros>(s.seve.omega * static_cast<double>(rtt_us));
   VirtualTime last_activity = last_submission;
+  last_activity = std::max(last_activity, last_migration);
   for (const Scenario::FailureEvent& f : s.failures) {
     last_activity = std::max(last_activity,
                              std::max(f.fail_at_us, f.rejoin_at_us));
@@ -598,13 +735,25 @@ RunReport RunScenario(Architecture arch, const Scenario& scenario_in) {
     for (const auto& shard : shard_servers) {
       report.server_stats.Merge(shard->stats());
       report.server_traffic.Merge(shard->traffic());
-      report.shard_counters.push_back(shard->counters());
+      ShardCounters counters = shard->counters();
+      // Leaked handoffs (never committed nor aborted) surface here; the
+      // CI gate asserts this stays 0.
+      counters.migrations_pending =
+          static_cast<int64_t>(shard->pending_migrations()) +
+          static_cast<int64_t>(shard->pending_adoptions());
+      report.shard_counters.push_back(counters);
       shard->committed_digests().ForEach(
           [&](const SeqNum& pos, const auto& digest) {
             sharded_authority[pos] = digest;
           });
     }
     authority = &sharded_authority;
+    report.shard_imbalance_windows = imbalance_windows;
+    if (!imbalance_windows.empty()) {
+      report.load_imbalance_first = imbalance_windows.front();
+      report.load_imbalance_last = imbalance_windows.back();
+    }
+    report.migration_moves_planned = moves_planned;
   }
   report.total_traffic = net.TotalTraffic();
   report.wire_audit = net.wire_audit();

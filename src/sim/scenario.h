@@ -96,6 +96,32 @@ struct Scenario {
   /// a single Incomplete-World server behind global stamps.
   int shards = 1;
 
+  /// kSeveSharded: load-aware ownership rebalancing (DESIGN.md §14).
+  /// Every `period_us` the runner samples per-shard load (submit-count
+  /// deltas + queue-depth peaks), plans a deterministic migration batch
+  /// (shard/rebalancer.h) and executes it via StartMigration. The
+  /// sampler runs even when disabled so static runs still report their
+  /// load-imbalance series.
+  struct RebalanceOptions {
+    bool enabled = false;
+    Micros period_us = 2000 * kMicrosPerMilli;
+    double headroom = 1.25;
+    int max_moves_per_epoch = 64;
+  };
+  RebalanceOptions rebalance;
+
+  /// kSeveSharded: explicit ownership-migration schedule (tests pin
+  /// handoffs this way; the rebalancer generates them at scale). Each
+  /// event rehomes `client`'s avatar to `to_shard` at `at_us`; stale
+  /// events (wrong current owner, handoff already in flight) are
+  /// no-ops.
+  struct MigrationEvent {
+    Micros at_us = 0;
+    int client = 0;
+    int to_shard = 0;
+  };
+  std::vector<MigrationEvent> migrations;
+
   /// How message sizes are charged to links: declared estimates (seed
   /// behaviour), real encoded frame sizes, or encoded + round-trip
   /// verification of every frame (see wire/wire_mode.h).

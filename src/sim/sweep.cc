@@ -207,7 +207,19 @@ uint64_t DigestReport(const RunReport& r) {
     f.I64(s.commits);
     f.I64(s.aborts);
     f.I64(s.stale_tokens);
+    f.I64(s.submits);
+    f.I64(s.queue_depth_peak);
+    f.I64(s.migrations_out);
+    f.I64(s.migrations_in);
+    f.I64(s.migration_aborts);
+    f.I64(s.rehomed_clients);
+    f.I64(s.escalated_pushes);
+    f.I64(s.migrations_pending);
   }
+  for (const double w : r.shard_imbalance_windows) f.D(w);
+  f.D(r.load_imbalance_first);
+  f.D(r.load_imbalance_last);
+  f.I64(r.migration_moves_planned);
   for (const uint64_t d : r.client_state_digests) f.U64(d);
   f.U64(r.final_state_digest);
   for (const auto& [kind, per] : r.wire_audit.per_kind()) {

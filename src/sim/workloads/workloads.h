@@ -52,6 +52,12 @@ struct WorkloadConfig {
   /// Run the runner's every-500ms visibility sampler (the Figure 8
   /// metric). O(N²) — turn off for six-figure populations.
   bool sample_visibility = true;
+  /// Seed each SEVE-family client's replica with its own avatar only
+  /// instead of a full copy of the initial world. A full replica per
+  /// client is O(N²) memory — terabytes at 100k avatars — while the
+  /// sparse-reads regime never reads beyond the own avatar anyway.
+  /// Digest-neutral as long as every compared arm uses the same value.
+  bool sparse_replicas = false;
 };
 
 /// Computes the staged spawn positions for `kind` (count avatars inside

@@ -405,6 +405,228 @@ Status DecodeShardAbort(Reader& r, Writer* re) {
   return Status::OK();
 }
 
+// ---- Ownership-migration bodies (shard/shard_msg.h, DESIGN.md §14) -------
+
+void EncodeProfile(const InterestProfile& profile, Writer& w) {
+  w.PutDouble(profile.position.x);
+  w.PutDouble(profile.position.y);
+  w.PutDouble(profile.velocity.x);
+  w.PutDouble(profile.velocity.y);
+  w.PutDouble(profile.radius);
+  w.PutVarint(profile.interest_class);
+}
+
+bool TranscodeProfile(Reader& r, Writer* re) {
+  double px = 0, py = 0, vx = 0, vy = 0, radius = 0;
+  uint64_t interest_class = 0;
+  if (!r.ReadDouble(&px) || !r.ReadDouble(&py) || !r.ReadDouble(&vx) ||
+      !r.ReadDouble(&vy) || !r.ReadDouble(&radius) ||
+      !r.ReadVarint(&interest_class)) {
+    return false;
+  }
+  if (re != nullptr) {
+    re->PutDouble(px);
+    re->PutDouble(py);
+    re->PutDouble(vx);
+    re->PutDouble(vy);
+    re->PutDouble(radius);
+    re->PutVarint(interest_class);
+  }
+  return true;
+}
+
+Status EncodeMigrateOffer(const MigrateOfferBody& body, Writer& w) {
+  w.PutVarint(body.object.value());
+  w.PutZigzag(body.source_shard);
+  w.PutZigzag(body.dest_shard);
+  w.PutVarint(body.epoch);
+  w.PutVarint(body.client.value());
+  return Status::OK();
+}
+
+Status DecodeMigrateOffer(Reader& r, Writer* re) {
+  uint64_t object = 0, epoch = 0, client = 0;
+  int64_t source = 0, dest = 0;
+  if (!r.ReadVarint(&object) || !r.ReadZigzag(&source) ||
+      !r.ReadZigzag(&dest) || !r.ReadVarint(&epoch) ||
+      !r.ReadVarint(&client)) {
+    return Malformed("migrate offer: bad fields");
+  }
+  if (re != nullptr) {
+    re->PutVarint(object);
+    re->PutZigzag(source);
+    re->PutZigzag(dest);
+    re->PutVarint(epoch);
+    re->PutVarint(client);
+  }
+  return Status::OK();
+}
+
+Status EncodeMigrateAck(const MigrateAckBody& body, Writer& w) {
+  w.PutVarint(body.object.value());
+  w.PutZigzag(body.dest_shard);
+  w.PutVarint(body.epoch);
+  return Status::OK();
+}
+
+Status DecodeMigrateAck(Reader& r, Writer* re) {
+  uint64_t object = 0, epoch = 0;
+  int64_t dest = 0;
+  if (!r.ReadVarint(&object) || !r.ReadZigzag(&dest) ||
+      !r.ReadVarint(&epoch)) {
+    return Malformed("migrate ack: bad fields");
+  }
+  if (re != nullptr) {
+    re->PutVarint(object);
+    re->PutZigzag(dest);
+    re->PutVarint(epoch);
+  }
+  return Status::OK();
+}
+
+Status EncodeMigrateCommit(const MigrateCommitBody& body, Writer& w) {
+  w.PutVarint(body.object.value());
+  w.PutZigzag(body.source_shard);
+  w.PutVarint(body.epoch);
+  w.PutZigzag(body.fence);
+  EncodeObjectList(body.value, w);
+  w.PutVarint(body.client.value());
+  w.PutVarint(body.client_node);
+  EncodeProfile(body.profile, w);
+  return Status::OK();
+}
+
+Status DecodeMigrateCommit(Reader& r, Writer* re) {
+  uint64_t object = 0, epoch = 0;
+  int64_t source = 0, fence = 0;
+  if (!r.ReadVarint(&object) || !r.ReadZigzag(&source) ||
+      !r.ReadVarint(&epoch) || !r.ReadZigzag(&fence)) {
+    return Malformed("migrate commit: bad header");
+  }
+  if (re != nullptr) {
+    re->PutVarint(object);
+    re->PutZigzag(source);
+    re->PutVarint(epoch);
+    re->PutZigzag(fence);
+  }
+  const Status st = TranscodeObjectList(r, re);
+  if (!st.ok()) return st;
+  uint64_t client = 0, client_node = 0;
+  if (!r.ReadVarint(&client) || !r.ReadVarint(&client_node)) {
+    return Malformed("migrate commit: bad client record");
+  }
+  if (re != nullptr) {
+    re->PutVarint(client);
+    re->PutVarint(client_node);
+  }
+  if (!TranscodeProfile(r, re)) {
+    return Malformed("migrate commit: bad profile");
+  }
+  return Status::OK();
+}
+
+Status EncodeMigrateAbort(const MigrateAbortBody& body, Writer& w) {
+  w.PutVarint(body.object.value());
+  w.PutZigzag(body.source_shard);
+  w.PutVarint(body.epoch);
+  return Status::OK();
+}
+
+Status DecodeMigrateAbort(Reader& r, Writer* re) {
+  uint64_t object = 0, epoch = 0;
+  int64_t source = 0;
+  if (!r.ReadVarint(&object) || !r.ReadZigzag(&source) ||
+      !r.ReadVarint(&epoch)) {
+    return Malformed("migrate abort: bad fields");
+  }
+  if (re != nullptr) {
+    re->PutVarint(object);
+    re->PutZigzag(source);
+    re->PutVarint(epoch);
+  }
+  return Status::OK();
+}
+
+Status EncodeRehome(const RehomeBody& body, Writer& w) {
+  w.PutVarint(body.object.value());
+  w.PutVarint(body.client.value());
+  w.PutVarint(body.dest_node);
+  w.PutVarint(body.epoch);
+  return Status::OK();
+}
+
+Status DecodeRehome(Reader& r, Writer* re) {
+  uint64_t object = 0, client = 0, dest_node = 0, epoch = 0;
+  if (!r.ReadVarint(&object) || !r.ReadVarint(&client) ||
+      !r.ReadVarint(&dest_node) || !r.ReadVarint(&epoch)) {
+    return Malformed("rehome: bad fields");
+  }
+  if (re != nullptr) {
+    re->PutVarint(object);
+    re->PutVarint(client);
+    re->PutVarint(dest_node);
+    re->PutVarint(epoch);
+  }
+  return Status::OK();
+}
+
+Status EncodeRehomeAck(const RehomeAckBody& body, Writer& w) {
+  w.PutVarint(body.client.value());
+  w.PutVarint(body.object.value());
+  w.PutVarint(body.epoch);
+  return Status::OK();
+}
+
+Status DecodeRehomeAck(Reader& r, Writer* re) {
+  uint64_t client = 0, object = 0, epoch = 0;
+  if (!r.ReadVarint(&client) || !r.ReadVarint(&object) ||
+      !r.ReadVarint(&epoch)) {
+    return Malformed("rehome ack: bad fields");
+  }
+  if (re != nullptr) {
+    re->PutVarint(client);
+    re->PutVarint(object);
+    re->PutVarint(epoch);
+  }
+  return Status::OK();
+}
+
+Status EncodeRehomeDone(const RehomeDoneBody& body, Writer& w) {
+  w.PutVarint(body.client.value());
+  w.PutVarint(body.object.value());
+  return Status::OK();
+}
+
+Status DecodeRehomeDone(Reader& r, Writer* re) {
+  uint64_t client = 0, object = 0;
+  if (!r.ReadVarint(&client) || !r.ReadVarint(&object)) {
+    return Malformed("rehome done: bad fields");
+  }
+  if (re != nullptr) {
+    re->PutVarint(client);
+    re->PutVarint(object);
+  }
+  return Status::OK();
+}
+
+Status EncodeMigrateRejoin(const MigrateRejoinBody& body, Writer& w) {
+  w.PutVarint(body.client.value());
+  w.PutVarint(body.object.value());
+  return Status::OK();
+}
+
+Status DecodeMigrateRejoin(Reader& r, Writer* re) {
+  uint64_t client = 0, object = 0;
+  if (!r.ReadVarint(&client) || !r.ReadVarint(&object)) {
+    return Malformed("migrate rejoin: bad fields");
+  }
+  if (re != nullptr) {
+    re->PutVarint(client);
+    re->PutVarint(object);
+  }
+  return Status::OK();
+}
+
 // ---- Baseline bodies (baseline/central.h) --------------------------------
 
 Status EncodeObjectUpdate(const ObjectUpdateBody& body, Writer& w) {
@@ -719,6 +941,34 @@ void RegisterAll() {
   reg.RegisterBody(kShardAbort,
                    MakeCodec<ShardAbortBody>("ShardAbort", EncodeShardAbort,
                                              DecodeShardAbort));
+  reg.RegisterBody(kMigrateOffer,
+                   MakeCodec<MigrateOfferBody>("MigrateOffer",
+                                               EncodeMigrateOffer,
+                                               DecodeMigrateOffer));
+  reg.RegisterBody(kMigrateAck,
+                   MakeCodec<MigrateAckBody>("MigrateAck", EncodeMigrateAck,
+                                             DecodeMigrateAck));
+  reg.RegisterBody(kMigrateCommit,
+                   MakeCodec<MigrateCommitBody>("MigrateCommit",
+                                                EncodeMigrateCommit,
+                                                DecodeMigrateCommit));
+  reg.RegisterBody(kMigrateAbort,
+                   MakeCodec<MigrateAbortBody>("MigrateAbort",
+                                               EncodeMigrateAbort,
+                                               DecodeMigrateAbort));
+  reg.RegisterBody(kRehome,
+                   MakeCodec<RehomeBody>("Rehome", EncodeRehome,
+                                         DecodeRehome));
+  reg.RegisterBody(kRehomeAck,
+                   MakeCodec<RehomeAckBody>("RehomeAck", EncodeRehomeAck,
+                                            DecodeRehomeAck));
+  reg.RegisterBody(kRehomeDone,
+                   MakeCodec<RehomeDoneBody>("RehomeDone", EncodeRehomeDone,
+                                             DecodeRehomeDone));
+  reg.RegisterBody(kMigrateRejoin,
+                   MakeCodec<MigrateRejoinBody>("MigrateRejoin",
+                                                EncodeMigrateRejoin,
+                                                DecodeMigrateRejoin));
   reg.RegisterBody(kObjectUpdate,
                    MakeCodec<ObjectUpdateBody>("ObjectUpdate",
                                                EncodeObjectUpdate,

@@ -1,0 +1,355 @@
+// Dynamic ownership migration + load-aware rebalancing (DESIGN.md §14):
+// handoffs move an object's authoritative record between shards mid-run,
+// and the tier's core guarantee must survive them — the merged committed
+// state stays bit-identical to the single Incomplete-World server, under
+// every wire mode, any sweep worker count, 1% frame loss with the
+// reliable channel, and a crash/rejoin racing the handoff itself.
+//
+// Workloads are the ones shard_determinism_test.cc established:
+//  - Spread (100-unit grid): singleton closures, pure fast path.
+//  - Boundary (9-unit grid): closures straddle the shard cuts, so the
+//    two-phase commit and the escalation path run while records move.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "shard/rebalancer.h"
+#include "sim/runner.h"
+#include "sim/sweep.h"
+
+namespace seve {
+namespace {
+
+Scenario SpreadScenario(int clients, int moves) {
+  Scenario s = Scenario::TableOne(clients);
+  s.world.num_walls = 200;
+  s.moves_per_client = moves;
+  s.link_kbps = 0.0;
+  s.world.spawn.pattern = SpawnConfig::Pattern::kGrid;
+  s.world.spawn.grid_spacing = 100.0;
+  return s;
+}
+
+Scenario BoundaryScenario(int clients, int moves) {
+  Scenario s = Scenario::TableOne(clients);
+  s.world.num_walls = 0;
+  s.world.speed = 0.5;
+  s.moves_per_client = moves;
+  s.move_period_us = 800 * kMicrosPerMilli;
+  s.link_kbps = 0.0;
+  s.world.spawn.pattern = SpawnConfig::Pattern::kGrid;
+  s.world.spawn.grid_spacing = 9.0;
+  return s;
+}
+
+Scenario WithShards(Scenario s, int shards) {
+  s.shards = shards;
+  return s;
+}
+
+// Three explicit handoffs spread over the run, including a second hop of
+// the same avatar (stacks a second stamp segment on the second
+// destination). Events whose target equals the current owner are no-ops
+// by design, so at least one of these fires at any shard count > 1.
+Scenario WithMigrations(Scenario s, Micros spacing_us) {
+  s.migrations.push_back({spacing_us, /*client=*/0, /*to_shard=*/3});
+  s.migrations.push_back({2 * spacing_us, /*client=*/3, /*to_shard=*/0});
+  s.migrations.push_back({3 * spacing_us, /*client=*/0, /*to_shard=*/1});
+  return s;
+}
+
+ShardCounters TotalCounters(const RunReport& r) {
+  ShardCounters total;
+  for (const ShardCounters& c : r.shard_counters) total.Merge(c);
+  return total;
+}
+
+// Every handoff resolved: committed adoptions balance the committed
+// departures (migrations_out counts commits only; cancelled offers land
+// in migration_aborts) and nothing is left in flight after the drain.
+void ExpectCleanHandoffs(const RunReport& r, const char* ctx) {
+  const ShardCounters total = TotalCounters(r);
+  EXPECT_EQ(total.migrations_out, total.migrations_in) << ctx;
+  EXPECT_EQ(total.migrations_pending, 0) << ctx;
+  EXPECT_EQ(total.rehomed_clients, total.migrations_in) << ctx;
+}
+
+// Spread workload with mid-run handoffs: every closure is local before
+// and after the move, so any shard count must still reproduce the single
+// Incomplete-World server bit for bit — merged state and every client's
+// stable replica alike.
+TEST(ShardMigrationTest, SpreadWithHandoffsMatchesSingleServer) {
+  const Scenario base = SpreadScenario(8, 10);
+  const RunReport reference =
+      RunScenario(Architecture::kIncompleteWorld, base);
+
+  for (const int shards : {4, 8}) {
+    const Scenario sharded =
+        WithMigrations(WithShards(base, shards), 700 * kMicrosPerMilli);
+    const RunReport report =
+        RunScenario(Architecture::kSeveSharded, sharded);
+    const ShardCounters total = TotalCounters(report);
+    EXPECT_GT(total.migrations_out, 0) << shards << " shards";
+    EXPECT_EQ(total.migration_aborts, 0) << shards << " shards";
+    ExpectCleanHandoffs(report, "spread");
+    EXPECT_TRUE(report.consistency.consistent())
+        << report.consistency.ToString();
+    EXPECT_EQ(report.final_state_digest, reference.final_state_digest)
+        << shards << " shards";
+    ASSERT_EQ(report.client_state_digests.size(),
+              reference.client_state_digests.size());
+    for (size_t i = 0; i < reference.client_state_digests.size(); ++i) {
+      EXPECT_EQ(report.client_state_digests[i],
+                reference.client_state_digests[i])
+          << "client " << i << " at " << shards << " shards";
+    }
+  }
+}
+
+// Boundary workload: handoffs happen while escalated cross-shard commits
+// are in flight around them, and the merged committed state must still
+// equal the single-server run exactly.
+TEST(ShardMigrationTest, BoundaryWithHandoffsMatchesSingleServer) {
+  const Scenario base = BoundaryScenario(9, 8);
+  const RunReport reference =
+      RunScenario(Architecture::kIncompleteWorld, base);
+
+  for (const int shards : {4, 8}) {
+    const Scenario sharded =
+        WithMigrations(WithShards(base, shards), 1500 * kMicrosPerMilli);
+    const RunReport report =
+        RunScenario(Architecture::kSeveSharded, sharded);
+    const ShardCounters total = TotalCounters(report);
+    EXPECT_GT(total.escalated, 0) << shards << " shards";
+    EXPECT_GT(total.migrations_out, 0) << shards << " shards";
+    EXPECT_EQ(total.escalated, total.commits + total.aborts)
+        << shards << " shards";
+    EXPECT_EQ(total.aborts, 0) << shards << " shards";
+    ExpectCleanHandoffs(report, "boundary");
+    EXPECT_TRUE(report.consistency.consistent())
+        << report.consistency.ToString();
+    EXPECT_EQ(report.final_state_digest, reference.final_state_digest)
+        << shards << " shards";
+  }
+}
+
+// Digest stability of the migrating tier: identical results on 1 vs 8
+// sweep workers in all three wire modes, with every frame — including
+// the MigrateOffer/Ack/Commit and Rehome kinds — round-tripping the
+// codecs cleanly in kVerify mode.
+TEST(ShardMigrationTest, MigrationDigestIndependentOfJobsAndWireMode) {
+  std::vector<SweepJob> jobs;
+  for (const WireMode mode :
+       {WireMode::kDeclared, WireMode::kEncoded, WireMode::kVerify}) {
+    SweepJob job;
+    job.label = "migrating";
+    job.x = static_cast<double>(jobs.size());
+    job.arch = Architecture::kSeveSharded;
+    job.scenario = WithMigrations(WithShards(BoundaryScenario(9, 6), 4),
+                                  1200 * kMicrosPerMilli);
+    job.scenario.wire_mode = mode;
+    jobs.push_back(std::move(job));
+  }
+  const std::vector<SweepResult> serial = RunSweep(jobs, 1);
+  const std::vector<SweepResult> parallel = RunSweep(jobs, 8);
+  ASSERT_EQ(serial.size(), jobs.size());
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(serial[i].digest, parallel[i].digest) << "job " << i;
+    EXPECT_EQ(serial[i].report.wire_verify_failures, 0) << "job " << i;
+    EXPECT_GT(TotalCounters(serial[i].report).migrations_out, 0)
+        << "job " << i;
+  }
+  // Wire accounting must not perturb the handoffs themselves.
+  for (size_t i = 1; i < jobs.size(); ++i) {
+    EXPECT_EQ(serial[0].report.final_state_digest,
+              serial[i].report.final_state_digest);
+  }
+}
+
+// Chaos leg: 1% loss on every link with the reliable channel. Handoff
+// control traffic (offer/ack/commit and the client rehome exchange) rides
+// the same retransmission machinery as everything else, so the lossy run
+// must converge to the lossless one.
+TEST(ShardMigrationTest, LossyMigrationConvergence) {
+  const Scenario clean = WithMigrations(WithShards(SpreadScenario(6, 10), 4),
+                                        700 * kMicrosPerMilli);
+  const RunReport baseline = RunScenario(Architecture::kSeveSharded, clean);
+  EXPECT_GT(TotalCounters(baseline).migrations_out, 0);
+
+  Scenario lossy = clean;
+  lossy.drop_probability = 0.01;
+  lossy.reliable_transport = true;
+  const RunReport report = RunScenario(Architecture::kSeveSharded, lossy);
+  ExpectCleanHandoffs(report, "lossy");
+  EXPECT_GT(TotalCounters(report).migrations_out, 0);
+  ASSERT_EQ(report.client_state_digests.size(),
+            baseline.client_state_digests.size());
+  for (size_t i = 0; i < baseline.client_state_digests.size(); ++i) {
+    EXPECT_EQ(report.client_state_digests[i],
+              baseline.client_state_digests[i])
+        << "client " << i;
+  }
+  EXPECT_EQ(report.final_state_digest, baseline.final_state_digest);
+  EXPECT_GT(report.client_stats.channel.data_frames, 0);
+}
+
+// A handoff racing the crash/rejoin of the very client being rehomed
+// (DESIGN.md §14 case A): the rehome offer lands while the client is
+// down, the rejoin cancels the stalled handoff with MigrateAbort, and a
+// later handoff of the same avatar succeeds. Within-run invariants only —
+// recovery timing is topology-dependent.
+TEST(ShardMigrationTest, MigrationRacesCrashRejoin) {
+  Scenario s = WithShards(BoundaryScenario(9, 8), 4);
+  s.seve.all_client_completions = true;
+  s.drop_probability = 0.01;
+  s.reliable_transport = true;
+  s.failures.push_back(
+      {/*client=*/1, /*fail_at_us=*/600'000, /*rejoin_at_us=*/1'400'000});
+  // In the crash window: must be cancelled by the rejoin (or, if the
+  // owner already equals shard 2, stay a no-op).
+  s.migrations.push_back({/*at_us=*/1'000'000, /*client=*/1, /*to_shard=*/2});
+  // Well after recovery: must complete.
+  s.migrations.push_back({/*at_us=*/3'600'000, /*client=*/1, /*to_shard=*/3});
+  s.migrations.push_back({/*at_us=*/2'800'000, /*client=*/4, /*to_shard=*/0});
+
+  const RunReport report = RunScenario(Architecture::kSeveSharded, s);
+
+  EXPECT_EQ(report.client_stats.rejoins, 1);
+  EXPECT_EQ(report.server_stats.rejoins, 1);
+  const ShardCounters total = TotalCounters(report);
+  EXPECT_GT(total.migrations_out, 0);
+  EXPECT_EQ(total.escalated, total.commits + total.aborts);
+  ExpectCleanHandoffs(report, "crash race");
+  EXPECT_TRUE(report.consistency.consistent())
+      << report.consistency.ToString();
+}
+
+// Load-aware rebalancing end to end: a flash crowd concentrated on the
+// central shards leaves the static partition badly imbalanced; with the
+// rebalancer on, the last-window imbalance must drop — and because a
+// handoff only changes which shard serializes (never the committed
+// values), the merged final state must equal the static run bit for bit.
+TEST(ShardMigrationTest, RebalancerReducesImbalance) {
+  // Enough clients that the final window's per-shard queue peaks are
+  // well above 1 — at toy scale the max/mean ratio quantizes (2 vs 1).
+  Scenario s = Scenario::TableOne(240);
+  s.moves_per_client = 12;
+  s.link_kbps = 0.0;
+  s.world.num_walls = 0;
+  s.workload.kind = WorkloadKind::kFlashCrowd;
+  s.workload.crowd_radius = 120.0;
+  s.workload.sparse_reads = true;
+  s.workload.sample_visibility = false;
+  s.shards = 8;
+  s.rebalance.period_us = 400 * kMicrosPerMilli;
+  s.rebalance.headroom = 1.1;
+  s.rebalance.max_moves_per_epoch = 64;
+
+  Scenario stat = s;
+  stat.rebalance.enabled = false;
+  const RunReport static_run = RunScenario(Architecture::kSeveSharded, stat);
+
+  Scenario reb = s;
+  reb.rebalance.enabled = true;
+  const RunReport rebalanced = RunScenario(Architecture::kSeveSharded, reb);
+
+  // The sampler runs in both arms; only the rebalanced one migrates.
+  ASSERT_FALSE(static_run.shard_imbalance_windows.empty());
+  ASSERT_FALSE(rebalanced.shard_imbalance_windows.empty());
+  EXPECT_EQ(static_run.migration_moves_planned, 0);
+  EXPECT_EQ(TotalCounters(static_run).migrations_out, 0);
+  EXPECT_GT(rebalanced.migration_moves_planned, 0);
+  EXPECT_GT(TotalCounters(rebalanced).migrations_out, 0);
+  ExpectCleanHandoffs(rebalanced, "rebalanced");
+
+  // The flash crowd leaves most of the 8 static shards idle.
+  EXPECT_GE(static_run.load_imbalance_last, 1.5);
+  // Rebalancing spreads the crowd: strictly better, and near-even.
+  EXPECT_LT(rebalanced.load_imbalance_last,
+            static_run.load_imbalance_last);
+  EXPECT_LE(rebalanced.load_imbalance_last, 1.5);
+
+  EXPECT_TRUE(rebalanced.consistency.consistent())
+      << rebalanced.consistency.ToString();
+  EXPECT_EQ(rebalanced.final_state_digest, static_run.final_state_digest);
+}
+
+// ---- PlanRebalance unit coverage (pure function) --------------------------
+
+std::vector<std::vector<ObjectId>> MovableSets(
+    const std::vector<int>& counts, uint64_t base = 1) {
+  std::vector<std::vector<ObjectId>> sets;
+  uint64_t next = base;
+  for (const int n : counts) {
+    std::vector<ObjectId> objs;
+    for (int i = 0; i < n; ++i) objs.push_back(ObjectId(next++));
+    sets.push_back(std::move(objs));
+  }
+  return sets;
+}
+
+TEST(RebalancerTest, PeelsHottestOntoColdest) {
+  const std::vector<ShardLoad> loads = {
+      {0, 90, 9}, {1, 10, 1}, {2, 20, 2}};
+  const auto movable = MovableSets({9, 1, 2});
+  RebalancePolicy policy;
+  policy.headroom = 1.0;
+  const std::vector<MigrationMove> moves =
+      PlanRebalance(loads, movable, policy);
+  ASSERT_FALSE(moves.empty());
+  for (const MigrationMove& m : moves) {
+    EXPECT_EQ(m.from, 0u);
+    EXPECT_NE(m.to, 0u);
+  }
+  // Plan is sorted by object id.
+  for (size_t i = 1; i < moves.size(); ++i) {
+    EXPECT_LT(moves[i - 1].object.value(), moves[i].object.value());
+  }
+}
+
+TEST(RebalancerTest, DeterministicForSameInputs) {
+  const std::vector<ShardLoad> loads = {
+      {0, 70, 7}, {1, 10, 1}, {2, 10, 1}, {3, 10, 1}};
+  const auto movable = MovableSets({7, 1, 1, 1});
+  RebalancePolicy policy;
+  policy.headroom = 1.1;
+  const auto a = PlanRebalance(loads, movable, policy);
+  const auto b = PlanRebalance(loads, movable, policy);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].object, b[i].object);
+    EXPECT_EQ(a[i].from, b[i].from);
+    EXPECT_EQ(a[i].to, b[i].to);
+  }
+}
+
+TEST(RebalancerTest, RespectsMoveBudget) {
+  const std::vector<ShardLoad> loads = {{0, 100, 10}, {1, 0, 0}};
+  const auto movable = MovableSets({10, 0});
+  RebalancePolicy policy;
+  policy.headroom = 1.0;
+  policy.max_moves = 3;
+  EXPECT_LE(PlanRebalance(loads, movable, policy).size(), 3u);
+}
+
+TEST(RebalancerTest, BalancedOrDegenerateInputsPlanNothing) {
+  RebalancePolicy policy;
+  // Fewer than two shards: nothing to move between.
+  EXPECT_TRUE(PlanRebalance({{0, 50, 5}}, MovableSets({5}), policy).empty());
+  // Already even.
+  EXPECT_TRUE(PlanRebalance({{0, 10, 1}, {1, 10, 1}},
+                            MovableSets({1, 1}), policy)
+                  .empty());
+  // All idle.
+  EXPECT_TRUE(PlanRebalance({{0, 0, 1}, {1, 0, 1}}, MovableSets({1, 1}),
+                            policy)
+                  .empty());
+  // Hot shard has nothing movable.
+  EXPECT_TRUE(PlanRebalance({{0, 100, 0}, {1, 0, 5}},
+                            MovableSets({0, 5}), policy)
+                  .empty());
+}
+
+}  // namespace
+}  // namespace seve

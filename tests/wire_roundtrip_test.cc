@@ -291,6 +291,66 @@ TEST_F(WireRoundTripTest, ShardCommitBodies) {
   }
 }
 
+TEST_F(WireRoundTripTest, MigrationBodies) {
+  for (int i = 0; i < 100; ++i) {
+    MigrateOfferBody offer;
+    offer.object = ObjectId(rng_.NextBounded(10'000));
+    offer.source_shard = static_cast<int32_t>(rng_.NextBounded(64));
+    offer.dest_shard = static_cast<int32_t>(rng_.NextBounded(64));
+    offer.epoch = 1 + rng_.NextBounded(10);
+    offer.client = ClientId(rng_.NextBounded(64));
+    ExpectRoundTrip(offer);
+
+    MigrateAckBody ack;
+    ack.object = ObjectId(rng_.NextBounded(10'000));
+    ack.dest_shard = static_cast<int32_t>(rng_.NextBounded(64));
+    ack.epoch = 1 + rng_.NextBounded(10);
+    ExpectRoundTrip(ack);
+
+    MigrateCommitBody commit;
+    commit.object = ObjectId(rng_.NextBounded(10'000));
+    commit.source_shard = static_cast<int32_t>(rng_.NextBounded(64));
+    commit.epoch = 1 + rng_.NextBounded(10);
+    commit.fence = rng_.NextBool(0.2) ? kInvalidSeq
+                                      : rng_.NextInt(0, 1'000'000);
+    commit.value = RandomObjects(&rng_, 1);
+    commit.client = rng_.NextBool(0.2) ? ClientId()
+                                       : ClientId(rng_.NextBounded(64));
+    commit.client_node = rng_.NextBounded(100'000);
+    commit.profile = RandomInterest(&rng_);
+    ExpectRoundTrip(commit);
+
+    MigrateAbortBody abort;
+    abort.object = ObjectId(rng_.NextBounded(10'000));
+    abort.source_shard = static_cast<int32_t>(rng_.NextBounded(64));
+    abort.epoch = 1 + rng_.NextBounded(10);
+    ExpectRoundTrip(abort);
+
+    MigrateRejoinBody rejoin;
+    rejoin.client = ClientId(rng_.NextBounded(64));
+    rejoin.object = ObjectId(rng_.NextBounded(10'000));
+    ExpectRoundTrip(rejoin);
+
+    RehomeBody rehome;
+    rehome.object = ObjectId(rng_.NextBounded(10'000));
+    rehome.client = ClientId(rng_.NextBounded(64));
+    rehome.dest_node = rng_.NextBounded(100'000);
+    rehome.epoch = 1 + rng_.NextBounded(10);
+    ExpectRoundTrip(rehome);
+
+    RehomeAckBody rehome_ack;
+    rehome_ack.client = ClientId(rng_.NextBounded(64));
+    rehome_ack.object = ObjectId(rng_.NextBounded(10'000));
+    rehome_ack.epoch = 1 + rng_.NextBounded(10);
+    ExpectRoundTrip(rehome_ack);
+
+    RehomeDoneBody done;
+    done.client = ClientId(rng_.NextBounded(64));
+    done.object = ObjectId(rng_.NextBounded(10'000));
+    ExpectRoundTrip(done);
+  }
+}
+
 TEST_F(WireRoundTripTest, LockBodies) {
   for (int i = 0; i < 100; ++i) {
     LockRequestBody request(RandomAction(&rng_));
