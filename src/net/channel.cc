@@ -55,6 +55,8 @@ void ReliableChannel::Send(NodeId dst, int64_t bytes,
     st->incarnation = ++last_incarnation_[dst];
     st->rto = config_.initial_rto_us;
   }
+  // Bounded by the in-flight window; capacity is retained across acks.
+  // seve-analyze: allow(hot-alloc-reachable): in-flight-window bounded
   st->window.push_back(Unacked{st->next_seq++, bytes, std::move(body), 0});
   ++stats_.data_frames;
   TransmitHead(dst, st, /*is_retransmit=*/false);

@@ -4,8 +4,12 @@ namespace seve {
 
 void EventLoop::GrowSlab() {
   const uint32_t base = static_cast<uint32_t>(chunks_.size()) << kChunkShift;
+  // seve-analyze: allow(hot-alloc-reachable): amortized slab growth
   chunks_.push_back(std::make_unique<Callback[]>(kChunkSize));
   free_slots_.reserve(free_slots_.size() + kChunkSize);
+  // heap_ holds at most one entry per live slot; growing its capacity
+  // with the slab keeps PushEntry realloc-free on the hot path.
+  heap_.reserve(static_cast<size_t>(chunks_.size()) << kChunkShift);
   // Hand slots out in ascending order (the free list is LIFO).
   for (uint32_t i = kChunkSize; i > 0; --i) {
     free_slots_.push_back(base + i - 1);

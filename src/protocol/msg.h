@@ -23,9 +23,8 @@ enum MsgKind : int {
   kSnapshotRequest = 7,  // client -> server: send me a catch-up snapshot
   kSnapshotChunk = 8,    // server -> client: one slice of zeta_S + tail
 
-  // Baseline architectures:
-  kCentralInput = 100,  // client -> central server: input command
-  kCentralAck = 101,    // central server -> origin client: action result
+  // Baseline architectures (100/101 were the central input/ack pair;
+  // retired unsent, the numbers stay reserved):
   kObjectUpdate = 102,  // object-state push (Central/Broadcast/RING)
 
   // Ownership migration, client-facing leg (DESIGN.md §14). Numbered in

@@ -12,8 +12,8 @@ namespace seve {
 namespace {
 
 // Wall-clock for the kernel_timing option. Measurement only: the value
-// never feeds simulated time, stats or digests.
-// seve-lint: allow(det-banned-fn): wall measurement behind kernel_timing
+// never feeds simulated time, stats or digests (steady_clock is the one
+// clock det-banned-fn permits for exactly this use).
 int64_t WallNowNs() {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(
              std::chrono::steady_clock::now().time_since_epoch())

@@ -139,7 +139,7 @@ void SeveShardServer::FenceStampsAbove(SeqNum fence_stamp) {
     stamp_segments_.back().offset = needed;
   } else {
     // Rare (once per adoption), not a routed hot path.
-    stamp_segments_.push_back(StampSegment{at, needed});  // seve-lint: allow(hot-vector-realloc): per-adoption, cold
+    stamp_segments_.push_back(StampSegment{at, needed});
   }
 }
 
@@ -467,8 +467,8 @@ void SeveShardServer::QueueEscalatedPush(const ServerQueue::Entry& entry) {
                              clients_.profile_time(slot))) {
       continue;
     }
-    // Capacity is retained across flushes; growth is a cold start-up.
-    push_scratch_.push_back({slot, record});  // seve-lint: allow(hot-vector-realloc): capacity retained across flushes
+    // Capacity is retained across flushes (reserved at construction).
+    push_scratch_.push_back({slot, record});
   }
 }
 
@@ -485,11 +485,18 @@ void SeveShardServer::FlushEscalatedPushes() {
     std::shared_ptr<DeliverActionsBody> body;
   };
   std::vector<Push> pushes;
+  pushes.reserve(push_scratch_.size());  // upper bound: one batch per entry
   size_t i = 0;
   while (i < push_scratch_.size()) {
     const ClientTable::Slot slot = push_scratch_[i].first;
+    size_t run_end = i;
+    while (run_end < push_scratch_.size() &&
+           push_scratch_[run_end].first == slot) {
+      ++run_end;
+    }
     auto body = std::make_shared<DeliverActionsBody>();
-    while (i < push_scratch_.size() && push_scratch_[i].first == slot) {
+    body->actions.reserve(run_end - i);  // exact wire-body size
+    while (i < run_end) {
       // Stable sort preserves install order within a slot: ascending
       // stamps, the order the client must apply them in.
       body->actions.push_back(push_scratch_[i].second);

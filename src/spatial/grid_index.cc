@@ -11,7 +11,7 @@ void GridIndex::CellVec::Grow() {
   // CellVec is an intrusive small-buffer array; unique_ptr would
   // double the inline union's footprint.
   // seve-lint: allow(mem-raw-new): small-buffer array growth
-  uint32_t* grown = new uint32_t[new_capacity];
+  uint32_t* grown = new uint32_t[new_capacity];  // seve-analyze: allow(hot-alloc-reachable): amortized doubling
   std::memcpy(grown, data(), static_cast<size_t>(size_) * sizeof(uint32_t));
   FreeHeap();
   heap_ = grown;
@@ -119,6 +119,8 @@ void GridIndex::QueryCircle(Vec2 center, double radius,
 
 void GridIndex::CollectBoxInto(const AABB& query,
                                std::vector<uint64_t>* out) const {
+  // Caller-owned results vector; capacity is reused across queries.
+  // seve-analyze: allow(hot-alloc-reachable): caller reuses capacity
   ForEachInBox(query, [out](uint64_t key) { out->push_back(key); });
 }
 

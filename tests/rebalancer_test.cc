@@ -1,0 +1,126 @@
+// PlanRebalance edge cases (DESIGN.md §14), pinned exactly.
+//
+// shard_migration_test.cc checks the planner's properties (sorted,
+// deterministic, budget-bounded); this suite pins the exact plan for
+// the degenerate inputs the runner actually feeds it between epochs —
+// an empty submit-count window, a single-shard map, all-equal loads —
+// and for the one-hot-shard case where the greedy peel must stop the
+// moment the projection drops under headroom x mean. The planner is a
+// pure function, so any change to these plans is a behaviour change
+// the sharded tier's determinism contract has to re-ratify.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "shard/rebalancer.h"
+
+namespace seve {
+namespace {
+
+std::vector<std::vector<ObjectId>> MovableSets(
+    const std::vector<int>& counts, uint64_t base = 1) {
+  std::vector<std::vector<ObjectId>> sets;
+  uint64_t next = base;
+  for (const int n : counts) {
+    std::vector<ObjectId> objs;
+    for (int i = 0; i < n; ++i) objs.push_back(ObjectId(next++));
+    sets.push_back(std::move(objs));
+  }
+  return sets;
+}
+
+// An empty submit-count window samples zero load everywhere: the mean
+// is zero, so nothing can be "above" it and the plan must be empty no
+// matter how many movable objects the shards home.
+TEST(RebalancerEdgeTest, EmptySubmitCountWindowPlansNothing) {
+  const std::vector<ShardLoad> loads = {{0, 0, 8}, {1, 0, 8}, {2, 0, 8}};
+  const auto movable = MovableSets({8, 8, 8});
+  RebalancePolicy policy;
+  EXPECT_TRUE(PlanRebalance(loads, movable, policy).empty());
+  // Even a headroom of zero must not invent moves out of an idle epoch.
+  policy.headroom = 0.0;
+  policy.min_load = 0;
+  EXPECT_TRUE(PlanRebalance(loads, movable, policy).empty());
+}
+
+// A single-shard map has no destination: empty plan, regardless of how
+// hot the shard runs or how aggressive the policy is.
+TEST(RebalancerEdgeTest, SingleShardMapPlansNothing) {
+  const std::vector<ShardLoad> loads = {{0, 1'000'000, 64}};
+  const auto movable = MovableSets({64});
+  RebalancePolicy policy;
+  policy.headroom = 0.0;
+  policy.min_load = 0;
+  EXPECT_TRUE(PlanRebalance(loads, movable, policy).empty());
+}
+
+// All-equal loads sit exactly at the mean. The headroom cut is
+// inclusive (load <= headroom x mean tolerates), so even headroom 1.0
+// must plan nothing — otherwise every balanced epoch would churn.
+TEST(RebalancerEdgeTest, AllEqualLoadsPlanNothing) {
+  const std::vector<ShardLoad> loads = {
+      {0, 40, 4}, {1, 40, 4}, {2, 40, 4}, {3, 40, 4}};
+  const auto movable = MovableSets({4, 4, 4, 4});
+  RebalancePolicy policy;
+  EXPECT_TRUE(PlanRebalance(loads, movable, policy).empty());
+  policy.headroom = 1.0;
+  EXPECT_TRUE(PlanRebalance(loads, movable, policy).empty());
+}
+
+// One shard above headroom: the peel re-divides load over the current
+// remainder (100/4 = 25 per object, then 75/3 = 25, ...), so with mean
+// 50 and threshold 62.5 exactly two objects move — the third peel
+// would start from a projected 50, which is already tolerated. The
+// plan is pinned move for move: lowest-id objects first, both onto the
+// idle shard.
+TEST(RebalancerEdgeTest, PlanExceedingHeadroomIsPeeledExactly) {
+  const std::vector<ShardLoad> loads = {{0, 100, 4}, {1, 0, 0}};
+  const auto movable = MovableSets({4, 0});
+  RebalancePolicy policy;  // headroom 1.25, max_moves 64, min_load 1
+  const std::vector<MigrationMove> moves =
+      PlanRebalance(loads, movable, policy);
+  ASSERT_EQ(moves.size(), 2u);
+  EXPECT_EQ(moves[0].object, ObjectId(1));
+  EXPECT_EQ(moves[0].from, 0u);
+  EXPECT_EQ(moves[0].to, 1u);
+  EXPECT_EQ(moves[1].object, ObjectId(2));
+  EXPECT_EQ(moves[1].from, 0u);
+  EXPECT_EQ(moves[1].to, 1u);
+}
+
+// Same imbalance with max_moves = 1: the budget truncates the peel
+// after the first (lowest-id) object even though the projection is
+// still above headroom.
+TEST(RebalancerEdgeTest, MoveBudgetTruncatesThePinnedPlan) {
+  const std::vector<ShardLoad> loads = {{0, 100, 4}, {1, 0, 0}};
+  const auto movable = MovableSets({4, 0});
+  RebalancePolicy policy;
+  policy.max_moves = 1;
+  const std::vector<MigrationMove> moves =
+      PlanRebalance(loads, movable, policy);
+  ASSERT_EQ(moves.size(), 1u);
+  EXPECT_EQ(moves[0].object, ObjectId(1));
+  EXPECT_EQ(moves[0].from, 0u);
+  EXPECT_EQ(moves[0].to, 1u);
+}
+
+// The headroom boundary itself: with mean 50 and headroom 1.25 the cut
+// is 62.5. A shard at 62 is tolerated (empty plan); at 63 exactly one
+// object moves — its whole estimated load (63, one movable object)
+// lands on the cold shard and the hot side has nothing left to peel.
+TEST(RebalancerEdgeTest, HeadroomBoundaryIsInclusive) {
+  const auto movable = MovableSets({1, 0});
+  RebalancePolicy policy;
+  EXPECT_TRUE(
+      PlanRebalance({{0, 62, 1}, {1, 38, 0}}, movable, policy).empty());
+  const std::vector<MigrationMove> moves =
+      PlanRebalance({{0, 63, 1}, {1, 37, 0}}, movable, policy);
+  ASSERT_EQ(moves.size(), 1u);
+  EXPECT_EQ(moves[0].object, ObjectId(1));
+  EXPECT_EQ(moves[0].from, 0u);
+  EXPECT_EQ(moves[0].to, 1u);
+}
+
+}  // namespace
+}  // namespace seve

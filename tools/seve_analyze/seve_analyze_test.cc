@@ -1,0 +1,440 @@
+#include "analyze.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace seve_analyze {
+namespace {
+
+int CountRule(const std::vector<Finding>& findings, const std::string& rule) {
+  return static_cast<int>(
+      std::count_if(findings.begin(), findings.end(),
+                    [&](const Finding& f) { return f.rule == rule; }));
+}
+
+const Finding* FindRule(const std::vector<Finding>& findings,
+                        const std::string& rule) {
+  for (const Finding& f : findings) {
+    if (f.rule == rule) return &f;
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// digest-path-purity
+// ---------------------------------------------------------------------------
+
+AnalyzeConfig DigestConfig() {
+  AnalyzeConfig config;
+  config.digest_roots = {"WorldState::Digest"};
+  return config;
+}
+
+TEST(DigestPurity, FlagsBannedCallBuriedTwoHelpersDeep) {
+  // Digest() -> Fold() -> Seed() -> rand(): the violation is nowhere
+  // near the root, only the call graph connects them.
+  auto findings = AnalyzeFiles(
+      {{"src/store/digest.cc",
+        "uint64_t WorldState::Digest() { return Fold(1); }\n"
+        "uint64_t Fold(int x) { return Seed() + x; }\n"},
+       {"src/store/seed.cc",
+        "uint64_t Seed() { return rand(); }\n"}},
+      DigestConfig());
+  ASSERT_EQ(CountRule(findings, "digest-path-purity"), 1);
+  const Finding* f = FindRule(findings, "digest-path-purity");
+  EXPECT_EQ(f->file, "src/store/seed.cc");
+  EXPECT_EQ(f->line, 1);
+  EXPECT_NE(f->message.find("rand"), std::string::npos);
+  // The complete offending call chain, root first.
+  ASSERT_EQ(f->chain.size(), 3u);
+  EXPECT_NE(f->chain[0].find("WorldState::Digest"), std::string::npos);
+  EXPECT_NE(f->chain[0].find("src/store/digest.cc:1"), std::string::npos);
+  EXPECT_NE(f->chain[1].find("Fold"), std::string::npos);
+  EXPECT_NE(f->chain[2].find("Seed"), std::string::npos);
+}
+
+TEST(DigestPurity, SilentWhenViolationIsUnreachable) {
+  auto findings = AnalyzeFiles(
+      {{"src/store/digest.cc",
+        "uint64_t WorldState::Digest() { return 7; }\n"
+        "uint64_t Elsewhere() { return rand(); }\n"}},
+      DigestConfig());
+  EXPECT_EQ(CountRule(findings, "digest-path-purity"), 0);
+}
+
+TEST(DigestPurity, FlagsUnorderedContainerAndClockInReachableBody) {
+  auto findings = AnalyzeFiles(
+      {{"src/store/digest.cc",
+        "uint64_t WorldState::Digest() {\n"
+        "  std::unordered_map<int, int> m;\n"
+        "  auto t = std::chrono::steady_clock::now();\n"
+        "  return 0;\n"
+        "}\n"}},
+      DigestConfig());
+  EXPECT_EQ(CountRule(findings, "digest-path-purity"), 2);
+}
+
+TEST(DigestPurity, FlagsPointerKeyedMapButNotValueMap) {
+  auto findings = AnalyzeFiles(
+      {{"src/store/digest.cc",
+        "uint64_t WorldState::Digest() {\n"
+        "  std::map<Obj*, int> bad;\n"
+        "  std::map<int, Obj*> fine;\n"
+        "  return 0;\n"
+        "}\n"}},
+      DigestConfig());
+  ASSERT_EQ(CountRule(findings, "digest-path-purity"), 1);
+  EXPECT_EQ(FindRule(findings, "digest-path-purity")->line, 2);
+}
+
+TEST(DigestPurity, AllowAnnotationSuppressesAndIsConsumed) {
+  auto findings = AnalyzeFiles(
+      {{"src/sim/digest.cc",
+        "uint64_t WorldState::Digest() {\n"
+        "  // seve-analyze: allow(digest-path-purity): seeded PRNG\n"
+        "  return rand();\n"
+        "}\n"}},
+      DigestConfig());
+  EXPECT_EQ(CountRule(findings, "digest-path-purity"), 0);
+  EXPECT_EQ(CountRule(findings, "unused-allow"), 0);
+}
+
+TEST(DigestPurity, RenamedRootFailsLoud) {
+  auto findings = AnalyzeFiles(
+      {{"src/store/digest.cc", "uint64_t Other() { return 1; }\n"}},
+      DigestConfig());
+  ASSERT_EQ(CountRule(findings, "digest-path-purity"), 1);
+  EXPECT_NE(FindRule(findings, "digest-path-purity")
+                ->message.find("matches no function"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// hot-alloc-reachable
+// ---------------------------------------------------------------------------
+
+AnalyzeConfig HotConfig() {
+  AnalyzeConfig config;
+  config.hot_roots = {"SeveServer::FlushSlot"};
+  return config;
+}
+
+TEST(HotAlloc, FlagsUnreservedPushBackInReachableHelper) {
+  auto findings = AnalyzeFiles(
+      {{"src/protocol/flush.cc",
+        "void SeveServer::FlushSlot() { Stage(); }\n"},
+       {"src/net/stage.cc",
+        "void Stage() { out_.push_back(1); }\n"}},
+      HotConfig());
+  ASSERT_EQ(CountRule(findings, "hot-alloc-reachable"), 1);
+  const Finding* f = FindRule(findings, "hot-alloc-reachable");
+  EXPECT_EQ(f->file, "src/net/stage.cc");
+  EXPECT_NE(f->message.find("out_"), std::string::npos);
+  ASSERT_EQ(f->chain.size(), 2u);
+  EXPECT_NE(f->chain[0].find("FlushSlot"), std::string::npos);
+}
+
+TEST(HotAlloc, ReserveOnSameReceiverInFileSilences) {
+  auto findings = AnalyzeFiles(
+      {{"src/protocol/flush.cc",
+        "void SeveServer::FlushSlot() { Stage(); }\n"},
+       {"src/net/stage.cc",
+        "void Init() { out_.reserve(64); }\n"
+        "void Stage() { out_.push_back(1); }\n"}},
+      HotConfig());
+  EXPECT_EQ(CountRule(findings, "hot-alloc-reachable"), 0);
+}
+
+TEST(HotAlloc, FlagsRawNewButExemptsSrcCommon) {
+  auto findings = AnalyzeFiles(
+      {{"src/protocol/flush.cc",
+        "void SeveServer::FlushSlot() { Boxed(); Slab(); }\n"},
+       {"src/net/boxed.cc", "void Boxed() { auto* p = new Obj(); }\n"},
+       {"src/common/slab.cc", "void Slab() { auto* p = new Obj(); }\n"}},
+      HotConfig());
+  ASSERT_EQ(CountRule(findings, "hot-alloc-reachable"), 1);
+  EXPECT_EQ(FindRule(findings, "hot-alloc-reachable")->file,
+            "src/net/boxed.cc");
+}
+
+TEST(HotAlloc, HonorsSeveLintAliasAnnotation) {
+  // One annotation covers both pipeline stages.
+  auto findings = AnalyzeFiles(
+      {{"src/protocol/flush.cc",
+        "void SeveServer::FlushSlot() {\n"
+        "  // seve-lint: allow(hot-vector-realloc): cold path\n"
+        "  out_.push_back(1);\n"
+        "}\n"}},
+      HotConfig());
+  EXPECT_EQ(CountRule(findings, "hot-alloc-reachable"), 0);
+}
+
+TEST(HotAlloc, UnreachableAllocationIsSilent) {
+  auto findings = AnalyzeFiles(
+      {{"src/protocol/flush.cc",
+        "void SeveServer::FlushSlot() { return; }\n"
+        "void ColdRebuild() { out_.push_back(1); }\n"}},
+      HotConfig());
+  EXPECT_EQ(CountRule(findings, "hot-alloc-reachable"), 0);
+}
+
+// ---------------------------------------------------------------------------
+// state-machine
+// ---------------------------------------------------------------------------
+
+const char kSpec[] =
+    "machine demo\n"
+    "  field phase_\n"
+    "  scope src/shard\n"
+    "  state kIdle init\n"
+    "  state kArmed\n"
+    "  state kDone\n"
+    "  edge kIdle -> kArmed via HandleArm\n"
+    "  edge kArmed -> kDone via HandleFire\n"
+    "end\n";
+
+AnalyzeConfig SpecConfig() {
+  AnalyzeConfig config;
+  config.spec_path = "src/shard/demo.sm";
+  config.spec_text = kSpec;
+  return config;
+}
+
+TEST(StateMachine, ConformingHandlersAreClean) {
+  auto findings = AnalyzeFiles(
+      {{"src/shard/demo.h", "struct Demo { int phase_ = kIdle; };\n"},
+       {"src/shard/demo.cc",
+        "void Demo::HandleArm() {\n"
+        "  if (phase_ == kIdle) phase_ = kArmed;\n"
+        "}\n"
+        "void Demo::HandleFire() {\n"
+        "  if (phase_ != kArmed) return;\n"
+        "  phase_ = kDone;\n"
+        "}\n"}},
+      SpecConfig());
+  EXPECT_EQ(CountRule(findings, "state-machine"), 0);
+  EXPECT_EQ(CountRule(findings, "spec-error"), 0);
+}
+
+TEST(StateMachine, UndeclaredHandlerTransitionIsFlagged) {
+  auto findings = AnalyzeFiles(
+      {{"src/shard/demo.cc",
+        "void Demo::HandleArm() { if (phase_ == kIdle) phase_ = kArmed; }\n"
+        "void Demo::HandleFire() { if (phase_ == kArmed) phase_ = kDone; }\n"
+        "void Demo::Rogue() { phase_ = kDone; }\n"}},
+      SpecConfig());
+  ASSERT_EQ(CountRule(findings, "state-machine"), 1);
+  const Finding* f = FindRule(findings, "state-machine");
+  EXPECT_EQ(f->line, 3);
+  EXPECT_NE(f->message.find("Rogue"), std::string::npos);
+}
+
+TEST(StateMachine, UndeclaredTargetStateIsFlagged) {
+  auto findings = AnalyzeFiles(
+      {{"src/shard/demo.cc",
+        "void Demo::HandleArm() { if (phase_ == kIdle) phase_ = kArmed; }\n"
+        "void Demo::HandleFire() {\n"
+        "  if (phase_ == kArmed) phase_ = kExploded;\n"
+        "}\n"}},
+      SpecConfig());
+  ASSERT_GE(CountRule(findings, "state-machine"), 1);
+  EXPECT_NE(FindRule(findings, "state-machine")->message.find("kExploded"),
+            std::string::npos);
+}
+
+TEST(StateMachine, GuardedFromStateWithoutDeclaredEdgeIsFlagged) {
+  // HandleFire fires from kIdle, but only kArmed -> kDone is declared.
+  auto findings = AnalyzeFiles(
+      {{"src/shard/demo.cc",
+        "void Demo::HandleArm() { if (phase_ == kIdle) phase_ = kArmed; }\n"
+        "void Demo::HandleFire() { if (phase_ == kIdle) phase_ = kDone; }\n"}},
+      SpecConfig());
+  ASSERT_GE(CountRule(findings, "state-machine"), 1);
+  EXPECT_EQ(FindRule(findings, "state-machine")->line, 2);
+}
+
+TEST(StateMachine, DeclaredEdgeNoCodePerformsIsSpecError) {
+  auto findings = AnalyzeFiles(
+      {{"src/shard/demo.cc",
+        "void Demo::HandleArm() { if (phase_ == kIdle) phase_ = kArmed; }\n"
+        "void Demo::HandleFire() { return; }\n"}},
+      SpecConfig());
+  ASSERT_EQ(CountRule(findings, "spec-error"), 1);
+  EXPECT_NE(FindRule(findings, "spec-error")->message.find("HandleFire"),
+            std::string::npos);
+}
+
+TEST(StateMachine, StaleViaFunctionIsSpecError) {
+  auto findings = AnalyzeFiles(
+      {{"src/shard/demo.cc",
+        "void Demo::HandleArm() { if (phase_ == kIdle) phase_ = kArmed; }\n"}},
+      SpecConfig());
+  // HandleFire does not exist at all.
+  ASSERT_EQ(CountRule(findings, "spec-error"), 1);
+  EXPECT_NE(FindRule(findings, "spec-error")->message.find("HandleFire"),
+            std::string::npos);
+}
+
+TEST(StateMachine, DefaultInitializerMustMatchDeclaredInitState) {
+  auto findings = AnalyzeFiles(
+      {{"src/shard/demo.h", "struct Demo { int phase_ = kArmed; };\n"},
+       {"src/shard/demo.cc",
+        "void Demo::HandleArm() { if (phase_ == kIdle) phase_ = kArmed; }\n"
+        "void Demo::HandleFire() { if (phase_ == kArmed) phase_ = kDone; }\n"}},
+      SpecConfig());
+  ASSERT_EQ(CountRule(findings, "state-machine"), 1);
+  EXPECT_EQ(FindRule(findings, "state-machine")->file, "src/shard/demo.h");
+}
+
+TEST(StateMachine, MalformedSpecLineIsReported) {
+  AnalyzeConfig config;
+  config.spec_path = "src/shard/demo.sm";
+  config.spec_text = "machine demo\n  field phase_\n  banana\nend\n";
+  auto findings = AnalyzeFiles({{"src/shard/demo.cc", "int x;\n"}}, config);
+  EXPECT_GE(CountRule(findings, "spec-error"), 1);
+}
+
+// ---------------------------------------------------------------------------
+// wire-completeness
+// ---------------------------------------------------------------------------
+
+TEST(WireCompleteness, KindInOnlySomeOfTheFourPlacesIsFlagged) {
+  auto findings = AnalyzeFiles(
+      {{"src/proto/foo_msg.h",
+        "enum FooMsgKind : int {\n"
+        "  kAlpha = 1,\n"
+        "  kBeta = 2,\n"
+        "};\n"},
+       {"src/wire/reg.cc",
+        "void RegisterAll() {\n"
+        "  reg.RegisterBody(kAlpha, MakeCodec<AlphaBody>(\"Alpha\", E, D));\n"
+        "}\n"},
+       {"tests/wire_roundtrip_test.cc",
+        "TEST(RT, Alpha) { AlphaBody b; Check(b); }\n"},
+       {"tests/wire_fuzz_main.cc",
+        "const int kAllKinds[] = {1, 3};\n"}},
+      AnalyzeConfig{});
+  // kBeta: declared, never registered.
+  // 3: fuzzed, never declared.
+  ASSERT_EQ(CountRule(findings, "wire-completeness"), 2);
+  EXPECT_NE(FindRule(findings, "wire-completeness")->message.find("kBeta"),
+            std::string::npos);
+  bool stale_fuzz = false;
+  for (const Finding& f : findings) {
+    stale_fuzz |= f.message.find("kAllKinds lists 3") != std::string::npos;
+  }
+  EXPECT_TRUE(stale_fuzz);
+}
+
+TEST(WireCompleteness, RegisteredKindAbsentFromRoundtripOrFuzzIsFlagged) {
+  auto findings = AnalyzeFiles(
+      {{"src/proto/foo_msg.h", "enum FooMsgKind : int { kAlpha = 1, };\n"},
+       {"src/wire/reg.cc",
+        "void RegisterAll() {\n"
+        "  reg.RegisterBody(kAlpha, MakeCodec<AlphaBody>(\"Alpha\", E, D));\n"
+        "}\n"},
+       {"tests/wire_roundtrip_test.cc", "TEST(RT, Nothing) {}\n"},
+       {"tests/wire_fuzz_main.cc", "const int kAllKinds[] = {7};\n"}},
+      AnalyzeConfig{});
+  // Missing round-trip coverage, missing fuzz kind, stale fuzz entry 7.
+  EXPECT_EQ(CountRule(findings, "wire-completeness"), 3);
+}
+
+TEST(WireCompleteness, FullyCoveredKindIsClean) {
+  auto findings = AnalyzeFiles(
+      {{"src/proto/foo_msg.h", "enum FooMsgKind : int { kAlpha = 1, };\n"},
+       {"src/wire/reg.cc",
+        "void RegisterAll() {\n"
+        "  reg.RegisterBody(kAlpha, MakeCodec<AlphaBody>(\"Alpha\", E, D));\n"
+        "}\n"},
+       {"tests/wire_roundtrip_test.cc",
+        "TEST(RT, Alpha) { AlphaBody b; }\n"},
+       {"tests/wire_fuzz_main.cc", "const int kAllKinds[] = {1};\n"}},
+      AnalyzeConfig{});
+  EXPECT_EQ(CountRule(findings, "wire-completeness"), 0);
+}
+
+TEST(WireCompleteness, RegistrationOfUnknownEnumeratorIsFlagged) {
+  auto findings = AnalyzeFiles(
+      {{"src/proto/foo_msg.h", "enum FooMsgKind : int { kAlpha = 1, };\n"},
+       {"src/wire/reg.cc",
+        "void RegisterAll() {\n"
+        "  reg.RegisterBody(kAlpha, MakeCodec<AlphaBody>(\"A\", E, D));\n"
+        "  reg.RegisterBody(kGhost, MakeCodec<GhostBody>(\"G\", E, D));\n"
+        "}\n"}},
+      AnalyzeConfig{});
+  ASSERT_EQ(CountRule(findings, "wire-completeness"), 1);
+  EXPECT_NE(FindRule(findings, "wire-completeness")->message.find("kGhost"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// annotation hygiene
+// ---------------------------------------------------------------------------
+
+TEST(Annotations, MalformedAnalyzeAnnotationIsABadAnnotationFinding) {
+  auto findings = AnalyzeFiles(
+      {{"src/net/x.cc",
+        "// seve-analyze: allow(digest-path-purity\n"
+        "int x;\n"}},
+      AnalyzeConfig{});
+  ASSERT_EQ(CountRule(findings, "bad-annotation"), 1);
+  EXPECT_EQ(FindRule(findings, "bad-annotation")->line, 1);
+}
+
+TEST(Annotations, UnusedAnalyzeAllowIsFlagged) {
+  auto findings = AnalyzeFiles(
+      {{"src/net/x.cc",
+        "// seve-analyze: allow(hot-alloc-reachable): stale\n"
+        "int x;\n"}},
+      AnalyzeConfig{});
+  EXPECT_EQ(CountRule(findings, "unused-allow"), 1);
+}
+
+TEST(Annotations, AnalyzeAllowInForbiddenPrefixIsFlagged) {
+  AnalyzeConfig config;
+  config.forbid_allow_prefixes = {"src/store"};
+  auto findings = AnalyzeFiles(
+      {{"src/store/x.cc",
+        "// seve-analyze: allow(digest-path-purity): nope\n"
+        "int x;\n"}},
+      config);
+  EXPECT_EQ(CountRule(findings, "forbidden-allow"), 1);
+  // The forbidden annotation is not additionally reported as unused.
+  EXPECT_EQ(CountRule(findings, "unused-allow"), 0);
+}
+
+TEST(Annotations, LintAnnotationsAreIgnoredByAnalyze) {
+  auto findings = AnalyzeFiles(
+      {{"src/net/x.cc",
+        "// seve-lint: allow(det-banned-fn): lint's business\n"
+        "int x;\n"}},
+      AnalyzeConfig{});
+  EXPECT_TRUE(findings.empty());
+}
+
+// ---------------------------------------------------------------------------
+// JSON report
+// ---------------------------------------------------------------------------
+
+TEST(Json, EmitsChainArray) {
+  std::vector<Finding> findings{
+      {"src/a.cc", 3, "digest-path-purity", "msg",
+       {"Root (src/a.cc:1)", "Leaf (src/b.cc:2)"}}};
+  const std::string json = ToJson(findings, 5);
+  EXPECT_NE(json.find("\"files_checked\":5"), std::string::npos);
+  EXPECT_NE(json.find("\"chain\":[\"Root (src/a.cc:1)\",\"Leaf "
+                      "(src/b.cc:2)\"]"),
+            std::string::npos);
+}
+
+TEST(Json, EmptyChainForTokenRules) {
+  std::vector<Finding> findings{{"src/a.cc", 1, "wire-completeness", "m", {}}};
+  EXPECT_NE(ToJson(findings, 1).find("\"chain\":[]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace seve_analyze

@@ -1,0 +1,252 @@
+#include "lexer.h"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+namespace seve_lint {
+namespace {
+
+/// Parses `allow(rule[, rule...])[: reason]` / `allow-file(...)` out of a
+/// comment body, starting right after the tool marker. Malformed
+/// annotations are recorded, never silently dropped (satellite of
+/// ISSUE 9: an unbalanced `allow(rule` used to suppress nothing without
+/// a trace).
+void ParseAllowVerb(const std::string& comment, size_t pos, int line,
+                    AnnotationTool tool, LexedFile* out) {
+  while (pos < comment.size() && comment[pos] == ' ') ++pos;
+  bool whole_file = false;
+  if (comment.compare(pos, 11, "allow-file(") == 0) {
+    whole_file = true;
+    pos += 11;
+  } else if (comment.compare(pos, 6, "allow(") == 0) {
+    pos += 6;
+  } else if (comment.compare(pos, 5, "allow") == 0) {
+    // `allow` with no opening paren — a truncated annotation.
+    out->bad_annotations.push_back(BadAnnotation{
+        line, tool, "malformed allow annotation: missing '(rule)' list"});
+    return;
+  } else {
+    return;  // unknown verb; recorded as an annotation but grants nothing
+  }
+  const size_t close = comment.find(')', pos);
+  if (close == std::string::npos) {
+    out->bad_annotations.push_back(BadAnnotation{
+        line, tool,
+        "malformed allow annotation: unbalanced '(' — the annotation "
+        "suppresses nothing; close the rule list"});
+    return;
+  }
+  std::string list = comment.substr(pos, close - pos);
+  std::stringstream ss(list);
+  std::string rule;
+  size_t parsed = 0;
+  while (std::getline(ss, rule, ',')) {
+    rule.erase(0, rule.find_first_not_of(" \t"));
+    const size_t last = rule.find_last_not_of(" \t");
+    if (last == std::string::npos) continue;
+    rule.resize(last + 1);
+    out->allows.push_back(Allow{line, rule, whole_file, tool});
+    ++parsed;
+  }
+  if (parsed == 0) {
+    out->bad_annotations.push_back(BadAnnotation{
+        line, tool, "malformed allow annotation: empty rule list"});
+  }
+}
+
+/// Scans a comment body for `seve-lint:` / `seve-analyze:` markers.
+void ParseAnnotation(const std::string& comment, int line, LexedFile* out) {
+  struct Marker {
+    const char* text;
+    AnnotationTool tool;
+  };
+  static const Marker kMarkers[] = {
+      {"seve-lint:", AnnotationTool::kLint},
+      {"seve-analyze:", AnnotationTool::kAnalyze},
+  };
+  for (const Marker& marker : kMarkers) {
+    const size_t at = comment.find(marker.text);
+    if (at == std::string::npos) continue;
+    if (marker.tool == AnnotationTool::kLint) {
+      out->lint_annotation_lines.push_back(line);
+    } else {
+      out->analyze_annotation_lines.push_back(line);
+    }
+    ParseAllowVerb(comment, at + std::char_traits<char>::length(marker.text),
+                   line, marker.tool, out);
+  }
+}
+
+/// Consumes a preprocessor directive starting at `i` (which points at '#').
+/// Records #include targets; honors backslash line continuations.
+size_t LexPreprocessor(const std::string& s, size_t i, int* line,
+                       LexedFile* out) {
+  const int start_line = *line;
+  size_t j = i + 1;
+  while (j < s.size() && (s[j] == ' ' || s[j] == '\t')) ++j;
+  size_t word_end = j;
+  while (word_end < s.size() && IsIdentChar(s[word_end])) ++word_end;
+  const std::string directive = s.substr(j, word_end - j);
+  // Scan to the (continuation-aware) end of the directive.
+  size_t end = word_end;
+  while (end < s.size()) {
+    if (s[end] == '\n') {
+      if (end > 0 && s[end - 1] == '\\') {
+        ++*line;
+        ++end;
+        continue;
+      }
+      break;
+    }
+    // A // comment ends the directive's useful text but we still need to
+    // find the newline; comments inside directives are rare enough that
+    // scanning through is fine.
+    ++end;
+  }
+  if (directive == "include") {
+    size_t k = word_end;
+    while (k < end && (s[k] == ' ' || s[k] == '\t')) ++k;
+    if (k < end && (s[k] == '"' || s[k] == '<')) {
+      const char close = s[k] == '"' ? '"' : '>';
+      const size_t stop = s.find(close, k + 1);
+      if (stop != std::string::npos && stop < end) {
+        out->includes.push_back(
+            Include{s.substr(k + 1, stop - k - 1), s[k] == '"', start_line});
+      }
+    }
+  }
+  return end;  // caller handles the newline itself
+}
+
+}  // namespace
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.size() >= prefix.size() && s.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool InDir(const std::string& path, const std::string& dir) {
+  return StartsWith(path, dir + "/");
+}
+
+bool IsTok(const std::vector<Token>& t, size_t i, TokKind kind,
+           const char* text) {
+  return i < t.size() && t[i].kind == kind && t[i].text == text;
+}
+
+LexedFile Lex(const SourceFile& src) {
+  LexedFile out;
+  out.src = &src;
+  const std::string& s = src.content;
+  int line = 1;
+  size_t i = 0;
+  bool at_line_start = true;  // only whitespace seen since last newline
+  while (i < s.size()) {
+    const char c = s[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      at_line_start = true;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+      ++i;
+      continue;
+    }
+    if (c == '#' && at_line_start) {
+      i = LexPreprocessor(s, i, &line, &out);
+      continue;
+    }
+    at_line_start = false;
+    // Line comment.
+    if (c == '/' && i + 1 < s.size() && s[i + 1] == '/') {
+      const size_t end = s.find('\n', i);
+      const std::string body =
+          s.substr(i, (end == std::string::npos ? s.size() : end) - i);
+      ParseAnnotation(body, line, &out);
+      i = end == std::string::npos ? s.size() : end;
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < s.size() && s[i + 1] == '*') {
+      const int start_line = line;
+      size_t end = s.find("*/", i + 2);
+      if (end == std::string::npos) end = s.size();
+      const std::string body = s.substr(i, end - i);
+      ParseAnnotation(body, start_line, &out);
+      for (size_t k = i; k < end; ++k) {
+        if (s[k] == '\n') ++line;
+      }
+      i = end == s.size() ? end : end + 2;
+      continue;
+    }
+    // Raw string literal: R"tag( ... )tag".
+    if (c == 'R' && i + 1 < s.size() && s[i + 1] == '"') {
+      size_t tag_end = i + 2;
+      while (tag_end < s.size() && s[tag_end] != '(') ++tag_end;
+      std::string closer(")");
+      closer.append(s, i + 2, tag_end - i - 2);
+      closer.push_back('"');
+      size_t end = s.find(closer, tag_end);
+      if (end == std::string::npos) end = s.size();
+      for (size_t k = i; k < end && k < s.size(); ++k) {
+        if (s[k] == '\n') ++line;
+      }
+      out.tokens.push_back(Token{TokKind::kString, "<raw>", line});
+      i = std::min(s.size(), end + closer.size());
+      continue;
+    }
+    // String / char literal.
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      size_t j = i + 1;
+      while (j < s.size() && s[j] != quote) {
+        if (s[j] == '\\' && j + 1 < s.size()) ++j;
+        if (s[j] == '\n') ++line;
+        ++j;
+      }
+      out.tokens.push_back(Token{
+          quote == '"' ? TokKind::kString : TokKind::kChar, "<lit>", line});
+      i = j + 1;
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      size_t j = i + 1;
+      while (j < s.size() && IsIdentChar(s[j])) ++j;
+      out.tokens.push_back(Token{TokKind::kIdent, s.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t j = i + 1;
+      // `'` between digits is a C++14 digit separator (1'000'000), not
+      // the start of a char literal.
+      while (j < s.size() &&
+             (IsIdentChar(s[j]) || s[j] == '.' ||
+              (s[j] == '\'' && j + 1 < s.size() && IsIdentChar(s[j + 1])))) {
+        ++j;
+      }
+      out.tokens.push_back(Token{TokKind::kNumber, s.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    // Punctuation; `::` is the only multi-char operator the rules need.
+    if (c == ':' && i + 1 < s.size() && s[i + 1] == ':') {
+      out.tokens.push_back(Token{TokKind::kPunct, "::", line});
+      i += 2;
+      continue;
+    }
+    out.tokens.push_back(Token{TokKind::kPunct, std::string(1, c), line});
+    ++i;
+  }
+  return out;
+}
+
+}  // namespace seve_lint

@@ -1,0 +1,89 @@
+#ifndef SEVE_TOOLS_SEVE_LINT_LEXER_H_
+#define SEVE_TOOLS_SEVE_LINT_LEXER_H_
+
+#include <string>
+#include <vector>
+
+// Shared C++ tokenizer for the two-stage static-analysis pipeline
+// (DESIGN.md §10): seve-lint (tools/seve_lint, single-file token rules)
+// and seve-analyze (tools/seve_analyze, symbol table + include graph +
+// call-graph reachability rules) both lex source through this module, so
+// the annotation grammar and token semantics cannot drift between the
+// stages.
+//
+// Annotation grammar (one comment, line or block):
+//
+//   // <tool>: allow(rule[, rule...])[: reason]
+//   // <tool>: allow-file(rule[, rule...])[: reason]
+//
+// where <tool> is `seve-lint` or `seve-analyze`. Each tool honors only
+// its own annotations (plus documented cross-tool aliases). A malformed
+// annotation — unbalanced parenthesis, empty rule list — is recorded in
+// LexedFile::bad_annotations and reported by the owning tool as a
+// `bad-annotation` finding: a typo must never silently suppress nothing.
+
+namespace seve_lint {
+
+struct SourceFile {
+  std::string path;     // repo-relative, forward slashes, e.g. "src/net/x.h"
+  std::string content;  // full file text
+};
+
+enum class TokKind { kIdent, kNumber, kPunct, kString, kChar };
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line;
+};
+
+struct Include {
+  std::string target;  // path inside quotes or angle brackets
+  bool quoted;         // "..." (project include) vs <...> (system)
+  int line;
+};
+
+enum class AnnotationTool { kLint, kAnalyze };
+
+struct Allow {
+  int line;             // line the annotation comment starts on
+  std::string rule;     // rule name, or "*"
+  bool whole_file;
+  AnnotationTool tool;  // which tool the annotation addresses
+};
+
+/// A `<tool>: allow...` comment the parser could not make sense of.
+/// Never silently ignored: the owning tool reports it as a finding.
+struct BadAnnotation {
+  int line;
+  AnnotationTool tool;
+  std::string reason;
+};
+
+// One file, lexed: code tokens (comments, strings and preprocessor
+// directives stripped), includes, and tool annotations.
+struct LexedFile {
+  const SourceFile* src = nullptr;
+  std::vector<Token> tokens;
+  std::vector<Include> includes;
+  std::vector<Allow> allows;
+  std::vector<BadAnnotation> bad_annotations;
+  // Every seve-lint annotation line (any verb), for the forbidden-allow
+  // rule; seve-analyze annotations are tracked separately.
+  std::vector<int> lint_annotation_lines;
+  std::vector<int> analyze_annotation_lines;
+};
+
+LexedFile Lex(const SourceFile& src);
+
+// Small shared predicates the rule code in both tools leans on.
+bool IsIdentStart(char c);
+bool IsIdentChar(char c);
+bool StartsWith(const std::string& s, const std::string& prefix);
+bool InDir(const std::string& path, const std::string& dir);
+bool IsTok(const std::vector<Token>& t, size_t i, TokKind kind,
+           const char* text);
+
+}  // namespace seve_lint
+
+#endif  // SEVE_TOOLS_SEVE_LINT_LEXER_H_

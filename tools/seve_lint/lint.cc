@@ -1,8 +1,6 @@
 #include "lint.h"
 
 #include <algorithm>
-#include <cctype>
-#include <cstddef>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -12,242 +10,10 @@
 #include <string>
 #include <vector>
 
+#include "lexer.h"
+
 namespace seve_lint {
 namespace {
-
-// ---------------------------------------------------------------------------
-// Tokenizer
-// ---------------------------------------------------------------------------
-
-enum class TokKind { kIdent, kNumber, kPunct, kString, kChar };
-
-struct Token {
-  TokKind kind;
-  std::string text;
-  int line;
-};
-
-struct Include {
-  std::string target;  // path inside quotes or angle brackets
-  bool quoted;         // "..." (project include) vs <...> (system)
-  int line;
-};
-
-struct Allow {
-  int line;          // line the annotation comment starts on
-  std::string rule;  // rule name, or "*"
-  bool whole_file;
-};
-
-// One file, lexed: code tokens (comments, strings and preprocessor
-// directives stripped), includes, and seve-lint annotations.
-struct LexedFile {
-  const SourceFile* src = nullptr;
-  std::vector<Token> tokens;
-  std::vector<Include> includes;
-  std::vector<Allow> allows;
-  std::vector<int> annotation_lines;  // every seve-lint annotation
-};
-
-bool IsIdentStart(char c) {
-  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
-}
-bool IsIdentChar(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
-}
-
-// Parses `seve-lint: allow(rule[, rule...])[: reason]` or
-// `seve-lint: allow-file(...)` out of a comment body.
-void ParseAnnotation(const std::string& comment, int line, LexedFile* out) {
-  const std::string marker = "seve-lint:";
-  size_t at = comment.find(marker);
-  if (at == std::string::npos) return;
-  out->annotation_lines.push_back(line);
-  size_t pos = at + marker.size();
-  while (pos < comment.size() && comment[pos] == ' ') ++pos;
-  bool whole_file = false;
-  if (comment.compare(pos, 11, "allow-file(") == 0) {
-    whole_file = true;
-    pos += 11;
-  } else if (comment.compare(pos, 6, "allow(") == 0) {
-    pos += 6;
-  } else {
-    return;  // unknown verb; recorded as an annotation but grants nothing
-  }
-  const size_t close = comment.find(')', pos);
-  if (close == std::string::npos) return;
-  std::string list = comment.substr(pos, close - pos);
-  std::stringstream ss(list);
-  std::string rule;
-  while (std::getline(ss, rule, ',')) {
-    rule.erase(0, rule.find_first_not_of(" \t"));
-    const size_t last = rule.find_last_not_of(" \t");
-    if (last == std::string::npos) continue;
-    rule.resize(last + 1);
-    out->allows.push_back(Allow{line, rule, whole_file});
-  }
-}
-
-// Consumes a preprocessor directive starting at `i` (which points at '#').
-// Records #include targets; honors backslash line continuations.
-size_t LexPreprocessor(const std::string& s, size_t i, int* line,
-                       LexedFile* out) {
-  const int start_line = *line;
-  size_t j = i + 1;
-  while (j < s.size() && (s[j] == ' ' || s[j] == '\t')) ++j;
-  size_t word_end = j;
-  while (word_end < s.size() && IsIdentChar(s[word_end])) ++word_end;
-  const std::string directive = s.substr(j, word_end - j);
-  // Scan to the (continuation-aware) end of the directive.
-  size_t end = word_end;
-  while (end < s.size()) {
-    if (s[end] == '\n') {
-      if (end > 0 && s[end - 1] == '\\') {
-        ++*line;
-        ++end;
-        continue;
-      }
-      break;
-    }
-    // A // comment ends the directive's useful text but we still need to
-    // find the newline; comments inside directives are rare enough that
-    // scanning through is fine.
-    ++end;
-  }
-  if (directive == "include") {
-    size_t k = word_end;
-    while (k < end && (s[k] == ' ' || s[k] == '\t')) ++k;
-    if (k < end && (s[k] == '"' || s[k] == '<')) {
-      const char close = s[k] == '"' ? '"' : '>';
-      const size_t stop = s.find(close, k + 1);
-      if (stop != std::string::npos && stop < end) {
-        out->includes.push_back(
-            Include{s.substr(k + 1, stop - k - 1), s[k] == '"', start_line});
-      }
-    }
-  }
-  return end;  // caller handles the newline itself
-}
-
-LexedFile Lex(const SourceFile& src) {
-  LexedFile out;
-  out.src = &src;
-  const std::string& s = src.content;
-  int line = 1;
-  size_t i = 0;
-  bool at_line_start = true;  // only whitespace seen since last newline
-  while (i < s.size()) {
-    const char c = s[i];
-    if (c == '\n') {
-      ++line;
-      ++i;
-      at_line_start = true;
-      continue;
-    }
-    if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
-      ++i;
-      continue;
-    }
-    if (c == '#' && at_line_start) {
-      i = LexPreprocessor(s, i, &line, &out);
-      continue;
-    }
-    at_line_start = false;
-    // Line comment.
-    if (c == '/' && i + 1 < s.size() && s[i + 1] == '/') {
-      const size_t end = s.find('\n', i);
-      const std::string body =
-          s.substr(i, (end == std::string::npos ? s.size() : end) - i);
-      ParseAnnotation(body, line, &out);
-      i = end == std::string::npos ? s.size() : end;
-      continue;
-    }
-    // Block comment.
-    if (c == '/' && i + 1 < s.size() && s[i + 1] == '*') {
-      const int start_line = line;
-      size_t end = s.find("*/", i + 2);
-      if (end == std::string::npos) end = s.size();
-      const std::string body = s.substr(i, end - i);
-      ParseAnnotation(body, start_line, &out);
-      for (size_t k = i; k < end; ++k) {
-        if (s[k] == '\n') ++line;
-      }
-      i = end == s.size() ? end : end + 2;
-      continue;
-    }
-    // Raw string literal: R"tag( ... )tag".
-    if (c == 'R' && i + 1 < s.size() && s[i + 1] == '"') {
-      size_t tag_end = i + 2;
-      while (tag_end < s.size() && s[tag_end] != '(') ++tag_end;
-      std::string closer(")");
-      closer.append(s, i + 2, tag_end - i - 2);
-      closer.push_back('"');
-      size_t end = s.find(closer, tag_end);
-      if (end == std::string::npos) end = s.size();
-      for (size_t k = i; k < end && k < s.size(); ++k) {
-        if (s[k] == '\n') ++line;
-      }
-      out.tokens.push_back(Token{TokKind::kString, "<raw>", line});
-      i = std::min(s.size(), end + closer.size());
-      continue;
-    }
-    // String / char literal.
-    if (c == '"' || c == '\'') {
-      const char quote = c;
-      size_t j = i + 1;
-      while (j < s.size() && s[j] != quote) {
-        if (s[j] == '\\' && j + 1 < s.size()) ++j;
-        if (s[j] == '\n') ++line;
-        ++j;
-      }
-      out.tokens.push_back(Token{
-          quote == '"' ? TokKind::kString : TokKind::kChar, "<lit>", line});
-      i = j + 1;
-      continue;
-    }
-    if (IsIdentStart(c)) {
-      size_t j = i + 1;
-      while (j < s.size() && IsIdentChar(s[j])) ++j;
-      out.tokens.push_back(Token{TokKind::kIdent, s.substr(i, j - i), line});
-      i = j;
-      continue;
-    }
-    if (std::isdigit(static_cast<unsigned char>(c))) {
-      size_t j = i + 1;
-      while (j < s.size() && (IsIdentChar(s[j]) || s[j] == '.')) ++j;
-      out.tokens.push_back(Token{TokKind::kNumber, s.substr(i, j - i), line});
-      i = j;
-      continue;
-    }
-    // Punctuation; `::` is the only multi-char operator the rules need.
-    if (c == ':' && i + 1 < s.size() && s[i + 1] == ':') {
-      out.tokens.push_back(Token{TokKind::kPunct, "::", line});
-      i += 2;
-      continue;
-    }
-    out.tokens.push_back(Token{TokKind::kPunct, std::string(1, c), line});
-    ++i;
-  }
-  return out;
-}
-
-// ---------------------------------------------------------------------------
-// Rule helpers
-// ---------------------------------------------------------------------------
-
-bool StartsWith(const std::string& s, const std::string& prefix) {
-  return s.size() >= prefix.size() &&
-         s.compare(0, prefix.size(), prefix) == 0;
-}
-
-bool InDir(const std::string& path, const std::string& dir) {
-  return StartsWith(path, dir + "/");
-}
-
-bool IsTok(const std::vector<Token>& t, size_t i, TokKind kind,
-           const char* text) {
-  return i < t.size() && t[i].kind == kind && t[i].text == text;
-}
 
 class Linter {
  public:
@@ -267,8 +33,11 @@ class Linter {
       CheckRawNewDelete(f);
       CheckLayering(f);
       CheckForbiddenAllows(f);
+      CheckBadAnnotations(f);
     }
     CheckWireCompleteness();
+    // Last: every rule has had its chance to consume an allow.
+    for (const LexedFile& f : lexed_) CheckUnusedAllows(f);
     std::sort(findings_.begin(), findings_.end(),
               [](const Finding& a, const Finding& b) {
                 if (a.file != b.file) return a.file < b.file;
@@ -281,11 +50,16 @@ class Linter {
  private:
   // An allow annotation covers its own line and the line directly below
   // it, so it can trail the flagged code or sit on the preceding line.
-  bool Allowed(const LexedFile& f, const std::string& rule, int line) const {
+  // Matching annotations are marked used — a suppression that never
+  // fires is itself a finding (unused-allow), so stale escape hatches
+  // cannot accumulate.
+  bool Allowed(const LexedFile& f, const std::string& rule, int line) {
     for (const Allow& a : f.allows) {
+      if (a.tool != AnnotationTool::kLint) continue;
       if (a.rule != rule && a.rule != "*") continue;
-      if (a.whole_file) return true;
-      if (line == a.line || line == a.line + 1) return true;
+      if (!a.whole_file && line != a.line && line != a.line + 1) continue;
+      used_allows_.insert(&a);
+      return true;
     }
     return false;
   }
@@ -293,15 +67,14 @@ class Linter {
   void Report(const LexedFile& f, const std::string& rule, int line,
               std::string message) {
     if (Allowed(f, rule, line)) return;
-    findings_.push_back(
-        Finding{f.src->path, line, rule, std::move(message)});
+    findings_.push_back(Finding{f.src->path, line, rule, std::move(message)});
   }
 
   // --- det-unordered-container --------------------------------------------
   void CheckUnorderedContainers(const LexedFile& f) {
     const std::string& p = f.src->path;
     if (!InDir(p, "src/store") && !InDir(p, "src/wire") &&
-        !InDir(p, "src/protocol")) {
+        !InDir(p, "src/protocol") && !InDir(p, "src/shard")) {
       return;
     }
     for (const Token& t : f.tokens) {
@@ -320,7 +93,7 @@ class Linter {
   void CheckBannedFunctions(const LexedFile& f) {
     const std::string& p = f.src->path;
     if (!InDir(p, "src/sim") && !InDir(p, "src/protocol") &&
-        !InDir(p, "src/world")) {
+        !InDir(p, "src/world") && !InDir(p, "src/shard")) {
       return;
     }
     const std::vector<Token>& t = f.tokens;
@@ -352,7 +125,7 @@ class Linter {
   void CheckPointerKeys(const LexedFile& f) {
     const std::string& p = f.src->path;
     if (!InDir(p, "src/sim") && !InDir(p, "src/protocol") &&
-        !InDir(p, "src/world")) {
+        !InDir(p, "src/world") && !InDir(p, "src/shard")) {
       return;
     }
     static const std::set<std::string> kContainers = {
@@ -413,6 +186,10 @@ class Linter {
     return "";
   }
 
+  // Deliberately scoped to src/protocol: file-level receiver matching is
+  // too coarse for src/shard's migration control plane. seve-analyze's
+  // hot-alloc-reachable rule covers shard allocation sites precisely —
+  // only those reachable from the per-tick flush/route/fan-out kernels.
   void CheckHotVectorRealloc(const LexedFile& f) {
     const std::string& p = f.src->path;
     if (!InDir(p, "src/protocol")) return;
@@ -520,6 +297,16 @@ class Linter {
   }
 
   // --- forbidden-allow -----------------------------------------------------
+  bool InForbidPrefix(const std::string& p) const {
+    for (const std::string& prefix : config_.forbid_allow_prefixes) {
+      if (p == prefix || StartsWith(p, prefix + "/") ||
+          StartsWith(p, prefix)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
   void CheckForbiddenAllows(const LexedFile& f) {
     const std::string& p = f.src->path;
     for (const std::string& prefix : config_.forbid_allow_prefixes) {
@@ -527,7 +314,7 @@ class Linter {
           !StartsWith(p, prefix)) {
         continue;
       }
-      for (int line : f.annotation_lines) {
+      for (int line : f.lint_annotation_lines) {
         // Never suppressible: an allow inside a digest path is exactly
         // the contract erosion this rule exists to block.
         findings_.push_back(Finding{
@@ -539,7 +326,42 @@ class Linter {
     }
   }
 
+  // --- bad-annotation ------------------------------------------------------
+  // A malformed `seve-lint: allow...` comment suppresses nothing; before
+  // this rule it also reported nothing, so a single typo could silently
+  // re-open a hole the annotation was meant to document. Never
+  // suppressible.
+  void CheckBadAnnotations(const LexedFile& f) {
+    for (const BadAnnotation& bad : f.bad_annotations) {
+      if (bad.tool != AnnotationTool::kLint) continue;  // seve-analyze's job
+      findings_.push_back(
+          Finding{f.src->path, bad.line, "bad-annotation", bad.reason});
+    }
+  }
+
+  // --- unused-allow --------------------------------------------------------
+  // An allow that suppressed nothing is stale: either the flagged code
+  // was fixed (delete the annotation) or the annotation never matched
+  // (wrong rule name or line). Never suppressible. Files in a forbidden
+  // prefix are skipped — their annotations are already findings.
+  void CheckUnusedAllows(const LexedFile& f) {
+    if (InForbidPrefix(f.src->path)) return;
+    for (const Allow& a : f.allows) {
+      if (a.tool != AnnotationTool::kLint) continue;
+      if (used_allows_.count(&a)) continue;
+      findings_.push_back(Finding{
+          f.src->path, a.line, "unused-allow",
+          "seve-lint: allow(" + a.rule +
+              ") suppressed no finding: the annotation is stale — delete "
+              "it, or fix the rule name/line it was meant to cover"});
+    }
+  }
+
   // --- wire-missing-codec --------------------------------------------------
+  // Cross-file completeness: every MessageBody kind() override and every
+  // Action subclass anywhere under src/ — protocol/msg.h, the baselines,
+  // net/channel_msg.h AND shard/shard_msg.h (kinds 310-327) — must have
+  // a matching RegisterBody()/RegisterAction() codec in src/wire.
   void CheckWireCompleteness() {
     struct Site {
       const LexedFile* file;
@@ -614,6 +436,10 @@ class Linter {
   LintConfig config_;
   std::vector<LexedFile> lexed_;
   std::vector<Finding> findings_;
+  // Allow annotations that suppressed at least one finding (pointers into
+  // lexed_[i].allows, which never reallocate after construction).
+  // Membership-only: iteration order is never observed.
+  std::set<const Allow*> used_allows_;
 };
 
 std::string JsonEscape(const std::string& s) {

@@ -4,10 +4,15 @@
 #include <string>
 #include <vector>
 
+#include "lexer.h"
+
 // seve-lint: a dependency-free determinism & layering analyzer for the
-// SEVE source tree. It tokenizes C++ directly (no libclang, so it runs
-// in every CI environment the compiler does) and enforces the project
-// invariants that the runtime fuzz tests can only sample:
+// SEVE source tree — stage 1 of the two-stage static-analysis pipeline
+// (DESIGN.md §10; stage 2 is the call-graph-aware seve-analyze in
+// tools/seve_analyze). It tokenizes C++ directly through the shared
+// lexer (no libclang, so it runs in every CI environment the compiler
+// does) and enforces single-file project invariants that the runtime
+// fuzz tests can only sample:
 //
 //   det-unordered-container  unordered_{map,set} in digest/ordering/
 //                            serialization layers (src/store, src/wire,
@@ -38,25 +43,30 @@
 //   layer-no-protocol        src/store or src/net includes src/protocol.
 //   layer-world-no-baseline  src/world includes src/baseline.
 //   wire-missing-codec       a MessageBody variant (kind() override) or
-//                            Action subclass with no codec registration
-//                            in src/wire — the build-time version of the
+//                            Action subclass anywhere under src/ —
+//                            including src/shard/shard_msg.h kinds
+//                            310-327 — with no codec registration in
+//                            src/wire; the build-time version of the
 //                            PR-1 runtime wire audit.
 //   forbidden-allow          a `// seve-lint: allow(...)` annotation in
 //                            a path where the escape hatch is banned
 //                            (--forbid-allow-in), e.g. digest paths.
+//   bad-annotation           a malformed `// seve-lint: allow...`
+//                            comment (unbalanced paren, empty rule
+//                            list): it suppresses nothing, so it must
+//                            not pass silently.
+//   unused-allow             an allow annotation that suppressed zero
+//                            findings — stale escape hatches are
+//                            removed, not accumulated.
 //
 // Escape hatch: `// seve-lint: allow(rule)` or
 // `// seve-lint: allow(rule): reason` suppresses findings for `rule` on
 // the comment's line and the line directly below it.
 // `// seve-lint: allow-file(rule): reason` suppresses a rule for the
-// whole file. forbidden-allow is never suppressible.
+// whole file. forbidden-allow, bad-annotation and unused-allow are never
+// suppressible.
 
 namespace seve_lint {
-
-struct SourceFile {
-  std::string path;     // repo-relative, forward slashes, e.g. "src/net/x.h"
-  std::string content;  // full file text
-};
 
 struct Finding {
   std::string file;

@@ -201,7 +201,8 @@ TEST(HotVectorReallocRule, SilentOutsideProtocolAndWhenAllowed) {
   EXPECT_TRUE(
       Lint({{"src/protocol/x.cc",
              "void f() {\n"
-             "  out.push_back(1);  // seve-lint: allow(hot-vector-realloc): cold\n"
+             "  out.push_back(1);"
+             "  // seve-lint: allow(hot-vector-realloc): cold\n"
              "}\n"}})
           .empty());
 }
@@ -338,6 +339,101 @@ TEST(WireCompletenessRule, FullyRegisteredTreeIsClean) {
        "};\n"},
       {"src/wire/serializers.cc", "reg.RegisterBody(kGood, c);\n"}};
   EXPECT_TRUE(Lint(tree).empty());
+}
+
+TEST(WireCompletenessRule, StrippedShardCodecIsFlagged) {
+  // The shard migration kinds (320-327, src/shard/shard_msg.h) are
+  // covered exactly like the protocol kinds: strip one RegisterBody and
+  // the lint fails.
+  std::vector<SourceFile> tree = {
+      {"src/shard/shard_msg.h",
+       "struct MigrateOfferBody : MessageBody {\n"
+       "  int kind() const override { return kMigrateOffer; }\n"
+       "};\n"
+       "struct MigrateAckBody : MessageBody {\n"
+       "  int kind() const override { return kMigrateAck; }\n"
+       "};\n"},
+      {"src/wire/serializers.cc",
+       "void Register(WireRegistry& reg) {\n"
+       "  reg.RegisterBody(kMigrateOffer, MakeCodec());\n"
+       "}\n"}};
+  auto findings = Lint(tree);
+  ASSERT_EQ(CountRule(findings, "wire-missing-codec"), 1);
+  const Finding* f = FindRule(findings, "wire-missing-codec");
+  EXPECT_EQ(f->file, "src/shard/shard_msg.h");
+  EXPECT_EQ(f->line, 5);
+  EXPECT_NE(f->message.find("kMigrateAck"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// annotation hygiene: bad-annotation, unused-allow
+// ---------------------------------------------------------------------------
+
+TEST(AnnotationHygiene, UnbalancedParenIsBadAnnotationAndSuppressesNothing) {
+  // The worst historical failure mode: `allow(rule` parsed as no
+  // annotation at all, silently suppressing nothing while looking like
+  // an approved exemption.
+  auto findings = Lint({{"src/store/x.h",
+                         "// seve-lint: allow(det-unordered-container\n"
+                         "std::unordered_map<int, int> table;\n"}});
+  EXPECT_EQ(CountRule(findings, "bad-annotation"), 1);
+  // The finding the author meant to suppress still fires.
+  EXPECT_EQ(CountRule(findings, "det-unordered-container"), 1);
+  const Finding* bad = FindRule(findings, "bad-annotation");
+  EXPECT_EQ(bad->line, 1);
+  EXPECT_NE(bad->message.find("unbalanced"), std::string::npos);
+}
+
+TEST(AnnotationHygiene, AllowWithoutRuleListIsBadAnnotation) {
+  auto findings = Lint({{"src/net/x.cc", "// seve-lint: allow\nint x;\n"}});
+  EXPECT_EQ(CountRule(findings, "bad-annotation"), 1);
+}
+
+TEST(AnnotationHygiene, EmptyRuleListIsBadAnnotation) {
+  auto findings = Lint({{"src/net/x.cc", "// seve-lint: allow()\nint x;\n"}});
+  EXPECT_EQ(CountRule(findings, "bad-annotation"), 1);
+}
+
+TEST(AnnotationHygiene, AllowThatSuppressesNothingIsUnused) {
+  auto findings = Lint(
+      {{"src/net/x.cc",
+        "// seve-lint: allow(det-banned-fn): stale exemption\n"
+        "int x;\n"}});
+  ASSERT_EQ(CountRule(findings, "unused-allow"), 1);
+  EXPECT_EQ(FindRule(findings, "unused-allow")->line, 1);
+}
+
+TEST(AnnotationHygiene, ConsumedAllowIsNotUnused) {
+  auto findings = Lint(
+      {{"src/store/x.h",
+        "// seve-lint: allow(det-unordered-container): lookup-only\n"
+        "std::unordered_map<int, int> table;\n"}});
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(AnnotationHygiene, AnalyzeAnnotationsAreNotLintsBusiness) {
+  // seve-analyze owns its own annotations (including unused-allow for
+  // them); the lint stage must not double-report.
+  auto findings = Lint(
+      {{"src/net/x.cc",
+        "// seve-analyze: allow(hot-alloc-reachable): stage-2 exemption\n"
+        "int x;\n"}});
+  EXPECT_TRUE(findings.empty());
+}
+
+// ---------------------------------------------------------------------------
+// lexer regressions
+// ---------------------------------------------------------------------------
+
+TEST(Lexer, DigitSeparatorsDoNotOpenCharLiterals) {
+  // `10'000` ... `20'000` once lexed as one giant char literal swallowing
+  // everything in between, hiding real findings.
+  auto findings = Lint({{"src/store/x.h",
+                         "int a = Bound(10'000);\n"
+                         "std::unordered_map<int, int> table;\n"
+                         "int b = Bound(20'000);\n"}});
+  ASSERT_EQ(CountRule(findings, "det-unordered-container"), 1);
+  EXPECT_EQ(FindRule(findings, "det-unordered-container")->line, 2);
 }
 
 // ---------------------------------------------------------------------------
