@@ -58,6 +58,11 @@ struct CapacityPoint {
   FanoutCounters fanout;
   double dirty_scan_ratio = 0.0;
   int64_t flush_route_ns = 0;
+  // XL rejoin-under-pacing: catch-up chunks sent and the largest batch
+  // any single tick carried (the pacer's enforced ceiling).
+  int64_t snapshot_chunks = 0;
+  int64_t max_chunks_per_tick = 0;
+  bool rejoiner_caught_up = true;
 };
 
 CapacityPoint RunCapacity(const CapacityConfig& cfg) {
@@ -82,6 +87,9 @@ CapacityPoint RunCapacity(const CapacityConfig& cfg) {
     // broadcast so the (node-less) spectator population stays silent.
     opts.kernel_timing = true;
     opts.commit_notice_period_us = 0;
+    // A mid-run rejoin must not burst the whole 100k-object snapshot
+    // into one tick: pace it and let main() assert the bound held.
+    opts.snapshot_chunks_per_tick = 64;
   }
   InterestModel interest(10.0, kRtt, opts.omega);
   const AABB bounds{{0.0, 0.0}, {1000.0, 1000.0}};
@@ -157,12 +165,25 @@ CapacityPoint RunCapacity(const CapacityConfig& cfg) {
       });
     }
   }
+  // XL: crash one mover early and rejoin it mid-run, so the paced
+  // catch-up (a 100k-object snapshot at snapshot_chunks_per_tick) pumps
+  // while the shard is live — the regime the pacer exists for.
+  if (cfg.xl && !clients.empty()) {
+    SeveClient* rejoiner = clients.front().get();
+    loop.At(300'000, [rejoiner]() { rejoiner->Fail(); });
+    loop.At(1'000'000, [rejoiner]() { rejoiner->Rejoin(); });
+  }
   // Every action carries its client's (fixed) interest profile, so the
   // spatial routing only tests genuinely nearby clients. XL keeps the
   // server running through an idle tail: a live shard push-cycles
   // whether or not anyone moved, which is exactly where the dirty list
   // beats the full scan.
   loop.RunUntil(last + kRtt + (cfg.xl ? 1'800'000 : 300'000));
+  // Read the rejoiner before teardown: FlushAll drains any still-queued
+  // catch-up in one burst (deliberately uncounted), so "caught up by end
+  // of run" is only meaningful here.
+  const bool rejoiner_caught_up =
+      clients.empty() || !clients.front()->rejoining();
   server.Stop();
   loop.RunUntilIdle(100'000'000);
   server.FlushAll();
@@ -188,6 +209,9 @@ CapacityPoint RunCapacity(const CapacityConfig& cfg) {
   point.fanout = server.stats().fanout;
   point.dirty_scan_ratio = point.fanout.DirtyScanRatio(cfg.clients);
   point.flush_route_ns = server.flush_route_wall_ns();
+  point.snapshot_chunks = server.stats().snapshot_chunks;
+  point.max_chunks_per_tick = server.stats().sync.max_chunks_per_tick;
+  point.rejoiner_caught_up = rejoiner_caught_up;
   return point;
 }
 
@@ -296,6 +320,33 @@ int main(int argc, char** argv) {
     }
   }
 
+  // XL pacing bound: every XL point ran a mid-run crash/rejoin against a
+  // snapshot_chunks_per_tick = 64 pacer, so the largest per-tick batch
+  // the server recorded must sit in (0, 64] — zero means the rejoin
+  // never streamed, above 64 means the pacer leaked a burst.
+  bool pacing_ok = true;
+  for (const CapacityPoint& p : points) {
+    if (!p.config.xl) continue;
+    if (p.max_chunks_per_tick <= 0 || p.max_chunks_per_tick > 64 ||
+        !p.rejoiner_caught_up) {
+      std::fprintf(stderr,
+                   "PACING FAIL: xl clients=%d flush=%s "
+                   "max_chunks_per_tick=%lld (bound 64) caught_up=%d\n",
+                   p.config.clients,
+                   p.config.legacy_flush ? "legacy" : "dirty",
+                   static_cast<long long>(p.max_chunks_per_tick),
+                   p.rejoiner_caught_up ? 1 : 0);
+      pacing_ok = false;
+    } else {
+      std::printf("xl %-7d %-7s rejoin paced OK: %lld chunks, max "
+                  "%lld/tick (bound 64)\n",
+                  p.config.clients,
+                  p.config.legacy_flush ? "legacy" : "dirty",
+                  static_cast<long long>(p.snapshot_chunks),
+                  static_cast<long long>(p.max_chunks_per_tick));
+    }
+  }
+
   // Bespoke JSON (no RunReport here): same top-level envelope as the
   // sweep benches, capacity-specific row fields.
   std::string j = "{\n  \"bench\": \"server_capacity\",\n";
@@ -327,7 +378,9 @@ int main(int argc, char** argv) {
         "\"digest_rescans\": %llu, \"push_batches\": %lld, "
         "\"coalesced_pushes\": %lld, \"dirty_slots_flushed\": %lld, "
         "\"flush_cycles\": %lld, \"dirty_scan_ratio\": %.6g, "
-        "\"route_alloc\": %lld, \"flush_route_ns\": %lld}%s\n",
+        "\"route_alloc\": %lld, \"flush_route_ns\": %lld, "
+        "\"snapshot_chunks\": %lld, \"max_chunks_per_tick\": %lld, "
+        "\"rejoiner_caught_up\": %s}%s\n",
         p.config.clients, p.config.movers, p.config.moves,
         p.config.xl ? "xl" : "classic",
         p.config.legacy_flush ? "legacy" : "dirty", p.server_busy_pct,
@@ -343,6 +396,9 @@ int main(int argc, char** argv) {
         static_cast<long long>(p.fanout.flush_cycles), p.dirty_scan_ratio,
         static_cast<long long>(p.fanout.route_alloc),
         static_cast<long long>(p.flush_route_ns),
+        static_cast<long long>(p.snapshot_chunks),
+        static_cast<long long>(p.max_chunks_per_tick),
+        p.rejoiner_caught_up ? "true" : "false",
         i + 1 < points.size() ? "," : "");
     j += row;
   }
@@ -355,5 +411,5 @@ int main(int argc, char** argv) {
   } else {
     std::fprintf(stderr, "WARNING: cannot write BENCH_server_capacity.json\n");
   }
-  return 0;
+  return pacing_ok ? 0 : 1;
 }

@@ -214,6 +214,37 @@ inline bool WriteBenchJson(const std::string& bench_name, int num_jobs,
       detail::AppendDouble(&j, fan.DirtyScanRatio(r.num_clients));
       j += ", \"route_alloc\": " + std::to_string(fan.route_alloc);
     }
+    {
+      // Delta-sync counters (DESIGN.md §15): zero unless delta_sync /
+      // anti-entropy ran — emitted unconditionally so the schema is
+      // stable. Server + client sides merged (retries and AE repairs
+      // are counted at clients).
+      SyncCounters sync = r.server_stats.sync;
+      sync.Merge(r.client_stats.sync);
+      j += ", \"sync_rounds\": " + std::to_string(sync.sync_rounds);
+      j += ", \"sync_strata_bytes\": " + std::to_string(sync.strata_bytes);
+      j += ", \"sync_ibf_cells\": " + std::to_string(sync.ibf_cells);
+      j += ", \"sync_decode_failures\": " +
+           std::to_string(sync.decode_failures);
+      j += ", \"sync_fallbacks\": " + std::to_string(sync.fallbacks);
+      j += ", \"delta_rejoins\": " + std::to_string(sync.delta_rejoins);
+      j += ", \"sync_objects_shipped\": " +
+           std::to_string(sync.objects_shipped);
+      j += ", \"sync_objects_removed\": " +
+           std::to_string(sync.objects_removed);
+      j += ", \"sync_delta_bytes\": " + std::to_string(sync.delta_bytes);
+      j += ", \"sync_full_bytes_estimate\": " +
+           std::to_string(sync.full_bytes_estimate);
+      j += ", \"ae_rounds\": " + std::to_string(sync.ae_rounds);
+      j += ", \"ae_objects_repaired\": " +
+           std::to_string(sync.ae_objects_repaired);
+      j += ", \"owner_repairs\": " + std::to_string(sync.owner_repairs);
+      j += ", \"sync_nacks\": " + std::to_string(sync.nacks);
+      j += ", \"snapshot_retries\": " +
+           std::to_string(sync.snapshot_retries);
+      j += ", \"max_chunks_per_tick\": " +
+           std::to_string(sync.max_chunks_per_tick);
+    }
     if (!r.shard_counters.empty()) {
       // Sharded-tier commit counters (DESIGN.md §12): totals plus one
       // entry per shard, in shard order.

@@ -42,6 +42,27 @@ void FanoutCounters::Merge(const FanoutCounters& other) {
   route_alloc += other.route_alloc;
 }
 
+void SyncCounters::Merge(const SyncCounters& other) {
+  sync_rounds += other.sync_rounds;
+  strata_bytes += other.strata_bytes;
+  ibf_cells += other.ibf_cells;
+  decode_failures += other.decode_failures;
+  fallbacks += other.fallbacks;
+  delta_rejoins += other.delta_rejoins;
+  objects_shipped += other.objects_shipped;
+  objects_removed += other.objects_removed;
+  delta_bytes += other.delta_bytes;
+  full_bytes_estimate += other.full_bytes_estimate;
+  ae_rounds += other.ae_rounds;
+  ae_objects_repaired += other.ae_objects_repaired;
+  owner_repairs += other.owner_repairs;
+  nacks += other.nacks;
+  snapshot_retries += other.snapshot_retries;
+  if (other.max_chunks_per_tick > max_chunks_per_tick) {
+    max_chunks_per_tick = other.max_chunks_per_tick;
+  }
+}
+
 void ProtocolStats::Merge(const ProtocolStats& other) {
   actions_submitted += other.actions_submitted;
   actions_committed += other.actions_committed;
@@ -57,10 +78,11 @@ void ProtocolStats::Merge(const ProtocolStats& other) {
   response_time_us.Merge(other.response_time_us);
   channel.Merge(other.channel);
   fanout.Merge(other.fanout);
+  sync.Merge(other.sync);
 }
 
 std::string ProtocolStats::ToString() const {
-  char buf[256];
+  char buf[512];
   std::snprintf(buf, sizeof(buf),
                 "submitted=%lld committed=%lld dropped=%lld (%.2f%%) "
                 "reconciled=%lld evaluated=%lld ooo=%lld blind_writes=%lld",
@@ -92,6 +114,28 @@ std::string ProtocolStats::ToString() const {
                   static_cast<long long>(fanout.dirty_slots_flushed),
                   static_cast<long long>(fanout.flush_cycles),
                   static_cast<long long>(fanout.route_alloc));
+    out += buf;
+  }
+  if (sync.sync_rounds != 0 || sync.ae_rounds != 0 || sync.nacks != 0 ||
+      sync.snapshot_retries != 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "\n  sync: rounds=%lld cells=%lld decode_fail=%lld "
+                  "fallbacks=%lld shipped=%lld removed=%lld "
+                  "delta_bytes=%lld full_bytes=%lld ae=%lld repaired=%lld "
+                  "owner_repairs=%lld nacks=%lld retries=%lld",
+                  static_cast<long long>(sync.sync_rounds),
+                  static_cast<long long>(sync.ibf_cells),
+                  static_cast<long long>(sync.decode_failures),
+                  static_cast<long long>(sync.fallbacks),
+                  static_cast<long long>(sync.objects_shipped),
+                  static_cast<long long>(sync.objects_removed),
+                  static_cast<long long>(sync.delta_bytes),
+                  static_cast<long long>(sync.full_bytes_estimate),
+                  static_cast<long long>(sync.ae_rounds),
+                  static_cast<long long>(sync.ae_objects_repaired),
+                  static_cast<long long>(sync.owner_repairs),
+                  static_cast<long long>(sync.nacks),
+                  static_cast<long long>(sync.snapshot_retries));
     out += buf;
   }
   return out;

@@ -78,6 +78,32 @@ struct FanoutCounters {
   void Merge(const FanoutCounters& other);
 };
 
+/// Set-reconciliation counters (src/sync + the delta-sync handshake in
+/// the protocol/shard servers): how much each rejoin or anti-entropy
+/// round shipped, and what the legacy full snapshot would have cost.
+struct SyncCounters {
+  int64_t sync_rounds = 0;        // reconciliation handshakes served
+  int64_t strata_bytes = 0;       // estimator bytes received
+  int64_t ibf_cells = 0;          // filter cells requested across rounds
+  int64_t decode_failures = 0;    // filters that failed to peel
+  int64_t fallbacks = 0;          // rejoins that fell back to full snapshot
+  int64_t delta_rejoins = 0;      // rejoins served O(diff)
+  int64_t objects_shipped = 0;    // objects sent in SyncDelta payloads
+  int64_t objects_removed = 0;    // removal ids sent in SyncDelta payloads
+  int64_t delta_bytes = 0;        // SyncDelta wire bytes sent
+  int64_t full_bytes_estimate = 0;// what full snapshots of the same rounds
+                                  // would have cost (bytes-saved baseline)
+  int64_t ae_rounds = 0;          // anti-entropy rounds completed
+  int64_t ae_objects_repaired = 0;// stale objects refreshed by AE rounds
+  int64_t owner_repairs = 0;      // stale shard-ownership entries repaired
+  int64_t nacks = 0;              // catch-up requests NACKed (unknown client)
+  int64_t snapshot_retries = 0;   // client catch-up re-requests after timeout
+  int64_t max_chunks_per_tick = 0;// largest catch-up batch handed to the
+                                  // send path in one tick (pacing proof)
+
+  void Merge(const SyncCounters& other);
+};
+
 /// Protocol-level counters accumulated during a run.
 struct ProtocolStats {
   int64_t actions_submitted = 0;
@@ -99,6 +125,8 @@ struct ProtocolStats {
   ChannelStats channel;
   /// Push fan-out pipeline counters (servers only).
   FanoutCounters fanout;
+  /// Delta-sync / anti-entropy counters (zero with delta_sync off).
+  SyncCounters sync;
 
   double DropRate() const {
     return actions_submitted == 0

@@ -7,6 +7,8 @@
 #include "action/action.h"
 #include "net/message.h"
 #include "store/object.h"
+#include "sync/ibf.h"
+#include "sync/strata.h"
 
 namespace seve {
 
@@ -34,6 +36,24 @@ enum MsgKind : int {
   kRehome = 324,      // source shard -> client: switch your server to dest
   kRehomeAck = 325,   // client -> source shard: switched; source may drain
   kRehomeDone = 326,  // dest shard -> client: adopted; flush buffered actions
+
+  // Set-reconciliation delta sync (DESIGN.md §15): O(diff) rejoin
+  // catch-up and background anti-entropy. Defined here (not in a sync
+  // header) for the same reason as the kRehome block: SeveClient speaks
+  // them and the protocol layer must not grow new header dependencies.
+  kSyncRequest = 330,     // initiator -> responder: strata estimator
+  kSyncIBFRequest = 331,  // responder -> initiator: send an IBF this big
+  kSyncIBF = 332,         // initiator -> responder: the sized filter
+  kSyncDelta = 333,       // responder -> initiator: changed/missing objects
+  kSyncNack = 334,        // responder -> initiator: unknown client, re-request
+};
+
+/// Which exchange a sync message belongs to; every kSync* body carries
+/// one so the stateless responder knows how to finish the round.
+enum SyncMode : uint8_t {
+  kSyncModeRejoin = 0,    // client rejoin catch-up (replaces SnapshotRequest)
+  kSyncModeAe = 1,        // client <-> home server anti-entropy tick
+  kSyncModeOwnerMap = 2,  // shard <-> shard ownership-view anti-entropy
 };
 
 /// Client -> server: submit one action for serialization (Alg. 1 step 2 /
@@ -203,6 +223,77 @@ struct RehomeDoneBody : MessageBody {
   ObjectId object;
   int kind() const override { return kRehomeDone; }
   int64_t WireSize() const { return 20; }
+};
+
+/// Initiator -> responder: open a reconciliation round. Carries a strata
+/// estimator over the initiator's (object id, content hash) summary so
+/// the responder can size the IBF it asks for. `client` identifies the
+/// initiator (the ClientId for rejoin/AE rounds, the shard id for
+/// owner-map rounds).
+struct SyncRequestBody : MessageBody {
+  ClientId client;
+  uint8_t mode = kSyncModeRejoin;
+  sync::StrataEstimator strata;
+
+  int kind() const override { return kSyncRequest; }
+  int64_t WireSize() const { return 17 + strata.WireBytes(); }
+};
+
+/// Responder -> initiator: the estimated difference needs a filter of
+/// `cells` cells; send your IBF.
+struct SyncIBFRequestBody : MessageBody {
+  ClientId client;
+  uint8_t mode = kSyncModeRejoin;
+  int64_t cells = 0;
+
+  int kind() const override { return kSyncIBFRequest; }
+  int64_t WireSize() const { return 25; }
+};
+
+/// Initiator -> responder: the sized filter over the initiator's summary.
+struct SyncIBFBody : MessageBody {
+  ClientId client;
+  uint8_t mode = kSyncModeRejoin;
+  sync::Ibf ibf;
+
+  int kind() const override { return kSyncIBF; }
+  int64_t WireSize() const { return 17 + ibf.WireBytes(); }
+};
+
+/// Responder -> initiator: the decoded delta. For rejoin rounds this is
+/// the O(diff) replacement for the snapshot stream: `objects` are the
+/// changed/missing objects at commit frontier `snapshot_pos`, `removed`
+/// the ids the initiator must drop, and the final chunk carries the live
+/// tail exactly like SnapshotChunk. AE rounds ship one chunk and no
+/// tail; owner-map rounds list the divergent object ids in `removed`.
+struct SyncDeltaBody : MessageBody {
+  ClientId client;
+  uint8_t mode = kSyncModeRejoin;
+  SeqNum snapshot_pos = kInvalidSeq;
+  int64_t chunk = 0;
+  int64_t total = 1;
+  std::vector<Object> objects;
+  std::vector<ObjectId> removed;
+  std::vector<OrderedAction> tail;
+
+  int kind() const override { return kSyncDelta; }
+  int64_t WireSize() const {
+    int64_t size = 41 + static_cast<int64_t>(removed.size()) * 8;
+    for (const Object& obj : objects) size += obj.WireSize();
+    for (const OrderedAction& rec : tail) size += 8 + rec.action->WireSize();
+    return size;
+  }
+};
+
+/// Responder -> initiator: the responder does not know this client (a
+/// catch-up request raced registration); the initiator should back off
+/// and re-request instead of waiting forever.
+struct SyncNackBody : MessageBody {
+  ClientId client;
+  uint8_t mode = kSyncModeRejoin;
+
+  int kind() const override { return kSyncNack; }
+  int64_t WireSize() const { return 17; }
 };
 
 }  // namespace seve

@@ -68,6 +68,47 @@ struct SeveOptions {
 
   /// How often the server emits CommitNotice GC hints (0 = never).
   Micros commit_notice_period_us = 1000 * 1000;
+
+  // --- Delta sync (DESIGN.md §15) -----------------------------------------
+
+  /// Rejoin via IBF set reconciliation instead of a full snapshot: the
+  /// client keeps its pre-crash stable state and the server ships only
+  /// the symmetric difference plus the live tail, falling back to the
+  /// full SnapshotChunk stream when the filter fails to peel. Off by
+  /// default — with it off the data path is bit-identical to the
+  /// full-snapshot protocol.
+  bool delta_sync = false;
+
+  /// IBF sizing: floor, safety factor over the strata estimate, and an
+  /// optional hard cap (a deliberately tiny cap forces the deterministic
+  /// decode-failure fallback in tests).
+  int64_t sync_min_cells = 64;
+  double sync_alpha = 4.0;
+  int64_t sync_max_cells = 0;  // 0 = uncapped
+
+  /// Background anti-entropy: clients run the same reconciliation
+  /// exchange against their home server every period, repairing replica
+  /// divergence the Incomplete World Model leaves behind by design
+  /// (0 = off). Requires delta_sync.
+  Micros anti_entropy_period_us = 0;
+
+  /// Shard-pair anti-entropy: each shard reconciles its local ownership
+  /// view against its ring successor every period (0 = off). Repairs the
+  /// third-party staleness that ownership migration leaves behind.
+  Micros shard_anti_entropy_period_us = 0;
+
+  /// Client catch-up retry: while still rejoining after this long, the
+  /// client re-sends its catch-up request (0 = never — the seed
+  /// behaviour, which can strand a client whose request was dropped or
+  /// whose transfer was abandoned by the reliable channel).
+  Micros snapshot_retry_us = 0;
+  /// Retry cap, so an unregistered client cannot spin forever.
+  int snapshot_retry_limit = 5;
+
+  /// Catch-up pacing: at most this many snapshot/delta chunks enter the
+  /// send path per tick (0 = the legacy single-burst submit). Bounds the
+  /// per-tick work spike a 100k-object snapshot otherwise causes.
+  int snapshot_chunks_per_tick = 0;
 };
 
 }  // namespace seve

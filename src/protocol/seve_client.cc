@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "net/channel.h"
+#include "sync/reconcile.h"
 
 namespace seve {
 
@@ -48,9 +49,13 @@ void SeveClient::SubmitLocalAction(ActionPtr action) {
 void SeveClient::Rejoin() {
   set_failed(false);
   rejoining_ = true;
+  delta_rejoin_ = options_.delta_sync;
   // Everything replicated before the crash is untrusted: the snapshot
   // rebuilds ζCS from scratch and ζCO is re-seeded from it afterwards.
-  stable_ = WorldState{};
+  // The delta path keeps ζCS — it is exactly what the IBF exchange
+  // reconciles against the server's committed prefix — but clears every
+  // piece of bookkeeping derived from the dead incarnation.
+  if (!delta_rejoin_) stable_ = WorldState{};
   optimistic_ = WorldState{};
   pending_ = PendingQueue{};
   last_writer_.Clear();
@@ -63,7 +68,7 @@ void SeveClient::Rejoin() {
   rehoming_ = false;
   rehome_buffer_.clear();
   ++stats_.rejoins;
-  // Fresh channel incarnation first, so the Rejoin/SnapshotRequest pair
+  // Fresh channel incarnation first, so the Rejoin/catch-up-request pair
   // (and everything after) rides a stream the server can tell apart from
   // pre-crash leftovers.
   if (ReliableChannel* channel = reliable_channel()) {
@@ -72,17 +77,75 @@ void SeveClient::Rejoin() {
   auto rejoin = std::make_shared<RejoinBody>();
   rejoin->client = client_;
   Send(server_, rejoin->WireSize(), rejoin);
-  auto request = std::make_shared<SnapshotRequestBody>();
+  SendCatchupRequest();
+  ++retry_incarnation_;
+  retries_used_ = 0;
+  ArmCatchupRetry();
+}
+
+void SeveClient::SendCatchupRequest() {
+  if (delta_rejoin_) {
+    SendSyncRequest(kSyncModeRejoin);
+  } else {
+    auto request = std::make_shared<SnapshotRequestBody>();
+    request->client = client_;
+    Send(server_, request->WireSize(), request);
+  }
+}
+
+void SeveClient::SendSyncRequest(uint8_t mode) {
+  auto request = std::make_shared<SyncRequestBody>();
   request->client = client_;
+  request->mode = mode;
+  request->strata = sync::BuildStrata(stable_);
   Send(server_, request->WireSize(), request);
 }
 
+void SeveClient::ArmCatchupRetry() {
+  if (options_.snapshot_retry_us <= 0) return;
+  if (retries_used_ >= options_.snapshot_retry_limit) return;
+  const int64_t incarnation = retry_incarnation_;
+  loop()->After(options_.snapshot_retry_us, [this, incarnation]() {
+    // Stale arms die silently: the rejoin completed (incarnation moved
+    // on), the node re-crashed, or the runner stopped sync timers.
+    if (incarnation != retry_incarnation_ || !rejoining_ || failed()) {
+      return;
+    }
+    ++retries_used_;
+    ++stats_.sync.snapshot_retries;
+    SendCatchupRequest();
+    ArmCatchupRetry();
+  });
+}
+
+void SeveClient::StartAntiEntropy() {
+  if (!options_.delta_sync || options_.anti_entropy_period_us <= 0) return;
+  ae_running_ = true;
+  loop()->After(options_.anti_entropy_period_us, [this]() {
+    if (!ae_running_) return;
+    // Skip rounds while this replica is not a meaningful reconciliation
+    // peer (crashed, mid-rejoin, or mid-rehome); the cadence continues.
+    if (!failed() && !rejoining_ && !rehoming_) {
+      SendSyncRequest(kSyncModeAe);
+    }
+    ae_running_ = false;
+    StartAntiEntropy();
+  });
+}
+
+void SeveClient::StopSync() {
+  ae_running_ = false;
+  ++retry_incarnation_;  // kills any armed catch-up retry
+}
+
 void SeveClient::OnMessage(const Message& msg) {
-  if (rejoining_ && msg.body->kind() != kSnapshotChunk) {
-    // Pre-snapshot protocol traffic: superseded by the snapshot.
+  const int kind = msg.body->kind();
+  if (rejoining_ && kind != kSnapshotChunk && kind != kSyncIBFRequest &&
+      kind != kSyncDelta && kind != kSyncNack) {
+    // Pre-snapshot protocol traffic: superseded by the catch-up.
     return;
   }
-  switch (msg.body->kind()) {
+  switch (kind) {
     case kDeliverActions: {
       const auto& deliver =
           static_cast<const DeliverActionsBody&>(*msg.body);
@@ -106,6 +169,18 @@ void SeveClient::OnMessage(const Message& msg) {
     }
     case kSnapshotChunk:
       HandleSnapshotChunk(static_cast<const SnapshotChunkBody&>(*msg.body));
+      break;
+    case kSyncIBFRequest:
+      HandleSyncIBFRequest(
+          static_cast<const SyncIBFRequestBody&>(*msg.body));
+      break;
+    case kSyncDelta:
+      HandleSyncDelta(static_cast<const SyncDeltaBody&>(*msg.body));
+      break;
+    case kSyncNack:
+      // The server does not know this client (yet). Stay in rejoining_;
+      // the retry timer re-requests until registration wins the race or
+      // the retry cap gives up deterministically.
       break;
     case kRehome:
       // Note the rejoining_ gate above: a client mid-rejoin drops the
@@ -148,6 +223,14 @@ void SeveClient::HandleRehomeDone(const RehomeDoneBody& done) {
 
 void SeveClient::HandleSnapshotChunk(const SnapshotChunkBody& chunk) {
   if (!rejoining_) return;  // duplicate catch-up from a slow path
+  if (delta_rejoin_) {
+    // Deterministic decode-failure fallback (DESIGN.md §15): the server
+    // answered the IBF with the full stream, so the kept replica buys
+    // nothing — wipe it and run the classic path from here.
+    stable_ = WorldState{};
+    last_writer_.Clear();
+    delta_rejoin_ = false;
+  }
   // The snapshot is a batch of blind writes W(S, ζS(S)) at the commit
   // frontier: install directly and stamp the last-writer guards so tail
   // actions (all at higher positions) apply on top.
@@ -156,11 +239,16 @@ void SeveClient::HandleSnapshotChunk(const SnapshotChunkBody& chunk) {
     last_writer_[obj.id()] = chunk.snapshot_pos;
   }
   if (chunk.chunk + 1 != chunk.total) return;
+  FinishCatchup(chunk.tail);
+}
 
+void SeveClient::FinishCatchup(const std::vector<OrderedAction>& tail) {
   // Final chunk: the replica is authoritative as of snapshot_pos. Replay
   // the live tail in order on the CPU, then re-seed the optimistic view.
   rejoining_ = false;
-  for (const OrderedAction& rec : chunk.tail) {
+  delta_rejoin_ = false;
+  ++retry_incarnation_;  // disarms the catch-up retry
+  for (const OrderedAction& rec : tail) {
     const Micros cost = rec.action->IsBlindWrite()
                             ? install_us_
                             : cost_fn_(*rec.action, stable_);
@@ -169,6 +257,70 @@ void SeveClient::HandleSnapshotChunk(const SnapshotChunkBody& chunk) {
   // CPU FIFO ordering puts this after the tail replay but before any
   // post-snapshot deliveries that arrive later.
   SubmitWork(install_us_, [this]() { optimistic_ = stable_; });
+}
+
+void SeveClient::HandleSyncIBFRequest(const SyncIBFRequestBody& request) {
+  if (request.client != client_) return;
+  // Rejoin rounds only make sense mid-rejoin, anti-entropy rounds only
+  // outside one; a stale reply from the other state is dead traffic.
+  if (request.mode == kSyncModeRejoin && !delta_rejoin_) return;
+  if (request.mode == kSyncModeAe && rejoining_) return;
+  auto reply = std::make_shared<SyncIBFBody>();
+  reply->client = client_;
+  reply->mode = request.mode;
+  reply->ibf = sync::BuildIbf(stable_, request.cells);
+  Send(server_, reply->WireSize(), reply);
+}
+
+void SeveClient::HandleSyncDelta(const SyncDeltaBody& delta) {
+  if (delta.client != client_) return;
+  if (delta.mode == kSyncModeRejoin) {
+    if (!rejoining_ || !delta_rejoin_) return;
+    // Patch ζCS to the server's committed prefix: shipped objects carry
+    // the snapshot position as their last writer (exactly like snapshot
+    // blind writes); removed ids vanish. Objects the diff did not touch
+    // already equal ζS, so their absent guard (0) is equivalent to the
+    // full path's snapshot_pos stamp — nothing older than snapshot_pos
+    // can arrive on the fresh channel incarnation.
+    for (const Object& obj : delta.objects) {
+      stable_.Upsert(obj);
+      last_writer_[obj.id()] = delta.snapshot_pos;
+    }
+    for (ObjectId id : delta.removed) {
+      (void)stable_.Remove(id);
+      last_writer_.Erase(id);
+    }
+    if (delta.chunk + 1 != delta.total) return;
+    FinishCatchup(delta.tail);
+    return;
+  }
+  // Anti-entropy repair: authoritative committed values, applied behind
+  // the last-writer guards so they never roll back newer deliveries.
+  if (rejoining_ || delta.mode != kSyncModeAe) return;
+  ObjectSet touched;
+  for (const Object& obj : delta.objects) {
+    SeqNum& last = last_writer_[obj.id()];
+    if (delta.snapshot_pos < last) continue;
+    const Object* cur = stable_.Find(obj.id());
+    if (cur == nullptr || cur->Hash() != obj.Hash()) {
+      ++stats_.sync.ae_objects_repaired;
+    }
+    stable_.Upsert(obj);
+    last = delta.snapshot_pos;
+    touched.Insert(obj.id());
+  }
+  for (ObjectId id : delta.removed) {
+    SeqNum& last = last_writer_[id];
+    if (delta.snapshot_pos < last) continue;
+    if (stable_.Remove(id).ok()) ++stats_.sync.ae_objects_repaired;
+    last = delta.snapshot_pos;
+    touched.Insert(id);
+  }
+  if (touched.empty()) return;
+  // Refreshes flow into ζCO except where a pending optimistic write is
+  // still awaiting its echo (same rule as the drop-notice refresh).
+  touched.SubtractWith(pending_.write_set());
+  optimistic_.CopyObjectsFrom(stable_, touched);
 }
 
 void SeveClient::ApplyOrdered(const OrderedAction& rec) {

@@ -48,6 +48,12 @@ class SeveClient : public Node {
   /// for a ζS snapshot. Protocol traffic is ignored until the final
   /// SnapshotChunk arrives, after which the client converges to the same
   /// digests as never-failed clients.
+  ///
+  /// With options.delta_sync the stable replica is kept and reconciled
+  /// via the IBF handshake instead (DESIGN.md §15): the server ships only
+  /// the symmetric difference plus the live tail, or falls back to the
+  /// full stream when the filter fails to peel. Either way the client
+  /// ends bit-identical to the full-snapshot path.
   void Rejoin();
   bool rejoining() const { return rejoining_; }
   /// True between Rehome and RehomeDone: submissions are buffered so the
@@ -56,6 +62,14 @@ class SeveClient : public Node {
   /// Current home server (changes when the sharded tier rehomes the
   /// client's avatar).
   NodeId server() const { return server_; }
+
+  /// Arms the periodic background reconciliation exchange against the
+  /// home server (options.anti_entropy_period_us; requires delta_sync).
+  /// Runs until StopSync().
+  void StartAntiEntropy();
+  /// Disarms anti-entropy and the catch-up retry timer so the event loop
+  /// can drain (runner teardown).
+  void StopSync();
 
   ClientId client_id() const { return client_; }
   const WorldState& stable() const { return stable_; }
@@ -82,6 +96,24 @@ class SeveClient : public Node {
   void HandleSnapshotChunk(const SnapshotChunkBody& chunk);
   void HandleRehome(const RehomeBody& rehome);
   void HandleRehomeDone(const RehomeDoneBody& done);
+  /// Step 2 of the delta handshake: build an IBF of the stable replica at
+  /// the server-requested size and send it back.
+  void HandleSyncIBFRequest(const SyncIBFRequestBody& request);
+  /// Applies a SyncDelta: the rejoin arm patches ζCS to the server's
+  /// committed prefix and finishes exactly like the final SnapshotChunk;
+  /// the anti-entropy arm upserts behind the last-writer guards.
+  void HandleSyncDelta(const SyncDeltaBody& delta);
+  /// Sends the catch-up request for the current mode (SyncRequest with
+  /// delta_sync, SnapshotRequest without).
+  void SendCatchupRequest();
+  void SendSyncRequest(uint8_t mode);
+  /// Re-requests catch-up if still rejoining after snapshot_retry_us
+  /// (satellite fix: a dropped request or an abandoned transfer otherwise
+  /// strands the client in rejoining_ forever).
+  void ArmCatchupRetry();
+  /// Shared tail-replay + optimistic re-seed for the final catch-up chunk
+  /// (snapshot and delta paths).
+  void FinishCatchup(const std::vector<OrderedAction>& tail);
 
   struct ApplyOutcome {
     ResultDigest digest = 0;
@@ -129,6 +161,18 @@ class SeveClient : public Node {
   /// True between Rejoin() and the final SnapshotChunk: protocol traffic
   /// is ignored (it predates the snapshot) and submissions are refused.
   bool rejoining_ = false;
+  /// True while a delta (IBF) rejoin is in flight: the stable replica was
+  /// kept for reconciliation. Any SnapshotChunk arriving in this state is
+  /// the server's deterministic decode-failure fallback — wipe and run
+  /// the full path.
+  bool delta_rejoin_ = false;
+  /// Retry bookkeeping: the incarnation invalidates timers armed for an
+  /// earlier rejoin attempt; retries_used_ caps the re-requests so an
+  /// unregistered client cannot spin forever.
+  int64_t retry_incarnation_ = 0;
+  int retries_used_ = 0;
+  /// Anti-entropy tick armed (StartAntiEntropy .. StopSync).
+  bool ae_running_ = false;
   /// True between Rehome and RehomeDone (DESIGN.md §14): the avatar's
   /// record is in flight between shards. Fresh submissions are
   /// evaluated and queued locally but their bodies are parked in

@@ -7,6 +7,7 @@
 
 #include "action/blind_write.h"
 #include "net/channel.h"
+#include "sync/reconcile.h"
 
 namespace seve {
 namespace {
@@ -87,7 +88,14 @@ void SeveServer::OnMessage(const Message& msg) {
       break;
     case kSnapshotRequest:
       HandleSnapshotRequest(
-          static_cast<const SnapshotRequestBody&>(*msg.body));
+          static_cast<const SnapshotRequestBody&>(*msg.body), msg.src);
+      break;
+    case kSyncRequest:
+      HandleSyncRequest(static_cast<const SyncRequestBody&>(*msg.body),
+                        msg.src);
+      break;
+    case kSyncIBF:
+      HandleSyncIBF(static_cast<const SyncIBFBody&>(*msg.body), msg.src);
       break;
     default:
       break;
@@ -109,10 +117,13 @@ void SeveServer::HandleRejoin(const RejoinBody& rejoin) {
   ++stats_.rejoins;
 }
 
-void SeveServer::HandleSnapshotRequest(const SnapshotRequestBody& request) {
+void SeveServer::HandleSnapshotRequest(const SnapshotRequestBody& request,
+                                       NodeId src) {
   const ClientTable::Slot slot = clients_.SlotOf(request.client);
-  if (slot == ClientTable::kNoSlot) return;
-  const NodeId dst = clients_.node(slot);
+  if (slot == ClientTable::kNoSlot) {
+    SendNack(src, request.client, kSyncModeRejoin);
+    return;
+  }
   const SeqNum snapshot_pos = queue_.begin_pos() - 1;
   const std::vector<ObjectId> ids = state_.ObjectIds();  // sorted
 
@@ -121,8 +132,9 @@ void SeveServer::HandleSnapshotRequest(const SnapshotRequestBody& request) {
   const int64_t total = std::max<int64_t>(
       1, (static_cast<int64_t>(ids.size()) + per_chunk - 1) / per_chunk);
 
-  std::vector<std::shared_ptr<SnapshotChunkBody>> chunks;
+  std::vector<CatchupChunk> chunks;
   chunks.reserve(static_cast<size_t>(total));
+  std::shared_ptr<SnapshotChunkBody> last;
   for (int64_t c = 0; c < total; ++c) {
     auto body = std::make_shared<SnapshotChunkBody>();
     body->snapshot_pos = snapshot_pos;
@@ -136,38 +148,321 @@ void SeveServer::HandleSnapshotRequest(const SnapshotRequestBody& request) {
       const Object* obj = state_.Find(ids[i]);
       if (obj != nullptr) body->objects.push_back(*obj);
     }
-    chunks.push_back(std::move(body));
+    last = body;
+    chunks.push_back(CatchupChunk{std::move(body), 0});
   }
 
-  // The live tail: everything submitted but not yet committed. Completed
-  // entries ship as blind writes of their stable results (replayable
-  // anywhere); the rest ship as actions for the client to evaluate —
-  // exactly the substitution rule AppendClosure applies.
-  std::vector<OrderedAction>& tail = chunks.back()->tail;
-  tail.reserve(static_cast<size_t>(queue_.end_pos() - queue_.begin_pos()));
+  // The live tail rides the final chunk; the included positions are
+  // marked sent only when that chunk actually enters the send path.
+  std::vector<SeqNum> tail_positions;
+  CollectTail(&last->tail, &tail_positions);
+  for (CatchupChunk& c : chunks) {
+    c.wire_size =
+        static_cast<const SnapshotChunkBody&>(*c.body).WireSize();
+  }
+
+  stats_.snapshot_chunks += total;
+  const Micros cpu =
+      cost_.serialize_us * static_cast<Micros>(total) + cost_.install_us;
+  DispatchCatchup(slot, request.client, std::move(chunks),
+                  std::move(tail_positions), cpu);
+}
+
+void SeveServer::CollectTail(std::vector<OrderedAction>* tail,
+                             std::vector<SeqNum>* positions) {
+  // Everything submitted but not yet committed. Completed entries ship as
+  // blind writes of their stable results (replayable anywhere); the rest
+  // ship as actions for the client to evaluate — exactly the substitution
+  // rule AppendClosure applies.
+  const size_t span =
+      static_cast<size_t>(queue_.end_pos() - queue_.begin_pos());
+  tail->reserve(tail->size() + span);
+  positions->reserve(positions->size() + span);
   for (SeqNum pos = queue_.begin_pos(); pos < queue_.end_pos(); ++pos) {
     ServerQueue::Entry* entry = queue_.Find(pos);
     if (entry == nullptr || !entry->valid) continue;
-    entry->sent.insert(request.client);
+    positions->push_back(pos);
     if (entry->completed) {
-      tail.push_back(OrderedAction{
+      tail->push_back(OrderedAction{
           pos,
           std::make_shared<BlindWrite>(ActionId(next_blind_id_++),
                                        loop()->now() / options_.tick_us,
                                        entry->stable_written)});
       ++stats_.blind_writes;
     } else {
-      tail.push_back(OrderedAction{pos, entry->action});
+      tail->push_back(OrderedAction{pos, entry->action});
     }
   }
+}
 
-  stats_.snapshot_chunks += total;
+void SeveServer::MarkTailSent(const std::vector<SeqNum>& positions,
+                              ClientId client) {
+  for (SeqNum pos : positions) {
+    // Positions committed (and GC'd) since capture no longer need a mark.
+    ServerQueue::Entry* entry = queue_.Find(pos);
+    if (entry != nullptr) entry->sent.insert(client);
+  }
+}
+
+void SeveServer::DispatchCatchup(ClientTable::Slot slot, ClientId client,
+                                 std::vector<CatchupChunk> chunks,
+                                 std::vector<SeqNum> tail_positions,
+                                 Micros cpu) {
+  const NodeId dst = clients_.node(slot);
+  if (options_.snapshot_chunks_per_tick <= 0) {
+    // Legacy burst: one send closure, the seed's exact schedule. The
+    // per-node CPU queue is FIFO, so every flush submitted after this
+    // point delivers after the final chunk — no suppression needed.
+    const auto batch = static_cast<int64_t>(chunks.size());
+    if (batch > stats_.sync.max_chunks_per_tick) {
+      stats_.sync.max_chunks_per_tick = batch;
+    }
+    SubmitWork(cpu, [this, dst, client, chunks = std::move(chunks),
+                     tail_positions = std::move(tail_positions)]() {
+      MarkTailSent(tail_positions, client);
+      for (const CatchupChunk& c : chunks) Send(dst, c.wire_size, c.body);
+    });
+    return;
+  }
+  PendingCatchup pc;
+  pc.slot = slot;
+  pc.dst = dst;
+  pc.client = client;
+  pc.chunks = std::move(chunks);
+  pc.tail_positions = std::move(tail_positions);
+  catchups_.push_back(std::move(pc));  // seve-lint: allow(hot-vector-realloc): one entry per crash/rejoin, cold
+  SubmitWork(cpu, [this]() {
+    // First batch rides the request's CPU slot unless the pacer is
+    // already mid-flight (then the next tick picks this transfer up,
+    // keeping the per-tick total bounded).
+    if (!catchup_timer_armed_) PumpCatchups();
+  });
+}
+
+void SeveServer::PumpCatchups() {
+  if (catchups_.empty()) return;
+  const int64_t per_tick =
+      std::max<int64_t>(1, options_.snapshot_chunks_per_tick);
+  int64_t batch = 0;
+  size_t w = 0;
+  for (size_t i = 0; i < catchups_.size(); ++i) {
+    PendingCatchup& pc = catchups_[i];
+    while (pc.next < pc.chunks.size() && batch < per_tick) {
+      if (pc.next + 1 == pc.chunks.size()) {
+        MarkTailSent(pc.tail_positions, pc.client);
+      }
+      const CatchupChunk& c = pc.chunks[pc.next];
+      Send(pc.dst, c.wire_size, c.body);
+      ++pc.next;
+      ++batch;
+    }
+    if (pc.next < pc.chunks.size()) {
+      if (w != i) catchups_[w] = std::move(pc);
+      ++w;
+    } else {
+      // Transfer complete: lift the flush suppression and revisit the
+      // slot on the next push cycle. The flush's send closure is CPU-
+      // queued, so it lands on the wire after the final chunk above.
+      clients_.MarkDirty(pc.slot);
+    }
+  }
+  catchups_.resize(w);
+  if (batch > stats_.sync.max_chunks_per_tick) {
+    stats_.sync.max_chunks_per_tick = batch;
+  }
+  if (!catchups_.empty() && !catchup_timer_armed_) {
+    catchup_timer_armed_ = true;
+    loop()->After(options_.tick_us, [this]() {
+      catchup_timer_armed_ = false;
+      PumpCatchups();
+    });
+  }
+}
+
+void SeveServer::DrainCatchups() {
+  // Quiesce aid (FlushAll): ship everything now, bypassing the pacer.
+  // Deliberately not folded into max_chunks_per_tick — that counter
+  // proves the paced steady-state bound, not the teardown flush.
+  for (PendingCatchup& pc : catchups_) {
+    while (pc.next < pc.chunks.size()) {
+      if (pc.next + 1 == pc.chunks.size()) {
+        MarkTailSent(pc.tail_positions, pc.client);
+      }
+      const CatchupChunk& c = pc.chunks[pc.next];
+      Send(pc.dst, c.wire_size, c.body);
+      ++pc.next;
+    }
+    clients_.MarkDirty(pc.slot);
+  }
+  catchups_.clear();
+}
+
+bool SeveServer::InCatchup(ClientTable::Slot slot) const {
+  for (const PendingCatchup& pc : catchups_) {
+    if (pc.slot == slot && pc.next < pc.chunks.size()) return true;
+  }
+  return false;
+}
+
+void SeveServer::SendNack(NodeId dst, ClientId client, uint8_t mode) {
+  // Satellite fix over the seed: a catch-up request from an unknown
+  // client was dropped silently, stranding the requester in rejoining_
+  // forever. The NACK (plus the client-side retry timer) makes the race
+  // against late registration deterministic and recoverable.
+  ++stats_.sync.nacks;
+  auto body = std::make_shared<SyncNackBody>();
+  body->client = client;
+  body->mode = mode;
+  SubmitWork(cost_.serialize_us, [this, dst, body]() {
+    Send(dst, body->WireSize(), body);
+  });
+}
+
+int64_t SeveServer::FullSnapshotBytesEstimate() const {
+  const std::vector<ObjectId> ids = state_.ObjectIds();
+  int64_t object_bytes = 0;
+  for (ObjectId id : ids) {
+    const Object* obj = state_.Find(id);
+    if (obj != nullptr) object_bytes += obj->WireSize();
+  }
+  const int64_t per_chunk =
+      std::max<int64_t>(1, options_.snapshot_chunk_objects);
+  const int64_t total = std::max<int64_t>(
+      1, (static_cast<int64_t>(ids.size()) + per_chunk - 1) / per_chunk);
+  // Mirror SnapshotChunkBody::WireSize's fixed per-chunk header.
+  return object_bytes + 32 * total;
+}
+
+void SeveServer::HandleSyncRequest(const SyncRequestBody& request,
+                                   NodeId src) {
+  const ClientTable::Slot slot = clients_.SlotOf(request.client);
+  if (slot == ClientTable::kNoSlot) {
+    SendNack(src, request.client, request.mode);
+    return;
+  }
+  ++stats_.sync.sync_rounds;
+  stats_.sync.strata_bytes += request.strata.WireBytes();
+
+  sync::StrataEstimator mine = sync::BuildStrata(state_);
+  const int64_t est = mine.Estimate(request.strata);
+  if (est == 0) {
+    // Replica already matches ζS. A rejoin still needs the live tail and
+    // the end-of-catchup signal; an anti-entropy round is simply done.
+    if (request.mode == kSyncModeRejoin) {
+      ++stats_.sync.delta_rejoins;
+      stats_.sync.full_bytes_estimate += FullSnapshotBytesEstimate();
+      SendDelta(slot, request.client, request.mode, {}, {});
+    } else {
+      ++stats_.sync.ae_rounds;
+    }
+    return;
+  }
+
+  sync::SyncSizing sizing;
+  sizing.min_cells = options_.sync_min_cells;
+  sizing.alpha = options_.sync_alpha;
+  sizing.max_cells = options_.sync_max_cells;
+  const int64_t cells = sync::CellsFor(est, sizing);
+  stats_.sync.ibf_cells += cells;
+  auto reply = std::make_shared<SyncIBFRequestBody>();
+  reply->client = request.client;
+  reply->mode = request.mode;
+  reply->cells = cells;
+  const NodeId dst = clients_.node(slot);
+  SubmitWork(cost_.serialize_us, [this, dst, reply]() {
+    Send(dst, reply->WireSize(), reply);
+  });
+}
+
+void SeveServer::HandleSyncIBF(const SyncIBFBody& body, NodeId src) {
+  const ClientTable::Slot slot = clients_.SlotOf(body.client);
+  if (slot == ClientTable::kNoSlot) {
+    SendNack(src, body.client, body.mode);
+    return;
+  }
+  const sync::DeltaPlan plan = sync::PlanDelta(state_, body.ibf);
+  if (!plan.ok) {
+    ++stats_.sync.decode_failures;
+    if (body.mode == kSyncModeRejoin) {
+      // Deterministic fallback: the filter failed to peel, so answer as
+      // if the client had asked for the full snapshot. The client treats
+      // any SnapshotChunk during a delta rejoin as this signal.
+      ++stats_.sync.fallbacks;
+      SnapshotRequestBody full;
+      full.client = body.client;
+      HandleSnapshotRequest(full, src);
+    }
+    // A failed anti-entropy round just waits for the next period.
+    return;
+  }
+  if (body.mode == kSyncModeRejoin) {
+    ++stats_.sync.delta_rejoins;
+    stats_.sync.full_bytes_estimate += FullSnapshotBytesEstimate();
+  } else {
+    ++stats_.sync.ae_rounds;
+  }
+  SendDelta(slot, body.client, body.mode, plan.ship, plan.remove);
+}
+
+void SeveServer::SendDelta(ClientTable::Slot slot, ClientId client,
+                           uint8_t mode,
+                           const std::vector<ObjectId>& ship,
+                           const std::vector<ObjectId>& remove) {
+  const SeqNum snapshot_pos = queue_.begin_pos() - 1;
+  const int64_t per_chunk =
+      std::max<int64_t>(1, options_.snapshot_chunk_objects);
+  const int64_t total = std::max<int64_t>(
+      1, (static_cast<int64_t>(ship.size()) + per_chunk - 1) / per_chunk);
+
+  std::vector<CatchupChunk> chunks;
+  chunks.reserve(static_cast<size_t>(total));
+  std::shared_ptr<SyncDeltaBody> last;
+  for (int64_t c = 0; c < total; ++c) {
+    auto body = std::make_shared<SyncDeltaBody>();
+    body->client = client;
+    body->mode = mode;
+    body->snapshot_pos = snapshot_pos;
+    body->chunk = c;
+    body->total = total;
+    const size_t begin = static_cast<size_t>(c * per_chunk);
+    const size_t end = std::min(ship.size(),
+                                static_cast<size_t>((c + 1) * per_chunk));
+    body->objects.reserve(end - begin);
+    for (size_t i = begin; i < end; ++i) {
+      const Object* obj = state_.Find(ship[i]);
+      if (obj != nullptr) body->objects.push_back(*obj);
+    }
+    last = body;
+    chunks.push_back(CatchupChunk{std::move(body), 0});
+  }
+  last->removed = remove;
+
+  std::vector<SeqNum> tail_positions;
+  if (mode == kSyncModeRejoin) {
+    CollectTail(&last->tail, &tail_positions);
+  }
+  int64_t delta_bytes = 0;
+  for (CatchupChunk& c : chunks) {
+    c.wire_size = static_cast<const SyncDeltaBody&>(*c.body).WireSize();
+    delta_bytes += c.wire_size;
+  }
+  stats_.sync.objects_shipped += static_cast<int64_t>(ship.size());
+  stats_.sync.objects_removed += static_cast<int64_t>(remove.size());
+  stats_.sync.delta_bytes += delta_bytes;
+
   const Micros cpu =
       cost_.serialize_us * static_cast<Micros>(total) + cost_.install_us;
+  if (mode == kSyncModeRejoin) {
+    DispatchCatchup(slot, client, std::move(chunks),
+                    std::move(tail_positions), cpu);
+    return;
+  }
+  // Anti-entropy repairs are small by construction; they bypass the
+  // catch-up pacer (and its flush suppression, which only the rejoin
+  // path needs — a live client applies pushes and AE deltas alike).
+  const NodeId dst = clients_.node(slot);
   SubmitWork(cpu, [this, dst, chunks = std::move(chunks)]() {
-    for (const auto& chunk : chunks) {
-      Send(dst, chunk->WireSize(), chunk);
-    }
+    for (const CatchupChunk& c : chunks) Send(dst, c.wire_size, c.body);
   });
 }
 
@@ -483,6 +778,13 @@ void SeveServer::OnTick() {
 }
 
 void SeveServer::FlushSlot(ClientTable::Slot slot) {
+  if (!catchups_.empty() && InCatchup(slot)) {
+    // Paced catch-up in flight: the rejoining client drops regular
+    // pushes, so flushing now would mark entries sent that never land.
+    // Park the slot; PumpCatchups re-dirties it when the transfer ends.
+    clients_.MarkDirty(slot);
+    return;
+  }
   std::vector<SeqNum>& pending = clients_.pending(slot);
   if (pending.empty()) return;
   // Partition in place against the validity frontier: ready positions
@@ -563,6 +865,7 @@ void SeveServer::OnPushCycle() {
 void SeveServer::FlushAll() {
   if (options_.dropping) OnTick();
   validity_frontier_ = queue_.end_pos();
+  DrainCatchups();
   OnPushCycle();
 }
 

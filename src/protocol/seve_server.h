@@ -93,8 +93,20 @@ class SeveServer : public Node {
   void HandleRejoin(const RejoinBody& rejoin);
   /// Streams ζS to the rejoining client in SnapshotChunk slices; the
   /// final chunk carries the uncommitted queue tail (completed entries
-  /// substituted by blind writes of their stable results).
-  void HandleSnapshotRequest(const SnapshotRequestBody& request);
+  /// substituted by blind writes of their stable results). `src` is the
+  /// requesting node, so even an unregistered requester gets a NACK
+  /// instead of a silent drop.
+  void HandleSnapshotRequest(const SnapshotRequestBody& request, NodeId src);
+  /// Delta-sync handshake (DESIGN.md §15), step 1: estimate the set
+  /// difference from the client's strata estimator; zero diff short-
+  /// circuits to a tail-only delta, otherwise the server asks for an IBF
+  /// sized to the estimate.
+  void HandleSyncRequest(const SyncRequestBody& request, NodeId src);
+  /// Step 2: subtract the client's IBF from ours and peel. A clean decode
+  /// ships only the symmetric difference (plus the live tail for rejoin
+  /// mode); a failed peel falls back deterministically to the full
+  /// SnapshotChunk stream.
+  void HandleSyncIBF(const SyncIBFBody& body, NodeId src);
   void OnTick();  // Algorithm 7: validity decisions for the last tick
   void OnPushCycle();  // First Bound: proactive push every ω·RTT
 
@@ -135,6 +147,58 @@ class SeveServer : public Node {
   void UpdateClientProfile(ClientId client, const InterestProfile& profile);
   void SendCommitNotices();
 
+  /// One prepared catch-up message (snapshot or delta chunk) awaiting its
+  /// turn on the wire.
+  struct CatchupChunk {
+    std::shared_ptr<const MessageBody> body;
+    int64_t wire_size = 0;
+  };
+  /// An in-flight catch-up transfer in paced mode. While a slot appears
+  /// here its regular flushes are suppressed: the rejoining client drops
+  /// everything but catch-up traffic, so a mid-transfer push would lose
+  /// its sent-marked entries forever.
+  struct PendingCatchup {
+    ClientTable::Slot slot = 0;
+    NodeId dst = NodeId::Invalid();
+    ClientId client = ClientId::Invalid();
+    std::vector<CatchupChunk> chunks;
+    std::vector<SeqNum> tail_positions;
+    size_t next = 0;  // first unsent chunk
+  };
+
+  /// Captures the live uncommitted tail (completed entries substituted by
+  /// blind writes of their stable results) WITHOUT marking anything sent;
+  /// the included positions land in *positions so DispatchCatchup can
+  /// mark them at send time. Marking at request time (the seed behaviour)
+  /// loses the entries forever when the transfer is abandoned.
+  void CollectTail(std::vector<OrderedAction>* tail,
+                   std::vector<SeqNum>* positions);
+  /// Ships a prepared catch-up. snapshot_chunks_per_tick == 0 submits one
+  /// send closure (the seed's schedule, digest-identical); > 0 drips the
+  /// chunks out per tick while suppressing regular flushes for the slot.
+  void DispatchCatchup(ClientTable::Slot slot, ClientId client,
+                       std::vector<CatchupChunk> chunks,
+                       std::vector<SeqNum> tail_positions, Micros cpu);
+  /// Sends the next paced batch (at most snapshot_chunks_per_tick chunks
+  /// across all transfers) and re-arms the per-tick pacer while any
+  /// transfer is unfinished.
+  void PumpCatchups();
+  /// Quiesce aid: ships every queued catch-up chunk immediately.
+  void DrainCatchups();
+  bool InCatchup(ClientTable::Slot slot) const;
+  void MarkTailSent(const std::vector<SeqNum>& positions, ClientId client);
+  /// Deterministic refusal for requests from unknown clients — the seed
+  /// dropped them silently, stranding the requester forever.
+  void SendNack(NodeId dst, ClientId client, uint8_t mode);
+  /// Builds and dispatches the SyncDelta chunk stream for a decoded plan
+  /// (rejoin mode appends the live tail to the last chunk).
+  void SendDelta(ClientTable::Slot slot, ClientId client, uint8_t mode,
+                 const std::vector<ObjectId>& ship,
+                 const std::vector<ObjectId>& remove);
+  /// What the legacy full snapshot of the current ζS would put on the
+  /// wire — the bytes-saved baseline for sync.full_bytes_estimate.
+  int64_t FullSnapshotBytesEstimate() const;
+
   WorldState state_;  // ζS (committed prefix only)
   CostModel cost_;
   InterestModel interest_;
@@ -166,6 +230,9 @@ class SeveServer : public Node {
   std::vector<ClientTable::Slot> dirty_scratch_;  // flush working set
   std::vector<SeqNum> ready_scratch_;             // per-slot partition
   std::vector<SeqNum> closure_included_;          // AppendClosure walk
+  // Paced catch-up transfers (empty in burst mode and in steady state).
+  std::vector<PendingCatchup> catchups_;
+  bool catchup_timer_armed_ = false;
   int64_t flush_route_wall_ns_ = 0;
 };
 

@@ -6,6 +6,7 @@
 #include "action/blind_write.h"
 #include "net/channel.h"
 #include "shard/shard_router.h"
+#include "sync/reconcile.h"
 
 namespace seve {
 
@@ -29,6 +30,13 @@ SeveShardServer::SeveShardServer(NodeId node, EventLoop* loop, ShardId shard,
   for (const ObjectId id : map->objects_of(shard)) {
     const Object* obj = initial.Find(id);
     if (obj != nullptr) state_.Upsert(*obj);
+  }
+  // Full ownership view, seeded from the initial partition (before any
+  // migration). Kept fresh only for handoffs this shard participates in;
+  // the owner-map anti-entropy repairs the rest.
+  const ShardId shards = map->shard_count();
+  for (ShardId s = 0; s < shards; ++s) {
+    for (const ObjectId id : map->objects_of(s)) owner_view_[id] = s;
   }
   push_scratch_.reserve(64);
 }
@@ -59,7 +67,22 @@ void SeveShardServer::OnMessage(const Message& msg) {
       break;
     case kSnapshotRequest:
       HandleSnapshotRequest(
-          static_cast<const SnapshotRequestBody&>(*msg.body));
+          static_cast<const SnapshotRequestBody&>(*msg.body), msg.src);
+      break;
+    case kSyncRequest:
+      HandleSyncRequest(static_cast<const SyncRequestBody&>(*msg.body),
+                        msg.src);
+      break;
+    case kSyncIBFRequest:
+      HandleSyncIBFRequest(
+          static_cast<const SyncIBFRequestBody&>(*msg.body), msg.src);
+      break;
+    case kSyncIBF:
+      HandleSyncIBF(static_cast<const SyncIBFBody&>(*msg.body), msg.src);
+      break;
+    case kSyncDelta:
+      HandleSyncDelta(static_cast<const SyncDeltaBody&>(*msg.body),
+                      msg.src);
       break;
     case kShardPrepare:
       HandlePrepare(static_cast<const ShardPrepareBody&>(*msg.body));
@@ -634,7 +657,7 @@ void SeveShardServer::HandleRejoin(const RejoinBody& rejoin) {
 }
 
 void SeveShardServer::HandleSnapshotRequest(
-    const SnapshotRequestBody& request) {
+    const SnapshotRequestBody& request, NodeId src) {
   const ClientTable::Slot slot = clients_.SlotOf(request.client);
   if (slot == ClientTable::kNoSlot) {
     // Case B parking, same as HandleRejoin: the snapshot must reflect
@@ -642,10 +665,12 @@ void SeveShardServer::HandleSnapshotRequest(
     for (const ExpectedAdoption& expected : expected_adoptions_) {
       if (expected.client != request.client) continue;
       const SnapshotRequestBody parked = request;
-      loop()->After(options_.tick_us,
-                    [this, parked]() { HandleSnapshotRequest(parked); });
+      loop()->After(options_.tick_us, [this, parked, src]() {
+        HandleSnapshotRequest(parked, src);
+      });
       return;
     }
+    SendNack(src, request.client, kSyncModeRejoin);
     return;
   }
   const NodeId dst = clients_.node(slot);
@@ -674,37 +699,357 @@ void SeveShardServer::HandleSnapshotRequest(
     chunks.push_back(std::move(body));
   }
 
-  // The live tail. Completed entries ship as blind writes of their
-  // stable results; live single-shard entries ship as actions. Live
-  // ESCALATED entries are withheld: their closures need cross-shard
-  // values a partition snapshot cannot carry, so re-evaluating them here
-  // could diverge — their origins complete them through the normal path.
-  std::vector<OrderedAction>& tail = chunks.back()->tail;
+  // The live tail rides the final chunk; the included positions are
+  // marked sent only when the chunks actually enter the send path.
+  std::vector<SeqNum> tail_positions;
+  CollectTail(&chunks.back()->tail, &tail_positions);
+
+  stats_.snapshot_chunks += total;
+  const Micros cpu =
+      cost_.serialize_us * static_cast<Micros>(total) + cost_.install_us;
+  const ClientId client = request.client;
+  SubmitWork(cpu, [this, dst, client, chunks = std::move(chunks),
+                   tail_positions = std::move(tail_positions)]() {
+    MarkTailSent(tail_positions, client);
+    for (const auto& chunk : chunks) {
+      Send(dst, chunk->WireSize(), chunk);
+    }
+  });
+}
+
+void SeveShardServer::CollectTail(std::vector<OrderedAction>* tail,
+                                  std::vector<SeqNum>* positions) {
+  // Completed entries ship as blind writes of their stable results; live
+  // single-shard entries ship as actions. Live ESCALATED entries are
+  // withheld: their closures need cross-shard values a partition
+  // snapshot cannot carry, so re-evaluating them here could diverge —
+  // their origins complete them through the normal path.
+  const size_t span =
+      static_cast<size_t>(queue_.end_pos() - queue_.begin_pos());
+  tail->reserve(tail->size() + span);
+  positions->reserve(positions->size() + span);
   for (SeqNum pos = queue_.begin_pos(); pos < queue_.end_pos(); ++pos) {
     ServerQueue::Entry* entry = queue_.Find(pos);
     if (entry == nullptr || !entry->valid) continue;
     if (!entry->completed && escalated_.count(pos) != 0) continue;
-    entry->sent.insert(request.client);
+    positions->push_back(pos);
     if (entry->completed) {
-      tail.push_back(OrderedAction{
+      tail->push_back(OrderedAction{
           GlobalStampOf(pos),
           std::make_shared<BlindWrite>(ActionId(next_blind_id_++),
                                        loop()->now() / options_.tick_us,
                                        entry->stable_written)});
       ++stats_.blind_writes;
     } else {
-      tail.push_back(OrderedAction{GlobalStampOf(pos), entry->action});
+      tail->push_back(OrderedAction{GlobalStampOf(pos), entry->action});
     }
   }
+}
 
-  stats_.snapshot_chunks += total;
+void SeveShardServer::MarkTailSent(const std::vector<SeqNum>& positions,
+                                   ClientId client) {
+  for (const SeqNum pos : positions) {
+    // Positions committed (and GC'd) since capture no longer need a mark.
+    ServerQueue::Entry* entry = queue_.Find(pos);
+    if (entry != nullptr) entry->sent.insert(client);
+  }
+}
+
+void SeveShardServer::SendNack(NodeId dst, ClientId client, uint8_t mode) {
+  // Satellite fix over the seed: a catch-up request from an unknown
+  // client was dropped silently, stranding the requester in rejoining_
+  // forever. Only truly-unknown clients reach here — a reserved adoption
+  // parks the request instead (Case B).
+  ++stats_.sync.nacks;
+  auto body = std::make_shared<SyncNackBody>();
+  body->client = client;
+  body->mode = mode;
+  SubmitWork(cost_.serialize_us, [this, dst, body]() {
+    Send(dst, body->WireSize(), body);
+  });
+}
+
+int64_t SeveShardServer::FullSnapshotBytesEstimate() const {
+  const std::vector<ObjectId> ids = state_.ObjectIds();
+  int64_t object_bytes = 0;
+  for (const ObjectId id : ids) {
+    const Object* obj = state_.Find(id);
+    if (obj != nullptr) object_bytes += obj->WireSize();
+  }
+  const int64_t per_chunk =
+      std::max<int64_t>(1, options_.snapshot_chunk_objects);
+  const int64_t total = std::max<int64_t>(
+      1, (static_cast<int64_t>(ids.size()) + per_chunk - 1) / per_chunk);
+  // Mirror SnapshotChunkBody::WireSize's fixed per-chunk header.
+  return object_bytes + 32 * total;
+}
+
+void SeveShardServer::HandleSyncRequest(const SyncRequestBody& request,
+                                        NodeId src) {
+  sync::SyncSizing sizing;
+  sizing.min_cells = options_.sync_min_cells;
+  sizing.alpha = options_.sync_alpha;
+  sizing.max_cells = options_.sync_max_cells;
+
+  if (request.mode == kSyncModeOwnerMap) {
+    // Responder side of a shard-pair ring round: estimate the ownership
+    // divergence and ask the initiating shard for an IBF sized to it.
+    ++stats_.sync.sync_rounds;
+    stats_.sync.strata_bytes += request.strata.WireBytes();
+    const int64_t est =
+        sync::BuildStrata(OwnerSummary()).Estimate(request.strata);
+    if (est == 0) {
+      ++stats_.sync.ae_rounds;  // views already agree
+      return;
+    }
+    const int64_t cells = sync::CellsFor(est, sizing);
+    stats_.sync.ibf_cells += cells;
+    auto reply = std::make_shared<SyncIBFRequestBody>();
+    reply->client = request.client;
+    reply->mode = request.mode;
+    reply->cells = cells;
+    SubmitWork(cost_.serialize_us, [this, src, reply]() {
+      Send(src, reply->WireSize(), reply);
+    });
+    return;
+  }
+
+  const ClientTable::Slot slot = clients_.SlotOf(request.client);
+  if (slot == ClientTable::kNoSlot) {
+    if (request.mode == kSyncModeRejoin) {
+      // Case B parking, same as HandleSnapshotRequest: the delta must
+      // reflect the adopted record.
+      for (const ExpectedAdoption& expected : expected_adoptions_) {
+        if (expected.client != request.client) continue;
+        const SyncRequestBody parked = request;
+        loop()->After(options_.tick_us, [this, parked, src]() {
+          HandleSyncRequest(parked, src);
+        });
+        return;
+      }
+    }
+    SendNack(src, request.client, request.mode);
+    return;
+  }
+  ++stats_.sync.sync_rounds;
+  stats_.sync.strata_bytes += request.strata.WireBytes();
+
+  const int64_t est = sync::BuildStrata(state_).Estimate(request.strata);
+  if (est == 0) {
+    // Replica already matches the partition. A rejoin still needs the
+    // live tail and the end-of-catchup signal; an anti-entropy round is
+    // simply done.
+    if (request.mode == kSyncModeRejoin) {
+      ++stats_.sync.delta_rejoins;
+      stats_.sync.full_bytes_estimate += FullSnapshotBytesEstimate();
+      SendDelta(slot, request.client, request.mode, {}, {});
+    } else {
+      ++stats_.sync.ae_rounds;
+    }
+    return;
+  }
+  const int64_t cells = sync::CellsFor(est, sizing);
+  stats_.sync.ibf_cells += cells;
+  auto reply = std::make_shared<SyncIBFRequestBody>();
+  reply->client = request.client;
+  reply->mode = request.mode;
+  reply->cells = cells;
+  const NodeId dst = clients_.node(slot);
+  SubmitWork(cost_.serialize_us, [this, dst, reply]() {
+    Send(dst, reply->WireSize(), reply);
+  });
+}
+
+void SeveShardServer::HandleSyncIBFRequest(const SyncIBFRequestBody& request,
+                                           NodeId src) {
+  // Initiator side of an owner-map round (client-mode IBF requests are
+  // answered by clients, never by shards).
+  if (request.mode != kSyncModeOwnerMap) return;
+  auto reply = std::make_shared<SyncIBFBody>();
+  reply->client = request.client;
+  reply->mode = request.mode;
+  reply->ibf = sync::BuildIbf(OwnerSummary(), request.cells);
+  SubmitWork(cost_.serialize_us + cost_.install_us, [this, src, reply]() {
+    Send(src, reply->WireSize(), reply);
+  });
+}
+
+void SeveShardServer::HandleSyncIBF(const SyncIBFBody& body, NodeId src) {
+  if (body.mode == kSyncModeOwnerMap) {
+    const sync::KeyDiffPlan plan =
+        sync::PlanKeyDiff(OwnerSummary(), body.ibf);
+    if (!plan.ok) {
+      // A failed round just waits for the next period.
+      ++stats_.sync.decode_failures;
+      return;
+    }
+    std::vector<ObjectId> ids;
+    ids.reserve(plan.keys.size());
+    for (const uint64_t key : plan.keys) ids.push_back(ObjectId(key));
+    stats_.sync.owner_repairs += RepairOwners(ids);
+    ++stats_.sync.ae_rounds;
+    if (ids.empty()) return;
+    // Ship the divergent ids back so the initiator repairs its side from
+    // the authoritative map too.
+    auto reply = std::make_shared<SyncDeltaBody>();
+    reply->client = body.client;
+    reply->mode = body.mode;
+    reply->total = 1;
+    reply->removed = std::move(ids);
+    SubmitWork(cost_.serialize_us, [this, src, reply]() {
+      Send(src, reply->WireSize(), reply);
+    });
+    return;
+  }
+  const ClientTable::Slot slot = clients_.SlotOf(body.client);
+  if (slot == ClientTable::kNoSlot) {
+    SendNack(src, body.client, body.mode);
+    return;
+  }
+  const sync::DeltaPlan plan = sync::PlanDelta(state_, body.ibf);
+  if (!plan.ok) {
+    ++stats_.sync.decode_failures;
+    if (body.mode == kSyncModeRejoin) {
+      // Deterministic fallback: answer as if the client had asked for
+      // the full partition snapshot.
+      ++stats_.sync.fallbacks;
+      SnapshotRequestBody full;
+      full.client = body.client;
+      HandleSnapshotRequest(full, src);
+    }
+    return;
+  }
+  if (body.mode == kSyncModeRejoin) {
+    ++stats_.sync.delta_rejoins;
+    stats_.sync.full_bytes_estimate += FullSnapshotBytesEstimate();
+  } else {
+    ++stats_.sync.ae_rounds;
+  }
+  SendDelta(slot, body.client, body.mode, plan.ship, plan.remove);
+}
+
+void SeveShardServer::HandleSyncDelta(const SyncDeltaBody& delta,
+                                      NodeId src) {
+  (void)src;
+  // Closing leg of an owner-map round: the responder's divergent-id
+  // list; repair our entries from the authoritative shared map.
+  if (delta.mode != kSyncModeOwnerMap) return;
+  SubmitWork(cost_.install_us, []() {});
+  stats_.sync.owner_repairs += RepairOwners(delta.removed);
+}
+
+void SeveShardServer::SendDelta(ClientTable::Slot slot, ClientId client,
+                                uint8_t mode,
+                                const std::vector<ObjectId>& ship,
+                                const std::vector<ObjectId>& remove) {
+  const SeqNum snapshot_pos = GlobalStampOf(queue_.begin_pos() - 1);
+  const int64_t per_chunk =
+      std::max<int64_t>(1, options_.snapshot_chunk_objects);
+  const int64_t total = std::max<int64_t>(
+      1, (static_cast<int64_t>(ship.size()) + per_chunk - 1) / per_chunk);
+
+  std::vector<std::shared_ptr<SyncDeltaBody>> chunks;
+  chunks.reserve(static_cast<size_t>(total));
+  for (int64_t c = 0; c < total; ++c) {
+    auto body = std::make_shared<SyncDeltaBody>();
+    body->client = client;
+    body->mode = mode;
+    body->snapshot_pos = snapshot_pos;
+    body->chunk = c;
+    body->total = total;
+    const size_t begin = static_cast<size_t>(c * per_chunk);
+    const size_t end = std::min(ship.size(),
+                                static_cast<size_t>((c + 1) * per_chunk));
+    body->objects.reserve(end - begin);
+    for (size_t i = begin; i < end; ++i) {
+      const Object* obj = state_.Find(ship[i]);
+      if (obj != nullptr) body->objects.push_back(*obj);
+    }
+    chunks.push_back(std::move(body));
+  }
+  chunks.back()->removed = remove;
+
+  std::vector<SeqNum> tail_positions;
+  if (mode == kSyncModeRejoin) {
+    CollectTail(&chunks.back()->tail, &tail_positions);
+  }
+  int64_t delta_bytes = 0;
+  for (const auto& c : chunks) delta_bytes += c->WireSize();
+  stats_.sync.objects_shipped += static_cast<int64_t>(ship.size());
+  stats_.sync.objects_removed += static_cast<int64_t>(remove.size());
+  stats_.sync.delta_bytes += delta_bytes;
+
+  const NodeId dst = clients_.node(slot);
   const Micros cpu =
       cost_.serialize_us * static_cast<Micros>(total) + cost_.install_us;
-  SubmitWork(cpu, [this, dst, chunks = std::move(chunks)]() {
-    for (const auto& chunk : chunks) {
-      Send(dst, chunk->WireSize(), chunk);
-    }
+  SubmitWork(cpu, [this, dst, client, chunks = std::move(chunks),
+                   tail_positions = std::move(tail_positions)]() {
+    MarkTailSent(tail_positions, client);
+    for (const auto& c : chunks) Send(dst, c->WireSize(), c);
   });
+}
+
+sync::Summary SeveShardServer::OwnerSummary() const {
+  sync::Summary out;
+  out.reserve(owner_view_.size());
+  owner_view_.ForEach([&out](const ObjectId& id, const ShardId& owner) {
+    // ver = owner + 1 keeps a believed shard-0 owner distinct from the
+    // all-zero absent element.
+    out.push_back(sync::SummaryEntry{
+        id.value(), static_cast<uint64_t>(owner) + 1});
+  });
+  return out;
+}
+
+int64_t SeveShardServer::RepairOwners(const std::vector<ObjectId>& ids) {
+  int64_t changed = 0;
+  for (const ObjectId id : ids) {
+    const ShardId truth = map_->ShardOfObject(id);
+    ShardId* mine = owner_view_.Find(id);
+    if (mine == nullptr) {
+      owner_view_[id] = truth;
+      ++changed;
+    } else if (*mine != truth) {
+      *mine = truth;
+      ++changed;
+    }
+  }
+  return changed;
+}
+
+void SeveShardServer::OwnerAeTick() {
+  if (peer_nodes_.size() < 2) return;
+  const ShardId succ = static_cast<ShardId>(
+      (shard_ + 1) % static_cast<ShardId>(peer_nodes_.size()));
+  auto body = std::make_shared<SyncRequestBody>();
+  body->mode = kSyncModeOwnerMap;
+  body->strata = sync::BuildStrata(OwnerSummary());
+  const NodeId dst = peer_nodes_[static_cast<size_t>(succ)];
+  SubmitWork(cost_.serialize_us, [this, dst, body]() {
+    Send(dst, body->WireSize(), body);
+  });
+}
+
+void SeveShardServer::StartAntiEntropy() {
+  if (options_.shard_anti_entropy_period_us <= 0) return;
+  if (peer_nodes_.size() < 2) return;
+  ae_running_ = true;
+  loop()->After(options_.shard_anti_entropy_period_us, [this]() {
+    if (!ae_running_) return;
+    OwnerAeTick();
+    StartAntiEntropy();
+  });
+}
+
+void SeveShardServer::StopAntiEntropy() { ae_running_ = false; }
+
+int64_t SeveShardServer::stale_owner_entries() const {
+  int64_t stale = 0;
+  owner_view_.ForEach([this, &stale](const ObjectId& id,
+                                     const ShardId& owner) {
+    if (map_->ShardOfObject(id) != owner) ++stale;
+  });
+  return stale;
 }
 
 // ---- Ownership migration (DESIGN.md §14) ----------------------------------
@@ -864,6 +1209,7 @@ void SeveShardServer::CommitMigration(ObjectId object) {
   // the owner, routing follows from the next lookup on.
   state_.Remove(object);
   map_->MigrateOwner(object, out.dest);
+  owner_view_[object] = out.dest;  // a participant's view stays fresh
   avatar_client_.Erase(object);
   ++counters_.migrations_out;
 
@@ -887,6 +1233,7 @@ void SeveShardServer::HandleMigrateCommit(const MigrateCommitBody& commit) {
   // (its "result" was computed by the source's installs, not an
   // evaluation of ours).
   FenceStampsAbove(commit.fence);
+  owner_view_[commit.object] = shard_;  // a participant's view stays fresh
   auto blind = std::make_shared<BlindWrite>(
       ActionId(next_blind_id_++), loop()->now() / options_.tick_us,
       commit.value);

@@ -19,6 +19,7 @@
 #include "shard/shard_msg.h"
 #include "shard/shard_stats.h"
 #include "store/world_state.h"
+#include "sync/ibf.h"
 #include "world/cost_model.h"
 
 namespace seve {
@@ -95,6 +96,18 @@ class SeveShardServer : public Node {
   /// Offered-but-not-committed inbound handoffs (destination side).
   size_t pending_adoptions() const { return expected_adoptions_.size(); }
 
+  /// Arms the periodic shard-pair anti-entropy exchange: every
+  /// options.shard_anti_entropy_period_us this shard reconciles its local
+  /// ownership view against its ring successor (DESIGN.md §15). Runs
+  /// until StopAntiEntropy(); call after RegisterPeer wiring is complete.
+  void StartAntiEntropy();
+  void StopAntiEntropy();
+
+  /// Ownership-view entries that disagree with the authoritative shared
+  /// map — the third-party staleness migration leaves behind, and what
+  /// the owner-map anti-entropy repairs. Test/diagnostic accessor.
+  int64_t stale_owner_entries() const;
+
   /// Peak uncommitted-queue depth since the last call (the rebalancer's
   /// load signal); resets the window to the current depth.
   int64_t TakeWindowQueuePeak() {
@@ -153,7 +166,22 @@ class SeveShardServer : public Node {
   void HandleSubmit(ClientId from, ActionPtr action, const ObjectSet& resync);
   void HandleCompletion(const CompletionBody& completion);
   void HandleRejoin(const RejoinBody& rejoin);
-  void HandleSnapshotRequest(const SnapshotRequestBody& request);
+  /// `src` is the requesting node: a request from a truly-unknown client
+  /// gets a NACK instead of a silent drop, while a client with a
+  /// reserved adoption is parked exactly like HandleRejoin (Case B).
+  void HandleSnapshotRequest(const SnapshotRequestBody& request, NodeId src);
+  /// ---- Delta sync + anti-entropy (DESIGN.md §15) ---------------------
+  /// Rejoin/AE handshakes from clients homed here run over the partition
+  /// state; kSyncModeOwnerMap rounds from peer shards run over the local
+  /// ownership view (responder side of the ring exchange).
+  void HandleSyncRequest(const SyncRequestBody& request, NodeId src);
+  /// Initiator side of an owner-map round: the responder asked for an
+  /// IBF of our ownership view at its estimated difference size.
+  void HandleSyncIBFRequest(const SyncIBFRequestBody& request, NodeId src);
+  void HandleSyncIBF(const SyncIBFBody& body, NodeId src);
+  /// Owner-map repair list from the responder: fix our stale entries
+  /// from the authoritative shared map.
+  void HandleSyncDelta(const SyncDeltaBody& delta, NodeId src);
   void HandlePrepare(const ShardPrepareBody& prepare);
   void HandleToken(const ShardTokenBody& token);
   void HandlePeerCommit(const ShardCommitBody& commit);
@@ -236,6 +264,36 @@ class SeveShardServer : public Node {
   /// matches any (aborts don't know which token the peer issued).
   void RetireToken(SeqNum stamp, ShardId home, SeqNum token_seq);
 
+  /// ---- Delta sync helpers (DESIGN.md §15) ----------------------------
+  /// Captures the live tail — global stamps, completed entries
+  /// substituted by blind writes, live escalated entries withheld —
+  /// WITHOUT marking anything sent; the positions land in *positions so
+  /// the send closure can mark them when the final chunk actually ships
+  /// (marking at request time loses them when the transfer is
+  /// abandoned).
+  void CollectTail(std::vector<OrderedAction>* tail,
+                   std::vector<SeqNum>* positions);
+  void MarkTailSent(const std::vector<SeqNum>& positions, ClientId client);
+  /// Deterministic refusal for catch-up requests from unknown clients.
+  void SendNack(NodeId dst, ClientId client, uint8_t mode);
+  /// Ships the decoded symmetric difference of the partition to a
+  /// client; rejoin mode appends the live tail to the last chunk.
+  void SendDelta(ClientTable::Slot slot, ClientId client, uint8_t mode,
+                 const std::vector<ObjectId>& ship,
+                 const std::vector<ObjectId>& remove);
+  /// What the legacy partition snapshot would put on the wire — the
+  /// bytes-saved baseline for sync.full_bytes_estimate.
+  int64_t FullSnapshotBytesEstimate() const;
+  /// The ownership view as reconciliation elements: key = object id,
+  /// ver = believed owner. XOR-folded downstream, so FlatMap iteration
+  /// order is unobservable.
+  sync::Summary OwnerSummary() const;
+  /// Repairs owner_view_ entries for `ids` from the authoritative shared
+  /// map; returns how many actually changed (sync.owner_repairs).
+  int64_t RepairOwners(const std::vector<ObjectId>& ids);
+  /// One ring round: send our ownership strata to the successor shard.
+  void OwnerAeTick();
+
   ShardId shard_;
   ShardMap* map_;     // shared, owned by the runner; written at commit
   WorldState state_;  // this shard's partition of ζS
@@ -278,6 +336,13 @@ class SeveShardServer : public Node {
   FlatMap<ObjectId, ClientId> avatar_client_;
   // Peak uncommitted depth since the last rebalancer sample.
   int64_t window_queue_peak_ = 0;
+  // ---- Owner-map anti-entropy (DESIGN.md §15) ------------------------
+  // Local replica of the object -> owning-shard map, updated only by
+  // migrations THIS shard participates in; a third-party handoff leaves
+  // it stale until a ring anti-entropy round repairs it from the shared
+  // authoritative map. What a real deployment would route by.
+  FlatMap<ObjectId, ShardId> owner_view_;
+  bool ae_running_ = false;
   // Escalated-push scratch, (slot, stamped blind write); filled by
   // installs inside one Complete burst, drained by FlushEscalatedPushes.
   std::vector<std::pair<ClientTable::Slot, OrderedAction>> push_scratch_;

@@ -60,6 +60,29 @@ std::string RunReport::Summary() const {
                   static_cast<long long>(fan.route_alloc));
     out += buf;
   }
+  SyncCounters sync = server_stats.sync;  // retries/repairs are client-side
+  sync.Merge(client_stats.sync);
+  if (sync.sync_rounds != 0 || sync.nacks != 0 ||
+      sync.snapshot_retries != 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "\n  sync: rounds=%lld delta_rejoins=%lld fallbacks=%lld "
+                  "shipped=%lld removed=%lld delta_kb=%.1f full_kb=%.1f "
+                  "ae=%lld repaired=%lld owner_repairs=%lld nacks=%lld "
+                  "retries=%lld",
+                  static_cast<long long>(sync.sync_rounds),
+                  static_cast<long long>(sync.delta_rejoins),
+                  static_cast<long long>(sync.fallbacks),
+                  static_cast<long long>(sync.objects_shipped),
+                  static_cast<long long>(sync.objects_removed),
+                  static_cast<double>(sync.delta_bytes) / 1024.0,
+                  static_cast<double>(sync.full_bytes_estimate) / 1024.0,
+                  static_cast<long long>(sync.ae_rounds),
+                  static_cast<long long>(sync.ae_objects_repaired),
+                  static_cast<long long>(sync.owner_repairs),
+                  static_cast<long long>(sync.nacks),
+                  static_cast<long long>(sync.snapshot_retries));
+    out += buf;
+  }
   if (!shard_counters.empty()) {
     ShardCounters total;
     for (const ShardCounters& s : shard_counters) total.Merge(s);

@@ -194,14 +194,20 @@ RunReport RunScenario(Architecture arch, const Scenario& scenario_in) {
         seve_clients.push_back(std::move(client));
       }
       seve_server->Start();
+      // Background reconciliation (no-op unless delta_sync and a period
+      // are configured).
+      for (auto& client : seve_clients) client->StartAntiEntropy();
       authority = &seve_server->committed_digests();
       server_node = seve_server.get();
       server_stats = &seve_server->stats();
       observer = [&srv = *seve_server]() -> const WorldState& {
         return srv.authoritative();
       };
-      stop_and_flush = [&srv = *seve_server]() {
+      stop_and_flush = [&srv = *seve_server, &clients = seve_clients]() {
         srv.Stop();
+        // Disarm the self-rescheduling sync timers or the loop never
+        // drains.
+        for (auto& client : clients) client->StopSync();
         srv.FlushAll();
       };
       break;
@@ -470,8 +476,20 @@ RunReport RunScenario(Architecture arch, const Scenario& scenario_in) {
             &raw->eval_digests()};
         seve_clients.push_back(std::move(client));
       }
+      // Background reconciliation: client<->home-shard replica repair and
+      // the shard-pair ownership-view ring (both no-ops unless their
+      // periods are configured).
+      for (auto& client : seve_clients) client->StartAntiEntropy();
+      for (auto& server : shard_servers) server->StartAntiEntropy();
       server_node = shard_servers.front().get();
       server_stats = &shard_servers.front()->stats();
+      stop_and_flush = [&servers = shard_servers,
+                        &clients = seve_clients]() {
+        // Disarm the self-rescheduling sync timers or the loop never
+        // drains.
+        for (auto& server : servers) server->StopAntiEntropy();
+        for (auto& client : clients) client->StopSync();
+      };
       observer = [&view = sharded_view,
                   &servers = shard_servers]() -> const WorldState& {
         view = WorldState{};

@@ -57,8 +57,27 @@ class Fnv {
     I64(s.snapshot_chunks);
     Channel(s.channel);
     Fanout(s.fanout);
+    Sync(s.sync);
     Hist(s.closure_size);
     Hist(s.response_time_us);
+  }
+  void Sync(const SyncCounters& c) {
+    I64(c.sync_rounds);
+    I64(c.strata_bytes);
+    I64(c.ibf_cells);
+    I64(c.decode_failures);
+    I64(c.fallbacks);
+    I64(c.delta_rejoins);
+    I64(c.objects_shipped);
+    I64(c.objects_removed);
+    I64(c.delta_bytes);
+    I64(c.full_bytes_estimate);
+    I64(c.ae_rounds);
+    I64(c.ae_objects_repaired);
+    I64(c.owner_repairs);
+    I64(c.nacks);
+    I64(c.snapshot_retries);
+    I64(c.max_chunks_per_tick);
   }
   void Fanout(const FanoutCounters& c) {
     I64(c.push_batches);

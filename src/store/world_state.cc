@@ -16,8 +16,12 @@ void WorldState::FlushPending() const {
   if (!pending_.valid()) return;
   const Object* obj = objects_.Find(pending_);
   if (obj != nullptr) {
-    digest_acc_ ^= obj->Hash();
+    const uint64_t hash = obj->Hash();
+    digest_acc_ ^= hash;
     ++digest_folds_;
+    hashes_[pending_] = hash;
+  } else {
+    hashes_.Erase(pending_);
   }
   pending_ = ObjectId::Invalid();
 }
@@ -26,7 +30,10 @@ void WorldState::Touch(ObjectId id, const Object* existing) {
   if (pending_ == id) return;  // hash already folded out
   FlushPending();
   if (existing != nullptr) {
-    digest_acc_ ^= existing->Hash();
+    // The folded-in value was recorded at flush time; XOR the cached
+    // copy back out instead of rehashing the attribute tuple.
+    const uint64_t* cached = hashes_.Find(id);
+    digest_acc_ ^= cached != nullptr ? *cached : existing->Hash();
     ++digest_folds_;
   }
   pending_ = id;
@@ -35,10 +42,13 @@ void WorldState::Touch(ObjectId id, const Object* existing) {
 void WorldState::Forget(ObjectId id, const Object& existing) {
   if (pending_ == id) {
     pending_ = ObjectId::Invalid();  // hash was never folded in
+    hashes_.Erase(id);
     return;
   }
-  digest_acc_ ^= existing.Hash();
+  const uint64_t* cached = hashes_.Find(id);
+  digest_acc_ ^= cached != nullptr ? *cached : existing.Hash();
   ++digest_folds_;
+  hashes_.Erase(id);
 }
 
 Status WorldState::Insert(Object object) {

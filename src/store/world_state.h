@@ -99,6 +99,21 @@ class WorldState {
   /// All object ids, ascending (deterministic iteration for tests).
   std::vector<ObjectId> ObjectIds() const;
 
+  /// Calls fn(id, content_hash) for every object. The per-object hashes
+  /// are maintained incrementally alongside the digest fold (stored when
+  /// a pending object is flushed, erased on removal), so a summary costs
+  /// an iteration, not a rehash of the world. Iteration is in hash-table
+  /// order; callers needing a canonical order must sort — the sync layer
+  /// XOR-folds entries, so order never reaches the wire.
+  template <typename Fn>
+  void ForEachSummary(Fn&& fn) const {
+    FlushPending();
+    objects_.ForEach([this, &fn](ObjectId id, const Object& obj) {
+      const uint64_t* cached = hashes_.Find(id);
+      fn(id, cached != nullptr ? *cached : obj.Hash());
+    });
+  }
+
   std::string ToString() const;
 
  private:
@@ -116,6 +131,10 @@ class WorldState {
   uint64_t version_ = 0;
   // XOR-fold of per-object hashes for every object except pending_.
   mutable uint64_t digest_acc_ = kDigestSeed;
+  // Folded per-object hashes, mirrored from the digest fold: an entry is
+  // exact for every object except pending_ (refreshed on flush). Feeds
+  // ForEachSummary without rehashing attribute tuples.
+  mutable FlatMap<ObjectId, uint64_t> hashes_;
   mutable ObjectId pending_ = ObjectId::Invalid();
   mutable uint64_t digest_folds_ = 0;
   mutable uint64_t digest_rescans_ = 0;

@@ -1,0 +1,115 @@
+#include "sync/ibf.h"
+
+#include <algorithm>
+
+namespace seve::sync {
+
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t ElementCheck(uint64_t key, uint64_t ver) {
+  return Mix64(Mix64(key) ^ (ver * 0xff51afd7ed558ccdULL));
+}
+
+Ibf::Ibf(int64_t cells, uint64_t seed) : seed_(seed) {
+  cells_.resize(cells < 1 ? 1 : static_cast<size_t>(cells));
+}
+
+void Ibf::InsertAll(const Summary& summary) {
+  for (const SummaryEntry& e : summary) Insert(e.key, e.ver);
+}
+
+/// k distinct positions derived from the element checksum. Placement must
+/// hash the (key, ver) pair jointly: keying on the id alone would park the
+/// old and new version of a changed object in the same cells, where they
+/// cancel each other's counts and become unpeelable.
+void Ibf::Positions(uint64_t check, size_t out[kHashes]) const {
+  const size_t n = cells_.size();
+  uint64_t x = check ^ seed_;
+  for (int i = 0; i < kHashes; ++i) {
+    x = Mix64(x + static_cast<uint64_t>(i) * uint64_t{0xda942042e4dd58b5});
+    size_t p = static_cast<size_t>(x % n);
+    if (n >= static_cast<size_t>(kHashes)) {
+      // Force distinct positions (linear probe past collisions).
+      for (int j = 0; j < i;) {
+        if (out[j] == p) {
+          p = (p + 1) % n;
+          j = 0;
+        } else {
+          ++j;
+        }
+      }
+    }
+    out[i] = p;
+  }
+}
+
+void Ibf::Update(uint64_t key, uint64_t ver, int64_t dir, size_t* positions) {
+  const uint64_t check = ElementCheck(key, ver);
+  size_t pos[kHashes];
+  Positions(check, pos);
+  for (int i = 0; i < kHashes; ++i) {
+    IbfCell& c = cells_[pos[i]];
+    c.count += dir;
+    c.key_sum ^= key;
+    c.ver_sum ^= ver;
+    c.chk_sum ^= check;
+    if (positions != nullptr) positions[i] = pos[i];
+  }
+}
+
+bool Ibf::Subtract(const Ibf& other) {
+  if (other.seed_ != seed_ || other.cells_.size() != cells_.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < cells_.size(); ++i) {
+    cells_[i].count -= other.cells_[i].count;
+    cells_[i].key_sum ^= other.cells_[i].key_sum;
+    cells_[i].ver_sum ^= other.cells_[i].ver_sum;
+    cells_[i].chk_sum ^= other.cells_[i].chk_sum;
+  }
+  return true;
+}
+
+IbfDiff Ibf::Decode() const {
+  IbfDiff out;
+  Ibf work = *this;
+  std::vector<size_t> queue;
+  queue.reserve(work.cells_.size());
+  for (size_t i = work.cells_.size(); i > 0; --i) queue.push_back(i - 1);
+  // Hard budget: a malformed operand (the remote filter came off the wire)
+  // could otherwise make fake-pure cells oscillate forever.
+  size_t budget = 16 * work.cells_.size() + 64;
+  while (!queue.empty() && budget-- > 0) {
+    const size_t i = queue.back();
+    queue.pop_back();
+    const IbfCell& c = work.cells_[i];
+    if (c.count != 1 && c.count != -1) continue;
+    if (c.chk_sum != ElementCheck(c.key_sum, c.ver_sum)) continue;
+    const uint64_t key = c.key_sum;
+    const uint64_t ver = c.ver_sum;
+    const int64_t dir = c.count;
+    (dir > 0 ? out.local : out.remote).push_back({key, ver});
+    size_t touched[kHashes];
+    work.Update(key, ver, -dir, touched);
+    for (size_t t : touched) queue.push_back(t);
+  }
+  out.ok = std::all_of(work.cells_.begin(), work.cells_.end(),
+                       [](const IbfCell& c) { return c == IbfCell{}; });
+  if (!out.ok) {
+    out.local.clear();
+    out.remote.clear();
+  }
+  return out;
+}
+
+int64_t Ibf::WireBytes() const {
+  // seed + per-cell {count zigzag, key varint, ver fixed64, chk fixed64}.
+  return 8 + cells() * 22;
+}
+
+}  // namespace seve::sync

@@ -1,0 +1,96 @@
+#ifndef SEVE_SYNC_IBF_H_
+#define SEVE_SYNC_IBF_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace seve::sync {
+
+/// One reconciliation element: a 64-bit key (the object id value) paired
+/// with a 64-bit version (the object's content hash). Replicas that hold
+/// different versions of the same object contribute TWO elements to the
+/// symmetric difference (one per version); an object present on only one
+/// side contributes one.
+struct SummaryEntry {
+  uint64_t key = 0;
+  uint64_t ver = 0;
+  friend bool operator==(const SummaryEntry&, const SummaryEntry&) = default;
+};
+using Summary = std::vector<SummaryEntry>;
+
+/// SplitMix64 finalizer — the mixing primitive for cell placement, cell
+/// checksums and strata bucketing. Both ends of the wire must agree
+/// bit-for-bit, so the constants are fixed here and nowhere else.
+uint64_t Mix64(uint64_t x);
+
+/// Element checksum folded into every cell the element occupies. A cell
+/// is "pure" (holds exactly one element) iff count == ±1 and chk_sum
+/// equals ElementCheck(key_sum, ver_sum).
+uint64_t ElementCheck(uint64_t key, uint64_t ver);
+
+struct IbfCell {
+  int64_t count = 0;
+  uint64_t key_sum = 0;  // XOR of element keys
+  uint64_t ver_sum = 0;  // XOR of element versions
+  uint64_t chk_sum = 0;  // XOR of ElementCheck(key, ver)
+  friend bool operator==(const IbfCell&, const IbfCell&) = default;
+};
+
+/// Decoded symmetric difference, split by side: `local` holds elements
+/// present only in the filter Subtract was called on, `remote` those
+/// present only in the subtracted operand.
+struct IbfDiff {
+  bool ok = false;  // peeling emptied the filter completely
+  Summary local;
+  Summary remote;
+};
+
+/// Invertible Bloom filter over (key, ver) elements with k=3 distinct
+/// cell positions per element. XOR sums make insertion order irrelevant,
+/// so replicas holding the same set build byte-identical filters no
+/// matter how their hash tables iterate.
+class Ibf {
+ public:
+  static constexpr int kHashes = 3;
+  static constexpr uint64_t kDefaultSeed = 0x53564531'42463166ULL;
+
+  Ibf() = default;
+  explicit Ibf(int64_t cells, uint64_t seed = kDefaultSeed);
+
+  int64_t cells() const { return static_cast<int64_t>(cells_.size()); }
+  uint64_t seed() const { return seed_; }
+  const std::vector<IbfCell>& raw_cells() const { return cells_; }
+  /// Wire decoders rebuild filters cell by cell.
+  std::vector<IbfCell>& raw_cells() { return cells_; }
+  void set_seed(uint64_t seed) { seed_ = seed; }
+
+  void Insert(uint64_t key, uint64_t ver) { Update(key, ver, +1, nullptr); }
+  void InsertAll(const Summary& summary);
+
+  /// Cellwise difference: this -= other. Requires identical cell count
+  /// and seed; returns false (leaving this unchanged) otherwise.
+  bool Subtract(const Ibf& other);
+
+  /// Peels the filter (non-destructively) into per-side element lists.
+  /// Deterministic: the peel order depends only on the cell contents.
+  IbfDiff Decode() const;
+
+  /// Declared wire-size estimate for traffic accounting.
+  int64_t WireBytes() const;
+
+  friend bool operator==(const Ibf& a, const Ibf& b) {
+    return a.seed_ == b.seed_ && a.cells_ == b.cells_;
+  }
+
+ private:
+  void Update(uint64_t key, uint64_t ver, int64_t dir, size_t* positions);
+  void Positions(uint64_t check, size_t out[kHashes]) const;
+
+  uint64_t seed_ = kDefaultSeed;
+  std::vector<IbfCell> cells_;
+};
+
+}  // namespace seve::sync
+
+#endif  // SEVE_SYNC_IBF_H_

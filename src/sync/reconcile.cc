@@ -1,0 +1,88 @@
+#include "sync/reconcile.h"
+
+#include <algorithm>
+
+namespace seve::sync {
+
+int64_t CellsFor(int64_t estimate, const SyncSizing& sizing) {
+  int64_t cells = static_cast<int64_t>(
+      sizing.alpha * static_cast<double>(estimate < 0 ? 0 : estimate));
+  if (cells < sizing.min_cells) cells = sizing.min_cells;
+  if (sizing.max_cells > 0 && cells > sizing.max_cells) {
+    cells = sizing.max_cells;
+  }
+  return cells;
+}
+
+Summary SummaryOf(const WorldState& state) {
+  Summary out;
+  out.reserve(state.size());
+  state.ForEachSummary([&out](ObjectId id, uint64_t hash) {
+    out.push_back({id.value(), hash});
+  });
+  return out;
+}
+
+StrataEstimator BuildStrata(const Summary& summary) {
+  StrataEstimator est;
+  est.InsertAll(summary);
+  return est;
+}
+
+StrataEstimator BuildStrata(const WorldState& state) {
+  return BuildStrata(SummaryOf(state));
+}
+
+Ibf BuildIbf(const Summary& summary, int64_t cells) {
+  Ibf ibf(cells);
+  ibf.InsertAll(summary);
+  return ibf;
+}
+
+Ibf BuildIbf(const WorldState& state, int64_t cells) {
+  return BuildIbf(SummaryOf(state), cells);
+}
+
+DeltaPlan PlanDelta(const WorldState& local, const Ibf& remote) {
+  DeltaPlan plan;
+  Ibf mine = BuildIbf(local, remote.cells());
+  if (!mine.Subtract(remote)) return plan;
+  const IbfDiff diff = mine.Decode();
+  if (!diff.ok) return plan;
+  plan.ok = true;
+  plan.ship.reserve(diff.local.size());
+  for (const SummaryEntry& e : diff.local) plan.ship.push_back(ObjectId(e.key));
+  std::sort(plan.ship.begin(), plan.ship.end());
+  plan.ship.erase(std::unique(plan.ship.begin(), plan.ship.end()),
+                  plan.ship.end());
+  // A remote-only element whose key still exists locally is the stale
+  // half of a changed object — already covered by ship. Only keys gone
+  // from the local state become removals.
+  plan.remove.reserve(diff.remote.size());
+  for (const SummaryEntry& e : diff.remote) {
+    const ObjectId id(e.key);
+    if (!local.Contains(id)) plan.remove.push_back(id);
+  }
+  std::sort(plan.remove.begin(), plan.remove.end());
+  plan.remove.erase(std::unique(plan.remove.begin(), plan.remove.end()),
+                    plan.remove.end());
+  return plan;
+}
+
+KeyDiffPlan PlanKeyDiff(const Summary& local, const Ibf& remote) {
+  KeyDiffPlan plan;
+  Ibf mine = BuildIbf(local, remote.cells());
+  if (!mine.Subtract(remote)) return plan;
+  const IbfDiff diff = mine.Decode();
+  if (!diff.ok) return plan;
+  plan.ok = true;
+  plan.keys.reserve(diff.local.size() + diff.remote.size());
+  for (const SummaryEntry& e : diff.local) plan.keys.push_back(e.key);
+  for (const SummaryEntry& e : diff.remote) plan.keys.push_back(e.key);
+  std::sort(plan.keys.begin(), plan.keys.end());
+  plan.keys.erase(std::unique(plan.keys.begin(), plan.keys.end()),
+                  plan.keys.end());
+  return plan;
+}
+
+}  // namespace seve::sync

@@ -1,0 +1,65 @@
+#include "sync/strata.h"
+
+namespace seve::sync {
+namespace {
+
+int StratumOf(uint64_t key, uint64_t ver) {
+  const uint64_t h = Mix64(ElementCheck(key, ver) ^ StrataEstimator::kStrataSalt);
+  if (h == 0) return StrataEstimator::kStrata - 1;
+  int tz = 0;
+  uint64_t x = h;
+  while ((x & 1) == 0) {
+    ++tz;
+    x >>= 1;
+  }
+  return tz >= StrataEstimator::kStrata ? StrataEstimator::kStrata - 1 : tz;
+}
+
+}  // namespace
+
+StrataEstimator::StrataEstimator() {
+  strata_.reserve(kStrata);
+  for (int i = 0; i < kStrata; ++i) {
+    strata_.emplace_back(kCellsPerStratum,
+                         Mix64(Ibf::kDefaultSeed + static_cast<uint64_t>(i)));
+  }
+}
+
+void StrataEstimator::Insert(uint64_t key, uint64_t ver) {
+  strata_[static_cast<size_t>(StratumOf(key, ver))].Insert(key, ver);
+}
+
+void StrataEstimator::InsertAll(const Summary& summary) {
+  for (const SummaryEntry& e : summary) Insert(e.key, e.ver);
+}
+
+int64_t StrataEstimator::Estimate(const StrataEstimator& remote) const {
+  int64_t count = 0;
+  for (int i = kStrata - 1; i >= 0; --i) {
+    const size_t s = static_cast<size_t>(i);
+    bool peeled = false;
+    if (s < remote.strata_.size()) {
+      Ibf diff = strata_[s];
+      if (diff.Subtract(remote.strata_[s])) {
+        const IbfDiff d = diff.Decode();
+        if (d.ok) {
+          count += static_cast<int64_t>(d.local.size() + d.remote.size());
+          peeled = true;
+        }
+      }
+    }
+    if (!peeled) {
+      const int64_t base = count > 0 ? count : 1;
+      return base << (i + 1);
+    }
+  }
+  return count;
+}
+
+int64_t StrataEstimator::WireBytes() const {
+  int64_t total = 1;
+  for (const Ibf& s : strata_) total += s.WireBytes();
+  return total;
+}
+
+}  // namespace seve::sync

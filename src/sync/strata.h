@@ -1,0 +1,46 @@
+#ifndef SEVE_SYNC_STRATA_H_
+#define SEVE_SYNC_STRATA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sync/ibf.h"
+
+namespace seve::sync {
+
+/// Strata estimator for symmetric-difference size (Eppstein et al.).
+/// Elements are partitioned into strata by the number of trailing zeros
+/// of their mixed checksum — stratum i holds an expected 1/2^(i+1)
+/// sample of the set — and each stratum keeps a small fixed-size IBF.
+/// Subtracting two estimators and peeling strata top-down yields an
+/// estimate of |A △ B| that costs O(kStrata * kCellsPerStratum) bytes on
+/// the wire regardless of world size.
+class StrataEstimator {
+ public:
+  static constexpr int kStrata = 20;
+  static constexpr int64_t kCellsPerStratum = 16;
+  static constexpr uint64_t kStrataSalt = 0x5345'5645'5354'5241ULL;
+
+  StrataEstimator();
+
+  void Insert(uint64_t key, uint64_t ver);
+  void InsertAll(const Summary& summary);
+
+  /// Estimated |local △ remote| (never negative). Walks strata from the
+  /// sparsest down; the first stratum that fails to peel scales the
+  /// count decoded so far by 2^(i+1). Malformed remote shapes (wrong
+  /// stratum count or cell count) are treated as failed strata.
+  int64_t Estimate(const StrataEstimator& remote) const;
+
+  const std::vector<Ibf>& strata() const { return strata_; }
+  std::vector<Ibf>& strata() { return strata_; }
+
+  int64_t WireBytes() const;
+
+ private:
+  std::vector<Ibf> strata_;
+};
+
+}  // namespace seve::sync
+
+#endif  // SEVE_SYNC_STRATA_H_

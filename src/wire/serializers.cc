@@ -222,6 +222,184 @@ Status DecodeSnapshotChunk(Reader& r, Writer* re) {
   return Status::OK();
 }
 
+// ---- Delta-sync bodies (protocol/msg.h, DESIGN.md §15) -------------------
+
+void EncodeIbfPayload(const sync::Ibf& ibf, Writer& w) {
+  w.PutFixed64(ibf.seed());
+  w.PutVarint(static_cast<uint64_t>(ibf.cells()));
+  for (const sync::IbfCell& cell : ibf.raw_cells()) {
+    w.PutZigzag(cell.count);
+    w.PutVarint(cell.key_sum);
+    w.PutFixed64(cell.ver_sum);
+    w.PutFixed64(cell.chk_sum);
+  }
+}
+
+bool TranscodeIbfPayload(Reader& r, Writer* re) {
+  uint64_t seed = 0, cells = 0;
+  if (!r.ReadFixed64(&seed) || !r.ReadVarint(&cells)) return false;
+  if (cells > r.remaining()) return false;  // each cell is >= 18 bytes
+  if (re != nullptr) {
+    re->PutFixed64(seed);
+    re->PutVarint(cells);
+  }
+  for (uint64_t i = 0; i < cells; ++i) {
+    int64_t count = 0;
+    uint64_t key_sum = 0, ver_sum = 0, chk_sum = 0;
+    if (!r.ReadZigzag(&count) || !r.ReadVarint(&key_sum) ||
+        !r.ReadFixed64(&ver_sum) || !r.ReadFixed64(&chk_sum)) {
+      return false;
+    }
+    if (re != nullptr) {
+      re->PutZigzag(count);
+      re->PutVarint(key_sum);
+      re->PutFixed64(ver_sum);
+      re->PutFixed64(chk_sum);
+    }
+  }
+  return true;
+}
+
+/// Canonical sync mode byte: strictly one of the SyncMode values.
+bool TranscodeSyncMode(Reader& r, Writer* re) {
+  uint8_t mode = 0;
+  if (!r.ReadByte(&mode) || mode > kSyncModeOwnerMap) return false;
+  if (re != nullptr) re->PutByte(mode);
+  return true;
+}
+
+Status EncodeSyncRequest(const SyncRequestBody& body, Writer& w) {
+  w.PutVarint(body.client.value());
+  w.PutByte(body.mode);
+  w.PutVarint(body.strata.strata().size());
+  for (const sync::Ibf& stratum : body.strata.strata()) {
+    EncodeIbfPayload(stratum, w);
+  }
+  return Status::OK();
+}
+
+Status DecodeSyncRequest(Reader& r, Writer* re) {
+  uint64_t client = 0;
+  if (!r.ReadVarint(&client)) return Malformed("sync req: bad client");
+  if (re != nullptr) re->PutVarint(client);
+  if (!TranscodeSyncMode(r, re)) return Malformed("sync req: bad mode");
+  uint64_t strata = 0;
+  if (!r.ReadVarint(&strata)) return Malformed("sync req: bad strata count");
+  if (strata > r.remaining()) return Malformed("sync req: count over input");
+  if (re != nullptr) re->PutVarint(strata);
+  for (uint64_t i = 0; i < strata; ++i) {
+    if (!TranscodeIbfPayload(r, re)) return Malformed("sync req: bad stratum");
+  }
+  return Status::OK();
+}
+
+Status EncodeSyncIBFRequest(const SyncIBFRequestBody& body, Writer& w) {
+  w.PutVarint(body.client.value());
+  w.PutByte(body.mode);
+  w.PutVarint(static_cast<uint64_t>(body.cells));
+  return Status::OK();
+}
+
+Status DecodeSyncIBFRequest(Reader& r, Writer* re) {
+  uint64_t client = 0;
+  if (!r.ReadVarint(&client)) return Malformed("ibf req: bad client");
+  if (re != nullptr) re->PutVarint(client);
+  if (!TranscodeSyncMode(r, re)) return Malformed("ibf req: bad mode");
+  uint64_t cells = 0;
+  if (!r.ReadVarint(&cells)) return Malformed("ibf req: bad cells");
+  if (re != nullptr) re->PutVarint(cells);
+  return Status::OK();
+}
+
+Status EncodeSyncIBF(const SyncIBFBody& body, Writer& w) {
+  w.PutVarint(body.client.value());
+  w.PutByte(body.mode);
+  EncodeIbfPayload(body.ibf, w);
+  return Status::OK();
+}
+
+Status DecodeSyncIBF(Reader& r, Writer* re) {
+  uint64_t client = 0;
+  if (!r.ReadVarint(&client)) return Malformed("sync ibf: bad client");
+  if (re != nullptr) re->PutVarint(client);
+  if (!TranscodeSyncMode(r, re)) return Malformed("sync ibf: bad mode");
+  if (!TranscodeIbfPayload(r, re)) return Malformed("sync ibf: bad filter");
+  return Status::OK();
+}
+
+Status EncodeSyncDelta(const SyncDeltaBody& body, Writer& w) {
+  w.PutVarint(body.client.value());
+  w.PutByte(body.mode);
+  w.PutZigzag(body.snapshot_pos);
+  w.PutVarint(static_cast<uint64_t>(body.chunk));
+  w.PutVarint(static_cast<uint64_t>(body.total));
+  EncodeObjectList(body.objects, w);
+  w.PutVarint(body.removed.size());
+  for (ObjectId id : body.removed) w.PutVarint(id.value());
+  w.PutVarint(body.tail.size());
+  for (const OrderedAction& rec : body.tail) {
+    w.PutZigzag(rec.pos);
+    const Status st = EncodeAction(*rec.action, w);
+    if (!st.ok()) return st;
+  }
+  return Status::OK();
+}
+
+Status DecodeSyncDelta(Reader& r, Writer* re) {
+  uint64_t client = 0;
+  if (!r.ReadVarint(&client)) return Malformed("sync delta: bad client");
+  if (re != nullptr) re->PutVarint(client);
+  if (!TranscodeSyncMode(r, re)) return Malformed("sync delta: bad mode");
+  int64_t snapshot_pos = 0;
+  uint64_t chunk = 0, total = 0;
+  if (!r.ReadZigzag(&snapshot_pos) || !r.ReadVarint(&chunk) ||
+      !r.ReadVarint(&total)) {
+    return Malformed("sync delta: bad header");
+  }
+  if (re != nullptr) {
+    re->PutZigzag(snapshot_pos);
+    re->PutVarint(chunk);
+    re->PutVarint(total);
+  }
+  Status st = TranscodeObjectList(r, re);
+  if (!st.ok()) return st;
+  uint64_t removed = 0;
+  if (!r.ReadVarint(&removed)) return Malformed("sync delta: bad removed");
+  if (removed > r.remaining()) return Malformed("sync delta: count over input");
+  if (re != nullptr) re->PutVarint(removed);
+  for (uint64_t i = 0; i < removed; ++i) {
+    uint64_t id = 0;
+    if (!r.ReadVarint(&id)) return Malformed("sync delta: bad removed id");
+    if (re != nullptr) re->PutVarint(id);
+  }
+  uint64_t tail = 0;
+  if (!r.ReadVarint(&tail)) return Malformed("sync delta: bad tail count");
+  if (tail > r.remaining()) return Malformed("sync delta: count over input");
+  if (re != nullptr) re->PutVarint(tail);
+  for (uint64_t i = 0; i < tail; ++i) {
+    int64_t pos = 0;
+    if (!r.ReadZigzag(&pos)) return Malformed("sync delta: bad tail pos");
+    if (re != nullptr) re->PutZigzag(pos);
+    st = TranscodeAction(r, re);
+    if (!st.ok()) return st;
+  }
+  return Status::OK();
+}
+
+Status EncodeSyncNack(const SyncNackBody& body, Writer& w) {
+  w.PutVarint(body.client.value());
+  w.PutByte(body.mode);
+  return Status::OK();
+}
+
+Status DecodeSyncNack(Reader& r, Writer* re) {
+  uint64_t client = 0;
+  if (!r.ReadVarint(&client)) return Malformed("sync nack: bad client");
+  if (re != nullptr) re->PutVarint(client);
+  if (!TranscodeSyncMode(r, re)) return Malformed("sync nack: bad mode");
+  return Status::OK();
+}
+
 // ---- Reliable channel frames (net/channel_msg.h) -------------------------
 
 Status EncodeChannelData(const ChannelDataBody& body, Writer& w) {
@@ -920,6 +1098,23 @@ void RegisterAll() {
                    MakeCodec<SnapshotChunkBody>("SnapshotChunk",
                                                 EncodeSnapshotChunk,
                                                 DecodeSnapshotChunk));
+  reg.RegisterBody(kSyncRequest,
+                   MakeCodec<SyncRequestBody>("SyncRequest",
+                                              EncodeSyncRequest,
+                                              DecodeSyncRequest));
+  reg.RegisterBody(kSyncIBFRequest,
+                   MakeCodec<SyncIBFRequestBody>("SyncIBFRequest",
+                                                 EncodeSyncIBFRequest,
+                                                 DecodeSyncIBFRequest));
+  reg.RegisterBody(kSyncIBF,
+                   MakeCodec<SyncIBFBody>("SyncIBF", EncodeSyncIBF,
+                                          DecodeSyncIBF));
+  reg.RegisterBody(kSyncDelta,
+                   MakeCodec<SyncDeltaBody>("SyncDelta", EncodeSyncDelta,
+                                            DecodeSyncDelta));
+  reg.RegisterBody(kSyncNack,
+                   MakeCodec<SyncNackBody>("SyncNack", EncodeSyncNack,
+                                           DecodeSyncNack));
   reg.RegisterBody(kChannelData,
                    MakeCodec<ChannelDataBody>("ChannelData",
                                               EncodeChannelData,

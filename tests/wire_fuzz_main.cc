@@ -38,7 +38,7 @@ using seve::wire::Bytes;
 const int kAllKinds[] = {1,   2,   3,   4,   5,   6,   7,   8,   102,
                          200, 201, 202, 210, 211, 212, 300, 301, 310,
                          311, 312, 313, 320, 321, 322, 323, 324, 325,
-                         326, 327};
+                         326, 327, 330, 331, 332, 333, 334};
 constexpr size_t kNumKinds = sizeof(kAllKinds) / sizeof(kAllKinds[0]);
 
 void Die(const char* what, const uint8_t* data, size_t size) {

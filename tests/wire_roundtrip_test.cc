@@ -16,6 +16,7 @@
 #include "protocol/msg.h"
 #include "protocol/occ_protocol.h"
 #include "shard/shard_msg.h"
+#include "sync/reconcile.h"
 #include "wire/frame.h"
 #include "wire/serializers.h"
 #include "wire/wire_value.h"
@@ -348,6 +349,61 @@ TEST_F(WireRoundTripTest, MigrationBodies) {
     done.client = ClientId(rng_.NextBounded(64));
     done.object = ObjectId(rng_.NextBounded(10'000));
     ExpectRoundTrip(done);
+  }
+}
+
+TEST_F(WireRoundTripTest, SyncBodies) {
+  for (int i = 0; i < 50; ++i) {
+    sync::Summary summary;
+    const uint64_t count = rng_.NextBounded(64);
+    for (uint64_t j = 0; j < count; ++j) {
+      summary.push_back({rng_.NextBounded(10'000), rng_.Next()});
+    }
+
+    SyncRequestBody request;
+    request.client = ClientId(rng_.NextBounded(64));
+    request.mode = static_cast<uint8_t>(rng_.NextBounded(3));
+    request.strata = sync::BuildStrata(summary);
+    ExpectRoundTrip(request);
+
+    SyncIBFRequestBody ibf_request;
+    ibf_request.client = ClientId(rng_.NextBounded(64));
+    ibf_request.mode = static_cast<uint8_t>(rng_.NextBounded(3));
+    ibf_request.cells = static_cast<int64_t>(1 + rng_.NextBounded(512));
+    ExpectRoundTrip(ibf_request);
+
+    SyncIBFBody ibf;
+    ibf.client = ClientId(rng_.NextBounded(64));
+    ibf.mode = static_cast<uint8_t>(rng_.NextBounded(3));
+    ibf.ibf = sync::BuildIbf(summary,
+                             static_cast<int64_t>(8 + rng_.NextBounded(64)));
+    ExpectRoundTrip(ibf);
+
+    SyncDeltaBody delta;
+    delta.client = ClientId(rng_.NextBounded(64));
+    delta.mode = static_cast<uint8_t>(rng_.NextBounded(3));
+    delta.snapshot_pos =
+        rng_.NextBool(0.2) ? kInvalidSeq : rng_.NextInt(0, 1'000'000);
+    delta.total = 1 + rng_.NextInt(0, 4);
+    delta.chunk = rng_.NextInt(0, delta.total);
+    delta.objects = RandomObjects(&rng_);
+    const uint64_t removed = rng_.NextBounded(6);
+    for (uint64_t j = 0; j < removed; ++j) {
+      delta.removed.push_back(ObjectId(rng_.NextBounded(10'000)));
+    }
+    if (delta.chunk + 1 == delta.total) {
+      const uint64_t tail = rng_.NextBounded(4);
+      for (uint64_t j = 0; j < tail; ++j) {
+        delta.tail.push_back(
+            OrderedAction{rng_.NextInt(0, 1'000'000), RandomAction(&rng_)});
+      }
+    }
+    ExpectRoundTrip(delta);
+
+    SyncNackBody nack;
+    nack.client = ClientId(rng_.NextBounded(64));
+    nack.mode = static_cast<uint8_t>(rng_.NextBounded(3));
+    ExpectRoundTrip(nack);
   }
 }
 
